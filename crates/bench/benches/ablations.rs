@@ -1,0 +1,66 @@
+//! Criterion bench: ablations called out in DESIGN.md — deterministic vs
+//! randomized privacy tests, omega sensitivity, and maxcost sensitivity.
+
+use bench::small_models;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgf_core::{Mechanism, PrivacyTestConfig};
+use sgf_data::acs::{acs_bucketizer, acs_schema, generate_acs};
+use sgf_model::{learn_dependency_structure, SeedSynthesizer, StructureConfig};
+use std::sync::Arc;
+
+fn bench_ablations(c: &mut Criterion) {
+    let (split, _bkt, models) = small_models(207);
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    // Omega ablation: seed-closeness vs synthesis cost.
+    for omega in [5usize, 9, 11] {
+        let synthesizer = SeedSynthesizer::new(Arc::clone(&models.cpts), omega).unwrap();
+        let test = PrivacyTestConfig::deterministic(50, 4.0).with_limits(Some(100), Some(2_000));
+        let mechanism = Mechanism::new(&synthesizer, &split.seeds, test).unwrap();
+        group.bench_function(format!("propose_omega_{omega}"), |b| {
+            b.iter_batched(
+                || StdRng::seed_from_u64(5),
+                |mut rng| mechanism.propose(&mut rng).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // Deterministic vs randomized test ablation.
+    let synthesizer = SeedSynthesizer::new(Arc::clone(&models.cpts), 9).unwrap();
+    for (name, test) in [
+        ("deterministic_test", PrivacyTestConfig::deterministic(50, 4.0).with_limits(Some(100), Some(2_000))),
+        ("randomized_test", PrivacyTestConfig::randomized(50, 4.0, 1.0).with_limits(Some(100), Some(2_000))),
+    ] {
+        let mechanism = Mechanism::new(&synthesizer, &split.seeds, test).unwrap();
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || StdRng::seed_from_u64(6),
+                |mut rng| mechanism.propose(&mut rng).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // maxcost ablation for structure learning.
+    let data = generate_acs(2_000, 208);
+    let bkt = acs_bucketizer(&acs_schema());
+    for maxcost in [30u64, 300, 3_000] {
+        let mut config = StructureConfig::exact();
+        config.cfs.maxcost = maxcost;
+        group.bench_function(format!("structure_maxcost_{maxcost}"), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                learn_dependency_structure(&data, &bkt, &config, &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

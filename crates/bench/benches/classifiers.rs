@@ -1,0 +1,44 @@
+//! Criterion bench: the classifiers used by Tables 3-5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgf_data::acs::{attr, generate_acs};
+use sgf_ml::{
+    encode_dataset, AdaBoost, AdaBoostConfig, DecisionTree, Encoding, ForestConfig, LinearConfig,
+    LinearModel, RandomForest, TreeConfig,
+};
+
+fn bench_classifiers(c: &mut Criterion) {
+    let data = generate_acs(2_000, 204);
+    let ordinal = encode_dataset(&data, attr::INCOME, Encoding::Ordinal);
+    let onehot = encode_dataset(&data, attr::INCOME, Encoding::OneHotNormalized { unit_norm: true });
+
+    let mut group = c.benchmark_group("classifiers");
+    group.sample_size(10);
+    group.bench_function("decision_tree", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            DecisionTree::fit(&ordinal, &TreeConfig::default(), &mut rng)
+        })
+    });
+    group.bench_function("random_forest_10", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            RandomForest::fit(&ordinal, &ForestConfig { trees: 10, ..ForestConfig::default() }, &mut rng)
+        })
+    });
+    group.bench_function("adaboost_10", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            AdaBoost::fit(&ordinal, &AdaBoostConfig { rounds: 10, ..AdaBoostConfig::default() }, &mut rng)
+        })
+    });
+    group.bench_function("logistic_regression", |b| {
+        b.iter(|| LinearModel::fit(&onehot, &LinearConfig { iterations: 100, ..LinearConfig::default() }))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifiers);
+criterion_main!(benches);

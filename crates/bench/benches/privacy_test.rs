@@ -1,0 +1,41 @@
+//! Criterion bench: the deterministic and randomized privacy tests
+//! (supports Figure 6's pass-rate sweep and the Section 5 early-termination knobs).
+
+use bench::small_models;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgf_core::{run_privacy_test, PrivacyTestConfig};
+use sgf_model::{GenerativeModel, SeedSynthesizer};
+use std::sync::Arc;
+
+fn bench_privacy_test(c: &mut Criterion) {
+    let (split, _bkt, models) = small_models(202);
+    let synthesizer = SeedSynthesizer::new(Arc::clone(&models.cpts), 9).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let seed = split.seeds.record(0).clone();
+    let candidate = synthesizer.generate(&seed, &mut rng);
+
+    let mut group = c.benchmark_group("privacy_test");
+    group.sample_size(10);
+    for (name, config) in [
+        ("deterministic_k50", PrivacyTestConfig::deterministic(50, 4.0)),
+        ("randomized_k50", PrivacyTestConfig::randomized(50, 4.0, 1.0)),
+        (
+            "randomized_k50_capped",
+            PrivacyTestConfig::randomized(50, 4.0, 1.0).with_limits(Some(100), Some(1_000)),
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || StdRng::seed_from_u64(11),
+                |mut rng| run_privacy_test(&synthesizer, &split.seeds, &seed, &candidate, &config, &mut rng).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_privacy_test);
+criterion_main!(benches);

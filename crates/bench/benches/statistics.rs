@@ -1,0 +1,35 @@
+//! Criterion bench: the statistics substrate (entropy, correlations, TVD).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgf_data::acs::{acs_bucketizer, acs_schema, generate_acs};
+use sgf_model::correlation_matrix;
+use sgf_stats::{attribute_distances, entropy, pairwise_distances, Histogram};
+
+fn bench_statistics(c: &mut Criterion) {
+    let a = generate_acs(5_000, 205);
+    let b = generate_acs(5_000, 206);
+    let bkt = acs_bucketizer(&acs_schema());
+
+    let mut group = c.benchmark_group("statistics");
+    group.sample_size(10);
+    group.bench_function("entropy_per_attribute", |bencher| {
+        bencher.iter(|| {
+            (0..a.schema().len())
+                .map(|attr| entropy(&Histogram::from_column(&a, attr)))
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("correlation_matrix", |bencher| {
+        bencher.iter(|| correlation_matrix(&a, &bkt).unwrap())
+    });
+    group.bench_function("attribute_distances", |bencher| {
+        bencher.iter(|| attribute_distances(&a, &b))
+    });
+    group.bench_function("pairwise_distances", |bencher| {
+        bencher.iter(|| pairwise_distances(&a, &b))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_statistics);
+criterion_main!(benches);

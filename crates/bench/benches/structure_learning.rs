@@ -1,0 +1,51 @@
+//! Criterion bench: structure learning (exact vs differentially private) and
+//! parameter learning (supports Figure 5's "model learning" phase).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgf_data::acs::{acs_bucketizer, acs_schema, generate_acs};
+use sgf_model::{learn_dependency_structure, CptStore, ParameterConfig, StructureConfig};
+
+fn bench_learning(c: &mut Criterion) {
+    let data = generate_acs(3_000, 203);
+    let bkt = acs_bucketizer(&acs_schema());
+
+    let mut group = c.benchmark_group("model_learning");
+    group.sample_size(10);
+    group.bench_function("structure_exact", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            learn_dependency_structure(&data, &bkt, &StructureConfig::exact(), &mut rng).unwrap()
+        })
+    });
+    group.bench_function("structure_private_eps1", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            learn_dependency_structure(&data, &bkt, &StructureConfig::private(0.05, 0.01), &mut rng).unwrap()
+        })
+    });
+    let mut rng = StdRng::seed_from_u64(3);
+    let structure = learn_dependency_structure(&data, &bkt, &StructureConfig::exact(), &mut rng).unwrap();
+    group.bench_function("parameters_exact", |b| {
+        b.iter(|| CptStore::learn(&data, &bkt, &structure.graph, ParameterConfig::default()).unwrap())
+    });
+    group.bench_function("parameters_private", |b| {
+        b.iter(|| {
+            CptStore::learn(
+                &data,
+                &bkt,
+                &structure.graph,
+                ParameterConfig {
+                    epsilon_p: Some(1.0),
+                    ..ParameterConfig::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_learning);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: candidate generation and release throughput of
+//! Mechanism 1 (supports Figure 5's synthesis-time curve).
+
+use bench::small_models;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgf_core::{Mechanism, PrivacyTestConfig};
+use sgf_model::SeedSynthesizer;
+use std::sync::Arc;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let (split, _bkt, models) = small_models(201);
+    let synthesizer = SeedSynthesizer::new(Arc::clone(&models.cpts), 9).unwrap();
+    let test = PrivacyTestConfig::randomized(50, 4.0, 1.0).with_limits(Some(100), Some(2_000));
+    let mechanism = Mechanism::new(&synthesizer, &split.seeds, test).unwrap();
+
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    group.bench_function("propose_one_candidate", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(7),
+            |mut rng| mechanism.propose(&mut rng).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("release_batch_of_20", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(8),
+            |mut rng| mechanism.release_batch(20, &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 2: per-attribute model accuracy of the generative model, a random
+//! forest, the marginals, and random guessing.
+
+use bench::{build_context, scale_from_args};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgf_data::acs::SHORT_NAMES;
+use sgf_eval::{model_accuracy, percent, TextTable};
+use sgf_ml::ForestConfig;
+
+fn main() {
+    let scale = scale_from_args();
+    let ctx = build_context(scale, 102);
+    let mut rng = StdRng::seed_from_u64(11);
+    let forest_config = ForestConfig { trees: 10, ..ForestConfig::default() };
+    let acc = model_accuracy(
+        &ctx.models.bayes_net,
+        &ctx.models.marginal,
+        &ctx.split.parameters,
+        &ctx.split.test,
+        300 * scale,
+        &forest_config,
+        &mut rng,
+    );
+    let mut table = TextTable::new(&["Attribute", "Generative", "Random Forest", "Marginals", "Random"]);
+    for (i, name) in SHORT_NAMES.iter().enumerate() {
+        table.add_row(&[
+            name.to_string(),
+            percent(acc.generative[i]),
+            percent(acc.random_forest[i]),
+            percent(acc.marginals[i]),
+            percent(acc.random[i]),
+        ]);
+    }
+    println!("Figure 2: Model accuracy per attribute (scale {scale})\n");
+    println!("{}", table.render());
+}

@@ -1,0 +1,34 @@
+//! Figure 4: statistical distance of attribute-pair distributions between
+//! reals and (other) reals / marginals / synthetics.
+
+use bench::{build_context, scale_from_args, BASE_POPULATION};
+use sgf_data::acs::generate_acs;
+use sgf_eval::{compare_datasets, fixed3, TextTable};
+
+fn main() {
+    let scale = scale_from_args();
+    let ctx = build_context(scale, 104);
+    let other_reals = generate_acs(BASE_POPULATION * scale, 2104);
+
+    let mut candidates: Vec<(String, &sgf_data::Dataset)> = vec![("reals".to_string(), &other_reals)];
+    for (label, data) in &ctx.synthetic_sets {
+        candidates.push((label.clone(), data));
+    }
+    let reports = compare_datasets(&ctx.split.test, &candidates);
+
+    let mut table = TextTable::new(&["Dataset", "min", "q1", "median", "q3", "max", "mean"]);
+    for report in &reports {
+        let s = report.pair_summary();
+        table.add_row(&[
+            report.label.clone(),
+            fixed3(s.min),
+            fixed3(s.q1),
+            fixed3(s.median),
+            fixed3(s.q3),
+            fixed3(s.max),
+            fixed3(report.mean_pair_distance()),
+        ]);
+    }
+    println!("Figure 4: Statistical distance for pairs of attributes (scale {scale})\n");
+    println!("{}", table.render());
+}

@@ -1,0 +1,31 @@
+//! Figure 5: synthetic-generation performance (model learning + synthesis
+//! time against the number of synthetics produced), ω = 9, k = 50, γ = 4.
+
+use bench::{experiment_pipeline_config, scale_from_args, BASE_POPULATION};
+use sgf_data::acs::{acs_bucketizer, acs_schema, generate_acs};
+use sgf_eval::{performance_curve, TextTable};
+use sgf_model::OmegaSpec;
+
+fn main() {
+    let scale = scale_from_args();
+    let population = generate_acs(BASE_POPULATION * scale, 105);
+    let bucketizer = acs_bucketizer(&acs_schema());
+    let mut config = experiment_pipeline_config(1, 105);
+    config.omega = OmegaSpec::Fixed(9);
+
+    let sizes: Vec<usize> = [250, 500, 1000, 2000].iter().map(|s| s * scale).collect();
+    let points = performance_curve(&population, &bucketizer, &config, &sizes).expect("pipeline runs");
+
+    let mut table = TextTable::new(&["Requested", "Released", "Candidates", "Model learning (s)", "Synthesis (s)"]);
+    for p in &points {
+        table.add_row(&[
+            p.requested.to_string(),
+            p.released.to_string(),
+            p.candidates.to_string(),
+            format!("{:.2}", p.model_learning.as_secs_f64()),
+            format!("{:.2}", p.synthesis.as_secs_f64()),
+        ]);
+    }
+    println!("Figure 5: Synthetic generation performance (omega = 9, k = 50, gamma = 4, scale {scale})\n");
+    println!("{}", table.render());
+}

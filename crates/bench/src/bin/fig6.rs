@@ -1,0 +1,33 @@
+//! Figure 6: percentage of candidate synthetics passing the privacy test for
+//! various k and ω (γ = 2).
+
+use bench::{scale_from_args, small_models};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgf_eval::{pass_rate_sweep, percent, PassRateConfig, TextTable};
+use std::sync::Arc;
+
+fn main() {
+    let scale = scale_from_args();
+    let (split, _bucketizer, models) = small_models(106);
+    let cpts = Arc::clone(&models.cpts);
+    let mut rng = StdRng::seed_from_u64(106);
+
+    let config = PassRateConfig {
+        candidates_per_point: 100 * scale,
+        k_values: vec![10, 25, 50, 100, 150, 250],
+        ..PassRateConfig::default()
+    };
+    let series = pass_rate_sweep(&cpts, &split.seeds, &config, &mut rng);
+
+    let mut header: Vec<String> = vec!["omega \\ k".to_string()];
+    header.extend(config.k_values.iter().map(|k| k.to_string()));
+    let mut table = TextTable::new(&header);
+    for s in &series {
+        let mut row = vec![s.omega.label()];
+        row.extend(s.pass_rates.iter().map(|&r| percent(r)));
+        table.add_row(&row);
+    }
+    println!("Figure 6: Percentage of candidates passing the privacy test (gamma = 2, scale {scale})\n");
+    println!("{}", table.render());
+}

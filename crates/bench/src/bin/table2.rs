@@ -1,0 +1,31 @@
+//! Table 2: dataset extraction statistics (records, possible records,
+//! unique records) computed on the synthetic ACS-like population.
+
+use bench::{scale_from_args, BASE_POPULATION};
+use sgf_data::acs::{attr, generate_acs};
+use sgf_eval::{percent, TextTable};
+
+fn main() {
+    let scale = scale_from_args();
+    let n = BASE_POPULATION * scale * 10; // Table 2 is cheap: use a larger sample.
+    let data = generate_acs(n, 2013);
+    let unique = data.singleton_count();
+
+    let mut table = TextTable::new(&["Statistic", "Value"]);
+    table.add_row(&["Records".to_string(), data.len().to_string()]);
+    table.add_row(&["Attributes".to_string(), data.schema().len().to_string()]);
+    table.add_row(&[
+        "Possible Records".to_string(),
+        format!("{} (~2^{:.0})", data.schema().universe_size(), (data.schema().universe_size() as f64).log2()),
+    ]);
+    table.add_row(&[
+        "Unique Records".to_string(),
+        format!("{} ({})", unique, percent(unique as f64 / data.len() as f64)),
+    ]);
+    table.add_row(&[
+        "Classification Task".to_string(),
+        data.schema().attribute(attr::INCOME).name().to_string(),
+    ]);
+    println!("Table 2: ACS-like data extraction statistics (scale {scale})\n");
+    println!("{}", table.render());
+}

@@ -1,0 +1,37 @@
+//! Table 3: Tree / Random Forest / AdaBoost accuracy and agreement rate when
+//! trained on reals, marginals, and synthetics (various ω).
+
+use bench::{build_context, scale_from_args};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgf_data::acs::attr;
+use sgf_eval::{percent, table3, Table3Config, TextTable};
+
+fn main() {
+    let scale = scale_from_args();
+    let ctx = build_context(scale, 107);
+    let mut rng = StdRng::seed_from_u64(107);
+
+    let mut candidates: Vec<(String, &sgf_data::Dataset)> = vec![("reals".to_string(), &ctx.split.seeds)];
+    for (label, data) in &ctx.synthetic_sets {
+        candidates.push((label.clone(), data));
+    }
+    let rows = table3(&candidates, &ctx.split.test, attr::INCOME, &Table3Config::default(), &mut rng);
+
+    let mut table = TextTable::new(&[
+        "Training set", "Acc Tree", "Acc RF", "Acc Ada", "Agree Tree", "Agree RF", "Agree Ada",
+    ]);
+    for row in &rows {
+        table.add_row(&[
+            row.label.clone(),
+            percent(row.accuracy[0]),
+            percent(row.accuracy[1]),
+            percent(row.accuracy[2]),
+            percent(row.agreement[0]),
+            percent(row.agreement[1]),
+            percent(row.agreement[2]),
+        ]);
+    }
+    println!("Table 3: Classifier comparisons (scale {scale})\n");
+    println!("{}", table.render());
+}

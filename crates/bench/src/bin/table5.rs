@@ -1,0 +1,33 @@
+//! Table 5: the distinguishing game — how well a random forest / tree can tell
+//! real records apart from marginals and synthetics.
+
+use bench::{build_context, scale_from_args, BASE_POPULATION};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgf_data::acs::generate_acs;
+use sgf_eval::{distinguishing_table, percent, DistinguishConfig, TextTable};
+
+fn main() {
+    let scale = scale_from_args();
+    let ctx = build_context(scale, 109);
+    let other_reals = generate_acs(BASE_POPULATION * scale, 2109);
+    let mut rng = StdRng::seed_from_u64(109);
+
+    let mut candidates: Vec<(String, &sgf_data::Dataset)> = vec![("reals".to_string(), &other_reals)];
+    for (label, data) in &ctx.synthetic_sets {
+        candidates.push((label.clone(), data));
+    }
+    let config = DistinguishConfig {
+        train_per_class: 700 * scale,
+        test_per_class: 400 * scale,
+        ..DistinguishConfig::default()
+    };
+    let results = distinguishing_table(&ctx.split.test, &candidates, &config, &mut rng);
+
+    let mut table = TextTable::new(&["Candidate", "RF", "Tree"]);
+    for r in &results {
+        table.add_row(&[r.label.clone(), percent(r.random_forest), percent(r.tree)]);
+    }
+    println!("Table 5: Distinguishing game (scale {scale})\n");
+    println!("{}", table.render());
+}

@@ -1,0 +1,139 @@
+//! Shared experiment context for the table/figure reproduction binaries and
+//! the criterion benchmarks.
+//!
+//! Every binary accepts an optional positional argument `scale` (default 1):
+//! the synthetic-ACS population size and the number of released synthetics are
+//! multiplied by it, so `cargo run --release -p bench --bin table3 -- 4` runs
+//! a 4x larger experiment.  The defaults are sized for a single-core machine.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgf_core::{PipelineConfig, PrivacyTestConfig, SynthesisPipeline, TrainedModels};
+use sgf_data::acs::{acs_bucketizer, acs_schema, generate_acs};
+use sgf_data::{split_dataset, Bucketizer, DataSplit, Dataset, SplitSpec};
+use sgf_model::OmegaSpec;
+
+/// Base population size at scale 1.
+pub const BASE_POPULATION: usize = 12_000;
+/// Base number of synthetics released per ω setting at scale 1.
+pub const BASE_SYNTHETICS: usize = 1_500;
+
+/// Parse the scale factor from the command line (first positional argument).
+pub fn scale_from_args() -> usize {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(1)
+}
+
+/// Everything the experiment binaries need: the split population, the trained
+/// models, and synthetic datasets for the paper's ω settings.
+pub struct ExperimentContext {
+    /// The generated ACS-like population.
+    pub population: Dataset,
+    /// The bucketizer used for structure learning.
+    pub bucketizer: Bucketizer,
+    /// The disjoint split of the population.
+    pub split: DataSplit,
+    /// The trained models (structure, CPTs, marginals).
+    pub models: TrainedModels,
+    /// Labelled synthetic datasets, one per ω setting (plus the marginals).
+    pub synthetic_sets: Vec<(String, Dataset)>,
+    /// The pipeline configuration that produced them.
+    pub config: PipelineConfig,
+}
+
+/// The ω settings used throughout the evaluation section.
+pub fn paper_omegas() -> Vec<OmegaSpec> {
+    vec![
+        OmegaSpec::Fixed(11),
+        OmegaSpec::Fixed(10),
+        OmegaSpec::Fixed(9),
+        OmegaSpec::UniformRange { lo: 9, hi: 11 },
+        OmegaSpec::UniformRange { lo: 5, hi: 11 },
+    ]
+}
+
+/// Default pipeline configuration used by the experiments: k = 50, γ = 4,
+/// ε0 = 1, randomized privacy test, early-termination knobs as in Section 6.5.
+pub fn experiment_pipeline_config(target: usize, seed: u64) -> PipelineConfig {
+    let mut config = PipelineConfig::paper_defaults(target);
+    config.privacy_test = PrivacyTestConfig::randomized(50, 4.0, 1.0).with_limits(Some(100), Some(5_000));
+    config.max_candidate_factor = 12;
+    config.seed = seed;
+    config
+}
+
+/// Build the full experiment context at the given scale.
+pub fn build_context(scale: usize, seed: u64) -> ExperimentContext {
+    let population = generate_acs(BASE_POPULATION * scale, seed);
+    let bucketizer = acs_bucketizer(&acs_schema());
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    let split = split_dataset(&population, &SplitSpec::paper_defaults(), &mut rng)
+        .expect("the generated population is non-empty");
+
+    let target = BASE_SYNTHETICS * scale;
+    let config = experiment_pipeline_config(target, seed);
+    let pipeline = SynthesisPipeline::new(config);
+    let models = pipeline
+        .learn_models(&split, &bucketizer)
+        .expect("model learning on the generated population succeeds");
+
+    let mut synthetic_sets = Vec::new();
+    // Marginal baseline dataset of the same size.
+    let marginal_data = models.marginal.sample_dataset(target, &mut rng);
+    synthetic_sets.push(("marginals".to_string(), marginal_data));
+
+    for omega in paper_omegas() {
+        let mut omega_config = config;
+        omega_config.omega = omega;
+        let (records, _) = SynthesisPipeline::new(omega_config)
+            .generate(&models, &split.seeds)
+            .expect("synthesis succeeds");
+        let dataset = Dataset::from_records_unchecked(population.schema_arc(), records);
+        synthetic_sets.push((omega.label(), dataset));
+    }
+
+    ExperimentContext {
+        population,
+        bucketizer,
+        split,
+        models,
+        synthetic_sets,
+        config,
+    }
+}
+
+/// A smaller context for the criterion benches (fast to learn, no synthesis).
+pub fn small_models(seed: u64) -> (DataSplit, Bucketizer, TrainedModels) {
+    let population = generate_acs(6_000, seed);
+    let bucketizer = acs_bucketizer(&acs_schema());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = split_dataset(&population, &SplitSpec::paper_defaults(), &mut rng)
+        .expect("population is non-empty");
+    let config = experiment_pipeline_config(100, seed);
+    let models = SynthesisPipeline::new(config)
+        .learn_models(&split, &bucketizer)
+        .expect("model learning succeeds");
+    (split, bucketizer, models)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_models_learn() {
+        let (split, _bkt, models) = small_models(5);
+        assert!(!split.seeds.is_empty());
+        assert!(models.structure.graph.topological_order().is_some());
+    }
+
+    #[test]
+    fn paper_omegas_cover_the_evaluation_settings() {
+        let omegas = paper_omegas();
+        assert_eq!(omegas.len(), 5);
+        assert!(omegas.contains(&OmegaSpec::Fixed(9)));
+    }
+}

@@ -1,0 +1,269 @@
+//! The (k, γ)-plausible-deniability criterion (Definition 1) and the
+//! seed-partition machinery used by the privacy tests and the differential
+//! privacy proof (Appendix C).
+//!
+//! Given a candidate synthetic `y`, records are partitioned by how likely they
+//! are to have generated it: record `d` with `p_d(y) = Pr{y = M(d)} > 0` falls
+//! into partition `I_d(y) = ⌊-log_γ p_d(y)⌋`, i.e. the unique integer `i ≥ 0`
+//! with `γ^{-(i+1)} < p_d(y) ≤ γ^{-i}`.  Records in the same partition generate
+//! `y` with probabilities within a factor γ of one another, which is exactly
+//! the indistinguishability Definition 1 asks for.
+
+use crate::error::{CoreError, Result};
+use sgf_data::{Dataset, Record};
+use sgf_model::GenerativeModel;
+
+/// Validate the (k, γ) privacy parameters shared by the criterion and the tests.
+pub fn validate_parameters(k: usize, gamma: f64) -> Result<()> {
+    if k < 1 {
+        return Err(CoreError::InvalidParameter("k must be at least 1".into()));
+    }
+    if !(gamma.is_finite() && gamma > 1.0) {
+        return Err(CoreError::InvalidParameter(format!(
+            "gamma must be a finite value strictly greater than 1, got {gamma}"
+        )));
+    }
+    Ok(())
+}
+
+/// The partition index `I_d(y) = ⌊-log_γ p⌋` of a generation probability, or
+/// `None` when the probability is zero (such records are not plausible seeds).
+///
+/// Probabilities above 1 (possible only through floating-point slack) are
+/// clamped into partition 0.
+pub fn partition_index(probability: f64, gamma: f64) -> Option<u32> {
+    if !(probability > 0.0) {
+        return None;
+    }
+    if probability >= 1.0 {
+        return Some(0);
+    }
+    let raw = -probability.log(gamma);
+    let mut i = raw.floor().max(0.0) as i32;
+    // The logarithm is only a first guess: nudge the index so the defining
+    // inequality γ^{-(i+1)} < p ≤ γ^{-i} (open below, closed above) holds
+    // exactly under the same `powi` arithmetic used by callers and tests.
+    let mut guard = 0;
+    while i > 0 && gamma.powi(-i) < probability && guard < 4 {
+        i -= 1;
+        guard += 1;
+    }
+    guard = 0;
+    while gamma.powi(-(i + 1)) >= probability && guard < 4 {
+        i += 1;
+        guard += 1;
+    }
+    Some(i as u32)
+}
+
+/// Count how many records of `dataset` fall into partition `target_partition`
+/// for the candidate `y`, i.e. `|C_i(D, y)|`.
+pub fn partition_size<M: GenerativeModel + ?Sized>(
+    model: &M,
+    dataset: &Dataset,
+    y: &Record,
+    gamma: f64,
+    target_partition: u32,
+) -> usize {
+    dataset
+        .records()
+        .iter()
+        .filter(|d| partition_index(model.probability(d, y), gamma) == Some(target_partition))
+        .count()
+}
+
+/// Check the (k, γ)-plausible-deniability criterion of Definition 1 directly:
+/// does the dataset contain at least `k - 1` records other than `seed` whose
+/// probability of generating `y` is within a factor γ of every other member of
+/// the set (including the seed)?
+///
+/// This is the *criterion*; the mechanism enforces it through the stricter
+/// geometric-partition test (Privacy Test 1), which implies it — see
+/// [`crate::privacy_test`].
+pub fn satisfies_plausible_deniability<M: GenerativeModel + ?Sized>(
+    model: &M,
+    dataset: &Dataset,
+    seed: &Record,
+    y: &Record,
+    k: usize,
+    gamma: f64,
+) -> Result<bool> {
+    validate_parameters(k, gamma)?;
+    if dataset.len() < k {
+        return Err(CoreError::DatasetTooSmall {
+            available: dataset.len(),
+            required: k,
+        });
+    }
+    let p_seed = model.probability(seed, y);
+    if p_seed <= 0.0 {
+        return Ok(false);
+    }
+    // Definition 1 asks for a set {d_1 = seed, d_2, ..., d_k} whose generation
+    // probabilities are *pairwise* within a factor γ, i.e. they all fit inside
+    // some multiplicative window [L, γL] that contains p_seed.  Collect the
+    // probabilities of the other records and slide that window.
+    // `D \ {d_1}` removes the seed *row*, not every record that happens to
+    // share its values: skip exactly one instance equal to the seed.
+    let mut seed_skipped = false;
+    let mut others: Vec<f64> = Vec::with_capacity(dataset.len());
+    for d in dataset.records() {
+        if !seed_skipped && d == seed {
+            seed_skipped = true;
+            continue;
+        }
+        let p = model.probability(d, y);
+        if p > 0.0 {
+            others.push(p);
+        }
+    }
+    if others.len() + 1 < k {
+        return Ok(false);
+    }
+    others.sort_by(|a, b| a.partial_cmp(b).expect("probabilities are finite"));
+
+    // Candidate window lower ends: p_seed itself and every other probability
+    // that could sit at the bottom of a window still containing p_seed.
+    let mut candidates: Vec<f64> = others
+        .iter()
+        .copied()
+        .filter(|&v| v <= p_seed && v * gamma >= p_seed)
+        .collect();
+    candidates.push(p_seed);
+
+    for lower in candidates {
+        let upper = lower * gamma;
+        let start = others.partition_point(|&p| p < lower);
+        let end = others.partition_point(|&p| p <= upper);
+        // The seed plus every other record inside [lower, γ·lower].
+        if 1 + (end - start) >= k {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+    use sgf_data::{Attribute, Schema};
+    use sgf_model::GenerativeModel;
+    use std::sync::Arc;
+
+    /// A toy model whose generation probability depends only on the Hamming
+    /// distance between seed and candidate: p = base^(distance+1).
+    struct HammingModel {
+        schema: Schema,
+        base: f64,
+    }
+
+    impl GenerativeModel for HammingModel {
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+        fn generate(&self, seed: &Record, _rng: &mut dyn RngCore) -> Record {
+            seed.clone()
+        }
+        fn probability(&self, seed: &Record, y: &Record) -> f64 {
+            self.base.powi(seed.hamming_distance(y) as i32 + 1)
+        }
+    }
+
+    fn toy() -> (HammingModel, Dataset) {
+        let schema = Schema::new(vec![
+            Attribute::categorical_anon("A", 4),
+            Attribute::categorical_anon("B", 4),
+        ])
+        .unwrap();
+        let model = HammingModel {
+            schema: schema.clone(),
+            base: 0.25,
+        };
+        let records = vec![
+            Record::new(vec![0, 0]),
+            Record::new(vec![0, 1]),
+            Record::new(vec![0, 2]),
+            Record::new(vec![1, 0]),
+            Record::new(vec![3, 3]),
+        ];
+        let dataset = Dataset::from_records_unchecked(Arc::new(schema), records);
+        (model, dataset)
+    }
+
+    #[test]
+    fn partition_index_respects_geometric_ranges() {
+        let gamma = 2.0;
+        // p in (1/2, 1] -> 0, (1/4, 1/2] -> 1, (1/8, 1/4] -> 2, ...
+        assert_eq!(partition_index(1.0, gamma), Some(0));
+        assert_eq!(partition_index(0.6, gamma), Some(0));
+        assert_eq!(partition_index(0.5, gamma), Some(1));
+        assert_eq!(partition_index(0.3, gamma), Some(1));
+        assert_eq!(partition_index(0.25, gamma), Some(2));
+        assert_eq!(partition_index(0.2, gamma), Some(2));
+        assert_eq!(partition_index(0.0, gamma), None);
+        assert_eq!(partition_index(-0.1, gamma), None);
+        assert_eq!(partition_index(f64::NAN, gamma), None);
+    }
+
+    #[test]
+    fn partition_index_boundaries_for_various_gamma() {
+        for &gamma in &[1.5f64, 2.0, 4.0, 10.0] {
+            for i in 0..20u32 {
+                let p_upper = gamma.powi(-(i as i32));
+                let p_inside = gamma.powi(-(i as i32)) * 0.999;
+                assert_eq!(partition_index(p_upper, gamma), Some(i), "upper bound gamma={gamma} i={i}");
+                if i > 0 || p_inside < 1.0 {
+                    assert_eq!(partition_index(p_inside, gamma), Some(i), "inside gamma={gamma} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_size_counts_matching_records() {
+        let (model, dataset) = toy();
+        let y = Record::new(vec![0, 0]);
+        let gamma = 4.0;
+        // Probabilities: seed (0,0) -> 0.25 (partition 1), distance-1 records
+        // (0,1),(0,2),(1,0) -> 0.0625 (partition 2), (3,3) -> 0.015625 (partition 3).
+        assert_eq!(partition_size(&model, &dataset, &y, gamma, 1), 1);
+        assert_eq!(partition_size(&model, &dataset, &y, gamma, 2), 3);
+        assert_eq!(partition_size(&model, &dataset, &y, gamma, 3), 1);
+        assert_eq!(partition_size(&model, &dataset, &y, gamma, 0), 0);
+    }
+
+    #[test]
+    fn criterion_detects_enough_plausible_seeds() {
+        let (model, dataset) = toy();
+        let y = Record::new(vec![0, 0]);
+        let seed = Record::new(vec![0, 1]);
+        // From seed (0,1): p = 0.0625.  Records within a factor 4: the three
+        // distance-1 records (p=0.0625) and the seed itself plus (0,0) with
+        // p=0.25 (ratio 4, inclusive).  So 4 plausible seeds exist.
+        assert!(satisfies_plausible_deniability(&model, &dataset, &seed, &y, 4, 4.0).unwrap());
+        assert!(!satisfies_plausible_deniability(&model, &dataset, &seed, &y, 5, 4.0).unwrap());
+        // With a tighter gamma the high-probability record (0,0) no longer counts.
+        assert!(!satisfies_plausible_deniability(&model, &dataset, &seed, &y, 4, 2.0).unwrap());
+        assert!(satisfies_plausible_deniability(&model, &dataset, &seed, &y, 3, 2.0).unwrap());
+    }
+
+    #[test]
+    fn criterion_validates_parameters() {
+        let (model, dataset) = toy();
+        let y = Record::new(vec![0, 0]);
+        let seed = Record::new(vec![0, 0]);
+        assert!(matches!(
+            satisfies_plausible_deniability(&model, &dataset, &seed, &y, 0, 4.0),
+            Err(CoreError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            satisfies_plausible_deniability(&model, &dataset, &seed, &y, 2, 1.0),
+            Err(CoreError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            satisfies_plausible_deniability(&model, &dataset, &seed, &y, 100, 4.0),
+            Err(CoreError::DatasetTooSmall { .. })
+        ));
+    }
+}

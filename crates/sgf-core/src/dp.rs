@@ -1,0 +1,230 @@
+//! Differential-privacy accounting for the release mechanism (Theorem 1) and
+//! for the composition of model learning with the releases.
+//!
+//! Theorem 1: Mechanism 1 with the randomized Privacy Test 2 and parameters
+//! `k ≥ 1`, `γ > 1`, `ε0 > 0` is (ε, δ)-differentially private *per released
+//! record* with, for any integer `1 ≤ t < k`,
+//!
+//! ```text
+//! ε = ε0 + ln(1 + γ/t)        δ = e^{-ε0 (k - t)}
+//! ```
+//!
+//! `t` trades ε against δ; [`ReleaseBudget::optimize`] scans all admissible `t`
+//! and keeps the tightest ε for a caller-specified δ ceiling.
+
+use crate::error::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+use sgf_stats::{sequential_composition, DpBudget};
+
+/// The privacy guarantee of a single released record under Theorem 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReleaseBudget {
+    /// The plausible-deniability parameter k used by the test.
+    pub k: usize,
+    /// The indistinguishability parameter γ.
+    pub gamma: f64,
+    /// The threshold-randomization parameter ε0.
+    pub epsilon0: f64,
+    /// The trade-off parameter t (1 ≤ t < k) the bound was evaluated at.
+    pub t: usize,
+    /// The resulting (ε, δ) guarantee for one released record.
+    pub budget: DpBudget,
+}
+
+impl ReleaseBudget {
+    /// Evaluate Theorem 1 at a specific `t`.
+    pub fn at(k: usize, gamma: f64, epsilon0: f64, t: usize) -> Result<Self> {
+        if k < 1 {
+            return Err(CoreError::InvalidParameter("k must be at least 1".into()));
+        }
+        if !(gamma.is_finite() && gamma > 1.0) {
+            return Err(CoreError::InvalidParameter(format!(
+                "gamma must be finite and > 1, got {gamma}"
+            )));
+        }
+        if !(epsilon0.is_finite() && epsilon0 > 0.0) {
+            return Err(CoreError::InvalidParameter(format!(
+                "epsilon0 must be finite and positive, got {epsilon0}"
+            )));
+        }
+        if t < 1 || t >= k {
+            return Err(CoreError::InvalidParameter(format!(
+                "t must satisfy 1 <= t < k (t = {t}, k = {k})"
+            )));
+        }
+        let epsilon = epsilon0 + (1.0 + gamma / t as f64).ln();
+        let delta = (-epsilon0 * (k - t) as f64).exp();
+        Ok(ReleaseBudget {
+            k,
+            gamma,
+            epsilon0,
+            t,
+            budget: DpBudget::new(epsilon, delta),
+        })
+    }
+
+    /// Scan every admissible `t` and return the smallest-ε bound whose δ does
+    /// not exceed `max_delta`, or `None` if no such `t` exists.
+    pub fn optimize(k: usize, gamma: f64, epsilon0: f64, max_delta: f64) -> Result<Option<Self>> {
+        if k < 2 {
+            return Err(CoreError::InvalidParameter(
+                "optimizing over t requires k >= 2".into(),
+            ));
+        }
+        let mut best: Option<ReleaseBudget> = None;
+        for t in 1..k {
+            let candidate = ReleaseBudget::at(k, gamma, epsilon0, t)?;
+            if candidate.budget.delta > max_delta {
+                continue;
+            }
+            if best
+                .as_ref()
+                .map_or(true, |b| candidate.budget.epsilon < b.budget.epsilon)
+            {
+                best = Some(candidate);
+            }
+        }
+        Ok(best)
+    }
+
+    /// Smallest `k` that achieves `δ ≤ max_delta` at this `t` and ε0 — the
+    /// paper's guidance "if we want δ ≤ 1/n^c ... set k ≥ t + (c/ε0) ln n".
+    pub fn minimum_k(t: usize, epsilon0: f64, max_delta: f64) -> Result<usize> {
+        if !(epsilon0.is_finite() && epsilon0 > 0.0) {
+            return Err(CoreError::InvalidParameter(format!(
+                "epsilon0 must be finite and positive, got {epsilon0}"
+            )));
+        }
+        if !(max_delta > 0.0 && max_delta < 1.0) {
+            return Err(CoreError::InvalidParameter(format!(
+                "max_delta must lie in (0, 1), got {max_delta}"
+            )));
+        }
+        // e^{-ε0 (k - t)} <= δ  <=>  k >= t + ln(1/δ)/ε0.
+        Ok(t + ((1.0 / max_delta).ln() / epsilon0).ceil() as usize)
+    }
+
+    /// The guarantee for releasing `count` records from the same input dataset
+    /// (sequential composition, as discussed in Section 8).
+    pub fn for_releases(&self, count: usize) -> DpBudget {
+        sequential_composition(&vec![self.budget; count])
+    }
+}
+
+/// End-to-end privacy accounting for the full pipeline: the generative model's
+/// budget (structure + parameter learning on disjoint subsets) plus the
+/// release mechanism's budget for the records actually released.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineBudget {
+    /// Budget spent learning the model structure on D_T.
+    pub structure: DpBudget,
+    /// Budget spent learning the model parameters on D_P.
+    pub parameters: DpBudget,
+    /// Per-release budget of the mechanism (Theorem 1), if the randomized test was used.
+    pub per_release: Option<DpBudget>,
+    /// Number of records released.
+    pub releases: usize,
+}
+
+impl PipelineBudget {
+    /// Budget of the generative model alone: structure and parameters are
+    /// learned on *disjoint* subsets, so the combined cost is the maximum.
+    pub fn model_budget(&self) -> DpBudget {
+        self.structure.max(self.parameters)
+    }
+
+    /// Total budget when the seeds (D_S) are also disjoint from D_T and D_P:
+    /// the releases compose sequentially among themselves, and the result
+    /// combines with the model budget by the disjoint-datasets maximum.
+    pub fn total(&self) -> DpBudget {
+        let releases = match self.per_release {
+            Some(b) => sequential_composition(&vec![b; self.releases]),
+            None => DpBudget::pure(f64::INFINITY), // deterministic test: no DP guarantee for releases
+        };
+        self.model_budget().max(releases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_1_formulas() {
+        let b = ReleaseBudget::at(50, 4.0, 1.0, 10).unwrap();
+        assert!((b.budget.epsilon - (1.0 + (1.0 + 0.4f64).ln())).abs() < 1e-12);
+        assert!((b.budget.delta - (-40.0f64).exp()).abs() < 1e-24);
+    }
+
+    #[test]
+    fn epsilon_decreases_with_t_delta_increases() {
+        let low_t = ReleaseBudget::at(50, 4.0, 1.0, 1).unwrap();
+        let high_t = ReleaseBudget::at(50, 4.0, 1.0, 40).unwrap();
+        assert!(high_t.budget.epsilon < low_t.budget.epsilon);
+        assert!(high_t.budget.delta > low_t.budget.delta);
+    }
+
+    #[test]
+    fn optimize_respects_delta_ceiling() {
+        let best = ReleaseBudget::optimize(50, 4.0, 1.0, 1e-9).unwrap().unwrap();
+        assert!(best.budget.delta <= 1e-9);
+        // Any larger t admissible under the ceiling cannot do better.
+        for t in 1..50 {
+            let c = ReleaseBudget::at(50, 4.0, 1.0, t).unwrap();
+            if c.budget.delta <= 1e-9 {
+                assert!(best.budget.epsilon <= c.budget.epsilon + 1e-12);
+            }
+        }
+        // An impossible ceiling yields no bound.
+        assert!(ReleaseBudget::optimize(3, 4.0, 0.01, 1e-12).unwrap().is_none());
+    }
+
+    #[test]
+    fn minimum_k_matches_paper_guidance() {
+        // δ ≤ 2^-30 with ε0 = 1 and t = 10 needs k ≥ 10 + ln(2^30) ≈ 10 + 20.79.
+        let k = ReleaseBudget::minimum_k(10, 1.0, 2f64.powi(-30)).unwrap();
+        assert_eq!(k, 31);
+        let b = ReleaseBudget::at(k, 4.0, 1.0, 10).unwrap();
+        assert!(b.budget.delta <= 2f64.powi(-30));
+        assert!(ReleaseBudget::minimum_k(10, 0.0, 1e-9).is_err());
+        assert!(ReleaseBudget::minimum_k(10, 1.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(ReleaseBudget::at(0, 4.0, 1.0, 1).is_err());
+        assert!(ReleaseBudget::at(10, 1.0, 1.0, 1).is_err());
+        assert!(ReleaseBudget::at(10, 4.0, 0.0, 1).is_err());
+        assert!(ReleaseBudget::at(10, 4.0, 1.0, 0).is_err());
+        assert!(ReleaseBudget::at(10, 4.0, 1.0, 10).is_err());
+        assert!(ReleaseBudget::optimize(1, 4.0, 1.0, 1e-9).is_err());
+    }
+
+    #[test]
+    fn pipeline_budget_combines_disjoint_and_sequential_parts() {
+        let per_release = ReleaseBudget::at(50, 4.0, 1.0, 20).unwrap().budget;
+        let budget = PipelineBudget {
+            structure: DpBudget::new(0.8, 1e-9),
+            parameters: DpBudget::new(0.6, 1e-9),
+            per_release: Some(per_release),
+            releases: 3,
+        };
+        assert_eq!(budget.model_budget().epsilon, 0.8);
+        let total = budget.total();
+        assert!((total.epsilon - 3.0 * per_release.epsilon).abs() < 1e-12);
+        // Deterministic test: releases carry no DP guarantee.
+        let det = PipelineBudget {
+            per_release: None,
+            ..budget
+        };
+        assert!(det.total().epsilon.is_infinite());
+    }
+
+    #[test]
+    fn for_releases_scales_linearly() {
+        let b = ReleaseBudget::at(50, 4.0, 1.0, 20).unwrap();
+        let ten = b.for_releases(10);
+        assert!((ten.epsilon - 10.0 * b.budget.epsilon).abs() < 1e-9);
+        assert!((ten.delta - 10.0 * b.budget.delta).abs() < 1e-20);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for the plausible-deniability mechanism.
+
+use std::fmt;
+
+/// Errors produced by the privacy tests, the release mechanism, and the
+/// end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A privacy parameter is outside its valid range (k < 1, γ ≤ 1, ε ≤ 0, ...).
+    InvalidParameter(String),
+    /// The seed dataset is too small for the requested privacy parameter k.
+    DatasetTooSmall {
+        /// Number of records available.
+        available: usize,
+        /// Minimum required (the privacy parameter k).
+        required: usize,
+    },
+    /// Underlying dataset error.
+    Data(sgf_data::DataError),
+    /// Underlying model error.
+    Model(sgf_model::ModelError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            CoreError::DatasetTooSmall { available, required } => write!(
+                f,
+                "seed dataset has {available} records but the privacy parameter requires at least {required}"
+            ),
+            CoreError::Data(err) => write!(f, "data error: {err}"),
+            CoreError::Model(err) => write!(f, "model error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Data(err) => Some(err),
+            CoreError::Model(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<sgf_data::DataError> for CoreError {
+    fn from(err: sgf_data::DataError) -> Self {
+        CoreError::Data(err)
+    }
+}
+
+impl From<sgf_model::ModelError> for CoreError {
+    fn from(err: sgf_model::ModelError) -> Self {
+        CoreError::Model(err)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let err = CoreError::DatasetTooSmall {
+            available: 10,
+            required: 50,
+        };
+        assert!(err.to_string().contains("10") && err.to_string().contains("50"));
+        let from_data: CoreError = sgf_data::DataError::EmptyDataset.into();
+        assert!(matches!(from_data, CoreError::Data(_)));
+        let from_model: CoreError = sgf_model::ModelError::EmptyTrainingData.into();
+        assert!(matches!(from_model, CoreError::Model(_)));
+    }
+}

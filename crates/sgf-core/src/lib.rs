@@ -1,0 +1,43 @@
+//! # sgf-core
+//!
+//! The plausible-deniability framework of *Plausible Deniability for
+//! Privacy-Preserving Data Synthesis* (VLDB 2017):
+//!
+//! * [`deniability`] — the (k, γ) criterion of Definition 1 and the seed
+//!   partitions `I_d(y)` / `C_i(D, y)` underpinning the analysis;
+//! * [`privacy_test`] — the deterministic Privacy Test 1 and the randomized
+//!   Privacy Test 2 (Laplace-noised threshold), including the tool's
+//!   early-termination knobs;
+//! * [`mechanism`] — Mechanism 1 (`F`): seed sampling, candidate generation,
+//!   test, release;
+//! * [`dp`] — the (ε, δ) guarantees of Theorem 1 and end-to-end accounting;
+//! * [`pipeline`] — the parallel end-to-end pipeline (split, learn, generate),
+//!   the Rust counterpart of the paper's C++ tool.
+//!
+//! ```
+//! use sgf_core::{PipelineConfig, SynthesisPipeline};
+//! use sgf_data::acs::{acs_bucketizer, acs_schema, generate_acs};
+//!
+//! let data = generate_acs(3_000, 42);
+//! let bucketizer = acs_bucketizer(&acs_schema());
+//! let mut config = PipelineConfig::paper_defaults(25);
+//! config.privacy_test.k = 20; // small demo dataset
+//! let result = SynthesisPipeline::new(config).run(&data, &bucketizer).unwrap();
+//! assert!(result.synthetics.len() <= 25);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod deniability;
+pub mod dp;
+pub mod error;
+pub mod mechanism;
+pub mod pipeline;
+pub mod privacy_test;
+
+pub use deniability::{partition_index, partition_size, satisfies_plausible_deniability};
+pub use dp::{PipelineBudget, ReleaseBudget};
+pub use error::{CoreError, Result};
+pub use mechanism::{CandidateReport, Mechanism, MechanismStats};
+pub use pipeline::{PipelineConfig, PipelineResult, PipelineTimings, SynthesisPipeline, TrainedModels};
+pub use privacy_test::{run_privacy_test, PrivacyTestConfig, TestOutcome};

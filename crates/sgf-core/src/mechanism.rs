@@ -1,0 +1,313 @@
+//! Mechanism 1 (`F`): sample a seed, generate a candidate synthetic record,
+//! subject it to the privacy test, and release it only on a pass.
+
+use crate::error::{CoreError, Result};
+use crate::privacy_test::{run_privacy_test, PrivacyTestConfig, TestOutcome};
+use rand::Rng;
+use sgf_data::{Dataset, Record};
+use sgf_model::GenerativeModel;
+
+/// One released (or rejected) candidate together with the test diagnostics.
+#[derive(Debug, Clone)]
+pub struct CandidateReport {
+    /// The candidate synthetic record.
+    pub record: Record,
+    /// Index of the seed in the seed dataset.
+    pub seed_index: usize,
+    /// Outcome of the privacy test.
+    pub outcome: TestOutcome,
+}
+
+impl CandidateReport {
+    /// Whether the candidate may be released.
+    pub fn released(&self) -> bool {
+        self.outcome.passed
+    }
+}
+
+/// Aggregate statistics over a batch of mechanism invocations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MechanismStats {
+    /// Number of candidates generated.
+    pub candidates: usize,
+    /// Number of candidates that passed the privacy test.
+    pub released: usize,
+    /// Total number of seed records examined by the privacy tests.
+    pub records_examined: usize,
+}
+
+impl MechanismStats {
+    /// Fraction of candidates that passed the privacy test.
+    pub fn pass_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.released as f64 / self.candidates as f64
+        }
+    }
+
+    /// Merge the statistics of another batch into this one.
+    pub fn merge(&mut self, other: &MechanismStats) {
+        self.candidates += other.candidates;
+        self.released += other.released;
+        self.records_examined += other.records_examined;
+    }
+}
+
+/// The plausible-deniability release mechanism (Mechanism 1).
+#[derive(Debug, Clone)]
+pub struct Mechanism<'a, M: GenerativeModel + ?Sized> {
+    model: &'a M,
+    seeds: &'a Dataset,
+    test: PrivacyTestConfig,
+}
+
+impl<'a, M: GenerativeModel + ?Sized> Mechanism<'a, M> {
+    /// Create the mechanism over a generative model and a seed dataset `D_S`.
+    pub fn new(model: &'a M, seeds: &'a Dataset, test: PrivacyTestConfig) -> Result<Self> {
+        test.validate()?;
+        if seeds.len() < test.k {
+            return Err(CoreError::DatasetTooSmall {
+                available: seeds.len(),
+                required: test.k,
+            });
+        }
+        if seeds.schema() != model.schema() {
+            return Err(CoreError::InvalidParameter(
+                "seed dataset schema does not match the generative model schema".into(),
+            ));
+        }
+        Ok(Mechanism { model, seeds, test })
+    }
+
+    /// The privacy-test configuration in force.
+    pub fn test_config(&self) -> &PrivacyTestConfig {
+        &self.test
+    }
+
+    /// Run one invocation of Mechanism 1: sample a seed uniformly at random,
+    /// generate a candidate, and test it.  The returned report carries the
+    /// candidate whether or not it passed; callers must release only records
+    /// with `outcome.passed == true`.
+    pub fn propose<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<CandidateReport> {
+        let seed_index = rng.gen_range(0..self.seeds.len());
+        let seed = self.seeds.record(seed_index);
+        let candidate = self.model.generate(seed, &mut as_dyn(rng));
+        let outcome = run_privacy_test(self.model, self.seeds, seed, &candidate, &self.test, rng)?;
+        Ok(CandidateReport {
+            record: candidate,
+            seed_index,
+            outcome,
+        })
+    }
+
+    /// Run the mechanism `candidates` times and collect the released records.
+    pub fn release_batch<R: Rng + ?Sized>(
+        &self,
+        candidates: usize,
+        rng: &mut R,
+    ) -> Result<(Vec<Record>, MechanismStats)> {
+        let mut stats = MechanismStats::default();
+        let mut released = Vec::new();
+        for _ in 0..candidates {
+            let report = self.propose(rng)?;
+            stats.candidates += 1;
+            stats.records_examined += report.outcome.records_examined;
+            if report.released() {
+                stats.released += 1;
+                released.push(report.record);
+            }
+        }
+        Ok((released, stats))
+    }
+
+    /// Keep proposing candidates until `target` records were released or
+    /// `max_candidates` proposals were spent, whichever happens first.
+    pub fn release_until<R: Rng + ?Sized>(
+        &self,
+        target: usize,
+        max_candidates: usize,
+        rng: &mut R,
+    ) -> Result<(Vec<Record>, MechanismStats)> {
+        let mut stats = MechanismStats::default();
+        let mut released = Vec::with_capacity(target);
+        while released.len() < target && stats.candidates < max_candidates {
+            let report = self.propose(rng)?;
+            stats.candidates += 1;
+            stats.records_examined += report.outcome.records_examined;
+            if report.released() {
+                stats.released += 1;
+                released.push(report.record);
+            }
+        }
+        Ok((released, stats))
+    }
+}
+
+/// Adapt a generic `Rng` into the `dyn RngCore` the object-safe
+/// [`GenerativeModel::generate`] signature expects.
+fn as_dyn<R: Rng + ?Sized>(rng: &mut R) -> impl rand::RngCore + '_ {
+    DynRng { inner: rng }
+}
+
+struct DynRng<'a, R: Rng + ?Sized> {
+    inner: &'a mut R,
+}
+
+impl<R: Rng + ?Sized> rand::RngCore for DynRng<'_, R> {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> std::result::Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+    use sgf_data::{Attribute, Schema};
+    use std::sync::Arc;
+
+    /// Model that flips the last attribute uniformly and keeps the rest.
+    struct FlipLastModel {
+        schema: Schema,
+    }
+
+    impl GenerativeModel for FlipLastModel {
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+        fn generate(&self, seed: &Record, rng: &mut dyn RngCore) -> Record {
+            let mut y = seed.clone();
+            let last = self.schema.len() - 1;
+            let card = self.schema.cardinality(last) as u32;
+            y.set(last, (rng.next_u32() % card) as u16);
+            y
+        }
+        fn probability(&self, seed: &Record, y: &Record) -> f64 {
+            let last = self.schema.len() - 1;
+            for attr in 0..last {
+                if seed.get(attr) != y.get(attr) {
+                    return 0.0;
+                }
+            }
+            1.0 / self.schema.cardinality(last) as f64
+        }
+    }
+
+    fn setup(groups: usize, per_group: usize) -> (FlipLastModel, Dataset) {
+        let schema = Schema::new(vec![
+            Attribute::categorical_anon("G", groups.max(2)),
+            Attribute::categorical_anon("V", 4),
+        ])
+        .unwrap();
+        let mut records = Vec::new();
+        for g in 0..groups {
+            for v in 0..per_group {
+                records.push(Record::new(vec![g as u16, (v % 4) as u16]));
+            }
+        }
+        let dataset = Dataset::from_records_unchecked(Arc::new(schema.clone()), records);
+        (FlipLastModel { schema }, dataset)
+    }
+
+    #[test]
+    fn released_records_always_pass_and_have_plausible_seeds() {
+        let (model, seeds) = setup(4, 30);
+        let mechanism =
+            Mechanism::new(&model, &seeds, PrivacyTestConfig::deterministic(20, 4.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (released, stats) = mechanism.release_batch(200, &mut rng).unwrap();
+        assert_eq!(stats.candidates, 200);
+        assert_eq!(stats.released, released.len());
+        // Every group has 30 records in the same partition, so everything passes.
+        assert_eq!(stats.released, 200);
+        assert!((stats.pass_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_strict_k_rejects_everything() {
+        let (model, seeds) = setup(4, 30);
+        let mechanism =
+            Mechanism::new(&model, &seeds, PrivacyTestConfig::deterministic(31, 4.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (released, stats) = mechanism.release_batch(100, &mut rng).unwrap();
+        assert!(released.is_empty());
+        assert_eq!(stats.pass_rate(), 0.0);
+    }
+
+    #[test]
+    fn release_until_stops_at_target() {
+        let (model, seeds) = setup(4, 30);
+        let mechanism =
+            Mechanism::new(&model, &seeds, PrivacyTestConfig::deterministic(10, 4.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (released, stats) = mechanism.release_until(25, 10_000, &mut rng).unwrap();
+        assert_eq!(released.len(), 25);
+        assert!(stats.candidates >= 25);
+        // And respects the candidate cap when the target is unreachable.
+        let strict =
+            Mechanism::new(&model, &seeds, PrivacyTestConfig::deterministic(31, 4.0)).unwrap();
+        let (released, stats) = strict.release_until(5, 50, &mut rng).unwrap();
+        assert!(released.is_empty());
+        assert_eq!(stats.candidates, 50);
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        let (model, seeds) = setup(2, 5);
+        assert!(matches!(
+            Mechanism::new(&model, &seeds, PrivacyTestConfig::deterministic(100, 4.0)),
+            Err(CoreError::DatasetTooSmall { .. })
+        ));
+        assert!(Mechanism::new(&model, &seeds, PrivacyTestConfig::deterministic(5, 0.5)).is_err());
+
+        // Schema mismatch.
+        let other_schema = Schema::new(vec![Attribute::categorical_anon("X", 2)]).unwrap();
+        let other_model = FlipLastModel { schema: other_schema };
+        assert!(matches!(
+            Mechanism::new(&other_model, &seeds, PrivacyTestConfig::deterministic(5, 4.0)),
+            Err(CoreError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn stats_merge_adds_counters() {
+        let mut a = MechanismStats {
+            candidates: 10,
+            released: 4,
+            records_examined: 100,
+        };
+        let b = MechanismStats {
+            candidates: 5,
+            released: 5,
+            records_examined: 50,
+        };
+        a.merge(&b);
+        assert_eq!(a.candidates, 15);
+        assert_eq!(a.released, 9);
+        assert_eq!(a.records_examined, 150);
+        assert!((a.pass_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(MechanismStats::default().pass_rate(), 0.0);
+    }
+
+    #[test]
+    fn kept_attributes_of_released_records_come_from_real_seeds() {
+        let (model, seeds) = setup(4, 30);
+        let mechanism =
+            Mechanism::new(&model, &seeds, PrivacyTestConfig::deterministic(10, 4.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let report = mechanism.propose(&mut rng).unwrap();
+        let seed = seeds.record(report.seed_index);
+        assert_eq!(report.record.get(0), seed.get(0));
+    }
+}

@@ -1,0 +1,422 @@
+//! The end-to-end synthesis pipeline: split the input dataset, learn the
+//! (privacy-preserving) generative model, and run the plausible-deniability
+//! mechanism — in parallel — until the requested number of synthetic records
+//! has been released.
+//!
+//! This is the Rust equivalent of the paper's C++ tool (Section 5): the
+//! configuration mirrors the tool's config file (privacy parameters k, γ, ε0,
+//! the generative-model parameter ω, and the early-termination knobs).
+
+use crate::dp::PipelineBudget;
+use crate::error::{CoreError, Result};
+use crate::mechanism::{Mechanism, MechanismStats};
+use crate::privacy_test::PrivacyTestConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sgf_data::{split_dataset, Bucketizer, DataSplit, Dataset, Record, SplitSpec};
+use sgf_model::{
+    learn_dependency_structure, BayesNetModel, CptStore, LearnedStructure, MarginalConfig,
+    MarginalModel, OmegaSpec, ParameterConfig, SeedSynthesizer, StructureConfig,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of the full pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// How to split the input dataset into D_T / D_P / D_S / test.
+    pub split: SplitSpec,
+    /// Structure-learning configuration (Section 3.3).
+    pub structure: StructureConfig,
+    /// Parameter-learning configuration (Section 3.4).
+    pub parameters: ParameterConfig,
+    /// How many attributes each candidate re-samples (Section 3.2).
+    pub omega: OmegaSpec,
+    /// Privacy-test configuration (Section 2).
+    pub privacy_test: PrivacyTestConfig,
+    /// Number of synthetic records to release.
+    pub target_synthetics: usize,
+    /// Give up after `max_candidate_factor * target_synthetics` proposals.
+    pub max_candidate_factor: usize,
+    /// Number of worker threads for candidate generation (the process is
+    /// embarrassingly parallel, Section 5).
+    pub workers: usize,
+    /// Master seed for all randomness in the pipeline.
+    pub seed: u64,
+}
+
+impl PipelineConfig {
+    /// A configuration close to the paper's defaults (Section 6.1):
+    /// k = 50, γ = 4, ε0 = 1, ω = 9, randomized privacy test.
+    pub fn paper_defaults(target_synthetics: usize) -> Self {
+        PipelineConfig {
+            split: SplitSpec::paper_defaults(),
+            structure: StructureConfig::exact(),
+            parameters: ParameterConfig::default(),
+            omega: OmegaSpec::Fixed(9),
+            privacy_test: PrivacyTestConfig::randomized(50, 4.0, 1.0)
+                .with_limits(Some(100), Some(50_000)),
+            target_synthetics,
+            max_candidate_factor: 20,
+            workers: 1,
+            seed: 0,
+        }
+    }
+
+    /// Validate the configuration against a schema with `m` attributes.
+    pub fn validate(&self, m: usize) -> Result<()> {
+        self.split.validate()?;
+        self.privacy_test.validate()?;
+        self.omega.validate(m)?;
+        if self.target_synthetics == 0 {
+            return Err(CoreError::InvalidParameter(
+                "target_synthetics must be at least 1".into(),
+            ));
+        }
+        if self.max_candidate_factor == 0 {
+            return Err(CoreError::InvalidParameter(
+                "max_candidate_factor must be at least 1".into(),
+            ));
+        }
+        if self.workers == 0 {
+            return Err(CoreError::InvalidParameter("workers must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Wall-clock timings of the two pipeline phases (Figure 5 distinguishes
+/// "model learning" from "synthesis").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineTimings {
+    /// Time spent splitting the data and learning structure + parameters.
+    pub model_learning: Duration,
+    /// Time spent generating and testing candidates.
+    pub synthesis: Duration,
+}
+
+/// The models trained by the pipeline.
+#[derive(Debug)]
+pub struct TrainedModels {
+    /// The learned dependency structure (and its correlation matrix / budget).
+    pub structure: LearnedStructure,
+    /// The conditional probability tables.
+    pub cpts: Arc<CptStore>,
+    /// Whole-record view over the CPTs (likelihood, prediction, ancestral sampling).
+    pub bayes_net: BayesNetModel,
+    /// The marginal baseline learned from the same parameter subset.
+    pub marginal: MarginalModel,
+}
+
+/// Everything the pipeline produced.
+#[derive(Debug)]
+pub struct PipelineResult {
+    /// The released synthetic records.
+    pub synthetics: Dataset,
+    /// Mechanism statistics (candidates proposed, pass rate, ...).
+    pub stats: MechanismStats,
+    /// End-to-end differential-privacy accounting.
+    pub budget: PipelineBudget,
+    /// The disjoint data split that was used.
+    pub split: DataSplit,
+    /// The trained models (useful for evaluation).
+    pub models: TrainedModels,
+    /// Phase timings.
+    pub timings: PipelineTimings,
+}
+
+/// The end-to-end synthesis pipeline.
+#[derive(Debug, Clone)]
+pub struct SynthesisPipeline {
+    config: PipelineConfig,
+}
+
+impl SynthesisPipeline {
+    /// Create a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        SynthesisPipeline { config }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Learn the models from an already-split dataset.
+    pub fn learn_models(&self, split: &DataSplit, bucketizer: &Bucketizer) -> Result<TrainedModels> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(0x5eed));
+        let structure =
+            learn_dependency_structure(&split.structure, bucketizer, &self.config.structure, &mut rng)?;
+        let cpts = Arc::new(CptStore::learn(
+            &split.parameters,
+            bucketizer,
+            &structure.graph,
+            self.config.parameters,
+        )?);
+        let marginal = MarginalModel::learn(
+            &split.parameters,
+            MarginalConfig {
+                alpha: self.config.parameters.alpha,
+                epsilon_p: self.config.parameters.epsilon_p,
+                global_seed: self.config.parameters.global_seed,
+                delta_slack: self.config.parameters.delta_slack,
+            },
+        )?;
+        Ok(TrainedModels {
+            bayes_net: BayesNetModel::new(Arc::clone(&cpts)),
+            structure,
+            cpts,
+            marginal,
+        })
+    }
+
+    /// Run the full pipeline on an input dataset.
+    pub fn run(&self, dataset: &Dataset, bucketizer: &Bucketizer) -> Result<PipelineResult> {
+        self.config.validate(dataset.schema().len())?;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        let learning_start = Instant::now();
+        let split = split_dataset(dataset, &self.config.split, &mut rng)?;
+        if split.seeds.len() < self.config.privacy_test.k {
+            return Err(CoreError::DatasetTooSmall {
+                available: split.seeds.len(),
+                required: self.config.privacy_test.k,
+            });
+        }
+        let models = self.learn_models(&split, bucketizer)?;
+        let model_learning = learning_start.elapsed();
+
+        let synthesis_start = Instant::now();
+        let (records, stats) = self.generate(&models, &split.seeds)?;
+        let synthesis = synthesis_start.elapsed();
+
+        let budget = PipelineBudget {
+            structure: models.structure.budget,
+            parameters: models.cpts.budget(),
+            per_release: self.per_release_budget(),
+            releases: records.len(),
+        };
+
+        Ok(PipelineResult {
+            synthetics: Dataset::from_records_unchecked(dataset.schema_arc(), records),
+            stats,
+            budget,
+            split,
+            models,
+            timings: PipelineTimings {
+                model_learning,
+                synthesis,
+            },
+        })
+    }
+
+    /// Generate synthetics from already-trained models and an explicit seed dataset.
+    pub fn generate(&self, models: &TrainedModels, seeds: &Dataset) -> Result<(Vec<Record>, MechanismStats)> {
+        let m = seeds.schema().len();
+        self.config.omega.validate(m)?;
+
+        // Pre-build one synthesizer per admissible ω so workers only clone Arcs.
+        let (lo, hi) = match self.config.omega {
+            OmegaSpec::Fixed(w) => (w, w),
+            OmegaSpec::UniformRange { lo, hi } => (lo, hi),
+        };
+        let synthesizers: Vec<SeedSynthesizer> = (lo..=hi)
+            .map(|w| SeedSynthesizer::new(Arc::clone(&models.cpts), w))
+            .collect::<sgf_model::Result<_>>()?;
+
+        let target = self.config.target_synthetics;
+        let max_candidates = target.saturating_mul(self.config.max_candidate_factor);
+        let released_count = AtomicUsize::new(0);
+        let candidate_count = AtomicUsize::new(0);
+        let workers = self.config.workers.min(max_candidates.max(1));
+
+        let worker_results: Vec<Result<(Vec<Record>, MechanismStats)>> = if workers <= 1 {
+            vec![self.worker_loop(
+                0,
+                &synthesizers,
+                seeds,
+                target,
+                max_candidates,
+                &released_count,
+                &candidate_count,
+            )]
+        } else {
+            crossbeam::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for worker in 0..workers {
+                    let synthesizers = &synthesizers;
+                    let released_count = &released_count;
+                    let candidate_count = &candidate_count;
+                    handles.push(scope.spawn(move |_| {
+                        self.worker_loop(
+                            worker,
+                            synthesizers,
+                            seeds,
+                            target,
+                            max_candidates,
+                            released_count,
+                            candidate_count,
+                        )
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("crossbeam scope failed")
+        };
+
+        let mut records = Vec::with_capacity(target);
+        let mut stats = MechanismStats::default();
+        for result in worker_results {
+            let (mut r, s) = result?;
+            stats.merge(&s);
+            records.append(&mut r);
+        }
+        records.truncate(target);
+        Ok((records, stats))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn worker_loop(
+        &self,
+        worker: usize,
+        synthesizers: &[SeedSynthesizer],
+        seeds: &Dataset,
+        target: usize,
+        max_candidates: usize,
+        released_count: &AtomicUsize,
+        candidate_count: &AtomicUsize,
+    ) -> Result<(Vec<Record>, MechanismStats)> {
+        let mut rng = StdRng::seed_from_u64(
+            self.config
+                .seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(worker as u64),
+        );
+        let mechanisms: Vec<Mechanism<'_, SeedSynthesizer>> = synthesizers
+            .iter()
+            .map(|s| Mechanism::new(s, seeds, self.config.privacy_test))
+            .collect::<Result<_>>()?;
+
+        let mut records = Vec::new();
+        let mut stats = MechanismStats::default();
+        loop {
+            if released_count.load(Ordering::Relaxed) >= target {
+                break;
+            }
+            let ticket = candidate_count.fetch_add(1, Ordering::Relaxed);
+            if ticket >= max_candidates {
+                break;
+            }
+            let which = if mechanisms.len() == 1 {
+                0
+            } else {
+                rng.gen_range(0..mechanisms.len())
+            };
+            let report = mechanisms[which].propose(&mut rng)?;
+            stats.candidates += 1;
+            stats.records_examined += report.outcome.records_examined;
+            if report.released() {
+                stats.released += 1;
+                records.push(report.record);
+                released_count.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok((records, stats))
+    }
+
+    fn per_release_budget(&self) -> Option<sgf_stats::DpBudget> {
+        let test = &self.config.privacy_test;
+        let epsilon0 = test.epsilon0?;
+        crate::dp::ReleaseBudget::optimize(test.k, test.gamma, epsilon0, 1e-6)
+            .ok()
+            .flatten()
+            .map(|b| b.budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgf_data::acs::{acs_bucketizer, acs_schema, generate_acs};
+
+    fn small_config(target: usize) -> PipelineConfig {
+        let mut config = PipelineConfig::paper_defaults(target);
+        config.privacy_test = PrivacyTestConfig::randomized(20, 4.0, 1.0).with_limits(Some(40), Some(2000));
+        config.omega = OmegaSpec::Fixed(9);
+        config.max_candidate_factor = 30;
+        config.seed = 7;
+        config
+    }
+
+    #[test]
+    fn end_to_end_pipeline_releases_valid_records() {
+        let data = generate_acs(4000, 1);
+        let bkt = acs_bucketizer(&acs_schema());
+        let pipeline = SynthesisPipeline::new(small_config(50));
+        let result = pipeline.run(&data, &bkt).unwrap();
+        assert!(!result.synthetics.is_empty());
+        assert!(result.synthetics.len() <= 50);
+        for r in result.synthetics.records() {
+            data.schema().validate_values(r.values()).unwrap();
+        }
+        assert!(result.stats.candidates >= result.stats.released);
+        assert!(result.stats.pass_rate() > 0.0);
+        assert!(result.budget.per_release.is_some());
+        assert!(result.timings.synthesis > Duration::ZERO);
+    }
+
+    #[test]
+    fn deterministic_test_pipeline_reports_no_release_budget() {
+        let data = generate_acs(3000, 2);
+        let bkt = acs_bucketizer(&acs_schema());
+        let mut config = small_config(20);
+        config.privacy_test = PrivacyTestConfig::deterministic(20, 4.0).with_limits(Some(40), Some(2000));
+        let result = SynthesisPipeline::new(config).run(&data, &bkt).unwrap();
+        assert!(result.budget.per_release.is_none());
+        assert!(result.budget.total().epsilon.is_infinite());
+    }
+
+    #[test]
+    fn random_omega_range_is_accepted() {
+        let data = generate_acs(3000, 3);
+        let bkt = acs_bucketizer(&acs_schema());
+        let mut config = small_config(20);
+        config.omega = OmegaSpec::UniformRange { lo: 9, hi: 11 };
+        let result = SynthesisPipeline::new(config).run(&data, &bkt).unwrap();
+        assert!(!result.synthetics.is_empty());
+    }
+
+    #[test]
+    fn multi_worker_generation_matches_single_worker_count() {
+        let data = generate_acs(3000, 4);
+        let bkt = acs_bucketizer(&acs_schema());
+        let mut config = small_config(30);
+        config.workers = 3;
+        let result = SynthesisPipeline::new(config).run(&data, &bkt).unwrap();
+        assert!(result.synthetics.len() <= 30);
+        assert!(!result.synthetics.is_empty());
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let data = generate_acs(500, 5);
+        let bkt = acs_bucketizer(&acs_schema());
+        let mut config = small_config(0);
+        assert!(SynthesisPipeline::new(config).run(&data, &bkt).is_err());
+        config = small_config(10);
+        config.workers = 0;
+        assert!(SynthesisPipeline::new(config).run(&data, &bkt).is_err());
+        config = small_config(10);
+        config.omega = OmegaSpec::Fixed(99);
+        assert!(SynthesisPipeline::new(config).run(&data, &bkt).is_err());
+        // Seed dataset smaller than k.
+        config = small_config(10);
+        config.privacy_test = PrivacyTestConfig::deterministic(100_000, 4.0);
+        assert!(matches!(
+            SynthesisPipeline::new(config).run(&data, &bkt),
+            Err(CoreError::DatasetTooSmall { .. })
+        ));
+    }
+}

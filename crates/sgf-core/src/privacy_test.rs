@@ -1,0 +1,382 @@
+//! The privacy tests of Section 2.
+//!
+//! * **Privacy Test 1** (deterministic, `T`): locate the seed's partition
+//!   `i = I_d(y)` and count how many records of the dataset fall into the same
+//!   partition (the plausible seeds `k'`); pass iff `k' ≥ k`.
+//! * **Privacy Test 2** (randomized, `T_{ε0}`): identical, except the
+//!   threshold is `k̃ = k + Lap(1/ε0)` — the randomization that upgrades the
+//!   mechanism to (ε, δ)-differential privacy (Theorem 1).
+//!
+//! Both tests support the implementation-level early-termination knobs of
+//! Section 5 (`max_plausible`, `max_check_plausible`): counting stops as soon
+//! as enough plausible seeds were found or a bounded number of records were
+//! examined.  These knobs trade generation throughput against the fraction of
+//! candidates that pass; they never weaken the privacy guarantee because a
+//! candidate that terminates early without reaching the threshold is simply
+//! rejected.
+
+use crate::deniability::{partition_index, validate_parameters};
+use crate::error::{CoreError, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sgf_data::{Dataset, Record};
+use sgf_model::GenerativeModel;
+use sgf_stats::Laplace;
+
+/// Configuration of the privacy test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyTestConfig {
+    /// Plausible-deniability parameter k: minimum number of plausible seeds.
+    pub k: usize,
+    /// Indistinguishability parameter γ > 1.
+    pub gamma: f64,
+    /// Randomization parameter ε0 of Privacy Test 2; `None` selects the
+    /// deterministic Privacy Test 1.
+    pub epsilon0: Option<f64>,
+    /// Stop counting once this many plausible seeds were found
+    /// (the tool's `max_plausible`; `None` = count until the threshold).
+    pub max_plausible: Option<usize>,
+    /// Examine at most this many candidate seed records
+    /// (the tool's `max_check_plausible`; `None` = examine the whole dataset).
+    pub max_check_plausible: Option<usize>,
+}
+
+impl PrivacyTestConfig {
+    /// Deterministic Privacy Test 1 with the given parameters.
+    pub fn deterministic(k: usize, gamma: f64) -> Self {
+        PrivacyTestConfig {
+            k,
+            gamma,
+            epsilon0: None,
+            max_plausible: None,
+            max_check_plausible: None,
+        }
+    }
+
+    /// Randomized Privacy Test 2 with the given parameters.
+    pub fn randomized(k: usize, gamma: f64, epsilon0: f64) -> Self {
+        PrivacyTestConfig {
+            k,
+            gamma,
+            epsilon0: Some(epsilon0),
+            max_plausible: None,
+            max_check_plausible: None,
+        }
+    }
+
+    /// Builder-style setter for the early-termination knobs of Section 5.
+    pub fn with_limits(mut self, max_plausible: Option<usize>, max_check_plausible: Option<usize>) -> Self {
+        self.max_plausible = max_plausible;
+        self.max_check_plausible = max_check_plausible;
+        self
+    }
+
+    /// Validate all parameters.
+    pub fn validate(&self) -> Result<()> {
+        validate_parameters(self.k, self.gamma)?;
+        if let Some(eps) = self.epsilon0 {
+            if !(eps.is_finite() && eps > 0.0) {
+                return Err(CoreError::InvalidParameter(format!(
+                    "epsilon0 must be positive and finite, got {eps}"
+                )));
+            }
+        }
+        if self.max_plausible == Some(0) {
+            return Err(CoreError::InvalidParameter("max_plausible must be at least 1".into()));
+        }
+        if self.max_check_plausible == Some(0) {
+            return Err(CoreError::InvalidParameter(
+                "max_check_plausible must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of running a privacy test on one candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestOutcome {
+    /// Whether the candidate may be released.
+    pub passed: bool,
+    /// The partition index `i = I_d(y)` of the seed, if the seed can generate
+    /// the candidate at all.
+    pub seed_partition: Option<u32>,
+    /// Number of plausible seeds counted before the test stopped.
+    pub plausible_seeds: usize,
+    /// Number of dataset records examined.
+    pub records_examined: usize,
+    /// The (possibly noisy) threshold the count was compared against.
+    pub threshold: f64,
+}
+
+/// Run the privacy test on the tuple `(M, D, d, y)` with the given configuration.
+///
+/// The dataset `D` here is the seed dataset the mechanism samples from
+/// (`D_S`), and `d` must be the seed that generated `y`.
+pub fn run_privacy_test<M, R>(
+    model: &M,
+    dataset: &Dataset,
+    seed: &Record,
+    y: &Record,
+    config: &PrivacyTestConfig,
+    rng: &mut R,
+) -> Result<TestOutcome>
+where
+    M: GenerativeModel + ?Sized,
+    R: Rng + ?Sized,
+{
+    config.validate()?;
+    if dataset.len() < config.k {
+        return Err(CoreError::DatasetTooSmall {
+            available: dataset.len(),
+            required: config.k,
+        });
+    }
+
+    // Step 1 (Test 2 only): randomize the threshold with fresh Laplace noise.
+    let threshold = match config.epsilon0 {
+        None => config.k as f64,
+        Some(eps) => config.k as f64 + Laplace::new(1.0 / eps).sample(rng),
+    };
+
+    // Step 2: the seed's partition.  A seed that cannot generate y at all
+    // (probability 0) has no partition and the candidate is rejected.
+    let p_seed = model.probability(seed, y);
+    let seed_partition = match partition_index(p_seed, config.gamma) {
+        Some(i) => i,
+        None => {
+            return Ok(TestOutcome {
+                passed: false,
+                seed_partition: None,
+                plausible_seeds: 0,
+                records_examined: 0,
+                threshold,
+            })
+        }
+    };
+
+    // Step 3: count the records in the same partition, visiting the dataset in
+    // a random order so the early-termination knobs do not bias which records
+    // get examined (Section 5).
+    let stop_at = config.max_plausible.map(|mp| mp.max(config.k));
+    let examine_cap = config.max_check_plausible.unwrap_or(usize::MAX);
+
+    let mut order: Vec<usize> = (0..dataset.len()).collect();
+    if examine_cap < dataset.len() || stop_at.is_some() {
+        order.shuffle(rng);
+    }
+
+    let mut plausible = 0usize;
+    let mut examined = 0usize;
+    for &idx in order.iter().take(examine_cap) {
+        examined += 1;
+        let p = model.probability(dataset.record(idx), y);
+        if partition_index(p, config.gamma) == Some(seed_partition) {
+            plausible += 1;
+            // Deterministic test: k' >= k can be decided as soon as k is hit.
+            // Randomized test: stop at max_plausible (if configured) or once
+            // the count exceeds the (noisy) threshold.
+            let enough_for_threshold = plausible as f64 >= threshold;
+            let reached_cap = stop_at.is_some_and(|cap| plausible >= cap);
+            if enough_for_threshold || reached_cap {
+                break;
+            }
+        }
+    }
+
+    // Step 4: compare against the (possibly noisy) threshold.
+    Ok(TestOutcome {
+        passed: plausible as f64 >= threshold,
+        seed_partition: Some(seed_partition),
+        plausible_seeds: plausible,
+        records_examined: examined,
+        threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+    use sgf_data::{Attribute, Schema};
+    use std::sync::Arc;
+
+    /// Toy model: probability depends only on the Hamming distance.
+    struct HammingModel {
+        schema: Schema,
+        base: f64,
+    }
+
+    impl GenerativeModel for HammingModel {
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+        fn generate(&self, seed: &Record, _rng: &mut dyn RngCore) -> Record {
+            seed.clone()
+        }
+        fn probability(&self, seed: &Record, y: &Record) -> f64 {
+            self.base.powi(seed.hamming_distance(y) as i32 + 1)
+        }
+    }
+
+    /// Dataset with `close` records identical to the seed region and a few far-away ones.
+    fn toy(close: usize, far: usize) -> (HammingModel, Dataset, Record) {
+        let schema = Schema::new(vec![
+            Attribute::categorical_anon("A", 8),
+            Attribute::categorical_anon("B", 8),
+        ])
+        .unwrap();
+        let model = HammingModel {
+            schema: schema.clone(),
+            base: 0.25,
+        };
+        let mut records = Vec::new();
+        for _ in 0..close {
+            records.push(Record::new(vec![0, 0]));
+        }
+        for j in 0..far {
+            records.push(Record::new(vec![5, (j % 8) as u16]));
+        }
+        let dataset = Dataset::from_records_unchecked(Arc::new(schema), records);
+        (model, dataset, Record::new(vec![0, 0]))
+    }
+
+    #[test]
+    fn deterministic_test_passes_with_enough_plausible_seeds() {
+        let (model, dataset, seed) = toy(10, 5);
+        let y = Record::new(vec![0, 0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = PrivacyTestConfig::deterministic(10, 4.0);
+        let outcome = run_privacy_test(&model, &dataset, &seed, &y, &config, &mut rng).unwrap();
+        assert!(outcome.passed);
+        assert_eq!(outcome.seed_partition, Some(1));
+        assert!(outcome.plausible_seeds >= 10);
+        assert_eq!(outcome.threshold, 10.0);
+
+        let strict = PrivacyTestConfig::deterministic(11, 4.0);
+        let outcome = run_privacy_test(&model, &dataset, &seed, &y, &strict, &mut rng).unwrap();
+        assert!(!outcome.passed);
+        assert_eq!(outcome.plausible_seeds, 10);
+    }
+
+    #[test]
+    fn zero_probability_seed_is_rejected() {
+        let (model, dataset, _) = toy(10, 5);
+        // A model probability of zero cannot happen with the Hamming model, so
+        // craft it via a seed record of mismatching arity semantics: use a model
+        // with base 0 instead.
+        let zero_model = HammingModel {
+            schema: model.schema.clone(),
+            base: 0.0,
+        };
+        let y = Record::new(vec![0, 0]);
+        let seed = Record::new(vec![0, 0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = PrivacyTestConfig::deterministic(2, 4.0);
+        let outcome = run_privacy_test(&zero_model, &dataset, &seed, &y, &config, &mut rng).unwrap();
+        assert!(!outcome.passed);
+        assert_eq!(outcome.seed_partition, None);
+    }
+
+    #[test]
+    fn randomized_test_pass_rate_tracks_threshold_noise() {
+        // With exactly k plausible seeds the deterministic test always passes,
+        // while the randomized test fails roughly half the time (whenever the
+        // Laplace noise is positive).
+        let (model, dataset, seed) = toy(20, 10);
+        let y = Record::new(vec![0, 0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let det = PrivacyTestConfig::deterministic(20, 4.0);
+        assert!(run_privacy_test(&model, &dataset, &seed, &y, &det, &mut rng)
+            .unwrap()
+            .passed);
+
+        let rand_cfg = PrivacyTestConfig::randomized(20, 4.0, 1.0);
+        let trials = 400;
+        let passes = (0..trials)
+            .filter(|_| {
+                run_privacy_test(&model, &dataset, &seed, &y, &rand_cfg, &mut rng)
+                    .unwrap()
+                    .passed
+            })
+            .count();
+        let rate = passes as f64 / trials as f64;
+        assert!((0.35..=0.65).contains(&rate), "pass rate {rate}");
+    }
+
+    #[test]
+    fn randomized_test_almost_always_passes_with_many_plausible_seeds() {
+        let (model, dataset, seed) = toy(200, 10);
+        let y = Record::new(vec![0, 0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = PrivacyTestConfig::randomized(50, 4.0, 1.0);
+        let passes = (0..100)
+            .filter(|_| {
+                run_privacy_test(&model, &dataset, &seed, &y, &config, &mut rng)
+                    .unwrap()
+                    .passed
+            })
+            .count();
+        assert!(passes >= 99, "passes {passes}");
+    }
+
+    #[test]
+    fn early_termination_limits_examined_records() {
+        let (model, dataset, seed) = toy(500, 500);
+        let y = Record::new(vec![0, 0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = PrivacyTestConfig::deterministic(10, 4.0).with_limits(Some(10), Some(50));
+        let outcome = run_privacy_test(&model, &dataset, &seed, &y, &config, &mut rng).unwrap();
+        assert!(outcome.records_examined <= 50);
+        // max_check_plausible can cause a rejection even when the full dataset
+        // would have passed — but with 50% close records and k=10 the cap of 50
+        // examined records nearly always suffices.
+        assert!(outcome.passed);
+
+        let tight = PrivacyTestConfig::deterministic(100, 4.0).with_limits(None, Some(20));
+        let outcome = run_privacy_test(&model, &dataset, &seed, &y, &tight, &mut rng).unwrap();
+        assert!(!outcome.passed);
+        assert_eq!(outcome.records_examined, 20);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let (model, dataset, seed) = toy(10, 0);
+        let y = Record::new(vec![0, 0]);
+        let mut rng = StdRng::seed_from_u64(6);
+        for config in [
+            PrivacyTestConfig::deterministic(0, 4.0),
+            PrivacyTestConfig::deterministic(5, 1.0),
+            PrivacyTestConfig::randomized(5, 4.0, 0.0),
+            PrivacyTestConfig::deterministic(5, 4.0).with_limits(Some(0), None),
+            PrivacyTestConfig::deterministic(5, 4.0).with_limits(None, Some(0)),
+        ] {
+            assert!(run_privacy_test(&model, &dataset, &seed, &y, &config, &mut rng).is_err());
+        }
+        // Dataset smaller than k.
+        let config = PrivacyTestConfig::deterministic(50, 4.0);
+        assert!(matches!(
+            run_privacy_test(&model, &dataset, &seed, &y, &config, &mut rng),
+            Err(CoreError::DatasetTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn passing_test_implies_definition_one() {
+        // Privacy Test 1 is strictly stronger than Definition 1: whenever the
+        // test passes, the plausible-deniability criterion holds as well.
+        let (model, dataset, seed) = toy(15, 40);
+        let y = Record::new(vec![0, 0]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = PrivacyTestConfig::deterministic(12, 3.0);
+        let outcome = run_privacy_test(&model, &dataset, &seed, &y, &config, &mut rng).unwrap();
+        if outcome.passed {
+            assert!(crate::deniability::satisfies_plausible_deniability(
+                &model, &dataset, &seed, &y, 12, 3.0
+            )
+            .unwrap());
+        }
+    }
+}

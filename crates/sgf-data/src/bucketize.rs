@@ -1,0 +1,231 @@
+//! Bucketization (`bkt()` in the paper, Section 3.3 / Section 4).
+//!
+//! Structure learning discretizes parent attributes to keep the complexity
+//! cost of a parent set bounded: numerical attributes are binned (e.g. age in
+//! bins of 10 years), and some categorical attributes have semantically close
+//! labels merged (e.g. all education levels below a high-school diploma).
+//! Bucketization is a fixed function of the schema — it never looks at the
+//! data — which is why the paper can treat it as privacy-free.
+
+use crate::error::{DataError, Result};
+use crate::schema::Schema;
+use serde::{Deserialize, Serialize};
+
+/// Mapping from raw value indices of one attribute to bucket indices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttributeBuckets {
+    /// `map[v]` is the bucket index of raw value index `v`.
+    map: Vec<u16>,
+    /// Number of buckets (max(map) + 1).
+    bucket_count: usize,
+}
+
+impl AttributeBuckets {
+    /// Identity bucketization: every raw value is its own bucket.
+    pub fn identity(cardinality: usize) -> Self {
+        AttributeBuckets {
+            map: (0..cardinality as u16).collect(),
+            bucket_count: cardinality,
+        }
+    }
+
+    /// Fixed-width binning of `cardinality` consecutive values into bins of `width`.
+    pub fn fixed_width(cardinality: usize, width: usize) -> Result<Self> {
+        if width == 0 {
+            return Err(DataError::InvalidParameter("bucket width must be > 0".into()));
+        }
+        let map: Vec<u16> = (0..cardinality).map(|v| (v / width) as u16).collect();
+        let bucket_count = if cardinality == 0 { 0 } else { cardinality.div_ceil(width) };
+        Ok(AttributeBuckets { map, bucket_count })
+    }
+
+    /// Explicit mapping: `map[v]` gives the bucket of raw value `v`.  Bucket
+    /// indices must form a contiguous range starting at zero.
+    pub fn explicit(map: Vec<u16>) -> Result<Self> {
+        if map.is_empty() {
+            return Err(DataError::InvalidParameter("bucket map must not be empty".into()));
+        }
+        let max = *map.iter().max().expect("non-empty") as usize;
+        let mut seen = vec![false; max + 1];
+        for &b in &map {
+            seen[b as usize] = true;
+        }
+        if seen.iter().any(|&s| !s) {
+            return Err(DataError::InvalidParameter(
+                "bucket indices must be contiguous starting at 0".into(),
+            ));
+        }
+        Ok(AttributeBuckets {
+            bucket_count: max + 1,
+            map,
+        })
+    }
+
+    /// Number of buckets (`|bkt(x_j)|`).
+    pub fn bucket_count(&self) -> usize {
+        self.bucket_count
+    }
+
+    /// Bucket of raw value index `v`.
+    pub fn bucket_of(&self, v: u16) -> u16 {
+        self.map[v as usize]
+    }
+
+    /// Number of raw values this bucketization covers.
+    pub fn domain_size(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Bucketization for every attribute of a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bucketizer {
+    per_attribute: Vec<AttributeBuckets>,
+}
+
+impl Bucketizer {
+    /// Identity bucketizer (no discretization) for a schema.
+    pub fn identity(schema: &Schema) -> Self {
+        Bucketizer {
+            per_attribute: schema
+                .cardinalities()
+                .into_iter()
+                .map(AttributeBuckets::identity)
+                .collect(),
+        }
+    }
+
+    /// Build a bucketizer from per-attribute bucketizations.  One entry per
+    /// schema attribute, each covering the attribute's full domain.
+    pub fn new(schema: &Schema, per_attribute: Vec<AttributeBuckets>) -> Result<Self> {
+        if per_attribute.len() != schema.len() {
+            return Err(DataError::InvalidParameter(format!(
+                "bucketizer has {} attribute entries but schema has {}",
+                per_attribute.len(),
+                schema.len()
+            )));
+        }
+        for (i, b) in per_attribute.iter().enumerate() {
+            if b.domain_size() != schema.cardinality(i) {
+                return Err(DataError::InvalidParameter(format!(
+                    "bucketization for attribute `{}` covers {} values but its cardinality is {}",
+                    schema.attribute(i).name(),
+                    b.domain_size(),
+                    schema.cardinality(i)
+                )));
+            }
+        }
+        Ok(Bucketizer { per_attribute })
+    }
+
+    /// Replace the bucketization of one attribute (builder style).
+    pub fn with_attribute(mut self, index: usize, buckets: AttributeBuckets) -> Result<Self> {
+        if index >= self.per_attribute.len() {
+            return Err(DataError::InvalidParameter(format!(
+                "attribute index {index} out of range"
+            )));
+        }
+        if buckets.domain_size() != self.per_attribute[index].domain_size() {
+            return Err(DataError::InvalidParameter(
+                "replacement bucketization does not cover the attribute domain".into(),
+            ));
+        }
+        self.per_attribute[index] = buckets;
+        Ok(self)
+    }
+
+    /// Bucket of raw value `v` of attribute `attr`.
+    pub fn bucket_of(&self, attr: usize, v: u16) -> u16 {
+        self.per_attribute[attr].bucket_of(v)
+    }
+
+    /// Number of buckets of attribute `attr` (`|bkt(x_j)|` used by the cost constraint, Eq. 6).
+    pub fn bucket_count(&self, attr: usize) -> usize {
+        self.per_attribute[attr].bucket_count()
+    }
+
+    /// Per-attribute bucketizations.
+    pub fn per_attribute(&self) -> &[AttributeBuckets] {
+        &self.per_attribute
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::numerical("AGEP", 17, 96), // 80 values
+            Attribute::categorical("SEX", &["male", "female"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_keeps_every_value() {
+        let b = AttributeBuckets::identity(5);
+        assert_eq!(b.bucket_count(), 5);
+        for v in 0..5u16 {
+            assert_eq!(b.bucket_of(v), v);
+        }
+    }
+
+    #[test]
+    fn fixed_width_bins_age_in_decades() {
+        // The paper buckets age into bins of 10 years: 17-26, 27-36, ...
+        let b = AttributeBuckets::fixed_width(80, 10).unwrap();
+        assert_eq!(b.bucket_count(), 8);
+        assert_eq!(b.bucket_of(0), 0);
+        assert_eq!(b.bucket_of(9), 0);
+        assert_eq!(b.bucket_of(10), 1);
+        assert_eq!(b.bucket_of(79), 7);
+    }
+
+    #[test]
+    fn fixed_width_rejects_zero_width() {
+        assert!(AttributeBuckets::fixed_width(10, 0).is_err());
+    }
+
+    #[test]
+    fn explicit_requires_contiguous_buckets() {
+        assert!(AttributeBuckets::explicit(vec![0, 0, 1, 2]).is_ok());
+        assert!(AttributeBuckets::explicit(vec![0, 2]).is_err());
+        assert!(AttributeBuckets::explicit(vec![]).is_err());
+    }
+
+    #[test]
+    fn bucketizer_validates_domain_coverage() {
+        let s = schema();
+        let ok = Bucketizer::new(
+            &s,
+            vec![
+                AttributeBuckets::fixed_width(80, 10).unwrap(),
+                AttributeBuckets::identity(2),
+            ],
+        );
+        assert!(ok.is_ok());
+        let bad = Bucketizer::new(
+            &s,
+            vec![AttributeBuckets::identity(79), AttributeBuckets::identity(2)],
+        );
+        assert!(bad.is_err());
+        let wrong_len = Bucketizer::new(&s, vec![AttributeBuckets::identity(80)]);
+        assert!(wrong_len.is_err());
+    }
+
+    #[test]
+    fn with_attribute_replaces_single_entry() {
+        let s = schema();
+        let b = Bucketizer::identity(&s)
+            .with_attribute(0, AttributeBuckets::fixed_width(80, 10).unwrap())
+            .unwrap();
+        assert_eq!(b.bucket_count(0), 8);
+        assert_eq!(b.bucket_count(1), 2);
+        assert!(b
+            .clone()
+            .with_attribute(5, AttributeBuckets::identity(2))
+            .is_err());
+    }
+}

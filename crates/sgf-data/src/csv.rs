@@ -1,0 +1,217 @@
+//! Minimal CSV reader/writer for datasets.
+//!
+//! The paper's tool consumes a CSV file plus metadata describing the
+//! attributes; here the [`Schema`] plays the role of the metadata files.  The
+//! format is deliberately simple (comma-separated, no quoting of separators
+//! inside values) because every attribute value is a short label or integer.
+
+use crate::error::{DataError, Result};
+use crate::record::{Dataset, Record};
+use crate::schema::Schema;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Serialize a dataset to CSV with a header row of attribute names.
+pub fn write_csv<W: Write>(dataset: &Dataset, writer: &mut W) -> Result<()> {
+    let schema = dataset.schema();
+    let header: Vec<&str> = schema.attributes().iter().map(|a| a.name()).collect();
+    writeln!(writer, "{}", header.join(","))?;
+    let mut line = String::new();
+    for record in dataset.records() {
+        line.clear();
+        for (i, &v) in record.values().iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&schema.attribute(i).render(v as usize)?);
+        }
+        writeln!(writer, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Serialize a dataset to a CSV file on disk.
+pub fn write_csv_file<P: AsRef<Path>>(dataset: &Dataset, path: P) -> Result<()> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_csv(dataset, &mut file)
+}
+
+/// Parse a CSV stream into a dataset conforming to `schema`.
+///
+/// The header row must list exactly the schema's attribute names, in order.
+/// Rows with missing or unparsable values are rejected with a
+/// [`DataError::MalformedCsv`] / [`DataError::UnparsableValue`]; the paper's
+/// pre-processing step instead *drops* such rows, which callers can emulate
+/// with [`read_csv_lossy`].
+pub fn read_csv<R: Read>(schema: Arc<Schema>, reader: R) -> Result<Dataset> {
+    read_csv_impl(schema, reader, false)
+}
+
+/// Like [`read_csv`] but silently skips rows with missing or invalid values,
+/// mirroring the data-cleaning step of Section 4 ("we discard records with
+/// missing or invalid values").
+pub fn read_csv_lossy<R: Read>(schema: Arc<Schema>, reader: R) -> Result<Dataset> {
+    read_csv_impl(schema, reader, true)
+}
+
+fn read_csv_impl<R: Read>(schema: Arc<Schema>, reader: R, lossy: bool) -> Result<Dataset> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines();
+    let header = match lines.next() {
+        Some(h) => h?,
+        None => {
+            return Err(DataError::MalformedCsv {
+                line: 1,
+                message: "missing header row".to_string(),
+            })
+        }
+    };
+    let header_fields: Vec<&str> = header.split(',').map(str::trim).collect();
+    if header_fields.len() != schema.len()
+        || header_fields
+            .iter()
+            .zip(schema.attributes())
+            .any(|(h, a)| *h != a.name())
+    {
+        return Err(DataError::MalformedCsv {
+            line: 1,
+            message: format!(
+                "header {:?} does not match schema attributes {:?}",
+                header_fields,
+                schema.attributes().iter().map(|a| a.name()).collect::<Vec<_>>()
+            ),
+        });
+    }
+
+    let mut dataset = Dataset::new(Arc::clone(&schema));
+    for (line_no, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != schema.len() {
+            if lossy {
+                continue;
+            }
+            return Err(DataError::MalformedCsv {
+                line: line_no + 2,
+                message: format!("expected {} fields, got {}", schema.len(), fields.len()),
+            });
+        }
+        let mut values = Vec::with_capacity(schema.len());
+        let mut ok = true;
+        for (i, raw) in fields.iter().enumerate() {
+            match schema.attribute(i).parse(raw) {
+                Ok(v) => values.push(v as u16),
+                Err(e) => {
+                    if lossy {
+                        ok = false;
+                        break;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        if ok {
+            dataset.push_unchecked(Record::new(values));
+        }
+    }
+    Ok(dataset)
+}
+
+/// Read a CSV file from disk.
+pub fn read_csv_file<P: AsRef<Path>>(schema: Arc<Schema>, path: P) -> Result<Dataset> {
+    let file = std::fs::File::open(path)?;
+    read_csv(schema, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(vec![
+                Attribute::categorical("SEX", &["male", "female"]),
+                Attribute::numerical("AGEP", 17, 96),
+                Attribute::categorical("INCC", &["<=50K", ">50K"]),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn dataset() -> Dataset {
+        let mut d = Dataset::new(schema());
+        d.push(Record::new(vec![0, 5, 1])).unwrap();
+        d.push(Record::new(vec![1, 40, 0])).unwrap();
+        d
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let d = dataset();
+        let mut buf = Vec::new();
+        write_csv(&d, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("SEX,AGEP,INCC\n"));
+        assert!(text.contains("male,22,>50K"));
+        let parsed = read_csv(schema(), &buf[..]).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed.records(), d.records());
+    }
+
+    #[test]
+    fn header_mismatch_is_rejected() {
+        let text = "SEX,AGE,INCC\nmale,22,>50K\n";
+        let err = read_csv(schema(), text.as_bytes()).unwrap_err();
+        assert!(matches!(err, DataError::MalformedCsv { line: 1, .. }));
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        let err = read_csv(schema(), "".as_bytes()).unwrap_err();
+        assert!(matches!(err, DataError::MalformedCsv { .. }));
+    }
+
+    #[test]
+    fn strict_parse_rejects_bad_rows() {
+        let text = "SEX,AGEP,INCC\nmale,22,>50K\nmale,notanage,>50K\n";
+        let err = read_csv(schema(), text.as_bytes()).unwrap_err();
+        assert!(matches!(err, DataError::UnparsableValue { .. }));
+
+        let text2 = "SEX,AGEP,INCC\nmale,22\n";
+        let err2 = read_csv(schema(), text2.as_bytes()).unwrap_err();
+        assert!(matches!(err2, DataError::MalformedCsv { line: 2, .. }));
+    }
+
+    #[test]
+    fn lossy_parse_drops_bad_rows() {
+        let text = "SEX,AGEP,INCC\nmale,22,>50K\nmale,notanage,>50K\nfemale,30,<=50K\nshort,row\n";
+        let d = read_csv_lossy(schema(), text.as_bytes()).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.record(0).values(), &[0, 5, 1]);
+        assert_eq!(d.record(1).values(), &[1, 13, 0]);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "SEX,AGEP,INCC\n\nmale,22,>50K\n\n";
+        let d = read_csv(schema(), text.as_bytes()).unwrap();
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let d = dataset();
+        let dir = std::env::temp_dir().join("sgf-data-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        write_csv_file(&d, &path).unwrap();
+        let parsed = read_csv_file(schema(), &path).unwrap();
+        assert_eq!(parsed.records(), d.records());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,125 @@
+//! Error type shared by the dataset substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing schemas, datasets, or parsing CSV input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A schema was declared with no attributes or an attribute with an empty domain.
+    EmptySchema,
+    /// Attribute name duplicated inside a schema.
+    DuplicateAttribute(String),
+    /// An attribute name was requested but is not part of the schema.
+    UnknownAttribute(String),
+    /// A record has a different number of values than the schema has attributes.
+    ArityMismatch {
+        /// Number of attributes the schema declares.
+        expected: usize,
+        /// Number of values the record carried.
+        got: usize,
+    },
+    /// A record value index lies outside the attribute's domain.
+    ValueOutOfDomain {
+        /// Attribute whose domain was violated.
+        attribute: String,
+        /// Offending value index.
+        value: usize,
+        /// Cardinality of the attribute's domain.
+        cardinality: usize,
+    },
+    /// A raw string value could not be mapped onto the attribute domain.
+    UnparsableValue {
+        /// Attribute being parsed.
+        attribute: String,
+        /// Raw text that failed to parse.
+        raw: String,
+    },
+    /// A CSV row was malformed (wrong number of fields, missing header, ...).
+    MalformedCsv {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Dataset operation requested on an empty dataset that requires records.
+    EmptyDataset,
+    /// A requested split does not fit into the dataset (fractions do not sum to <= 1, etc.).
+    InvalidSplit(String),
+    /// Invalid parameter passed to a generator or bucketizer.
+    InvalidParameter(String),
+    /// I/O error wrapper (kept as a string so the error stays `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::EmptySchema => write!(f, "schema must contain at least one attribute with a non-empty domain"),
+            DataError::DuplicateAttribute(name) => write!(f, "duplicate attribute `{name}` in schema"),
+            DataError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            DataError::ArityMismatch { expected, got } => {
+                write!(f, "record has {got} values but schema has {expected} attributes")
+            }
+            DataError::ValueOutOfDomain { attribute, value, cardinality } => write!(
+                f,
+                "value index {value} is outside the domain of `{attribute}` (cardinality {cardinality})"
+            ),
+            DataError::UnparsableValue { attribute, raw } => {
+                write!(f, "cannot parse `{raw}` as a value of attribute `{attribute}`")
+            }
+            DataError::MalformedCsv { line, message } => write!(f, "malformed CSV at line {line}: {message}"),
+            DataError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            DataError::InvalidSplit(msg) => write!(f, "invalid split: {msg}"),
+            DataError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            DataError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(err: std::io::Error) -> Self {
+        DataError::Io(err.to_string())
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_attribute_name() {
+        let err = DataError::UnknownAttribute("AGEP".to_string());
+        assert!(err.to_string().contains("AGEP"));
+    }
+
+    #[test]
+    fn display_arity_mismatch() {
+        let err = DataError::ArityMismatch { expected: 11, got: 3 };
+        let s = err.to_string();
+        assert!(s.contains("11") && s.contains('3'));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing.csv");
+        let err: DataError = io.into();
+        assert!(matches!(err, DataError::Io(_)));
+        assert!(err.to_string().contains("missing.csv"));
+    }
+
+    #[test]
+    fn value_out_of_domain_display() {
+        let err = DataError::ValueOutOfDomain {
+            attribute: "SEX".into(),
+            value: 7,
+            cardinality: 2,
+        };
+        let s = err.to_string();
+        assert!(s.contains("SEX") && s.contains('7') && s.contains('2'));
+    }
+}

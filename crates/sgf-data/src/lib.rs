@@ -1,0 +1,30 @@
+//! # sgf-data
+//!
+//! Dataset substrate for the SGF (Synthetic Generation Framework) reproduction
+//! of *Plausible Deniability for Privacy-Preserving Data Synthesis*
+//! (Bindschaedler, Shokri, Gunter — VLDB 2017).
+//!
+//! This crate provides:
+//!
+//! * [`Schema`]/[`Attribute`] — the discrete attribute model of Table 1;
+//! * [`Record`]/[`Dataset`] — fixed-width records with sampling and splitting;
+//! * [`Bucketizer`] — the `bkt()` discretization used by structure learning;
+//! * CSV input/output matching the paper's tool interface;
+//! * [`acs`] — a synthetic ACS-2013-like population generator standing in for
+//!   the Census PUMS extract (see DESIGN.md for the substitution rationale).
+
+#![warn(missing_docs)]
+
+pub mod acs;
+pub mod bucketize;
+pub mod csv;
+pub mod error;
+pub mod record;
+pub mod schema;
+pub mod split;
+
+pub use bucketize::{AttributeBuckets, Bucketizer};
+pub use error::{DataError, Result};
+pub use record::{Dataset, Record};
+pub use schema::{Attribute, AttributeKind, Schema};
+pub use split::{split_dataset, train_test_split, DataSplit, SplitSpec};

@@ -1,0 +1,331 @@
+//! Records and datasets.
+//!
+//! A [`Record`] is a fixed-width vector of value indices, one per schema
+//! attribute.  A [`Dataset`] bundles records with the [`Schema`] they conform
+//! to and provides the sampling / splitting primitives required by the
+//! synthesis pipeline (the paper's `D`, `D_S`, `D_T`, `D_P` sets).
+
+use crate::error::{DataError, Result};
+use crate::schema::Schema;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A single data record: value indices against a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Record {
+    values: Vec<u16>,
+}
+
+impl Record {
+    /// Build a record from raw value indices (no schema validation; use
+    /// [`Dataset::push`] or [`Record::validated`] when validation is required).
+    pub fn new(values: Vec<u16>) -> Self {
+        Record { values }
+    }
+
+    /// Build a record and validate it against a schema.
+    pub fn validated(values: Vec<u16>, schema: &Schema) -> Result<Self> {
+        schema.validate_values(&values)?;
+        Ok(Record { values })
+    }
+
+    /// Value index of attribute `i`.
+    pub fn get(&self, i: usize) -> u16 {
+        self.values[i]
+    }
+
+    /// Set the value index of attribute `i`.
+    pub fn set(&mut self, i: usize, value: u16) {
+        self.values[i] = value;
+    }
+
+    /// Number of attributes in the record.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the record has zero attributes.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw value slice.
+    pub fn values(&self) -> &[u16] {
+        &self.values
+    }
+
+    /// Number of attribute positions on which two records differ.
+    pub fn hamming_distance(&self, other: &Record) -> usize {
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+impl From<Vec<u16>> for Record {
+    fn from(values: Vec<u16>) -> Self {
+        Record::new(values)
+    }
+}
+
+/// A dataset: a schema plus a collection of records conforming to it.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    schema: Arc<Schema>,
+    records: Vec<Record>,
+}
+
+impl Dataset {
+    /// Create an empty dataset over a schema.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        Dataset {
+            schema,
+            records: Vec::new(),
+        }
+    }
+
+    /// Create a dataset from pre-validated records.
+    pub fn from_records(schema: Arc<Schema>, records: Vec<Record>) -> Result<Self> {
+        for r in &records {
+            schema.validate_values(r.values())?;
+        }
+        Ok(Dataset { schema, records })
+    }
+
+    /// Create a dataset without re-validating records.
+    ///
+    /// Intended for internal fast paths where the records were just produced
+    /// against the same schema (e.g. by the synthesizer).
+    pub fn from_records_unchecked(schema: Arc<Schema>, records: Vec<Record>) -> Self {
+        Dataset { schema, records }
+    }
+
+    /// The schema of this dataset.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Shared handle to the schema.
+    pub fn schema_arc(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records slice.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Record at index `i`.
+    pub fn record(&self, i: usize) -> &Record {
+        &self.records[i]
+    }
+
+    /// Append a record after validating it against the schema.
+    pub fn push(&mut self, record: Record) -> Result<()> {
+        self.schema.validate_values(record.values())?;
+        self.records.push(record);
+        Ok(())
+    }
+
+    /// Append a record without validation (caller guarantees conformity).
+    pub fn push_unchecked(&mut self, record: Record) {
+        self.records.push(record);
+    }
+
+    /// Iterate over the value indices of attribute `col` across all records.
+    pub fn column(&self, col: usize) -> impl Iterator<Item = u16> + '_ {
+        self.records.iter().map(move |r| r.get(col))
+    }
+
+    /// Uniformly sample one record (the seed selection step of Mechanism 1).
+    pub fn sample_record<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<&Record> {
+        if self.records.is_empty() {
+            return Err(DataError::EmptyDataset);
+        }
+        let idx = rng.gen_range(0..self.records.len());
+        Ok(&self.records[idx])
+    }
+
+    /// Sample `n` records uniformly *with* replacement.
+    pub fn sample_with_replacement<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Result<Dataset> {
+        if self.records.is_empty() {
+            return Err(DataError::EmptyDataset);
+        }
+        let records = (0..n)
+            .map(|_| self.records[rng.gen_range(0..self.records.len())].clone())
+            .collect();
+        Ok(Dataset::from_records_unchecked(self.schema_arc(), records))
+    }
+
+    /// Sample `n` records uniformly *without* replacement (n is clamped to the dataset size).
+    pub fn sample_without_replacement<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Result<Dataset> {
+        if self.records.is_empty() {
+            return Err(DataError::EmptyDataset);
+        }
+        let n = n.min(self.records.len());
+        let mut idx: Vec<usize> = (0..self.records.len()).collect();
+        idx.shuffle(rng);
+        let records = idx[..n].iter().map(|&i| self.records[i].clone()).collect();
+        Ok(Dataset::from_records_unchecked(self.schema_arc(), records))
+    }
+
+    /// Return a new dataset with the records shuffled.
+    pub fn shuffled<R: Rng + ?Sized>(&self, rng: &mut R) -> Dataset {
+        let mut records = self.records.clone();
+        records.shuffle(rng);
+        Dataset::from_records_unchecked(self.schema_arc(), records)
+    }
+
+    /// Number of *distinct* records (the "unique records" statistic of Table 2
+    /// counts records whose value combination appears exactly once).
+    pub fn distinct_count(&self) -> usize {
+        let mut set: HashSet<&[u16]> = HashSet::with_capacity(self.records.len());
+        for r in &self.records {
+            set.insert(r.values());
+        }
+        set.len()
+    }
+
+    /// Number of records whose exact value combination occurs exactly once in
+    /// the dataset (Table 2's "unique records").
+    pub fn singleton_count(&self) -> usize {
+        use std::collections::HashMap;
+        let mut counts: HashMap<&[u16], usize> = HashMap::with_capacity(self.records.len());
+        for r in &self.records {
+            *counts.entry(r.values()).or_insert(0) += 1;
+        }
+        counts.values().filter(|&&c| c == 1).count()
+    }
+
+    /// Concatenate two datasets sharing the same schema.
+    pub fn concat(&self, other: &Dataset) -> Result<Dataset> {
+        if self.schema.as_ref() != other.schema.as_ref() {
+            return Err(DataError::InvalidParameter(
+                "cannot concatenate datasets with different schemas".to_string(),
+            ));
+        }
+        let mut records = self.records.clone();
+        records.extend_from_slice(&other.records);
+        Ok(Dataset::from_records_unchecked(self.schema_arc(), records))
+    }
+
+    /// Keep only the first `n` records.
+    pub fn truncated(&self, n: usize) -> Dataset {
+        Dataset::from_records_unchecked(self.schema_arc(), self.records[..n.min(self.records.len())].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(vec![
+                Attribute::categorical("A", &["a0", "a1", "a2"]),
+                Attribute::categorical("B", &["b0", "b1"]),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn dataset() -> Dataset {
+        let s = schema();
+        let mut d = Dataset::new(Arc::clone(&s));
+        for (a, b) in [(0u16, 0u16), (1, 1), (2, 0), (2, 0), (0, 1)] {
+            d.push(Record::new(vec![a, b])).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn push_validates_domain() {
+        let mut d = Dataset::new(schema());
+        assert!(d.push(Record::new(vec![0, 1])).is_ok());
+        assert!(d.push(Record::new(vec![3, 0])).is_err());
+        assert!(d.push(Record::new(vec![0])).is_err());
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn column_iterates_values() {
+        let d = dataset();
+        let col: Vec<u16> = d.column(0).collect();
+        assert_eq!(col, vec![0, 1, 2, 2, 0]);
+    }
+
+    #[test]
+    fn distinct_and_singleton_counts() {
+        let d = dataset();
+        assert_eq!(d.distinct_count(), 4);
+        // (2,0) appears twice, the other three exactly once.
+        assert_eq!(d.singleton_count(), 3);
+    }
+
+    #[test]
+    fn sampling_respects_bounds() {
+        let d = dataset();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let r = d.sample_record(&mut rng).unwrap();
+            assert!(r.get(0) < 3 && r.get(1) < 2);
+        }
+        let with = d.sample_with_replacement(12, &mut rng).unwrap();
+        assert_eq!(with.len(), 12);
+        let without = d.sample_without_replacement(3, &mut rng).unwrap();
+        assert_eq!(without.len(), 3);
+        let clamped = d.sample_without_replacement(99, &mut rng).unwrap();
+        assert_eq!(clamped.len(), d.len());
+    }
+
+    #[test]
+    fn empty_dataset_sampling_errors() {
+        let d = Dataset::new(schema());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(d.sample_record(&mut rng).is_err());
+        assert!(d.sample_with_replacement(3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn hamming_distance_counts_differences() {
+        let a = Record::new(vec![0, 1, 2, 3]);
+        let b = Record::new(vec![0, 2, 2, 0]);
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    fn concat_requires_same_schema() {
+        let d = dataset();
+        let other_schema = Arc::new(Schema::new(vec![Attribute::categorical("X", &["x"])]).unwrap());
+        let other = Dataset::new(other_schema);
+        assert!(d.concat(&other).is_err());
+        let merged = d.concat(&d).unwrap();
+        assert_eq!(merged.len(), 2 * d.len());
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let d = dataset();
+        assert_eq!(d.truncated(2).len(), 2);
+        assert_eq!(d.truncated(100).len(), d.len());
+    }
+}

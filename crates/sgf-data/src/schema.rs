@@ -1,0 +1,322 @@
+//! Attribute and schema definitions.
+//!
+//! The paper (Table 1) works on a pre-processed dataset where every attribute
+//! is discrete: categorical attributes enumerate a label set, numerical
+//! attributes enumerate an integer range.  A [`Record`](crate::record::Record)
+//! therefore stores, for each attribute, an *index* into that attribute's
+//! domain; the [`Schema`] owns the mapping between indices and human-readable
+//! values.
+
+use crate::error::{DataError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The kind of an attribute after pre-processing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttributeKind {
+    /// A categorical attribute over an explicit label set.
+    Categorical {
+        /// The label of each value index.
+        labels: Vec<String>,
+    },
+    /// A numerical (integer-valued) attribute over the inclusive range `[min, max]`.
+    Numerical {
+        /// Smallest representable value.
+        min: i64,
+        /// Largest representable value.
+        max: i64,
+    },
+}
+
+impl AttributeKind {
+    /// Number of distinct values the attribute can take (`|x_j|` in the paper).
+    pub fn cardinality(&self) -> usize {
+        match self {
+            AttributeKind::Categorical { labels } => labels.len(),
+            AttributeKind::Numerical { min, max } => (max - min + 1).max(0) as usize,
+        }
+    }
+
+    /// Whether the attribute is categorical.
+    pub fn is_categorical(&self) -> bool {
+        matches!(self, AttributeKind::Categorical { .. })
+    }
+}
+
+/// A single attribute (column) of the dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attribute {
+    name: String,
+    kind: AttributeKind,
+}
+
+impl Attribute {
+    /// Create a categorical attribute from a list of labels.
+    pub fn categorical<S: Into<String>>(name: S, labels: &[&str]) -> Self {
+        Attribute {
+            name: name.into(),
+            kind: AttributeKind::Categorical {
+                labels: labels.iter().map(|s| s.to_string()).collect(),
+            },
+        }
+    }
+
+    /// Create a categorical attribute with anonymous labels `"0".."n-1"`.
+    pub fn categorical_anon<S: Into<String>>(name: S, cardinality: usize) -> Self {
+        let labels = (0..cardinality).map(|i| i.to_string()).collect();
+        Attribute {
+            name: name.into(),
+            kind: AttributeKind::Categorical { labels },
+        }
+    }
+
+    /// Create a numerical attribute over the inclusive integer range `[min, max]`.
+    pub fn numerical<S: Into<String>>(name: S, min: i64, max: i64) -> Self {
+        Attribute {
+            name: name.into(),
+            kind: AttributeKind::Numerical { min, max },
+        }
+    }
+
+    /// Attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Attribute kind (categorical or numerical).
+    pub fn kind(&self) -> &AttributeKind {
+        &self.kind
+    }
+
+    /// Number of distinct values (`|x_j|`).
+    pub fn cardinality(&self) -> usize {
+        self.kind.cardinality()
+    }
+
+    /// Render a value index as a human-readable string.
+    pub fn render(&self, value: usize) -> Result<String> {
+        if value >= self.cardinality() {
+            return Err(DataError::ValueOutOfDomain {
+                attribute: self.name.clone(),
+                value,
+                cardinality: self.cardinality(),
+            });
+        }
+        Ok(match &self.kind {
+            AttributeKind::Categorical { labels } => labels[value].clone(),
+            AttributeKind::Numerical { min, .. } => (min + value as i64).to_string(),
+        })
+    }
+
+    /// Parse a raw string into a value index for this attribute.
+    pub fn parse(&self, raw: &str) -> Result<usize> {
+        match &self.kind {
+            AttributeKind::Categorical { labels } => labels
+                .iter()
+                .position(|l| l == raw)
+                .ok_or_else(|| DataError::UnparsableValue {
+                    attribute: self.name.clone(),
+                    raw: raw.to_string(),
+                }),
+            AttributeKind::Numerical { min, max } => {
+                let v: i64 = raw.trim().parse().map_err(|_| DataError::UnparsableValue {
+                    attribute: self.name.clone(),
+                    raw: raw.to_string(),
+                })?;
+                if v < *min || v > *max {
+                    return Err(DataError::UnparsableValue {
+                        attribute: self.name.clone(),
+                        raw: raw.to_string(),
+                    });
+                }
+                Ok((v - min) as usize)
+            }
+        }
+    }
+
+    /// For numerical attributes, the integer value corresponding to a value index.
+    pub fn numeric_value(&self, value: usize) -> Option<i64> {
+        match &self.kind {
+            AttributeKind::Numerical { min, .. } => Some(min + value as i64),
+            AttributeKind::Categorical { .. } => None,
+        }
+    }
+}
+
+/// An ordered collection of attributes describing one dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Build a schema from attributes; attribute names must be unique and domains non-empty.
+    pub fn new(attributes: Vec<Attribute>) -> Result<Self> {
+        if attributes.is_empty() {
+            return Err(DataError::EmptySchema);
+        }
+        for (i, a) in attributes.iter().enumerate() {
+            if a.cardinality() == 0 {
+                return Err(DataError::EmptySchema);
+            }
+            if attributes[..i].iter().any(|b| b.name() == a.name()) {
+                return Err(DataError::DuplicateAttribute(a.name().to_string()));
+            }
+        }
+        Ok(Schema { attributes })
+    }
+
+    /// Number of attributes (`m` in the paper).
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Whether the schema has no attributes (never true for a validly constructed schema).
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Attribute at position `i`.
+    pub fn attribute(&self, i: usize) -> &Attribute {
+        &self.attributes[i]
+    }
+
+    /// All attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Index of the attribute with the given name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.attributes
+            .iter()
+            .position(|a| a.name() == name)
+            .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Cardinality of attribute `i`.
+    pub fn cardinality(&self, i: usize) -> usize {
+        self.attributes[i].cardinality()
+    }
+
+    /// Cardinalities of every attribute in order.
+    pub fn cardinalities(&self) -> Vec<usize> {
+        self.attributes.iter().map(|a| a.cardinality()).collect()
+    }
+
+    /// Product of all attribute cardinalities: the size of the record universe
+    /// (about 5.4e11 for the ACS-13 schema of Table 2), computed saturating.
+    pub fn universe_size(&self) -> u128 {
+        self.attributes
+            .iter()
+            .fold(1u128, |acc, a| acc.saturating_mul(a.cardinality() as u128))
+    }
+
+    /// Validate that a raw value vector lies inside the schema domains.
+    pub fn validate_values(&self, values: &[u16]) -> Result<()> {
+        if values.len() != self.len() {
+            return Err(DataError::ArityMismatch {
+                expected: self.len(),
+                got: values.len(),
+            });
+        }
+        for (i, &v) in values.iter().enumerate() {
+            if (v as usize) >= self.cardinality(i) {
+                return Err(DataError::ValueOutOfDomain {
+                    attribute: self.attribute(i).name().to_string(),
+                    value: v as usize,
+                    cardinality: self.cardinality(i),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::categorical("SEX", &["male", "female"]),
+            Attribute::numerical("AGEP", 17, 96),
+            Attribute::categorical("INCC", &["<=50K", ">50K"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn cardinalities_match_definition() {
+        let s = small_schema();
+        assert_eq!(s.cardinality(0), 2);
+        assert_eq!(s.cardinality(1), 80);
+        assert_eq!(s.cardinality(2), 2);
+        assert_eq!(s.universe_size(), 2 * 80 * 2);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = Schema::new(vec![
+            Attribute::categorical("A", &["x"]),
+            Attribute::categorical("A", &["y"]),
+        ])
+        .unwrap_err();
+        assert_eq!(err, DataError::DuplicateAttribute("A".to_string()));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert_eq!(Schema::new(vec![]).unwrap_err(), DataError::EmptySchema);
+        let err = Schema::new(vec![Attribute::categorical("A", &[])]).unwrap_err();
+        assert_eq!(err, DataError::EmptySchema);
+    }
+
+    #[test]
+    fn parse_and_render_roundtrip_categorical() {
+        let a = Attribute::categorical("SEX", &["male", "female"]);
+        assert_eq!(a.parse("female").unwrap(), 1);
+        assert_eq!(a.render(1).unwrap(), "female");
+        assert!(a.parse("other").is_err());
+        assert!(a.render(2).is_err());
+    }
+
+    #[test]
+    fn parse_and_render_roundtrip_numerical() {
+        let a = Attribute::numerical("AGEP", 17, 96);
+        assert_eq!(a.parse("17").unwrap(), 0);
+        assert_eq!(a.parse("96").unwrap(), 79);
+        assert_eq!(a.render(0).unwrap(), "17");
+        assert_eq!(a.numeric_value(5), Some(22));
+        assert!(a.parse("16").is_err());
+        assert!(a.parse("abc").is_err());
+    }
+
+    #[test]
+    fn index_of_resolves_names() {
+        let s = small_schema();
+        assert_eq!(s.index_of("INCC").unwrap(), 2);
+        assert!(s.index_of("WKHP").is_err());
+    }
+
+    #[test]
+    fn validate_values_checks_domains() {
+        let s = small_schema();
+        assert!(s.validate_values(&[0, 10, 1]).is_ok());
+        assert!(matches!(
+            s.validate_values(&[0, 10]),
+            Err(DataError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.validate_values(&[2, 10, 1]),
+            Err(DataError::ValueOutOfDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn anon_categorical_labels() {
+        let a = Attribute::categorical_anon("OCC", 25);
+        assert_eq!(a.cardinality(), 25);
+        assert_eq!(a.render(24).unwrap(), "24");
+        assert_eq!(a.parse("13").unwrap(), 13);
+    }
+}

@@ -1,0 +1,218 @@
+//! Disjoint dataset splits (Section 3 / Section 6.1).
+//!
+//! The pipeline samples the input dataset `D` into non-overlapping subsets:
+//! `D_T` (structure learning), `D_P` (parameter learning), `D_S` (seeds for
+//! synthesis) and a held-out test set used by the evaluation.  Keeping the
+//! subsets disjoint is what allows the DP analysis of Section 3.5 to take the
+//! *maximum* (rather than the sum) over the structure/parameter budgets.
+
+use crate::error::{DataError, Result};
+use crate::record::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Fractions of the input dataset assigned to each disjoint role.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitSpec {
+    /// Fraction used for structure learning (`D_T`).
+    pub structure: f64,
+    /// Fraction used for parameter learning (`D_P`).
+    pub parameters: f64,
+    /// Fraction used as synthesis seeds (`D_S`).
+    pub seeds: f64,
+    /// Fraction held out for evaluation (never seen by the pipeline).
+    pub test: f64,
+}
+
+impl SplitSpec {
+    /// The proportions used in the paper's evaluation setup (Section 6.1):
+    /// roughly 280k/280k/735k records for D_T/D_P/D_S out of ~1.5M plus a
+    /// ~100k test set, i.e. about 19%/19%/49%/13%.
+    pub fn paper_defaults() -> Self {
+        SplitSpec {
+            structure: 0.19,
+            parameters: 0.19,
+            seeds: 0.49,
+            test: 0.13,
+        }
+    }
+
+    /// Validate that all fractions are non-negative and sum to at most 1.
+    pub fn validate(&self) -> Result<()> {
+        let parts = [self.structure, self.parameters, self.seeds, self.test];
+        if parts.iter().any(|p| !(0.0..=1.0).contains(p) || p.is_nan()) {
+            return Err(DataError::InvalidSplit(
+                "all split fractions must lie in [0, 1]".to_string(),
+            ));
+        }
+        let total: f64 = parts.iter().sum();
+        if total > 1.0 + 1e-9 {
+            return Err(DataError::InvalidSplit(format!(
+                "split fractions sum to {total:.3} > 1"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The disjoint subsets produced by [`split_dataset`].
+#[derive(Debug, Clone)]
+pub struct DataSplit {
+    /// `D_T`: records used to learn the model structure.
+    pub structure: Dataset,
+    /// `D_P`: records used to learn the model parameters.
+    pub parameters: Dataset,
+    /// `D_S`: records used as synthesis seeds.
+    pub seeds: Dataset,
+    /// Held-out records for evaluation.
+    pub test: Dataset,
+}
+
+/// Randomly partition `dataset` into the four disjoint subsets described by `spec`.
+pub fn split_dataset<R: Rng + ?Sized>(dataset: &Dataset, spec: &SplitSpec, rng: &mut R) -> Result<DataSplit> {
+    spec.validate()?;
+    if dataset.is_empty() {
+        return Err(DataError::EmptyDataset);
+    }
+    let n = dataset.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+
+    let n_structure = (spec.structure * n as f64).floor() as usize;
+    let n_parameters = (spec.parameters * n as f64).floor() as usize;
+    let n_seeds = (spec.seeds * n as f64).floor() as usize;
+    let n_test = (spec.test * n as f64).floor() as usize;
+    let total = n_structure + n_parameters + n_seeds + n_test;
+    if total > n {
+        return Err(DataError::InvalidSplit(format!(
+            "requested {total} records from a dataset of {n}"
+        )));
+    }
+
+    let schema = dataset.schema_arc();
+    let take = |range: std::ops::Range<usize>| -> Dataset {
+        let records = idx[range].iter().map(|&i| dataset.record(i).clone()).collect();
+        Dataset::from_records_unchecked(schema.clone(), records)
+    };
+
+    let mut offset = 0usize;
+    let structure = take(offset..offset + n_structure);
+    offset += n_structure;
+    let parameters = take(offset..offset + n_parameters);
+    offset += n_parameters;
+    let seeds = take(offset..offset + n_seeds);
+    offset += n_seeds;
+    let test = take(offset..offset + n_test);
+
+    Ok(DataSplit {
+        structure,
+        parameters,
+        seeds,
+        test,
+    })
+}
+
+/// Split a dataset into a train/test pair (used by the ML evaluation).
+pub fn train_test_split<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    test_fraction: f64,
+    rng: &mut R,
+) -> Result<(Dataset, Dataset)> {
+    if !(0.0..1.0).contains(&test_fraction) {
+        return Err(DataError::InvalidSplit(format!(
+            "test fraction {test_fraction} must lie in [0, 1)"
+        )));
+    }
+    if dataset.is_empty() {
+        return Err(DataError::EmptyDataset);
+    }
+    let n = dataset.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let n_test = (test_fraction * n as f64).round() as usize;
+    let schema = dataset.schema_arc();
+    let test_records = idx[..n_test].iter().map(|&i| dataset.record(i).clone()).collect();
+    let train_records = idx[n_test..].iter().map(|&i| dataset.record(i).clone()).collect();
+    Ok((
+        Dataset::from_records_unchecked(schema.clone(), train_records),
+        Dataset::from_records_unchecked(schema, test_records),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::schema::{Attribute, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    fn dataset(n: usize) -> Dataset {
+        let schema = Arc::new(
+            Schema::new(vec![Attribute::numerical("ID", 0, (n as i64) - 1)]).unwrap(),
+        );
+        let records = (0..n).map(|i| Record::new(vec![i as u16])).collect();
+        Dataset::from_records_unchecked(schema, records)
+    }
+
+    #[test]
+    fn paper_defaults_are_valid() {
+        assert!(SplitSpec::paper_defaults().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_fractions_rejected() {
+        let bad = SplitSpec {
+            structure: 0.5,
+            parameters: 0.5,
+            seeds: 0.5,
+            test: 0.0,
+        };
+        assert!(bad.validate().is_err());
+        let nan = SplitSpec {
+            structure: f64::NAN,
+            parameters: 0.1,
+            seeds: 0.1,
+            test: 0.1,
+        };
+        assert!(nan.validate().is_err());
+    }
+
+    #[test]
+    fn splits_are_disjoint_and_sized() {
+        let d = dataset(1000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let split = split_dataset(&d, &SplitSpec::paper_defaults(), &mut rng).unwrap();
+        assert_eq!(split.structure.len(), 190);
+        assert_eq!(split.parameters.len(), 190);
+        assert_eq!(split.seeds.len(), 490);
+        assert_eq!(split.test.len(), 130);
+
+        let mut seen: HashSet<u16> = HashSet::new();
+        for part in [&split.structure, &split.parameters, &split.seeds, &split.test] {
+            for r in part.records() {
+                assert!(seen.insert(r.get(0)), "record appears in two splits");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let d = dataset(5).truncated(0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(split_dataset(&d, &SplitSpec::paper_defaults(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn train_test_split_partitions_everything() {
+        let d = dataset(100);
+        let mut rng = StdRng::seed_from_u64(9);
+        let (train, test) = train_test_split(&d, 0.3, &mut rng).unwrap();
+        assert_eq!(train.len() + test.len(), 100);
+        assert_eq!(test.len(), 30);
+        assert!(train_test_split(&d, 1.5, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,332 @@
+//! Classifier comparisons (Tables 3 and 4).
+//!
+//! Table 3 trains a classification tree, a random forest, and AdaBoost.M1 on
+//! real, marginal, and synthetic training sets and reports the test accuracy
+//! plus the agreement rate with the classifier trained on real data.
+//! Table 4 compares non-private LR/SVM trained on (privacy-preserving)
+//! synthetics against Chaudhuri-style ε-DP LR/SVM trained on real data.
+
+use rand::Rng;
+use sgf_data::Dataset;
+use sgf_ml::{
+    accuracy, agreement_rate, encode_dataset, fit_private, AdaBoost, AdaBoostConfig, DecisionTree,
+    DpErmConfig, DpErmMechanism, Encoding, ForestConfig, LinearConfig, LinearModel, Loss, MlDataset,
+    RandomForest, TreeConfig,
+};
+
+/// Accuracy and agreement of the three Table-3 classifiers for one training set.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Training-set label ("reals", "marginals", "omega = 10", ...).
+    pub label: String,
+    /// Accuracy of (tree, random forest, AdaBoost) on the held-out test set.
+    pub accuracy: [f64; 3],
+    /// Agreement rate with the corresponding classifier trained on real data.
+    pub agreement: [f64; 3],
+}
+
+/// The three classifiers of Table 3 trained on one dataset.
+pub struct Table3Classifiers {
+    tree: DecisionTree,
+    forest: RandomForest,
+    adaboost: AdaBoost,
+}
+
+/// Hyper-parameters of the Table-3 classifiers (kept small enough for a laptop run).
+#[derive(Debug, Clone, Copy)]
+pub struct Table3Config {
+    /// Decision-tree configuration.
+    pub tree: TreeConfig,
+    /// Random-forest configuration.
+    pub forest: ForestConfig,
+    /// AdaBoost configuration.
+    pub adaboost: AdaBoostConfig,
+}
+
+impl Default for Table3Config {
+    fn default() -> Self {
+        Table3Config {
+            tree: TreeConfig::default(),
+            forest: ForestConfig {
+                trees: 20,
+                ..ForestConfig::default()
+            },
+            adaboost: AdaBoostConfig {
+                rounds: 30,
+                ..AdaBoostConfig::default()
+            },
+        }
+    }
+}
+
+/// Train the three classifiers of Table 3 on one training set.
+pub fn train_table3_classifiers<R: Rng + ?Sized>(
+    train: &MlDataset,
+    config: &Table3Config,
+    rng: &mut R,
+) -> Table3Classifiers {
+    Table3Classifiers {
+        tree: DecisionTree::fit(train, &config.tree, rng),
+        forest: RandomForest::fit(train, &config.forest, rng),
+        adaboost: AdaBoost::fit(train, &config.adaboost, rng),
+    }
+}
+
+/// Build the full Table 3: the first candidate should be the real training set
+/// (its row defines the reference classifiers for the agreement column).
+pub fn table3<R: Rng + ?Sized>(
+    candidates: &[(String, &Dataset)],
+    test: &Dataset,
+    target_attr: usize,
+    config: &Table3Config,
+    rng: &mut R,
+) -> Vec<Table3Row> {
+    assert!(!candidates.is_empty(), "at least one training set required");
+    let test_ml = encode_dataset(test, target_attr, Encoding::Ordinal);
+    let reference = train_table3_classifiers(
+        &encode_dataset(candidates[0].1, target_attr, Encoding::Ordinal),
+        config,
+        rng,
+    );
+
+    candidates
+        .iter()
+        .map(|(label, dataset)| {
+            let train_ml = encode_dataset(dataset, target_attr, Encoding::Ordinal);
+            let trained = train_table3_classifiers(&train_ml, config, rng);
+            Table3Row {
+                label: label.clone(),
+                accuracy: [
+                    accuracy(&trained.tree, &test_ml),
+                    accuracy(&trained.forest, &test_ml),
+                    accuracy(&trained.adaboost, &test_ml),
+                ],
+                agreement: [
+                    agreement_rate(&trained.tree, &reference.tree, &test_ml),
+                    agreement_rate(&trained.forest, &reference.forest, &test_ml),
+                    agreement_rate(&trained.adaboost, &reference.adaboost, &test_ml),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// One row of Table 4: LR and SVM accuracy for a given training regime.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Regime label ("non private", "output perturbation", "omega = 10", ...).
+    pub label: String,
+    /// Logistic-regression accuracy.
+    pub logistic_regression: f64,
+    /// SVM (Huber hinge) accuracy.
+    pub svm: f64,
+}
+
+/// Configuration of the Table-4 comparison.
+#[derive(Debug, Clone)]
+pub struct Table4Config {
+    /// Privacy budget ε for the DP-ERM classifiers (the paper uses 1).
+    pub epsilon: f64,
+    /// Candidate regularization strengths; the best value (by non-private
+    /// accuracy) is selected, mirroring the paper's optimistic λ grid search.
+    pub lambdas: Vec<f64>,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+}
+
+impl Default for Table4Config {
+    fn default() -> Self {
+        Table4Config {
+            epsilon: 1.0,
+            lambdas: vec![1e-3, 1e-4, 1e-5, 1e-6],
+            iterations: 200,
+        }
+    }
+}
+
+fn linear_config(loss: Loss, lambda: f64, iterations: usize) -> LinearConfig {
+    LinearConfig {
+        loss,
+        lambda,
+        iterations,
+        learning_rate: 1.0,
+    }
+}
+
+/// Pick the λ maximizing non-private accuracy on the test set (the paper
+/// "optimistically" picks whichever value maximizes the accuracy of the
+/// non-private classification model).
+pub fn select_lambda(train: &MlDataset, test: &MlDataset, loss: Loss, config: &Table4Config) -> f64 {
+    let mut best = (config.lambdas[0], f64::NEG_INFINITY);
+    for &lambda in &config.lambdas {
+        let model = LinearModel::fit(train, &linear_config(loss, lambda, config.iterations));
+        let acc = accuracy(&model, test);
+        if acc > best.1 {
+            best = (lambda, acc);
+        }
+    }
+    best.0
+}
+
+/// Build Table 4.  `real_train` is the real training data (used for the
+/// non-private and DP-ERM rows); `synthetic_candidates` are the marginal /
+/// synthetic training sets (used with non-private training).
+pub fn table4<R: Rng + ?Sized>(
+    real_train: &Dataset,
+    synthetic_candidates: &[(String, &Dataset)],
+    test: &Dataset,
+    target_attr: usize,
+    config: &Table4Config,
+    rng: &mut R,
+) -> Vec<Table4Row> {
+    let encoding = Encoding::OneHotNormalized { unit_norm: true };
+    let real_ml = encode_dataset(real_train, target_attr, encoding);
+    let test_ml = encode_dataset(test, target_attr, encoding);
+
+    let lambda_lr = select_lambda(&real_ml, &test_ml, Loss::Logistic, config);
+    let lambda_svm = select_lambda(&real_ml, &test_ml, Loss::HuberHinge, config);
+
+    let lr_cfg = linear_config(Loss::Logistic, lambda_lr, config.iterations);
+    let svm_cfg = linear_config(Loss::HuberHinge, lambda_svm, config.iterations);
+
+    let mut rows = Vec::new();
+
+    // Non-private classifiers trained on real data.
+    rows.push(Table4Row {
+        label: "non-private (reals)".to_string(),
+        logistic_regression: accuracy(&LinearModel::fit(&real_ml, &lr_cfg), &test_ml),
+        svm: accuracy(&LinearModel::fit(&real_ml, &svm_cfg), &test_ml),
+    });
+
+    // DP-ERM classifiers trained on real data.
+    for (label, mechanism) in [
+        ("output perturbation (reals)", DpErmMechanism::OutputPerturbation),
+        ("objective perturbation (reals)", DpErmMechanism::ObjectivePerturbation),
+    ] {
+        let lr = fit_private(
+            &real_ml,
+            &DpErmConfig {
+                linear: lr_cfg,
+                epsilon: config.epsilon,
+                mechanism,
+            },
+            rng,
+        );
+        let svm = fit_private(
+            &real_ml,
+            &DpErmConfig {
+                linear: svm_cfg,
+                epsilon: config.epsilon,
+                mechanism,
+            },
+            rng,
+        );
+        rows.push(Table4Row {
+            label: label.to_string(),
+            logistic_regression: accuracy(&lr, &test_ml),
+            svm: accuracy(&svm, &test_ml),
+        });
+    }
+
+    // Non-private classifiers trained on marginal / synthetic data.
+    for (label, dataset) in synthetic_candidates {
+        let train_ml = encode_dataset(dataset, target_attr, encoding);
+        rows.push(Table4Row {
+            label: label.clone(),
+            logistic_regression: accuracy(&LinearModel::fit(&train_ml, &lr_cfg), &test_ml),
+            svm: accuracy(&LinearModel::fit(&train_ml, &svm_cfg), &test_ml),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgf_data::acs::{attr, generate_acs};
+    use sgf_model::{MarginalConfig, MarginalModel};
+
+    #[test]
+    fn table3_reals_beat_marginals() {
+        let reals = generate_acs(2500, 41);
+        let test = generate_acs(1200, 42);
+        let mut rng = StdRng::seed_from_u64(1);
+        let marginal = MarginalModel::learn(&reals, MarginalConfig::default()).unwrap();
+        let marginal_data = marginal.sample_dataset(2500, &mut rng);
+
+        let config = Table3Config {
+            forest: ForestConfig {
+                trees: 8,
+                ..ForestConfig::default()
+            },
+            adaboost: AdaBoostConfig {
+                rounds: 10,
+                ..AdaBoostConfig::default()
+            },
+            ..Table3Config::default()
+        };
+        let rows = table3(
+            &[
+                ("reals".to_string(), &reals),
+                ("marginals".to_string(), &marginal_data),
+            ],
+            &test,
+            attr::INCOME,
+            &config,
+            &mut rng,
+        );
+        assert_eq!(rows.len(), 2);
+        // Real-trained random forest should beat marginal-trained one, and the
+        // reals row agrees with itself more than the marginals row does.
+        assert!(rows[0].accuracy[1] > rows[1].accuracy[1]);
+        assert!(rows[0].agreement[1] >= rows[1].agreement[1]);
+        for row in &rows {
+            for v in row.accuracy.iter().chain(row.agreement.iter()) {
+                assert!((0.0..=1.0).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn table4_produces_all_rows_with_sane_accuracies() {
+        let reals = generate_acs(1500, 43);
+        let test = generate_acs(800, 44);
+        let mut rng = StdRng::seed_from_u64(2);
+        let marginal = MarginalModel::learn(&reals, MarginalConfig::default()).unwrap();
+        let marginal_data = marginal.sample_dataset(1500, &mut rng);
+
+        let config = Table4Config {
+            lambdas: vec![1e-3, 1e-4],
+            iterations: 120,
+            ..Table4Config::default()
+        };
+        let rows = table4(
+            &reals,
+            &[("marginals".to_string(), &marginal_data)],
+            &test,
+            attr::INCOME,
+            &config,
+            &mut rng,
+        );
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.logistic_regression)));
+        assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.svm)));
+        // Non-private on reals should beat chance decisively.
+        assert!(rows[0].logistic_regression > 0.6);
+    }
+
+    #[test]
+    fn lambda_selection_returns_candidate() {
+        let reals = generate_acs(600, 45);
+        let ml = encode_dataset(&reals, attr::INCOME, Encoding::OneHotNormalized { unit_norm: true });
+        let config = Table4Config {
+            lambdas: vec![1e-2, 1e-4],
+            iterations: 60,
+            ..Table4Config::default()
+        };
+        let lambda = select_lambda(&ml, &ml, Loss::Logistic, &config);
+        assert!(config.lambdas.contains(&lambda));
+    }
+}

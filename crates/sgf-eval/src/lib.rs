@@ -1,0 +1,38 @@
+//! # sgf-eval
+//!
+//! Evaluation harness reproducing every table and figure of the evaluation
+//! section of *Plausible Deniability for Privacy-Preserving Data Synthesis*
+//! (VLDB 2017):
+//!
+//! | Paper artifact | Module |
+//! |---|---|
+//! | Figure 1 (relative model-accuracy improvement) | [`model_accuracy`] |
+//! | Figure 2 (model accuracy per attribute) | [`model_accuracy`] |
+//! | Figure 3 (statistical distance, single attributes) | [`statistical_distance`] |
+//! | Figure 4 (statistical distance, attribute pairs) | [`statistical_distance`] |
+//! | Figure 5 (generation time) | [`performance`] |
+//! | Figure 6 (privacy-test pass rate) | [`pass_rate`] |
+//! | Table 3 (Tree/RF/AdaBoost accuracy + agreement) | [`classifier_eval`] |
+//! | Table 4 (DP-ERM LR/SVM comparison) | [`classifier_eval`] |
+//! | Table 5 (distinguishing game) | [`distinguish`] |
+//!
+//! The experiment binaries in the `bench` crate drive these modules and print
+//! the same rows/series the paper reports.
+
+#![warn(missing_docs)]
+
+pub mod classifier_eval;
+pub mod distinguish;
+pub mod model_accuracy;
+pub mod pass_rate;
+pub mod performance;
+pub mod report;
+pub mod statistical_distance;
+
+pub use classifier_eval::{table3, table4, Table3Config, Table3Row, Table4Config, Table4Row};
+pub use distinguish::{distinguishing_game, distinguishing_table, DistinguishConfig, DistinguishResult};
+pub use model_accuracy::{model_accuracy, ModelAccuracy};
+pub use pass_rate::{pass_rate_sweep, PassRateConfig, PassRateSeries};
+pub use performance::{performance_curve, PerformancePoint};
+pub use report::{fixed3, percent, TextTable};
+pub use statistical_distance::{compare_datasets, DistanceReport};

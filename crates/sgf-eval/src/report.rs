@@ -1,0 +1,109 @@
+//! Plain-text report rendering for the experiment binaries.
+//!
+//! Every experiment binary prints the same rows/series the paper reports; the
+//! helpers here keep the formatting consistent (fixed-width columns, one row
+//! per configuration).
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers.
+    pub fn new<S: ToString>(header: &[S]) -> Self {
+        TextTable {
+            header: header.iter().map(S::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must have as many cells as the header).
+    pub fn add_row<S: ToString>(&mut self, row: &[S]) {
+        let row: Vec<String> = row.iter().map(S::to_string).collect();
+        assert_eq!(row.len(), self.header.len(), "row width must match the header");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a fraction as a percentage with one decimal (the paper's style).
+pub fn percent(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Format a float with three decimals.
+pub fn fixed3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(&["name", "accuracy"]);
+        t.add_row(&["reals".to_string(), percent(0.804)]);
+        t.add_row(&["marginals".to_string(), percent(0.638)]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.contains("80.4%"));
+        assert!(s.contains("63.8%"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.add_row(&["only one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(percent(0.5), "50.0%");
+        assert_eq!(fixed3(0.12345), "0.123");
+    }
+}

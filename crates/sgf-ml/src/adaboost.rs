@@ -1,0 +1,197 @@
+//! AdaBoost.M1 over shallow classification trees (the "Ada" column of Table 3).
+
+use crate::classifier::Classifier;
+use crate::dataset::MlDataset;
+use crate::tree::{DecisionTree, TreeConfig};
+use rand::Rng;
+
+/// Hyper-parameters of the AdaBoost.M1 learner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaBoostConfig {
+    /// Maximum number of boosting rounds.
+    pub rounds: usize,
+    /// Configuration of each weak learner (a shallow tree by default).
+    pub weak_learner: TreeConfig,
+}
+
+impl Default for AdaBoostConfig {
+    fn default() -> Self {
+        AdaBoostConfig {
+            rounds: 40,
+            weak_learner: TreeConfig {
+                max_depth: 2,
+                min_samples_split: 8,
+                features_per_split: None,
+                max_thresholds: 16,
+            },
+        }
+    }
+}
+
+/// A trained AdaBoost.M1 ensemble.
+#[derive(Debug, Clone)]
+pub struct AdaBoost {
+    members: Vec<(DecisionTree, f64)>,
+}
+
+impl AdaBoost {
+    /// Train the ensemble.  Boosting stops early if a weak learner reaches
+    /// zero weighted error or no longer beats random guessing.
+    pub fn fit<R: Rng + ?Sized>(data: &MlDataset, config: &AdaBoostConfig, rng: &mut R) -> Self {
+        assert!(!data.is_empty(), "cannot train AdaBoost on an empty dataset");
+        assert!(config.rounds > 0, "AdaBoost needs at least one round");
+        let n = data.len();
+        let mut weights = vec![1.0 / n as f64; n];
+        let mut members = Vec::new();
+
+        for _ in 0..config.rounds {
+            let tree = DecisionTree::fit_weighted(data, &weights, &config.weak_learner, rng);
+            let predictions: Vec<u8> = data.features.iter().map(|f| tree.predict(f)).collect();
+            let error: f64 = predictions
+                .iter()
+                .zip(data.labels.iter())
+                .zip(weights.iter())
+                .filter(|((p, l), _)| p != l)
+                .map(|(_, &w)| w)
+                .sum();
+
+            if error <= 1e-12 {
+                // Perfect weak learner: give it a large (finite) vote and stop.
+                members.push((tree, 10.0));
+                break;
+            }
+            if error >= 0.5 {
+                // No better than chance: stop boosting (keep what we have; make
+                // sure at least one member exists so prediction is defined).
+                if members.is_empty() {
+                    members.push((tree, 1.0));
+                }
+                break;
+            }
+
+            let alpha = 0.5 * ((1.0 - error) / error).ln();
+            // Re-weight: misclassified examples up, correct ones down.
+            let mut total = 0.0;
+            for ((w, p), &l) in weights.iter_mut().zip(predictions.iter()).zip(data.labels.iter()) {
+                let sign = if *p == l { -1.0 } else { 1.0 };
+                *w *= (sign * alpha).exp();
+                total += *w;
+            }
+            for w in weights.iter_mut() {
+                *w /= total;
+            }
+            members.push((tree, alpha));
+        }
+
+        AdaBoost { members }
+    }
+
+    /// Number of weak learners kept.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ensemble is empty (never true after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Weighted-vote margin for the positive class, in `[-1, 1]`-ish scale.
+    pub fn decision_value(&self, features: &[f64]) -> f64 {
+        let total: f64 = self.members.iter().map(|(_, a)| a).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.members
+            .iter()
+            .map(|(tree, alpha)| {
+                let vote = if tree.predict(features) == 1 { 1.0 } else { -1.0 };
+                alpha * vote
+            })
+            .sum::<f64>()
+            / total
+    }
+}
+
+impl Classifier for AdaBoost {
+    fn predict(&self, features: &[f64]) -> u8 {
+        u8::from(self.decision_value(features) > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rings(n: usize, seed: u64) -> MlDataset {
+        // Concentric-square problem: positive iff the point lies in the middle band.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = MlDataset::default();
+        for _ in 0..n {
+            let x0: f64 = rng.gen();
+            let x1: f64 = rng.gen();
+            let r = (x0 - 0.5).abs().max((x1 - 0.5).abs());
+            data.features.push(vec![x0, x1]);
+            data.labels.push(u8::from(r < 0.3));
+        }
+        data
+    }
+
+    #[test]
+    fn boosting_beats_a_single_stump() {
+        let train = rings(1500, 1);
+        let test = rings(500, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let stump_cfg = TreeConfig {
+            max_depth: 1,
+            ..TreeConfig::default()
+        };
+        let stump = DecisionTree::fit(&train, &stump_cfg, &mut rng);
+        let boosted = AdaBoost::fit(
+            &train,
+            &AdaBoostConfig {
+                rounds: 60,
+                weak_learner: stump_cfg,
+            },
+            &mut rng,
+        );
+        let stump_acc = accuracy(&stump, &test);
+        let boost_acc = accuracy(&boosted, &test);
+        assert!(boost_acc > stump_acc, "boosting {boost_acc} vs stump {stump_acc}");
+        assert!(boost_acc > 0.8, "boosting accuracy {boost_acc}");
+        assert!(boosted.len() > 1);
+    }
+
+    #[test]
+    fn perfectly_separable_data_stops_early() {
+        let data = MlDataset {
+            features: (0..16).map(|i| vec![i as f64]).collect(),
+            labels: (0..16).map(|i| u8::from(i >= 8)).collect(),
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let boosted = AdaBoost::fit(&data, &AdaBoostConfig::default(), &mut rng);
+        assert!(boosted.len() <= 3);
+        assert!((accuracy(&boosted, &data) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decision_values_are_bounded() {
+        let train = rings(300, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let boosted = AdaBoost::fit(&train, &AdaBoostConfig::default(), &mut rng);
+        for f in &train.features {
+            let v = boosted.decision_value(f);
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        AdaBoost::fit(&MlDataset::default(), &AdaBoostConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,56 @@
+//! The binary-classifier abstraction shared by every learner in this crate.
+
+use crate::dataset::MlDataset;
+
+/// A trained binary classifier.
+pub trait Classifier: Send + Sync {
+    /// Predict the label (0 or 1) of a single feature vector.
+    fn predict(&self, features: &[f64]) -> u8;
+
+    /// Predict the labels of every example in a dataset.
+    fn predict_all(&self, data: &MlDataset) -> Vec<u8> {
+        data.features.iter().map(|f| self.predict(f)).collect()
+    }
+}
+
+/// A classifier that always predicts the same label — the "baseline" of the
+/// paper's tables (predicting the majority class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstantClassifier {
+    label: u8,
+}
+
+impl ConstantClassifier {
+    /// Always predict `label`.
+    pub fn new(label: u8) -> Self {
+        ConstantClassifier { label: label.min(1) }
+    }
+
+    /// Predict the majority label of a training set.
+    pub fn majority(data: &MlDataset) -> Self {
+        ConstantClassifier::new(data.majority_label())
+    }
+}
+
+impl Classifier for ConstantClassifier {
+    fn predict(&self, _features: &[f64]) -> u8 {
+        self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_classifier_clamps_and_predicts() {
+        let c = ConstantClassifier::new(7);
+        assert_eq!(c.predict(&[1.0, 2.0]), 1);
+        let data = MlDataset {
+            features: vec![vec![0.0]; 3],
+            labels: vec![0, 0, 1],
+        };
+        assert_eq!(ConstantClassifier::majority(&data).predict(&[0.0]), 0);
+        assert_eq!(c.predict_all(&data), vec![1, 1, 1]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Random forests: bootstrap-aggregated classification trees with per-node
+//! feature subsampling (the "RF" columns of Tables 3 and 5 and Figure 2).
+
+use crate::classifier::Classifier;
+use crate::dataset::MlDataset;
+use crate::tree::{DecisionTree, TreeConfig};
+use rand::Rng;
+
+/// Hyper-parameters of the random-forest learner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub trees: usize,
+    /// Configuration of each individual tree; `features_per_split` defaults to
+    /// roughly sqrt(d) when left as `None`.
+    pub tree: TreeConfig,
+    /// Bootstrap sample size as a fraction of the training-set size.
+    pub sample_fraction: f64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            trees: 30,
+            tree: TreeConfig {
+                max_depth: 14,
+                min_samples_split: 4,
+                features_per_split: None,
+                max_thresholds: 16,
+            },
+            sample_fraction: 1.0,
+        }
+    }
+}
+
+/// A trained random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Train a forest.
+    pub fn fit<R: Rng + ?Sized>(data: &MlDataset, config: &ForestConfig, rng: &mut R) -> Self {
+        assert!(!data.is_empty(), "cannot train a forest on an empty dataset");
+        assert!(config.trees > 0, "a forest needs at least one tree");
+        let dimension = data.dimension();
+        let mut tree_config = config.tree;
+        if tree_config.features_per_split.is_none() {
+            tree_config.features_per_split = Some(((dimension as f64).sqrt().ceil() as usize).max(1));
+        }
+        let sample_size = ((config.sample_fraction * data.len() as f64).round() as usize).max(1);
+        let trees = (0..config.trees)
+            .map(|_| {
+                let bootstrap = data.bootstrap(sample_size, rng);
+                DecisionTree::fit(&bootstrap, &tree_config, rng)
+            })
+            .collect();
+        RandomForest { trees }
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the ensemble is empty (never true after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Average positive-class score across the ensemble.
+    pub fn predict_score(&self, features: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict_score(features)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+impl Classifier for RandomForest {
+    fn predict(&self, features: &[f64]) -> u8 {
+        u8::from(self.predict_score(features) > 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use crate::tree::TreeConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Noisy XOR-ish problem that a single shallow tree struggles with.
+    fn xor(n: usize, seed: u64) -> MlDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = MlDataset::default();
+        for _ in 0..n {
+            let x0: f64 = rng.gen();
+            let x1: f64 = rng.gen();
+            let noisy = rng.gen::<f64>() < 0.05;
+            let label = u8::from((x0 > 0.5) ^ (x1 > 0.5)) ^ u8::from(noisy);
+            data.features.push(vec![x0, x1]);
+            data.labels.push(label);
+        }
+        data
+    }
+
+    #[test]
+    fn forest_beats_chance_on_xor() {
+        let train = xor(1200, 1);
+        let test = xor(400, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let forest = RandomForest::fit(&train, &ForestConfig::default(), &mut rng);
+        let acc = accuracy(&forest, &test);
+        assert!(acc > 0.85, "accuracy {acc}");
+        assert_eq!(forest.len(), 30);
+    }
+
+    #[test]
+    fn forest_beats_single_shallow_tree() {
+        let train = xor(1200, 4);
+        let test = xor(400, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let shallow = TreeConfig {
+            max_depth: 2,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&train, &shallow, &mut rng);
+        let forest = RandomForest::fit(
+            &train,
+            &ForestConfig {
+                trees: 25,
+                tree: TreeConfig {
+                    max_depth: 8,
+                    ..shallow
+                },
+                sample_fraction: 0.8,
+            },
+            &mut rng,
+        );
+        assert!(accuracy(&forest, &test) > accuracy(&tree, &test));
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let train = xor(300, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let forest = RandomForest::fit(&train, &ForestConfig::default(), &mut rng);
+        for f in &train.features {
+            let s = forest.predict_score(f);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_panics() {
+        let mut rng = StdRng::seed_from_u64(9);
+        RandomForest::fit(
+            &xor(50, 10),
+            &ForestConfig {
+                trees: 0,
+                ..ForestConfig::default()
+            },
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # sgf-ml
+//!
+//! Machine-learning substrate for the SGF reproduction of *Plausible
+//! Deniability for Privacy-Preserving Data Synthesis* (VLDB 2017): the
+//! classifiers the evaluation trains on real, marginal, and synthetic data
+//! (classification tree, random forest, AdaBoost.M1, logistic regression and
+//! linear SVM), the Chaudhuri et al. differentially-private ERM baselines of
+//! Table 4, feature encoding, and the accuracy / agreement-rate metrics.
+
+#![warn(missing_docs)]
+
+pub mod adaboost;
+pub mod classifier;
+pub mod dataset;
+pub mod dp_erm;
+pub mod forest;
+pub mod linear;
+pub mod metrics;
+pub mod tree;
+
+pub use adaboost::{AdaBoost, AdaBoostConfig};
+pub use classifier::{Classifier, ConstantClassifier};
+pub use dataset::{encode_dataset, Encoding, MlDataset};
+pub use dp_erm::{fit_private, DpErmConfig, DpErmMechanism};
+pub use forest::{ForestConfig, RandomForest};
+pub use linear::{LinearConfig, LinearModel, Loss};
+pub use metrics::{accuracy, agreement_rate, ConfusionMatrix};
+pub use tree::{DecisionTree, TreeConfig};

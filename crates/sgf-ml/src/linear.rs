@@ -1,0 +1,321 @@
+//! L2-regularized linear classifiers: logistic regression and (Huber-)hinge
+//! support vector machines, trained by full-batch gradient descent on the
+//! empirical risk
+//!
+//! ```text
+//! J(w) = (1/n) Σ_i loss(y_i · w·x_i) + (λ/2) ||w||²        y_i ∈ {−1, +1}
+//! ```
+//!
+//! These are the non-private "LR" and "SVM" classifiers of Table 4; the
+//! differentially-private variants of Chaudhuri et al. reuse the same trainer
+//! through the hooks for an extra linear term (objective perturbation) and an
+//! extra regularizer (the Δ correction) — see [`crate::dp_erm`].
+
+use crate::classifier::Classifier;
+use crate::dataset::MlDataset;
+use serde::{Deserialize, Serialize};
+
+/// The convex surrogate loss minimized by the trainer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Logistic loss `ln(1 + e^{-z})` — logistic regression.
+    Logistic,
+    /// Huber-smoothed hinge loss with half-width `h = 0.5` (the smooth SVM
+    /// surrogate used by Chaudhuri et al., required for objective perturbation).
+    HuberHinge,
+}
+
+impl Loss {
+    /// Huber half-width.
+    pub const HUBER_H: f64 = 0.5;
+
+    /// Loss value at margin `z = y · w·x`.
+    pub fn value(&self, z: f64) -> f64 {
+        match self {
+            Loss::Logistic => (1.0 + (-z).exp()).ln(),
+            Loss::HuberHinge => {
+                let h = Self::HUBER_H;
+                if z > 1.0 + h {
+                    0.0
+                } else if z < 1.0 - h {
+                    1.0 - z
+                } else {
+                    (1.0 + h - z).powi(2) / (4.0 * h)
+                }
+            }
+        }
+    }
+
+    /// Derivative of the loss with respect to the margin `z`.
+    pub fn derivative(&self, z: f64) -> f64 {
+        match self {
+            Loss::Logistic => -1.0 / (1.0 + z.exp()),
+            Loss::HuberHinge => {
+                let h = Self::HUBER_H;
+                if z > 1.0 + h {
+                    0.0
+                } else if z < 1.0 - h {
+                    -1.0
+                } else {
+                    -(1.0 + h - z) / (2.0 * h)
+                }
+            }
+        }
+    }
+
+    /// Upper bound `c` on the second derivative of the loss, used by the
+    /// objective-perturbation privacy analysis (1/4 for logistic, 1/(2h) for
+    /// the Huber hinge).
+    pub fn curvature_bound(&self) -> f64 {
+        match self {
+            Loss::Logistic => 0.25,
+            Loss::HuberHinge => 1.0 / (2.0 * Self::HUBER_H),
+        }
+    }
+}
+
+/// Trainer hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearConfig {
+    /// Surrogate loss.
+    pub loss: Loss,
+    /// L2 regularization strength λ.
+    pub lambda: f64,
+    /// Number of gradient-descent iterations.
+    pub iterations: usize,
+    /// Initial learning rate (decayed as `1 / (1 + t/50)`).
+    pub learning_rate: f64,
+}
+
+impl Default for LinearConfig {
+    fn default() -> Self {
+        LinearConfig {
+            loss: Loss::Logistic,
+            lambda: 1e-4,
+            iterations: 300,
+            learning_rate: 1.0,
+        }
+    }
+}
+
+/// A trained linear binary classifier (`predict 1 iff w·x > 0`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    weights: Vec<f64>,
+}
+
+impl LinearModel {
+    /// Train on uniformly-weighted data with no extra terms.
+    pub fn fit(data: &MlDataset, config: &LinearConfig) -> Self {
+        Self::fit_with_terms(data, config, None, 0.0)
+    }
+
+    /// Train with an optional extra linear term `(b·w)/n` added to the
+    /// objective and an extra L2 regularizer `delta/2 ||w||²` — the two hooks
+    /// objective perturbation needs.
+    pub fn fit_with_terms(
+        data: &MlDataset,
+        config: &LinearConfig,
+        linear_term: Option<&[f64]>,
+        extra_lambda: f64,
+    ) -> Self {
+        assert!(!data.is_empty(), "cannot train a linear model on an empty dataset");
+        assert!(
+            config.lambda.is_finite() && config.lambda >= 0.0,
+            "lambda must be non-negative"
+        );
+        let n = data.len() as f64;
+        let d = data.dimension();
+        if let Some(b) = linear_term {
+            assert_eq!(b.len(), d, "linear term must have the feature dimension");
+        }
+        let lambda = config.lambda + extra_lambda;
+        let mut weights = vec![0.0f64; d];
+
+        for t in 0..config.iterations {
+            // Full-batch gradient of the regularized empirical risk.
+            let mut gradient = vec![0.0f64; d];
+            for (x, &label) in data.features.iter().zip(data.labels.iter()) {
+                let y = if label == 1 { 1.0 } else { -1.0 };
+                let margin = y * dot(&weights, x);
+                let g = config.loss.derivative(margin) * y / n;
+                for (gi, &xi) in gradient.iter_mut().zip(x.iter()) {
+                    *gi += g * xi;
+                }
+            }
+            for (gi, wi) in gradient.iter_mut().zip(weights.iter()) {
+                *gi += lambda * wi;
+            }
+            if let Some(b) = linear_term {
+                for (gi, &bi) in gradient.iter_mut().zip(b.iter()) {
+                    *gi += bi / n;
+                }
+            }
+            let rate = config.learning_rate / (1.0 + t as f64 / 50.0);
+            for (wi, gi) in weights.iter_mut().zip(gradient.iter()) {
+                *wi -= rate * gi;
+            }
+        }
+        LinearModel { weights }
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Replace the weight vector (used by output perturbation).
+    pub fn with_weights(weights: Vec<f64>) -> Self {
+        LinearModel { weights }
+    }
+
+    /// Raw decision value `w·x`.
+    pub fn decision_value(&self, features: &[f64]) -> f64 {
+        dot(&self.weights, features)
+    }
+
+    /// Regularized empirical risk of this model on a dataset (diagnostics/tests).
+    pub fn objective(&self, data: &MlDataset, config: &LinearConfig) -> f64 {
+        let n = data.len() as f64;
+        let risk: f64 = data
+            .features
+            .iter()
+            .zip(data.labels.iter())
+            .map(|(x, &label)| {
+                let y = if label == 1 { 1.0 } else { -1.0 };
+                config.loss.value(y * dot(&self.weights, x))
+            })
+            .sum::<f64>()
+            / n;
+        risk + 0.5 * config.lambda * self.weights.iter().map(|w| w * w).sum::<f64>()
+    }
+}
+
+impl Classifier for LinearModel {
+    fn predict(&self, features: &[f64]) -> u8 {
+        u8::from(self.decision_value(features) > 0.0)
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Separable problem with labels determined by the sign of x0 - x1.
+    fn separable(n: usize, seed: u64) -> MlDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = MlDataset::default();
+        for _ in 0..n {
+            let x0: f64 = rng.gen::<f64>() - 0.5;
+            let x1: f64 = rng.gen::<f64>() - 0.5;
+            data.features.push(vec![x0, x1]);
+            data.labels.push(u8::from(x0 - x1 > 0.0));
+        }
+        data
+    }
+
+    #[test]
+    fn logistic_regression_separates() {
+        let train = separable(800, 1);
+        let test = separable(300, 2);
+        let model = LinearModel::fit(&train, &LinearConfig::default());
+        assert!(accuracy(&model, &test) > 0.93);
+    }
+
+    #[test]
+    fn huber_svm_separates() {
+        let train = separable(800, 3);
+        let test = separable(300, 4);
+        let config = LinearConfig {
+            loss: Loss::HuberHinge,
+            ..LinearConfig::default()
+        };
+        let model = LinearModel::fit(&train, &config);
+        assert!(accuracy(&model, &test) > 0.93);
+    }
+
+    #[test]
+    fn loss_functions_are_convex_surrogates() {
+        for loss in [Loss::Logistic, Loss::HuberHinge] {
+            // Decreasing in the margin, non-negative, ~0 for large margins.
+            assert!(loss.value(-1.0) > loss.value(0.0));
+            assert!(loss.value(0.0) > loss.value(2.5));
+            assert!(loss.value(5.0) < 0.01);
+            assert!(loss.value(-5.0) > 1.0);
+            // Derivative bounded in [-1, 0].
+            for z in [-3.0, -1.0, 0.0, 0.9, 1.0, 1.4, 3.0] {
+                let d = loss.derivative(z);
+                assert!((-1.0..=0.0).contains(&d), "{loss:?} derivative at {z} = {d}");
+            }
+            assert!(loss.curvature_bound() > 0.0);
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        for loss in [Loss::Logistic, Loss::HuberHinge] {
+            for z in [-2.0, -0.3, 0.6, 1.0, 1.2, 2.0] {
+                let eps = 1e-6;
+                let numeric = (loss.value(z + eps) - loss.value(z - eps)) / (2.0 * eps);
+                assert!(
+                    (numeric - loss.derivative(z)).abs() < 1e-5,
+                    "{loss:?} at {z}: numeric {numeric} vs analytic {}",
+                    loss.derivative(z)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stronger_regularization_shrinks_weights() {
+        let train = separable(500, 5);
+        let weak = LinearModel::fit(
+            &train,
+            &LinearConfig {
+                lambda: 1e-5,
+                ..LinearConfig::default()
+            },
+        );
+        let strong = LinearModel::fit(
+            &train,
+            &LinearConfig {
+                lambda: 1.0,
+                ..LinearConfig::default()
+            },
+        );
+        let norm = |m: &LinearModel| m.weights().iter().map(|w| w * w).sum::<f64>().sqrt();
+        assert!(norm(&strong) < norm(&weak));
+    }
+
+    #[test]
+    fn extra_linear_term_biases_the_solution() {
+        let train = separable(500, 6);
+        let config = LinearConfig::default();
+        let plain = LinearModel::fit(&train, &config);
+        let pushed = LinearModel::fit_with_terms(&train, &config, Some(&[50.0, 0.0]), 0.0);
+        // A large positive linear term on w_0 pushes that weight down.
+        assert!(pushed.weights()[0] < plain.weights()[0]);
+    }
+
+    #[test]
+    fn objective_decreases_relative_to_zero_model() {
+        let train = separable(500, 7);
+        let config = LinearConfig::default();
+        let trained = LinearModel::fit(&train, &config);
+        let zero = LinearModel::with_weights(vec![0.0, 0.0]);
+        assert!(trained.objective(&train, &config) < zero.objective(&train, &config));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        LinearModel::fit(&MlDataset::default(), &LinearConfig::default());
+    }
+}

@@ -1,0 +1,139 @@
+//! Classification metrics: accuracy, agreement rate, confusion matrices.
+//!
+//! The evaluation of Section 6.3 reports two quantities per classifier pair:
+//! *accuracy* on a held-out test set and the *agreement rate* — the fraction
+//! of test records on which a classifier trained on synthetic data makes the
+//! same prediction as one trained on real data (right or wrong).
+
+use crate::classifier::Classifier;
+use crate::dataset::MlDataset;
+
+/// A 2x2 confusion matrix for binary classification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Label 1 predicted as 1.
+    pub true_positive: usize,
+    /// Label 0 predicted as 0.
+    pub true_negative: usize,
+    /// Label 0 predicted as 1.
+    pub false_positive: usize,
+    /// Label 1 predicted as 0.
+    pub false_negative: usize,
+}
+
+impl ConfusionMatrix {
+    /// Build the confusion matrix of a classifier on a dataset.
+    pub fn evaluate<C: Classifier + ?Sized>(classifier: &C, data: &MlDataset) -> Self {
+        let mut cm = ConfusionMatrix::default();
+        for (features, &label) in data.features.iter().zip(data.labels.iter()) {
+            let predicted = classifier.predict(features);
+            match (label, predicted) {
+                (1, 1) => cm.true_positive += 1,
+                (0, 0) => cm.true_negative += 1,
+                (0, 1) => cm.false_positive += 1,
+                _ => cm.false_negative += 1,
+            }
+        }
+        cm
+    }
+
+    /// Total number of evaluated examples.
+    pub fn total(&self) -> usize {
+        self.true_positive + self.true_negative + self.false_positive + self.false_negative
+    }
+
+    /// Classification accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.true_positive + self.true_negative) as f64 / self.total() as f64
+    }
+
+    /// Precision for the positive class (1.0 when nothing was predicted positive).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positive + self.false_positive;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positive as f64 / denom as f64
+        }
+    }
+
+    /// Recall for the positive class (1.0 when there are no positives).
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positive + self.false_negative;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positive as f64 / denom as f64
+        }
+    }
+}
+
+/// Accuracy of a classifier on a dataset.
+pub fn accuracy<C: Classifier + ?Sized>(classifier: &C, data: &MlDataset) -> f64 {
+    ConfusionMatrix::evaluate(classifier, data).accuracy()
+}
+
+/// Agreement rate between two classifiers on the same test records: the
+/// fraction of records for which they make the same prediction.
+pub fn agreement_rate<A, B>(a: &A, b: &B, data: &MlDataset) -> f64
+where
+    A: Classifier + ?Sized,
+    B: Classifier + ?Sized,
+{
+    if data.is_empty() {
+        return 0.0;
+    }
+    let agreements = data
+        .features
+        .iter()
+        .filter(|f| a.predict(f) == b.predict(f))
+        .count();
+    agreements as f64 / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::ConstantClassifier;
+
+    fn toy() -> MlDataset {
+        MlDataset {
+            features: vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+            labels: vec![0, 0, 1, 1],
+        }
+    }
+
+    #[test]
+    fn confusion_matrix_of_constant_classifier() {
+        let data = toy();
+        let always_one = ConstantClassifier::new(1);
+        let cm = ConfusionMatrix::evaluate(&always_one, &data);
+        assert_eq!(cm.true_positive, 2);
+        assert_eq!(cm.false_positive, 2);
+        assert_eq!(cm.total(), 4);
+        assert!((cm.accuracy() - 0.5).abs() < 1e-12);
+        assert!((cm.precision() - 0.5).abs() < 1e-12);
+        assert!((cm.recall() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agreement_rate_bounds() {
+        let data = toy();
+        let ones = ConstantClassifier::new(1);
+        let zeros = ConstantClassifier::new(0);
+        assert_eq!(agreement_rate(&ones, &ones, &data), 1.0);
+        assert_eq!(agreement_rate(&ones, &zeros, &data), 0.0);
+        assert_eq!(agreement_rate(&ones, &zeros, &MlDataset::default()), 0.0);
+    }
+
+    #[test]
+    fn empty_confusion_matrix_is_safe() {
+        let cm = ConfusionMatrix::default();
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.precision(), 1.0);
+        assert_eq!(cm.recall(), 1.0);
+    }
+}

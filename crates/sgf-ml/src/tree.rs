@@ -1,0 +1,340 @@
+//! CART-style classification trees.
+//!
+//! Stands in for the Weka "Classification Tree" of Tables 3 and 5: binary
+//! splits on `feature <= threshold`, Gini impurity, depth / leaf-size
+//! stopping rules, optional per-node feature subsampling (used by the random
+//! forest) and optional per-example weights (used by AdaBoost.M1).
+
+use crate::classifier::Classifier;
+use crate::dataset::MlDataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Hyper-parameters of the tree learner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth (the root is depth 0).
+    pub max_depth: usize,
+    /// Do not split nodes with fewer examples than this.
+    pub min_samples_split: usize,
+    /// Number of candidate features examined per node; `None` = all features
+    /// (a random forest passes roughly sqrt(d)).
+    pub features_per_split: Option<usize>,
+    /// Maximum number of candidate thresholds per feature (quantile-spaced).
+    pub max_thresholds: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 12,
+            min_samples_split: 8,
+            features_per_split: None,
+            max_thresholds: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        positive_fraction: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A trained classification tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    dimension: usize,
+}
+
+impl DecisionTree {
+    /// Train a tree on uniformly-weighted data.
+    pub fn fit<R: Rng + ?Sized>(data: &MlDataset, config: &TreeConfig, rng: &mut R) -> Self {
+        let weights = vec![1.0; data.len()];
+        Self::fit_weighted(data, &weights, config, rng)
+    }
+
+    /// Train a tree on weighted data (weights need not be normalized).
+    pub fn fit_weighted<R: Rng + ?Sized>(
+        data: &MlDataset,
+        weights: &[f64],
+        config: &TreeConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!data.is_empty(), "cannot train a tree on an empty dataset");
+        assert_eq!(data.len(), weights.len(), "one weight per example required");
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let root = build_node(data, weights, &indices, config, 0, rng);
+        DecisionTree {
+            root,
+            dimension: data.dimension(),
+        }
+    }
+
+    /// Number of input features the tree expects.
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// Number of leaves (a rough complexity measure).
+    pub fn leaf_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Depth of the tree (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + depth(left).max(depth(right)),
+            }
+        }
+        depth(&self.root)
+    }
+
+    /// Probability-like score for the positive class.
+    pub fn predict_score(&self, features: &[f64]) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { positive_fraction, .. } => return *positive_fraction,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features.get(*feature).copied().unwrap_or(0.0) <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict(&self, features: &[f64]) -> u8 {
+        u8::from(self.predict_score(features) > 0.5)
+    }
+}
+
+fn weighted_positive_fraction(data: &MlDataset, weights: &[f64], indices: &[usize]) -> (f64, f64) {
+    let mut total = 0.0;
+    let mut positive = 0.0;
+    for &i in indices {
+        total += weights[i];
+        if data.labels[i] == 1 {
+            positive += weights[i];
+        }
+    }
+    if total <= 0.0 {
+        (0.0, 0.0)
+    } else {
+        (positive / total, total)
+    }
+}
+
+fn gini(p: f64) -> f64 {
+    2.0 * p * (1.0 - p)
+}
+
+fn build_node<R: Rng + ?Sized>(
+    data: &MlDataset,
+    weights: &[f64],
+    indices: &[usize],
+    config: &TreeConfig,
+    depth: usize,
+    rng: &mut R,
+) -> Node {
+    let (positive_fraction, total_weight) = weighted_positive_fraction(data, weights, indices);
+    let leaf = Node::Leaf { positive_fraction };
+    if depth >= config.max_depth
+        || indices.len() < config.min_samples_split
+        || positive_fraction <= 0.0
+        || positive_fraction >= 1.0
+        || total_weight <= 0.0
+    {
+        return leaf;
+    }
+
+    // Candidate features for this node.
+    let dimension = data.dimension();
+    let mut feature_pool: Vec<usize> = (0..dimension).collect();
+    if let Some(k) = config.features_per_split {
+        feature_pool.shuffle(rng);
+        feature_pool.truncate(k.max(1).min(dimension));
+    }
+
+    let parent_impurity = gini(positive_fraction);
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, impurity decrease)
+
+    for &feature in &feature_pool {
+        // Quantile-spaced thresholds over the values present at this node.
+        let mut values: Vec<f64> = indices.iter().map(|&i| data.features[i][feature]).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("feature values are finite"));
+        values.dedup();
+        if values.len() < 2 {
+            continue;
+        }
+        let step = (values.len() as f64 / config.max_thresholds as f64).max(1.0);
+        let mut t_idx = 0.0;
+        while (t_idx as usize) < values.len() - 1 {
+            let idx = t_idx as usize;
+            let threshold = 0.5 * (values[idx] + values[idx + 1]);
+            // Evaluate the split.
+            let mut left_w = 0.0;
+            let mut left_pos = 0.0;
+            let mut right_w = 0.0;
+            let mut right_pos = 0.0;
+            for &i in indices {
+                let w = weights[i];
+                if data.features[i][feature] <= threshold {
+                    left_w += w;
+                    left_pos += w * f64::from(data.labels[i]);
+                } else {
+                    right_w += w;
+                    right_pos += w * f64::from(data.labels[i]);
+                }
+            }
+            if left_w > 0.0 && right_w > 0.0 {
+                let p_left = left_pos / left_w;
+                let p_right = right_pos / right_w;
+                let child_impurity =
+                    (left_w * gini(p_left) + right_w * gini(p_right)) / (left_w + right_w);
+                let gain = parent_impurity - child_impurity;
+                if best.map_or(gain > 1e-12, |(_, _, g)| gain > g) {
+                    best = Some((feature, threshold, gain));
+                }
+            }
+            t_idx += step;
+        }
+    }
+
+    match best {
+        None => leaf,
+        Some((feature, threshold, _)) => {
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                .iter()
+                .partition(|&&i| data.features[i][feature] <= threshold);
+            if left_idx.is_empty() || right_idx.is_empty() {
+                return leaf;
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(build_node(data, weights, &left_idx, config, depth + 1, rng)),
+                right: Box::new(build_node(data, weights, &right_idx, config, depth + 1, rng)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Linearly separable toy problem: label = 1 iff x0 + x1 > 1.
+    fn separable(n: usize, seed: u64) -> MlDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = MlDataset::default();
+        for _ in 0..n {
+            let x0: f64 = rng.gen();
+            let x1: f64 = rng.gen();
+            data.features.push(vec![x0, x1]);
+            data.labels.push(u8::from(x0 + x1 > 1.0));
+        }
+        data
+    }
+
+    #[test]
+    fn tree_fits_separable_data() {
+        let train = separable(800, 1);
+        let test = separable(300, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let tree = DecisionTree::fit(&train, &TreeConfig::default(), &mut rng);
+        let acc = accuracy(&tree, &test);
+        assert!(acc > 0.9, "accuracy {acc}");
+        assert!(tree.depth() >= 1);
+        assert!(tree.leaf_count() >= 2);
+        assert_eq!(tree.dimension(), 2);
+    }
+
+    #[test]
+    fn depth_zero_tree_is_majority_vote() {
+        let train = separable(200, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&train, &config, &mut rng);
+        assert_eq!(tree.leaf_count(), 1);
+        let majority = train.majority_label();
+        assert!(train.features.iter().all(|f| tree.predict(f) == majority));
+    }
+
+    #[test]
+    fn weights_steer_the_tree() {
+        // All weight on positive examples: the tree must predict 1 everywhere.
+        let data = MlDataset {
+            features: vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+            labels: vec![0, 0, 1, 1],
+        };
+        let weights = vec![0.0, 0.0, 10.0, 10.0];
+        let mut rng = StdRng::seed_from_u64(6);
+        let tree = DecisionTree::fit_weighted(&data, &weights, &TreeConfig::default(), &mut rng);
+        assert!(data.features.iter().all(|f| tree.predict(f) == 1));
+    }
+
+    #[test]
+    fn pure_nodes_become_leaves() {
+        let data = MlDataset {
+            features: vec![vec![0.0], vec![1.0], vec![2.0]],
+            labels: vec![1, 1, 1],
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let tree = DecisionTree::fit(&data, &TreeConfig::default(), &mut rng);
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.predict(&[5.0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let mut rng = StdRng::seed_from_u64(8);
+        DecisionTree::fit(&MlDataset::default(), &TreeConfig::default(), &mut rng);
+    }
+
+    #[test]
+    fn feature_subsampling_still_learns() {
+        let train = separable(800, 9);
+        let test = separable(300, 10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let config = TreeConfig {
+            features_per_split: Some(1),
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&train, &config, &mut rng);
+        assert!(accuracy(&tree, &test) > 0.75);
+    }
+}

@@ -1,0 +1,277 @@
+//! Correlation-based Feature Selection (CFS) for structure learning.
+//!
+//! For every attribute the learner greedily assembles the parent set that
+//! maximizes the CFS merit score of Eq. 4,
+//!
+//! ```text
+//! score(P_G(i)) = Σ_{j∈P} corr(x_i, x_j) / sqrt(|P| + Σ_{j≠k∈P} corr(x_j, x_k))
+//! ```
+//!
+//! subject to two constraints: the dependency graph must stay acyclic, and the
+//! complexity cost of the parent set — the number of joint parent
+//! configurations, Eq. 6 — must not exceed `maxcost`.
+
+use crate::correlation::CorrelationMatrix;
+use crate::error::{ModelError, Result};
+use crate::graph::DependencyGraph;
+use serde::{Deserialize, Serialize};
+use sgf_data::Bucketizer;
+
+/// Configuration of the greedy CFS structure search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CfsConfig {
+    /// Maximum allowed number of joint parent configurations per attribute
+    /// (Eq. 6).  Parent-set costs are computed over *bucketized* domains.
+    pub maxcost: u64,
+    /// Hard cap on the number of parents per attribute (a practical guard on
+    /// top of `maxcost`; the paper's constraint is the cost alone).
+    pub max_parents: usize,
+    /// Minimum merit improvement required to keep adding parents.
+    pub min_improvement: f64,
+}
+
+impl Default for CfsConfig {
+    fn default() -> Self {
+        CfsConfig {
+            maxcost: 300,
+            max_parents: 4,
+            min_improvement: 1e-6,
+        }
+    }
+}
+
+impl CfsConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.maxcost == 0 {
+            return Err(ModelError::InvalidParameter("maxcost must be at least 1".into()));
+        }
+        if self.max_parents == 0 {
+            return Err(ModelError::InvalidParameter("max_parents must be at least 1".into()));
+        }
+        if !self.min_improvement.is_finite() || self.min_improvement < 0.0 {
+            return Err(ModelError::InvalidParameter(
+                "min_improvement must be non-negative and finite".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The CFS merit score of a candidate parent set for `target` (Eq. 4).
+/// An empty parent set scores 0.
+pub fn merit_score(target: usize, parents: &[usize], corr: &CorrelationMatrix) -> f64 {
+    if parents.is_empty() {
+        return 0.0;
+    }
+    let relevance: f64 = parents.iter().map(|&j| corr.get(target, j)).sum();
+    let mut redundancy = 0.0;
+    for (a, &j) in parents.iter().enumerate() {
+        for &k in &parents[a + 1..] {
+            redundancy += 2.0 * corr.get(j, k); // Σ over ordered pairs j ≠ k
+        }
+    }
+    let denom = (parents.len() as f64 + redundancy).max(f64::EPSILON).sqrt();
+    relevance / denom
+}
+
+/// The complexity cost of a parent set: the number of joint configurations of
+/// the bucketized parents (Eq. 6).
+pub fn parent_set_cost(parents: &[usize], bucketizer: &Bucketizer) -> u64 {
+    parents
+        .iter()
+        .fold(1u64, |acc, &j| acc.saturating_mul(bucketizer.bucket_count(j) as u64))
+}
+
+/// Greedily select the parent set of every attribute, producing an acyclic
+/// dependency graph.  Attributes are processed in a data-driven order (most
+/// strongly correlated attribute first) so that highly predictable attributes
+/// get first pick of parents before acyclicity constraints tighten.
+pub fn learn_structure(
+    corr: &CorrelationMatrix,
+    bucketizer: &Bucketizer,
+    config: &CfsConfig,
+) -> Result<DependencyGraph> {
+    config.validate()?;
+    let m = corr.len();
+    if bucketizer.per_attribute().len() != m {
+        return Err(ModelError::InvalidGraph(format!(
+            "bucketizer covers {} attributes but the correlation matrix has {m}",
+            bucketizer.per_attribute().len()
+        )));
+    }
+    let mut graph = DependencyGraph::empty(m);
+
+    // Process attributes by decreasing best available correlation.
+    let mut order: Vec<usize> = (0..m).collect();
+    let best_corr = |i: usize| -> f64 {
+        (0..m)
+            .filter(|&j| j != i)
+            .map(|j| corr.get(i, j))
+            .fold(0.0f64, f64::max)
+    };
+    order.sort_by(|&a, &b| best_corr(b).partial_cmp(&best_corr(a)).expect("correlations are finite"));
+
+    for &target in &order {
+        let mut parents: Vec<usize> = Vec::new();
+        let mut current_score = 0.0f64;
+        loop {
+            if parents.len() >= config.max_parents {
+                break;
+            }
+            // Find the admissible candidate that maximizes the merit.
+            let mut best: Option<(usize, f64)> = None;
+            for candidate in 0..m {
+                if candidate == target || parents.contains(&candidate) {
+                    continue;
+                }
+                if !graph.can_add_edge(candidate, target) {
+                    continue;
+                }
+                let mut trial = parents.clone();
+                trial.push(candidate);
+                if parent_set_cost(&trial, bucketizer) > config.maxcost {
+                    continue;
+                }
+                let score = merit_score(target, &trial, corr);
+                if best.map_or(true, |(_, s)| score > s) {
+                    best = Some((candidate, score));
+                }
+            }
+            match best {
+                Some((candidate, score)) if score > current_score + config.min_improvement => {
+                    graph.add_edge(candidate, target)?;
+                    parents.push(candidate);
+                    current_score = score;
+                }
+                _ => break,
+            }
+        }
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::correlation_matrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sgf_data::{Attribute, Dataset, Record, Schema};
+    use std::sync::Arc;
+
+    /// A, B strongly dependent; C mostly independent; D a noisy copy of A.
+    fn dataset() -> Dataset {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Attribute::categorical_anon("A", 3),
+                Attribute::categorical_anon("B", 3),
+                Attribute::categorical_anon("C", 3),
+                Attribute::categorical_anon("D", 3),
+            ])
+            .unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        let records = (0..3000)
+            .map(|_| {
+                let a: u16 = rng.gen_range(0..3);
+                let b = if rng.gen::<f64>() < 0.9 { a } else { rng.gen_range(0..3) };
+                let c: u16 = rng.gen_range(0..3);
+                let d = if rng.gen::<f64>() < 0.8 { a } else { rng.gen_range(0..3) };
+                Record::new(vec![a, b, c, d])
+            })
+            .collect();
+        Dataset::from_records_unchecked(schema, records)
+    }
+
+    #[test]
+    fn merit_prefers_relevant_nonredundant_parents() {
+        let d = dataset();
+        let bkt = Bucketizer::identity(d.schema());
+        let corr = correlation_matrix(&d, &bkt).unwrap();
+        // For target B, parent {A} should beat parent {C}.
+        assert!(merit_score(1, &[0], &corr) > merit_score(1, &[2], &corr));
+        // Adding the redundant D to {A} should not dramatically improve the merit.
+        let just_a = merit_score(1, &[0], &corr);
+        let a_and_d = merit_score(1, &[0, 3], &corr);
+        assert!(a_and_d < just_a + 0.2);
+        assert_eq!(merit_score(1, &[], &corr), 0.0);
+    }
+
+    #[test]
+    fn cost_is_product_of_bucket_counts() {
+        let d = dataset();
+        let bkt = Bucketizer::identity(d.schema());
+        assert_eq!(parent_set_cost(&[0, 1], &bkt), 9);
+        assert_eq!(parent_set_cost(&[], &bkt), 1);
+    }
+
+    #[test]
+    fn learned_structure_is_acyclic_and_links_dependent_attributes() {
+        let d = dataset();
+        let bkt = Bucketizer::identity(d.schema());
+        let corr = correlation_matrix(&d, &bkt).unwrap();
+        let graph = learn_structure(&corr, &bkt, &CfsConfig::default()).unwrap();
+        assert!(graph.topological_order().is_some());
+        // A, B, D form a dependent cluster: B and D should have at least one
+        // parent from the cluster (whichever direction the greedy pass chose).
+        let cluster = [0usize, 1, 3];
+        let linked = cluster
+            .iter()
+            .filter(|&&i| graph.parents(i).iter().any(|p| cluster.contains(p)))
+            .count();
+        assert!(linked >= 2, "expected the dependent cluster to be linked: {:?}", graph.parent_sets());
+        // C is independent noise: it should not acquire strongly-correlated parents.
+        assert!(graph.parents(2).len() <= 1);
+    }
+
+    #[test]
+    fn maxcost_limits_parent_sets() {
+        let d = dataset();
+        let bkt = Bucketizer::identity(d.schema());
+        let corr = correlation_matrix(&d, &bkt).unwrap();
+        let config = CfsConfig {
+            maxcost: 3,
+            ..CfsConfig::default()
+        };
+        let graph = learn_structure(&corr, &bkt, &config).unwrap();
+        for i in 0..graph.len() {
+            assert!(parent_set_cost(graph.parents(i), &bkt) <= 3);
+        }
+    }
+
+    #[test]
+    fn max_parents_cap_is_respected() {
+        let d = dataset();
+        let bkt = Bucketizer::identity(d.schema());
+        let corr = correlation_matrix(&d, &bkt).unwrap();
+        let config = CfsConfig {
+            max_parents: 1,
+            ..CfsConfig::default()
+        };
+        let graph = learn_structure(&corr, &bkt, &config).unwrap();
+        assert!((0..graph.len()).all(|i| graph.parents(i).len() <= 1));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(CfsConfig {
+            maxcost: 0,
+            ..CfsConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CfsConfig {
+            max_parents: 0,
+            ..CfsConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CfsConfig {
+            min_improvement: f64::NAN,
+            ..CfsConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+}

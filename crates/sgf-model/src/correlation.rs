@@ -1,0 +1,282 @@
+//! Pairwise attribute correlations (Section 3.3 / 3.3.1).
+//!
+//! Structure learning scores parent sets with the symmetrical uncertainty
+//! coefficient between (discretized) attributes.  This module computes the
+//! full correlation matrix either exactly or with differentially-private
+//! noisy entropies (Eq. 8–10): every entropy query receives fresh Laplace
+//! noise scaled by the sensitivity bound of Lemma 1, and the record count used
+//! by that bound is itself randomized (Eq. 10).
+
+use crate::error::{ModelError, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sgf_data::{Bucketizer, Dataset};
+use sgf_stats::{
+    entropy, entropy_sensitivity, joint_entropy, laplace_mechanism,
+    symmetrical_uncertainty_from_entropies, Histogram, JointHistogram,
+};
+
+/// Differential-privacy parameters for the correlation computation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationDpConfig {
+    /// Privacy parameter ε_H spent on *each* noisy entropy query (Eq. 8).
+    pub epsilon_h: f64,
+    /// Privacy parameter ε_{n_T} spent on the noisy record count (Eq. 10).
+    pub epsilon_nt: f64,
+}
+
+impl CorrelationDpConfig {
+    /// Validate the parameters.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.epsilon_h.is_finite() && self.epsilon_h > 0.0) {
+            return Err(ModelError::InvalidParameter(format!(
+                "epsilon_h must be positive, got {}",
+                self.epsilon_h
+            )));
+        }
+        if !(self.epsilon_nt.is_finite() && self.epsilon_nt > 0.0) {
+            return Err(ModelError::InvalidParameter(format!(
+                "epsilon_nt must be positive, got {}",
+                self.epsilon_nt
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Symmetric matrix of pairwise correlations between bucketized attributes,
+/// each value clamped to `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationMatrix {
+    m: usize,
+    values: Vec<f64>,
+    /// Number of noisy entropy queries issued (0 for the exact computation).
+    entropy_queries: usize,
+}
+
+impl CorrelationMatrix {
+    fn index(&self, i: usize, j: usize) -> usize {
+        i * self.m + j
+    }
+
+    /// Correlation between attributes `i` and `j` (1.0 on the diagonal).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[self.index(i, j)]
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.m
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    /// Number of noisy entropy queries that were issued to build this matrix
+    /// (0 when the exact entropies were used).  The structure-learning budget
+    /// composes over exactly this count.
+    pub fn entropy_query_count(&self) -> usize {
+        self.entropy_queries
+    }
+
+    /// Number of entropy queries needed for `m` attributes: `m` single-attribute
+    /// entropies plus `m(m-1)/2` pairwise joint entropies.
+    pub fn queries_for(m: usize) -> usize {
+        m + m * m.saturating_sub(1) / 2
+    }
+}
+
+/// Compute the exact (non-private) correlation matrix over bucketized attributes.
+pub fn correlation_matrix(dataset: &Dataset, bucketizer: &Bucketizer) -> Result<CorrelationMatrix> {
+    compute_matrix(dataset, bucketizer, None, &mut rand::rngs::mock::StepRng::new(0, 1))
+}
+
+/// Compute the correlation matrix with differentially-private noisy entropies.
+pub fn noisy_correlation_matrix<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    bucketizer: &Bucketizer,
+    dp: &CorrelationDpConfig,
+    rng: &mut R,
+) -> Result<CorrelationMatrix> {
+    dp.validate()?;
+    compute_matrix(dataset, bucketizer, Some(dp), rng)
+}
+
+fn compute_matrix<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    bucketizer: &Bucketizer,
+    dp: Option<&CorrelationDpConfig>,
+    rng: &mut R,
+) -> Result<CorrelationMatrix> {
+    if dataset.is_empty() {
+        return Err(ModelError::EmptyTrainingData);
+    }
+    let m = dataset.schema().len();
+    let n = dataset.len() as u64;
+
+    // Sensitivity of each entropy query.  Under DP the record count itself is
+    // randomized before being used inside the sensitivity bound (Eq. 10).
+    let mut entropy_queries = 0usize;
+    let sensitivity = match dp {
+        None => 0.0,
+        Some(cfg) => {
+            let noisy_n = laplace_mechanism(n as f64, 1.0, cfg.epsilon_nt, rng).max(2.0);
+            entropy_sensitivity(noisy_n.round() as u64)
+        }
+    };
+
+    let mut single = Vec::with_capacity(m);
+    for attr in 0..m {
+        let h = entropy(&Histogram::from_column_bucketized(dataset, attr, bucketizer));
+        let h = match dp {
+            None => h,
+            Some(cfg) => {
+                entropy_queries += 1;
+                laplace_mechanism(h, sensitivity, cfg.epsilon_h, rng).max(0.0)
+            }
+        };
+        single.push(h);
+    }
+
+    let mut values = vec![0.0; m * m];
+    for i in 0..m {
+        values[i * m + i] = 1.0;
+        for j in (i + 1)..m {
+            let joint = JointHistogram::from_pairs(
+                bucketizer.bucket_count(i),
+                bucketizer.bucket_count(j),
+                dataset
+                    .records()
+                    .iter()
+                    .map(|r| (bucketizer.bucket_of(i, r.get(i)), bucketizer.bucket_of(j, r.get(j)))),
+            );
+            let h_ij = joint_entropy(&joint);
+            let h_ij = match dp {
+                None => h_ij,
+                Some(cfg) => {
+                    entropy_queries += 1;
+                    laplace_mechanism(h_ij, sensitivity, cfg.epsilon_h, rng).max(0.0)
+                }
+            };
+            let corr = symmetrical_uncertainty_from_entropies(single[i], single[j], h_ij);
+            values[i * m + j] = corr;
+            values[j * m + i] = corr;
+        }
+    }
+
+    Ok(CorrelationMatrix {
+        m,
+        values,
+        entropy_queries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgf_data::{Attribute, Record, Schema};
+    use std::sync::Arc;
+
+    /// Dataset where B is a copy of A and C is independent noise.
+    fn correlated_dataset(n: usize) -> Dataset {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Attribute::categorical_anon("A", 4),
+                Attribute::categorical_anon("B", 4),
+                Attribute::categorical_anon("C", 4),
+            ])
+            .unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(123);
+        let records = (0..n)
+            .map(|_| {
+                let a: u16 = rng.gen_range(0..4);
+                let c: u16 = rng.gen_range(0..4);
+                Record::new(vec![a, a, c])
+            })
+            .collect();
+        Dataset::from_records_unchecked(schema, records)
+    }
+
+    #[test]
+    fn exact_matrix_detects_dependence() {
+        let d = correlated_dataset(2000);
+        let bkt = Bucketizer::identity(d.schema());
+        let corr = correlation_matrix(&d, &bkt).unwrap();
+        assert_eq!(corr.len(), 3);
+        assert!((corr.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!(corr.get(0, 1) > 0.95, "copied attribute should be ~1: {}", corr.get(0, 1));
+        assert!(corr.get(0, 2) < 0.05, "independent attribute should be ~0: {}", corr.get(0, 2));
+        assert_eq!(corr.get(0, 1), corr.get(1, 0));
+        assert_eq!(corr.entropy_query_count(), 0);
+    }
+
+    #[test]
+    fn noisy_matrix_stays_in_range_and_counts_queries() {
+        let d = correlated_dataset(2000);
+        let bkt = Bucketizer::identity(d.schema());
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = CorrelationDpConfig {
+            epsilon_h: 0.5,
+            epsilon_nt: 0.1,
+        };
+        let corr = noisy_correlation_matrix(&d, &bkt, &cfg, &mut rng).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((0.0..=1.0).contains(&corr.get(i, j)));
+            }
+        }
+        assert_eq!(corr.entropy_query_count(), CorrelationMatrix::queries_for(3));
+    }
+
+    #[test]
+    fn noisy_matrix_with_large_epsilon_tracks_exact() {
+        let d = correlated_dataset(3000);
+        let bkt = Bucketizer::identity(d.schema());
+        let exact = correlation_matrix(&d, &bkt).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = CorrelationDpConfig {
+            epsilon_h: 50.0,
+            epsilon_nt: 50.0,
+        };
+        let noisy = noisy_correlation_matrix(&d, &bkt, &cfg, &mut rng).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((exact.get(i, j) - noisy.get(i, j)).abs() < 0.1);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_dp_config_rejected() {
+        let d = correlated_dataset(10);
+        let bkt = Bucketizer::identity(d.schema());
+        let mut rng = StdRng::seed_from_u64(4);
+        let bad = CorrelationDpConfig {
+            epsilon_h: 0.0,
+            epsilon_nt: 1.0,
+        };
+        assert!(noisy_correlation_matrix(&d, &bkt, &bad, &mut rng).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let d = correlated_dataset(5).truncated(0);
+        let bkt = Bucketizer::identity(d.schema());
+        assert!(matches!(
+            correlation_matrix(&d, &bkt),
+            Err(ModelError::EmptyTrainingData)
+        ));
+    }
+
+    #[test]
+    fn query_count_formula() {
+        assert_eq!(CorrelationMatrix::queries_for(11), 11 + 55);
+        assert_eq!(CorrelationMatrix::queries_for(1), 1);
+        assert_eq!(CorrelationMatrix::queries_for(0), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for model construction and synthesis.
+
+use std::fmt;
+
+/// Errors produced while learning or using the generative model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The training dataset is empty.
+    EmptyTrainingData,
+    /// A parameter was outside its valid range.
+    InvalidParameter(String),
+    /// The dependency graph is inconsistent with the schema (wrong number of
+    /// attributes, parent index out of range, or a cycle).
+    InvalidGraph(String),
+    /// A record does not conform to the model's schema.
+    SchemaMismatch(String),
+    /// Underlying dataset error.
+    Data(sgf_data::DataError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyTrainingData => write!(f, "training dataset must not be empty"),
+            ModelError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ModelError::InvalidGraph(msg) => write!(f, "invalid dependency graph: {msg}"),
+            ModelError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            ModelError::Data(err) => write!(f, "data error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Data(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<sgf_data::DataError> for ModelError {
+    fn from(err: sgf_data::DataError) -> Self {
+        ModelError::Data(err)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ModelError::EmptyTrainingData.to_string().contains("empty"));
+        assert!(ModelError::InvalidGraph("cycle".into()).to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn data_error_converts_and_chains() {
+        use std::error::Error;
+        let err: ModelError = sgf_data::DataError::EmptyDataset.into();
+        assert!(matches!(err, ModelError::Data(_)));
+        assert!(err.source().is_some());
+        assert!(ModelError::EmptyTrainingData.source().is_none());
+    }
+}

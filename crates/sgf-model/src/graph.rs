@@ -1,0 +1,246 @@
+//! Dependency graphs between attributes.
+//!
+//! The generative model (Eq. 2) factorizes the joint distribution along a
+//! directed acyclic graph `G` whose nodes are the attributes: an edge
+//! `x_j -> x_i` means attribute `i` is predicted from (among others) attribute
+//! `j`.  [`DependencyGraph`] stores the parent set `P_G(i)` of every attribute
+//! and offers the acyclicity / topological-order machinery that both structure
+//! learning and the synthesis re-sampling order σ rely on.
+
+use crate::error::{ModelError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A directed acyclic dependency graph over `m` attributes, stored as the
+/// parent set of each attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DependencyGraph {
+    parents: Vec<Vec<usize>>,
+}
+
+impl DependencyGraph {
+    /// The empty graph over `m` attributes (no dependencies — the marginal model).
+    pub fn empty(m: usize) -> Self {
+        DependencyGraph {
+            parents: vec![Vec::new(); m],
+        }
+    }
+
+    /// Build a graph from explicit parent sets; validates indices and acyclicity.
+    pub fn from_parent_sets(parents: Vec<Vec<usize>>) -> Result<Self> {
+        let g = DependencyGraph { parents };
+        g.validate()?;
+        Ok(g)
+    }
+
+    fn validate(&self) -> Result<()> {
+        let m = self.parents.len();
+        for (i, ps) in self.parents.iter().enumerate() {
+            for &p in ps {
+                if p >= m {
+                    return Err(ModelError::InvalidGraph(format!(
+                        "attribute {i} lists parent {p} but the graph has only {m} attributes"
+                    )));
+                }
+                if p == i {
+                    return Err(ModelError::InvalidGraph(format!("attribute {i} cannot be its own parent")));
+                }
+            }
+        }
+        if self.topological_order().is_none() {
+            return Err(ModelError::InvalidGraph("the dependency graph contains a cycle".into()));
+        }
+        Ok(())
+    }
+
+    /// Number of attributes (nodes).
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Whether the graph has zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// The parent set `P_G(i)` of attribute `i`.
+    pub fn parents(&self, i: usize) -> &[usize] {
+        &self.parents[i]
+    }
+
+    /// All parent sets.
+    pub fn parent_sets(&self) -> &[Vec<usize>] {
+        &self.parents
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.parents.iter().map(Vec::len).sum()
+    }
+
+    /// Whether adding the edge `parent -> child` keeps the graph acyclic.
+    pub fn can_add_edge(&self, parent: usize, child: usize) -> bool {
+        if parent == child || parent >= self.len() || child >= self.len() {
+            return false;
+        }
+        if self.parents[child].contains(&parent) {
+            return true; // already present, nothing changes
+        }
+        // Adding parent -> child creates a cycle iff child is an ancestor of parent.
+        !self.reaches(child, parent)
+    }
+
+    /// Add the edge `parent -> child`; returns an error if it would create a cycle.
+    pub fn add_edge(&mut self, parent: usize, child: usize) -> Result<()> {
+        if parent >= self.len() || child >= self.len() {
+            return Err(ModelError::InvalidGraph(format!(
+                "edge {parent} -> {child} references a node outside the graph"
+            )));
+        }
+        if parent == child {
+            return Err(ModelError::InvalidGraph(format!("attribute {child} cannot be its own parent")));
+        }
+        if self.parents[child].contains(&parent) {
+            return Ok(());
+        }
+        if !self.can_add_edge(parent, child) {
+            return Err(ModelError::InvalidGraph(format!(
+                "edge {parent} -> {child} would create a cycle"
+            )));
+        }
+        self.parents[child].push(parent);
+        Ok(())
+    }
+
+    /// Whether `to` is reachable from `from` by following directed edges
+    /// (parent -> child direction).
+    fn reaches(&self, from: usize, to: usize) -> bool {
+        if from == to {
+            return true;
+        }
+        // children[i] = attributes that have i as parent.
+        let mut stack = vec![from];
+        let mut visited = vec![false; self.len()];
+        visited[from] = true;
+        while let Some(node) = stack.pop() {
+            for (child, ps) in self.parents.iter().enumerate() {
+                if ps.contains(&node) && !visited[child] {
+                    if child == to {
+                        return true;
+                    }
+                    visited[child] = true;
+                    stack.push(child);
+                }
+            }
+        }
+        false
+    }
+
+    /// A topological order of the attributes (parents before children), or
+    /// `None` if the graph has a cycle.  This is the re-sampling order σ of
+    /// Section 3.2: `∀ j ∈ P_G(i): σ(j) < σ(i)`.
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let m = self.len();
+        let mut in_degree: Vec<usize> = self.parents.iter().map(Vec::len).collect();
+        // Process nodes with no unprocessed parents; prefer lower indices for determinism.
+        let mut ready: Vec<usize> = (0..m).filter(|&i| in_degree[i] == 0).collect();
+        ready.sort_unstable_by(|a, b| b.cmp(a)); // use as a stack popping smallest last
+        let mut order = Vec::with_capacity(m);
+        while let Some(node) = ready.pop() {
+            order.push(node);
+            for (child, ps) in self.parents.iter().enumerate() {
+                if ps.contains(&node) {
+                    in_degree[child] -= 1;
+                    if in_degree[child] == 0 {
+                        // Insert keeping the stack sorted descending so we pop the smallest index.
+                        let pos = ready.partition_point(|&x| x > child);
+                        ready.insert(pos, child);
+                    }
+                }
+            }
+        }
+        if order.len() == m {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// The Markov blanket factors of attribute `i`: `i` itself plus every
+    /// attribute that lists `i` as a parent (its children).  Used to compute
+    /// the full conditional `Pr{x_i | everything else}` for the model-accuracy
+    /// experiments.
+    pub fn children(&self, i: usize) -> Vec<usize> {
+        (0..self.len()).filter(|&c| self.parents[c].contains(&i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = DependencyGraph::empty(4);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.topological_order().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn add_edge_and_parent_sets() {
+        let mut g = DependencyGraph::empty(3);
+        g.add_edge(0, 2).unwrap();
+        g.add_edge(1, 2).unwrap();
+        assert_eq!(g.parents(2), &[0, 1]);
+        assert_eq!(g.edge_count(), 2);
+        // Re-adding is a no-op.
+        g.add_edge(0, 2).unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let mut g = DependencyGraph::empty(3);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        assert!(!g.can_add_edge(2, 0));
+        assert!(g.add_edge(2, 0).is_err());
+        assert!(g.add_edge(1, 1).is_err());
+        assert!(g.add_edge(0, 9).is_err());
+    }
+
+    #[test]
+    fn from_parent_sets_validates() {
+        assert!(DependencyGraph::from_parent_sets(vec![vec![], vec![0], vec![1]]).is_ok());
+        // Cycle 0 -> 1 -> 0.
+        assert!(DependencyGraph::from_parent_sets(vec![vec![1], vec![0]]).is_err());
+        // Out-of-range parent.
+        assert!(DependencyGraph::from_parent_sets(vec![vec![5]]).is_err());
+        // Self-loop.
+        assert!(DependencyGraph::from_parent_sets(vec![vec![0]]).is_err());
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = DependencyGraph::from_parent_sets(vec![vec![2], vec![0, 2], vec![]]).unwrap();
+        let order = g.topological_order().unwrap();
+        let pos = |x: usize| order.iter().position(|&y| y == x).unwrap();
+        assert!(pos(2) < pos(0));
+        assert!(pos(0) < pos(1));
+        assert!(pos(2) < pos(1));
+    }
+
+    #[test]
+    fn children_inverts_parents() {
+        let g = DependencyGraph::from_parent_sets(vec![vec![], vec![0], vec![0, 1]]).unwrap();
+        assert_eq!(g.children(0), vec![1, 2]);
+        assert_eq!(g.children(1), vec![2]);
+        assert!(g.children(2).is_empty());
+    }
+
+    #[test]
+    fn topological_order_is_deterministic() {
+        let g = DependencyGraph::from_parent_sets(vec![vec![], vec![], vec![0, 1], vec![2]]).unwrap();
+        assert_eq!(g.topological_order().unwrap(), vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # sgf-model
+//!
+//! The privacy-preserving generative model of Section 3 of *Plausible
+//! Deniability for Privacy-Preserving Data Synthesis* (VLDB 2017):
+//!
+//! * [`graph`] — dependency DAGs between attributes (Eq. 2);
+//! * [`correlation`] — symmetrical-uncertainty correlation matrices, exact or
+//!   with DP noisy entropies (Section 3.3.1);
+//! * [`cfs`] — Correlation-based Feature Selection with the merit score of
+//!   Eq. 4 under the acyclicity and `maxcost` (Eq. 6) constraints;
+//! * [`structure`] — end-to-end (privacy-preserving) structure learning;
+//! * [`parameters`] — Dirichlet-multinomial CPTs with DP noisy counts (Eq. 14),
+//!   materialized lazily with per-configuration deterministic noise;
+//! * [`model`] — the [`GenerativeModel`] abstraction plus the Bayesian-network
+//!   model (ancestral sampling, likelihood, most-likely-value prediction);
+//! * [`synthesis`] — the seed-based synthesizer with re-sampling order σ and
+//!   ω re-sampled attributes (Section 3.2);
+//! * [`marginal`] — the independent-marginals baseline.
+
+#![warn(missing_docs)]
+
+pub mod cfs;
+pub mod correlation;
+pub mod error;
+pub mod graph;
+pub mod marginal;
+pub mod model;
+pub mod parameters;
+pub mod structure;
+pub mod synthesis;
+
+pub use cfs::{learn_structure, merit_score, parent_set_cost, CfsConfig};
+pub use correlation::{
+    correlation_matrix, noisy_correlation_matrix, CorrelationDpConfig, CorrelationMatrix,
+};
+pub use error::{ModelError, Result};
+pub use graph::DependencyGraph;
+pub use marginal::{MarginalConfig, MarginalModel};
+pub use model::{BayesNetModel, GenerativeModel};
+pub use parameters::{CptStore, ParameterConfig};
+pub use structure::{learn_dependency_structure, LearnedStructure, StructureConfig};
+pub use synthesis::{OmegaSpec, SeedSynthesizer};

@@ -1,0 +1,249 @@
+//! The marginal-synthesis baseline (Section 3.2, "Baseline: Marginal Synthesis").
+//!
+//! The baseline assumes full independence between attributes: each attribute
+//! value of a synthetic record is sampled from that attribute's (optionally
+//! differentially-private) marginal distribution, regardless of the seed.
+//! This is the `marginals` column/series of every table and figure in the
+//! evaluation.
+
+use crate::error::{ModelError, Result};
+use crate::model::GenerativeModel;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use sgf_data::{Dataset, Record, Schema};
+use sgf_stats::{
+    advanced_composition, configuration_rng, dirichlet_posterior_mean, sample_categorical, DpBudget,
+    Histogram, Laplace,
+};
+use std::sync::Arc;
+
+/// Configuration for learning the marginal model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarginalConfig {
+    /// Total Dirichlet prior mass per attribute, spread uniformly across its
+    /// values (each cell receives `alpha / |x_i|`).
+    pub alpha: f64,
+    /// Per-count privacy parameter; `None` learns exact marginals.
+    pub epsilon_p: Option<f64>,
+    /// Global seed for the deterministic per-attribute noise.
+    pub global_seed: u64,
+    /// Slack δ for advanced composition across attributes.
+    pub delta_slack: f64,
+}
+
+impl Default for MarginalConfig {
+    fn default() -> Self {
+        MarginalConfig {
+            alpha: 1.0,
+            epsilon_p: None,
+            global_seed: 0,
+            delta_slack: 1e-9,
+        }
+    }
+}
+
+/// A seed-independent synthesizer sampling every attribute from its marginal.
+#[derive(Debug, Clone)]
+pub struct MarginalModel {
+    schema: Arc<Schema>,
+    marginals: Vec<Vec<f64>>,
+    budget: DpBudget,
+}
+
+impl MarginalModel {
+    /// Learn (possibly noisy) marginals from a dataset.
+    pub fn learn(dataset: &Dataset, config: MarginalConfig) -> Result<Self> {
+        if dataset.is_empty() {
+            return Err(ModelError::EmptyTrainingData);
+        }
+        if !(config.alpha.is_finite() && config.alpha > 0.0) {
+            return Err(ModelError::InvalidParameter(format!(
+                "Dirichlet alpha must be positive, got {}",
+                config.alpha
+            )));
+        }
+        if let Some(eps) = config.epsilon_p {
+            if !(eps.is_finite() && eps > 0.0) {
+                return Err(ModelError::InvalidParameter(format!(
+                    "epsilon_p must be positive, got {eps}"
+                )));
+            }
+        }
+        let schema = dataset.schema_arc();
+        let mut marginals = Vec::with_capacity(schema.len());
+        for attr in 0..schema.len() {
+            let histogram = Histogram::from_column(dataset, attr);
+            let mut counts: Vec<f64> = histogram.counts().iter().map(|&c| c as f64).collect();
+            if let Some(eps) = config.epsilon_p {
+                let mut rng = configuration_rng(config.global_seed, "sgf-marginals", attr, 0);
+                let lap = Laplace::for_mechanism(1.0, eps);
+                for c in counts.iter_mut() {
+                    *c = (*c + lap.sample(&mut rng)).max(0.0);
+                }
+            }
+            let alphas = vec![config.alpha / counts.len() as f64; counts.len()];
+            marginals.push(dirichlet_posterior_mean(&alphas, &counts));
+        }
+        let budget = match config.epsilon_p {
+            None => DpBudget::pure(0.0),
+            Some(eps) => advanced_composition(eps, 0.0, schema.len() as u64, config.delta_slack),
+        };
+        Ok(MarginalModel {
+            schema,
+            marginals,
+            budget,
+        })
+    }
+
+    /// The marginal distribution of attribute `attr`.
+    pub fn marginal(&self, attr: usize) -> &[f64] {
+        &self.marginals[attr]
+    }
+
+    /// Differential-privacy budget spent learning the marginals.
+    pub fn budget(&self) -> DpBudget {
+        self.budget
+    }
+
+    /// Generate a full dataset of `n` independent marginal samples.
+    pub fn sample_dataset<R: rand::Rng>(&self, n: usize, rng: &mut R) -> Dataset {
+        let dummy_seed = Record::new(vec![0u16; self.schema.len()]);
+        let records = (0..n).map(|_| self.generate(&dummy_seed, rng)).collect();
+        Dataset::from_records_unchecked(Arc::clone(&self.schema), records)
+    }
+}
+
+impl GenerativeModel for MarginalModel {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn generate(&self, _seed: &Record, rng: &mut dyn RngCore) -> Record {
+        let values = self
+            .marginals
+            .iter()
+            .map(|dist| sample_categorical(dist, rng) as u16)
+            .collect();
+        Record::new(values)
+    }
+
+    fn probability(&self, _seed: &Record, y: &Record) -> f64 {
+        self.marginals
+            .iter()
+            .enumerate()
+            .map(|(attr, dist)| dist[y.get(attr) as usize])
+            .product()
+    }
+
+    fn is_seed_dependent(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sgf_data::{Attribute, Schema as DataSchema};
+    use std::sync::Arc as StdArc;
+
+    fn dataset(n: usize) -> Dataset {
+        let schema = StdArc::new(
+            DataSchema::new(vec![
+                Attribute::categorical_anon("A", 3),
+                Attribute::categorical_anon("B", 2),
+            ])
+            .unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(55);
+        let records = (0..n)
+            .map(|_| {
+                let a: u16 = if rng.gen::<f64>() < 0.6 { 0 } else { rng.gen_range(1..3) };
+                Record::new(vec![a, (a % 2) as u16])
+            })
+            .collect();
+        Dataset::from_records_unchecked(schema, records)
+    }
+
+    #[test]
+    fn marginals_match_empirical_frequencies() {
+        let d = dataset(5000);
+        let model = MarginalModel::learn(&d, MarginalConfig::default()).unwrap();
+        assert!((model.marginal(0)[0] - 0.6).abs() < 0.05);
+        assert!((model.marginal(0).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(model.budget().epsilon, 0.0);
+    }
+
+    #[test]
+    fn generation_is_seed_independent() {
+        let d = dataset(2000);
+        let model = MarginalModel::learn(&d, MarginalConfig::default()).unwrap();
+        assert!(!model.is_seed_dependent());
+        let y = Record::new(vec![1, 1]);
+        let p_a = model.probability(&Record::new(vec![0, 0]), &y);
+        let p_b = model.probability(&Record::new(vec![2, 1]), &y);
+        assert_eq!(p_a, p_b);
+        // Probability factorizes over attributes.
+        assert!((p_a - model.marginal(0)[1] * model.marginal(1)[1]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn noisy_marginals_are_valid_and_deterministic() {
+        let d = dataset(2000);
+        let config = MarginalConfig {
+            epsilon_p: Some(0.5),
+            global_seed: 3,
+            ..MarginalConfig::default()
+        };
+        let a = MarginalModel::learn(&d, config).unwrap();
+        let b = MarginalModel::learn(&d, config).unwrap();
+        for attr in 0..2 {
+            assert_eq!(a.marginal(attr), b.marginal(attr));
+            assert!((a.marginal(attr).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        assert!(a.budget().epsilon > 0.0);
+    }
+
+    #[test]
+    fn sample_dataset_has_requested_size_and_valid_records() {
+        let d = dataset(2000);
+        let model = MarginalModel::learn(&d, MarginalConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let synthetic = model.sample_dataset(500, &mut rng);
+        assert_eq!(synthetic.len(), 500);
+        for r in synthetic.records() {
+            synthetic.schema().validate_values(r.values()).unwrap();
+        }
+        // Marginal sampling breaks the A/B correlation present in the input.
+        let agree = synthetic
+            .records()
+            .iter()
+            .filter(|r| (r.get(0) % 2) == r.get(1))
+            .count() as f64
+            / 500.0;
+        assert!(agree < 0.9);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let d = dataset(100);
+        assert!(MarginalModel::learn(
+            &d,
+            MarginalConfig {
+                alpha: 0.0,
+                ..MarginalConfig::default()
+            }
+        )
+        .is_err());
+        assert!(MarginalModel::learn(
+            &d,
+            MarginalConfig {
+                epsilon_p: Some(0.0),
+                ..MarginalConfig::default()
+            }
+        )
+        .is_err());
+        assert!(MarginalModel::learn(&d.truncated(0), MarginalConfig::default()).is_err());
+    }
+}

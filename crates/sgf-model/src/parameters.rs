@@ -1,0 +1,465 @@
+//! Privacy-preserving parameter learning (Section 3.4 / 3.4.1).
+//!
+//! For every attribute `i` and every joint configuration `c` of its
+//! (bucketized) parents, the model holds a multinomial distribution over the
+//! values of `i`.  Learning places a symmetric Dirichlet prior over those
+//! multinomials and updates it with the counts `n^c_i` observed in `D_P`
+//! (Eq. 11–13).  Under differential privacy each count receives Laplace noise
+//! with sensitivity 1 and is clamped at zero (Eq. 14).
+//!
+//! Tables are materialized lazily per configuration — exactly like the paper's
+//! tool (Section 5) — and the noise drawn for a configuration comes from an
+//! RNG seeded by a deterministic hash of that configuration, so concurrent
+//! workers observe identical noisy parameters.
+
+use crate::error::{ModelError, Result};
+use crate::graph::DependencyGraph;
+use parking_lot::RwLock;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sgf_data::{Bucketizer, Dataset, Schema};
+use sgf_stats::{
+    advanced_composition, configuration_rng, dirichlet_posterior_mean, sample_dirichlet, DpBudget, Laplace,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Configuration of parameter learning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParameterConfig {
+    /// Total Dirichlet prior mass per configuration (the `α` of Eq. 11),
+    /// spread uniformly across the attribute's values: each cell receives
+    /// `alpha / |x_i|`.  Keeping the *total* fixed means the prior stays
+    /// negligible relative to the data even for wide attributes.
+    pub alpha: f64,
+    /// Per-count privacy parameter ε_p (Eq. 14); `None` learns exact parameters.
+    pub epsilon_p: Option<f64>,
+    /// Whether to *sample* the multinomial parameters from the Dirichlet
+    /// posterior (Eq. 12) rather than take the posterior mean (Eq. 13).  The
+    /// paper samples "to increase the variety of data samples".
+    pub sample_parameters: bool,
+    /// Global seed mixed into the per-configuration RNG hash.
+    pub global_seed: u64,
+    /// Slack δ used when composing the per-attribute budgets.
+    pub delta_slack: f64,
+}
+
+impl Default for ParameterConfig {
+    fn default() -> Self {
+        ParameterConfig {
+            alpha: 1.0,
+            epsilon_p: None,
+            sample_parameters: false,
+            global_seed: 0,
+            delta_slack: 1e-9,
+        }
+    }
+}
+
+impl ParameterConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.alpha.is_finite() && self.alpha > 0.0) {
+            return Err(ModelError::InvalidParameter(format!(
+                "Dirichlet alpha must be positive, got {}",
+                self.alpha
+            )));
+        }
+        if let Some(eps) = self.epsilon_p {
+            if !(eps.is_finite() && eps > 0.0) {
+                return Err(ModelError::InvalidParameter(format!(
+                    "epsilon_p must be positive, got {eps}"
+                )));
+            }
+        }
+        if !(self.delta_slack > 0.0 && self.delta_slack < 1.0) {
+            return Err(ModelError::InvalidParameter(
+                "delta_slack must lie in (0, 1)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Per-attribute layout of the conditional probability tables.
+#[derive(Debug, Clone)]
+struct AttributeTable {
+    /// Strides used to turn parent bucket values into a configuration index.
+    parent_strides: Vec<u64>,
+    /// Parents of the attribute (copied from the graph for locality).
+    parents: Vec<usize>,
+    /// Number of joint parent configurations (`#c`).
+    configurations: u64,
+    /// Cardinality of the attribute itself.
+    cardinality: usize,
+    /// Raw counts, indexed `config * cardinality + value`.
+    counts: Vec<u32>,
+}
+
+/// The learned conditional-probability store: counts from `D_P` plus lazily
+/// materialized (noisy) probability tables.
+pub struct CptStore {
+    schema: Arc<Schema>,
+    bucketizer: Bucketizer,
+    graph: DependencyGraph,
+    config: ParameterConfig,
+    tables: Vec<AttributeTable>,
+    cache: Vec<RwLock<HashMap<u64, Arc<Vec<f64>>>>>,
+    budget: DpBudget,
+    training_records: usize,
+}
+
+impl std::fmt::Debug for CptStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CptStore")
+            .field("attributes", &self.schema.len())
+            .field("training_records", &self.training_records)
+            .field("budget", &self.budget)
+            .finish()
+    }
+}
+
+impl CptStore {
+    /// Learn the CPT counts from the parameter-learning subset `D_P`.
+    pub fn learn(
+        dataset: &Dataset,
+        bucketizer: &Bucketizer,
+        graph: &DependencyGraph,
+        config: ParameterConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        if dataset.is_empty() {
+            return Err(ModelError::EmptyTrainingData);
+        }
+        let schema = dataset.schema_arc();
+        if graph.len() != schema.len() {
+            return Err(ModelError::InvalidGraph(format!(
+                "graph has {} nodes but the schema has {} attributes",
+                graph.len(),
+                schema.len()
+            )));
+        }
+
+        let mut tables = Vec::with_capacity(schema.len());
+        for attr in 0..schema.len() {
+            let parents = graph.parents(attr).to_vec();
+            let mut strides = Vec::with_capacity(parents.len());
+            let mut configurations: u64 = 1;
+            for &p in &parents {
+                strides.push(configurations);
+                configurations = configurations.saturating_mul(bucketizer.bucket_count(p) as u64);
+            }
+            let cardinality = schema.cardinality(attr);
+            let cells = (configurations as usize).saturating_mul(cardinality);
+            tables.push(AttributeTable {
+                parent_strides: strides,
+                parents,
+                configurations,
+                cardinality,
+                counts: vec![0u32; cells],
+            });
+        }
+
+        for record in dataset.records() {
+            for (attr, table) in tables.iter_mut().enumerate() {
+                let mut config_idx: u64 = 0;
+                for (&p, &stride) in table.parents.iter().zip(table.parent_strides.iter()) {
+                    config_idx += stride * bucketizer.bucket_of(p, record.get(p)) as u64;
+                }
+                let cell = config_idx as usize * table.cardinality + record.get(attr) as usize;
+                table.counts[cell] = table.counts[cell].saturating_add(1);
+            }
+        }
+
+        // Privacy cost: the noisy count vector of one attribute has L1
+        // sensitivity 1 across *all* configurations, so each attribute costs
+        // ε_p and the m attributes compose with the advanced theorem.
+        let budget = match config.epsilon_p {
+            None => DpBudget::pure(0.0),
+            Some(eps) => advanced_composition(eps, 0.0, schema.len() as u64, config.delta_slack),
+        };
+
+        let cache = (0..schema.len()).map(|_| RwLock::new(HashMap::new())).collect();
+        Ok(CptStore {
+            schema,
+            bucketizer: bucketizer.clone(),
+            graph: graph.clone(),
+            config,
+            tables,
+            cache,
+            budget,
+            training_records: dataset.len(),
+        })
+    }
+
+    /// The schema the store was learned over.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Shared handle to the schema.
+    pub fn schema_arc(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// The dependency graph whose parent sets index the tables.
+    pub fn graph(&self) -> &DependencyGraph {
+        &self.graph
+    }
+
+    /// The bucketizer used for parent configurations.
+    pub fn bucketizer(&self) -> &Bucketizer {
+        &self.bucketizer
+    }
+
+    /// Differential-privacy budget spent on `D_P` (zero when `epsilon_p` is `None`).
+    pub fn budget(&self) -> DpBudget {
+        self.budget
+    }
+
+    /// Number of records the counts were estimated from.
+    pub fn training_records(&self) -> usize {
+        self.training_records
+    }
+
+    /// Number of joint parent configurations of attribute `attr`.
+    pub fn configurations(&self, attr: usize) -> u64 {
+        self.tables[attr].configurations
+    }
+
+    /// Configuration index of attribute `attr` for a full assignment of values,
+    /// reading parent values through the accessor (value index per attribute).
+    pub fn configuration_index<F: Fn(usize) -> u16>(&self, attr: usize, value_of: F) -> u64 {
+        let table = &self.tables[attr];
+        let mut idx: u64 = 0;
+        for (&p, &stride) in table.parents.iter().zip(table.parent_strides.iter()) {
+            idx += stride * self.bucketizer.bucket_of(p, value_of(p)) as u64;
+        }
+        idx
+    }
+
+    /// The (possibly noisy, possibly sampled) conditional distribution
+    /// `Pr{x_attr | configuration}` — materialized lazily and cached.
+    pub fn conditional(&self, attr: usize, configuration: u64) -> Arc<Vec<f64>> {
+        if let Some(hit) = self.cache[attr].read().get(&configuration) {
+            return Arc::clone(hit);
+        }
+        let computed = Arc::new(self.materialize(attr, configuration));
+        let mut guard = self.cache[attr].write();
+        Arc::clone(guard.entry(configuration).or_insert(computed))
+    }
+
+    fn materialize(&self, attr: usize, configuration: u64) -> Vec<f64> {
+        let table = &self.tables[attr];
+        let card = table.cardinality;
+        let start = (configuration as usize).min(table.configurations.saturating_sub(1) as usize) * card;
+        let raw: Vec<f64> = table.counts[start..start + card].iter().map(|&c| c as f64).collect();
+
+        // Per-configuration deterministic RNG: identical noise for identical
+        // configurations, regardless of which worker asks first.
+        let mut rng = configuration_rng(self.config.global_seed, "sgf-parameters", attr, configuration);
+
+        let noisy: Vec<f64> = match self.config.epsilon_p {
+            None => raw,
+            Some(eps) => {
+                let lap = Laplace::for_mechanism(1.0, eps);
+                raw.iter().map(|&c| (c + lap.sample(&mut rng)).max(0.0)).collect()
+            }
+        };
+
+        let alphas = vec![self.config.alpha / card as f64; card];
+        if self.config.sample_parameters {
+            let posterior: Vec<f64> = alphas.iter().zip(noisy.iter()).map(|(&a, &n)| a + n).collect();
+            sample_dirichlet(&posterior, &mut rng)
+        } else {
+            dirichlet_posterior_mean(&alphas, &noisy)
+        }
+    }
+
+    /// Conditional probability of `value` for attribute `attr` given the full
+    /// assignment provided by `value_of`.
+    pub fn conditional_probability<F: Fn(usize) -> u16>(&self, attr: usize, value: u16, value_of: F) -> f64 {
+        let config = self.configuration_index(attr, &value_of);
+        self.conditional(attr, config)[value as usize]
+    }
+
+    /// Sample a value of attribute `attr` given the assignment provided by `value_of`.
+    pub fn sample_value<F: Fn(usize) -> u16, R: Rng + ?Sized>(
+        &self,
+        attr: usize,
+        value_of: F,
+        rng: &mut R,
+    ) -> u16 {
+        let config = self.configuration_index(attr, &value_of);
+        let dist = self.conditional(attr, config);
+        sgf_stats::sample_categorical(&dist, rng) as u16
+    }
+
+    /// Number of CPT cells materialized so far (for diagnostics/benchmarks).
+    pub fn cached_configurations(&self) -> usize {
+        self.cache.iter().map(|c| c.read().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sgf_data::{Attribute, Record};
+    use std::sync::Arc as StdArc;
+
+    /// Two attributes: A uniform over 3 values, B = A with 90% probability.
+    fn dataset(n: usize) -> Dataset {
+        let schema = StdArc::new(
+            sgf_data::Schema::new(vec![
+                Attribute::categorical_anon("A", 3),
+                Attribute::categorical_anon("B", 3),
+            ])
+            .unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(77);
+        let records = (0..n)
+            .map(|_| {
+                let a: u16 = rng.gen_range(0..3);
+                let b = if rng.gen::<f64>() < 0.9 { a } else { rng.gen_range(0..3) };
+                Record::new(vec![a, b])
+            })
+            .collect();
+        Dataset::from_records_unchecked(schema, records)
+    }
+
+    fn graph() -> DependencyGraph {
+        DependencyGraph::from_parent_sets(vec![vec![], vec![0]]).unwrap()
+    }
+
+    #[test]
+    fn exact_conditionals_reflect_counts() {
+        let d = dataset(5000);
+        let bkt = Bucketizer::identity(d.schema());
+        let store = CptStore::learn(&d, &bkt, &graph(), ParameterConfig::default()).unwrap();
+        // B | A=1 should put ~0.9 mass on value 1 (Dirichlet(1) prior shrinks slightly).
+        let config = store.configuration_index(1, |attr| if attr == 0 { 1 } else { 0 });
+        let dist = store.conditional(1, config);
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(dist[1] > 0.8, "P(B=1 | A=1) = {}", dist[1]);
+        // A has no parents: a single configuration, roughly uniform.
+        assert_eq!(store.configurations(0), 1);
+        let marginal = store.conditional(0, 0);
+        assert!(marginal.iter().all(|&p| (p - 1.0 / 3.0).abs() < 0.05));
+    }
+
+    #[test]
+    fn unseen_configuration_falls_back_to_prior() {
+        // Build a graph where B has parent A, but only A=0 appears in data.
+        let schema = StdArc::new(
+            sgf_data::Schema::new(vec![
+                Attribute::categorical_anon("A", 3),
+                Attribute::categorical_anon("B", 2),
+            ])
+            .unwrap(),
+        );
+        let records = (0..100).map(|_| Record::new(vec![0, 1])).collect();
+        let d = Dataset::from_records_unchecked(schema, records);
+        let bkt = Bucketizer::identity(d.schema());
+        let store = CptStore::learn(&d, &bkt, &graph(), ParameterConfig::default()).unwrap();
+        // Configuration A=2 was never observed: the posterior is the flat prior.
+        let config = store.configuration_index(1, |attr| if attr == 0 { 2 } else { 0 });
+        let dist = store.conditional(1, config);
+        assert!((dist[0] - 0.5).abs() < 1e-9 && (dist[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_parameters_are_valid_distributions() {
+        let d = dataset(2000);
+        let bkt = Bucketizer::identity(d.schema());
+        let config = ParameterConfig {
+            epsilon_p: Some(0.5),
+            ..ParameterConfig::default()
+        };
+        let store = CptStore::learn(&d, &bkt, &graph(), config).unwrap();
+        for c in 0..store.configurations(1) {
+            let dist = store.conditional(1, c);
+            assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(dist.iter().all(|&p| p >= 0.0));
+        }
+        assert!(store.budget().epsilon > 0.0);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_configuration() {
+        let d = dataset(2000);
+        let bkt = Bucketizer::identity(d.schema());
+        let config = ParameterConfig {
+            epsilon_p: Some(0.2),
+            sample_parameters: true,
+            global_seed: 99,
+            ..ParameterConfig::default()
+        };
+        let store_a = CptStore::learn(&d, &bkt, &graph(), config).unwrap();
+        let store_b = CptStore::learn(&d, &bkt, &graph(), config).unwrap();
+        for c in 0..store_a.configurations(1) {
+            assert_eq!(*store_a.conditional(1, c), *store_b.conditional(1, c));
+        }
+        // A different global seed gives different noise.
+        let other = ParameterConfig {
+            global_seed: 100,
+            ..config
+        };
+        let store_c = CptStore::learn(&d, &bkt, &graph(), other).unwrap();
+        let diff = (0..store_a.configurations(1))
+            .any(|c| *store_a.conditional(1, c) != *store_c.conditional(1, c));
+        assert!(diff);
+    }
+
+    #[test]
+    fn sampling_and_probability_agree() {
+        let d = dataset(5000);
+        let bkt = Bucketizer::identity(d.schema());
+        let store = CptStore::learn(&d, &bkt, &graph(), ParameterConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut hits = 0usize;
+        let n = 5000;
+        for _ in 0..n {
+            let sampled = store.sample_value(1, |attr| if attr == 0 { 2 } else { 0 }, &mut rng);
+            if sampled == 2 {
+                hits += 1;
+            }
+        }
+        let p = store.conditional_probability(1, 2, |attr| if attr == 0 { 2 } else { 0 });
+        assert!((hits as f64 / n as f64 - p).abs() < 0.03);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let d = dataset(10);
+        let bkt = Bucketizer::identity(d.schema());
+        let bad_alpha = ParameterConfig {
+            alpha: 0.0,
+            ..ParameterConfig::default()
+        };
+        assert!(CptStore::learn(&d, &bkt, &graph(), bad_alpha).is_err());
+        let bad_eps = ParameterConfig {
+            epsilon_p: Some(-1.0),
+            ..ParameterConfig::default()
+        };
+        assert!(CptStore::learn(&d, &bkt, &graph(), bad_eps).is_err());
+        let empty = d.truncated(0);
+        assert!(CptStore::learn(&empty, &bkt, &graph(), ParameterConfig::default()).is_err());
+        let wrong_graph = DependencyGraph::empty(5);
+        assert!(CptStore::learn(&d, &bkt, &wrong_graph, ParameterConfig::default()).is_err());
+    }
+
+    #[test]
+    fn cache_grows_lazily() {
+        let d = dataset(500);
+        let bkt = Bucketizer::identity(d.schema());
+        let store = CptStore::learn(&d, &bkt, &graph(), ParameterConfig::default()).unwrap();
+        assert_eq!(store.cached_configurations(), 0);
+        let _ = store.conditional(1, 0);
+        let _ = store.conditional(1, 0);
+        assert_eq!(store.cached_configurations(), 1);
+        let _ = store.conditional(1, 1);
+        assert_eq!(store.cached_configurations(), 2);
+    }
+}

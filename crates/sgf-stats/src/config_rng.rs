@@ -1,0 +1,72 @@
+//! Deterministic per-configuration random number generators.
+//!
+//! Section 5 of the paper: the tool learns the DP parameters of each CPT
+//! configuration lazily, as workers encounter it, and "to ensure that the
+//! privacy guarantee holds we set the RNG seed number to be a deterministic
+//! function (i.e., a hash) of the configuration".  That way two concurrent
+//! workers hitting the same configuration add *identical* Laplace noise and
+//! the noisy counts remain a well-defined function of the dataset.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// 64-bit FNV-1a hash (stable across platforms and Rust versions, unlike
+/// `DefaultHasher`), used to derive per-configuration RNG seeds.
+pub fn fnv1a_hash(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Derive a deterministic seed from a namespace, an attribute index, and a
+/// parent-configuration index, mixed with a global seed.
+pub fn configuration_seed(global_seed: u64, namespace: &str, attribute: usize, configuration: u64) -> u64 {
+    let mut bytes = Vec::with_capacity(namespace.len() + 24);
+    bytes.extend_from_slice(namespace.as_bytes());
+    bytes.extend_from_slice(&global_seed.to_le_bytes());
+    bytes.extend_from_slice(&(attribute as u64).to_le_bytes());
+    bytes.extend_from_slice(&configuration.to_le_bytes());
+    fnv1a_hash(&bytes)
+}
+
+/// A deterministic RNG for the given configuration.
+pub fn configuration_rng(global_seed: u64, namespace: &str, attribute: usize, configuration: u64) -> StdRng {
+    StdRng::seed_from_u64(configuration_seed(global_seed, namespace, attribute, configuration))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a_hash(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_hash(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_hash(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn same_configuration_same_stream() {
+        let mut a = configuration_rng(7, "params", 3, 42);
+        let mut b = configuration_rng(7, "params", 3, 42);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_configurations_differ() {
+        let base = configuration_seed(7, "params", 3, 42);
+        assert_ne!(base, configuration_seed(7, "params", 3, 43));
+        assert_ne!(base, configuration_seed(7, "params", 4, 42));
+        assert_ne!(base, configuration_seed(8, "params", 3, 42));
+        assert_ne!(base, configuration_seed(7, "structure", 3, 42));
+    }
+}

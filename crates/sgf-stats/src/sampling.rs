@@ -1,0 +1,192 @@
+//! Gamma, Dirichlet, multinomial, and categorical sampling.
+//!
+//! Parameter learning (Section 3.4) places a Dirichlet prior over the
+//! multinomial parameters of each conditional probability table and *samples*
+//! a parameter vector from the posterior "in order to increase the variety of
+//! data samples".  The Dirichlet sampler here is built on a Marsaglia–Tsang
+//! Gamma sampler so the crate stays dependency-light.
+
+use rand::Rng;
+
+/// Sample from a Gamma distribution with the given `shape` (k > 0) and unit scale,
+/// using the Marsaglia–Tsang squeeze method (with the standard boost for shape < 1).
+pub fn sample_gamma<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+    assert!(shape.is_finite() && shape > 0.0, "gamma shape must be positive, got {shape}");
+    if shape < 1.0 {
+        // Boosting: Gamma(a) = Gamma(a + 1) * U^(1/a).
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box-Muller.
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen::<f64>();
+        let x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Sample a probability vector from a Dirichlet distribution with the given
+/// concentration parameters (all must be strictly positive).
+pub fn sample_dirichlet<R: Rng + ?Sized>(alphas: &[f64], rng: &mut R) -> Vec<f64> {
+    assert!(!alphas.is_empty(), "Dirichlet needs at least one concentration parameter");
+    let gammas: Vec<f64> = alphas.iter().map(|&a| sample_gamma(a, rng)).collect();
+    let total: f64 = gammas.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        // Degenerate draw (can only happen with pathological concentrations);
+        // fall back to the normalized concentration vector itself.
+        let s: f64 = alphas.iter().sum();
+        return alphas.iter().map(|&a| a / s).collect();
+    }
+    gammas.iter().map(|&g| g / total).collect()
+}
+
+/// Sample an index from an explicit (not necessarily normalized) non-negative
+/// weight vector.  At least one weight must be strictly positive.
+pub fn sample_categorical<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "categorical weights must have a positive finite sum"
+    );
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Sample a multinomial count vector: `n` independent categorical draws.
+pub fn sample_multinomial<R: Rng + ?Sized>(n: u64, probabilities: &[f64], rng: &mut R) -> Vec<u64> {
+    let mut counts = vec![0u64; probabilities.len()];
+    for _ in 0..n {
+        counts[sample_categorical(probabilities, rng)] += 1;
+    }
+    counts
+}
+
+/// Posterior mean of a Dirichlet-multinomial model (Eq. 13):
+/// `p[l] = (alpha[l] + n[l]) / (sum alpha + sum n)`.
+pub fn dirichlet_posterior_mean(alphas: &[f64], counts: &[f64]) -> Vec<f64> {
+    assert_eq!(alphas.len(), counts.len(), "alpha and count vectors must have equal length");
+    let total: f64 = alphas.iter().sum::<f64>() + counts.iter().sum::<f64>();
+    if total <= 0.0 {
+        let n = alphas.len().max(1);
+        return vec![1.0 / n as f64; alphas.len()];
+    }
+    alphas
+        .iter()
+        .zip(counts.iter())
+        .map(|(&a, &c)| (a + c) / total)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for &shape in &[0.5, 1.0, 3.0, 9.5] {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| sample_gamma(shape, &mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.12 * shape.max(1.0),
+                "shape {shape}: empirical mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_samples_are_positive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..500 {
+            assert!(sample_gamma(0.3, &mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma shape must be positive")]
+    fn gamma_rejects_nonpositive_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        sample_gamma(0.0, &mut rng);
+    }
+
+    #[test]
+    fn dirichlet_samples_are_simplex_points() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let p = sample_dirichlet(&[1.0, 2.0, 0.5, 4.0], &mut rng);
+            assert_eq!(p.len(), 4);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn dirichlet_mean_tracks_concentration() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let alphas = [8.0, 1.0, 1.0];
+        let n = 5_000;
+        let mut mean = vec![0.0; 3];
+        for _ in 0..n {
+            let p = sample_dirichlet(&alphas, &mut rng);
+            for (m, &x) in mean.iter_mut().zip(p.iter()) {
+                *m += x / n as f64;
+            }
+        }
+        assert!((mean[0] - 0.8).abs() < 0.02, "mean {mean:?}");
+        assert!((mean[1] - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[sample_categorical(&[1.0, 0.0, 3.0], &mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let frac0 = counts[0] as f64 / 30_000.0;
+        assert!((frac0 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite sum")]
+    fn categorical_rejects_all_zero_weights() {
+        let mut rng = StdRng::seed_from_u64(8);
+        sample_categorical(&[0.0, 0.0], &mut rng);
+    }
+
+    #[test]
+    fn multinomial_counts_sum_to_n() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let counts = sample_multinomial(1000, &[0.2, 0.3, 0.5], &mut rng);
+        assert_eq!(counts.iter().sum::<u64>(), 1000);
+        assert!(counts[2] > counts[0]);
+    }
+
+    #[test]
+    fn posterior_mean_matches_formula() {
+        let p = dirichlet_posterior_mean(&[1.0, 1.0], &[3.0, 1.0]);
+        assert!((p[0] - 4.0 / 6.0).abs() < 1e-12);
+        assert!((p[1] - 2.0 / 6.0).abs() < 1e-12);
+        let empty = dirichlet_posterior_mean(&[0.0, 0.0], &[0.0, 0.0]);
+        assert!((empty[0] - 0.5).abs() < 1e-12);
+    }
+}

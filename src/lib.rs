@@ -1,0 +1,39 @@
+//! # sgf — Synthetic Generation Framework
+//!
+//! Umbrella crate for the Rust reproduction of *Plausible Deniability for
+//! Privacy-Preserving Data Synthesis* (Bindschaedler, Shokri, Gunter —
+//! VLDB 2017).  It re-exports the workspace crates so applications can depend
+//! on a single crate:
+//!
+//! * [`data`] — schemas, records, CSV I/O, bucketization, the ACS-like generator;
+//! * [`stats`] — entropy, Laplace/Dirichlet sampling, statistical distance, DP composition;
+//! * [`model`] — structure learning, CPTs, seed-based synthesis, marginal baseline;
+//! * [`core`] — plausible-deniability tests, Mechanism 1, Theorem-1 accounting, pipeline;
+//! * [`ml`] — trees, forests, AdaBoost, LR/SVM, DP-ERM;
+//! * [`eval`] — the table/figure reproduction harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sgf::core::{PipelineConfig, SynthesisPipeline};
+//! use sgf::data::acs::{acs_bucketizer, acs_schema, generate_acs};
+//!
+//! // A small ACS-like population (stand-in for the Census extract).
+//! let population = generate_acs(3_000, 42);
+//! let bucketizer = acs_bucketizer(&acs_schema());
+//!
+//! // k = 50 is the paper's default; shrink it for this tiny demo population.
+//! let mut config = PipelineConfig::paper_defaults(25);
+//! config.privacy_test.k = 20;
+//!
+//! let result = SynthesisPipeline::new(config).run(&population, &bucketizer).unwrap();
+//! println!("released {} synthetics (pass rate {:.1}%)",
+//!          result.synthetics.len(), 100.0 * result.stats.pass_rate());
+//! ```
+
+pub use sgf_core as core;
+pub use sgf_data as data;
+pub use sgf_eval as eval;
+pub use sgf_ml as ml;
+pub use sgf_model as model;
+pub use sgf_stats as stats;

@@ -1,0 +1,34 @@
+//! Property-based integration tests on the data substrate: CSV round-trips
+//! and schema validation across crates.
+
+use proptest::prelude::*;
+use sgf::data::acs::{acs_schema, AcsGenerator};
+use sgf::data::{csv, Dataset, Record};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any dataset of in-domain ACS records survives a CSV write/read round-trip.
+    #[test]
+    fn csv_roundtrip_preserves_acs_records(seed in 0u64..5000, n in 1usize..40) {
+        use rand::SeedableRng;
+        let generator = AcsGenerator::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data = generator.generate(n, &mut rng).unwrap();
+        let mut buffer = Vec::new();
+        csv::write_csv(&data, &mut buffer).unwrap();
+        let parsed = csv::read_csv(generator.schema(), &buffer[..]).unwrap();
+        prop_assert_eq!(parsed.records(), data.records());
+    }
+
+    /// Schema validation rejects any record with an out-of-domain value.
+    #[test]
+    fn out_of_domain_values_are_rejected(attr in 0usize..11, bump in 1u16..100) {
+        let schema = Arc::new(acs_schema());
+        let mut values: Vec<u16> = (0..11).map(|_| 0u16).collect();
+        values[attr] = schema.cardinality(attr) as u16 + bump - 1;
+        let mut dataset = Dataset::new(Arc::clone(&schema));
+        prop_assert!(dataset.push(Record::new(values)).is_err());
+    }
+}

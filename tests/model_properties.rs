@@ -1,0 +1,104 @@
+//! Property-based integration tests on the generative-model invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sgf::data::{Attribute, Bucketizer, Dataset, Record, Schema};
+use sgf::model::{
+    CptStore, DependencyGraph, GenerativeModel, MarginalConfig, MarginalModel, ParameterConfig,
+    SeedSynthesizer,
+};
+use std::sync::Arc;
+
+/// Build a small random dataset over a 3-attribute schema.
+fn dataset(values: &[(u8, u8, u8)]) -> Dataset {
+    let schema = Arc::new(
+        Schema::new(vec![
+            Attribute::categorical_anon("A", 3),
+            Attribute::categorical_anon("B", 4),
+            Attribute::categorical_anon("C", 2),
+        ])
+        .unwrap(),
+    );
+    let records = values
+        .iter()
+        .map(|&(a, b, c)| Record::new(vec![a as u16 % 3, b as u16 % 4, c as u16 % 2]))
+        .collect();
+    Dataset::from_records_unchecked(schema, records)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every conditional distribution the CPT store materializes is a valid
+    /// probability distribution, for arbitrary training data and noise levels.
+    #[test]
+    fn cpt_conditionals_are_distributions(
+        rows in proptest::collection::vec((0u8..3, 0u8..4, 0u8..2), 5..60),
+        epsilon in proptest::option::of(0.05f64..5.0),
+        sample in any::<bool>(),
+    ) {
+        let data = dataset(&rows);
+        let graph = DependencyGraph::from_parent_sets(vec![vec![], vec![0], vec![0, 1]]).unwrap();
+        let bkt = Bucketizer::identity(data.schema());
+        let config = ParameterConfig {
+            epsilon_p: epsilon,
+            sample_parameters: sample,
+            global_seed: 9,
+            ..ParameterConfig::default()
+        };
+        let store = CptStore::learn(&data, &bkt, &graph, config).unwrap();
+        for attr in 0..3 {
+            for c in 0..store.configurations(attr) {
+                let dist = store.conditional(attr, c);
+                prop_assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                prop_assert!(dist.iter().all(|&p| p >= 0.0));
+            }
+        }
+    }
+
+    /// Seed-based synthesis always produces records inside the schema domain,
+    /// keeps the non-resampled attributes, and assigns them probability
+    /// consistent with the kept/resampled split.
+    #[test]
+    fn synthesis_respects_domains_and_kept_attributes(
+        rows in proptest::collection::vec((0u8..3, 0u8..4, 0u8..2), 10..60),
+        omega in 1usize..=3,
+        seed_idx in 0usize..10,
+        rng_seed in 0u64..1000,
+    ) {
+        let data = dataset(&rows);
+        let graph = DependencyGraph::from_parent_sets(vec![vec![], vec![0], vec![1]]).unwrap();
+        let bkt = Bucketizer::identity(data.schema());
+        let store = Arc::new(CptStore::learn(&data, &bkt, &graph, ParameterConfig::default()).unwrap());
+        let synthesizer = SeedSynthesizer::new(store, omega).unwrap();
+        let seed = data.record(seed_idx % data.len()).clone();
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        let y = synthesizer.generate(&seed, &mut rng);
+        data.schema().validate_values(y.values()).unwrap();
+        for &attr in synthesizer.kept_attributes() {
+            prop_assert_eq!(y.get(attr), seed.get(attr));
+        }
+        let p = synthesizer.probability(&seed, &y);
+        prop_assert!(p > 0.0 && p <= 1.0 + 1e-12);
+    }
+
+    /// The marginal baseline is seed-independent: identical probability for
+    /// any pair of seeds, and the probability factorizes over attributes.
+    #[test]
+    fn marginal_model_is_seed_independent(
+        rows in proptest::collection::vec((0u8..3, 0u8..4, 0u8..2), 5..50),
+        candidate in (0u8..3, 0u8..4, 0u8..2),
+    ) {
+        let data = dataset(&rows);
+        let model = MarginalModel::learn(&data, MarginalConfig::default()).unwrap();
+        let y = Record::new(vec![candidate.0 as u16, candidate.1 as u16, candidate.2 as u16]);
+        let seed_a = data.record(0).clone();
+        let seed_b = data.record(data.len() - 1).clone();
+        let pa = model.probability(&seed_a, &y);
+        let pb = model.probability(&seed_b, &y);
+        prop_assert!((pa - pb).abs() < 1e-15);
+        let factorized: f64 = (0..3).map(|i| model.marginal(i)[y.get(i) as usize]).product();
+        prop_assert!((pa - factorized).abs() < 1e-12);
+    }
+}

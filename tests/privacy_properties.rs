@@ -1,0 +1,98 @@
+//! Property-based integration tests on the privacy-critical invariants.
+
+use proptest::prelude::*;
+use sgf::core::{partition_index, ReleaseBudget};
+use sgf::stats::{
+    advanced_composition, sampling_amplification, sequential_composition, total_variation, DpBudget,
+    Laplace,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The partition index always satisfies the defining geometric inequality
+    /// gamma^{-(i+1)} < p <= gamma^{-i}.
+    #[test]
+    fn partition_index_defining_inequality(p in 1e-12f64..1.0, gamma in 1.01f64..20.0) {
+        let i = partition_index(p, gamma).expect("positive probability has a partition");
+        let upper = gamma.powi(-(i as i32));
+        let lower = gamma.powi(-(i as i32 + 1));
+        prop_assert!(p <= upper * (1.0 + 1e-12));
+        prop_assert!(p > lower * (1.0 - 1e-12));
+    }
+
+    /// Probabilities within a factor gamma of each other land in the same or
+    /// adjacent partitions (never further apart).
+    #[test]
+    fn nearby_probabilities_have_nearby_partitions(p in 1e-9f64..0.999, gamma in 1.1f64..10.0, factor in 0.5f64..1.0) {
+        let q = p * factor.max(1.0 / gamma);
+        let pi = partition_index(p, gamma).unwrap();
+        let qi = partition_index(q, gamma).unwrap();
+        prop_assert!(qi >= pi);
+        prop_assert!(qi - pi <= 1);
+    }
+
+    /// Theorem 1: epsilon decreases in t, delta increases in t, and both are valid.
+    #[test]
+    fn theorem1_monotone_in_t(k in 3usize..200, gamma in 1.5f64..10.0, eps0 in 0.1f64..3.0) {
+        let budgets: Vec<_> = (1..k).map(|t| ReleaseBudget::at(k, gamma, eps0, t).unwrap()).collect();
+        for pair in budgets.windows(2) {
+            prop_assert!(pair[1].budget.epsilon <= pair[0].budget.epsilon + 1e-12);
+            prop_assert!(pair[1].budget.delta >= pair[0].budget.delta - 1e-18);
+        }
+        for b in &budgets {
+            prop_assert!(b.budget.is_valid());
+        }
+    }
+
+    /// Sequential composition is additive and never smaller than any component.
+    #[test]
+    fn sequential_composition_dominates_components(eps in proptest::collection::vec(0.0f64..2.0, 1..6)) {
+        let parts: Vec<DpBudget> = eps.iter().map(|&e| DpBudget::new(e, 1e-9)).collect();
+        let total = sequential_composition(&parts);
+        for p in &parts {
+            prop_assert!(total.epsilon >= p.epsilon - 1e-12);
+        }
+        prop_assert!((total.epsilon - eps.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    /// Sub-sampling amplification never increases the budget.
+    #[test]
+    fn amplification_never_hurts(eps in 0.01f64..5.0, delta in 0.0f64..1e-3, rate in 0.0f64..1.0) {
+        let amplified = sampling_amplification(DpBudget::new(eps, delta), rate);
+        prop_assert!(amplified.epsilon <= eps + 1e-12);
+        prop_assert!(amplified.delta <= delta + 1e-18);
+    }
+
+    /// Advanced composition grows monotonically with the number of queries.
+    #[test]
+    fn advanced_composition_monotone_in_k(eps in 0.001f64..0.5, k in 1u64..200) {
+        let small = advanced_composition(eps, 0.0, k, 1e-9);
+        let large = advanced_composition(eps, 0.0, k + 1, 1e-9);
+        prop_assert!(large.epsilon >= small.epsilon);
+    }
+
+    /// Total variation distance is a metric-like quantity: symmetric and in [0, 1].
+    #[test]
+    fn total_variation_properties(raw_p in proptest::collection::vec(0.0f64..1.0, 4), raw_q in proptest::collection::vec(0.0f64..1.0, 4)) {
+        let normalize = |v: &[f64]| -> Vec<f64> {
+            let s: f64 = v.iter().sum::<f64>().max(1e-12);
+            v.iter().map(|x| x / s).collect()
+        };
+        let p = normalize(&raw_p);
+        let q = normalize(&raw_q);
+        let d = total_variation(&p, &q);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&d));
+        prop_assert!((d - total_variation(&q, &p)).abs() < 1e-12);
+        prop_assert!(total_variation(&p, &p) < 1e-12);
+    }
+
+    /// The Laplace CDF is the inverse of the survival function and monotone.
+    #[test]
+    fn laplace_cdf_properties(scale in 0.01f64..10.0, z in -50.0f64..50.0) {
+        let lap = Laplace::new(scale);
+        prop_assert!((lap.cdf(z) + lap.survival(z) - 1.0).abs() < 1e-12);
+        prop_assert!(lap.cdf(z) <= lap.cdf(z + 1.0) + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&lap.cdf(z)));
+    }
+}
