@@ -33,8 +33,14 @@ fn bench_ablations(c: &mut Criterion) {
     // Deterministic vs randomized test ablation.
     let synthesizer = SeedSynthesizer::new(Arc::clone(&models.cpts), 9).unwrap();
     for (name, test) in [
-        ("deterministic_test", PrivacyTestConfig::deterministic(50, 4.0).with_limits(Some(100), Some(2_000))),
-        ("randomized_test", PrivacyTestConfig::randomized(50, 4.0, 1.0).with_limits(Some(100), Some(2_000))),
+        (
+            "deterministic_test",
+            PrivacyTestConfig::deterministic(50, 4.0).with_limits(Some(100), Some(2_000)),
+        ),
+        (
+            "randomized_test",
+            PrivacyTestConfig::randomized(50, 4.0, 1.0).with_limits(Some(100), Some(2_000)),
+        ),
     ] {
         let mechanism = Mechanism::new(&synthesizer, &split.seeds, test).unwrap();
         group.bench_function(name, |b| {

@@ -12,7 +12,11 @@ use sgf_ml::{
 fn bench_classifiers(c: &mut Criterion) {
     let data = generate_acs(2_000, 204);
     let ordinal = encode_dataset(&data, attr::INCOME, Encoding::Ordinal);
-    let onehot = encode_dataset(&data, attr::INCOME, Encoding::OneHotNormalized { unit_norm: true });
+    let onehot = encode_dataset(
+        &data,
+        attr::INCOME,
+        Encoding::OneHotNormalized { unit_norm: true },
+    );
 
     let mut group = c.benchmark_group("classifiers");
     group.sample_size(10);
@@ -25,17 +29,39 @@ fn bench_classifiers(c: &mut Criterion) {
     group.bench_function("random_forest_10", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(2);
-            RandomForest::fit(&ordinal, &ForestConfig { trees: 10, ..ForestConfig::default() }, &mut rng)
+            RandomForest::fit(
+                &ordinal,
+                &ForestConfig {
+                    trees: 10,
+                    ..ForestConfig::default()
+                },
+                &mut rng,
+            )
         })
     });
     group.bench_function("adaboost_10", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(3);
-            AdaBoost::fit(&ordinal, &AdaBoostConfig { rounds: 10, ..AdaBoostConfig::default() }, &mut rng)
+            AdaBoost::fit(
+                &ordinal,
+                &AdaBoostConfig {
+                    rounds: 10,
+                    ..AdaBoostConfig::default()
+                },
+                &mut rng,
+            )
         })
     });
     group.bench_function("logistic_regression", |b| {
-        b.iter(|| LinearModel::fit(&onehot, &LinearConfig { iterations: 100, ..LinearConfig::default() }))
+        b.iter(|| {
+            LinearModel::fit(
+                &onehot,
+                &LinearConfig {
+                    iterations: 100,
+                    ..LinearConfig::default()
+                },
+            )
+        })
     });
     group.finish();
 }

@@ -19,8 +19,14 @@ fn bench_privacy_test(c: &mut Criterion) {
     let mut group = c.benchmark_group("privacy_test");
     group.sample_size(10);
     for (name, config) in [
-        ("deterministic_k50", PrivacyTestConfig::deterministic(50, 4.0)),
-        ("randomized_k50", PrivacyTestConfig::randomized(50, 4.0, 1.0)),
+        (
+            "deterministic_k50",
+            PrivacyTestConfig::deterministic(50, 4.0),
+        ),
+        (
+            "randomized_k50",
+            PrivacyTestConfig::randomized(50, 4.0, 1.0),
+        ),
         (
             "randomized_k50_capped",
             PrivacyTestConfig::randomized(50, 4.0, 1.0).with_limits(Some(100), Some(1_000)),
@@ -29,7 +35,17 @@ fn bench_privacy_test(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || StdRng::seed_from_u64(11),
-                |mut rng| run_privacy_test(&synthesizer, &split.seeds, &seed, &candidate, &config, &mut rng).unwrap(),
+                |mut rng| {
+                    run_privacy_test(
+                        &synthesizer,
+                        &split.seeds,
+                        &seed,
+                        &candidate,
+                        &config,
+                        &mut rng,
+                    )
+                    .unwrap()
+                },
                 BatchSize::SmallInput,
             )
         });

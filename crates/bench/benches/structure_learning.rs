@@ -22,13 +22,17 @@ fn bench_learning(c: &mut Criterion) {
     group.bench_function("structure_private_eps1", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(2);
-            learn_dependency_structure(&data, &bkt, &StructureConfig::private(0.05, 0.01), &mut rng).unwrap()
+            learn_dependency_structure(&data, &bkt, &StructureConfig::private(0.05, 0.01), &mut rng)
+                .unwrap()
         })
     });
     let mut rng = StdRng::seed_from_u64(3);
-    let structure = learn_dependency_structure(&data, &bkt, &StructureConfig::exact(), &mut rng).unwrap();
+    let structure =
+        learn_dependency_structure(&data, &bkt, &StructureConfig::exact(), &mut rng).unwrap();
     group.bench_function("parameters_exact", |b| {
-        b.iter(|| CptStore::learn(&data, &bkt, &structure.graph, ParameterConfig::default()).unwrap())
+        b.iter(|| {
+            CptStore::learn(&data, &bkt, &structure.graph, ParameterConfig::default()).unwrap()
+        })
     });
     group.bench_function("parameters_private", |b| {
         b.iter(|| {

@@ -62,7 +62,10 @@ fn main() {
     let eps01 = avg(0.1);
 
     let improvement = |gen: &[f64]| -> Vec<f64> {
-        gen.iter().zip(marg.iter()).map(|(&g, &m)| if m > 0.0 { (g - m) / m } else { 0.0 }).collect()
+        gen.iter()
+            .zip(marg.iter())
+            .map(|(&g, &m)| if m > 0.0 { (g - m) / m } else { 0.0 })
+            .collect()
     };
 
     let mut table = TextTable::new(&["Attribute", "No Noise", "eps = 1", "eps = 0.1"]);

@@ -12,7 +12,10 @@ fn main() {
     let scale = scale_from_args();
     let ctx = build_context(scale, 102);
     let mut rng = StdRng::seed_from_u64(11);
-    let forest_config = ForestConfig { trees: 10, ..ForestConfig::default() };
+    let forest_config = ForestConfig {
+        trees: 10,
+        ..ForestConfig::default()
+    };
     let acc = model_accuracy(
         &ctx.models.bayes_net,
         &ctx.models.marginal,
@@ -22,7 +25,13 @@ fn main() {
         &forest_config,
         &mut rng,
     );
-    let mut table = TextTable::new(&["Attribute", "Generative", "Random Forest", "Marginals", "Random"]);
+    let mut table = TextTable::new(&[
+        "Attribute",
+        "Generative",
+        "Random Forest",
+        "Marginals",
+        "Random",
+    ]);
     for (i, name) in SHORT_NAMES.iter().enumerate() {
         table.add_row(&[
             name.to_string(),

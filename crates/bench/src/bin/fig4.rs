@@ -10,7 +10,8 @@ fn main() {
     let ctx = build_context(scale, 104);
     let other_reals = generate_acs(BASE_POPULATION * scale, 2104);
 
-    let mut candidates: Vec<(String, &sgf_data::Dataset)> = vec![("reals".to_string(), &other_reals)];
+    let mut candidates: Vec<(String, &sgf_data::Dataset)> =
+        vec![("reals".to_string(), &other_reals)];
     for (label, data) in &ctx.synthetic_sets {
         candidates.push((label.clone(), data));
     }

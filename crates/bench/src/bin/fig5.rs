@@ -14,9 +14,16 @@ fn main() {
     config.omega = OmegaSpec::Fixed(9);
 
     let sizes: Vec<usize> = [250, 500, 1000, 2000].iter().map(|s| s * scale).collect();
-    let points = performance_curve(&population, &bucketizer, &config, &sizes).expect("pipeline runs");
+    let points =
+        performance_curve(&population, &bucketizer, &config, &sizes).expect("pipeline runs");
 
-    let mut table = TextTable::new(&["Requested", "Released", "Candidates", "Model learning (s)", "Synthesis (s)"]);
+    let mut table = TextTable::new(&[
+        "Requested",
+        "Released",
+        "Candidates",
+        "Model learning (s)",
+        "Synthesis (s)",
+    ]);
     for p in &points {
         table.add_row(&[
             p.requested.to_string(),

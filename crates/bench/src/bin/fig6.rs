@@ -28,6 +28,8 @@ fn main() {
         row.extend(s.pass_rates.iter().map(|&r| percent(r)));
         table.add_row(&row);
     }
-    println!("Figure 6: Percentage of candidates passing the privacy test (gamma = 2, scale {scale})\n");
+    println!(
+        "Figure 6: Percentage of candidates passing the privacy test (gamma = 2, scale {scale})\n"
+    );
     println!("{}", table.render());
 }

@@ -7,8 +7,16 @@ fn main() {
     let schema = acs_schema();
     let mut table = TextTable::new(&["Name", "Type", "Cardinality"]);
     for attr in schema.attributes() {
-        let kind = if attr.kind().is_categorical() { "Categorical" } else { "Numerical" };
-        table.add_row(&[attr.name().to_string(), kind.to_string(), attr.cardinality().to_string()]);
+        let kind = if attr.kind().is_categorical() {
+            "Categorical"
+        } else {
+            "Numerical"
+        };
+        table.add_row(&[
+            attr.name().to_string(),
+            kind.to_string(),
+            attr.cardinality().to_string(),
+        ]);
     }
     println!("Table 1: Pre-processed ACS13 dataset attributes\n");
     println!("{}", table.render());

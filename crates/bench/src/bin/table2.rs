@@ -16,11 +16,19 @@ fn main() {
     table.add_row(&["Attributes".to_string(), data.schema().len().to_string()]);
     table.add_row(&[
         "Possible Records".to_string(),
-        format!("{} (~2^{:.0})", data.schema().universe_size(), (data.schema().universe_size() as f64).log2()),
+        format!(
+            "{} (~2^{:.0})",
+            data.schema().universe_size(),
+            (data.schema().universe_size() as f64).log2()
+        ),
     ]);
     table.add_row(&[
         "Unique Records".to_string(),
-        format!("{} ({})", unique, percent(unique as f64 / data.len() as f64)),
+        format!(
+            "{} ({})",
+            unique,
+            percent(unique as f64 / data.len() as f64)
+        ),
     ]);
     table.add_row(&[
         "Classification Task".to_string(),

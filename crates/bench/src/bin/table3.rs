@@ -12,14 +12,27 @@ fn main() {
     let ctx = build_context(scale, 107);
     let mut rng = StdRng::seed_from_u64(107);
 
-    let mut candidates: Vec<(String, &sgf_data::Dataset)> = vec![("reals".to_string(), &ctx.split.seeds)];
+    let mut candidates: Vec<(String, &sgf_data::Dataset)> =
+        vec![("reals".to_string(), &ctx.split.seeds)];
     for (label, data) in &ctx.synthetic_sets {
         candidates.push((label.clone(), data));
     }
-    let rows = table3(&candidates, &ctx.split.test, attr::INCOME, &Table3Config::default(), &mut rng);
+    let rows = table3(
+        &candidates,
+        &ctx.split.test,
+        attr::INCOME,
+        &Table3Config::default(),
+        &mut rng,
+    );
 
     let mut table = TextTable::new(&[
-        "Training set", "Acc Tree", "Acc RF", "Acc Ada", "Agree Tree", "Agree RF", "Agree Ada",
+        "Training set",
+        "Acc Tree",
+        "Acc RF",
+        "Acc Ada",
+        "Agree Tree",
+        "Agree RF",
+        "Agree Ada",
     ]);
     for row in &rows {
         table.add_row(&[

@@ -28,7 +28,11 @@ fn main() {
 
     let mut table = TextTable::new(&["Training regime", "LR", "SVM"]);
     for row in &rows {
-        table.add_row(&[row.label.clone(), percent(row.logistic_regression), percent(row.svm)]);
+        table.add_row(&[
+            row.label.clone(),
+            percent(row.logistic_regression),
+            percent(row.svm),
+        ]);
     }
     println!("Table 4: Privacy-preserving classifier comparisons (epsilon = 1, scale {scale})\n");
     println!("{}", table.render());

@@ -13,7 +13,8 @@ fn main() {
     let other_reals = generate_acs(BASE_POPULATION * scale, 2109);
     let mut rng = StdRng::seed_from_u64(109);
 
-    let mut candidates: Vec<(String, &sgf_data::Dataset)> = vec![("reals".to_string(), &other_reals)];
+    let mut candidates: Vec<(String, &sgf_data::Dataset)> =
+        vec![("reals".to_string(), &other_reals)];
     for (label, data) in &ctx.synthetic_sets {
         candidates.push((label.clone(), data));
     }

@@ -59,7 +59,8 @@ pub fn paper_omegas() -> Vec<OmegaSpec> {
 /// ε0 = 1, randomized privacy test, early-termination knobs as in Section 6.5.
 pub fn experiment_pipeline_config(target: usize, seed: u64) -> PipelineConfig {
     let mut config = PipelineConfig::paper_defaults(target);
-    config.privacy_test = PrivacyTestConfig::randomized(50, 4.0, 1.0).with_limits(Some(100), Some(5_000));
+    config.privacy_test =
+        PrivacyTestConfig::randomized(50, 4.0, 1.0).with_limits(Some(100), Some(5_000));
     config.max_candidate_factor = 12;
     config.seed = seed;
     config

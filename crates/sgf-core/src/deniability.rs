@@ -32,7 +32,7 @@ pub fn validate_parameters(k: usize, gamma: f64) -> Result<()> {
 /// Probabilities above 1 (possible only through floating-point slack) are
 /// clamped into partition 0.
 pub fn partition_index(probability: f64, gamma: f64) -> Option<u32> {
-    if !(probability > 0.0) {
+    if probability.is_nan() || probability <= 0.0 {
         return None;
     }
     if probability >= 1.0 {
@@ -212,9 +212,17 @@ mod tests {
             for i in 0..20u32 {
                 let p_upper = gamma.powi(-(i as i32));
                 let p_inside = gamma.powi(-(i as i32)) * 0.999;
-                assert_eq!(partition_index(p_upper, gamma), Some(i), "upper bound gamma={gamma} i={i}");
+                assert_eq!(
+                    partition_index(p_upper, gamma),
+                    Some(i),
+                    "upper bound gamma={gamma} i={i}"
+                );
                 if i > 0 || p_inside < 1.0 {
-                    assert_eq!(partition_index(p_inside, gamma), Some(i), "inside gamma={gamma} i={i}");
+                    assert_eq!(
+                        partition_index(p_inside, gamma),
+                        Some(i),
+                        "inside gamma={gamma} i={i}"
+                    );
                 }
             }
         }

@@ -79,7 +79,7 @@ impl ReleaseBudget {
             }
             if best
                 .as_ref()
-                .map_or(true, |b| candidate.budget.epsilon < b.budget.epsilon)
+                .is_none_or(|b| candidate.budget.epsilon < b.budget.epsilon)
             {
                 best = Some(candidate);
             }
@@ -166,7 +166,9 @@ mod tests {
 
     #[test]
     fn optimize_respects_delta_ceiling() {
-        let best = ReleaseBudget::optimize(50, 4.0, 1.0, 1e-9).unwrap().unwrap();
+        let best = ReleaseBudget::optimize(50, 4.0, 1.0, 1e-9)
+            .unwrap()
+            .unwrap();
         assert!(best.budget.delta <= 1e-9);
         // Any larger t admissible under the ceiling cannot do better.
         for t in 1..50 {
@@ -176,7 +178,9 @@ mod tests {
             }
         }
         // An impossible ceiling yields no bound.
-        assert!(ReleaseBudget::optimize(3, 4.0, 0.01, 1e-12).unwrap().is_none());
+        assert!(ReleaseBudget::optimize(3, 4.0, 0.01, 1e-12)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -39,5 +39,7 @@ pub use deniability::{partition_index, partition_size, satisfies_plausible_denia
 pub use dp::{PipelineBudget, ReleaseBudget};
 pub use error::{CoreError, Result};
 pub use mechanism::{CandidateReport, Mechanism, MechanismStats};
-pub use pipeline::{PipelineConfig, PipelineResult, PipelineTimings, SynthesisPipeline, TrainedModels};
+pub use pipeline::{
+    PipelineConfig, PipelineResult, PipelineTimings, SynthesisPipeline, TrainedModels,
+};
 pub use privacy_test::{run_privacy_test, PrivacyTestConfig, TestOutcome};

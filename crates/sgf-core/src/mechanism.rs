@@ -273,9 +273,15 @@ mod tests {
 
         // Schema mismatch.
         let other_schema = Schema::new(vec![Attribute::categorical_anon("X", 2)]).unwrap();
-        let other_model = FlipLastModel { schema: other_schema };
+        let other_model = FlipLastModel {
+            schema: other_schema,
+        };
         assert!(matches!(
-            Mechanism::new(&other_model, &seeds, PrivacyTestConfig::deterministic(5, 4.0)),
+            Mechanism::new(
+                &other_model,
+                &seeds,
+                PrivacyTestConfig::deterministic(5, 4.0)
+            ),
             Err(CoreError::InvalidParameter(_))
         ));
     }

@@ -81,7 +81,9 @@ impl PipelineConfig {
             ));
         }
         if self.workers == 0 {
-            return Err(CoreError::InvalidParameter("workers must be at least 1".into()));
+            return Err(CoreError::InvalidParameter(
+                "workers must be at least 1".into(),
+            ));
         }
         Ok(())
     }
@@ -145,10 +147,18 @@ impl SynthesisPipeline {
     }
 
     /// Learn the models from an already-split dataset.
-    pub fn learn_models(&self, split: &DataSplit, bucketizer: &Bucketizer) -> Result<TrainedModels> {
+    pub fn learn_models(
+        &self,
+        split: &DataSplit,
+        bucketizer: &Bucketizer,
+    ) -> Result<TrainedModels> {
         let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(0x5eed));
-        let structure =
-            learn_dependency_structure(&split.structure, bucketizer, &self.config.structure, &mut rng)?;
+        let structure = learn_dependency_structure(
+            &split.structure,
+            bucketizer,
+            &self.config.structure,
+            &mut rng,
+        )?;
         let cpts = Arc::new(CptStore::learn(
             &split.parameters,
             bucketizer,
@@ -213,7 +223,11 @@ impl SynthesisPipeline {
     }
 
     /// Generate synthetics from already-trained models and an explicit seed dataset.
-    pub fn generate(&self, models: &TrainedModels, seeds: &Dataset) -> Result<(Vec<Record>, MechanismStats)> {
+    pub fn generate(
+        &self,
+        models: &TrainedModels,
+        seeds: &Dataset,
+    ) -> Result<(Vec<Record>, MechanismStats)> {
         let m = seeds.schema().len();
         self.config.omega.validate(m)?;
 
@@ -243,13 +257,13 @@ impl SynthesisPipeline {
                 &candidate_count,
             )]
         } else {
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(workers);
                 for worker in 0..workers {
                     let synthesizers = &synthesizers;
                     let released_count = &released_count;
                     let candidate_count = &candidate_count;
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         self.worker_loop(
                             worker,
                             synthesizers,
@@ -261,9 +275,11 @@ impl SynthesisPipeline {
                         )
                     }));
                 }
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
             })
-            .expect("crossbeam scope failed")
         };
 
         let mut records = Vec::with_capacity(target);
@@ -273,7 +289,14 @@ impl SynthesisPipeline {
             stats.merge(&s);
             records.append(&mut r);
         }
-        records.truncate(target);
+        // The slot reservation in `worker_loop` caps total releases at the
+        // target, so no truncation (which would desync the stats) is needed.
+        debug_assert!(records.len() <= target, "workers released past the target");
+        debug_assert_eq!(
+            records.len(),
+            stats.released,
+            "release accounting out of sync"
+        );
         Ok((records, stats))
     }
 
@@ -318,9 +341,19 @@ impl SynthesisPipeline {
             stats.candidates += 1;
             stats.records_examined += report.outcome.records_examined;
             if report.released() {
-                stats.released += 1;
-                records.push(report.record);
-                released_count.fetch_add(1, Ordering::Relaxed);
+                // Reserve a release slot atomically: near the target, several
+                // workers can each have a passing candidate in flight, and only
+                // the ones that win a slot may keep theirs.  This keeps
+                // `stats.released` equal to the number of records actually
+                // returned (a surplus candidate counts as proposed, not
+                // released).
+                let slot = released_count.fetch_add(1, Ordering::Relaxed);
+                if slot < target {
+                    stats.released += 1;
+                    records.push(report.record);
+                } else {
+                    break;
+                }
             }
         }
         Ok((records, stats))
@@ -343,7 +376,8 @@ mod tests {
 
     fn small_config(target: usize) -> PipelineConfig {
         let mut config = PipelineConfig::paper_defaults(target);
-        config.privacy_test = PrivacyTestConfig::randomized(20, 4.0, 1.0).with_limits(Some(40), Some(2000));
+        config.privacy_test =
+            PrivacyTestConfig::randomized(20, 4.0, 1.0).with_limits(Some(40), Some(2000));
         config.omega = OmegaSpec::Fixed(9);
         config.max_candidate_factor = 30;
         config.seed = 7;
@@ -372,7 +406,8 @@ mod tests {
         let data = generate_acs(3000, 2);
         let bkt = acs_bucketizer(&acs_schema());
         let mut config = small_config(20);
-        config.privacy_test = PrivacyTestConfig::deterministic(20, 4.0).with_limits(Some(40), Some(2000));
+        config.privacy_test =
+            PrivacyTestConfig::deterministic(20, 4.0).with_limits(Some(40), Some(2000));
         let result = SynthesisPipeline::new(config).run(&data, &bkt).unwrap();
         assert!(result.budget.per_release.is_none());
         assert!(result.budget.total().epsilon.is_infinite());
@@ -397,6 +432,10 @@ mod tests {
         let result = SynthesisPipeline::new(config).run(&data, &bkt).unwrap();
         assert!(result.synthetics.len() <= 30);
         assert!(!result.synthetics.is_empty());
+        // Release accounting must stay exact even when several workers race
+        // for the last slots near the target.
+        assert_eq!(result.synthetics.len(), result.stats.released);
+        assert!(result.stats.released <= result.stats.candidates);
     }
 
     #[test]

@@ -66,7 +66,11 @@ impl PrivacyTestConfig {
     }
 
     /// Builder-style setter for the early-termination knobs of Section 5.
-    pub fn with_limits(mut self, max_plausible: Option<usize>, max_check_plausible: Option<usize>) -> Self {
+    pub fn with_limits(
+        mut self,
+        max_plausible: Option<usize>,
+        max_check_plausible: Option<usize>,
+    ) -> Self {
         self.max_plausible = max_plausible;
         self.max_check_plausible = max_check_plausible;
         self
@@ -83,7 +87,9 @@ impl PrivacyTestConfig {
             }
         }
         if self.max_plausible == Some(0) {
-            return Err(CoreError::InvalidParameter("max_plausible must be at least 1".into()));
+            return Err(CoreError::InvalidParameter(
+                "max_plausible must be at least 1".into(),
+            ));
         }
         if self.max_check_plausible == Some(0) {
             return Err(CoreError::InvalidParameter(
@@ -275,7 +281,8 @@ mod tests {
         let seed = Record::new(vec![0, 0]);
         let mut rng = StdRng::seed_from_u64(2);
         let config = PrivacyTestConfig::deterministic(2, 4.0);
-        let outcome = run_privacy_test(&zero_model, &dataset, &seed, &y, &config, &mut rng).unwrap();
+        let outcome =
+            run_privacy_test(&zero_model, &dataset, &seed, &y, &config, &mut rng).unwrap();
         assert!(!outcome.passed);
         assert_eq!(outcome.seed_partition, None);
     }
@@ -289,9 +296,11 @@ mod tests {
         let y = Record::new(vec![0, 0]);
         let mut rng = StdRng::seed_from_u64(3);
         let det = PrivacyTestConfig::deterministic(20, 4.0);
-        assert!(run_privacy_test(&model, &dataset, &seed, &y, &det, &mut rng)
-            .unwrap()
-            .passed);
+        assert!(
+            run_privacy_test(&model, &dataset, &seed, &y, &det, &mut rng)
+                .unwrap()
+                .passed
+        );
 
         let rand_cfg = PrivacyTestConfig::randomized(20, 4.0, 1.0);
         let trials = 400;

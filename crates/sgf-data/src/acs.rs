@@ -57,14 +57,26 @@ pub fn acs_schema() -> Schema {
         Attribute::categorical(
             "COW",
             &[
-                "private", "self-emp-not-inc", "self-emp-inc", "federal-gov", "state-gov",
-                "local-gov", "without-pay", "never-worked",
+                "private",
+                "self-emp-not-inc",
+                "self-emp-inc",
+                "federal-gov",
+                "state-gov",
+                "local-gov",
+                "without-pay",
+                "never-worked",
             ],
         ),
         Attribute::categorical_anon("SCHL", 24),
         Attribute::categorical(
             "MAR",
-            &["married", "widowed", "divorced", "separated", "never-married"],
+            &[
+                "married",
+                "widowed",
+                "divorced",
+                "separated",
+                "never-married",
+            ],
         ),
         Attribute::categorical_anon("OCCP", 25),
         Attribute::categorical_anon("RELP", 18),
@@ -74,7 +86,13 @@ pub fn acs_schema() -> Schema {
         Attribute::categorical(
             "WAOB",
             &[
-                "us", "pr-island", "latin-america", "asia", "europe", "africa", "northern-america",
+                "us",
+                "pr-island",
+                "latin-america",
+                "asia",
+                "europe",
+                "africa",
+                "northern-america",
                 "oceania",
             ],
         ),
@@ -101,11 +119,20 @@ pub fn acs_bucketizer(schema: &Schema) -> Bucketizer {
         })
         .collect();
     Bucketizer::identity(schema)
-        .with_attribute(attr::AGE, AttributeBuckets::fixed_width(80, 10).expect("width > 0"))
+        .with_attribute(
+            attr::AGE,
+            AttributeBuckets::fixed_width(80, 10).expect("width > 0"),
+        )
         .expect("AGE index valid")
-        .with_attribute(attr::HOURS, AttributeBuckets::fixed_width(100, 15).expect("width > 0"))
+        .with_attribute(
+            attr::HOURS,
+            AttributeBuckets::fixed_width(100, 15).expect("width > 0"),
+        )
         .expect("WKHP index valid")
-        .with_attribute(attr::EDUCATION, AttributeBuckets::explicit(edu_map).expect("contiguous"))
+        .with_attribute(
+            attr::EDUCATION,
+            AttributeBuckets::explicit(edu_map).expect("contiguous"),
+        )
         .expect("SCHL index valid")
 }
 
@@ -209,15 +236,34 @@ impl AcsGenerator {
         // RELATIONSHIP (18 categories) loosely follows marital status and age:
         // 0 = householder, 1 = spouse, 2 = child, others = other relations.
         v[attr::RELATIONSHIP] = if v[attr::MARITAL] == 0 {
-            sample_weighted(&[0.48, 0.44, 0.01, 0.02, 0.01, 0.01, 0.005, 0.005, 0.005, 0.005, 0.002, 0.002, 0.002, 0.001, 0.001, 0.001, 0.0005, 0.0005], rng)
+            sample_weighted(
+                &[
+                    0.48, 0.44, 0.01, 0.02, 0.01, 0.01, 0.005, 0.005, 0.005, 0.005, 0.002, 0.002,
+                    0.002, 0.001, 0.001, 0.001, 0.0005, 0.0005,
+                ],
+                rng,
+            )
         } else if age < 30.0 {
-            sample_weighted(&[0.25, 0.01, 0.45, 0.05, 0.04, 0.03, 0.03, 0.02, 0.02, 0.02, 0.02, 0.02, 0.02, 0.01, 0.01, 0.01, 0.005, 0.005], rng)
+            sample_weighted(
+                &[
+                    0.25, 0.01, 0.45, 0.05, 0.04, 0.03, 0.03, 0.02, 0.02, 0.02, 0.02, 0.02, 0.02,
+                    0.01, 0.01, 0.01, 0.005, 0.005,
+                ],
+                rng,
+            )
         } else {
-            sample_weighted(&[0.60, 0.02, 0.08, 0.05, 0.04, 0.03, 0.03, 0.03, 0.02, 0.02, 0.02, 0.02, 0.01, 0.01, 0.005, 0.005, 0.0025, 0.0025], rng)
+            sample_weighted(
+                &[
+                    0.60, 0.02, 0.08, 0.05, 0.04, 0.03, 0.03, 0.03, 0.02, 0.02, 0.02, 0.02, 0.01,
+                    0.01, 0.005, 0.005, 0.0025, 0.0025,
+                ],
+                rng,
+            )
         };
 
         // WORKCLASS depends on age and education.
-        let employed = age >= 18.0 && age <= 70.0 && rng.gen::<f64>() < 0.92 - (age - 17.0).max(0.0) * 0.004;
+        let employed =
+            (18.0..=70.0).contains(&age) && rng.gen::<f64>() < 0.92 - (age - 17.0).max(0.0) * 0.004;
         v[attr::WORKCLASS] = if !employed {
             sample_weighted(&[0.05, 0.01, 0.005, 0.005, 0.005, 0.005, 0.32, 0.60], rng)
         } else if edu >= 21 {
@@ -241,7 +287,7 @@ impl AcsGenerator {
             .collect();
         v[attr::OCCUPATION] = if v[attr::WORKCLASS] >= 6 {
             // not working: occupation recorded as last held, mostly low-skill
-            sample_weighted(&vec![1.0; 25], rng)
+            sample_weighted(&[1.0; 25], rng)
         } else {
             sample_weighted(&occ_weights, rng)
         };
@@ -256,7 +302,7 @@ impl AcsGenerator {
                 40.0
             };
             let spread: f64 = rng.gen::<f64>() * 24.0 - 12.0;
-            let part_time = age < 22.0 || age > 65.0 || rng.gen::<f64>() < 0.15;
+            let part_time = !(22.0..=65.0).contains(&age) || rng.gen::<f64>() < 0.15;
             (if part_time { 22.0 } else { base } + spread).clamp(0.0, 99.0)
         };
         v[attr::HOURS] = hours.round() as u16;

@@ -32,10 +32,16 @@ impl AttributeBuckets {
     /// Fixed-width binning of `cardinality` consecutive values into bins of `width`.
     pub fn fixed_width(cardinality: usize, width: usize) -> Result<Self> {
         if width == 0 {
-            return Err(DataError::InvalidParameter("bucket width must be > 0".into()));
+            return Err(DataError::InvalidParameter(
+                "bucket width must be > 0".into(),
+            ));
         }
         let map: Vec<u16> = (0..cardinality).map(|v| (v / width) as u16).collect();
-        let bucket_count = if cardinality == 0 { 0 } else { cardinality.div_ceil(width) };
+        let bucket_count = if cardinality == 0 {
+            0
+        } else {
+            cardinality.div_ceil(width)
+        };
         Ok(AttributeBuckets { map, bucket_count })
     }
 
@@ -43,7 +49,9 @@ impl AttributeBuckets {
     /// indices must form a contiguous range starting at zero.
     pub fn explicit(map: Vec<u16>) -> Result<Self> {
         if map.is_empty() {
-            return Err(DataError::InvalidParameter("bucket map must not be empty".into()));
+            return Err(DataError::InvalidParameter(
+                "bucket map must not be empty".into(),
+            ));
         }
         let max = *map.iter().max().expect("non-empty") as usize;
         let mut seen = vec![false; max + 1];
@@ -208,7 +216,10 @@ mod tests {
         assert!(ok.is_ok());
         let bad = Bucketizer::new(
             &s,
-            vec![AttributeBuckets::identity(79), AttributeBuckets::identity(2)],
+            vec![
+                AttributeBuckets::identity(79),
+                AttributeBuckets::identity(2),
+            ],
         );
         assert!(bad.is_err());
         let wrong_len = Bucketizer::new(&s, vec![AttributeBuckets::identity(80)]);

@@ -79,7 +79,11 @@ fn read_csv_impl<R: Read>(schema: Arc<Schema>, reader: R, lossy: bool) -> Result
             message: format!(
                 "header {:?} does not match schema attributes {:?}",
                 header_fields,
-                schema.attributes().iter().map(|a| a.name()).collect::<Vec<_>>()
+                schema
+                    .attributes()
+                    .iter()
+                    .map(|a| a.name())
+                    .collect::<Vec<_>>()
             ),
         });
     }

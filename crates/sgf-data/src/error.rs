@@ -99,7 +99,10 @@ mod tests {
 
     #[test]
     fn display_arity_mismatch() {
-        let err = DataError::ArityMismatch { expected: 11, got: 3 };
+        let err = DataError::ArityMismatch {
+            expected: 11,
+            got: 3,
+        };
         let s = err.to_string();
         assert!(s.contains("11") && s.contains('3'));
     }

@@ -162,7 +162,11 @@ impl Dataset {
     }
 
     /// Sample `n` records uniformly *with* replacement.
-    pub fn sample_with_replacement<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Result<Dataset> {
+    pub fn sample_with_replacement<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Dataset> {
         if self.records.is_empty() {
             return Err(DataError::EmptyDataset);
         }
@@ -173,7 +177,11 @@ impl Dataset {
     }
 
     /// Sample `n` records uniformly *without* replacement (n is clamped to the dataset size).
-    pub fn sample_without_replacement<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Result<Dataset> {
+    pub fn sample_without_replacement<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Dataset> {
         if self.records.is_empty() {
             return Err(DataError::EmptyDataset);
         }
@@ -226,7 +234,10 @@ impl Dataset {
 
     /// Keep only the first `n` records.
     pub fn truncated(&self, n: usize) -> Dataset {
-        Dataset::from_records_unchecked(self.schema_arc(), self.records[..n.min(self.records.len())].to_vec())
+        Dataset::from_records_unchecked(
+            self.schema_arc(),
+            self.records[..n.min(self.records.len())].to_vec(),
+        )
     }
 }
 
@@ -315,7 +326,8 @@ mod tests {
     #[test]
     fn concat_requires_same_schema() {
         let d = dataset();
-        let other_schema = Arc::new(Schema::new(vec![Attribute::categorical("X", &["x"])]).unwrap());
+        let other_schema =
+            Arc::new(Schema::new(vec![Attribute::categorical("X", &["x"])]).unwrap());
         let other = Dataset::new(other_schema);
         assert!(d.concat(&other).is_err());
         let merged = d.concat(&d).unwrap();

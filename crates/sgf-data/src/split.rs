@@ -70,7 +70,11 @@ pub struct DataSplit {
 }
 
 /// Randomly partition `dataset` into the four disjoint subsets described by `spec`.
-pub fn split_dataset<R: Rng + ?Sized>(dataset: &Dataset, spec: &SplitSpec, rng: &mut R) -> Result<DataSplit> {
+pub fn split_dataset<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    spec: &SplitSpec,
+    rng: &mut R,
+) -> Result<DataSplit> {
     spec.validate()?;
     if dataset.is_empty() {
         return Err(DataError::EmptyDataset);
@@ -92,7 +96,10 @@ pub fn split_dataset<R: Rng + ?Sized>(dataset: &Dataset, spec: &SplitSpec, rng: 
 
     let schema = dataset.schema_arc();
     let take = |range: std::ops::Range<usize>| -> Dataset {
-        let records = idx[range].iter().map(|&i| dataset.record(i).clone()).collect();
+        let records = idx[range]
+            .iter()
+            .map(|&i| dataset.record(i).clone())
+            .collect();
         Dataset::from_records_unchecked(schema.clone(), records)
     };
 
@@ -132,8 +139,14 @@ pub fn train_test_split<R: Rng + ?Sized>(
     idx.shuffle(rng);
     let n_test = (test_fraction * n as f64).round() as usize;
     let schema = dataset.schema_arc();
-    let test_records = idx[..n_test].iter().map(|&i| dataset.record(i).clone()).collect();
-    let train_records = idx[n_test..].iter().map(|&i| dataset.record(i).clone()).collect();
+    let test_records = idx[..n_test]
+        .iter()
+        .map(|&i| dataset.record(i).clone())
+        .collect();
+    let train_records = idx[n_test..]
+        .iter()
+        .map(|&i| dataset.record(i).clone())
+        .collect();
     Ok((
         Dataset::from_records_unchecked(schema.clone(), train_records),
         Dataset::from_records_unchecked(schema, test_records),
@@ -151,9 +164,8 @@ mod tests {
     use std::sync::Arc;
 
     fn dataset(n: usize) -> Dataset {
-        let schema = Arc::new(
-            Schema::new(vec![Attribute::numerical("ID", 0, (n as i64) - 1)]).unwrap(),
-        );
+        let schema =
+            Arc::new(Schema::new(vec![Attribute::numerical("ID", 0, (n as i64) - 1)]).unwrap());
         let records = (0..n).map(|i| Record::new(vec![i as u16])).collect();
         Dataset::from_records_unchecked(schema, records)
     }
@@ -192,7 +204,12 @@ mod tests {
         assert_eq!(split.test.len(), 130);
 
         let mut seen: HashSet<u16> = HashSet::new();
-        for part in [&split.structure, &split.parameters, &split.seeds, &split.test] {
+        for part in [
+            &split.structure,
+            &split.parameters,
+            &split.seeds,
+            &split.test,
+        ] {
             for r in part.records() {
                 assert!(seen.insert(r.get(0)), "record appears in two splits");
             }

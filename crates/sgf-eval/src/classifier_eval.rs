@@ -10,8 +10,8 @@ use rand::Rng;
 use sgf_data::Dataset;
 use sgf_ml::{
     accuracy, agreement_rate, encode_dataset, fit_private, AdaBoost, AdaBoostConfig, DecisionTree,
-    DpErmConfig, DpErmMechanism, Encoding, ForestConfig, LinearConfig, LinearModel, Loss, MlDataset,
-    RandomForest, TreeConfig,
+    DpErmConfig, DpErmMechanism, Encoding, ForestConfig, LinearConfig, LinearModel, Loss,
+    MlDataset, RandomForest, TreeConfig,
 };
 
 /// Accuracy and agreement of the three Table-3 classifiers for one training set.
@@ -156,7 +156,12 @@ fn linear_config(loss: Loss, lambda: f64, iterations: usize) -> LinearConfig {
 /// Pick the λ maximizing non-private accuracy on the test set (the paper
 /// "optimistically" picks whichever value maximizes the accuracy of the
 /// non-private classification model).
-pub fn select_lambda(train: &MlDataset, test: &MlDataset, loss: Loss, config: &Table4Config) -> f64 {
+pub fn select_lambda(
+    train: &MlDataset,
+    test: &MlDataset,
+    loss: Loss,
+    config: &Table4Config,
+) -> f64 {
     let mut best = (config.lambdas[0], f64::NEG_INFINITY);
     for &lambda in &config.lambdas {
         let model = LinearModel::fit(train, &linear_config(loss, lambda, config.iterations));
@@ -200,8 +205,14 @@ pub fn table4<R: Rng + ?Sized>(
 
     // DP-ERM classifiers trained on real data.
     for (label, mechanism) in [
-        ("output perturbation (reals)", DpErmMechanism::OutputPerturbation),
-        ("objective perturbation (reals)", DpErmMechanism::ObjectivePerturbation),
+        (
+            "output perturbation (reals)",
+            DpErmMechanism::OutputPerturbation,
+        ),
+        (
+            "objective perturbation (reals)",
+            DpErmMechanism::ObjectivePerturbation,
+        ),
     ] {
         let lr = fit_private(
             &real_ml,
@@ -311,7 +322,9 @@ mod tests {
             &mut rng,
         );
         assert_eq!(rows.len(), 4);
-        assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.logistic_regression)));
+        assert!(rows
+            .iter()
+            .all(|r| (0.0..=1.0).contains(&r.logistic_regression)));
         assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.svm)));
         // Non-private on reals should beat chance decisively.
         assert!(rows[0].logistic_regression > 0.6);
@@ -320,7 +333,11 @@ mod tests {
     #[test]
     fn lambda_selection_returns_candidate() {
         let reals = generate_acs(600, 45);
-        let ml = encode_dataset(&reals, attr::INCOME, Encoding::OneHotNormalized { unit_norm: true });
+        let ml = encode_dataset(
+            &reals,
+            attr::INCOME,
+            Encoding::OneHotNormalized { unit_norm: true },
+        );
         let config = Table4Config {
             lambdas: vec![1e-2, 1e-4],
             iterations: 60,

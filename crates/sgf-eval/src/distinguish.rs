@@ -48,15 +48,23 @@ impl Default for DistinguishConfig {
 }
 
 /// Turn records into labelled adversary examples: label 1 = real, 0 = candidate.
-fn labelled(real: &Dataset, candidate: &Dataset, count: usize, offset_real: usize, offset_cand: usize) -> MlDataset {
+fn labelled(
+    real: &Dataset,
+    candidate: &Dataset,
+    count: usize,
+    offset_real: usize,
+    offset_cand: usize,
+) -> MlDataset {
     let m = real.schema().len();
     let mut ml = MlDataset::default();
     for i in 0..count {
         let record = real.record((offset_real + i) % real.len());
-        ml.features.push((0..m).map(|a| record.get(a) as f64).collect());
+        ml.features
+            .push((0..m).map(|a| record.get(a) as f64).collect());
         ml.labels.push(1);
         let record = candidate.record((offset_cand + i) % candidate.len());
-        ml.features.push((0..m).map(|a| record.get(a) as f64).collect());
+        ml.features
+            .push((0..m).map(|a| record.get(a) as f64).collect());
         ml.labels.push(0);
     }
     ml
@@ -70,7 +78,10 @@ pub fn distinguishing_game<R: Rng + ?Sized>(
     config: &DistinguishConfig,
     rng: &mut R,
 ) -> DistinguishResult {
-    assert!(!real.is_empty() && !candidate.is_empty(), "both datasets must be non-empty");
+    assert!(
+        !real.is_empty() && !candidate.is_empty(),
+        "both datasets must be non-empty"
+    );
     let train = labelled(real, candidate, config.train_per_class, 0, 0);
     let test = labelled(
         real,

@@ -30,7 +30,9 @@ pub mod report;
 pub mod statistical_distance;
 
 pub use classifier_eval::{table3, table4, Table3Config, Table3Row, Table4Config, Table4Row};
-pub use distinguish::{distinguishing_game, distinguishing_table, DistinguishConfig, DistinguishResult};
+pub use distinguish::{
+    distinguishing_game, distinguishing_table, DistinguishConfig, DistinguishResult,
+};
 pub use model_accuracy::{model_accuracy, ModelAccuracy};
 pub use pass_rate::{pass_rate_sweep, PassRateConfig, PassRateSeries};
 pub use performance::{performance_curve, PerformancePoint};

@@ -188,12 +188,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let split = split_dataset(&data, &SplitSpec::paper_defaults(), &mut rng).unwrap();
         let structure =
-            learn_dependency_structure(&split.structure, &bkt, &StructureConfig::exact(), &mut rng).unwrap();
+            learn_dependency_structure(&split.structure, &bkt, &StructureConfig::exact(), &mut rng)
+                .unwrap();
         let cpts = Arc::new(
-            CptStore::learn(&split.parameters, &bkt, &structure.graph, ParameterConfig::default()).unwrap(),
+            CptStore::learn(
+                &split.parameters,
+                &bkt,
+                &structure.graph,
+                ParameterConfig::default(),
+            )
+            .unwrap(),
         );
         let marginal = MarginalModel::learn(&split.parameters, MarginalConfig::default()).unwrap();
-        (BayesNetModel::new(cpts), marginal, split.parameters, split.test)
+        (
+            BayesNetModel::new(cpts),
+            marginal,
+            split.parameters,
+            split.test,
+        )
     }
 
     #[test]
@@ -207,10 +219,18 @@ mod tests {
         let acc = model_accuracy(&model, &marginal, &train, &test, 150, &forest_cfg, &mut rng);
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert_eq!(acc.generative.len(), 11);
-        assert!(mean(&acc.generative) > mean(&acc.random), "generative should beat random");
+        assert!(
+            mean(&acc.generative) > mean(&acc.random),
+            "generative should beat random"
+        );
         assert!(mean(&acc.marginals) >= mean(&acc.random));
         // All series are probabilities.
-        for series in [&acc.generative, &acc.random_forest, &acc.marginals, &acc.random] {
+        for series in [
+            &acc.generative,
+            &acc.random_forest,
+            &acc.marginals,
+            &acc.random,
+        ] {
             assert!(series.iter().all(|&x| (0.0..=1.0).contains(&x)));
         }
         let improvement = acc.relative_improvement();

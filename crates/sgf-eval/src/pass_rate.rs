@@ -67,7 +67,9 @@ pub fn pass_rate_sweep<R: Rng + ?Sized>(
         .omegas
         .iter()
         .map(|&omega| {
-            omega.validate(m).expect("omega settings must be valid for the schema");
+            omega
+                .validate(m)
+                .expect("omega settings must be valid for the schema");
             let mut pass_rates = Vec::with_capacity(config.k_values.len());
             for &k in &config.k_values {
                 let test = PrivacyTestConfig::deterministic(k, config.gamma)
@@ -79,7 +81,11 @@ pub fn pass_rate_sweep<R: Rng + ?Sized>(
                         SeedSynthesizer::new(Arc::clone(cpts), w).expect("validated omega");
                     let mechanism = Mechanism::new(&synthesizer, seeds, test)
                         .expect("seed dataset is large enough for every k in the sweep");
-                    if mechanism.propose(rng).expect("valid test configuration").released() {
+                    if mechanism
+                        .propose(rng)
+                        .expect("valid test configuration")
+                        .released()
+                    {
                         passed += 1;
                     }
                 }
@@ -110,9 +116,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let split = split_dataset(&data, &SplitSpec::paper_defaults(), &mut rng).unwrap();
         let structure =
-            learn_dependency_structure(&split.structure, &bkt, &StructureConfig::exact(), &mut rng).unwrap();
+            learn_dependency_structure(&split.structure, &bkt, &StructureConfig::exact(), &mut rng)
+                .unwrap();
         let cpts = Arc::new(
-            CptStore::learn(&split.parameters, &bkt, &structure.graph, ParameterConfig::default()).unwrap(),
+            CptStore::learn(
+                &split.parameters,
+                &bkt,
+                &structure.graph,
+                ParameterConfig::default(),
+            )
+            .unwrap(),
         );
 
         let config = PassRateConfig {

@@ -58,7 +58,8 @@ mod tests {
         let data = generate_acs(3000, 71);
         let bkt = acs_bucketizer(&acs_schema());
         let mut config = PipelineConfig::paper_defaults(1);
-        config.privacy_test = PrivacyTestConfig::deterministic(20, 4.0).with_limits(Some(40), Some(1500));
+        config.privacy_test =
+            PrivacyTestConfig::deterministic(20, 4.0).with_limits(Some(40), Some(1500));
         config.omega = OmegaSpec::Fixed(9);
         config.seed = 3;
 

@@ -23,7 +23,11 @@ impl TextTable {
     /// Append a row (must have as many cells as the header).
     pub fn add_row<S: ToString>(&mut self, row: &[S]) {
         let row: Vec<String> = row.iter().map(S::to_string).collect();
-        assert_eq!(row.len(), self.header.len(), "row width must match the header");
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width must match the header"
+        );
         self.rows.push(row);
     }
 

@@ -51,7 +51,10 @@ impl DistanceReport {
 }
 
 /// Compare several labelled candidate datasets against the same reference.
-pub fn compare_datasets(reference: &Dataset, candidates: &[(String, &Dataset)]) -> Vec<DistanceReport> {
+pub fn compare_datasets(
+    reference: &Dataset,
+    candidates: &[(String, &Dataset)],
+) -> Vec<DistanceReport> {
     candidates
         .iter()
         .map(|(label, candidate)| DistanceReport::compare(label, reference, candidate))

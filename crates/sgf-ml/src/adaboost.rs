@@ -38,7 +38,10 @@ impl AdaBoost {
     /// Train the ensemble.  Boosting stops early if a weak learner reaches
     /// zero weighted error or no longer beats random guessing.
     pub fn fit<R: Rng + ?Sized>(data: &MlDataset, config: &AdaBoostConfig, rng: &mut R) -> Self {
-        assert!(!data.is_empty(), "cannot train AdaBoost on an empty dataset");
+        assert!(
+            !data.is_empty(),
+            "cannot train AdaBoost on an empty dataset"
+        );
         assert!(config.rounds > 0, "AdaBoost needs at least one round");
         let n = data.len();
         let mut weights = vec![1.0 / n as f64; n];
@@ -72,7 +75,11 @@ impl AdaBoost {
             let alpha = 0.5 * ((1.0 - error) / error).ln();
             // Re-weight: misclassified examples up, correct ones down.
             let mut total = 0.0;
-            for ((w, p), &l) in weights.iter_mut().zip(predictions.iter()).zip(data.labels.iter()) {
+            for ((w, p), &l) in weights
+                .iter_mut()
+                .zip(predictions.iter())
+                .zip(data.labels.iter())
+            {
                 let sign = if *p == l { -1.0 } else { 1.0 };
                 *w *= (sign * alpha).exp();
                 total += *w;
@@ -105,7 +112,11 @@ impl AdaBoost {
         self.members
             .iter()
             .map(|(tree, alpha)| {
-                let vote = if tree.predict(features) == 1 { 1.0 } else { -1.0 };
+                let vote = if tree.predict(features) == 1 {
+                    1.0
+                } else {
+                    -1.0
+                };
                 alpha * vote
             })
             .sum::<f64>()
@@ -160,7 +171,10 @@ mod tests {
         );
         let stump_acc = accuracy(&stump, &test);
         let boost_acc = accuracy(&boosted, &test);
-        assert!(boost_acc > stump_acc, "boosting {boost_acc} vs stump {stump_acc}");
+        assert!(
+            boost_acc > stump_acc,
+            "boosting {boost_acc} vs stump {stump_acc}"
+        );
         assert!(boost_acc > 0.8, "boosting accuracy {boost_acc}");
         assert!(boosted.len() > 1);
     }

@@ -23,7 +23,9 @@ pub struct ConstantClassifier {
 impl ConstantClassifier {
     /// Always predict `label`.
     pub fn new(label: u8) -> Self {
-        ConstantClassifier { label: label.min(1) }
+        ConstantClassifier {
+            label: label.min(1),
+        }
     }
 
     /// Predict the majority label of a training set.

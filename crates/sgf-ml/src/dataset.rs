@@ -61,7 +61,11 @@ impl MlDataset {
     }
 
     /// Split into train/test partitions.
-    pub fn train_test_split<R: Rng + ?Sized>(&self, test_fraction: f64, rng: &mut R) -> (MlDataset, MlDataset) {
+    pub fn train_test_split<R: Rng + ?Sized>(
+        &self,
+        test_fraction: f64,
+        rng: &mut R,
+    ) -> (MlDataset, MlDataset) {
         let mut idx: Vec<usize> = (0..self.len()).collect();
         idx.shuffle(rng);
         let n_test = (test_fraction * self.len() as f64).round() as usize;
@@ -118,7 +122,10 @@ pub fn encode_dataset(dataset: &Dataset, target_attr: usize, encoding: Encoding)
             match encoding {
                 Encoding::Ordinal => features.push(value as f64),
                 Encoding::OneHotNormalized { .. } => {
-                    let numerical = matches!(schema.attribute(attr).kind(), AttributeKind::Numerical { .. });
+                    let numerical = matches!(
+                        schema.attribute(attr).kind(),
+                        AttributeKind::Numerical { .. }
+                    );
                     if numerical || card > 32 {
                         // Scale to [0, 1]; very wide categorical domains are
                         // treated ordinally to keep the dimension manageable.
@@ -164,7 +171,11 @@ mod tests {
     #[test]
     fn one_hot_encoding_expands_categoricals_and_bounds_norm() {
         let data = generate_acs(200, 2);
-        let ml = encode_dataset(&data, attr::INCOME, Encoding::OneHotNormalized { unit_norm: true });
+        let ml = encode_dataset(
+            &data,
+            attr::INCOME,
+            Encoding::OneHotNormalized { unit_norm: true },
+        );
         assert!(ml.dimension() > 10);
         for f in &ml.features {
             let norm = f.iter().map(|x| x * x).sum::<f64>().sqrt();

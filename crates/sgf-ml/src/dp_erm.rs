@@ -53,7 +53,12 @@ fn sample_l2_laplace<R: Rng + ?Sized>(dimension: usize, scale: f64, rng: &mut R)
             (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
         })
         .collect();
-    let len = direction.iter().map(|x| x * x).sum::<f64>().sqrt().max(f64::MIN_POSITIVE);
+    let len = direction
+        .iter()
+        .map(|x| x * x)
+        .sum::<f64>()
+        .sqrt()
+        .max(f64::MIN_POSITIVE);
     for x in direction.iter_mut() {
         *x = *x / len * norm;
     }
@@ -65,7 +70,11 @@ fn sample_l2_laplace<R: Rng + ?Sized>(dimension: usize, scale: f64, rng: &mut R)
 /// # Panics
 /// Panics on invalid parameters (ε ≤ 0, λ ≤ 0, empty data) — callers validate
 /// experiment configurations upstream.
-pub fn fit_private<R: Rng + ?Sized>(data: &MlDataset, config: &DpErmConfig, rng: &mut R) -> LinearModel {
+pub fn fit_private<R: Rng + ?Sized>(
+    data: &MlDataset,
+    config: &DpErmConfig,
+    rng: &mut R,
+) -> LinearModel {
     assert!(!data.is_empty(), "cannot train on an empty dataset");
     assert!(
         config.epsilon.is_finite() && config.epsilon > 0.0,
@@ -95,8 +104,8 @@ pub fn fit_private<R: Rng + ?Sized>(data: &MlDataset, config: &DpErmConfig, rng:
         }
         DpErmMechanism::ObjectivePerturbation => {
             let c = config.linear.loss.curvature_bound();
-            let mut epsilon_prime =
-                config.epsilon - (1.0 + 2.0 * c / (n * lambda) + c * c / (n * n * lambda * lambda)).ln();
+            let mut epsilon_prime = config.epsilon
+                - (1.0 + 2.0 * c / (n * lambda) + c * c / (n * n * lambda * lambda)).ln();
             let mut extra_lambda = 0.0;
             if epsilon_prime <= 0.0 {
                 extra_lambda = c / (n * ((config.epsilon / 4.0).exp() - 1.0)) - lambda;
@@ -148,7 +157,10 @@ mod tests {
         let train = separable(3000, 1);
         let test = separable(800, 2);
         let mut rng = StdRng::seed_from_u64(3);
-        for mechanism in [DpErmMechanism::OutputPerturbation, DpErmMechanism::ObjectivePerturbation] {
+        for mechanism in [
+            DpErmMechanism::OutputPerturbation,
+            DpErmMechanism::ObjectivePerturbation,
+        ] {
             for loss in [Loss::Logistic, Loss::HuberHinge] {
                 let model = fit_private(&train, &config(mechanism, 10.0, loss), &mut rng);
                 let acc = accuracy(&model, &test);

@@ -42,12 +42,16 @@ pub struct RandomForest {
 impl RandomForest {
     /// Train a forest.
     pub fn fit<R: Rng + ?Sized>(data: &MlDataset, config: &ForestConfig, rng: &mut R) -> Self {
-        assert!(!data.is_empty(), "cannot train a forest on an empty dataset");
+        assert!(
+            !data.is_empty(),
+            "cannot train a forest on an empty dataset"
+        );
         assert!(config.trees > 0, "a forest needs at least one tree");
         let dimension = data.dimension();
         let mut tree_config = config.tree;
         if tree_config.features_per_split.is_none() {
-            tree_config.features_per_split = Some(((dimension as f64).sqrt().ceil() as usize).max(1));
+            tree_config.features_per_split =
+                Some(((dimension as f64).sqrt().ceil() as usize).max(1));
         }
         let sample_size = ((config.sample_fraction * data.len() as f64).round() as usize).max(1);
         let trees = (0..config.trees)
@@ -71,7 +75,11 @@ impl RandomForest {
 
     /// Average positive-class score across the ensemble.
     pub fn predict_score(&self, features: &[f64]) -> f64 {
-        self.trees.iter().map(|t| t.predict_score(features)).sum::<f64>() / self.trees.len() as f64
+        self.trees
+            .iter()
+            .map(|t| t.predict_score(features))
+            .sum::<f64>()
+            / self.trees.len() as f64
     }
 }
 

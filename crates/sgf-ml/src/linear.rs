@@ -119,7 +119,10 @@ impl LinearModel {
         linear_term: Option<&[f64]>,
         extra_lambda: f64,
     ) -> Self {
-        assert!(!data.is_empty(), "cannot train a linear model on an empty dataset");
+        assert!(
+            !data.is_empty(),
+            "cannot train a linear model on an empty dataset"
+        );
         assert!(
             config.lambda.is_finite() && config.lambda >= 0.0,
             "lambda must be non-negative"
@@ -252,7 +255,10 @@ mod tests {
             // Derivative bounded in [-1, 0].
             for z in [-3.0, -1.0, 0.0, 0.9, 1.0, 1.4, 3.0] {
                 let d = loss.derivative(z);
-                assert!((-1.0..=0.0).contains(&d), "{loss:?} derivative at {z} = {d}");
+                assert!(
+                    (-1.0..=0.0).contains(&d),
+                    "{loss:?} derivative at {z} = {d}"
+                );
             }
             assert!(loss.curvature_bound() > 0.0);
         }

@@ -111,7 +111,9 @@ impl DecisionTree {
         let mut node = &self.root;
         loop {
             match node {
-                Node::Leaf { positive_fraction, .. } => return *positive_fraction,
+                Node::Leaf {
+                    positive_fraction, ..
+                } => return *positive_fraction,
                 Node::Split {
                     feature,
                     threshold,
@@ -240,7 +242,14 @@ fn build_node<R: Rng + ?Sized>(
                 feature,
                 threshold,
                 left: Box::new(build_node(data, weights, &left_idx, config, depth + 1, rng)),
-                right: Box::new(build_node(data, weights, &right_idx, config, depth + 1, rng)),
+                right: Box::new(build_node(
+                    data,
+                    weights,
+                    &right_idx,
+                    config,
+                    depth + 1,
+                    rng,
+                )),
             }
         }
     }

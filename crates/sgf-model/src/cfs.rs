@@ -44,10 +44,14 @@ impl CfsConfig {
     /// Validate the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.maxcost == 0 {
-            return Err(ModelError::InvalidParameter("maxcost must be at least 1".into()));
+            return Err(ModelError::InvalidParameter(
+                "maxcost must be at least 1".into(),
+            ));
         }
         if self.max_parents == 0 {
-            return Err(ModelError::InvalidParameter("max_parents must be at least 1".into()));
+            return Err(ModelError::InvalidParameter(
+                "max_parents must be at least 1".into(),
+            ));
         }
         if !self.min_improvement.is_finite() || self.min_improvement < 0.0 {
             return Err(ModelError::InvalidParameter(
@@ -78,9 +82,9 @@ pub fn merit_score(target: usize, parents: &[usize], corr: &CorrelationMatrix) -
 /// The complexity cost of a parent set: the number of joint configurations of
 /// the bucketized parents (Eq. 6).
 pub fn parent_set_cost(parents: &[usize], bucketizer: &Bucketizer) -> u64 {
-    parents
-        .iter()
-        .fold(1u64, |acc, &j| acc.saturating_mul(bucketizer.bucket_count(j) as u64))
+    parents.iter().fold(1u64, |acc, &j| {
+        acc.saturating_mul(bucketizer.bucket_count(j) as u64)
+    })
 }
 
 /// Greedily select the parent set of every attribute, producing an acyclic
@@ -110,7 +114,11 @@ pub fn learn_structure(
             .map(|j| corr.get(i, j))
             .fold(0.0f64, f64::max)
     };
-    order.sort_by(|&a, &b| best_corr(b).partial_cmp(&best_corr(a)).expect("correlations are finite"));
+    order.sort_by(|&a, &b| {
+        best_corr(b)
+            .partial_cmp(&best_corr(a))
+            .expect("correlations are finite")
+    });
 
     for &target in &order {
         let mut parents: Vec<usize> = Vec::new();
@@ -134,7 +142,7 @@ pub fn learn_structure(
                     continue;
                 }
                 let score = merit_score(target, &trial, corr);
-                if best.map_or(true, |(_, s)| score > s) {
+                if best.is_none_or(|(_, s)| score > s) {
                     best = Some((candidate, score));
                 }
             }
@@ -175,9 +183,17 @@ mod tests {
         let records = (0..3000)
             .map(|_| {
                 let a: u16 = rng.gen_range(0..3);
-                let b = if rng.gen::<f64>() < 0.9 { a } else { rng.gen_range(0..3) };
+                let b = if rng.gen::<f64>() < 0.9 {
+                    a
+                } else {
+                    rng.gen_range(0..3)
+                };
                 let c: u16 = rng.gen_range(0..3);
-                let d = if rng.gen::<f64>() < 0.8 { a } else { rng.gen_range(0..3) };
+                let d = if rng.gen::<f64>() < 0.8 {
+                    a
+                } else {
+                    rng.gen_range(0..3)
+                };
                 Record::new(vec![a, b, c, d])
             })
             .collect();
@@ -220,7 +236,11 @@ mod tests {
             .iter()
             .filter(|&&i| graph.parents(i).iter().any(|p| cluster.contains(p)))
             .count();
-        assert!(linked >= 2, "expected the dependent cluster to be linked: {:?}", graph.parent_sets());
+        assert!(
+            linked >= 2,
+            "expected the dependent cluster to be linked: {:?}",
+            graph.parent_sets()
+        );
         // C is independent noise: it should not acquire strongly-correlated parents.
         assert!(graph.parents(2).len() <= 1);
     }

@@ -90,7 +90,12 @@ impl CorrelationMatrix {
 
 /// Compute the exact (non-private) correlation matrix over bucketized attributes.
 pub fn correlation_matrix(dataset: &Dataset, bucketizer: &Bucketizer) -> Result<CorrelationMatrix> {
-    compute_matrix(dataset, bucketizer, None, &mut rand::rngs::mock::StepRng::new(0, 1))
+    compute_matrix(
+        dataset,
+        bucketizer,
+        None,
+        &mut rand::rngs::mock::StepRng::new(0, 1),
+    )
 }
 
 /// Compute the correlation matrix with differentially-private noisy entropies.
@@ -129,7 +134,9 @@ fn compute_matrix<R: Rng + ?Sized>(
 
     let mut single = Vec::with_capacity(m);
     for attr in 0..m {
-        let h = entropy(&Histogram::from_column_bucketized(dataset, attr, bucketizer));
+        let h = entropy(&Histogram::from_column_bucketized(
+            dataset, attr, bucketizer,
+        ));
         let h = match dp {
             None => h,
             Some(cfg) => {
@@ -147,10 +154,12 @@ fn compute_matrix<R: Rng + ?Sized>(
             let joint = JointHistogram::from_pairs(
                 bucketizer.bucket_count(i),
                 bucketizer.bucket_count(j),
-                dataset
-                    .records()
-                    .iter()
-                    .map(|r| (bucketizer.bucket_of(i, r.get(i)), bucketizer.bucket_of(j, r.get(j)))),
+                dataset.records().iter().map(|r| {
+                    (
+                        bucketizer.bucket_of(i, r.get(i)),
+                        bucketizer.bucket_of(j, r.get(j)),
+                    )
+                }),
             );
             let h_ij = joint_entropy(&joint);
             let h_ij = match dp {
@@ -209,8 +218,16 @@ mod tests {
         let corr = correlation_matrix(&d, &bkt).unwrap();
         assert_eq!(corr.len(), 3);
         assert!((corr.get(0, 0) - 1.0).abs() < 1e-12);
-        assert!(corr.get(0, 1) > 0.95, "copied attribute should be ~1: {}", corr.get(0, 1));
-        assert!(corr.get(0, 2) < 0.05, "independent attribute should be ~0: {}", corr.get(0, 2));
+        assert!(
+            corr.get(0, 1) > 0.95,
+            "copied attribute should be ~1: {}",
+            corr.get(0, 1)
+        );
+        assert!(
+            corr.get(0, 2) < 0.05,
+            "independent attribute should be ~0: {}",
+            corr.get(0, 2)
+        );
         assert_eq!(corr.get(0, 1), corr.get(1, 0));
         assert_eq!(corr.entropy_query_count(), 0);
     }
@@ -230,7 +247,10 @@ mod tests {
                 assert!((0.0..=1.0).contains(&corr.get(i, j)));
             }
         }
-        assert_eq!(corr.entropy_query_count(), CorrelationMatrix::queries_for(3));
+        assert_eq!(
+            corr.entropy_query_count(),
+            CorrelationMatrix::queries_for(3)
+        );
     }
 
     #[test]

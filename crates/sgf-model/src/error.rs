@@ -55,7 +55,9 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(ModelError::EmptyTrainingData.to_string().contains("empty"));
-        assert!(ModelError::InvalidGraph("cycle".into()).to_string().contains("cycle"));
+        assert!(ModelError::InvalidGraph("cycle".into())
+            .to_string()
+            .contains("cycle"));
     }
 
     #[test]

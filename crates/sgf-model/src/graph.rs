@@ -42,12 +42,16 @@ impl DependencyGraph {
                     )));
                 }
                 if p == i {
-                    return Err(ModelError::InvalidGraph(format!("attribute {i} cannot be its own parent")));
+                    return Err(ModelError::InvalidGraph(format!(
+                        "attribute {i} cannot be its own parent"
+                    )));
                 }
             }
         }
         if self.topological_order().is_none() {
-            return Err(ModelError::InvalidGraph("the dependency graph contains a cycle".into()));
+            return Err(ModelError::InvalidGraph(
+                "the dependency graph contains a cycle".into(),
+            ));
         }
         Ok(())
     }
@@ -97,7 +101,9 @@ impl DependencyGraph {
             )));
         }
         if parent == child {
-            return Err(ModelError::InvalidGraph(format!("attribute {child} cannot be its own parent")));
+            return Err(ModelError::InvalidGraph(format!(
+                "attribute {child} cannot be its own parent"
+            )));
         }
         if self.parents[child].contains(&parent) {
             return Ok(());
@@ -170,7 +176,9 @@ impl DependencyGraph {
     /// the full conditional `Pr{x_i | everything else}` for the model-accuracy
     /// experiments.
     pub fn children(&self, i: usize) -> Vec<usize> {
-        (0..self.len()).filter(|&c| self.parents[c].contains(&i)).collect()
+        (0..self.len())
+            .filter(|&c| self.parents[c].contains(&i))
+            .collect()
     }
 }
 
@@ -240,7 +248,8 @@ mod tests {
 
     #[test]
     fn topological_order_is_deterministic() {
-        let g = DependencyGraph::from_parent_sets(vec![vec![], vec![], vec![0, 1], vec![2]]).unwrap();
+        let g =
+            DependencyGraph::from_parent_sets(vec![vec![], vec![], vec![0, 1], vec![2]]).unwrap();
         assert_eq!(g.topological_order().unwrap(), vec![0, 1, 2, 3]);
     }
 }

@@ -12,8 +12,8 @@ use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use sgf_data::{Dataset, Record, Schema};
 use sgf_stats::{
-    advanced_composition, configuration_rng, dirichlet_posterior_mean, sample_categorical, DpBudget,
-    Histogram, Laplace,
+    advanced_composition, configuration_rng, dirichlet_posterior_mean, sample_categorical,
+    DpBudget, Histogram, Laplace,
 };
 use std::sync::Arc;
 
@@ -159,8 +159,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(55);
         let records = (0..n)
             .map(|_| {
-                let a: u16 = if rng.gen::<f64>() < 0.6 { 0 } else { rng.gen_range(1..3) };
-                Record::new(vec![a, (a % 2) as u16])
+                let a: u16 = if rng.gen::<f64>() < 0.6 {
+                    0
+                } else {
+                    rng.gen_range(1..3)
+                };
+                Record::new(vec![a, a % 2])
             })
             .collect();
         Dataset::from_records_unchecked(schema, records)

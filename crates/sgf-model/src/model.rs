@@ -123,7 +123,9 @@ impl BayesNetModel {
                 if log_score == f64::NEG_INFINITY {
                     break;
                 }
-                let p = self.cpts.conditional_probability(child, record.get(child), value_of);
+                let p = self
+                    .cpts
+                    .conditional_probability(child, record.get(child), value_of);
                 if p <= 0.0 {
                     log_score = f64::NEG_INFINITY;
                 } else {
@@ -161,7 +163,11 @@ mod tests {
         let records = (0..n)
             .map(|_| {
                 let a: u16 = rng.gen_range(0..3);
-                let b = if rng.gen::<f64>() < 0.95 { a } else { rng.gen_range(0..3) };
+                let b = if rng.gen::<f64>() < 0.95 {
+                    a
+                } else {
+                    rng.gen_range(0..3)
+                };
                 let c: u16 = rng.gen_range(0..2);
                 Record::new(vec![a, b, c])
             })
@@ -186,7 +192,10 @@ mod tests {
                 agree += 1;
             }
         }
-        assert!(agree as f64 / n as f64 > 0.8, "A and B should usually agree");
+        assert!(
+            agree as f64 / n as f64 > 0.8,
+            "A and B should usually agree"
+        );
     }
 
     #[test]

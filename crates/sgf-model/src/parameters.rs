@@ -19,7 +19,8 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use sgf_data::{Bucketizer, Dataset, Schema};
 use sgf_stats::{
-    advanced_composition, configuration_rng, dirichlet_posterior_mean, sample_dirichlet, DpBudget, Laplace,
+    advanced_composition, configuration_rng, dirichlet_posterior_mean, sample_dirichlet, DpBudget,
+    Laplace,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -179,7 +180,9 @@ impl CptStore {
             Some(eps) => advanced_composition(eps, 0.0, schema.len() as u64, config.delta_slack),
         };
 
-        let cache = (0..schema.len()).map(|_| RwLock::new(HashMap::new())).collect();
+        let cache = (0..schema.len())
+            .map(|_| RwLock::new(HashMap::new()))
+            .collect();
         Ok(CptStore {
             schema,
             bucketizer: bucketizer.clone(),
@@ -252,24 +255,39 @@ impl CptStore {
     fn materialize(&self, attr: usize, configuration: u64) -> Vec<f64> {
         let table = &self.tables[attr];
         let card = table.cardinality;
-        let start = (configuration as usize).min(table.configurations.saturating_sub(1) as usize) * card;
-        let raw: Vec<f64> = table.counts[start..start + card].iter().map(|&c| c as f64).collect();
+        let start =
+            (configuration as usize).min(table.configurations.saturating_sub(1) as usize) * card;
+        let raw: Vec<f64> = table.counts[start..start + card]
+            .iter()
+            .map(|&c| c as f64)
+            .collect();
 
         // Per-configuration deterministic RNG: identical noise for identical
         // configurations, regardless of which worker asks first.
-        let mut rng = configuration_rng(self.config.global_seed, "sgf-parameters", attr, configuration);
+        let mut rng = configuration_rng(
+            self.config.global_seed,
+            "sgf-parameters",
+            attr,
+            configuration,
+        );
 
         let noisy: Vec<f64> = match self.config.epsilon_p {
             None => raw,
             Some(eps) => {
                 let lap = Laplace::for_mechanism(1.0, eps);
-                raw.iter().map(|&c| (c + lap.sample(&mut rng)).max(0.0)).collect()
+                raw.iter()
+                    .map(|&c| (c + lap.sample(&mut rng)).max(0.0))
+                    .collect()
             }
         };
 
         let alphas = vec![self.config.alpha / card as f64; card];
         if self.config.sample_parameters {
-            let posterior: Vec<f64> = alphas.iter().zip(noisy.iter()).map(|(&a, &n)| a + n).collect();
+            let posterior: Vec<f64> = alphas
+                .iter()
+                .zip(noisy.iter())
+                .map(|(&a, &n)| a + n)
+                .collect();
             sample_dirichlet(&posterior, &mut rng)
         } else {
             dirichlet_posterior_mean(&alphas, &noisy)
@@ -278,7 +296,12 @@ impl CptStore {
 
     /// Conditional probability of `value` for attribute `attr` given the full
     /// assignment provided by `value_of`.
-    pub fn conditional_probability<F: Fn(usize) -> u16>(&self, attr: usize, value: u16, value_of: F) -> f64 {
+    pub fn conditional_probability<F: Fn(usize) -> u16>(
+        &self,
+        attr: usize,
+        value: u16,
+        value_of: F,
+    ) -> f64 {
         let config = self.configuration_index(attr, &value_of);
         self.conditional(attr, config)[value as usize]
     }
@@ -322,7 +345,11 @@ mod tests {
         let records = (0..n)
             .map(|_| {
                 let a: u16 = rng.gen_range(0..3);
-                let b = if rng.gen::<f64>() < 0.9 { a } else { rng.gen_range(0..3) };
+                let b = if rng.gen::<f64>() < 0.9 {
+                    a
+                } else {
+                    rng.gen_range(0..3)
+                };
                 Record::new(vec![a, b])
             })
             .collect();

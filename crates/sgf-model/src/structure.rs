@@ -7,7 +7,9 @@
 //! (Section 3.5).
 
 use crate::cfs::{learn_structure, CfsConfig};
-use crate::correlation::{correlation_matrix, noisy_correlation_matrix, CorrelationDpConfig, CorrelationMatrix};
+use crate::correlation::{
+    correlation_matrix, noisy_correlation_matrix, CorrelationDpConfig, CorrelationMatrix,
+};
 use crate::error::Result;
 use crate::graph::DependencyGraph;
 use rand::Rng;
@@ -46,7 +48,10 @@ impl StructureConfig {
     pub fn private(epsilon_h: f64, epsilon_nt: f64) -> Self {
         StructureConfig {
             cfs: CfsConfig::default(),
-            dp: Some(CorrelationDpConfig { epsilon_h, epsilon_nt }),
+            dp: Some(CorrelationDpConfig {
+                epsilon_h,
+                epsilon_nt,
+            }),
             delta_slack: 1e-9,
         }
     }
@@ -111,7 +116,11 @@ mod tests {
         assert!(learned.graph.topological_order().is_some());
         assert_eq!(learned.budget.epsilon, 0.0);
         // Some dependencies must have been discovered on this correlated data.
-        assert!(learned.graph.edge_count() >= 4, "edges: {}", learned.graph.edge_count());
+        assert!(
+            learned.graph.edge_count() >= 4,
+            "edges: {}",
+            learned.graph.edge_count()
+        );
     }
 
     #[test]
@@ -119,9 +128,13 @@ mod tests {
         let data = generate_acs(2000, 5);
         let bkt = acs_bucketizer(&acs_schema());
         let mut rng = StdRng::seed_from_u64(1);
-        let learned =
-            learn_dependency_structure(&data, &bkt, &StructureConfig::private(0.05, 0.01), &mut rng)
-                .unwrap();
+        let learned = learn_dependency_structure(
+            &data,
+            &bkt,
+            &StructureConfig::private(0.05, 0.01),
+            &mut rng,
+        )
+        .unwrap();
         assert!(learned.graph.topological_order().is_some());
         assert!(learned.budget.epsilon > 0.0);
         assert!(learned.budget.delta > 0.0 && learned.budget.delta < 1e-6);

@@ -145,7 +145,9 @@ impl GenerativeModel for SeedSynthesizer {
         // the candidate's values because kept attributes agree with the seed.
         let mut probability = 1.0;
         for &attr in self.resampled_attributes() {
-            probability *= self.cpts.conditional_probability(attr, y.get(attr), |j| y.get(j));
+            probability *= self
+                .cpts
+                .conditional_probability(attr, y.get(attr), |j| y.get(j));
             if probability == 0.0 {
                 return 0.0;
             }
@@ -177,7 +179,11 @@ mod tests {
         let records = (0..n)
             .map(|_| {
                 let a: u16 = rng.gen_range(0..3);
-                let b = if rng.gen::<f64>() < 0.9 { a } else { rng.gen_range(0..3) };
+                let b = if rng.gen::<f64>() < 0.9 {
+                    a
+                } else {
+                    rng.gen_range(0..3)
+                };
                 let c: u16 = rng.gen_range(0..4);
                 Record::new(vec![a, b, c])
             })
@@ -194,7 +200,9 @@ mod tests {
         assert!(OmegaSpec::Fixed(0).validate(5).is_err());
         assert!(OmegaSpec::Fixed(6).validate(5).is_err());
         assert!(OmegaSpec::UniformRange { lo: 2, hi: 4 }.validate(5).is_ok());
-        assert!(OmegaSpec::UniformRange { lo: 4, hi: 2 }.validate(5).is_err());
+        assert!(OmegaSpec::UniformRange { lo: 4, hi: 2 }
+            .validate(5)
+            .is_err());
         let mut rng = StdRng::seed_from_u64(1);
         let spec = OmegaSpec::UniformRange { lo: 2, hi: 4 };
         for _ in 0..100 {
@@ -202,7 +210,10 @@ mod tests {
             assert!((2..=4).contains(&w));
         }
         assert_eq!(OmegaSpec::Fixed(9).label(), "omega = 9");
-        assert_eq!(OmegaSpec::UniformRange { lo: 5, hi: 11 }.label(), "omega in R[5-11]");
+        assert_eq!(
+            OmegaSpec::UniformRange { lo: 5, hi: 11 }.label(),
+            "omega in R[5-11]"
+        );
     }
 
     #[test]

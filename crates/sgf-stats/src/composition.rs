@@ -15,7 +15,10 @@ pub struct DpBudget {
 impl DpBudget {
     /// A pure ε-DP guarantee (δ = 0).
     pub fn pure(epsilon: f64) -> Self {
-        DpBudget { epsilon, delta: 0.0 }
+        DpBudget {
+            epsilon,
+            delta: 0.0,
+        }
     }
 
     /// Construct an (ε, δ) guarantee.
@@ -57,11 +60,17 @@ pub fn sequential_composition(parts: &[DpBudget]) -> DpBudget {
 /// (ε', kδ + δ_slack)-DP with
 /// `ε' = ε sqrt(2 k ln(1/δ_slack)) + k ε (e^ε − 1)`.
 pub fn advanced_composition(epsilon: f64, delta: f64, k: u64, delta_slack: f64) -> DpBudget {
-    assert!(delta_slack > 0.0 && delta_slack < 1.0, "delta_slack must lie in (0, 1)");
-    assert!(epsilon >= 0.0 && delta >= 0.0, "per-invocation parameters must be non-negative");
+    assert!(
+        delta_slack > 0.0 && delta_slack < 1.0,
+        "delta_slack must lie in (0, 1)"
+    );
+    assert!(
+        epsilon >= 0.0 && delta >= 0.0,
+        "per-invocation parameters must be non-negative"
+    );
     let k_f = k as f64;
-    let epsilon_total =
-        epsilon * (2.0 * k_f * (1.0 / delta_slack).ln()).sqrt() + k_f * epsilon * (epsilon.exp() - 1.0);
+    let epsilon_total = epsilon * (2.0 * k_f * (1.0 / delta_slack).ln()).sqrt()
+        + k_f * epsilon * (epsilon.exp() - 1.0);
     DpBudget {
         epsilon: epsilon_total,
         delta: k_f * delta + delta_slack,
@@ -85,7 +94,12 @@ pub fn sampling_amplification(budget: DpBudget, sampling_rate: f64) -> DpBudget 
 /// Privacy cost of the *structure learning* step (Section 3.5): `m(m+1)`
 /// noisy entropies at ε_H each composed with the advanced theorem, plus the
 /// εn_T-DP noisy record count composed sequentially.
-pub fn structure_learning_budget(m: usize, epsilon_h: f64, epsilon_nt: f64, delta_slack: f64) -> DpBudget {
+pub fn structure_learning_budget(
+    m: usize,
+    epsilon_h: f64,
+    epsilon_nt: f64,
+    delta_slack: f64,
+) -> DpBudget {
     let k = (m * (m + 1)) as u64;
     let entropies = advanced_composition(epsilon_h, 0.0, k, delta_slack);
     sequential_composition(&[entropies, DpBudget::pure(epsilon_nt)])
@@ -118,7 +132,10 @@ pub fn generative_model_budget(
 /// desired end-to-end ε (e.g. "make the model ε = 1 DP") and need to split it
 /// across the m(m+1) noisy entropy queries.
 pub fn calibrate_epsilon_h(m: usize, epsilon_nt: f64, delta_slack: f64, target: f64) -> f64 {
-    assert!(target > epsilon_nt, "target budget must exceed the record-count epsilon");
+    assert!(
+        target > epsilon_nt,
+        "target budget must exceed the record-count epsilon"
+    );
     let mut lo = 0.0f64;
     let mut hi = target;
     for _ in 0..200 {
@@ -173,7 +190,12 @@ mod tests {
         let k = 10_000u64;
         let adv = advanced_composition(eps, 0.0, k, 1e-9);
         let seq = eps * k as f64;
-        assert!(adv.epsilon < seq, "advanced {} vs sequential {}", adv.epsilon, seq);
+        assert!(
+            adv.epsilon < seq,
+            "advanced {} vs sequential {}",
+            adv.epsilon,
+            seq
+        );
         assert!(adv.delta > 0.0);
     }
 
@@ -221,7 +243,10 @@ mod tests {
         assert!(eps_h > 0.0);
         let achieved = structure_learning_budget(m, eps_h, 0.01, 1e-9).epsilon;
         assert!(achieved <= target + 1e-6, "achieved {achieved}");
-        assert!(achieved > 0.9 * target, "calibration too conservative: {achieved}");
+        assert!(
+            achieved > 0.9 * target,
+            "calibration too conservative: {achieved}"
+        );
 
         let eps_p = calibrate_epsilon_p(m, 1e-9, target);
         let achieved_p = parameter_learning_budget(m, eps_p, 1e-9).epsilon;

@@ -25,7 +25,12 @@ pub fn fnv1a_hash(bytes: &[u8]) -> u64 {
 
 /// Derive a deterministic seed from a namespace, an attribute index, and a
 /// parent-configuration index, mixed with a global seed.
-pub fn configuration_seed(global_seed: u64, namespace: &str, attribute: usize, configuration: u64) -> u64 {
+pub fn configuration_seed(
+    global_seed: u64,
+    namespace: &str,
+    attribute: usize,
+    configuration: u64,
+) -> u64 {
     let mut bytes = Vec::with_capacity(namespace.len() + 24);
     bytes.extend_from_slice(namespace.as_bytes());
     bytes.extend_from_slice(&global_seed.to_le_bytes());
@@ -35,8 +40,18 @@ pub fn configuration_seed(global_seed: u64, namespace: &str, attribute: usize, c
 }
 
 /// A deterministic RNG for the given configuration.
-pub fn configuration_rng(global_seed: u64, namespace: &str, attribute: usize, configuration: u64) -> StdRng {
-    StdRng::seed_from_u64(configuration_seed(global_seed, namespace, attribute, configuration))
+pub fn configuration_rng(
+    global_seed: u64,
+    namespace: &str,
+    attribute: usize,
+    configuration: u64,
+) -> StdRng {
+    StdRng::seed_from_u64(configuration_seed(
+        global_seed,
+        namespace,
+        attribute,
+        configuration,
+    ))
 }
 
 #[cfg(test)]

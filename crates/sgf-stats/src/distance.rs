@@ -15,7 +15,11 @@ use sgf_data::Dataset;
 /// over the same domain).
 pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
     assert_eq!(p.len(), q.len(), "distributions must share a domain");
-    0.5 * p.iter().zip(q.iter()).map(|(a, b)| (a - b).abs()).sum::<f64>()
+    0.5 * p
+        .iter()
+        .zip(q.iter())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
 }
 
 /// Total-variation distance between the empirical distributions of two histograms.
@@ -57,7 +61,10 @@ pub fn attribute_distances(a: &Dataset, b: &Dataset) -> Vec<f64> {
     );
     (0..a.schema().len())
         .map(|attr| {
-            total_variation_histograms(&Histogram::from_column(a, attr), &Histogram::from_column(b, attr))
+            total_variation_histograms(
+                &Histogram::from_column(a, attr),
+                &Histogram::from_column(b, attr),
+            )
         })
         .collect()
 }

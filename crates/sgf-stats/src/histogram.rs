@@ -123,7 +123,11 @@ impl JointHistogram {
     }
 
     /// Build from an iterator of value pairs.
-    pub fn from_pairs<I: IntoIterator<Item = (u16, u16)>>(rows: usize, cols: usize, pairs: I) -> Self {
+    pub fn from_pairs<I: IntoIterator<Item = (u16, u16)>>(
+        rows: usize,
+        cols: usize,
+        pairs: I,
+    ) -> Self {
         let mut h = JointHistogram::empty(rows, cols);
         for (a, b) in pairs {
             h.add(a, b);
@@ -138,7 +142,10 @@ impl JointHistogram {
         JointHistogram::from_pairs(
             rows,
             cols,
-            dataset.records().iter().map(|r| (r.get(attr_a), r.get(attr_b))),
+            dataset
+                .records()
+                .iter()
+                .map(|r| (r.get(attr_a), r.get(attr_b))),
         )
     }
 
@@ -199,9 +206,9 @@ impl JointHistogram {
     /// Marginal histogram of the row variable.
     pub fn row_marginal(&self) -> Histogram {
         let mut counts = vec![0u64; self.rows];
-        for a in 0..self.rows {
+        for (a, count) in counts.iter_mut().enumerate() {
             for b in 0..self.cols {
-                counts[a] += self.count(a, b);
+                *count += self.count(a, b);
             }
         }
         Histogram {
@@ -214,8 +221,8 @@ impl JointHistogram {
     pub fn col_marginal(&self) -> Histogram {
         let mut counts = vec![0u64; self.cols];
         for a in 0..self.rows {
-            for b in 0..self.cols {
-                counts[b] += self.count(a, b);
+            for (b, count) in counts.iter_mut().enumerate() {
+                *count += self.count(a, b);
             }
         }
         Histogram {
@@ -296,8 +303,14 @@ mod tests {
         let j = JointHistogram::from_columns(&d, 0, 1);
         assert_eq!(j.count(2, 1), 2);
         assert_eq!(j.count(1, 0), 0);
-        assert_eq!(j.row_marginal().counts(), Histogram::from_column(&d, 0).counts());
-        assert_eq!(j.col_marginal().counts(), Histogram::from_column(&d, 1).counts());
+        assert_eq!(
+            j.row_marginal().counts(),
+            Histogram::from_column(&d, 0).counts()
+        );
+        assert_eq!(
+            j.col_marginal().counts(),
+            Histogram::from_column(&d, 1).counts()
+        );
         let p = j.probabilities();
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
     }
@@ -320,7 +333,7 @@ mod tests {
             ])
             .unwrap(),
         );
-        let records = (0..20u16).map(|v| Record::new(vec![v, (v % 2) as u16])).collect();
+        let records = (0..20u16).map(|v| Record::new(vec![v, v % 2])).collect();
         let d = Dataset::from_records_unchecked(schema, records);
         let bkt = sgf_data::Bucketizer::identity(d.schema())
             .with_attribute(0, sgf_data::AttributeBuckets::fixed_width(20, 10).unwrap())

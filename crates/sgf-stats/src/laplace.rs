@@ -72,7 +72,12 @@ impl Laplace {
 }
 
 /// Apply the Laplace mechanism: return `value + Lap(sensitivity / epsilon)`.
-pub fn laplace_mechanism<R: Rng + ?Sized>(value: f64, sensitivity: f64, epsilon: f64, rng: &mut R) -> f64 {
+pub fn laplace_mechanism<R: Rng + ?Sized>(
+    value: f64,
+    sensitivity: f64,
+    epsilon: f64,
+    rng: &mut R,
+) -> f64 {
     value + Laplace::for_mechanism(sensitivity, epsilon).sample(rng)
 }
 

@@ -34,5 +34,6 @@ pub use entropy::{
 pub use histogram::{Histogram, JointHistogram};
 pub use laplace::{laplace_mechanism, noisy_count, Laplace};
 pub use sampling::{
-    dirichlet_posterior_mean, sample_categorical, sample_dirichlet, sample_gamma, sample_multinomial,
+    dirichlet_posterior_mean, sample_categorical, sample_dirichlet, sample_gamma,
+    sample_multinomial,
 };

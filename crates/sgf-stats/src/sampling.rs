@@ -11,7 +11,10 @@ use rand::Rng;
 /// Sample from a Gamma distribution with the given `shape` (k > 0) and unit scale,
 /// using the Marsaglia–Tsang squeeze method (with the standard boost for shape < 1).
 pub fn sample_gamma<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
-    assert!(shape.is_finite() && shape > 0.0, "gamma shape must be positive, got {shape}");
+    assert!(
+        shape.is_finite() && shape > 0.0,
+        "gamma shape must be positive, got {shape}"
+    );
     if shape < 1.0 {
         // Boosting: Gamma(a) = Gamma(a + 1) * U^(1/a).
         let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
@@ -38,7 +41,10 @@ pub fn sample_gamma<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
 /// Sample a probability vector from a Dirichlet distribution with the given
 /// concentration parameters (all must be strictly positive).
 pub fn sample_dirichlet<R: Rng + ?Sized>(alphas: &[f64], rng: &mut R) -> Vec<f64> {
-    assert!(!alphas.is_empty(), "Dirichlet needs at least one concentration parameter");
+    assert!(
+        !alphas.is_empty(),
+        "Dirichlet needs at least one concentration parameter"
+    );
     let gammas: Vec<f64> = alphas.iter().map(|&a| sample_gamma(a, rng)).collect();
     let total: f64 = gammas.iter().sum();
     if total <= 0.0 || !total.is_finite() {
@@ -80,7 +86,11 @@ pub fn sample_multinomial<R: Rng + ?Sized>(n: u64, probabilities: &[f64], rng: &
 /// Posterior mean of a Dirichlet-multinomial model (Eq. 13):
 /// `p[l] = (alpha[l] + n[l]) / (sum alpha + sum n)`.
 pub fn dirichlet_posterior_mean(alphas: &[f64], counts: &[f64]) -> Vec<f64> {
-    assert_eq!(alphas.len(), counts.len(), "alpha and count vectors must have equal length");
+    assert_eq!(
+        alphas.len(),
+        counts.len(),
+        "alpha and count vectors must have equal length"
+    );
     let total: f64 = alphas.iter().sum::<f64>() + counts.iter().sum::<f64>();
     if total <= 0.0 {
         let n = alphas.len().max(1);

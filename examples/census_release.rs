@@ -37,15 +37,27 @@ fn main() {
         .expect("pipeline runs");
 
     println!("== Differentially-private census-style release ==");
-    println!("structure learning budget : epsilon = {:.3}", result.budget.structure.epsilon);
-    println!("parameter learning budget : epsilon = {:.3}", result.budget.parameters.epsilon);
-    println!("model budget (disjoint)   : epsilon = {:.3}", result.budget.model_budget().epsilon);
+    println!(
+        "structure learning budget : epsilon = {:.3}",
+        result.budget.structure.epsilon
+    );
+    println!(
+        "parameter learning budget : epsilon = {:.3}",
+        result.budget.parameters.epsilon
+    );
+    println!(
+        "model budget (disjoint)   : epsilon = {:.3}",
+        result.budget.model_budget().epsilon
+    );
     println!("released synthetics       : {}", result.synthetics.len());
 
     // Utility check: total-variation distance to the held-out test records,
     // for the synthetics and for an equally-sized marginal sample.
     let mut rng = rand::rngs::mock::StepRng::new(1, 7);
-    let marginal_data = result.models.marginal.sample_dataset(result.synthetics.len(), &mut rng);
+    let marginal_data = result
+        .models
+        .marginal
+        .sample_dataset(result.synthetics.len(), &mut rng);
     let reports = compare_datasets(
         &result.split.test,
         &[

@@ -8,7 +8,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sgf::core::{PipelineConfig, SynthesisPipeline};
 use sgf::data::acs::{acs_bucketizer, acs_schema, attr, generate_acs};
-use sgf::eval::{distinguishing_table, percent, table3, DistinguishConfig, Table3Config, TextTable};
+use sgf::eval::{
+    distinguishing_table, percent, table3, DistinguishConfig, Table3Config, TextTable,
+};
 
 fn main() {
     let population = generate_acs(20_000, 23);
@@ -21,7 +23,10 @@ fn main() {
         .run(&population, &bucketizer)
         .expect("pipeline runs");
     let mut rng = StdRng::seed_from_u64(23);
-    let marginal_data = result.models.marginal.sample_dataset(result.synthetics.len(), &mut rng);
+    let marginal_data = result
+        .models
+        .marginal
+        .sample_dataset(result.synthetics.len(), &mut rng);
 
     println!("== Income classification: reals vs marginals vs synthetics ==\n");
     let rows = table3(

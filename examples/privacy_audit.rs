@@ -6,11 +6,11 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sgf::core::PipelineConfig;
 use sgf::core::{
     partition_index, satisfies_plausible_deniability, Mechanism, PrivacyTestConfig, ReleaseBudget,
     SynthesisPipeline,
 };
-use sgf::core::PipelineConfig;
 use sgf::data::acs::{acs_bucketizer, acs_schema, generate_acs};
 use sgf::model::{GenerativeModel, SeedSynthesizer};
 use std::sync::Arc;
@@ -25,7 +25,9 @@ fn main() {
     // Learn the model once and drive the mechanism by hand.
     let mut rng = StdRng::seed_from_u64(31);
     let split = sgf::data::split_dataset(&population, &config.split, &mut rng).expect("split");
-    let models = pipeline.learn_models(&split, &bucketizer).expect("learning succeeds");
+    let models = pipeline
+        .learn_models(&split, &bucketizer)
+        .expect("learning succeeds");
     let synthesizer = SeedSynthesizer::new(Arc::clone(&models.cpts), 9).expect("omega valid");
 
     println!("== Plausible-deniability audit (gamma = 4, omega = 9) ==\n");
@@ -48,9 +50,19 @@ fn main() {
                 report.outcome.plausible_seeds
             );
             // The deterministic test is stronger than Definition 1: verify it.
-            let ok = satisfies_plausible_deniability(&synthesizer, &split.seeds, seed, &report.record, 50, 4.0)
-                .expect("criterion check");
-            assert!(ok, "released record must satisfy (50, 4)-plausible deniability");
+            let ok = satisfies_plausible_deniability(
+                &synthesizer,
+                &split.seeds,
+                seed,
+                &report.record,
+                50,
+                4.0,
+            )
+            .expect("criterion check");
+            assert!(
+                ok,
+                "released record must satisfy (50, 4)-plausible deniability"
+            );
         } else {
             rejected += 1;
         }

@@ -25,7 +25,10 @@ fn main() {
     println!("seeds (D_S)            : {}", result.split.seeds.len());
     println!("released synthetics    : {}", result.synthetics.len());
     println!("candidates proposed    : {}", result.stats.candidates);
-    println!("privacy-test pass rate : {:.1}%", 100.0 * result.stats.pass_rate());
+    println!(
+        "privacy-test pass rate : {:.1}%",
+        100.0 * result.stats.pass_rate()
+    );
     println!(
         "model structure edges  : {}",
         result.models.structure.graph.edge_count()

@@ -4,7 +4,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sgf::core::{
-    satisfies_plausible_deniability, Mechanism, PipelineConfig, PrivacyTestConfig, SynthesisPipeline,
+    satisfies_plausible_deniability, Mechanism, PipelineConfig, PrivacyTestConfig,
+    SynthesisPipeline,
 };
 use sgf::data::acs::{acs_bucketizer, acs_schema, generate_acs};
 use sgf::model::{OmegaSpec, SeedSynthesizer};
@@ -12,10 +13,51 @@ use std::sync::Arc;
 
 fn small_config(target: usize, seed: u64) -> PipelineConfig {
     let mut config = PipelineConfig::paper_defaults(target);
-    config.privacy_test = PrivacyTestConfig::randomized(20, 4.0, 1.0).with_limits(Some(40), Some(2_000));
+    config.privacy_test =
+        PrivacyTestConfig::randomized(20, 4.0, 1.0).with_limits(Some(40), Some(2_000));
     config.max_candidate_factor = 30;
     config.seed = seed;
     config
+}
+
+/// Deterministic end-to-end smoke test on a small population: fixed seeds all
+/// the way down, so every run of the suite exercises the identical pipeline
+/// trace and checks the pass-rate / synthetic-count bookkeeping invariants.
+#[test]
+fn deterministic_smoke_run_upholds_count_and_pass_rate_invariants() {
+    let population = generate_acs(3_000, 42);
+    let bucketizer = acs_bucketizer(&acs_schema());
+    let config = small_config(25, 42);
+    let run = || {
+        SynthesisPipeline::new(config)
+            .run(&population, &bucketizer)
+            .unwrap()
+    };
+    let result = run();
+
+    // Count invariants: the mechanism releases at most the target, never more
+    // than it proposed, and proposes no more than the candidate cap.
+    assert!(!result.synthetics.is_empty());
+    assert!(result.synthetics.len() <= 25);
+    assert_eq!(result.synthetics.len(), result.stats.released);
+    assert!(result.stats.released <= result.stats.candidates);
+    assert!(result.stats.candidates <= 25 * config.max_candidate_factor);
+
+    // Pass-rate invariants: consistent with the raw counters and in (0, 1].
+    let pass_rate = result.stats.pass_rate();
+    assert!(pass_rate > 0.0 && pass_rate <= 1.0);
+    assert!(
+        (pass_rate - result.stats.released as f64 / result.stats.candidates as f64).abs() < 1e-12
+    );
+    // Every privacy test examined at least one seed record per candidate.
+    assert!(result.stats.records_examined >= result.stats.candidates);
+
+    // Determinism: an identical configuration reproduces the exact trace.
+    let again = run();
+    assert_eq!(result.synthetics.records(), again.synthetics.records());
+    assert_eq!(result.stats.candidates, again.stats.candidates);
+    assert_eq!(result.stats.released, again.stats.released);
+    assert_eq!(result.stats.records_examined, again.stats.records_examined);
 }
 
 #[test]
@@ -29,10 +71,16 @@ fn end_to_end_release_respects_schema_and_budget() {
     assert!(!result.synthetics.is_empty());
     assert!(result.synthetics.len() <= 60);
     for record in result.synthetics.records() {
-        population.schema().validate_values(record.values()).unwrap();
+        population
+            .schema()
+            .validate_values(record.values())
+            .unwrap();
     }
     // Randomized test => a finite per-release (epsilon, delta) bound exists.
-    let per_release = result.budget.per_release.expect("randomized test provides a DP bound");
+    let per_release = result
+        .budget
+        .per_release
+        .expect("randomized test provides a DP bound");
     assert!(per_release.epsilon.is_finite() && per_release.epsilon > 0.0);
     assert!(per_release.delta > 0.0 && per_release.delta < 1e-3);
     // The end-to-end total composes over the released records.
@@ -44,10 +92,16 @@ fn end_to_end_release_respects_schema_and_budget() {
 fn pipeline_is_reproducible_for_a_fixed_seed() {
     let population = generate_acs(4_000, 2);
     let bucketizer = acs_bucketizer(&acs_schema());
-    let a = SynthesisPipeline::new(small_config(30, 7)).run(&population, &bucketizer).unwrap();
-    let b = SynthesisPipeline::new(small_config(30, 7)).run(&population, &bucketizer).unwrap();
+    let a = SynthesisPipeline::new(small_config(30, 7))
+        .run(&population, &bucketizer)
+        .unwrap();
+    let b = SynthesisPipeline::new(small_config(30, 7))
+        .run(&population, &bucketizer)
+        .unwrap();
     assert_eq!(a.synthetics.records(), b.synthetics.records());
-    let c = SynthesisPipeline::new(small_config(30, 8)).run(&population, &bucketizer).unwrap();
+    let c = SynthesisPipeline::new(small_config(30, 8))
+        .run(&population, &bucketizer)
+        .unwrap();
     assert_ne!(a.synthetics.records(), c.synthetics.records());
 }
 
@@ -58,7 +112,12 @@ fn released_records_satisfy_the_deniability_criterion() {
     let population = generate_acs(5_000, 3);
     let bucketizer = acs_bucketizer(&acs_schema());
     let mut rng = StdRng::seed_from_u64(3);
-    let split = sgf::data::split_dataset(&population, &sgf::data::SplitSpec::paper_defaults(), &mut rng).unwrap();
+    let split = sgf::data::split_dataset(
+        &population,
+        &sgf::data::SplitSpec::paper_defaults(),
+        &mut rng,
+    )
+    .unwrap();
     let pipeline = SynthesisPipeline::new(small_config(10, 3));
     let models = pipeline.learn_models(&split, &bucketizer).unwrap();
     let synthesizer = SeedSynthesizer::new(Arc::clone(&models.cpts), 9).unwrap();
@@ -74,8 +133,15 @@ fn released_records_satisfy_the_deniability_criterion() {
         if report.released() {
             let seed = split.seeds.record(report.seed_index);
             assert!(
-                satisfies_plausible_deniability(&synthesizer, &split.seeds, seed, &report.record, k, gamma)
-                    .unwrap(),
+                satisfies_plausible_deniability(
+                    &synthesizer,
+                    &split.seeds,
+                    seed,
+                    &report.record,
+                    k,
+                    gamma
+                )
+                .unwrap(),
                 "released record must satisfy ({k}, {gamma})-plausible deniability"
             );
             checked += 1;
@@ -84,7 +150,10 @@ fn released_records_satisfy_the_deniability_criterion() {
             }
         }
     }
-    assert!(checked > 0, "at least one candidate should have been released");
+    assert!(
+        checked > 0,
+        "at least one candidate should have been released"
+    );
 }
 
 #[test]
@@ -93,11 +162,19 @@ fn synthetics_preserve_pairwise_structure_better_than_marginals() {
     let bucketizer = acs_bucketizer(&acs_schema());
     let mut config = small_config(800, 4);
     config.omega = OmegaSpec::Fixed(9);
-    let result = SynthesisPipeline::new(config).run(&population, &bucketizer).unwrap();
-    assert!(result.synthetics.len() >= 400, "need enough synthetics for a stable comparison");
+    let result = SynthesisPipeline::new(config)
+        .run(&population, &bucketizer)
+        .unwrap();
+    assert!(
+        result.synthetics.len() >= 400,
+        "need enough synthetics for a stable comparison"
+    );
 
     let mut rng = StdRng::seed_from_u64(4);
-    let marginal_data = result.models.marginal.sample_dataset(result.synthetics.len(), &mut rng);
+    let marginal_data = result
+        .models
+        .marginal
+        .sample_dataset(result.synthetics.len(), &mut rng);
 
     // Restrict to pairs of moderate-cardinality attributes: with the reduced
     // training-set sizes used in CI, the Dirichlet smoothing of the CPTs for
@@ -106,7 +183,9 @@ fn synthetics_preserve_pairwise_structure_better_than_marginals() {
     // signal Figure 4 is about.  (The full-scale experiment binary `fig4`
     // compares all pairs.)
     let schema = population.schema();
-    let moderate: Vec<usize> = (0..schema.len()).filter(|&a| schema.cardinality(a) <= 25).collect();
+    let moderate: Vec<usize> = (0..schema.len())
+        .filter(|&a| schema.cardinality(a) <= 25)
+        .collect();
     let mean_pair_distance = |candidate: &sgf::data::Dataset| -> f64 {
         let mut total = 0.0;
         let mut pairs = 0usize;
@@ -114,7 +193,8 @@ fn synthetics_preserve_pairwise_structure_better_than_marginals() {
             for &j in &moderate[idx + 1..] {
                 let reference = sgf::stats::JointHistogram::from_columns(&result.split.test, i, j);
                 let cand = sgf::stats::JointHistogram::from_columns(candidate, i, j);
-                total += sgf::stats::total_variation(&reference.probabilities(), &cand.probabilities());
+                total +=
+                    sgf::stats::total_variation(&reference.probabilities(), &cand.probabilities());
                 pairs += 1;
             }
         }
@@ -133,7 +213,9 @@ fn marginal_model_candidates_always_pass_the_test() {
     // For a seed-independent model every record is an equally plausible seed,
     // so the deterministic test passes whenever |D| >= k (Section 8).
     let population = generate_acs(2_000, 5);
-    let marginal = sgf::model::MarginalModel::learn(&population, sgf::model::MarginalConfig::default()).unwrap();
+    let marginal =
+        sgf::model::MarginalModel::learn(&population, sgf::model::MarginalConfig::default())
+            .unwrap();
     let test = PrivacyTestConfig::deterministic(100, 4.0);
     let mechanism = Mechanism::new(&marginal, &population, test).unwrap();
     let mut rng = StdRng::seed_from_u64(5);

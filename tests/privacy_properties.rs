@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use sgf::core::{partition_index, ReleaseBudget};
 use sgf::stats::{
-    advanced_composition, sampling_amplification, sequential_composition, total_variation, DpBudget,
-    Laplace,
+    advanced_composition, sampling_amplification, sequential_composition, total_variation,
+    DpBudget, Laplace,
 };
 
 proptest! {

@@ -1,0 +1,357 @@
+//! Offline mini property-testing harness with a `proptest`-compatible surface.
+//!
+//! Supports the subset the workspace's property suites use: the [`proptest!`]
+//! macro with an optional `#![proptest_config(..)]` header, range strategies
+//! over integers and floats, tuple strategies, [`collection::vec`],
+//! [`option::of`], [`any`], and the `prop_assert!` family.
+//!
+//! Differences from the real crate: no shrinking (a failing case panics with
+//! the case number so it can be replayed — generation is fully deterministic
+//! per test name and case index), and strategies are plain samplers rather
+//! than value trees.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its implementations for ranges and tuples.
+
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A generator of test-case values.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+
+    /// Strategy returned by [`crate::any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T> Any<T> {
+        pub(crate) fn new() -> Self {
+            Any {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    macro_rules! impl_any_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+
+    impl_any_strategy!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+}
+
+/// Strategy over the full domain of `T` (the `any::<T>()` entry point).
+pub fn any<T>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Config {
+        /// Number of cases each property is run with.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Admissible element counts for [`vec`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi: exact,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with element strategy `element` and `size` elements.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy producing `Option`s of values drawn from an inner strategy.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            if rng.gen_bool(0.5) {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some` roughly half the time, drawn from `inner`; `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test module normally imports.
+
+    pub use crate::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Deterministic per-case RNG: hash of the property name mixed with the case
+/// index, so suites reproduce exactly run-to-run and case numbers in failure
+/// messages are replayable.
+#[doc(hidden)]
+pub fn __case_rng(name: &str, case: u32) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in name.as_bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    rand::rngs::StdRng::seed_from_u64(hash ^ ((case as u64) << 1 | 1).wrapping_mul(PRIME))
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ..) { body }` becomes
+/// a `#[test]` that runs the body for `config.cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $config;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::__case_rng(stringify!($name), __case);
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                let __run = || -> () { $body };
+                if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)) {
+                    eprintln!(
+                        "proptest: property `{}` failed at case {}/{}",
+                        stringify!($name), __case, __config.cases,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u8..10, y in 1usize..=4, f in 0.5f64..2.0) {
+            prop_assert!(x < 10);
+            prop_assert!((1..=4).contains(&y));
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_option_shapes(
+            v in crate::collection::vec((0u8..3, 0u8..4), 2..6),
+            o in crate::option::of(0.0f64..1.0),
+            b in any::<bool>(),
+        ) {
+            prop_assert!((2..=5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&(a, b)| a < 3 && b < 4));
+            if let Some(x) = o {
+                prop_assert!((0.0..1.0).contains(&x));
+            }
+            prop_assert_ne!(b, !b);
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::RngCore;
+        let a = crate::__case_rng("t", 3).next_u64();
+        let b = crate::__case_rng("t", 3).next_u64();
+        let c = crate::__case_rng("t", 4).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

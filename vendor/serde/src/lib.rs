@@ -1,0 +1,30 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its configuration types
+//! so they are ready for on-disk configs and wire formats, but no code path
+//! serializes anything yet and the build environment has no network access.
+//! This stub keeps the annotations compiling: it exposes the two trait names
+//! and re-exports no-op derive macros under the same names, exactly like the
+//! real facade does with its `derive` feature. Swapping in the real `serde`
+//! later requires no source changes.
+
+/// Marker for types annotated `#[derive(Serialize)]`.
+///
+/// The stub derive emits no impl; this trait exists so `use serde::Serialize`
+/// resolves. Nothing in the workspace requires the bound.
+pub trait Serialize {}
+
+/// Marker for types annotated `#[derive(Deserialize)]`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization half of the facade (name-compatibility module).
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Deserialization half of the facade (name-compatibility module).
+pub mod de {
+    pub use crate::Deserialize;
+}

@@ -1,0 +1,20 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Both derives expand to nothing: the annotated types simply don't get
+//! serialization impls, which is fine because no workspace code serializes
+//! yet. The macro *names* must exist for `#[derive(Serialize, Deserialize)]`
+//! to compile.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
