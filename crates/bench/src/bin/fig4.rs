@@ -1,14 +1,14 @@
 //! Figure 4: statistical distance of attribute-pair distributions between
 //! reals and (other) reals / marginals / synthetics.
 
-use bench::{build_context, scale_from_args, BASE_POPULATION};
+use bench::{base_population, build_context, scale_from_args};
 use sgf_data::acs::generate_acs;
 use sgf_eval::{compare_datasets, fixed3, TextTable};
 
 fn main() {
     let scale = scale_from_args();
     let ctx = build_context(scale, 104);
-    let other_reals = generate_acs(BASE_POPULATION * scale, 2104);
+    let other_reals = generate_acs(base_population() * scale, 2104);
 
     let mut candidates: Vec<(String, &sgf_data::Dataset)> =
         vec![("reals".to_string(), &other_reals)];
@@ -32,4 +32,5 @@ fn main() {
     }
     println!("Figure 4: Statistical distance for pairs of attributes (scale {scale})\n");
     println!("{}", table.render());
+    println!("session budget ledger: {}", ctx.ledger.to_json());
 }

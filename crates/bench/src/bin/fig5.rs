@@ -1,19 +1,26 @@
 //! Figure 5: synthetic-generation performance (model learning + synthesis
 //! time against the number of synthetics produced), ω = 9, k = 50, γ = 4.
 
-use bench::{experiment_pipeline_config, scale_from_args, BASE_POPULATION};
+use bench::{base_population, experiment_pipeline_config, scale_from_args, smoke_mode};
 use sgf_data::acs::{acs_bucketizer, acs_schema, generate_acs};
 use sgf_eval::{performance_curve, TextTable};
 use sgf_model::OmegaSpec;
 
 fn main() {
     let scale = scale_from_args();
-    let population = generate_acs(BASE_POPULATION * scale, 105);
+    let population = generate_acs(base_population() * scale, 105);
     let bucketizer = acs_bucketizer(&acs_schema());
     let mut config = experiment_pipeline_config(1, 105);
     config.omega = OmegaSpec::Fixed(9);
 
-    let sizes: Vec<usize> = [250, 500, 1000, 2000].iter().map(|s| s * scale).collect();
+    // Smoke mode shrinks the curve alongside the population so the artifact
+    // smoke suite is not dominated by this one binary.
+    let base_sizes: [usize; 4] = if smoke_mode() {
+        [25, 50, 100, 200]
+    } else {
+        [250, 500, 1000, 2000]
+    };
+    let sizes: Vec<usize> = base_sizes.iter().map(|s| s * scale).collect();
     let points =
         performance_curve(&population, &bucketizer, &config, &sizes).expect("pipeline runs");
 

@@ -1,13 +1,13 @@
 //! Table 2: dataset extraction statistics (records, possible records,
 //! unique records) computed on the synthetic ACS-like population.
 
-use bench::{scale_from_args, BASE_POPULATION};
+use bench::{base_population, scale_from_args};
 use sgf_data::acs::{attr, generate_acs};
 use sgf_eval::{percent, TextTable};
 
 fn main() {
     let scale = scale_from_args();
-    let n = BASE_POPULATION * scale * 10; // Table 2 is cheap: use a larger sample.
+    let n = base_population() * scale * 10; // Table 2 is cheap: use a larger sample.
     let data = generate_acs(n, 2013);
     let unique = data.singleton_count();
 

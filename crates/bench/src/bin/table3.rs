@@ -47,4 +47,5 @@ fn main() {
     }
     println!("Table 3: Classifier comparisons (scale {scale})\n");
     println!("{}", table.render());
+    println!("session budget ledger: {}", ctx.ledger.to_json());
 }

@@ -1,7 +1,7 @@
 //! Table 5: the distinguishing game — how well a random forest / tree can tell
 //! real records apart from marginals and synthetics.
 
-use bench::{build_context, scale_from_args, BASE_POPULATION};
+use bench::{base_population, build_context, scale_from_args};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sgf_data::acs::generate_acs;
@@ -10,7 +10,7 @@ use sgf_eval::{distinguishing_table, percent, DistinguishConfig, TextTable};
 fn main() {
     let scale = scale_from_args();
     let ctx = build_context(scale, 109);
-    let other_reals = generate_acs(BASE_POPULATION * scale, 2109);
+    let other_reals = generate_acs(base_population() * scale, 2109);
     let mut rng = StdRng::seed_from_u64(109);
 
     let mut candidates: Vec<(String, &sgf_data::Dataset)> =

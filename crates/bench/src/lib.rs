@@ -8,7 +8,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sgf_core::{PipelineConfig, PrivacyTestConfig, SynthesisPipeline, TrainedModels};
+use sgf_core::{
+    BudgetLedger, GenerateRequest, PipelineConfig, PrivacyTestConfig, SynthesisEngine,
+    SynthesisPipeline, TrainedModels,
+};
 use sgf_data::acs::{acs_bucketizer, acs_schema, generate_acs};
 use sgf_data::{split_dataset, Bucketizer, DataSplit, Dataset, SplitSpec};
 use sgf_model::OmegaSpec;
@@ -17,6 +20,31 @@ use sgf_model::OmegaSpec;
 pub const BASE_POPULATION: usize = 12_000;
 /// Base number of synthetics released per ω setting at scale 1.
 pub const BASE_SYNTHETICS: usize = 1_500;
+
+/// Whether smoke mode is active (`SGF_SMOKE=1`, set by `scripts/repro.sh`):
+/// every binary runs the full code path at a fraction of the full-scale
+/// parameters, so the whole artifact suite finishes in CI-friendly time.
+pub fn smoke_mode() -> bool {
+    std::env::var("SGF_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Population size at scale 1 (reduced in smoke mode).
+pub fn base_population() -> usize {
+    if smoke_mode() {
+        3_000
+    } else {
+        BASE_POPULATION
+    }
+}
+
+/// Synthetics per ω setting at scale 1 (reduced in smoke mode).
+pub fn base_synthetics() -> usize {
+    if smoke_mode() {
+        120
+    } else {
+        BASE_SYNTHETICS
+    }
+}
 
 /// Parse the scale factor from the command line (first positional argument).
 pub fn scale_from_args() -> usize {
@@ -42,6 +70,8 @@ pub struct ExperimentContext {
     pub synthetic_sets: Vec<(String, Dataset)>,
     /// The pipeline configuration that produced them.
     pub config: PipelineConfig,
+    /// Cumulative privacy ledger over every ω request served by the session.
+    pub ledger: BudgetLedger,
 }
 
 /// The ω settings used throughout the evaluation section.
@@ -66,36 +96,36 @@ pub fn experiment_pipeline_config(target: usize, seed: u64) -> PipelineConfig {
     config
 }
 
-/// Build the full experiment context at the given scale.
+/// Build the full experiment context at the given scale: train one session,
+/// then serve one `generate` request per ω setting from the same models.
 pub fn build_context(scale: usize, seed: u64) -> ExperimentContext {
-    let population = generate_acs(BASE_POPULATION * scale, seed);
+    let population = generate_acs(base_population() * scale, seed);
     let bucketizer = acs_bucketizer(&acs_schema());
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
-    let split = split_dataset(&population, &SplitSpec::paper_defaults(), &mut rng)
-        .expect("the generated population is non-empty");
 
-    let target = BASE_SYNTHETICS * scale;
+    let target = base_synthetics() * scale;
     let config = experiment_pipeline_config(target, seed);
-    let pipeline = SynthesisPipeline::new(config);
-    let models = pipeline
-        .learn_models(&split, &bucketizer)
+    let session = SynthesisEngine::from_config(config)
+        .train(&population, &bucketizer)
         .expect("model learning on the generated population succeeds");
 
     let mut synthetic_sets = Vec::new();
     // Marginal baseline dataset of the same size.
-    let marginal_data = models.marginal.sample_dataset(target, &mut rng);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    let marginal_data = session.models().marginal.sample_dataset(target, &mut rng);
     synthetic_sets.push(("marginals".to_string(), marginal_data));
 
     for omega in paper_omegas() {
-        let mut omega_config = config;
-        omega_config.omega = omega;
-        let (records, _) = SynthesisPipeline::new(omega_config)
-            .generate(&models, &split.seeds)
+        let report = session
+            .generate(
+                &GenerateRequest::new(target)
+                    .with_omega(omega)
+                    .with_seed(seed),
+            )
             .expect("synthesis succeeds");
-        let dataset = Dataset::from_records_unchecked(population.schema_arc(), records);
-        synthetic_sets.push((omega.label(), dataset));
+        synthetic_sets.push((omega.label(), report.synthetics));
     }
 
+    let (split, models, ledger) = session.into_parts();
     ExperimentContext {
         population,
         bucketizer,
@@ -103,6 +133,7 @@ pub fn build_context(scale: usize, seed: u64) -> ExperimentContext {
         models,
         synthetic_sets,
         config,
+        ledger,
     }
 }
 

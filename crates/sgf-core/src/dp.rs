@@ -14,7 +14,23 @@
 
 use crate::error::{CoreError, Result};
 use serde::{Deserialize, Serialize};
-use sgf_stats::{sequential_composition, DpBudget};
+use sgf_stats::DpBudget;
+
+/// Sequential composition of `releases` identical per-release budgets, in
+/// O(1): n releases of an (ε, δ) mechanism cost (nε, nδ).  `None` means the
+/// deterministic test was used, which carries no per-release guarantee — the
+/// composed cost is vacuous (infinite ε) as soon as anything was released.
+///
+/// Every accounting surface (the one-shot [`PipelineBudget`], the cumulative
+/// [`BudgetLedger`], and the per-request report) goes through this single
+/// helper so they can never disagree.
+pub(crate) fn compose_releases(per_release: Option<DpBudget>, releases: usize) -> DpBudget {
+    match (per_release, releases) {
+        (_, 0) => DpBudget::pure(0.0),
+        (Some(b), n) => DpBudget::new(n as f64 * b.epsilon, n as f64 * b.delta),
+        (None, _) => DpBudget::pure(f64::INFINITY),
+    }
+}
 
 /// The privacy guarantee of a single released record under Theorem 1.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -107,7 +123,7 @@ impl ReleaseBudget {
     /// The guarantee for releasing `count` records from the same input dataset
     /// (sequential composition, as discussed in Section 8).
     pub fn for_releases(&self, count: usize) -> DpBudget {
-        sequential_composition(&vec![self.budget; count])
+        compose_releases(Some(self.budget), count)
     }
 }
 
@@ -137,11 +153,115 @@ impl PipelineBudget {
     /// the releases compose sequentially among themselves, and the result
     /// combines with the model budget by the disjoint-datasets maximum.
     pub fn total(&self) -> DpBudget {
-        let releases = match self.per_release {
-            Some(b) => sequential_composition(&vec![b; self.releases]),
-            None => DpBudget::pure(f64::INFINITY), // deterministic test: no DP guarantee for releases
-        };
-        self.model_budget().max(releases)
+        self.model_budget()
+            .max(compose_releases(self.per_release, self.releases))
+    }
+}
+
+/// Cumulative differential-privacy accounting across *all* the `generate`
+/// requests served by one [`crate::session::SynthesisSession`].
+///
+/// The model budgets (structure, parameters) are paid once at training time;
+/// every released record afterwards spends one per-release budget (Theorem 1),
+/// and releases from the same seed store compose sequentially no matter how
+/// many requests they were spread over (Section 8).  The ledger tracks the
+/// running totals so a long-lived service can report — and cap — its exposure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetLedger {
+    /// Budget spent learning the model structure on D_T (paid once).
+    pub structure: DpBudget,
+    /// Budget spent learning the model parameters on D_P (paid once).
+    pub parameters: DpBudget,
+    /// Per-release budget of the mechanism (Theorem 1), if the randomized test
+    /// was selected; `None` for the deterministic test.
+    pub per_release: Option<DpBudget>,
+    /// Total records released across all requests so far.
+    pub releases: usize,
+    /// Number of `generate` requests (or streaming iterators) served so far.
+    pub requests: usize,
+}
+
+impl BudgetLedger {
+    /// A fresh ledger: training budgets paid, nothing released yet.
+    pub fn new(structure: DpBudget, parameters: DpBudget, per_release: Option<DpBudget>) -> Self {
+        BudgetLedger {
+            structure,
+            parameters,
+            per_release,
+            releases: 0,
+            requests: 0,
+        }
+    }
+
+    /// Charge one completed request that released `released` records.
+    pub fn record_request(&mut self, released: usize) {
+        self.requests += 1;
+        self.releases += released;
+    }
+
+    /// Charge one record released by a streaming iterator (the iterator's
+    /// request was already counted when it was opened).
+    pub fn record_streamed_release(&mut self) {
+        self.releases += 1;
+    }
+
+    /// Budget of the generative model alone (disjoint subsets ⇒ maximum).
+    pub fn model_budget(&self) -> DpBudget {
+        self.structure.max(self.parameters)
+    }
+
+    /// Sequential composition of every release charged so far; infinite ε if
+    /// the deterministic test (no per-release guarantee) was used and anything
+    /// was released.
+    pub fn cumulative_release(&self) -> DpBudget {
+        compose_releases(self.per_release, self.releases)
+    }
+
+    /// End-to-end (ε, δ) of everything the session has done: released records
+    /// compose sequentially among themselves, then combine with the model
+    /// budget by the disjoint-datasets maximum.
+    pub fn total(&self) -> DpBudget {
+        self.model_budget().max(self.cumulative_release())
+    }
+
+    /// The equivalent one-shot [`PipelineBudget`] over the cumulative releases.
+    pub fn as_pipeline_budget(&self) -> PipelineBudget {
+        PipelineBudget {
+            structure: self.structure,
+            parameters: self.parameters,
+            per_release: self.per_release,
+            releases: self.releases,
+        }
+    }
+
+    /// Render the ledger as a JSON object for service / bench reporting.
+    pub fn to_json(&self) -> String {
+        let total = self.total();
+        format!(
+            "{{\"requests\":{},\"releases\":{},\"model_epsilon\":{},\"model_delta\":{},\
+             \"per_release_epsilon\":{},\"per_release_delta\":{},\
+             \"total_epsilon\":{},\"total_delta\":{}}}",
+            self.requests,
+            self.releases,
+            json_f64(self.model_budget().epsilon),
+            json_f64(self.model_budget().delta),
+            self.per_release
+                .map_or("null".into(), |b| json_f64(b.epsilon)),
+            self.per_release
+                .map_or("null".into(), |b| json_f64(b.delta)),
+            json_f64(total.epsilon),
+            json_f64(total.delta),
+        )
+    }
+}
+
+/// Format an `f64` as a JSON value (`null` for non-finite values, which JSON
+/// cannot represent).
+pub(crate) fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -222,6 +342,32 @@ mod tests {
             ..budget
         };
         assert!(det.total().epsilon.is_infinite());
+    }
+
+    #[test]
+    fn ledger_composes_releases_across_requests() {
+        let per_release = ReleaseBudget::at(50, 4.0, 1.0, 20).unwrap().budget;
+        let mut ledger = BudgetLedger::new(
+            DpBudget::new(0.8, 1e-9),
+            DpBudget::new(0.6, 1e-9),
+            Some(per_release),
+        );
+        assert_eq!(ledger.cumulative_release(), DpBudget::pure(0.0));
+        ledger.record_request(3);
+        ledger.record_request(2);
+        ledger.record_streamed_release();
+        assert_eq!(ledger.requests, 2);
+        assert_eq!(ledger.releases, 6);
+        let cumulative = ledger.cumulative_release();
+        assert!((cumulative.epsilon - 6.0 * per_release.epsilon).abs() < 1e-12);
+        // The ledger must agree with the equivalent one-shot accounting.
+        assert_eq!(ledger.total(), ledger.as_pipeline_budget().total());
+        // Deterministic test: any release makes the cumulative bound vacuous.
+        let mut det = BudgetLedger::new(DpBudget::new(0.8, 1e-9), DpBudget::new(0.6, 1e-9), None);
+        assert_eq!(det.total().epsilon, 0.8);
+        det.record_request(1);
+        assert!(det.total().epsilon.is_infinite());
+        assert!(det.to_json().contains("\"per_release_epsilon\":null"));
     }
 
     #[test]

@@ -10,20 +10,30 @@
 //!   early-termination knobs;
 //! * [`mechanism`] — Mechanism 1 (`F`): seed sampling, candidate generation,
 //!   test, release;
-//! * [`dp`] — the (ε, δ) guarantees of Theorem 1 and end-to-end accounting;
-//! * [`pipeline`] — the parallel end-to-end pipeline (split, learn, generate),
-//!   the Rust counterpart of the paper's C++ tool.
+//! * [`dp`] — the (ε, δ) guarantees of Theorem 1, end-to-end accounting, and
+//!   the cumulative [`BudgetLedger`] of a long-lived session;
+//! * [`session`] — the staged **train once, serve many** API: a
+//!   [`SynthesisEngine`] trains an immutable [`SynthesisSession`] that serves
+//!   repeated [`GenerateRequest`]s over any [`sgf_model::GenerativeModel`];
+//! * [`pipeline`] — the one-shot pipeline (split, learn, generate), the Rust
+//!   counterpart of the paper's C++ tool, now a thin wrapper over [`session`].
 //!
 //! ```
-//! use sgf_core::{PipelineConfig, SynthesisPipeline};
+//! use sgf_core::{GenerateRequest, PrivacyTestConfig, SynthesisEngine};
 //! use sgf_data::acs::{acs_bucketizer, acs_schema, generate_acs};
 //!
 //! let data = generate_acs(3_000, 42);
 //! let bucketizer = acs_bucketizer(&acs_schema());
-//! let mut config = PipelineConfig::paper_defaults(25);
-//! config.privacy_test.k = 20; // small demo dataset
-//! let result = SynthesisPipeline::new(config).run(&data, &bucketizer).unwrap();
-//! assert!(result.synthetics.len() <= 25);
+//! // Train once (k = 20 for this small demo dataset)...
+//! let session = SynthesisEngine::builder()
+//!     .privacy_test(PrivacyTestConfig::randomized(20, 4.0, 1.0))
+//!     .seed(42)
+//!     .train(&data, &bucketizer)
+//!     .unwrap();
+//! // ...then serve any number of generate requests from the same models.
+//! let report = session.generate(&GenerateRequest::new(25)).unwrap();
+//! assert!(report.synthetics.len() <= 25);
+//! assert_eq!(session.ledger().releases, report.stats.released);
 //! ```
 
 #![warn(missing_docs)]
@@ -34,12 +44,16 @@ pub mod error;
 pub mod mechanism;
 pub mod pipeline;
 pub mod privacy_test;
+pub mod session;
 
 pub use deniability::{partition_index, partition_size, satisfies_plausible_deniability};
-pub use dp::{PipelineBudget, ReleaseBudget};
+pub use dp::{BudgetLedger, PipelineBudget, ReleaseBudget};
 pub use error::{CoreError, Result};
-pub use mechanism::{CandidateReport, Mechanism, MechanismStats};
+pub use mechanism::{propose_candidate, CandidateReport, Mechanism, MechanismStats};
 pub use pipeline::{
     PipelineConfig, PipelineResult, PipelineTimings, SynthesisPipeline, TrainedModels,
 };
 pub use privacy_test::{run_privacy_test, PrivacyTestConfig, TestOutcome};
+pub use session::{
+    EngineBuilder, GenerateRequest, ReleaseIter, ReleaseReport, SynthesisEngine, SynthesisSession,
+};

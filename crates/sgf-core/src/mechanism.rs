@@ -4,6 +4,7 @@
 use crate::error::{CoreError, Result};
 use crate::privacy_test::{run_privacy_test, PrivacyTestConfig, TestOutcome};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 use sgf_data::{Dataset, Record};
 use sgf_model::GenerativeModel;
 
@@ -26,7 +27,7 @@ impl CandidateReport {
 }
 
 /// Aggregate statistics over a batch of mechanism invocations.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MechanismStats {
     /// Number of candidates generated.
     pub candidates: usize,
@@ -52,6 +53,41 @@ impl MechanismStats {
         self.released += other.released;
         self.records_examined += other.records_examined;
     }
+
+    /// Render the counters as a JSON object, so services and the bench
+    /// binaries can emit machine-readable reports.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"candidates\":{},\"released\":{},\"records_examined\":{},\"pass_rate\":{}}}",
+            self.candidates,
+            self.released,
+            self.records_examined,
+            crate::dp::json_f64(self.pass_rate())
+        )
+    }
+}
+
+/// One invocation of Mechanism 1 against an explicit model, seed store, and
+/// test configuration: sample a seed uniformly, generate a candidate, test it.
+///
+/// This is the validation-free hot path shared by [`Mechanism::propose`] and
+/// the owning session iterators; callers are responsible for having validated
+/// `test` (and the seed store size) up front, e.g. via [`Mechanism::new`].
+pub fn propose_candidate<M: GenerativeModel + ?Sized, R: Rng + ?Sized>(
+    model: &M,
+    seeds: &Dataset,
+    test: &PrivacyTestConfig,
+    rng: &mut R,
+) -> Result<CandidateReport> {
+    let seed_index = rng.gen_range(0..seeds.len());
+    let seed = seeds.record(seed_index);
+    let candidate = model.generate(seed, &mut as_dyn(rng));
+    let outcome = run_privacy_test(model, seeds, seed, &candidate, test, rng)?;
+    Ok(CandidateReport {
+        record: candidate,
+        seed_index,
+        outcome,
+    })
 }
 
 /// The plausible-deniability release mechanism (Mechanism 1).
@@ -90,15 +126,7 @@ impl<'a, M: GenerativeModel + ?Sized> Mechanism<'a, M> {
     /// candidate whether or not it passed; callers must release only records
     /// with `outcome.passed == true`.
     pub fn propose<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<CandidateReport> {
-        let seed_index = rng.gen_range(0..self.seeds.len());
-        let seed = self.seeds.record(seed_index);
-        let candidate = self.model.generate(seed, &mut as_dyn(rng));
-        let outcome = run_privacy_test(self.model, self.seeds, seed, &candidate, &self.test, rng)?;
-        Ok(CandidateReport {
-            record: candidate,
-            seed_index,
-            outcome,
-        })
+        propose_candidate(self.model, self.seeds, &self.test, rng)
     }
 
     /// Run the mechanism `candidates` times and collect the released records.

@@ -1,4 +1,4 @@
-//! The end-to-end synthesis pipeline: split the input dataset, learn the
+//! The one-shot synthesis pipeline: split the input dataset, learn the
 //! (privacy-preserving) generative model, and run the plausible-deniability
 //! mechanism — in parallel — until the requested number of synthetic records
 //! has been released.
@@ -6,22 +6,28 @@
 //! This is the Rust equivalent of the paper's C++ tool (Section 5): the
 //! configuration mirrors the tool's config file (privacy parameters k, γ, ε0,
 //! the generative-model parameter ω, and the early-termination knobs).
+//!
+//! [`SynthesisPipeline::run`] is kept as a thin compatibility wrapper over the
+//! staged [`crate::session`] API (builder → [`crate::SynthesisSession`] → one
+//! `generate`); services that issue more than one release request should use
+//! the session directly so the model is learned once and the cumulative
+//! privacy ledger spans every request.
 
 use crate::dp::PipelineBudget;
 use crate::error::{CoreError, Result};
-use crate::mechanism::{Mechanism, MechanismStats};
+use crate::mechanism::MechanismStats;
 use crate::privacy_test::PrivacyTestConfig;
+use crate::session::{GenerateRequest, SynthesisEngine};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use sgf_data::{split_dataset, Bucketizer, DataSplit, Dataset, Record, SplitSpec};
+use sgf_data::{Bucketizer, DataSplit, Dataset, Record, SplitSpec};
 use sgf_model::{
     learn_dependency_structure, BayesNetModel, CptStore, LearnedStructure, MarginalConfig,
     MarginalModel, OmegaSpec, ParameterConfig, SeedSynthesizer, StructureConfig,
 };
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of the full pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -91,12 +97,23 @@ impl PipelineConfig {
 
 /// Wall-clock timings of the two pipeline phases (Figure 5 distinguishes
 /// "model learning" from "synthesis").
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PipelineTimings {
     /// Time spent splitting the data and learning structure + parameters.
     pub model_learning: Duration,
     /// Time spent generating and testing candidates.
     pub synthesis: Duration,
+}
+
+impl PipelineTimings {
+    /// Render the phase timings (in seconds) as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"model_learning_seconds\":{},\"synthesis_seconds\":{}}}",
+            crate::dp::json_f64(self.model_learning.as_secs_f64()),
+            crate::dp::json_f64(self.synthesis.as_secs_f64())
+        )
+    }
 }
 
 /// The models trained by the pipeline.
@@ -129,7 +146,48 @@ pub struct PipelineResult {
     pub timings: PipelineTimings,
 }
 
-/// The end-to-end synthesis pipeline.
+/// Learn structure, parameters, and the marginal baseline from an
+/// already-split dataset — the shared training phase behind both
+/// [`SynthesisEngine::train`] and [`SynthesisPipeline::learn_models`].
+pub(crate) fn learn_models(
+    config: &PipelineConfig,
+    split: &DataSplit,
+    bucketizer: &Bucketizer,
+) -> Result<TrainedModels> {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x5eed));
+    let structure =
+        learn_dependency_structure(&split.structure, bucketizer, &config.structure, &mut rng)?;
+    let cpts = Arc::new(CptStore::learn(
+        &split.parameters,
+        bucketizer,
+        &structure.graph,
+        config.parameters,
+    )?);
+    let marginal = MarginalModel::learn(
+        &split.parameters,
+        MarginalConfig {
+            alpha: config.parameters.alpha,
+            epsilon_p: config.parameters.epsilon_p,
+            global_seed: config.parameters.global_seed,
+            delta_slack: config.parameters.delta_slack,
+        },
+    )?;
+    Ok(TrainedModels {
+        bayes_net: BayesNetModel::new(Arc::clone(&cpts)),
+        structure,
+        cpts,
+        marginal,
+    })
+}
+
+/// The one-shot end-to-end pipeline — a thin compatibility wrapper over the
+/// staged session API (train once → one `generate`).
+///
+/// **Migration note:** prefer [`SynthesisEngine::builder`] →
+/// [`SynthesisEngine::train`] → [`crate::SynthesisSession::generate`] when
+/// more than one release request is served from the same trained model; the
+/// session learns the model once and its [`crate::BudgetLedger`] composes the
+/// (ε, δ) cost across every request.
 #[derive(Debug, Clone)]
 pub struct SynthesisPipeline {
     config: PipelineConfig,
@@ -152,220 +210,63 @@ impl SynthesisPipeline {
         split: &DataSplit,
         bucketizer: &Bucketizer,
     ) -> Result<TrainedModels> {
-        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(0x5eed));
-        let structure = learn_dependency_structure(
-            &split.structure,
-            bucketizer,
-            &self.config.structure,
-            &mut rng,
-        )?;
-        let cpts = Arc::new(CptStore::learn(
-            &split.parameters,
-            bucketizer,
-            &structure.graph,
-            self.config.parameters,
-        )?);
-        let marginal = MarginalModel::learn(
-            &split.parameters,
-            MarginalConfig {
-                alpha: self.config.parameters.alpha,
-                epsilon_p: self.config.parameters.epsilon_p,
-                global_seed: self.config.parameters.global_seed,
-                delta_slack: self.config.parameters.delta_slack,
-            },
-        )?;
-        Ok(TrainedModels {
-            bayes_net: BayesNetModel::new(Arc::clone(&cpts)),
-            structure,
-            cpts,
-            marginal,
-        })
+        learn_models(&self.config, split, bucketizer)
     }
 
-    /// Run the full pipeline on an input dataset.
+    /// Run the full pipeline on an input dataset: train a session and serve a
+    /// single `generate` request for `target_synthetics` records, seeded with
+    /// the pipeline seed.
     pub fn run(&self, dataset: &Dataset, bucketizer: &Bucketizer) -> Result<PipelineResult> {
         self.config.validate(dataset.schema().len())?;
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-
-        let learning_start = Instant::now();
-        let split = split_dataset(dataset, &self.config.split, &mut rng)?;
-        if split.seeds.len() < self.config.privacy_test.k {
-            return Err(CoreError::DatasetTooSmall {
-                available: split.seeds.len(),
-                required: self.config.privacy_test.k,
-            });
-        }
-        let models = self.learn_models(&split, bucketizer)?;
-        let model_learning = learning_start.elapsed();
-
-        let synthesis_start = Instant::now();
-        let (records, stats) = self.generate(&models, &split.seeds)?;
-        let synthesis = synthesis_start.elapsed();
-
-        let budget = PipelineBudget {
-            structure: models.structure.budget,
-            parameters: models.cpts.budget(),
-            per_release: self.per_release_budget(),
-            releases: records.len(),
+        let session = SynthesisEngine::from_config(self.config).train(dataset, bucketizer)?;
+        let request = GenerateRequest::new(self.config.target_synthetics)
+            .with_omega(self.config.omega)
+            .with_seed(self.config.seed);
+        let report = session.generate(&request)?;
+        let timings = PipelineTimings {
+            model_learning: session.training_time(),
+            synthesis: report.synthesis,
         };
-
+        let (split, models, ledger) = session.into_parts();
         Ok(PipelineResult {
-            synthetics: Dataset::from_records_unchecked(dataset.schema_arc(), records),
-            stats,
-            budget,
+            synthetics: report.synthetics,
+            stats: report.stats,
+            budget: ledger.as_pipeline_budget(),
             split,
             models,
-            timings: PipelineTimings {
-                model_learning,
-                synthesis,
-            },
+            timings,
         })
     }
 
-    /// Generate synthetics from already-trained models and an explicit seed dataset.
+    /// Generate synthetics from already-trained models and an explicit seed
+    /// dataset (one release batch over the pipeline's ω spec and worker
+    /// count, seeded with the pipeline seed).
     pub fn generate(
         &self,
         models: &TrainedModels,
         seeds: &Dataset,
     ) -> Result<(Vec<Record>, MechanismStats)> {
-        let m = seeds.schema().len();
-        self.config.omega.validate(m)?;
-
-        // Pre-build one synthesizer per admissible ω so workers only clone Arcs.
+        self.config.omega.validate(seeds.schema().len())?;
         let (lo, hi) = match self.config.omega {
             OmegaSpec::Fixed(w) => (w, w),
             OmegaSpec::UniformRange { lo, hi } => (lo, hi),
         };
+        // Pre-build one synthesizer per admissible ω; the mechanism fan-out
+        // constructs each Mechanism exactly once and shares it across workers.
         let synthesizers: Vec<SeedSynthesizer> = (lo..=hi)
             .map(|w| SeedSynthesizer::new(Arc::clone(&models.cpts), w))
             .collect::<sgf_model::Result<_>>()?;
-
+        let refs: Vec<&SeedSynthesizer> = synthesizers.iter().collect();
         let target = self.config.target_synthetics;
-        let max_candidates = target.saturating_mul(self.config.max_candidate_factor);
-        let released_count = AtomicUsize::new(0);
-        let candidate_count = AtomicUsize::new(0);
-        let workers = self.config.workers.min(max_candidates.max(1));
-
-        let worker_results: Vec<Result<(Vec<Record>, MechanismStats)>> = if workers <= 1 {
-            vec![self.worker_loop(
-                0,
-                &synthesizers,
-                seeds,
-                target,
-                max_candidates,
-                &released_count,
-                &candidate_count,
-            )]
-        } else {
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(workers);
-                for worker in 0..workers {
-                    let synthesizers = &synthesizers;
-                    let released_count = &released_count;
-                    let candidate_count = &candidate_count;
-                    handles.push(scope.spawn(move || {
-                        self.worker_loop(
-                            worker,
-                            synthesizers,
-                            seeds,
-                            target,
-                            max_candidates,
-                            released_count,
-                            candidate_count,
-                        )
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            })
-        };
-
-        let mut records = Vec::with_capacity(target);
-        let mut stats = MechanismStats::default();
-        for result in worker_results {
-            let (mut r, s) = result?;
-            stats.merge(&s);
-            records.append(&mut r);
-        }
-        // The slot reservation in `worker_loop` caps total releases at the
-        // target, so no truncation (which would desync the stats) is needed.
-        debug_assert!(records.len() <= target, "workers released past the target");
-        debug_assert_eq!(
-            records.len(),
-            stats.released,
-            "release accounting out of sync"
-        );
-        Ok((records, stats))
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn worker_loop(
-        &self,
-        worker: usize,
-        synthesizers: &[SeedSynthesizer],
-        seeds: &Dataset,
-        target: usize,
-        max_candidates: usize,
-        released_count: &AtomicUsize,
-        candidate_count: &AtomicUsize,
-    ) -> Result<(Vec<Record>, MechanismStats)> {
-        let mut rng = StdRng::seed_from_u64(
-            self.config
-                .seed
-                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                .wrapping_add(worker as u64),
-        );
-        let mechanisms: Vec<Mechanism<'_, SeedSynthesizer>> = synthesizers
-            .iter()
-            .map(|s| Mechanism::new(s, seeds, self.config.privacy_test))
-            .collect::<Result<_>>()?;
-
-        let mut records = Vec::new();
-        let mut stats = MechanismStats::default();
-        loop {
-            if released_count.load(Ordering::Relaxed) >= target {
-                break;
-            }
-            let ticket = candidate_count.fetch_add(1, Ordering::Relaxed);
-            if ticket >= max_candidates {
-                break;
-            }
-            let which = if mechanisms.len() == 1 {
-                0
-            } else {
-                rng.gen_range(0..mechanisms.len())
-            };
-            let report = mechanisms[which].propose(&mut rng)?;
-            stats.candidates += 1;
-            stats.records_examined += report.outcome.records_examined;
-            if report.released() {
-                // Reserve a release slot atomically: near the target, several
-                // workers can each have a passing candidate in flight, and only
-                // the ones that win a slot may keep theirs.  This keeps
-                // `stats.released` equal to the number of records actually
-                // returned (a surplus candidate counts as proposed, not
-                // released).
-                let slot = released_count.fetch_add(1, Ordering::Relaxed);
-                if slot < target {
-                    stats.released += 1;
-                    records.push(report.record);
-                } else {
-                    break;
-                }
-            }
-        }
-        Ok((records, stats))
-    }
-
-    fn per_release_budget(&self) -> Option<sgf_stats::DpBudget> {
-        let test = &self.config.privacy_test;
-        let epsilon0 = test.epsilon0?;
-        crate::dp::ReleaseBudget::optimize(test.k, test.gamma, epsilon0, 1e-6)
-            .ok()
-            .flatten()
-            .map(|b| b.budget)
+        crate::session::run_mechanism(
+            &refs,
+            seeds,
+            self.config.privacy_test,
+            target,
+            target.saturating_mul(self.config.max_candidate_factor),
+            self.config.workers,
+            self.config.seed,
+        )
     }
 }
 

@@ -1,0 +1,784 @@
+//! The staged synthesis-session API: **train once, serve many**.
+//!
+//! The paper's tool (Section 5) separates one expensive phase — structure +
+//! parameter learning — from an embarrassingly-parallel synthesis phase.  This
+//! module exposes that lifecycle directly:
+//!
+//! 1. [`SynthesisEngine::builder`] assembles a validated configuration;
+//! 2. [`SynthesisEngine::train`] splits the data, learns the models **once**,
+//!    and produces an immutable [`SynthesisSession`];
+//! 3. the session serves repeated [`SynthesisSession::generate`] calls — each
+//!    with its own target, ω, seed, and worker count — while a cumulative
+//!    [`BudgetLedger`] composes the per-release (ε, δ) of Theorem 1 across
+//!    every request served;
+//! 4. [`SynthesisSession::release_iter`] streams released records one at a
+//!    time for services that consume them incrementally.
+//!
+//! The mechanism fan-out is generic over [`GenerativeModel`], so the marginal
+//! baseline (or any future model) plugs into the same plausible-deniability
+//! test via [`SynthesisSession::generate_with`].
+//!
+//! The legacy one-shot [`crate::SynthesisPipeline::run`] is a thin wrapper
+//! over builder → train → one `generate`.
+
+use crate::dp::BudgetLedger;
+use crate::error::{CoreError, Result};
+use crate::mechanism::{propose_candidate, Mechanism, MechanismStats};
+use crate::pipeline::{learn_models, PipelineConfig, TrainedModels};
+use crate::privacy_test::PrivacyTestConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sgf_data::{split_dataset, Bucketizer, DataSplit, Dataset, Record, SplitSpec};
+use sgf_model::{GenerativeModel, OmegaSpec, ParameterConfig, SeedSynthesizer, StructureConfig};
+use sgf_stats::DpBudget;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Builder for a [`SynthesisEngine`]: collects the training-time configuration
+/// (data split, structure / parameter learning, privacy test, defaults for
+/// synthesis) and validates it before any data is touched.
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    config: PipelineConfig,
+}
+
+impl EngineBuilder {
+    fn new() -> Self {
+        EngineBuilder {
+            config: PipelineConfig::paper_defaults(1),
+        }
+    }
+
+    /// Start from an explicit full configuration instead of the paper defaults.
+    pub fn config(mut self, config: PipelineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// How to split the input dataset into D_T / D_P / D_S / test.
+    pub fn split(mut self, split: SplitSpec) -> Self {
+        self.config.split = split;
+        self
+    }
+
+    /// Structure-learning configuration (Section 3.3).
+    pub fn structure(mut self, structure: StructureConfig) -> Self {
+        self.config.structure = structure;
+        self
+    }
+
+    /// Parameter-learning configuration (Section 3.4).
+    pub fn parameters(mut self, parameters: ParameterConfig) -> Self {
+        self.config.parameters = parameters;
+        self
+    }
+
+    /// Privacy-test configuration (Section 2).
+    pub fn privacy_test(mut self, test: PrivacyTestConfig) -> Self {
+        self.config.privacy_test = test;
+        self
+    }
+
+    /// Default ω for requests that do not override it.
+    pub fn omega(mut self, omega: OmegaSpec) -> Self {
+        self.config.omega = omega;
+        self
+    }
+
+    /// Default worker count for requests that do not override it.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Default proposal cap factor (`max_candidate_factor * target` proposals).
+    pub fn max_candidate_factor(mut self, factor: usize) -> Self {
+        self.config.max_candidate_factor = factor;
+        self
+    }
+
+    /// Master seed for the data split and model learning.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validate the schema-independent parts of the configuration and produce
+    /// the engine.  (Schema-dependent checks — ω against the attribute count,
+    /// the seed store against k — run at [`SynthesisEngine::train`] time.)
+    pub fn build(self) -> Result<SynthesisEngine> {
+        self.config.split.validate()?;
+        self.config.privacy_test.validate()?;
+        if self.config.workers == 0 {
+            return Err(CoreError::InvalidParameter(
+                "workers must be at least 1".into(),
+            ));
+        }
+        if self.config.max_candidate_factor == 0 {
+            return Err(CoreError::InvalidParameter(
+                "max_candidate_factor must be at least 1".into(),
+            ));
+        }
+        Ok(SynthesisEngine {
+            config: self.config,
+        })
+    }
+
+    /// Convenience: build the engine and immediately train a session.
+    pub fn train(self, dataset: &Dataset, bucketizer: &Bucketizer) -> Result<SynthesisSession> {
+        self.build()?.train(dataset, bucketizer)
+    }
+}
+
+/// A validated synthesis configuration, ready to train sessions.
+///
+/// The engine is cheap and reusable: each [`train`](SynthesisEngine::train)
+/// call pays the expensive learning phase once and yields an immutable
+/// [`SynthesisSession`] that serves any number of `generate` requests.
+#[derive(Debug, Clone)]
+pub struct SynthesisEngine {
+    config: PipelineConfig,
+}
+
+impl SynthesisEngine {
+    /// Start building an engine from the paper's default parameters.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// Wrap an existing full pipeline configuration (the compatibility path
+    /// used by [`crate::SynthesisPipeline`]).
+    pub fn from_config(config: PipelineConfig) -> Self {
+        SynthesisEngine { config }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The expensive phase, paid exactly once per session: validate against
+    /// the schema, split the dataset into the four disjoint subsets, and learn
+    /// structure + parameters (+ the marginal baseline).
+    pub fn train(&self, dataset: &Dataset, bucketizer: &Bucketizer) -> Result<SynthesisSession> {
+        self.config.validate(dataset.schema().len())?;
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let split = split_dataset(dataset, &self.config.split, &mut rng)?;
+        if split.seeds.len() < self.config.privacy_test.k {
+            return Err(CoreError::DatasetTooSmall {
+                available: split.seeds.len(),
+                required: self.config.privacy_test.k,
+            });
+        }
+        let models = learn_models(&self.config, &split, bucketizer)?;
+        let per_release = per_release_budget(&self.config.privacy_test);
+        let ledger = BudgetLedger::new(models.structure.budget, models.cpts.budget(), per_release);
+        Ok(SynthesisSession {
+            config: self.config,
+            split,
+            models,
+            per_release,
+            ledger: Mutex::new(ledger),
+            training: start.elapsed(),
+        })
+    }
+}
+
+/// One synthesis request served by a [`SynthesisSession`]: how many records to
+/// release and, optionally, per-request overrides of the session defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenerateRequest {
+    /// Number of synthetic records to release.
+    pub target: usize,
+    /// Per-request ω override (`None` uses the session default).
+    pub omega: Option<OmegaSpec>,
+    /// Per-request worker-count override (`None` uses the session default).
+    /// Applies to [`SynthesisSession::generate`] /
+    /// [`SynthesisSession::generate_with`] only; the streaming
+    /// [`SynthesisSession::release_iter`] always proposes on the calling
+    /// thread.
+    pub workers: Option<usize>,
+    /// Per-request proposal-cap override (`None` uses the session default).
+    pub max_candidate_factor: Option<usize>,
+    /// Seed for all randomness of this request (two requests with the same
+    /// seed and parameters release identical records).
+    pub seed: u64,
+}
+
+impl GenerateRequest {
+    /// A request for `target` records with the session defaults and seed 0.
+    pub fn new(target: usize) -> Self {
+        GenerateRequest {
+            target,
+            omega: None,
+            workers: None,
+            max_candidate_factor: None,
+            seed: 0,
+        }
+    }
+
+    /// Override the number of re-sampled attributes ω for this request.
+    pub fn with_omega(mut self, omega: OmegaSpec) -> Self {
+        self.omega = Some(omega);
+        self
+    }
+
+    /// Override the worker count for this request.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Override the proposal cap factor for this request.
+    pub fn with_max_candidate_factor(mut self, factor: usize) -> Self {
+        self.max_candidate_factor = Some(factor);
+        self
+    }
+
+    /// Set the request seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Everything one `generate` request produced.
+#[derive(Debug)]
+pub struct ReleaseReport {
+    /// The released synthetic records.
+    pub synthetics: Dataset,
+    /// Mechanism statistics for this request.
+    pub stats: MechanismStats,
+    /// Per-release (ε, δ) bound of Theorem 1 (randomized test only).
+    pub per_release: Option<DpBudget>,
+    /// Snapshot of the cumulative session ledger *after* this request.
+    pub ledger: BudgetLedger,
+    /// Wall-clock time spent generating and testing candidates.
+    pub synthesis: Duration,
+}
+
+impl ReleaseReport {
+    /// Sequential-composition (ε, δ) cost of this request alone.
+    pub fn request_budget(&self) -> DpBudget {
+        crate::dp::compose_releases(self.per_release, self.stats.released)
+    }
+
+    /// Render the report (counters + budgets) as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"stats\":{},\"synthesis_seconds\":{},\"request_epsilon\":{},\"ledger\":{}}}",
+            self.stats.to_json(),
+            crate::dp::json_f64(self.synthesis.as_secs_f64()),
+            crate::dp::json_f64(self.request_budget().epsilon),
+            self.ledger.to_json(),
+        )
+    }
+}
+
+/// A trained, immutable synthesis session: the learned models plus the seed
+/// store, serving repeated [`generate`](SynthesisSession::generate) requests
+/// while a [`BudgetLedger`] accumulates the privacy cost of every release.
+///
+/// The session is `Send + Sync`; concurrent requests only contend on the
+/// ledger mutex for a few nanoseconds per request.
+#[derive(Debug)]
+pub struct SynthesisSession {
+    config: PipelineConfig,
+    split: DataSplit,
+    models: TrainedModels,
+    per_release: Option<DpBudget>,
+    ledger: Mutex<BudgetLedger>,
+    training: Duration,
+}
+
+impl SynthesisSession {
+    /// The configuration the session was trained with (request defaults).
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The models learned at training time.
+    pub fn models(&self) -> &TrainedModels {
+        &self.models
+    }
+
+    /// The disjoint data split the session was trained on.
+    pub fn split(&self) -> &DataSplit {
+        &self.split
+    }
+
+    /// The seed store `D_S` that every request draws seeds from.
+    pub fn seeds(&self) -> &Dataset {
+        &self.split.seeds
+    }
+
+    /// Per-release (ε, δ) bound of Theorem 1 under the session's privacy test.
+    pub fn per_release_budget(&self) -> Option<DpBudget> {
+        self.per_release
+    }
+
+    /// Wall-clock time spent splitting the data and learning the models.
+    pub fn training_time(&self) -> Duration {
+        self.training
+    }
+
+    /// A snapshot of the cumulative privacy ledger.
+    pub fn ledger(&self) -> BudgetLedger {
+        *self.ledger.lock().expect("ledger lock poisoned")
+    }
+
+    /// Serve one request with the session's own seed-based synthesizer: build
+    /// one fixed-ω synthesizer per admissible ω and fan candidate generation
+    /// out over the request's worker count.
+    pub fn generate(&self, request: &GenerateRequest) -> Result<ReleaseReport> {
+        let synthesizers = self.build_synthesizers(request.omega.unwrap_or(self.config.omega))?;
+        let refs: Vec<&SeedSynthesizer> = synthesizers.iter().collect();
+        self.generate_over(&refs, request)
+    }
+
+    /// One fixed-ω synthesizer per admissible ω of `omega` (the mechanism
+    /// needs `Pr{y = M(d)}` for the exact model that produced `y`, so a
+    /// randomized ω draws among pre-built fixed-ω models per candidate).
+    fn build_synthesizers(&self, omega: OmegaSpec) -> Result<Vec<SeedSynthesizer>> {
+        omega.validate(self.seeds().schema().len())?;
+        let (lo, hi) = match omega {
+            OmegaSpec::Fixed(w) => (w, w),
+            OmegaSpec::UniformRange { lo, hi } => (lo, hi),
+        };
+        Ok((lo..=hi)
+            .map(|w| SeedSynthesizer::new(std::sync::Arc::clone(&self.models.cpts), w))
+            .collect::<sgf_model::Result<_>>()?)
+    }
+
+    /// Serve one request through an *arbitrary* generative model — the same
+    /// plausible-deniability mechanism and budget accounting, with `model`
+    /// (e.g. the marginal baseline, or a `&dyn GenerativeModel` trait object)
+    /// in place of the seed-based synthesizer.
+    pub fn generate_with<M: GenerativeModel + ?Sized>(
+        &self,
+        model: &M,
+        request: &GenerateRequest,
+    ) -> Result<ReleaseReport> {
+        self.generate_over(&[model], request)
+    }
+
+    /// Open a streaming iterator over released records.  Records are proposed
+    /// and tested lazily as the iterator is advanced; each released record is
+    /// charged to the session ledger as it is yielded.
+    ///
+    /// Streaming is inherently sequential: proposals run on the calling
+    /// thread and the request's `workers` override is ignored.  Use
+    /// [`generate`](SynthesisSession::generate) for parallel fan-out.
+    pub fn release_iter(&self, request: GenerateRequest) -> Result<ReleaseIter<'_>> {
+        let (target, _workers, max_candidates) = self.request_limits(&request)?;
+        let models = self.build_synthesizers(request.omega.unwrap_or(self.config.omega))?;
+        // Validate the mechanism inputs once; `next` uses the raw hot path.
+        Mechanism::new(&models[0], self.seeds(), self.config.privacy_test)?;
+        self.ledger
+            .lock()
+            .expect("ledger lock poisoned")
+            .record_request(0);
+        Ok(ReleaseIter {
+            session: self,
+            models,
+            rng: StdRng::seed_from_u64(request_worker_seed(request.seed, 0)),
+            stats: MechanismStats::default(),
+            target,
+            max_candidates,
+        })
+    }
+
+    /// Validate and resolve the per-request limits against session defaults.
+    fn request_limits(&self, request: &GenerateRequest) -> Result<(usize, usize, usize)> {
+        if request.target == 0 {
+            return Err(CoreError::InvalidParameter(
+                "target must be at least 1".into(),
+            ));
+        }
+        let workers = request.workers.unwrap_or(self.config.workers);
+        if workers == 0 {
+            return Err(CoreError::InvalidParameter(
+                "workers must be at least 1".into(),
+            ));
+        }
+        let factor = request
+            .max_candidate_factor
+            .unwrap_or(self.config.max_candidate_factor);
+        if factor == 0 {
+            return Err(CoreError::InvalidParameter(
+                "max_candidate_factor must be at least 1".into(),
+            ));
+        }
+        Ok((
+            request.target,
+            workers,
+            request.target.saturating_mul(factor),
+        ))
+    }
+
+    fn generate_over<M: GenerativeModel + ?Sized>(
+        &self,
+        models: &[&M],
+        request: &GenerateRequest,
+    ) -> Result<ReleaseReport> {
+        let (target, workers, max_candidates) = self.request_limits(request)?;
+        let start = Instant::now();
+        let (records, stats) = run_mechanism(
+            models,
+            self.seeds(),
+            self.config.privacy_test,
+            target,
+            max_candidates,
+            workers,
+            request.seed,
+        )?;
+        let synthesis = start.elapsed();
+        let ledger = {
+            let mut guard = self.ledger.lock().expect("ledger lock poisoned");
+            guard.record_request(stats.released);
+            *guard
+        };
+        Ok(ReleaseReport {
+            synthetics: Dataset::from_records_unchecked(self.seeds().schema_arc(), records),
+            stats,
+            per_release: self.per_release,
+            ledger,
+            synthesis,
+        })
+    }
+
+    /// Dismantle the session into its split, models, and final ledger (used by
+    /// the one-shot compatibility wrapper, and handy for evaluation).
+    pub fn into_parts(self) -> (DataSplit, TrainedModels, BudgetLedger) {
+        let ledger = self.ledger.into_inner().expect("ledger lock poisoned");
+        (self.split, self.models, ledger)
+    }
+}
+
+/// Streaming iterator over released records (see
+/// [`SynthesisSession::release_iter`]).  Yields `Ok(record)` for every
+/// candidate that passes the privacy test, stops after the request target or
+/// the proposal cap, whichever comes first.
+#[derive(Debug)]
+pub struct ReleaseIter<'s> {
+    session: &'s SynthesisSession,
+    models: Vec<SeedSynthesizer>,
+    rng: StdRng,
+    stats: MechanismStats,
+    target: usize,
+    max_candidates: usize,
+}
+
+impl ReleaseIter<'_> {
+    /// Statistics over the candidates proposed so far.
+    pub fn stats(&self) -> MechanismStats {
+        self.stats
+    }
+}
+
+impl Iterator for ReleaseIter<'_> {
+    type Item = Result<Record>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.stats.released < self.target && self.stats.candidates < self.max_candidates {
+            let which = if self.models.len() == 1 {
+                0
+            } else {
+                self.rng.gen_range(0..self.models.len())
+            };
+            let report = match propose_candidate(
+                &self.models[which],
+                self.session.seeds(),
+                &self.session.config.privacy_test,
+                &mut self.rng,
+            ) {
+                Ok(report) => report,
+                Err(err) => return Some(Err(err)),
+            };
+            self.stats.candidates += 1;
+            self.stats.records_examined += report.outcome.records_examined;
+            if report.released() {
+                self.stats.released += 1;
+                self.session
+                    .ledger
+                    .lock()
+                    .expect("ledger lock poisoned")
+                    .record_streamed_release();
+                return Some(Ok(report.record));
+            }
+        }
+        None
+    }
+}
+
+/// Theorem-1 per-release budget for a privacy-test configuration (tightest ε
+/// with δ ≤ 1e-6), or `None` for the deterministic test.
+pub(crate) fn per_release_budget(test: &PrivacyTestConfig) -> Option<DpBudget> {
+    let epsilon0 = test.epsilon0?;
+    crate::dp::ReleaseBudget::optimize(test.k, test.gamma, epsilon0, 1e-6)
+        .ok()
+        .flatten()
+        .map(|b| b.budget)
+}
+
+/// Deterministic per-worker RNG seed derivation.
+fn request_worker_seed(request_seed: u64, worker: usize) -> u64 {
+    request_seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(worker as u64)
+}
+
+/// The model-generic parallel release engine shared by the session API and the
+/// legacy pipeline: build (and validate) every [`Mechanism`] exactly once,
+/// then let every worker share them while racing for release slots.
+pub(crate) fn run_mechanism<M: GenerativeModel + ?Sized>(
+    models: &[&M],
+    seeds: &Dataset,
+    test: PrivacyTestConfig,
+    target: usize,
+    max_candidates: usize,
+    workers: usize,
+    request_seed: u64,
+) -> Result<(Vec<Record>, MechanismStats)> {
+    if models.is_empty() {
+        return Err(CoreError::InvalidParameter(
+            "at least one generative model is required".into(),
+        ));
+    }
+    // Construct the mechanisms once per request (validation included); the
+    // workers below only borrow them.
+    let mechanisms: Vec<Mechanism<'_, M>> = models
+        .iter()
+        .map(|m| Mechanism::new(*m, seeds, test))
+        .collect::<Result<_>>()?;
+
+    let released_count = AtomicUsize::new(0);
+    let candidate_count = AtomicUsize::new(0);
+    let workers = workers.min(max_candidates.max(1));
+
+    let worker_results: Vec<Result<(Vec<Record>, MechanismStats)>> = if workers <= 1 {
+        vec![worker_loop(
+            request_worker_seed(request_seed, 0),
+            &mechanisms,
+            target,
+            max_candidates,
+            &released_count,
+            &candidate_count,
+        )]
+    } else {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for worker in 0..workers {
+                let mechanisms = &mechanisms;
+                let released_count = &released_count;
+                let candidate_count = &candidate_count;
+                handles.push(scope.spawn(move || {
+                    worker_loop(
+                        request_worker_seed(request_seed, worker),
+                        mechanisms,
+                        target,
+                        max_candidates,
+                        released_count,
+                        candidate_count,
+                    )
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    };
+
+    let mut records = Vec::with_capacity(target);
+    let mut stats = MechanismStats::default();
+    for result in worker_results {
+        let (mut r, s) = result?;
+        stats.merge(&s);
+        records.append(&mut r);
+    }
+    // The slot reservation in `worker_loop` caps total releases at the
+    // target, so no truncation (which would desync the stats) is needed.
+    debug_assert!(records.len() <= target, "workers released past the target");
+    debug_assert_eq!(
+        records.len(),
+        stats.released,
+        "release accounting out of sync"
+    );
+    Ok((records, stats))
+}
+
+fn worker_loop<M: GenerativeModel + ?Sized>(
+    worker_seed: u64,
+    mechanisms: &[Mechanism<'_, M>],
+    target: usize,
+    max_candidates: usize,
+    released_count: &AtomicUsize,
+    candidate_count: &AtomicUsize,
+) -> Result<(Vec<Record>, MechanismStats)> {
+    let mut rng = StdRng::seed_from_u64(worker_seed);
+    let mut records = Vec::new();
+    let mut stats = MechanismStats::default();
+    loop {
+        if released_count.load(Ordering::Relaxed) >= target {
+            break;
+        }
+        let ticket = candidate_count.fetch_add(1, Ordering::Relaxed);
+        if ticket >= max_candidates {
+            break;
+        }
+        let which = if mechanisms.len() == 1 {
+            0
+        } else {
+            rng.gen_range(0..mechanisms.len())
+        };
+        let report = mechanisms[which].propose(&mut rng)?;
+        stats.candidates += 1;
+        stats.records_examined += report.outcome.records_examined;
+        if report.released() {
+            // Reserve a release slot atomically: near the target, several
+            // workers can each have a passing candidate in flight, and only
+            // the ones that win a slot may keep theirs.  This keeps
+            // `stats.released` equal to the number of records actually
+            // returned (a surplus candidate counts as proposed, not
+            // released).
+            let slot = released_count.fetch_add(1, Ordering::Relaxed);
+            if slot < target {
+                stats.released += 1;
+                records.push(report.record);
+            } else {
+                break;
+            }
+        }
+    }
+    Ok((records, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgf_data::acs::{acs_bucketizer, acs_schema, generate_acs};
+
+    fn small_engine(seed: u64) -> SynthesisEngine {
+        SynthesisEngine::builder()
+            .privacy_test(
+                PrivacyTestConfig::randomized(20, 4.0, 1.0).with_limits(Some(40), Some(2000)),
+            )
+            .omega(OmegaSpec::Fixed(9))
+            .max_candidate_factor(30)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_invalid_defaults() {
+        assert!(SynthesisEngine::builder().workers(0).build().is_err());
+        assert!(SynthesisEngine::builder()
+            .max_candidate_factor(0)
+            .build()
+            .is_err());
+        assert!(SynthesisEngine::builder()
+            .privacy_test(PrivacyTestConfig::deterministic(5, 0.5))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn session_serves_repeated_requests_and_accumulates_the_ledger() {
+        let data = generate_acs(4000, 11);
+        let bkt = acs_bucketizer(&acs_schema());
+        let session = small_engine(11).train(&data, &bkt).unwrap();
+        assert_eq!(session.ledger().releases, 0);
+
+        let mut total = 0usize;
+        let mut last_epsilon = 0.0;
+        for request_seed in 0..3u64 {
+            let report = session
+                .generate(&GenerateRequest::new(15).with_seed(request_seed))
+                .unwrap();
+            assert!(!report.synthetics.is_empty());
+            total += report.stats.released;
+            assert_eq!(report.ledger.releases, total);
+            assert_eq!(report.ledger.requests, request_seed as usize + 1);
+            let epsilon = report.ledger.cumulative_release().epsilon;
+            assert!(epsilon > last_epsilon, "ledger must grow monotonically");
+            last_epsilon = epsilon;
+        }
+        assert_eq!(session.ledger().releases, total);
+    }
+
+    #[test]
+    fn identical_requests_release_identical_records() {
+        let data = generate_acs(3500, 12);
+        let bkt = acs_bucketizer(&acs_schema());
+        let session = small_engine(12).train(&data, &bkt).unwrap();
+        let request = GenerateRequest::new(12).with_seed(99);
+        let a = session.generate(&request).unwrap();
+        let b = session.generate(&request).unwrap();
+        assert_eq!(a.synthetics.records(), b.synthetics.records());
+        // The ledger still charges both requests.
+        assert_eq!(b.ledger.releases, a.stats.released + b.stats.released);
+    }
+
+    #[test]
+    fn release_iter_streams_and_charges_the_ledger() {
+        let data = generate_acs(3500, 13);
+        let bkt = acs_bucketizer(&acs_schema());
+        let session = small_engine(13).train(&data, &bkt).unwrap();
+        let mut iter = session
+            .release_iter(GenerateRequest::new(8).with_seed(5))
+            .unwrap();
+        let first = iter.next().unwrap().unwrap();
+        data.schema().validate_values(first.values()).unwrap();
+        assert_eq!(session.ledger().releases, 1);
+        let rest: Vec<_> = iter.by_ref().map(|r| r.unwrap()).collect();
+        assert!(rest.len() <= 7);
+        assert_eq!(session.ledger().releases, 1 + rest.len());
+        assert_eq!(iter.stats().released, 1 + rest.len());
+        assert!(iter.stats().candidates >= iter.stats().released);
+        // A single-worker generate with the same seed releases the same records.
+        let report = session
+            .generate(&GenerateRequest::new(8).with_seed(5).with_workers(1))
+            .unwrap();
+        let mut streamed = vec![first];
+        streamed.extend(rest);
+        assert_eq!(report.synthetics.records(), &streamed[..]);
+    }
+
+    #[test]
+    fn trait_object_models_pass_through_the_mechanism() {
+        let data = generate_acs(3000, 14);
+        let bkt = acs_bucketizer(&acs_schema());
+        let session = small_engine(14).train(&data, &bkt).unwrap();
+        let marginal: &dyn GenerativeModel = &session.models().marginal;
+        let report = session
+            .generate_with(marginal, &GenerateRequest::new(10).with_seed(3))
+            .unwrap();
+        // Seed-independent model: every candidate passes (Section 8).
+        assert_eq!(report.stats.released, 10);
+        assert!((report.stats.pass_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_without_charging() {
+        let data = generate_acs(3000, 15);
+        let bkt = acs_bucketizer(&acs_schema());
+        let session = small_engine(15).train(&data, &bkt).unwrap();
+        assert!(session.generate(&GenerateRequest::new(0)).is_err());
+        assert!(session
+            .generate(&GenerateRequest::new(5).with_workers(0))
+            .is_err());
+        assert!(session
+            .generate(&GenerateRequest::new(5).with_omega(OmegaSpec::Fixed(99)))
+            .is_err());
+        assert!(session
+            .generate(&GenerateRequest::new(5).with_max_candidate_factor(0))
+            .is_err());
+        assert_eq!(session.ledger().requests, 0);
+        assert_eq!(session.ledger().releases, 0);
+    }
+}

@@ -6,8 +6,8 @@
 //!
 //! | Paper artifact | Module |
 //! |---|---|
-//! | Figure 1 (relative model-accuracy improvement) | [`model_accuracy`] |
-//! | Figure 2 (model accuracy per attribute) | [`model_accuracy`] |
+//! | Figure 1 (relative model-accuracy improvement) | [`mod@model_accuracy`] |
+//! | Figure 2 (model accuracy per attribute) | [`mod@model_accuracy`] |
 //! | Figure 3 (statistical distance, single attributes) | [`statistical_distance`] |
 //! | Figure 4 (statistical distance, attribute pairs) | [`statistical_distance`] |
 //! | Figure 5 (generation time) | [`performance`] |

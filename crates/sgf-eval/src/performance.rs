@@ -2,9 +2,11 @@
 //!
 //! The paper reports the wall-clock time to learn the model and to generate
 //! increasing numbers of synthetic records (ω = 9, k = 50, γ = 4).  This
-//! module measures the same two phases on the local machine.
+//! module measures the same two phases on the local machine, paying the
+//! learning phase exactly once (the staged session API) and serving one
+//! `generate` request per requested output size.
 
-use sgf_core::{PipelineConfig, SynthesisPipeline};
+use sgf_core::{GenerateRequest, PipelineConfig, SynthesisEngine};
 use sgf_data::{Bucketizer, Dataset};
 use std::time::Duration;
 
@@ -23,24 +25,29 @@ pub struct PerformancePoint {
     pub synthesis: Duration,
 }
 
-/// Measure the generation time for each requested output size.
+/// Measure the generation time for each requested output size.  The model is
+/// trained once; every output size is one request against the same session,
+/// so `model_learning` is identical across the returned points.
 pub fn performance_curve(
     dataset: &Dataset,
     bucketizer: &Bucketizer,
     base_config: &PipelineConfig,
     output_sizes: &[usize],
 ) -> sgf_core::Result<Vec<PerformancePoint>> {
+    let session = SynthesisEngine::from_config(*base_config).train(dataset, bucketizer)?;
     let mut points = Vec::with_capacity(output_sizes.len());
     for &size in output_sizes {
-        let mut config = *base_config;
-        config.target_synthetics = size;
-        let result = SynthesisPipeline::new(config).run(dataset, bucketizer)?;
+        let report = session.generate(
+            &GenerateRequest::new(size)
+                .with_omega(base_config.omega)
+                .with_seed(base_config.seed),
+        )?;
         points.push(PerformancePoint {
             requested: size,
-            released: result.synthetics.len(),
-            candidates: result.stats.candidates,
-            model_learning: result.timings.model_learning,
-            synthesis: result.timings.synthesis,
+            released: report.stats.released,
+            candidates: report.stats.candidates,
+            model_learning: session.training_time(),
+            synthesis: report.synthesis,
         });
     }
     Ok(points)

@@ -36,6 +36,56 @@ pub trait GenerativeModel: Send + Sync {
     }
 }
 
+/// References to a model are models themselves, so `&dyn GenerativeModel`
+/// plugs into any generic mechanism or session without re-wrapping.
+impl<M: GenerativeModel + ?Sized> GenerativeModel for &M {
+    fn schema(&self) -> &Schema {
+        (**self).schema()
+    }
+    fn generate(&self, seed: &Record, rng: &mut dyn RngCore) -> Record {
+        (**self).generate(seed, rng)
+    }
+    fn probability(&self, seed: &Record, y: &Record) -> f64 {
+        (**self).probability(seed, y)
+    }
+    fn is_seed_dependent(&self) -> bool {
+        (**self).is_seed_dependent()
+    }
+}
+
+/// Boxed models (including boxed trait objects) are models.
+impl<M: GenerativeModel + ?Sized> GenerativeModel for Box<M> {
+    fn schema(&self) -> &Schema {
+        (**self).schema()
+    }
+    fn generate(&self, seed: &Record, rng: &mut dyn RngCore) -> Record {
+        (**self).generate(seed, rng)
+    }
+    fn probability(&self, seed: &Record, y: &Record) -> f64 {
+        (**self).probability(seed, y)
+    }
+    fn is_seed_dependent(&self) -> bool {
+        (**self).is_seed_dependent()
+    }
+}
+
+/// Shared models are models, so long-lived services can hand the same trained
+/// model to many sessions.
+impl<M: GenerativeModel + ?Sized> GenerativeModel for Arc<M> {
+    fn schema(&self) -> &Schema {
+        (**self).schema()
+    }
+    fn generate(&self, seed: &Record, rng: &mut dyn RngCore) -> Record {
+        (**self).generate(seed, rng)
+    }
+    fn probability(&self, seed: &Record, y: &Record) -> f64 {
+        (**self).probability(seed, y)
+    }
+    fn is_seed_dependent(&self) -> bool {
+        (**self).is_seed_dependent()
+    }
+}
+
 /// The Bayesian-network generative model of Section 3: a dependency graph plus
 /// conditional probability tables.  This type offers whole-record operations
 /// (ancestral sampling, likelihood, most-likely-value prediction) used by the

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example census_release`
 
-use sgf::core::{PipelineConfig, SynthesisPipeline};
+use sgf::core::{GenerateRequest, PrivacyTestConfig, SynthesisEngine};
 use sgf::data::acs::{acs_bucketizer, acs_schema, generate_acs};
 use sgf::eval::compare_datasets;
 use sgf::model::{ParameterConfig, StructureConfig};
@@ -22,46 +22,58 @@ fn main() {
     let eps_h = calibrate_epsilon_h(m, 0.01, 1e-9, 1.0);
     let eps_p = calibrate_epsilon_p(m, 1e-9, 1.0);
 
-    let mut config = PipelineConfig::paper_defaults(400);
-    config.structure = StructureConfig::private(eps_h, 0.01);
-    config.parameters = ParameterConfig {
-        epsilon_p: Some(eps_p),
-        global_seed: 11,
-        ..ParameterConfig::default()
-    };
-    config.privacy_test = config.privacy_test.with_limits(Some(100), Some(5_000));
-    config.seed = 11;
+    // The learning budget is paid once at training time, no matter how many
+    // release requests the session serves afterwards.
+    let session = SynthesisEngine::builder()
+        .structure(StructureConfig::private(eps_h, 0.01))
+        .parameters(ParameterConfig {
+            epsilon_p: Some(eps_p),
+            global_seed: 11,
+            ..ParameterConfig::default()
+        })
+        .privacy_test(
+            PrivacyTestConfig::randomized(50, 4.0, 1.0).with_limits(Some(100), Some(5_000)),
+        )
+        .seed(11)
+        .train(&population, &bucketizer)
+        .expect("training succeeds");
 
-    let result = SynthesisPipeline::new(config)
-        .run(&population, &bucketizer)
-        .expect("pipeline runs");
+    let report = session
+        .generate(&GenerateRequest::new(400).with_seed(11))
+        .expect("generation succeeds");
+    let ledger = session.ledger();
 
     println!("== Differentially-private census-style release ==");
     println!(
         "structure learning budget : epsilon = {:.3}",
-        result.budget.structure.epsilon
+        ledger.structure.epsilon
     );
     println!(
         "parameter learning budget : epsilon = {:.3}",
-        result.budget.parameters.epsilon
+        ledger.parameters.epsilon
     );
     println!(
         "model budget (disjoint)   : epsilon = {:.3}",
-        result.budget.model_budget().epsilon
+        ledger.model_budget().epsilon
     );
-    println!("released synthetics       : {}", result.synthetics.len());
+    println!("released synthetics       : {}", report.synthetics.len());
+    println!(
+        "cumulative total          : epsilon = {:.3} over {} releases",
+        ledger.total().epsilon,
+        ledger.releases
+    );
 
     // Utility check: total-variation distance to the held-out test records,
     // for the synthetics and for an equally-sized marginal sample.
     let mut rng = rand::rngs::mock::StepRng::new(1, 7);
-    let marginal_data = result
-        .models
+    let marginal_data = session
+        .models()
         .marginal
-        .sample_dataset(result.synthetics.len(), &mut rng);
+        .sample_dataset(report.synthetics.len(), &mut rng);
     let reports = compare_datasets(
-        &result.split.test,
+        &session.split().test,
         &[
-            ("synthetics".to_string(), &result.synthetics),
+            ("synthetics".to_string(), &report.synthetics),
             ("marginals".to_string(), &marginal_data),
         ],
     );

@@ -6,7 +6,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sgf::core::{PipelineConfig, SynthesisPipeline};
+use sgf::core::{GenerateRequest, PrivacyTestConfig, SynthesisEngine};
 use sgf::data::acs::{acs_bucketizer, acs_schema, attr, generate_acs};
 use sgf::eval::{
     distinguishing_table, percent, table3, DistinguishConfig, Table3Config, TextTable,
@@ -15,27 +15,32 @@ use sgf::eval::{
 fn main() {
     let population = generate_acs(20_000, 23);
     let bucketizer = acs_bucketizer(&acs_schema());
-    let mut config = PipelineConfig::paper_defaults(1_500);
-    config.privacy_test = config.privacy_test.with_limits(Some(100), Some(4_000));
-    config.seed = 23;
 
-    let result = SynthesisPipeline::new(config)
-        .run(&population, &bucketizer)
-        .expect("pipeline runs");
+    let session = SynthesisEngine::builder()
+        .privacy_test(
+            PrivacyTestConfig::randomized(50, 4.0, 1.0).with_limits(Some(100), Some(4_000)),
+        )
+        .seed(23)
+        .train(&population, &bucketizer)
+        .expect("training succeeds");
+    let report = session
+        .generate(&GenerateRequest::new(1_500).with_seed(23))
+        .expect("generation succeeds");
+    let synthetics = &report.synthetics;
     let mut rng = StdRng::seed_from_u64(23);
-    let marginal_data = result
-        .models
+    let marginal_data = session
+        .models()
         .marginal
-        .sample_dataset(result.synthetics.len(), &mut rng);
+        .sample_dataset(synthetics.len(), &mut rng);
 
     println!("== Income classification: reals vs marginals vs synthetics ==\n");
     let rows = table3(
         &[
-            ("reals".to_string(), &result.split.seeds),
+            ("reals".to_string(), &session.split().seeds),
             ("marginals".to_string(), &marginal_data),
-            ("synthetics (omega=9)".to_string(), &result.synthetics),
+            ("synthetics (omega=9)".to_string(), synthetics),
         ],
-        &result.split.test,
+        &session.split().test,
         attr::INCOME,
         &Table3Config::default(),
         &mut rng,
@@ -54,10 +59,10 @@ fn main() {
 
     println!("== Distinguishing game (real vs candidate records) ==\n");
     let results = distinguishing_table(
-        &result.split.test,
+        &session.split().test,
         &[
             ("marginals".to_string(), &marginal_data),
-            ("synthetics (omega=9)".to_string(), &result.synthetics),
+            ("synthetics (omega=9)".to_string(), synthetics),
         ],
         &DistinguishConfig {
             train_per_class: 700,

@@ -6,10 +6,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sgf::core::PipelineConfig;
 use sgf::core::{
-    partition_index, satisfies_plausible_deniability, Mechanism, PrivacyTestConfig, ReleaseBudget,
-    SynthesisPipeline,
+    partition_index, satisfies_plausible_deniability, GenerateRequest, Mechanism,
+    PrivacyTestConfig, ReleaseBudget, SynthesisEngine,
 };
 use sgf::data::acs::{acs_bucketizer, acs_schema, generate_acs};
 use sgf::model::{GenerativeModel, SeedSynthesizer};
@@ -18,30 +17,30 @@ use std::sync::Arc;
 fn main() {
     let population = generate_acs(15_000, 31);
     let bucketizer = acs_bucketizer(&acs_schema());
-    let mut config = PipelineConfig::paper_defaults(1);
-    config.seed = 31;
-    let pipeline = SynthesisPipeline::new(config);
 
-    // Learn the model once and drive the mechanism by hand.
-    let mut rng = StdRng::seed_from_u64(31);
-    let split = sgf::data::split_dataset(&population, &config.split, &mut rng).expect("split");
-    let models = pipeline
-        .learn_models(&split, &bucketizer)
-        .expect("learning succeeds");
-    let synthesizer = SeedSynthesizer::new(Arc::clone(&models.cpts), 9).expect("omega valid");
+    // Train the session once; the audit drives the low-level mechanism by
+    // hand against the session's models and seed store.
+    let session = SynthesisEngine::builder()
+        .seed(31)
+        .train(&population, &bucketizer)
+        .expect("training succeeds");
+    let seeds = session.seeds();
+    let synthesizer =
+        SeedSynthesizer::new(Arc::clone(&session.models().cpts), 9).expect("omega valid");
 
     println!("== Plausible-deniability audit (gamma = 4, omega = 9) ==\n");
 
     // 1. Propose candidates under the deterministic test and inspect them.
+    let mut rng = StdRng::seed_from_u64(31);
     let test = PrivacyTestConfig::deterministic(50, 4.0).with_limits(None, Some(5_000));
-    let mechanism = Mechanism::new(&synthesizer, &split.seeds, test).expect("mechanism");
+    let mechanism = Mechanism::new(&synthesizer, seeds, test).expect("mechanism");
     let mut released = 0;
     let mut rejected = 0;
     for _ in 0..60 {
         let report = mechanism.propose(&mut rng).expect("propose");
         if report.released() {
             released += 1;
-            let seed = split.seeds.record(report.seed_index);
+            let seed = seeds.record(report.seed_index);
             let p = synthesizer.probability(seed, &report.record);
             println!(
                 "released candidate: seed partition {:?} (Pr = {:.2e}), {} plausible seeds counted",
@@ -50,15 +49,9 @@ fn main() {
                 report.outcome.plausible_seeds
             );
             // The deterministic test is stronger than Definition 1: verify it.
-            let ok = satisfies_plausible_deniability(
-                &synthesizer,
-                &split.seeds,
-                seed,
-                &report.record,
-                50,
-                4.0,
-            )
-            .expect("criterion check");
+            let ok =
+                satisfies_plausible_deniability(&synthesizer, seeds, seed, &report.record, 50, 4.0)
+                    .expect("criterion check");
             assert!(
                 ok,
                 "released record must satisfy (50, 4)-plausible deniability"
@@ -71,6 +64,19 @@ fn main() {
         }
     }
     println!("\n{released} released / {rejected} rejected in this audit run\n");
+
+    // 1b. The same mechanism accepts any GenerativeModel: audit the marginal
+    // baseline through the session (seed-independent, so everything passes).
+    let marginal: &dyn GenerativeModel = &session.models().marginal;
+    let marginal_report = session
+        .generate_with(marginal, &GenerateRequest::new(20).with_seed(31))
+        .expect("marginal generation succeeds");
+    println!(
+        "marginal baseline through the same mechanism: {} / {} candidates released (pass rate {:.0}%)\n",
+        marginal_report.stats.released,
+        marginal_report.stats.candidates,
+        100.0 * marginal_report.stats.pass_rate()
+    );
 
     // 2. Theorem 1: the (epsilon, delta) guarantee per released record.
     println!("Theorem 1 bounds for gamma = 4, epsilon0 = 1:");

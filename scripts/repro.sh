@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Reproduce the paper's figure/table artifacts.
+#
+#   scripts/repro.sh [scale]     full-scale run of every fig*/table* binary
+#                                (scale defaults to 1; passed through to each
+#                                binary as its positional argument)
+#   scripts/repro.sh --smoke     smoke mode: every binary runs the full code
+#                                path at reduced population / synthetic sizes
+#                                (sets SGF_SMOKE=1; finishes in minutes)
+#
+# Output of each binary is streamed to stdout and mirrored under artifacts/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE=1
+SMOKE=0
+for arg in "$@"; do
+    case "$arg" in
+        --smoke) SMOKE=1 ;;
+        ''|*[!0-9]*) echo "usage: $0 [scale|--smoke]" >&2; exit 2 ;;
+        *) SCALE="$arg" ;;
+    esac
+done
+
+BINARIES=(fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3 table4 table5)
+
+echo "== building release binaries =="
+cargo build --release -p bench
+
+OUTDIR=artifacts
+mkdir -p "$OUTDIR"
+
+for bin in "${BINARIES[@]}"; do
+    echo
+    echo "== $bin (scale $SCALE, smoke $SMOKE) =="
+    if [ "$SMOKE" = 1 ]; then
+        SGF_SMOKE=1 "target/release/$bin" "$SCALE" | tee "$OUTDIR/$bin.txt"
+    else
+        "target/release/$bin" "$SCALE" | tee "$OUTDIR/$bin.txt"
+    fi
+done
+
+echo
+echo "== done: artifacts written to $OUTDIR/ =="

@@ -14,8 +14,12 @@
 //!
 //! ## Quickstart
 //!
+//! Train a session once, then serve any number of `generate` requests from
+//! the same models while the [`core::BudgetLedger`] composes the cumulative
+//! (ε, δ) privacy cost:
+//!
 //! ```
-//! use sgf::core::{PipelineConfig, SynthesisPipeline};
+//! use sgf::core::{GenerateRequest, PrivacyTestConfig, SynthesisEngine};
 //! use sgf::data::acs::{acs_bucketizer, acs_schema, generate_acs};
 //!
 //! // A small ACS-like population (stand-in for the Census extract).
@@ -23,13 +27,20 @@
 //! let bucketizer = acs_bucketizer(&acs_schema());
 //!
 //! // k = 50 is the paper's default; shrink it for this tiny demo population.
-//! let mut config = PipelineConfig::paper_defaults(25);
-//! config.privacy_test.k = 20;
+//! let session = SynthesisEngine::builder()
+//!     .privacy_test(PrivacyTestConfig::randomized(20, 4.0, 1.0))
+//!     .seed(42)
+//!     .train(&population, &bucketizer)
+//!     .unwrap();
 //!
-//! let result = SynthesisPipeline::new(config).run(&population, &bucketizer).unwrap();
-//! println!("released {} synthetics (pass rate {:.1}%)",
-//!          result.synthetics.len(), 100.0 * result.stats.pass_rate());
+//! let report = session.generate(&GenerateRequest::new(25)).unwrap();
+//! println!("released {} synthetics (pass rate {:.1}%), cumulative epsilon {:.2}",
+//!          report.synthetics.len(), 100.0 * report.stats.pass_rate(),
+//!          session.ledger().total().epsilon);
 //! ```
+//!
+//! The one-shot `SynthesisPipeline::run` of earlier versions still works as a
+//! thin wrapper over builder → train → one `generate`.
 
 pub use sgf_core as core;
 pub use sgf_data as data;

@@ -1,0 +1,238 @@
+//! Integration tests for the staged synthesis-session API: train once, serve
+//! many `generate` requests, accumulate the privacy ledger, and accept any
+//! `GenerativeModel` implementation through the mechanism.
+
+use sgf::core::{
+    GenerateRequest, PipelineConfig, PrivacyTestConfig, SynthesisEngine, SynthesisPipeline,
+};
+use sgf::data::acs::{acs_bucketizer, acs_schema, generate_acs};
+use sgf::model::{GenerativeModel, MarginalModel, OmegaSpec};
+
+fn small_config(target: usize, seed: u64) -> PipelineConfig {
+    let mut config = PipelineConfig::paper_defaults(target);
+    config.privacy_test =
+        PrivacyTestConfig::randomized(20, 4.0, 1.0).with_limits(Some(40), Some(2_000));
+    config.max_candidate_factor = 30;
+    config.seed = seed;
+    config
+}
+
+/// A session trains exactly once and serves ≥ 3 sequential requests; the
+/// ledger grows monotonically and stays consistent with the per-request stats.
+#[test]
+fn session_serves_three_requests_with_monotone_ledger() {
+    let population = generate_acs(4_000, 21);
+    let bucketizer = acs_bucketizer(&acs_schema());
+    let session = SynthesisEngine::from_config(small_config(1, 21))
+        .train(&population, &bucketizer)
+        .unwrap();
+
+    let mut cumulative_releases = 0usize;
+    let mut last_epsilon = 0.0f64;
+    for (i, request_seed) in [3u64, 5, 7].iter().enumerate() {
+        let report = session
+            .generate(&GenerateRequest::new(20).with_seed(*request_seed))
+            .unwrap();
+        assert!(!report.synthetics.is_empty());
+        assert!(report.synthetics.len() <= 20);
+        assert_eq!(report.synthetics.len(), report.stats.released);
+        for record in report.synthetics.records() {
+            population
+                .schema()
+                .validate_values(record.values())
+                .unwrap();
+        }
+        cumulative_releases += report.stats.released;
+        assert_eq!(report.ledger.requests, i + 1);
+        assert_eq!(report.ledger.releases, cumulative_releases);
+        let epsilon = report.ledger.cumulative_release().epsilon;
+        assert!(
+            epsilon > last_epsilon,
+            "cumulative epsilon must grow with every request ({epsilon} vs {last_epsilon})"
+        );
+        last_epsilon = epsilon;
+    }
+    assert_eq!(session.ledger().releases, cumulative_releases);
+    assert_eq!(session.ledger().requests, 3);
+}
+
+/// The compatibility wrapper and the staged API agree: `SynthesisPipeline::run`
+/// releases exactly the records (and budget) of builder → train → one
+/// `generate` with the same parameters.
+#[test]
+fn one_shot_run_matches_train_then_generate() {
+    let population = generate_acs(3_500, 22);
+    let bucketizer = acs_bucketizer(&acs_schema());
+    let config = small_config(25, 22);
+
+    let one_shot = SynthesisPipeline::new(config)
+        .run(&population, &bucketizer)
+        .unwrap();
+
+    let session = SynthesisEngine::from_config(config)
+        .train(&population, &bucketizer)
+        .unwrap();
+    let report = session
+        .generate(
+            &GenerateRequest::new(25)
+                .with_omega(config.omega)
+                .with_seed(config.seed),
+        )
+        .unwrap();
+
+    assert_eq!(one_shot.synthetics.records(), report.synthetics.records());
+    assert_eq!(one_shot.stats, report.stats);
+    assert_eq!(one_shot.budget.releases, report.ledger.releases);
+    assert_eq!(one_shot.budget.per_release, report.ledger.per_release);
+    assert_eq!(one_shot.budget.total(), report.ledger.total());
+}
+
+/// Splitting one big request into several smaller ones over the same session
+/// spends the same cumulative budget as the one-shot accounting for the same
+/// number of releases.
+#[test]
+fn ledger_matches_equivalent_one_shot_accounting() {
+    let population = generate_acs(3_500, 23);
+    let bucketizer = acs_bucketizer(&acs_schema());
+    let session = SynthesisEngine::from_config(small_config(1, 23))
+        .train(&population, &bucketizer)
+        .unwrap();
+
+    for request_seed in 0..4u64 {
+        session
+            .generate(&GenerateRequest::new(10).with_seed(request_seed))
+            .unwrap();
+    }
+    let ledger = session.ledger();
+    assert_eq!(ledger.requests, 4);
+    // The equivalent one-shot budget over the same number of releases.
+    let one_shot = ledger.as_pipeline_budget();
+    assert_eq!(one_shot.releases, ledger.releases);
+    assert_eq!(one_shot.total(), ledger.total());
+    let per_release = ledger.per_release.expect("randomized test has a bound");
+    assert!(
+        (ledger.cumulative_release().epsilon - ledger.releases as f64 * per_release.epsilon).abs()
+            < 1e-9
+    );
+}
+
+/// Multi-worker requests keep the count and accounting exact, and release the
+/// full target when candidates are plentiful.
+#[test]
+fn multi_worker_requests_keep_accounting_exact() {
+    let population = generate_acs(4_000, 24);
+    let bucketizer = acs_bucketizer(&acs_schema());
+    let session = SynthesisEngine::from_config(small_config(1, 24))
+        .train(&population, &bucketizer)
+        .unwrap();
+
+    for workers in [1usize, 2, 4] {
+        let before = session.ledger().releases;
+        let report = session
+            .generate(
+                &GenerateRequest::new(30)
+                    .with_workers(workers)
+                    .with_seed(workers as u64),
+            )
+            .unwrap();
+        assert!(!report.synthetics.is_empty());
+        assert!(report.synthetics.len() <= 30);
+        // Accounting stays exact even when workers race for the last slots.
+        assert_eq!(report.synthetics.len(), report.stats.released);
+        assert!(report.stats.released <= report.stats.candidates);
+        assert_eq!(session.ledger().releases, before + report.stats.released);
+    }
+}
+
+/// A `GenerativeModel` trait object (the marginal baseline) passes through the
+/// same mechanism and budget accounting as the seed-based synthesizer.
+#[test]
+fn trait_object_model_serves_through_the_session() {
+    let population = generate_acs(3_000, 25);
+    let bucketizer = acs_bucketizer(&acs_schema());
+    let session = SynthesisEngine::from_config(small_config(1, 25))
+        .train(&population, &bucketizer)
+        .unwrap();
+
+    // Both the session-owned marginal and an externally learned one work.
+    let external = MarginalModel::learn(session.seeds(), Default::default()).unwrap();
+    let as_object: &dyn GenerativeModel = &external;
+    let report = session
+        .generate_with(as_object, &GenerateRequest::new(12).with_seed(1))
+        .unwrap();
+    // Seed-independent model: every record is an equally plausible seed, so
+    // every candidate passes (Section 8).
+    assert_eq!(report.stats.released, 12);
+    assert!((report.stats.pass_rate() - 1.0).abs() < 1e-12);
+    assert_eq!(session.ledger().releases, 12);
+
+    // The seed-based synthesizer path still works on the same session, and
+    // keeps charging the same ledger.
+    let second = session
+        .generate(&GenerateRequest::new(8).with_seed(2))
+        .unwrap();
+    assert_eq!(session.ledger().releases, 12 + second.stats.released);
+}
+
+/// The streaming iterator releases the same records as a single-worker
+/// `generate` with the same request seed, charging the ledger incrementally.
+#[test]
+fn release_iter_matches_generate_and_streams_budget() {
+    let population = generate_acs(3_500, 26);
+    let bucketizer = acs_bucketizer(&acs_schema());
+    let session = SynthesisEngine::from_config(small_config(1, 26))
+        .train(&population, &bucketizer)
+        .unwrap();
+
+    let request = GenerateRequest::new(10).with_seed(4).with_workers(1);
+    let reference = session.generate(&request).unwrap();
+    let after_reference = session.ledger().releases;
+
+    let mut streamed = Vec::new();
+    let mut iter = session.release_iter(request).unwrap();
+    for record in iter.by_ref() {
+        streamed.push(record.unwrap());
+        assert_eq!(
+            session.ledger().releases,
+            after_reference + streamed.len(),
+            "every streamed record is charged as it is yielded"
+        );
+    }
+    assert_eq!(reference.synthetics.records(), &streamed[..]);
+    assert_eq!(iter.stats().released, streamed.len());
+    assert_eq!(session.ledger().requests, 2);
+}
+
+/// ω can vary per request without retraining; invalid overrides are rejected.
+#[test]
+fn per_request_omega_overrides_work() {
+    let population = generate_acs(3_500, 27);
+    let bucketizer = acs_bucketizer(&acs_schema());
+    let session = SynthesisEngine::from_config(small_config(1, 27))
+        .train(&population, &bucketizer)
+        .unwrap();
+
+    let fixed = session
+        .generate(
+            &GenerateRequest::new(10)
+                .with_omega(OmegaSpec::Fixed(11))
+                .with_seed(1),
+        )
+        .unwrap();
+    assert!(!fixed.synthetics.is_empty());
+    let ranged = session
+        .generate(
+            &GenerateRequest::new(10)
+                .with_omega(OmegaSpec::UniformRange { lo: 9, hi: 11 })
+                .with_seed(2),
+        )
+        .unwrap();
+    assert!(!ranged.synthetics.is_empty());
+    assert!(session
+        .generate(
+            &GenerateRequest::new(10)
+                .with_omega(OmegaSpec::Fixed(0))
+                .with_seed(3)
+        )
+        .is_err());
+}

@@ -130,7 +130,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Admissible element counts for [`vec`].
+    /// Admissible element counts for [`vec()`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SizeRange {
         lo: usize,
