@@ -9,7 +9,8 @@
 //!   Privacy Test 2 (Laplace-noised threshold), including the tool's
 //!   early-termination knobs;
 //! * [`mechanism`] — Mechanism 1 (`F`): seed sampling, candidate generation,
-//!   test, release;
+//!   test, release — against the full scan or an indexed seed store from
+//!   [`sgf_index`] (the [`SeedIndex`] policy picks per session/request);
 //! * [`dp`] — the (ε, δ) guarantees of Theorem 1, end-to-end accounting, and
 //!   the cumulative [`BudgetLedger`] of a long-lived session;
 //! * [`session`] — the staged **train once, serve many** API: a
@@ -49,11 +50,14 @@ pub mod session;
 pub use deniability::{partition_index, partition_size, satisfies_plausible_deniability};
 pub use dp::{BudgetLedger, PipelineBudget, ReleaseBudget};
 pub use error::{CoreError, Result};
-pub use mechanism::{propose_candidate, CandidateReport, Mechanism, MechanismStats};
+pub use mechanism::{
+    propose_candidate, propose_candidate_with_store, CandidateReport, Mechanism, MechanismStats,
+};
 pub use pipeline::{
     PipelineConfig, PipelineResult, PipelineTimings, SynthesisPipeline, TrainedModels,
 };
-pub use privacy_test::{run_privacy_test, PrivacyTestConfig, TestOutcome};
+pub use privacy_test::{run_privacy_test, run_with_store, PrivacyTestConfig, TestOutcome};
 pub use session::{
     EngineBuilder, GenerateRequest, ReleaseIter, ReleaseReport, SynthesisEngine, SynthesisSession,
 };
+pub use sgf_index::{InvertedIndexStore, LinearScanStore, SeedIndex, SeedStore};

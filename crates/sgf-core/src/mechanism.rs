@@ -2,10 +2,11 @@
 //! subject it to the privacy test, and release it only on a pass.
 
 use crate::error::{CoreError, Result};
-use crate::privacy_test::{run_privacy_test, PrivacyTestConfig, TestOutcome};
+use crate::privacy_test::{run_with_store, PrivacyTestConfig, TestOutcome};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use sgf_data::{Dataset, Record};
+use sgf_index::{LinearScanStore, SeedStore};
 use sgf_model::GenerativeModel;
 
 /// One released (or rejected) candidate together with the test diagnostics.
@@ -33,8 +34,13 @@ pub struct MechanismStats {
     pub candidates: usize,
     /// Number of candidates that passed the privacy test.
     pub released: usize,
-    /// Total number of seed records examined by the privacy tests.
+    /// Total number of seed records examined by the privacy tests
+    /// (model-probability evaluations — the dominant cost of the test).
     pub records_examined: usize,
+    /// Privacy tests served by an indexed seed store (posting-list pruning).
+    pub index_tests: usize,
+    /// Privacy tests served by the full linear scan.
+    pub scan_tests: usize,
 }
 
 impl MechanismStats {
@@ -47,28 +53,46 @@ impl MechanismStats {
         }
     }
 
+    /// Record the per-test counters of one proposed candidate (everything
+    /// except `released`, which callers manage — under parallel generation a
+    /// passing candidate only counts as released once it wins a slot).
+    pub fn observe(&mut self, outcome: &TestOutcome) {
+        self.candidates += 1;
+        self.records_examined += outcome.records_examined;
+        if outcome.via_index {
+            self.index_tests += 1;
+        } else {
+            self.scan_tests += 1;
+        }
+    }
+
     /// Merge the statistics of another batch into this one.
     pub fn merge(&mut self, other: &MechanismStats) {
         self.candidates += other.candidates;
         self.released += other.released;
         self.records_examined += other.records_examined;
+        self.index_tests += other.index_tests;
+        self.scan_tests += other.scan_tests;
     }
 
     /// Render the counters as a JSON object, so services and the bench
     /// binaries can emit machine-readable reports.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"candidates\":{},\"released\":{},\"records_examined\":{},\"pass_rate\":{}}}",
+            "{{\"candidates\":{},\"released\":{},\"records_examined\":{},\"index_tests\":{},\"scan_tests\":{},\"pass_rate\":{}}}",
             self.candidates,
             self.released,
             self.records_examined,
+            self.index_tests,
+            self.scan_tests,
             crate::dp::json_f64(self.pass_rate())
         )
     }
 }
 
-/// One invocation of Mechanism 1 against an explicit model, seed store, and
-/// test configuration: sample a seed uniformly, generate a candidate, test it.
+/// One invocation of Mechanism 1 against an explicit model, seed dataset, and
+/// test configuration: sample a seed uniformly, generate a candidate, test it
+/// with the full linear scan.
 ///
 /// This is the validation-free hot path shared by [`Mechanism::propose`] and
 /// the owning session iterators; callers are responsible for having validated
@@ -79,10 +103,28 @@ pub fn propose_candidate<M: GenerativeModel + ?Sized, R: Rng + ?Sized>(
     test: &PrivacyTestConfig,
     rng: &mut R,
 ) -> Result<CandidateReport> {
+    let scan = LinearScanStore::new(seeds);
+    propose_candidate_with_store(model, seeds, &scan, test, rng)
+}
+
+/// [`propose_candidate`] against an explicit [`SeedStore`] (e.g. the
+/// inverted index a trained session builds over its seed dataset).
+///
+/// Store choice never changes which candidates pass: decisions, plausible
+/// counts, and RNG consumption are store-independent (see
+/// [`crate::privacy_test::run_with_store`]); only the number of records the
+/// test must examine shrinks.
+pub fn propose_candidate_with_store<M: GenerativeModel + ?Sized, R: Rng + ?Sized>(
+    model: &M,
+    seeds: &Dataset,
+    store: &dyn SeedStore,
+    test: &PrivacyTestConfig,
+    rng: &mut R,
+) -> Result<CandidateReport> {
     let seed_index = rng.gen_range(0..seeds.len());
     let seed = seeds.record(seed_index);
     let candidate = model.generate(seed, &mut as_dyn(rng));
-    let outcome = run_privacy_test(model, seeds, seed, &candidate, test, rng)?;
+    let outcome = run_with_store(model, seeds, store, seed, &candidate, test, rng)?;
     Ok(CandidateReport {
         record: candidate,
         seed_index,
@@ -95,12 +137,41 @@ pub fn propose_candidate<M: GenerativeModel + ?Sized, R: Rng + ?Sized>(
 pub struct Mechanism<'a, M: GenerativeModel + ?Sized> {
     model: &'a M,
     seeds: &'a Dataset,
+    store: Option<&'a dyn SeedStore>,
     test: PrivacyTestConfig,
 }
 
 impl<'a, M: GenerativeModel + ?Sized> Mechanism<'a, M> {
-    /// Create the mechanism over a generative model and a seed dataset `D_S`.
+    /// Create the mechanism over a generative model and a seed dataset `D_S`,
+    /// testing candidates with the full linear scan.
     pub fn new(model: &'a M, seeds: &'a Dataset, test: PrivacyTestConfig) -> Result<Self> {
+        Self::build(model, seeds, None, test)
+    }
+
+    /// Create the mechanism with an indexed [`SeedStore`] over the same seed
+    /// dataset; the privacy test only examines the store's survivors.
+    pub fn with_store(
+        model: &'a M,
+        seeds: &'a Dataset,
+        store: &'a dyn SeedStore,
+        test: PrivacyTestConfig,
+    ) -> Result<Self> {
+        if store.len() != seeds.len() {
+            return Err(CoreError::InvalidParameter(format!(
+                "seed store indexes {} records but the seed dataset has {}",
+                store.len(),
+                seeds.len()
+            )));
+        }
+        Self::build(model, seeds, Some(store), test)
+    }
+
+    fn build(
+        model: &'a M,
+        seeds: &'a Dataset,
+        store: Option<&'a dyn SeedStore>,
+        test: PrivacyTestConfig,
+    ) -> Result<Self> {
         test.validate()?;
         if seeds.len() < test.k {
             return Err(CoreError::DatasetTooSmall {
@@ -113,7 +184,12 @@ impl<'a, M: GenerativeModel + ?Sized> Mechanism<'a, M> {
                 "seed dataset schema does not match the generative model schema".into(),
             ));
         }
-        Ok(Mechanism { model, seeds, test })
+        Ok(Mechanism {
+            model,
+            seeds,
+            store,
+            test,
+        })
     }
 
     /// The privacy-test configuration in force.
@@ -126,7 +202,12 @@ impl<'a, M: GenerativeModel + ?Sized> Mechanism<'a, M> {
     /// candidate whether or not it passed; callers must release only records
     /// with `outcome.passed == true`.
     pub fn propose<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<CandidateReport> {
-        propose_candidate(self.model, self.seeds, &self.test, rng)
+        match self.store {
+            Some(store) => {
+                propose_candidate_with_store(self.model, self.seeds, store, &self.test, rng)
+            }
+            None => propose_candidate(self.model, self.seeds, &self.test, rng),
+        }
     }
 
     /// Run the mechanism `candidates` times and collect the released records.
@@ -139,8 +220,7 @@ impl<'a, M: GenerativeModel + ?Sized> Mechanism<'a, M> {
         let mut released = Vec::new();
         for _ in 0..candidates {
             let report = self.propose(rng)?;
-            stats.candidates += 1;
-            stats.records_examined += report.outcome.records_examined;
+            stats.observe(&report.outcome);
             if report.released() {
                 stats.released += 1;
                 released.push(report.record);
@@ -161,8 +241,7 @@ impl<'a, M: GenerativeModel + ?Sized> Mechanism<'a, M> {
         let mut released = Vec::with_capacity(target);
         while released.len() < target && stats.candidates < max_candidates {
             let report = self.propose(rng)?;
-            stats.candidates += 1;
-            stats.records_examined += report.outcome.records_examined;
+            stats.observe(&report.outcome);
             if report.released() {
                 stats.released += 1;
                 released.push(report.record);
@@ -320,16 +399,22 @@ mod tests {
             candidates: 10,
             released: 4,
             records_examined: 100,
+            index_tests: 6,
+            scan_tests: 4,
         };
         let b = MechanismStats {
             candidates: 5,
             released: 5,
             records_examined: 50,
+            index_tests: 0,
+            scan_tests: 5,
         };
         a.merge(&b);
         assert_eq!(a.candidates, 15);
         assert_eq!(a.released, 9);
         assert_eq!(a.records_examined, 150);
+        assert_eq!(a.index_tests, 6);
+        assert_eq!(a.scan_tests, 9);
         assert!((a.pass_rate() - 0.6).abs() < 1e-12);
         assert_eq!(MechanismStats::default().pass_rate(), 0.0);
     }

@@ -22,6 +22,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use sgf_data::{Bucketizer, DataSplit, Dataset, Record, SplitSpec};
+use sgf_index::SeedIndex;
 use sgf_model::{
     learn_dependency_structure, BayesNetModel, CptStore, LearnedStructure, MarginalConfig,
     MarginalModel, OmegaSpec, ParameterConfig, SeedSynthesizer, StructureConfig,
@@ -49,6 +50,10 @@ pub struct PipelineConfig {
     /// Number of worker threads for candidate generation (the process is
     /// embarrassingly parallel, Section 5).
     pub workers: usize,
+    /// Seed-store policy for the privacy test: full scan, inverted index, or
+    /// automatic selection.  Scan and index are decision-equivalent — the
+    /// policy only affects how many records each test must examine.
+    pub seed_index: SeedIndex,
     /// Master seed for all randomness in the pipeline.
     pub seed: u64,
 }
@@ -67,6 +72,7 @@ impl PipelineConfig {
             target_synthetics,
             max_candidate_factor: 20,
             workers: 1,
+            seed_index: SeedIndex::Auto,
             seed: 0,
         }
     }
@@ -101,6 +107,9 @@ impl PipelineConfig {
 pub struct PipelineTimings {
     /// Time spent splitting the data and learning structure + parameters.
     pub model_learning: Duration,
+    /// Time spent building the inverted seed index (zero under
+    /// [`SeedIndex::Scan`]).
+    pub index_build: Duration,
     /// Time spent generating and testing candidates.
     pub synthesis: Duration,
 }
@@ -109,8 +118,9 @@ impl PipelineTimings {
     /// Render the phase timings (in seconds) as a JSON object.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"model_learning_seconds\":{},\"synthesis_seconds\":{}}}",
+            "{{\"model_learning_seconds\":{},\"index_build_seconds\":{},\"synthesis_seconds\":{}}}",
             crate::dp::json_f64(self.model_learning.as_secs_f64()),
+            crate::dp::json_f64(self.index_build.as_secs_f64()),
             crate::dp::json_f64(self.synthesis.as_secs_f64())
         )
     }
@@ -225,6 +235,7 @@ impl SynthesisPipeline {
         let report = session.generate(&request)?;
         let timings = PipelineTimings {
             model_learning: session.training_time(),
+            index_build: session.index_build_time(),
             synthesis: report.synthesis,
         };
         let (split, models, ledger) = session.into_parts();
@@ -241,11 +252,24 @@ impl SynthesisPipeline {
     /// Generate synthetics from already-trained models and an explicit seed
     /// dataset (one release batch over the pipeline's ω spec and worker
     /// count, seeded with the pipeline seed).
+    ///
+    /// An explicit seed dataset carries no session-built index, so the
+    /// privacy tests always run as linear scans here: `SeedIndex::Inverted`
+    /// is rejected (train a [`SynthesisSession`](crate::SynthesisSession) for
+    /// index-accelerated generation), and `Auto` degrades to the scan.
     pub fn generate(
         &self,
         models: &TrainedModels,
         seeds: &Dataset,
     ) -> Result<(Vec<Record>, MechanismStats)> {
+        if self.config.seed_index == SeedIndex::Inverted {
+            return Err(CoreError::InvalidParameter(
+                "SynthesisPipeline::generate runs over an explicit seed dataset without a \
+                 trained index; use SeedIndex::Scan/Auto here or train a SynthesisSession \
+                 for SeedIndex::Inverted"
+                    .into(),
+            ));
+        }
         self.config.omega.validate(seeds.schema().len())?;
         let (lo, hi) = match self.config.omega {
             OmegaSpec::Fixed(w) => (w, w),
@@ -261,6 +285,7 @@ impl SynthesisPipeline {
         crate::session::run_mechanism(
             &refs,
             seeds,
+            None,
             self.config.privacy_test,
             target,
             target.saturating_mul(self.config.max_candidate_factor),
@@ -337,6 +362,36 @@ mod tests {
         // for the last slots near the target.
         assert_eq!(result.synthetics.len(), result.stats.released);
         assert!(result.stats.released <= result.stats.candidates);
+    }
+
+    #[test]
+    fn explicit_seed_generation_rejects_the_inverted_policy() {
+        let data = generate_acs(3000, 6);
+        let bkt = acs_bucketizer(&acs_schema());
+        let mut config = small_config(10);
+        let split = {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+            sgf_data::split_dataset(&data, &config.split, &mut rng).unwrap()
+        };
+        let models = SynthesisPipeline::new(config)
+            .learn_models(&split, &bkt)
+            .unwrap();
+        // Scan and Auto work over an explicit seed dataset...
+        for policy in [SeedIndex::Scan, SeedIndex::Auto] {
+            config.seed_index = policy;
+            let (released, stats) = SynthesisPipeline::new(config)
+                .generate(&models, &split.seeds)
+                .unwrap();
+            assert_eq!(stats.index_tests, 0, "no session index exists");
+            assert!(released.len() <= 10);
+        }
+        // ...but an explicit Inverted policy cannot be honoured and errors.
+        config.seed_index = SeedIndex::Inverted;
+        assert!(matches!(
+            SynthesisPipeline::new(config).generate(&models, &split.seeds),
+            Err(CoreError::InvalidParameter(_))
+        ));
     }
 
     #[test]

@@ -14,13 +14,30 @@
 //! candidates that pass; they never weaken the privacy guarantee because a
 //! candidate that terminates early without reaching the threshold is simply
 //! rejected.
+//!
+//! ## Seed stores and decision equivalence
+//!
+//! [`run_with_store`] runs the same test against any [`SeedStore`]: the store
+//! returns a sound superset of the records that can plausibly have generated
+//! the candidate, and the exact γ-partition check runs only on the survivors.
+//! The test is engineered so that **every store yields the same accept/reject
+//! decision, plausible-seed count, and RNG stream** for the same inputs:
+//!
+//! * the pass/fail decision depends only on the *set* of eligible records
+//!   (never on visit order), because counting stops at a fixed count
+//!   threshold and skipped records are provably non-plausible;
+//! * the `max_check_plausible` subset is derived from a single `u64` RNG draw
+//!   via an O(1)-random-access permutation ([`RandomSubset`]), so scan and
+//!   index examine the same eligible subset while consuming identical
+//!   randomness — and the per-candidate O(n) shuffle of the naive
+//!   implementation is gone.
 
 use crate::deniability::{partition_index, validate_parameters};
 use crate::error::{CoreError, Result};
-use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use sgf_data::{Dataset, Record};
+use sgf_index::{CandidateIter, LinearScanStore, RandomSubset, SeedStore};
 use sgf_model::GenerativeModel;
 use sgf_stats::Laplace;
 
@@ -110,13 +127,17 @@ pub struct TestOutcome {
     pub seed_partition: Option<u32>,
     /// Number of plausible seeds counted before the test stopped.
     pub plausible_seeds: usize,
-    /// Number of dataset records examined.
+    /// Number of dataset records examined (model-probability evaluations).
     pub records_examined: usize,
     /// The (possibly noisy) threshold the count was compared against.
     pub threshold: f64,
+    /// Whether an indexed seed store narrowed the candidate set for this test
+    /// (`false` for the full scan).
+    pub via_index: bool,
 }
 
-/// Run the privacy test on the tuple `(M, D, d, y)` with the given configuration.
+/// Run the privacy test on the tuple `(M, D, d, y)` with the given
+/// configuration, scanning the full seed dataset (the baseline store).
 ///
 /// The dataset `D` here is the seed dataset the mechanism samples from
 /// (`D_S`), and `d` must be the seed that generated `y`.
@@ -132,12 +153,43 @@ where
     M: GenerativeModel + ?Sized,
     R: Rng + ?Sized,
 {
+    let scan = LinearScanStore::new(dataset);
+    run_with_store(model, dataset, &scan, seed, y, config, rng)
+}
+
+/// Run the privacy test against an explicit [`SeedStore`].
+///
+/// The store must index exactly the records of `dataset` (same length, same
+/// order).  For any store, the accept/reject decision, the plausible-seed
+/// count, and the randomness consumed are identical to the full scan; only
+/// `records_examined` — the number of model-probability evaluations — shrinks
+/// when the store prunes non-plausible records (see the module docs).
+pub fn run_with_store<M, R>(
+    model: &M,
+    dataset: &Dataset,
+    store: &dyn SeedStore,
+    seed: &Record,
+    y: &Record,
+    config: &PrivacyTestConfig,
+    rng: &mut R,
+) -> Result<TestOutcome>
+where
+    M: GenerativeModel + ?Sized,
+    R: Rng + ?Sized,
+{
     config.validate()?;
     if dataset.len() < config.k {
         return Err(CoreError::DatasetTooSmall {
             available: dataset.len(),
             required: config.k,
         });
+    }
+    if store.len() != dataset.len() {
+        return Err(CoreError::InvalidParameter(format!(
+            "seed store indexes {} records but the seed dataset has {}",
+            store.len(),
+            dataset.len()
+        )));
     }
 
     // Step 1 (Test 2 only): randomize the threshold with fresh Laplace noise.
@@ -158,24 +210,33 @@ where
                 plausible_seeds: 0,
                 records_examined: 0,
                 threshold,
+                via_index: false,
             })
         }
     };
 
-    // Step 3: count the records in the same partition, visiting the dataset in
-    // a random order so the early-termination knobs do not bias which records
-    // get examined (Section 5).
+    // Step 3: count the records in the seed's partition.  When
+    // `max_check_plausible` caps how many records may be examined, the
+    // eligible subset is chosen pseudorandomly (so the cap does not bias
+    // which records get counted, Section 5) from a single RNG draw — the
+    // same subset for every store, which keeps decisions store-independent.
+    // Without the cap the decision is a pure set cardinality and needs no
+    // randomness at all.
     let stop_at = config.max_plausible.map(|mp| mp.max(config.k));
     let examine_cap = config.max_check_plausible.unwrap_or(usize::MAX);
+    let subset = if examine_cap < dataset.len() {
+        Some(RandomSubset::new(dataset.len(), examine_cap, rng.gen()))
+    } else {
+        None
+    };
 
-    let mut order: Vec<usize> = (0..dataset.len()).collect();
-    if examine_cap < dataset.len() || stop_at.is_some() {
-        order.shuffle(rng);
-    }
+    let candidates = store.plausible_candidates(y, model.exact_match_attributes());
+    let via_index = candidates.is_filtered();
 
     let mut plausible = 0usize;
     let mut examined = 0usize;
-    for &idx in order.iter().take(examine_cap) {
+    // Examine one record; returns true when counting may stop early.
+    let mut examine = |idx: usize| -> bool {
         examined += 1;
         let p = model.probability(dataset.record(idx), y);
         if partition_index(p, config.gamma) == Some(seed_partition) {
@@ -186,7 +247,35 @@ where
             let enough_for_threshold = plausible as f64 >= threshold;
             let reached_cap = stop_at.is_some_and(|cap| plausible >= cap);
             if enough_for_threshold || reached_cap {
-                break;
+                return true;
+            }
+        }
+        false
+    };
+    match (candidates, &subset) {
+        // Unfiltered store + examine cap: enumerate the eligible subset
+        // directly (O(cap)) instead of filtering all n indices through it.
+        (CandidateIter::All(_), Some(subset)) => {
+            for idx in subset.iter() {
+                if examine(idx) {
+                    break;
+                }
+            }
+        }
+        // Filtered store + examine cap: membership-test each survivor.
+        (iter, Some(subset)) => {
+            for idx in iter {
+                if subset.contains(idx) && examine(idx) {
+                    break;
+                }
+            }
+        }
+        // No examine cap: walk every candidate the store returns.
+        (iter, None) => {
+            for idx in iter {
+                if examine(idx) {
+                    break;
+                }
             }
         }
     }
@@ -198,6 +287,7 @@ where
         plausible_seeds: plausible,
         records_examined: examined,
         threshold,
+        via_index,
     })
 }
 
@@ -369,6 +459,119 @@ mod tests {
         assert!(matches!(
             run_privacy_test(&model, &dataset, &seed, &y, &config, &mut rng),
             Err(CoreError::DatasetTooSmall { .. })
+        ));
+    }
+
+    /// Model with an explicit agreement guarantee on attribute 0: a seed can
+    /// generate y only when it matches y there; otherwise probability decays
+    /// with the Hamming distance of the remaining attributes.
+    struct MatchFirstModel {
+        schema: Schema,
+        matched: [usize; 1],
+    }
+
+    impl GenerativeModel for MatchFirstModel {
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+        fn generate(&self, seed: &Record, _rng: &mut dyn RngCore) -> Record {
+            seed.clone()
+        }
+        fn probability(&self, seed: &Record, y: &Record) -> f64 {
+            if seed.get(0) != y.get(0) {
+                return 0.0;
+            }
+            let rest = usize::from(seed.get(1) != y.get(1));
+            0.25f64.powi(rest as i32 + 1)
+        }
+        fn exact_match_attributes(&self) -> Option<&[usize]> {
+            Some(&self.matched)
+        }
+    }
+
+    fn match_first_setup() -> (MatchFirstModel, Dataset, sgf_index::InvertedIndexStore) {
+        let schema = Schema::new(vec![
+            Attribute::categorical_anon("A", 8),
+            Attribute::categorical_anon("B", 8),
+        ])
+        .unwrap();
+        let model = MatchFirstModel {
+            schema: schema.clone(),
+            matched: [0],
+        };
+        let mut records = Vec::new();
+        for g in 0..8u16 {
+            for v in 0..8u16 {
+                records.push(Record::new(vec![g, v]));
+                records.push(Record::new(vec![g, v]));
+            }
+        }
+        let dataset = Dataset::from_records_unchecked(Arc::new(schema), records);
+        let bkt = sgf_data::Bucketizer::identity(dataset.schema());
+        let index = sgf_index::InvertedIndexStore::build(&dataset, &bkt, &[1.0, 0.5], 4).unwrap();
+        (model, dataset, index)
+    }
+
+    #[test]
+    fn index_store_matches_scan_decisions_and_counts() {
+        let (model, dataset, index) = match_first_setup();
+        let scan = sgf_index::LinearScanStore::new(&dataset);
+        let seed = Record::new(vec![3, 3]);
+        let y = Record::new(vec![3, 3]);
+        for config in [
+            PrivacyTestConfig::deterministic(10, 4.0),
+            PrivacyTestConfig::deterministic(20, 4.0),
+            PrivacyTestConfig::randomized(10, 4.0, 1.0),
+            PrivacyTestConfig::deterministic(10, 4.0).with_limits(Some(12), Some(40)),
+            PrivacyTestConfig::randomized(10, 4.0, 0.5).with_limits(Some(12), Some(40)),
+            PrivacyTestConfig::deterministic(100, 4.0).with_limits(None, Some(30)),
+        ] {
+            for master in 0..20u64 {
+                let mut rng_a = StdRng::seed_from_u64(master);
+                let mut rng_b = StdRng::seed_from_u64(master);
+                let a = run_with_store(&model, &dataset, &scan, &seed, &y, &config, &mut rng_a)
+                    .unwrap();
+                let b = run_with_store(&model, &dataset, &index, &seed, &y, &config, &mut rng_b)
+                    .unwrap();
+                assert_eq!(a.passed, b.passed, "config {config:?} master {master}");
+                assert_eq!(a.plausible_seeds, b.plausible_seeds);
+                assert_eq!(a.threshold, b.threshold);
+                assert_eq!(a.seed_partition, b.seed_partition);
+                assert!(!a.via_index);
+                assert!(b.via_index);
+                // Identical downstream RNG state: same consumption in the test.
+                assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn index_store_examines_fewer_records() {
+        let (model, dataset, index) = match_first_setup();
+        let scan = sgf_index::LinearScanStore::new(&dataset);
+        let seed = Record::new(vec![3, 3]);
+        let y = Record::new(vec![3, 3]);
+        // No early termination: the scan examines everything, the index only
+        // the 16 records sharing attribute A with the candidate.
+        let config = PrivacyTestConfig::deterministic(20, 4.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = run_with_store(&model, &dataset, &scan, &seed, &y, &config, &mut rng).unwrap();
+        let b = run_with_store(&model, &dataset, &index, &seed, &y, &config, &mut rng).unwrap();
+        assert_eq!(a.passed, b.passed);
+        assert_eq!(b.records_examined, 16);
+        assert!(a.records_examined > b.records_examined);
+    }
+
+    #[test]
+    fn store_size_mismatch_is_rejected() {
+        let (model, dataset, _) = match_first_setup();
+        let wrong = sgf_index::LinearScanStore::with_len(dataset.len() + 1);
+        let seed = Record::new(vec![0, 0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = PrivacyTestConfig::deterministic(5, 4.0);
+        assert!(matches!(
+            run_with_store(&model, &dataset, &wrong, &seed, &seed, &config, &mut rng),
+            Err(CoreError::InvalidParameter(_))
         ));
     }
 

@@ -23,13 +23,14 @@
 
 use crate::dp::BudgetLedger;
 use crate::error::{CoreError, Result};
-use crate::mechanism::{propose_candidate, Mechanism, MechanismStats};
+use crate::mechanism::{propose_candidate_with_store, Mechanism, MechanismStats};
 use crate::pipeline::{learn_models, PipelineConfig, TrainedModels};
 use crate::privacy_test::PrivacyTestConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use sgf_data::{split_dataset, Bucketizer, DataSplit, Dataset, Record, SplitSpec};
+use sgf_index::{InvertedIndexStore, LinearScanStore, SeedIndex, SeedStore, MAX_INTERSECT_LISTS};
 use sgf_model::{GenerativeModel, OmegaSpec, ParameterConfig, SeedSynthesizer, StructureConfig};
 use sgf_stats::DpBudget;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -96,6 +97,12 @@ impl EngineBuilder {
     /// Default proposal cap factor (`max_candidate_factor * target` proposals).
     pub fn max_candidate_factor(mut self, factor: usize) -> Self {
         self.config.max_candidate_factor = factor;
+        self
+    }
+
+    /// Seed-store policy: scan, inverted index, or automatic selection.
+    pub fn seed_index(mut self, policy: SeedIndex) -> Self {
+        self.config.seed_index = policy;
         self
     }
 
@@ -176,13 +183,32 @@ impl SynthesisEngine {
         let models = learn_models(&self.config, &split, bucketizer)?;
         let per_release = per_release_budget(&self.config.privacy_test);
         let ledger = BudgetLedger::new(models.structure.budget, models.cpts.budget(), per_release);
+        let training = start.elapsed();
+        // Build the inverted seed index once per session (unless the policy
+        // pins the scan); every generate request shares it read-only.
+        let (index, index_build) = match self.config.seed_index {
+            SeedIndex::Scan => (None, Duration::ZERO),
+            SeedIndex::Inverted | SeedIndex::Auto => {
+                let start = Instant::now();
+                let weights = models.structure.attribute_weights();
+                let index = InvertedIndexStore::build(
+                    &split.seeds,
+                    bucketizer,
+                    &weights,
+                    MAX_INTERSECT_LISTS,
+                )?;
+                (Some(index), start.elapsed())
+            }
+        };
         Ok(SynthesisSession {
             config: self.config,
             split,
             models,
+            index,
+            index_build,
             per_release,
             ledger: Mutex::new(ledger),
-            training: start.elapsed(),
+            training,
         })
     }
 }
@@ -203,6 +229,10 @@ pub struct GenerateRequest {
     pub workers: Option<usize>,
     /// Per-request proposal-cap override (`None` uses the session default).
     pub max_candidate_factor: Option<usize>,
+    /// Per-request seed-store policy override (`None` uses the session
+    /// default).  Scan and index are decision-equivalent, so this only
+    /// affects performance — see [`SeedIndex`].
+    pub seed_index: Option<SeedIndex>,
     /// Seed for all randomness of this request (two requests with the same
     /// seed and parameters release identical records).
     pub seed: u64,
@@ -216,6 +246,7 @@ impl GenerateRequest {
             omega: None,
             workers: None,
             max_candidate_factor: None,
+            seed_index: None,
             seed: 0,
         }
     }
@@ -235,6 +266,12 @@ impl GenerateRequest {
     /// Override the proposal cap factor for this request.
     pub fn with_max_candidate_factor(mut self, factor: usize) -> Self {
         self.max_candidate_factor = Some(factor);
+        self
+    }
+
+    /// Override the seed-store policy for this request.
+    pub fn with_seed_index(mut self, policy: SeedIndex) -> Self {
+        self.seed_index = Some(policy);
         self
     }
 
@@ -289,6 +326,10 @@ pub struct SynthesisSession {
     config: PipelineConfig,
     split: DataSplit,
     models: TrainedModels,
+    /// The inverted seed index, built once at train time (absent when the
+    /// session policy is [`SeedIndex::Scan`]).
+    index: Option<InvertedIndexStore>,
+    index_build: Duration,
     per_release: Option<DpBudget>,
     ledger: Mutex<BudgetLedger>,
     training: Duration,
@@ -323,6 +364,38 @@ impl SynthesisSession {
     /// Wall-clock time spent splitting the data and learning the models.
     pub fn training_time(&self) -> Duration {
         self.training
+    }
+
+    /// Wall-clock time spent building the inverted seed index at train time
+    /// (zero when the session policy is [`SeedIndex::Scan`]).
+    pub fn index_build_time(&self) -> Duration {
+        self.index_build
+    }
+
+    /// The inverted seed index, if the session built one.
+    pub fn seed_store(&self) -> Option<&InvertedIndexStore> {
+        self.index.as_ref()
+    }
+
+    /// Resolve the effective store for a request: the request override, else
+    /// the session policy.  `None` means "use the linear scan".
+    fn resolve_store(&self, request: &GenerateRequest) -> Result<Option<&dyn SeedStore>> {
+        match request.seed_index.unwrap_or(self.config.seed_index) {
+            SeedIndex::Scan => Ok(None),
+            SeedIndex::Inverted => match &self.index {
+                Some(index) => Ok(Some(index as &dyn SeedStore)),
+                None => Err(CoreError::InvalidParameter(
+                    "request asked for SeedIndex::Inverted but the session was trained \
+                     with SeedIndex::Scan (no index was built)"
+                        .into(),
+                )),
+            },
+            SeedIndex::Auto => Ok(self
+                .index
+                .as_ref()
+                .filter(|_| self.seeds().len() >= SeedIndex::AUTO_MIN_SEEDS)
+                .map(|index| index as &dyn SeedStore)),
+        }
     }
 
     /// A snapshot of the cumulative privacy ledger.
@@ -375,6 +448,7 @@ impl SynthesisSession {
     pub fn release_iter(&self, request: GenerateRequest) -> Result<ReleaseIter<'_>> {
         let (target, _workers, max_candidates) = self.request_limits(&request)?;
         let models = self.build_synthesizers(request.omega.unwrap_or(self.config.omega))?;
+        let store = self.resolve_store(&request)?;
         // Validate the mechanism inputs once; `next` uses the raw hot path.
         Mechanism::new(&models[0], self.seeds(), self.config.privacy_test)?;
         self.ledger
@@ -384,6 +458,7 @@ impl SynthesisSession {
         Ok(ReleaseIter {
             session: self,
             models,
+            store,
             rng: StdRng::seed_from_u64(request_worker_seed(request.seed, 0)),
             stats: MechanismStats::default(),
             target,
@@ -425,10 +500,12 @@ impl SynthesisSession {
         request: &GenerateRequest,
     ) -> Result<ReleaseReport> {
         let (target, workers, max_candidates) = self.request_limits(request)?;
+        let store = self.resolve_store(request)?;
         let start = Instant::now();
         let (records, stats) = run_mechanism(
             models,
             self.seeds(),
+            store,
             self.config.privacy_test,
             target,
             max_candidates,
@@ -466,6 +543,7 @@ impl SynthesisSession {
 pub struct ReleaseIter<'s> {
     session: &'s SynthesisSession,
     models: Vec<SeedSynthesizer>,
+    store: Option<&'s dyn SeedStore>,
     rng: StdRng,
     stats: MechanismStats,
     target: usize,
@@ -489,17 +567,25 @@ impl Iterator for ReleaseIter<'_> {
             } else {
                 self.rng.gen_range(0..self.models.len())
             };
-            let report = match propose_candidate(
+            let scan;
+            let store: &dyn SeedStore = match self.store {
+                Some(store) => store,
+                None => {
+                    scan = LinearScanStore::new(self.session.seeds());
+                    &scan
+                }
+            };
+            let report = match propose_candidate_with_store(
                 &self.models[which],
                 self.session.seeds(),
+                store,
                 &self.session.config.privacy_test,
                 &mut self.rng,
             ) {
                 Ok(report) => report,
                 Err(err) => return Some(Err(err)),
             };
-            self.stats.candidates += 1;
-            self.stats.records_examined += report.outcome.records_examined;
+            self.stats.observe(&report.outcome);
             if report.released() {
                 self.stats.released += 1;
                 self.session
@@ -534,9 +620,11 @@ fn request_worker_seed(request_seed: u64, worker: usize) -> u64 {
 /// The model-generic parallel release engine shared by the session API and the
 /// legacy pipeline: build (and validate) every [`Mechanism`] exactly once,
 /// then let every worker share them while racing for release slots.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_mechanism<M: GenerativeModel + ?Sized>(
     models: &[&M],
     seeds: &Dataset,
+    store: Option<&dyn SeedStore>,
     test: PrivacyTestConfig,
     target: usize,
     max_candidates: usize,
@@ -552,7 +640,10 @@ pub(crate) fn run_mechanism<M: GenerativeModel + ?Sized>(
     // workers below only borrow them.
     let mechanisms: Vec<Mechanism<'_, M>> = models
         .iter()
-        .map(|m| Mechanism::new(*m, seeds, test))
+        .map(|m| match store {
+            Some(store) => Mechanism::with_store(*m, seeds, store, test),
+            None => Mechanism::new(*m, seeds, test),
+        })
         .collect::<Result<_>>()?;
 
     let released_count = AtomicUsize::new(0);
@@ -636,8 +727,7 @@ fn worker_loop<M: GenerativeModel + ?Sized>(
             rng.gen_range(0..mechanisms.len())
         };
         let report = mechanisms[which].propose(&mut rng)?;
-        stats.candidates += 1;
-        stats.records_examined += report.outcome.records_examined;
+        stats.observe(&report.outcome);
         if report.released() {
             // Reserve a release slot atomically: near the target, several
             // workers can each have a passing candidate in flight, and only
@@ -761,6 +851,81 @@ mod tests {
         // Seed-independent model: every candidate passes (Section 8).
         assert_eq!(report.stats.released, 10);
         assert!((report.stats.pass_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scan_and_index_release_identical_records() {
+        // The acceptance bar of the indexed seed store: for a fixed request
+        // seed, SeedIndex::Scan and SeedIndex::Inverted must release exactly
+        // the same records with the same counters (only records_examined may
+        // differ).
+        let data = generate_acs(4000, 21);
+        let bkt = acs_bucketizer(&acs_schema());
+        let session = small_engine(21).train(&data, &bkt).unwrap();
+        assert!(session.seed_store().is_some(), "Auto builds the index");
+        for request_seed in 0..3u64 {
+            let base = GenerateRequest::new(20).with_seed(request_seed);
+            let scan = session
+                .generate(&base.with_seed_index(SeedIndex::Scan))
+                .unwrap();
+            let index = session
+                .generate(&base.with_seed_index(SeedIndex::Inverted))
+                .unwrap();
+            assert_eq!(scan.synthetics.records(), index.synthetics.records());
+            assert_eq!(scan.stats.candidates, index.stats.candidates);
+            assert_eq!(scan.stats.released, index.stats.released);
+            assert_eq!(scan.stats.index_tests, 0);
+            assert_eq!(index.stats.scan_tests, 0);
+            assert_eq!(index.stats.index_tests, index.stats.candidates);
+            assert!(
+                index.stats.records_examined < scan.stats.records_examined,
+                "index {} vs scan {}",
+                index.stats.records_examined,
+                scan.stats.records_examined
+            );
+        }
+    }
+
+    #[test]
+    fn scan_only_sessions_reject_inverted_requests() {
+        let data = generate_acs(3000, 22);
+        let bkt = acs_bucketizer(&acs_schema());
+        let session = SynthesisEngine::builder()
+            .privacy_test(
+                PrivacyTestConfig::randomized(20, 4.0, 1.0).with_limits(Some(40), Some(2000)),
+            )
+            .max_candidate_factor(30)
+            .seed_index(SeedIndex::Scan)
+            .seed(22)
+            .train(&data, &bkt)
+            .unwrap();
+        assert!(session.seed_store().is_none());
+        assert_eq!(session.index_build_time(), Duration::ZERO);
+        assert!(session
+            .generate(&GenerateRequest::new(5).with_seed_index(SeedIndex::Inverted))
+            .is_err());
+        // Scan and Auto both degrade gracefully to the linear scan.
+        let report = session
+            .generate(&GenerateRequest::new(5).with_seed_index(SeedIndex::Auto))
+            .unwrap();
+        assert_eq!(report.stats.index_tests, 0);
+    }
+
+    #[test]
+    fn auto_policy_uses_the_index_only_for_large_seed_stores() {
+        let bkt = acs_bucketizer(&acs_schema());
+        // Small population: the seed split (49%) stays below AUTO_MIN_SEEDS.
+        let small = generate_acs(900, 23);
+        let session = small_engine(23).train(&small, &bkt).unwrap();
+        assert!(session.seeds().len() < SeedIndex::AUTO_MIN_SEEDS);
+        let report = session.generate(&GenerateRequest::new(5)).unwrap();
+        assert_eq!(report.stats.index_tests, 0, "small store must scan");
+        // Large population: Auto switches to the index.
+        let large = generate_acs(6000, 23);
+        let session = small_engine(23).train(&large, &bkt).unwrap();
+        assert!(session.seeds().len() >= SeedIndex::AUTO_MIN_SEEDS);
+        let report = session.generate(&GenerateRequest::new(5)).unwrap();
+        assert_eq!(report.stats.scan_tests, 0, "large store must use the index");
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! # sgf-index
+//!
+//! Indexed seed stores that make the plausible-deniability test **sublinear**
+//! in the seed-dataset size.
+//!
+//! The privacy tests of Section 2 are the hot path of the whole generator:
+//! for every candidate synthetic record they count how many seed records fall
+//! into the same γ-likelihood partition, so a full scan makes the work per
+//! released record grow linearly — and the total quadratically — with the
+//! dataset.  This crate pre-builds an index over the seed data so each
+//! per-candidate test touches only the records that can possibly be plausible
+//! seeds:
+//!
+//! * [`SeedStore`] — the query abstraction: a *sound superset* of the records
+//!   that can plausibly have generated a candidate (no false negatives, so
+//!   filtering never changes a test decision);
+//! * [`LinearScanStore`] — the baseline: every record, every time;
+//! * [`InvertedIndexStore`] — bucketized per-value posting lists, intersected
+//!   over the candidate's highest-weight matching attributes;
+//! * [`IndexPermutation`] / [`RandomSubset`] — O(1)-random-access seeded
+//!   permutations, so the `max_check_plausible` early-termination knob can
+//!   examine a random subset without the per-candidate O(n) shuffle, and so
+//!   scan and index derive the **same** subset from the same RNG draw;
+//! * [`SeedIndex`] — the `Scan | Inverted | Auto` selection policy carried by
+//!   pipeline configurations and generate requests.
+
+#![warn(missing_docs)]
+
+pub mod inverted;
+pub mod permute;
+pub mod policy;
+pub mod store;
+
+pub use inverted::{InvertedIndexStore, PostingIntersection, MAX_INTERSECT_LISTS};
+pub use permute::{IndexPermutation, RandomSubset};
+pub use policy::SeedIndex;
+pub use store::{CandidateIter, LinearScanStore, SeedStore};

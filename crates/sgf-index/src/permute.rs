@@ -1,0 +1,275 @@
+//! Seedable pseudorandom permutations with O(1) random access.
+//!
+//! The early-termination knob `max_check_plausible` of the privacy test
+//! (Section 5) examines a *random subset* of the seed dataset so the cap does
+//! not bias which records get counted.  The naive implementation shuffles an
+//! index vector per candidate — an O(n) allocation on the hottest path of the
+//! generator.  This module replaces it with a [Feistel-network] permutation
+//! over `[0, n)`: both the *position* of an index inside the permutation and
+//! the index *at* a given position are computable in O(1), so
+//!
+//! * a linear scan can enumerate the first `cap` positions lazily, and
+//! * an indexed store can test membership of a posting-list survivor in the
+//!   examined subset without ever materialising the permutation —
+//!
+//! and, crucially, both visit **the same subset** for the same seed, which is
+//! what keeps scan and index byte-identical in their accept/reject decisions.
+//!
+//! [Feistel-network]: https://en.wikipedia.org/wiki/Feistel_cipher
+
+/// Number of Feistel rounds.  Four rounds of a keyed mixing function are
+/// enough for statistical (non-cryptographic) de-biasing of the visit order.
+const ROUNDS: usize = 4;
+
+/// A keyed pseudorandom permutation of `[0, n)` built from a balanced Feistel
+/// network over the smallest even-bit-width domain covering `n`, narrowed to
+/// `[0, n)` by cycle-walking.
+///
+/// Both directions are O(1) amortized: the Feistel domain is at most `4n`, so
+/// cycle-walking takes fewer than 4 extra steps in expectation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexPermutation {
+    n: u64,
+    half_bits: u32,
+    half_mask: u64,
+    keys: [u64; ROUNDS],
+}
+
+/// SplitMix64 step — the standard stateless seed expander.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl IndexPermutation {
+    /// A permutation of `[0, n)` keyed by `seed`.  Different seeds give
+    /// (statistically) unrelated permutations; the same seed always gives the
+    /// same permutation.
+    pub fn new(n: usize, seed: u64) -> Self {
+        let n = n as u64;
+        // Smallest *even* bit width whose domain covers n, so the Feistel
+        // halves are balanced.  Domain size is at most 4n.
+        let bits = 64 - n.saturating_sub(1).leading_zeros();
+        let half_bits = bits.div_ceil(2).max(1);
+        let mut state = seed;
+        let mut keys = [0u64; ROUNDS];
+        for key in &mut keys {
+            *key = splitmix64(&mut state);
+        }
+        IndexPermutation {
+            n,
+            half_bits,
+            half_mask: (1u64 << half_bits) - 1,
+            keys,
+        }
+    }
+
+    /// Number of elements the permutation acts on.
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Whether the permutation is over the empty domain.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Keyed round function, masked to one Feistel half.
+    fn round(&self, r: u64, key: u64) -> u64 {
+        let mut z = r ^ key;
+        z = (z ^ (z >> 16)).wrapping_mul(0x45d9_f3b5_3c4b_a1a9);
+        z ^= z >> 15;
+        z & self.half_mask
+    }
+
+    /// One pass of the Feistel network over the full `2 * half_bits` domain.
+    fn encrypt_once(&self, x: u64) -> u64 {
+        let mut l = (x >> self.half_bits) & self.half_mask;
+        let mut r = x & self.half_mask;
+        for &key in &self.keys {
+            let next = l ^ self.round(r, key);
+            l = r;
+            r = next;
+        }
+        (l << self.half_bits) | r
+    }
+
+    /// Inverse of [`encrypt_once`](Self::encrypt_once).
+    fn decrypt_once(&self, x: u64) -> u64 {
+        let mut l = (x >> self.half_bits) & self.half_mask;
+        let mut r = x & self.half_mask;
+        for &key in self.keys.iter().rev() {
+            let prev = r ^ self.round(l, key);
+            r = l;
+            l = prev;
+        }
+        (l << self.half_bits) | r
+    }
+
+    /// Position of `index` inside the permutation (`σ(index)`), in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `index >= n`.
+    pub fn position(&self, index: usize) -> usize {
+        let index = index as u64;
+        assert!(index < self.n, "index {index} out of range 0..{}", self.n);
+        // Cycle-walking: the Feistel network permutes the power-of-two domain;
+        // repeatedly re-encrypting values that land outside [0, n) restricts
+        // it to a permutation of [0, n).  The walk terminates because the
+        // orbit through `index` re-enters [0, n) (it contains `index` itself).
+        let mut x = self.encrypt_once(index);
+        while x >= self.n {
+            x = self.encrypt_once(x);
+        }
+        x as usize
+    }
+
+    /// The index at position `rank` of the permutation (`σ⁻¹(rank)`).
+    ///
+    /// # Panics
+    /// Panics if `rank >= n`.
+    pub fn at_rank(&self, rank: usize) -> usize {
+        let rank = rank as u64;
+        assert!(rank < self.n, "rank {rank} out of range 0..{}", self.n);
+        let mut x = self.decrypt_once(rank);
+        while x >= self.n {
+            x = self.decrypt_once(x);
+        }
+        x as usize
+    }
+}
+
+/// A pseudorandom `cap`-element subset of `[0, n)`: the first `cap` positions
+/// of an [`IndexPermutation`].
+///
+/// Supports O(1) membership tests ([`contains`](Self::contains)) and lazy
+/// enumeration ([`iter`](Self::iter)) — the two access patterns of the
+/// linear-scan and inverted-index seed stores.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSubset {
+    perm: IndexPermutation,
+    cap: usize,
+}
+
+impl RandomSubset {
+    /// The subset holding the `cap` indices ranked first by the permutation of
+    /// `[0, n)` keyed with `seed` (`cap` is clamped to `n`).
+    pub fn new(n: usize, cap: usize, seed: u64) -> Self {
+        RandomSubset {
+            perm: IndexPermutation::new(n, seed),
+            cap: cap.min(n),
+        }
+    }
+
+    /// Number of indices in the subset.
+    pub fn len(&self) -> usize {
+        self.cap
+    }
+
+    /// Whether the subset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cap == 0
+    }
+
+    /// Whether `index` belongs to the subset.
+    pub fn contains(&self, index: usize) -> bool {
+        index < self.perm.len() && self.perm.position(index) < self.cap
+    }
+
+    /// Enumerate the subset in permutation-rank order (the "visit order" of
+    /// the linear scan).
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.cap).map(move |rank| self.perm.at_rank(rank))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        for &n in &[1usize, 2, 3, 7, 64, 100, 257, 1000] {
+            for seed in 0..4u64 {
+                let perm = IndexPermutation::new(n, seed);
+                let mut seen = vec![false; n];
+                for i in 0..n {
+                    let p = perm.position(i);
+                    assert!(p < n, "position out of range");
+                    assert!(!seen[p], "position {p} hit twice (n={n} seed={seed})");
+                    seen[p] = true;
+                    assert_eq!(perm.at_rank(p), i, "at_rank must invert position");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_orders() {
+        let n = 128;
+        let a: Vec<usize> = (0..n)
+            .map(|r| IndexPermutation::new(n, 1).at_rank(r))
+            .collect();
+        let b: Vec<usize> = (0..n)
+            .map(|r| IndexPermutation::new(n, 2).at_rank(r))
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn permutation_is_not_identity_like() {
+        // The visit order must genuinely mix: no more than a small fraction of
+        // fixed points on a moderately large domain.
+        let n = 512;
+        let perm = IndexPermutation::new(n, 99);
+        let fixed = (0..n).filter(|&i| perm.position(i) == i).count();
+        assert!(fixed < n / 16, "{fixed} fixed points out of {n}");
+    }
+
+    #[test]
+    fn subset_membership_matches_enumeration() {
+        for &(n, cap) in &[(10usize, 3usize), (100, 40), (57, 57), (64, 0), (5, 9)] {
+            let sub = RandomSubset::new(n, cap, 7);
+            assert_eq!(sub.len(), cap.min(n));
+            let listed: Vec<usize> = sub.iter().collect();
+            assert_eq!(listed.len(), sub.len());
+            let mut sorted = listed.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), listed.len(), "subset must not repeat");
+            for i in 0..n {
+                assert_eq!(
+                    sub.contains(i),
+                    listed.contains(&i),
+                    "n={n} cap={cap} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subset_is_roughly_uniform() {
+        // Each index should appear in a cap/n-sized subset with frequency
+        // close to cap/n across seeds.
+        let n = 50;
+        let cap = 10;
+        let trials = 400;
+        let mut hits = vec![0usize; n];
+        for seed in 0..trials {
+            let sub = RandomSubset::new(n, cap, seed as u64);
+            for i in sub.iter() {
+                hits[i] += 1;
+            }
+        }
+        let expected = trials * cap / n;
+        for (i, &h) in hits.iter().enumerate() {
+            assert!(
+                h > expected / 3 && h < expected * 3,
+                "index {i} appeared {h} times, expected about {expected}"
+            );
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! The seed-store selection policy carried by pipeline configurations and
+//! per-request overrides.
+
+use serde::{Deserialize, Serialize};
+
+/// Which seed store the plausible-deniability test should query.
+///
+/// Scan and index are **decision-equivalent**: for the same RNG seed they
+/// accept and reject exactly the same candidates (the index only skips records
+/// whose generation probability is provably zero), so the policy is purely a
+/// performance choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SeedIndex {
+    /// Always scan the full seed dataset (the baseline behaviour).
+    Scan,
+    /// Always query the bucketized inverted index (train-time build required).
+    Inverted,
+    /// Build the index at train time and use it whenever the seed dataset is
+    /// large enough ([`SeedIndex::AUTO_MIN_SEEDS`]) for the posting-list
+    /// machinery to beat a cache-friendly linear sweep.
+    #[default]
+    Auto,
+}
+
+impl SeedIndex {
+    /// Seed-dataset size above which [`SeedIndex::Auto`] prefers the inverted
+    /// index.  Below this, the linear scan's sequential sweep is typically
+    /// faster than posting-list intersection per candidate.
+    pub const AUTO_MIN_SEEDS: usize = 512;
+}
+
+impl std::fmt::Display for SeedIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SeedIndex::Scan => write!(f, "scan"),
+            SeedIndex::Inverted => write!(f, "inverted"),
+            SeedIndex::Auto => write!(f, "auto"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_auto_and_display_is_lowercase() {
+        assert_eq!(SeedIndex::default(), SeedIndex::Auto);
+        assert_eq!(SeedIndex::Scan.to_string(), "scan");
+        assert_eq!(SeedIndex::Inverted.to_string(), "inverted");
+        assert_eq!(SeedIndex::Auto.to_string(), "auto");
+    }
+}

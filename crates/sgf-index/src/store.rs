@@ -1,0 +1,139 @@
+//! The [`SeedStore`] abstraction: given a candidate synthetic record, produce
+//! a *sound superset* of the seed records that can plausibly have generated
+//! it, so the γ-likelihood partition test only runs on the survivors.
+
+use sgf_data::{Dataset, Record};
+use std::ops::Range;
+
+use crate::inverted::PostingIntersection;
+
+/// A queryable store over the seed dataset `D_S`.
+///
+/// The privacy tests of Section 2 count, for a candidate `y`, the seed records
+/// in the same likelihood partition as the sampled seed.  A store narrows that
+/// count to the records that can possibly qualify: `plausible_candidates`
+/// must return a **superset** of every record `d` with `Pr{y = M(d)} > 0`,
+/// given that the model guarantees `p > 0` only when `d` agrees with `y` on
+/// `match_attributes` (see `GenerativeModel::exact_match_attributes` in
+/// `sgf-model`).  Records it omits are guaranteed non-plausible, so filtering
+/// them out never changes a test decision — the exact partition-index check
+/// still runs on every returned index.
+///
+/// Implementations must be cheap to query per candidate: the store is hit once
+/// for every proposed synthetic record.
+pub trait SeedStore: Send + Sync + std::fmt::Debug {
+    /// Number of seed records the store indexes.  Must equal the length of the
+    /// seed dataset the privacy test scans.
+    fn len(&self) -> usize;
+
+    /// Whether the store indexes zero records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Indices of every seed record that can plausibly have generated
+    /// `candidate`, possibly with false positives, never with false negatives.
+    ///
+    /// `match_attributes` lists attribute indices on which a record must agree
+    /// with the candidate to have non-zero generation probability; `None`
+    /// means no such guarantee exists and the store must return all records.
+    fn plausible_candidates<'s>(
+        &'s self,
+        candidate: &Record,
+        match_attributes: Option<&[usize]>,
+    ) -> CandidateIter<'s>;
+}
+
+/// Iterator over candidate seed indices returned by a [`SeedStore`].
+///
+/// A concrete enum (rather than `Box<dyn Iterator>`) keeps the per-candidate
+/// hot path allocation-free and lets callers special-case the unfiltered scan.
+#[derive(Debug)]
+pub enum CandidateIter<'a> {
+    /// Every record index, in ascending order (no filtering happened).
+    All(Range<usize>),
+    /// The intersection of bucketized posting lists, in ascending order.
+    Filtered(PostingIntersection<'a>),
+}
+
+impl CandidateIter<'_> {
+    /// Whether the store actually narrowed the candidate set (false for the
+    /// full scan, true when posting lists were intersected).
+    pub fn is_filtered(&self) -> bool {
+        matches!(self, CandidateIter::Filtered(_))
+    }
+}
+
+impl Iterator for CandidateIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            CandidateIter::All(range) => range.next(),
+            CandidateIter::Filtered(inter) => inter.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            CandidateIter::All(range) => range.size_hint(),
+            CandidateIter::Filtered(inter) => inter.size_hint(),
+        }
+    }
+}
+
+/// The baseline store: no index, every record is a candidate for every
+/// query — exactly the behaviour of the original full-scan privacy test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinearScanStore {
+    len: usize,
+}
+
+impl LinearScanStore {
+    /// A scan store over the given seed dataset.
+    pub fn new(seeds: &Dataset) -> Self {
+        LinearScanStore { len: seeds.len() }
+    }
+
+    /// A scan store over `len` records (when no dataset handle is at hand).
+    pub fn with_len(len: usize) -> Self {
+        LinearScanStore { len }
+    }
+}
+
+impl SeedStore for LinearScanStore {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn plausible_candidates<'s>(
+        &'s self,
+        _candidate: &Record,
+        _match_attributes: Option<&[usize]>,
+    ) -> CandidateIter<'s> {
+        CandidateIter::All(0..self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgf_data::{Attribute, Schema};
+    use std::sync::Arc;
+
+    #[test]
+    fn linear_scan_returns_every_index() {
+        let schema = Arc::new(Schema::new(vec![Attribute::categorical_anon("A", 3)]).unwrap());
+        let records = (0..5u16).map(|v| Record::new(vec![v % 3])).collect();
+        let data = Dataset::from_records_unchecked(schema, records);
+        let store = LinearScanStore::new(&data);
+        assert_eq!(store.len(), 5);
+        let all: Vec<usize> = store
+            .plausible_candidates(&Record::new(vec![0]), Some(&[0]))
+            .collect();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+        assert!(!store
+            .plausible_candidates(&Record::new(vec![0]), None)
+            .is_filtered());
+    }
+}

@@ -34,6 +34,20 @@ pub trait GenerativeModel: Send + Sync {
     fn is_seed_dependent(&self) -> bool {
         true
     }
+
+    /// Attributes on which a seed must agree with a candidate *exactly* for
+    /// the generation probability to be non-zero: `Some(attrs)` guarantees
+    /// `probability(d, y) > 0` implies `d[a] == y[a]` for every `a` in
+    /// `attrs`.  `None` (the default) makes no such guarantee.
+    ///
+    /// This is the hook indexed seed stores use to prune the
+    /// plausible-deniability test: records disagreeing with the candidate on
+    /// any listed attribute can be skipped without evaluating the model.  The
+    /// seed-based synthesizer returns its kept attributes (the first `m - ω`
+    /// of the dependency order, copied verbatim from the seed).
+    fn exact_match_attributes(&self) -> Option<&[usize]> {
+        None
+    }
 }
 
 /// References to a model are models themselves, so `&dyn GenerativeModel`
@@ -51,6 +65,9 @@ impl<M: GenerativeModel + ?Sized> GenerativeModel for &M {
     fn is_seed_dependent(&self) -> bool {
         (**self).is_seed_dependent()
     }
+    fn exact_match_attributes(&self) -> Option<&[usize]> {
+        (**self).exact_match_attributes()
+    }
 }
 
 /// Boxed models (including boxed trait objects) are models.
@@ -66,6 +83,9 @@ impl<M: GenerativeModel + ?Sized> GenerativeModel for Box<M> {
     }
     fn is_seed_dependent(&self) -> bool {
         (**self).is_seed_dependent()
+    }
+    fn exact_match_attributes(&self) -> Option<&[usize]> {
+        (**self).exact_match_attributes()
     }
 }
 
@@ -83,6 +103,9 @@ impl<M: GenerativeModel + ?Sized> GenerativeModel for Arc<M> {
     }
     fn is_seed_dependent(&self) -> bool {
         (**self).is_seed_dependent()
+    }
+    fn exact_match_attributes(&self) -> Option<&[usize]> {
+        (**self).exact_match_attributes()
     }
 }
 

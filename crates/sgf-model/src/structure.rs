@@ -68,6 +68,28 @@ pub struct LearnedStructure {
     pub budget: DpBudget,
 }
 
+impl LearnedStructure {
+    /// Per-attribute dependency weight: the summed correlation mass of the
+    /// learned graph edges incident to each attribute.
+    ///
+    /// Attributes the structure learner wired most strongly into the graph
+    /// carry the most identifying information about a record, so indexed seed
+    /// stores use these weights to rank attributes when choosing which
+    /// posting lists to intersect first (the "highest-selectivity" order).
+    pub fn attribute_weights(&self) -> Vec<f64> {
+        let m = self.graph.len();
+        let mut weights = vec![0.0; m];
+        for child in 0..m {
+            for &parent in self.graph.parents(child) {
+                let c = self.correlations.get(parent, child);
+                weights[child] += c;
+                weights[parent] += c;
+            }
+        }
+        weights
+    }
+}
+
 /// Learn the dependency structure from the structure-learning subset `D_T`.
 pub fn learn_dependency_structure<R: Rng + ?Sized>(
     dataset: &Dataset,
@@ -121,6 +143,28 @@ mod tests {
             "edges: {}",
             learned.graph.edge_count()
         );
+    }
+
+    #[test]
+    fn attribute_weights_follow_graph_edges() {
+        let data = generate_acs(4000, 7);
+        let bkt = acs_bucketizer(&acs_schema());
+        let mut rng = StdRng::seed_from_u64(2);
+        let learned =
+            learn_dependency_structure(&data, &bkt, &StructureConfig::exact(), &mut rng).unwrap();
+        let weights = learned.attribute_weights();
+        assert_eq!(weights.len(), learned.graph.len());
+        // Every attribute with at least one incident edge has positive weight;
+        // isolated attributes have exactly zero.
+        for (attr, &weight) in weights.iter().enumerate() {
+            let incident = !learned.graph.parents(attr).is_empty()
+                || (0..learned.graph.len()).any(|c| learned.graph.parents(c).contains(&attr));
+            if incident {
+                assert!(weight > 0.0, "attribute {attr} has incident edges");
+            } else {
+                assert_eq!(weight, 0.0);
+            }
+        }
     }
 
     #[test]

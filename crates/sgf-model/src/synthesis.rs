@@ -154,6 +154,13 @@ impl GenerativeModel for SeedSynthesizer {
         }
         probability
     }
+
+    fn exact_match_attributes(&self) -> Option<&[usize]> {
+        // A candidate is reachable only from seeds agreeing with it on every
+        // kept attribute (they are copied verbatim), which is what lets an
+        // indexed seed store prune the plausible-deniability test.
+        Some(self.kept_attributes())
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +285,18 @@ mod tests {
         // depend on the seed only through nothing at all — it must be equal for
         // both seeds.
         assert!((synth.probability(&seed_a, &y) - synth.probability(&seed_b, &y)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exact_match_attributes_are_the_kept_attributes() {
+        let synth = SeedSynthesizer::new(cpts(500), 1).unwrap();
+        assert_eq!(
+            synth.exact_match_attributes().unwrap(),
+            synth.kept_attributes()
+        );
+        // Full re-sampling keeps nothing: the guarantee is the empty set.
+        let full = SeedSynthesizer::new(cpts(500), 3).unwrap();
+        assert_eq!(full.exact_match_attributes().unwrap(), &[] as &[usize]);
     }
 
     #[test]

@@ -22,7 +22,7 @@ for arg in "$@"; do
     esac
 done
 
-BINARIES=(fig1 fig2 fig3 fig4 fig5 fig6 table1 table2 table3 table4 table5)
+BINARIES=(fig1 fig2 fig3 fig4 fig5 fig6 fig_index table1 table2 table3 table4 table5)
 
 echo "== building release binaries =="
 cargo build --release -p bench
@@ -33,12 +33,14 @@ mkdir -p "$OUTDIR"
 for bin in "${BINARIES[@]}"; do
     echo
     echo "== $bin (scale $SCALE, smoke $SMOKE) =="
+    start=$SECONDS
     if [ "$SMOKE" = 1 ]; then
         SGF_SMOKE=1 "target/release/$bin" "$SCALE" | tee "$OUTDIR/$bin.txt"
     else
         "target/release/$bin" "$SCALE" | tee "$OUTDIR/$bin.txt"
     fi
+    echo "== $bin finished in $((SECONDS - start))s =="
 done
 
 echo
-echo "== done: artifacts written to $OUTDIR/ =="
+echo "== done: artifacts written to $OUTDIR/ (reference wall clocks: BENCH_NOTES.md) =="

@@ -8,6 +8,7 @@
 //! * [`data`] — schemas, records, CSV I/O, bucketization, the ACS-like generator;
 //! * [`stats`] — entropy, Laplace/Dirichlet sampling, statistical distance, DP composition;
 //! * [`model`] — structure learning, CPTs, seed-based synthesis, marginal baseline;
+//! * [`index`] — indexed seed stores making the plausible-deniability test sublinear;
 //! * [`core`] — plausible-deniability tests, Mechanism 1, Theorem-1 accounting, pipeline;
 //! * [`ml`] — trees, forests, AdaBoost, LR/SVM, DP-ERM;
 //! * [`eval`] — the table/figure reproduction harness.
@@ -45,6 +46,7 @@
 pub use sgf_core as core;
 pub use sgf_data as data;
 pub use sgf_eval as eval;
+pub use sgf_index as index;
 pub use sgf_ml as ml;
 pub use sgf_model as model;
 pub use sgf_stats as stats;
