@@ -166,6 +166,30 @@ impl PipelineBudget {
 /// and releases from the same seed store compose sequentially no matter how
 /// many requests they were spread over (Section 8).  The ledger tracks the
 /// running totals so a long-lived service can report — and cap — its exposure.
+///
+/// # Two-phase admission
+///
+/// A release service admitting concurrent requests under an (ε, δ) cap cannot
+/// check the cap against `releases` alone: two requests admitted back-to-back
+/// would each see the pre-admission total and jointly overshoot.  The ledger
+/// therefore supports a **reserve → commit / abort** protocol:
+///
+/// 1. [`try_reserve`](BudgetLedger::try_reserve) atomically checks that the
+///    worst case — every already-released record, every outstanding
+///    reservation, and the new request all fully released — stays within the
+///    cap, and records the reservation;
+/// 2. [`commit`](BudgetLedger::commit) converts a reservation into actual
+///    releases (freeing any unused part — a request may release fewer records
+///    than it reserved); a streaming release instead converts its
+///    reservation one record at a time
+///    ([`convert_reserved_release`](BudgetLedger::convert_reserved_release))
+///    so the worst case stays exact mid-stream;
+/// 3. [`abort`](BudgetLedger::abort) frees a reservation untouched (queue
+///    overflow, request failure, the unstreamed remainder).
+///
+/// As long as every `try_reserve` is balanced by commits/conversions and one
+/// final abort of the remainder, `reserved` returns to zero and the ledger
+/// equals the sum of the committed releases — property-tested in this module.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BudgetLedger {
     /// Budget spent learning the model structure on D_T (paid once).
@@ -179,6 +203,9 @@ pub struct BudgetLedger {
     pub releases: usize,
     /// Number of `generate` requests (or streaming iterators) served so far.
     pub requests: usize,
+    /// Records reserved by admitted-but-unfinished requests (see the
+    /// two-phase admission protocol in the type docs).
+    pub reserved: usize,
 }
 
 impl BudgetLedger {
@@ -190,7 +217,82 @@ impl BudgetLedger {
             per_release,
             releases: 0,
             requests: 0,
+            reserved: 0,
         }
+    }
+
+    /// Atomically reserve budget for up to `records` releases under `cap`.
+    ///
+    /// Admission rule: the worst-case total — committed releases, outstanding
+    /// reservations, and this request all fully released, combined with the
+    /// model budget — must not exceed the cap in either ε or δ.  Callers hold
+    /// the session's ledger lock for the duration of the call, so concurrent
+    /// requests can never jointly overshoot the cap.
+    ///
+    /// A successful reservation must later be balanced by exactly one
+    /// [`commit`](BudgetLedger::commit) or [`abort`](BudgetLedger::abort).
+    pub fn try_reserve(&mut self, records: usize, cap: DpBudget) -> Result<()> {
+        let requested = self.total_for_releases(self.releases + self.reserved + records);
+        if requested.epsilon > cap.epsilon || requested.delta > cap.delta {
+            return Err(CoreError::BudgetCapExceeded { requested, cap });
+        }
+        self.reserved += records;
+        Ok(())
+    }
+
+    /// The end-to-end (ε, δ) this session would carry if its cumulative
+    /// releases were exactly `releases` records (model budget combined with
+    /// the sequential release composition).  This is the single formula both
+    /// sides of admission use: [`try_reserve`](BudgetLedger::try_reserve)
+    /// checks it against the cap, and cap-sizing helpers derive caps from it.
+    pub fn total_for_releases(&self, releases: usize) -> DpBudget {
+        self.model_budget()
+            .max(compose_releases(self.per_release, releases))
+    }
+
+    /// Convert one reserved record into an actual release — the streaming
+    /// counterpart of [`commit`](BudgetLedger::commit), called as each record
+    /// is yielded so `releases + reserved` (and hence the worst case checked
+    /// by admission) stays exact for the whole stream.
+    pub fn convert_reserved_release(&mut self) {
+        debug_assert!(self.reserved > 0, "converting with nothing reserved");
+        self.reserved = self.reserved.saturating_sub(1);
+        self.releases += 1;
+    }
+
+    /// Commit a reservation of `reserved` records of which `released` were
+    /// actually released: the unused part of the reservation is freed and the
+    /// request is charged like any completed `generate` call.
+    pub fn commit(&mut self, reserved: usize, released: usize) {
+        debug_assert!(
+            reserved <= self.reserved,
+            "committing more than was reserved ({reserved} > {})",
+            self.reserved
+        );
+        debug_assert!(
+            released <= reserved,
+            "released past the reservation ({released} > {reserved})"
+        );
+        self.reserved = self.reserved.saturating_sub(reserved);
+        self.record_request(released);
+    }
+
+    /// Free a reservation without charging anything (failed or rejected
+    /// request).
+    pub fn abort(&mut self, records: usize) {
+        debug_assert!(
+            records <= self.reserved,
+            "aborting more than was reserved ({records} > {})",
+            self.reserved
+        );
+        self.reserved = self.reserved.saturating_sub(records);
+    }
+
+    /// Worst-case end-to-end (ε, δ) if every outstanding reservation were
+    /// fully released — the quantity [`try_reserve`](BudgetLedger::try_reserve)
+    /// compares against the cap.
+    pub fn reserved_total(&self) -> DpBudget {
+        self.total_for_releases(self.releases + self.reserved)
     }
 
     /// Charge one completed request that released `released` records.
@@ -237,12 +339,16 @@ impl BudgetLedger {
     /// Render the ledger as a JSON object for service / bench reporting.
     pub fn to_json(&self) -> String {
         let total = self.total();
+        let reserved_total = self.reserved_total();
         format!(
-            "{{\"requests\":{},\"releases\":{},\"model_epsilon\":{},\"model_delta\":{},\
+            "{{\"requests\":{},\"releases\":{},\"reserved\":{},\
+             \"model_epsilon\":{},\"model_delta\":{},\
              \"per_release_epsilon\":{},\"per_release_delta\":{},\
-             \"total_epsilon\":{},\"total_delta\":{}}}",
+             \"total_epsilon\":{},\"total_delta\":{},\
+             \"reserved_epsilon\":{},\"reserved_delta\":{}}}",
             self.requests,
             self.releases,
+            self.reserved,
             json_f64(self.model_budget().epsilon),
             json_f64(self.model_budget().delta),
             self.per_release
@@ -251,6 +357,8 @@ impl BudgetLedger {
                 .map_or("null".into(), |b| json_f64(b.delta)),
             json_f64(total.epsilon),
             json_f64(total.delta),
+            json_f64(reserved_total.epsilon),
+            json_f64(reserved_total.delta),
         )
     }
 }
@@ -368,6 +476,201 @@ mod tests {
         det.record_request(1);
         assert!(det.total().epsilon.is_infinite());
         assert!(det.to_json().contains("\"per_release_epsilon\":null"));
+    }
+
+    fn capped_ledger(per_release: DpBudget) -> BudgetLedger {
+        BudgetLedger::new(
+            DpBudget::new(0.8, 1e-9),
+            DpBudget::new(0.6, 1e-9),
+            Some(per_release),
+        )
+    }
+
+    /// Smallest cap admitting exactly `releases` records from `ledger` (a hair
+    /// of multiplicative slack over the same formula admission checks).
+    fn cap_for(ledger: &BudgetLedger, releases: usize) -> DpBudget {
+        let total = ledger.total_for_releases(releases);
+        DpBudget::new(total.epsilon * (1.0 + 1e-9), total.delta * (1.0 + 1e-9))
+    }
+
+    #[test]
+    fn reserve_commit_abort_round_trip() {
+        let per_release = ReleaseBudget::at(50, 4.0, 1.0, 20).unwrap().budget;
+        let mut ledger = capped_ledger(per_release);
+        let cap = cap_for(&ledger, 10);
+
+        // Reserve 6 + 4 = the full cap; a third reservation must be refused.
+        ledger.try_reserve(6, cap).unwrap();
+        ledger.try_reserve(4, cap).unwrap();
+        assert_eq!(ledger.reserved, 10);
+        let err = ledger.try_reserve(1, cap).unwrap_err();
+        assert!(matches!(err, CoreError::BudgetCapExceeded { .. }));
+        if let CoreError::BudgetCapExceeded { requested, cap: c } = err {
+            assert!(requested.epsilon > c.epsilon || requested.delta > c.delta);
+        }
+
+        // Commit the first (releasing fewer than reserved frees the rest),
+        // abort the second: the freed budget is admissible again.
+        ledger.commit(6, 5);
+        assert_eq!(ledger.reserved, 4);
+        assert_eq!(ledger.releases, 5);
+        assert_eq!(ledger.requests, 1);
+        ledger.abort(4);
+        assert_eq!(ledger.reserved, 0);
+        ledger.try_reserve(5, cap).unwrap();
+        ledger.commit(5, 5);
+        assert_eq!(ledger.releases, 10);
+        // The cap is now exactly consumed by committed releases.
+        assert!(ledger.try_reserve(1, cap).is_err());
+        assert_eq!(ledger.reserved_total(), ledger.total());
+        let json = ledger.to_json();
+        assert!(json.contains("\"reserved\":0"));
+        assert!(json.contains("\"reserved_epsilon\":"));
+    }
+
+    #[test]
+    fn reservations_count_against_the_cap_before_commit() {
+        let per_release = ReleaseBudget::at(50, 4.0, 1.0, 20).unwrap().budget;
+        let mut ledger = capped_ledger(per_release);
+        let cap = cap_for(&ledger, 4);
+        ledger.try_reserve(4, cap).unwrap();
+        // Nothing committed yet, but the worst case is already at the cap.
+        assert_eq!(ledger.releases, 0);
+        assert!(ledger.try_reserve(1, cap).is_err());
+        assert!(ledger.reserved_total().epsilon > ledger.total().epsilon);
+    }
+
+    #[test]
+    fn deterministic_test_admits_nothing_under_a_finite_cap() {
+        let mut ledger =
+            BudgetLedger::new(DpBudget::new(0.8, 1e-9), DpBudget::new(0.6, 1e-9), None);
+        // No per-release guarantee: one release makes ε infinite, so any
+        // finite cap refuses the very first reservation.
+        assert!(ledger.try_reserve(1, DpBudget::new(1e9, 1.0)).is_err());
+        // An infinite cap (no capping) still admits.
+        ledger
+            .try_reserve(1, DpBudget::new(f64::INFINITY, 1.0))
+            .unwrap();
+        ledger.commit(1, 1);
+        assert!(ledger.total().epsilon.is_infinite());
+    }
+
+    #[test]
+    fn concurrent_reservations_admit_exactly_the_cap() {
+        use std::sync::{Arc, Mutex};
+        let per_release = ReleaseBudget::at(50, 4.0, 1.0, 20).unwrap().budget;
+        let ledger = capped_ledger(per_release);
+        let cap = cap_for(&ledger, 3 * 5);
+        let shared = Arc::new(Mutex::new(ledger));
+        // 16 threads race to reserve 5 records each under a cap of 15:
+        // exactly 3 may win, no matter the interleaving.
+        let admitted: usize = std::thread::scope(|scope| {
+            (0..16)
+                .map(|_| {
+                    let shared = Arc::clone(&shared);
+                    scope.spawn(move || {
+                        let ok = shared.lock().unwrap().try_reserve(5, cap).is_ok();
+                        if ok {
+                            shared.lock().unwrap().commit(5, 5);
+                        }
+                        usize::from(ok)
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(admitted, 3);
+        let final_ledger = *shared.lock().unwrap();
+        assert_eq!(final_ledger.releases, 15);
+        assert_eq!(final_ledger.reserved, 0);
+        assert!(final_ledger.total().epsilon <= cap.epsilon);
+    }
+
+    mod reservation_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One step of an arbitrary reserve/commit/abort interleaving:
+        /// `action` picks the operation, `a`/`b` parameterize it.  Returns
+        /// how many records the step released (committed or converted).
+        fn apply(
+            ledger: &mut BudgetLedger,
+            outstanding: &mut Vec<usize>,
+            cap: DpBudget,
+            action: u8,
+            a: usize,
+            b: usize,
+        ) -> usize {
+            if action == 0 {
+                // Reserve `a` records (may be refused by the cap).
+                if ledger.try_reserve(a, cap).is_ok() {
+                    outstanding.push(a);
+                }
+                0
+            } else if outstanding.is_empty() {
+                0
+            } else if action == 3 {
+                // Stream one record out of an outstanding reservation.
+                let i = a % outstanding.len();
+                if outstanding[i] == 0 {
+                    return 0;
+                }
+                outstanding[i] -= 1;
+                ledger.convert_reserved_release();
+                1
+            } else {
+                let r = outstanding.remove(a % outstanding.len());
+                if action == 1 {
+                    // Commit it, releasing `b mod (r+1)` of its records.
+                    let released = b % (r + 1);
+                    ledger.commit(r, released);
+                    released
+                } else {
+                    // Abort it.
+                    ledger.abort(r);
+                    0
+                }
+            }
+        }
+
+        proptest! {
+            /// Any interleaving of reserve→commit, reserve→abort, and
+            /// streaming conversions leaves the ledger equal to the sum of
+            /// the released records: no leaked reservations, no lost
+            /// releases, and the worst case never exceeds the cap at any
+            /// step.
+            #[test]
+            fn interleavings_never_leak_reservations(
+                ops in proptest::collection::vec((0u8..4, 0usize..9, 0usize..9), 1..60),
+                cap_releases in 1usize..40,
+            ) {
+                let per_release = ReleaseBudget::at(50, 4.0, 1.0, 20).unwrap().budget;
+                let mut ledger = capped_ledger(per_release);
+                let cap = cap_for(&ledger, cap_releases);
+                let mut outstanding: Vec<usize> = Vec::new();
+                let mut released = 0usize;
+                for (action, a, b) in ops {
+                    released += apply(&mut ledger, &mut outstanding, cap, action, a, b);
+                    // Invariants hold after every step, not just at the end.
+                    prop_assert_eq!(ledger.reserved, outstanding.iter().sum::<usize>());
+                    prop_assert_eq!(ledger.releases, released);
+                    prop_assert!(ledger.reserved_total().epsilon <= cap.epsilon);
+                    prop_assert!(ledger.reserved_total().delta <= cap.delta);
+                }
+                // Settle everything still outstanding: the ledger must return
+                // to exactly the released sum with zero reservations.
+                for r in outstanding.drain(..) {
+                    ledger.abort(r);
+                }
+                prop_assert_eq!(ledger.reserved, 0);
+                prop_assert_eq!(ledger.releases, released);
+                let expected = compose_releases(ledger.per_release, released);
+                prop_assert!((ledger.cumulative_release().epsilon - expected.epsilon).abs() < 1e-9);
+                prop_assert_eq!(ledger.total(), ledger.reserved_total());
+            }
+        }
     }
 
     #[test]

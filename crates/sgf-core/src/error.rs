@@ -15,6 +15,14 @@ pub enum CoreError {
         /// Minimum required (the privacy parameter k).
         required: usize,
     },
+    /// Admitting the request would push the session's worst-case (ε, δ) —
+    /// committed releases plus every outstanding reservation — past its cap.
+    BudgetCapExceeded {
+        /// Worst-case total if the request were admitted and fully released.
+        requested: sgf_stats::DpBudget,
+        /// The configured per-session cap.
+        cap: sgf_stats::DpBudget,
+    },
     /// Underlying dataset error.
     Data(sgf_data::DataError),
     /// Underlying model error.
@@ -28,6 +36,12 @@ impl fmt::Display for CoreError {
             CoreError::DatasetTooSmall { available, required } => write!(
                 f,
                 "seed dataset has {available} records but the privacy parameter requires at least {required}"
+            ),
+            CoreError::BudgetCapExceeded { requested, cap } => write!(
+                f,
+                "admitting the request would raise the worst-case budget to (ε = {}, δ = {}), \
+                 past the session cap (ε = {}, δ = {})",
+                requested.epsilon, requested.delta, cap.epsilon, cap.delta
             ),
             CoreError::Data(err) => write!(f, "data error: {err}"),
             CoreError::Model(err) => write!(f, "model error: {err}"),

@@ -11,7 +11,9 @@
 //! staged [`crate::session`] API (builder → [`crate::SynthesisSession`] → one
 //! `generate`); services that issue more than one release request should use
 //! the session directly so the model is learned once and the cumulative
-//! privacy ledger spans every request.
+//! privacy ledger spans every request.  For serving releases over the network
+//! — with a bounded request queue and an (ε, δ) admission cap enforced
+//! through the ledger's reserve/commit protocol — see the `sgf-serve` crate.
 
 use crate::dp::PipelineBudget;
 use crate::error::{CoreError, Result};
@@ -127,7 +129,10 @@ impl PipelineTimings {
 }
 
 /// The models trained by the pipeline.
-#[derive(Debug)]
+///
+/// Cloning is shallow where it matters: the CPT store — by far the largest
+/// artifact — sits behind an `Arc`, so clones share it.
+#[derive(Debug, Clone)]
 pub struct TrainedModels {
     /// The learned dependency structure (and its correlation matrix / budget).
     pub structure: LearnedStructure,

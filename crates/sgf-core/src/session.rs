@@ -34,7 +34,7 @@ use sgf_index::{InvertedIndexStore, LinearScanStore, SeedIndex, SeedStore, MAX_I
 use sgf_model::{GenerativeModel, OmegaSpec, ParameterConfig, SeedSynthesizer, StructureConfig};
 use sgf_stats::DpBudget;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Builder for a [`SynthesisEngine`]: collects the training-time configuration
@@ -202,13 +202,15 @@ impl SynthesisEngine {
         };
         Ok(SynthesisSession {
             config: self.config,
-            split,
-            models,
-            index,
-            index_build,
+            shared: Arc::new(SessionShared {
+                split,
+                models,
+                index,
+                index_build,
+                training,
+            }),
             per_release,
-            ledger: Mutex::new(ledger),
-            training,
+            ledger: Arc::new(Mutex::new(ledger)),
         })
     }
 }
@@ -315,24 +317,43 @@ impl ReleaseReport {
     }
 }
 
-/// A trained, immutable synthesis session: the learned models plus the seed
-/// store, serving repeated [`generate`](SynthesisSession::generate) requests
-/// while a [`BudgetLedger`] accumulates the privacy cost of every release.
-///
-/// The session is `Send + Sync`; concurrent requests only contend on the
-/// ledger mutex for a few nanoseconds per request.
+/// The immutable trained artifacts of a session, shared (via `Arc`) across
+/// every clone: the data split, the learned models, and the inverted seed
+/// index.  Training — and the index build — happen exactly once per
+/// [`SynthesisEngine::train`] call no matter how many handles serve requests.
 #[derive(Debug)]
-pub struct SynthesisSession {
-    config: PipelineConfig,
+struct SessionShared {
     split: DataSplit,
     models: TrainedModels,
     /// The inverted seed index, built once at train time (absent when the
     /// session policy is [`SeedIndex::Scan`]).
     index: Option<InvertedIndexStore>,
     index_build: Duration,
-    per_release: Option<DpBudget>,
-    ledger: Mutex<BudgetLedger>,
     training: Duration,
+}
+
+/// A trained, immutable synthesis session: the learned models plus the seed
+/// store, serving repeated [`generate`](SynthesisSession::generate) requests
+/// while a [`BudgetLedger`] accumulates the privacy cost of every release.
+///
+/// The session is `Send + Sync`; concurrent requests only contend on the
+/// ledger mutex for a few nanoseconds per request.
+///
+/// # Cloning
+///
+/// `SynthesisSession` is `Clone`, and clones are **handles to the same
+/// logical session**: they share the trained models, the seed split, the
+/// inverted index (no rebuild — one build per train), *and* the budget
+/// ledger.  Sharing the ledger is deliberate: releases from the same seed
+/// store compose sequentially no matter which handle served them
+/// (Section 8), so every handle must charge — and be capped against — the
+/// same cumulative (ε, δ).
+#[derive(Debug, Clone)]
+pub struct SynthesisSession {
+    config: PipelineConfig,
+    shared: Arc<SessionShared>,
+    per_release: Option<DpBudget>,
+    ledger: Arc<Mutex<BudgetLedger>>,
 }
 
 impl SynthesisSession {
@@ -343,17 +364,17 @@ impl SynthesisSession {
 
     /// The models learned at training time.
     pub fn models(&self) -> &TrainedModels {
-        &self.models
+        &self.shared.models
     }
 
     /// The disjoint data split the session was trained on.
     pub fn split(&self) -> &DataSplit {
-        &self.split
+        &self.shared.split
     }
 
     /// The seed store `D_S` that every request draws seeds from.
     pub fn seeds(&self) -> &Dataset {
-        &self.split.seeds
+        &self.shared.split.seeds
     }
 
     /// Per-release (ε, δ) bound of Theorem 1 under the session's privacy test.
@@ -363,18 +384,19 @@ impl SynthesisSession {
 
     /// Wall-clock time spent splitting the data and learning the models.
     pub fn training_time(&self) -> Duration {
-        self.training
+        self.shared.training
     }
 
     /// Wall-clock time spent building the inverted seed index at train time
     /// (zero when the session policy is [`SeedIndex::Scan`]).
     pub fn index_build_time(&self) -> Duration {
-        self.index_build
+        self.shared.index_build
     }
 
-    /// The inverted seed index, if the session built one.
+    /// The inverted seed index, if the session built one.  Clones of the same
+    /// session return the same shared instance.
     pub fn seed_store(&self) -> Option<&InvertedIndexStore> {
-        self.index.as_ref()
+        self.shared.index.as_ref()
     }
 
     /// Resolve the effective store for a request: the request override, else
@@ -382,7 +404,7 @@ impl SynthesisSession {
     fn resolve_store(&self, request: &GenerateRequest) -> Result<Option<&dyn SeedStore>> {
         match request.seed_index.unwrap_or(self.config.seed_index) {
             SeedIndex::Scan => Ok(None),
-            SeedIndex::Inverted => match &self.index {
+            SeedIndex::Inverted => match &self.shared.index {
                 Some(index) => Ok(Some(index as &dyn SeedStore)),
                 None => Err(CoreError::InvalidParameter(
                     "request asked for SeedIndex::Inverted but the session was trained \
@@ -391,6 +413,7 @@ impl SynthesisSession {
                 )),
             },
             SeedIndex::Auto => Ok(self
+                .shared
                 .index
                 .as_ref()
                 .filter(|_| self.seeds().len() >= SeedIndex::AUTO_MIN_SEEDS)
@@ -403,13 +426,91 @@ impl SynthesisSession {
         *self.ledger.lock().expect("ledger lock poisoned")
     }
 
+    /// Atomically reserve budget for up to `records` releases under the
+    /// per-session cap `cap` (see [`BudgetLedger::try_reserve`]).
+    ///
+    /// This is the admission-control half of serving releases under a cap:
+    /// the check and the reservation happen under one ledger lock, so
+    /// concurrent requests can never jointly overshoot the cap.  A successful
+    /// reservation must be settled by exactly one
+    /// [`generate_reserved`](SynthesisSession::generate_reserved) /
+    /// [`generate_reserved_with`](SynthesisSession::generate_reserved_with)
+    /// call or one [`abort_reservation`](SynthesisSession::abort_reservation).
+    pub fn try_reserve(&self, records: usize, cap: DpBudget) -> Result<()> {
+        self.ledger
+            .lock()
+            .expect("ledger lock poisoned")
+            .try_reserve(records, cap)
+    }
+
+    /// Free a reservation made with
+    /// [`try_reserve`](SynthesisSession::try_reserve) without releasing
+    /// anything (the request was rejected downstream or failed).
+    pub fn abort_reservation(&self, records: usize) {
+        self.ledger
+            .lock()
+            .expect("ledger lock poisoned")
+            .abort(records);
+    }
+
     /// Serve one request with the session's own seed-based synthesizer: build
     /// one fixed-ω synthesizer per admissible ω and fan candidate generation
     /// out over the request's worker count.
     pub fn generate(&self, request: &GenerateRequest) -> Result<ReleaseReport> {
+        self.generate_seeded(request, None)
+    }
+
+    /// Serve one request against a prior reservation of `reserved` records
+    /// (`request.target` must not exceed it): on success the actual releases
+    /// are committed and any unused part of the reservation is freed; on
+    /// error the whole reservation is aborted.  Either way the reservation is
+    /// fully settled when this returns.
+    pub fn generate_reserved(
+        &self,
+        reserved: usize,
+        request: &GenerateRequest,
+    ) -> Result<ReleaseReport> {
+        self.generate_seeded(request, Some(reserved))
+            .inspect_err(|_| self.abort_reservation(reserved))
+    }
+
+    /// [`generate_with`](SynthesisSession::generate_with) against a prior
+    /// reservation — same settlement semantics as
+    /// [`generate_reserved`](SynthesisSession::generate_reserved).
+    pub fn generate_reserved_with<M: GenerativeModel + ?Sized>(
+        &self,
+        model: &M,
+        reserved: usize,
+        request: &GenerateRequest,
+    ) -> Result<ReleaseReport> {
+        self.check_reservation(reserved, request)
+            .and_then(|_| self.generate_over(&[model], request, Some(reserved)))
+            .inspect_err(|_| self.abort_reservation(reserved))
+    }
+
+    /// The seed-synthesizer generate path, optionally settling a reservation.
+    fn generate_seeded(
+        &self,
+        request: &GenerateRequest,
+        reservation: Option<usize>,
+    ) -> Result<ReleaseReport> {
+        if let Some(reserved) = reservation {
+            self.check_reservation(reserved, request)?;
+        }
         let synthesizers = self.build_synthesizers(request.omega.unwrap_or(self.config.omega))?;
         let refs: Vec<&SeedSynthesizer> = synthesizers.iter().collect();
-        self.generate_over(&refs, request)
+        self.generate_over(&refs, request, reservation)
+    }
+
+    /// A reserved request may not target more records than were admitted.
+    fn check_reservation(&self, reserved: usize, request: &GenerateRequest) -> Result<()> {
+        if request.target > reserved {
+            return Err(CoreError::InvalidParameter(format!(
+                "request targets {} records but only {} were reserved at admission",
+                request.target, reserved
+            )));
+        }
+        Ok(())
     }
 
     /// One fixed-ω synthesizer per admissible ω of `omega` (the mechanism
@@ -422,7 +523,7 @@ impl SynthesisSession {
             OmegaSpec::UniformRange { lo, hi } => (lo, hi),
         };
         Ok((lo..=hi)
-            .map(|w| SeedSynthesizer::new(std::sync::Arc::clone(&self.models.cpts), w))
+            .map(|w| SeedSynthesizer::new(Arc::clone(&self.shared.models.cpts), w))
             .collect::<sgf_model::Result<_>>()?)
     }
 
@@ -435,7 +536,7 @@ impl SynthesisSession {
         model: &M,
         request: &GenerateRequest,
     ) -> Result<ReleaseReport> {
-        self.generate_over(&[model], request)
+        self.generate_over(&[model], request, None)
     }
 
     /// Open a streaming iterator over released records.  Records are proposed
@@ -446,6 +547,32 @@ impl SynthesisSession {
     /// thread and the request's `workers` override is ignored.  Use
     /// [`generate`](SynthesisSession::generate) for parallel fan-out.
     pub fn release_iter(&self, request: GenerateRequest) -> Result<ReleaseIter<'_>> {
+        self.open_release_iter(request, false)
+    }
+
+    /// [`release_iter`](SynthesisSession::release_iter) against a prior
+    /// reservation of `reserved` records (`request.target` must not exceed
+    /// it).  Each yielded record *converts* one reserved record into a
+    /// release, so the ledger's worst case stays exact for the whole stream;
+    /// when the stream finishes, the caller settles the remainder with
+    /// [`abort_reservation`](SynthesisSession::abort_reservation)
+    /// (`reserved` minus the records actually yielded).  An open error
+    /// settles the whole reservation.
+    pub fn release_iter_reserved(
+        &self,
+        reserved: usize,
+        request: GenerateRequest,
+    ) -> Result<ReleaseIter<'_>> {
+        self.check_reservation(reserved, &request)
+            .and_then(|_| self.open_release_iter(request, true))
+            .inspect_err(|_| self.abort_reservation(reserved))
+    }
+
+    fn open_release_iter(
+        &self,
+        request: GenerateRequest,
+        from_reservation: bool,
+    ) -> Result<ReleaseIter<'_>> {
         let (target, _workers, max_candidates) = self.request_limits(&request)?;
         let models = self.build_synthesizers(request.omega.unwrap_or(self.config.omega))?;
         let store = self.resolve_store(&request)?;
@@ -463,6 +590,7 @@ impl SynthesisSession {
             stats: MechanismStats::default(),
             target,
             max_candidates,
+            from_reservation,
         })
     }
 
@@ -498,6 +626,7 @@ impl SynthesisSession {
         &self,
         models: &[&M],
         request: &GenerateRequest,
+        reservation: Option<usize>,
     ) -> Result<ReleaseReport> {
         let (target, workers, max_candidates) = self.request_limits(request)?;
         let store = self.resolve_store(request)?;
@@ -515,7 +644,10 @@ impl SynthesisSession {
         let synthesis = start.elapsed();
         let ledger = {
             let mut guard = self.ledger.lock().expect("ledger lock poisoned");
-            guard.record_request(stats.released);
+            match reservation {
+                Some(reserved) => guard.commit(reserved, stats.released),
+                None => guard.record_request(stats.released),
+            }
             *guard
         };
         Ok(ReleaseReport {
@@ -529,9 +661,16 @@ impl SynthesisSession {
 
     /// Dismantle the session into its split, models, and final ledger (used by
     /// the one-shot compatibility wrapper, and handy for evaluation).
+    ///
+    /// When this handle is the last one, the trained artifacts are moved out;
+    /// while clones are still alive they are cloned instead (and the returned
+    /// ledger is a snapshot of the shared one).
     pub fn into_parts(self) -> (DataSplit, TrainedModels, BudgetLedger) {
-        let ledger = self.ledger.into_inner().expect("ledger lock poisoned");
-        (self.split, self.models, ledger)
+        let ledger = *self.ledger.lock().expect("ledger lock poisoned");
+        match Arc::try_unwrap(self.shared) {
+            Ok(shared) => (shared.split, shared.models, ledger),
+            Err(arc) => (arc.split.clone(), arc.models.clone(), ledger),
+        }
     }
 }
 
@@ -548,6 +687,9 @@ pub struct ReleaseIter<'s> {
     stats: MechanismStats,
     target: usize,
     max_candidates: usize,
+    /// Opened via [`SynthesisSession::release_iter_reserved`]: each yielded
+    /// record converts one reserved record instead of charging anew.
+    from_reservation: bool,
 }
 
 impl ReleaseIter<'_> {
@@ -588,11 +730,13 @@ impl Iterator for ReleaseIter<'_> {
             self.stats.observe(&report.outcome);
             if report.released() {
                 self.stats.released += 1;
-                self.session
-                    .ledger
-                    .lock()
-                    .expect("ledger lock poisoned")
-                    .record_streamed_release();
+                let mut ledger = self.session.ledger.lock().expect("ledger lock poisoned");
+                if self.from_reservation {
+                    ledger.convert_reserved_release();
+                } else {
+                    ledger.record_streamed_release();
+                }
+                drop(ledger);
                 return Some(Ok(report.record));
             }
         }

@@ -16,10 +16,16 @@
 
 use crate::store::{CandidateIter, SeedStore};
 use sgf_data::{AttributeBuckets, Bucketizer, DataError, Dataset, Record};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Upper bound on posting lists intersected per query (diminishing returns and
 /// rising constant costs beyond a handful of lists).
 pub const MAX_INTERSECT_LISTS: usize = 4;
+
+/// Process-wide count of [`InvertedIndexStore::build`] calls — a regression
+/// guard: sessions (and their clones) must share one index per train, so the
+/// counter lets tests assert that no path silently rebuilds it.
+static BUILD_COUNT: AtomicUsize = AtomicUsize::new(0);
 
 /// Per-attribute slice of the index: the bucket map plus one ascending posting
 /// list per bucket.
@@ -112,12 +118,20 @@ impl InvertedIndexStore {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.cmp(&b))
         });
+        BUILD_COUNT.fetch_add(1, Ordering::Relaxed);
         Ok(InvertedIndexStore {
             len: seeds.len(),
             attributes,
             priority,
             max_lists: max_lists.min(MAX_INTERSECT_LISTS),
         })
+    }
+
+    /// Total number of successful [`build`](InvertedIndexStore::build) calls
+    /// in this process (across all threads — tests measuring a delta should
+    /// run isolated from other index-building tests).
+    pub fn build_count() -> usize {
+        BUILD_COUNT.load(Ordering::Relaxed)
     }
 
     /// Approximate heap footprint of the posting lists, in bytes.

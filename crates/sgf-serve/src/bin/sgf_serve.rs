@@ -1,0 +1,229 @@
+//! The `sgf-serve` binary: train a demo session over the ACS-like population
+//! and serve it over the JSON-lines TCP protocol.
+//!
+//! ```text
+//! sgf-serve [--addr HOST:PORT] [--population N] [--seed S] [--k K]
+//!           [--cap-releases N] [--queue N] [--workers N]
+//! sgf-serve --smoke
+//! ```
+//!
+//! `--cap-releases N` caps the session at the composed (ε, δ) of `N` released
+//! records (omit to serve uncapped).  `--smoke` runs the end-to-end self-test
+//! used by `scripts/repro.sh` and CI: an ephemeral-port server, a 3-request
+//! client session sized so the third request must be rejected over budget,
+//! and a clean drain.
+
+use sgf_core::{GenerateRequest, PrivacyTestConfig, SynthesisEngine, SynthesisSession};
+use sgf_data::acs::{acs_bucketizer, acs_schema, generate_acs};
+use sgf_serve::{
+    cap_admitting, reject, serve, Client, ClientError, GenerateCall, ModelKind, ServeConfig,
+    SessionEntry,
+};
+use std::process::ExitCode;
+
+struct Args {
+    addr: String,
+    population: usize,
+    seed: u64,
+    k: usize,
+    cap_releases: Option<usize>,
+    queue: usize,
+    workers: usize,
+    smoke: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            addr: "127.0.0.1:7878".to_string(),
+            population: 10_000,
+            seed: 42,
+            k: 50,
+            cap_releases: None,
+            queue: 32,
+            workers: 4,
+            smoke: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("flag {name} requires a value"))
+        };
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--addr" => args.addr = value("--addr")?,
+            "--population" => args.population = parse_num(&value("--population")?)?,
+            "--seed" => args.seed = parse_num(&value("--seed")?)? as u64,
+            "--k" => args.k = parse_num(&value("--k")?)?,
+            "--cap-releases" => args.cap_releases = Some(parse_num(&value("--cap-releases")?)?),
+            "--queue" => args.queue = parse_num(&value("--queue")?)?,
+            "--workers" => args.workers = parse_num(&value("--workers")?)?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num(text: &str) -> Result<usize, String> {
+    text.parse::<usize>()
+        .map_err(|_| format!("expected a non-negative integer, got `{text}`"))
+}
+
+fn train_demo_session(population: usize, seed: u64, k: usize) -> SynthesisSession {
+    let data = generate_acs(population, seed);
+    let bucketizer = acs_bucketizer(&acs_schema());
+    SynthesisEngine::builder()
+        .privacy_test(PrivacyTestConfig::randomized(k, 4.0, 1.0).with_limits(Some(2 * k), None))
+        .seed(seed)
+        .train(&data, &bucketizer)
+        .expect("training the demo session failed")
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("sgf-serve: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.smoke {
+        return smoke();
+    }
+
+    eprintln!(
+        "training demo session (population {}, k {}, seed {})...",
+        args.population, args.k, args.seed
+    );
+    let session = train_demo_session(args.population, args.seed, args.k);
+    eprintln!(
+        "trained in {:.2}s ({} seeds); per-release epsilon {:?}",
+        session.training_time().as_secs_f64(),
+        session.seeds().len(),
+        session.per_release_budget().map(|b| b.epsilon)
+    );
+    let mut entry = SessionEntry::new(session);
+    if let Some(releases) = args.cap_releases {
+        let cap = cap_admitting(&entry.session, releases)
+            .expect("the randomized test always has a per-release budget");
+        eprintln!(
+            "capping the session at {} releases (epsilon {:.3})",
+            releases, cap.epsilon
+        );
+        entry = entry.capped(cap);
+    }
+    let config = ServeConfig {
+        addr: args.addr,
+        queue_capacity: args.queue,
+        workers: args.workers,
+        ..ServeConfig::default()
+    };
+    let handle = match serve(config, vec![entry]) {
+        Ok(handle) => handle,
+        Err(err) => {
+            eprintln!("sgf-serve: bind failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("sgf-serve listening on {}", handle.addr());
+    match handle.join() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("sgf-serve: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// End-to-end self-test: serve on an ephemeral port with a cap sized for
+/// exactly two of three requests, verify the rejection is machine-readable,
+/// and drain cleanly.
+fn smoke() -> ExitCode {
+    let target = 10usize;
+    println!("== sgf-serve smoke: train ==");
+    let session = train_demo_session(3_000, 11, 20);
+    let ledger_handle = session.clone();
+    let cap = cap_admitting(&session, 2 * target).expect("randomized test has a budget");
+    println!(
+        "cap admits {} releases (epsilon {:.3}, delta {:.3e})",
+        2 * target,
+        cap.epsilon,
+        cap.delta
+    );
+
+    let handle = serve(
+        ServeConfig {
+            queue_capacity: 8,
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        vec![SessionEntry::new(session).capped(cap)],
+    )
+    .expect("ephemeral bind failed");
+    println!("== serving on {} ==", handle.addr());
+
+    let mut client = Client::connect(handle.addr()).expect("connect failed");
+    // The marginal model releases exactly `target` records per request
+    // (Section 8: every candidate passes), so the third request must push
+    // the worst case past the cap and be rejected at admission.
+    for request_seed in 1..=3u64 {
+        let call = GenerateCall::new(target)
+            .with_model(ModelKind::Marginal)
+            .with_request(GenerateRequest::new(target).with_seed(request_seed));
+        match client.generate(&call) {
+            Ok(release) => {
+                assert_eq!(
+                    release.records.len(),
+                    target,
+                    "marginal must fill the target"
+                );
+                println!(
+                    "request {request_seed}: released {} records, cumulative epsilon {:.3}",
+                    release.records.len(),
+                    release.ledger_f64("total_epsilon").unwrap_or(f64::NAN)
+                );
+                assert!(
+                    request_seed <= 2,
+                    "request {request_seed} should have been over budget"
+                );
+            }
+            Err(ClientError::Rejected(rejection)) => {
+                println!(
+                    "request {request_seed}: rejected with code `{}` \
+                     (requested epsilon {:?}, cap epsilon {:?})",
+                    rejection.code,
+                    rejection
+                        .detail
+                        .get("requested_epsilon")
+                        .and_then(|v| v.as_f64()),
+                    rejection.detail.get("cap_epsilon").and_then(|v| v.as_f64()),
+                );
+                assert_eq!(rejection.code, reject::BUDGET_EXHAUSTED);
+                assert_eq!(request_seed, 3, "only the third request may be rejected");
+            }
+            Err(err) => panic!("request {request_seed} failed unexpectedly: {err}"),
+        }
+    }
+
+    // The shared ledger (visible through the cloned handle) matches: exactly
+    // two committed requests, no leaked reservations.
+    let ledger = ledger_handle.ledger();
+    assert_eq!(ledger.requests, 2);
+    assert_eq!(ledger.releases, 2 * target);
+    assert_eq!(ledger.reserved, 0, "no reservation may leak");
+    assert!(ledger.total().epsilon <= cap.epsilon);
+
+    client.shutdown().expect("shutdown failed");
+    handle.join().expect("drain failed");
+    println!(
+        "== sgf-serve smoke OK: 2 admitted, 1 over-budget reject, final epsilon {:.3} ==",
+        ledger.total().epsilon
+    );
+    ExitCode::SUCCESS
+}

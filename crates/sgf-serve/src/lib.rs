@@ -1,0 +1,63 @@
+//! # sgf-serve
+//!
+//! A budget-capped release service over a trained
+//! [`SynthesisSession`](sgf_core::SynthesisSession) — the deployable
+//! front-end for the paper's release mechanism (Section 8 discusses composing
+//! (ε, δ) across releases; the ledger's reserve/commit protocol enforces a
+//! cap on that composition under concurrency).
+//!
+//! * [`protocol`] — the JSON-lines TCP protocol: `generate` / `status` /
+//!   `ledger` / `shutdown` verbs, machine-readable rejection codes;
+//! * [`server`] — the std-only threaded server: accept loop, **bounded
+//!   request queue with backpressure**, worker pool fanning requests onto
+//!   `session.generate`, **atomic (ε, δ) admission control**, graceful drain;
+//! * [`client`] — a blocking client used by the tests, the example, and the
+//!   `sgf-serve --smoke` self-test;
+//! * [`queue`] — the bounded MPMC queue;
+//! * [`json`] — the hand-rolled JSON reader/writer (the build is offline;
+//!   see `vendor/README.md`).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use sgf_core::{PrivacyTestConfig, SynthesisEngine};
+//! use sgf_data::acs::{acs_bucketizer, acs_schema, generate_acs};
+//! use sgf_serve::{cap_admitting, serve, GenerateCall, ServeConfig, SessionEntry};
+//!
+//! let population = generate_acs(4_000, 42);
+//! let bucketizer = acs_bucketizer(&acs_schema());
+//! let session = SynthesisEngine::builder()
+//!     .privacy_test(PrivacyTestConfig::randomized(20, 4.0, 1.0))
+//!     .seed(42)
+//!     .train(&population, &bucketizer)
+//!     .unwrap();
+//!
+//! // Cap the session at the composed budget of 100 released records, then
+//! // serve it; port 0 binds an ephemeral port.
+//! let cap = cap_admitting(&session, 100).unwrap();
+//! let handle = serve(
+//!     ServeConfig::default(),
+//!     vec![SessionEntry::new(session).capped(cap)],
+//! )
+//! .unwrap();
+//! println!("serving on {}", handle.addr());
+//!
+//! let mut client = sgf_serve::Client::connect(handle.addr()).unwrap();
+//! let release = client.generate(&GenerateCall::new(25)).unwrap();
+//! println!("released {} records", release.records.len());
+//! client.shutdown().unwrap();
+//! handle.join().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::{Client, ClientError, ClientResult, Rejection, Release};
+pub use protocol::{reject, GenerateCall, ModelKind, Request, DEFAULT_SESSION};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{cap_admitting, serve, ServeConfig, ServerHandle, SessionEntry};

@@ -1,0 +1,506 @@
+//! The JSON-lines wire protocol: one JSON object per `\n`-terminated line.
+//!
+//! ## Requests
+//!
+//! | verb | fields |
+//! |---|---|
+//! | `generate` | `session` (default `"default"`), `target` (required), `seed`, `workers`, `max_candidate_factor`, `omega` (number or `{"lo","hi"}`), `seed_index` (`"scan"`/`"inverted"`/`"auto"`), `stream` (bool), `model` (`"seed"`/`"marginal"`) |
+//! | `status` | — |
+//! | `ledger` | `session` |
+//! | `shutdown` | — |
+//!
+//! ## Responses
+//!
+//! Every response line carries `"ok"`.  A rejected request is a single line
+//! with `"ok":false` and a machine-readable `"error"` code from [`reject`]
+//! (plus code-specific fields such as `retry_after_ms` or the requested/cap
+//! budgets).  A successful `generate` is a header line, one `{"record":[..]}`
+//! line per released record, and an `{"end":true,...}` trailer; batch
+//! responses carry stats/ledger in the header, streaming responses in the
+//! trailer (the counts are only known once the stream finishes).
+
+use crate::json::{escape, Value};
+use sgf_core::{GenerateRequest, SeedIndex};
+use sgf_data::Record;
+use sgf_model::OmegaSpec;
+
+/// Session name used when a `generate`/`ledger` request does not name one.
+pub const DEFAULT_SESSION: &str = "default";
+
+/// Machine-readable rejection codes (`"error"` field of `"ok":false` lines).
+pub mod reject {
+    /// The bounded request queue is full; retry after `retry_after_ms`.
+    pub const QUEUE_FULL: &str = "queue_full";
+    /// Admission would push the session ledger past its (ε, δ) cap.
+    pub const BUDGET_EXHAUSTED: &str = "budget_exhausted";
+    /// No session with the requested name is registered.
+    pub const UNKNOWN_SESSION: &str = "unknown_session";
+    /// The request line failed to parse or validate.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The server is draining and admits no new generate requests.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+    /// The admitted request failed while generating.
+    pub const GENERATE_FAILED: &str = "generate_failed";
+}
+
+/// Which generative model a `generate` request runs through the mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModelKind {
+    /// The session's seed-based synthesizer (the paper's Mechanism 1 default).
+    #[default]
+    Seed,
+    /// The session's marginal baseline (seed-independent; every candidate
+    /// passes the privacy test, Section 8).
+    Marginal,
+}
+
+/// A parsed `generate` request: the target session plus the core
+/// [`GenerateRequest`] and serve-level options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateCall {
+    /// Which registered session serves the request.
+    pub session: String,
+    /// The core request (target, seed, per-request overrides).
+    pub request: GenerateRequest,
+    /// Stream records as they are released (via the session's `ReleaseIter`)
+    /// instead of generating the whole batch first.
+    pub stream: bool,
+    /// Which generative model to run.
+    pub model: ModelKind,
+}
+
+impl GenerateCall {
+    /// A batch seed-model call against the default session.
+    pub fn new(target: usize) -> Self {
+        GenerateCall {
+            session: DEFAULT_SESSION.to_string(),
+            request: GenerateRequest::new(target),
+            stream: false,
+            model: ModelKind::Seed,
+        }
+    }
+
+    /// Target a named session.
+    pub fn with_session(mut self, session: &str) -> Self {
+        self.session = session.to_string();
+        self
+    }
+
+    /// Replace the core request.
+    pub fn with_request(mut self, request: GenerateRequest) -> Self {
+        self.request = request;
+        self
+    }
+
+    /// Stream records as they are released.
+    pub fn with_stream(mut self, stream: bool) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Pick the generative model.
+    pub fn with_model(mut self, model: ModelKind) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Encode the call as one protocol line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut line = format!(
+            "{{\"verb\":\"generate\",\"session\":\"{}\",\"target\":{},\"seed\":{}",
+            escape(&self.session),
+            self.request.target,
+            self.request.seed
+        );
+        if let Some(workers) = self.request.workers {
+            line.push_str(&format!(",\"workers\":{workers}"));
+        }
+        if let Some(factor) = self.request.max_candidate_factor {
+            line.push_str(&format!(",\"max_candidate_factor\":{factor}"));
+        }
+        match self.request.omega {
+            Some(OmegaSpec::Fixed(w)) => line.push_str(&format!(",\"omega\":{w}")),
+            Some(OmegaSpec::UniformRange { lo, hi }) => {
+                line.push_str(&format!(",\"omega\":{{\"lo\":{lo},\"hi\":{hi}}}"))
+            }
+            None => {}
+        }
+        if let Some(policy) = self.request.seed_index {
+            line.push_str(&format!(",\"seed_index\":\"{}\"", seed_index_name(policy)));
+        }
+        if self.stream {
+            line.push_str(",\"stream\":true");
+        }
+        if self.model == ModelKind::Marginal {
+            line.push_str(",\"model\":\"marginal\"");
+        }
+        line.push('}');
+        line
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Release synthetic records from a session.
+    Generate(GenerateCall),
+    /// Report server state (queue depth, busy workers, sessions).
+    Status,
+    /// Report a session's cumulative budget ledger.
+    Ledger {
+        /// The session to report on.
+        session: String,
+    },
+    /// Drain the queue and stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// Encode the request as one protocol line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Generate(call) => call.encode(),
+            Request::Status => "{\"verb\":\"status\"}".to_string(),
+            Request::Ledger { session } => {
+                format!(
+                    "{{\"verb\":\"ledger\",\"session\":\"{}\"}}",
+                    escape(session)
+                )
+            }
+            Request::Shutdown => "{\"verb\":\"shutdown\"}".to_string(),
+        }
+    }
+}
+
+fn seed_index_name(policy: SeedIndex) -> &'static str {
+    match policy {
+        SeedIndex::Scan => "scan",
+        SeedIndex::Inverted => "inverted",
+        SeedIndex::Auto => "auto",
+    }
+}
+
+/// Parse one request line.  The error string is the human-readable half of a
+/// [`reject::BAD_REQUEST`] response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = Value::parse(line).map_err(|e| e.to_string())?;
+    let verb = value
+        .get("verb")
+        .and_then(Value::as_str)
+        .ok_or("missing string field `verb`")?;
+    match verb {
+        "status" => Ok(Request::Status),
+        "shutdown" => Ok(Request::Shutdown),
+        "ledger" => Ok(Request::Ledger {
+            session: session_name(&value)?,
+        }),
+        "generate" => parse_generate(&value).map(Request::Generate),
+        other => Err(format!("unknown verb `{other}`")),
+    }
+}
+
+fn session_name(value: &Value) -> Result<String, String> {
+    match value.get("session") {
+        None => Ok(DEFAULT_SESSION.to_string()),
+        Some(v) => v
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| "field `session` must be a string".to_string()),
+    }
+}
+
+fn parse_generate(value: &Value) -> Result<GenerateCall, String> {
+    let target = value
+        .get("target")
+        .and_then(Value::as_usize)
+        .ok_or("field `target` must be a non-negative integer")?;
+    if target == 0 {
+        return Err("field `target` must be at least 1".to_string());
+    }
+    let mut request = GenerateRequest::new(target);
+    if let Some(seed) = value.get("seed") {
+        request.seed = seed
+            .as_u64()
+            .ok_or("field `seed` must be a non-negative integer")?;
+    }
+    if let Some(workers) = value.get("workers") {
+        request.workers = Some(
+            workers
+                .as_usize()
+                .ok_or("field `workers` must be a non-negative integer")?,
+        );
+    }
+    if let Some(factor) = value.get("max_candidate_factor") {
+        request.max_candidate_factor = Some(
+            factor
+                .as_usize()
+                .ok_or("field `max_candidate_factor` must be a non-negative integer")?,
+        );
+    }
+    if let Some(omega) = value.get("omega") {
+        request.omega = Some(parse_omega(omega)?);
+    }
+    if let Some(policy) = value.get("seed_index") {
+        request.seed_index = Some(match policy.as_str() {
+            Some("scan") => SeedIndex::Scan,
+            Some("inverted") => SeedIndex::Inverted,
+            Some("auto") => SeedIndex::Auto,
+            _ => {
+                return Err("field `seed_index` must be \"scan\", \"inverted\" or \"auto\"".into())
+            }
+        });
+    }
+    let stream = match value.get("stream") {
+        None => false,
+        Some(v) => v.as_bool().ok_or("field `stream` must be a boolean")?,
+    };
+    let model = match value.get("model") {
+        None => ModelKind::Seed,
+        Some(v) => match v.as_str() {
+            Some("seed") => ModelKind::Seed,
+            Some("marginal") => ModelKind::Marginal,
+            _ => return Err("field `model` must be \"seed\" or \"marginal\"".into()),
+        },
+    };
+    Ok(GenerateCall {
+        session: session_name(value)?,
+        request,
+        stream,
+        model,
+    })
+}
+
+fn parse_omega(value: &Value) -> Result<OmegaSpec, String> {
+    if let Some(w) = value.as_usize() {
+        return Ok(OmegaSpec::Fixed(w));
+    }
+    let lo = value.get("lo").and_then(Value::as_usize);
+    let hi = value.get("hi").and_then(Value::as_usize);
+    match (lo, hi) {
+        (Some(lo), Some(hi)) => Ok(OmegaSpec::UniformRange { lo, hi }),
+        _ => Err("field `omega` must be an integer or {\"lo\":..,\"hi\":..}".to_string()),
+    }
+}
+
+/// Format an `f64` as a JSON value (`null` for non-finite values).
+pub fn num(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An `"ok":false` rejection line: machine-readable `code` plus a
+/// human-readable `message` and optional extra fields (pre-encoded values).
+pub fn reject_line(code: &str, message: &str, extras: &[(&str, String)]) -> String {
+    let mut line = format!(
+        "{{\"ok\":false,\"error\":\"{}\",\"message\":\"{}\"",
+        escape(code),
+        escape(message)
+    );
+    for (key, value) in extras {
+        line.push_str(&format!(",\"{}\":{}", escape(key), value));
+    }
+    line.push('}');
+    line
+}
+
+/// Header line of a successful batch `generate` response.
+pub fn batch_header_line(
+    released: usize,
+    stats_json: &str,
+    request_epsilon: f64,
+    ledger_json: &str,
+) -> String {
+    format!(
+        "{{\"ok\":true,\"verb\":\"generate\",\"streaming\":false,\"released\":{},\
+         \"stats\":{},\"request_epsilon\":{},\"ledger\":{}}}",
+        released,
+        stats_json,
+        num(request_epsilon),
+        ledger_json
+    )
+}
+
+/// Header line of a successful streaming `generate` response.
+pub fn stream_header_line() -> String {
+    "{\"ok\":true,\"verb\":\"generate\",\"streaming\":true}".to_string()
+}
+
+/// One released record.
+pub fn record_line(record: &Record) -> String {
+    let mut line = String::from("{\"record\":[");
+    for (i, v) in record.values().iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&v.to_string());
+    }
+    line.push_str("]}");
+    line
+}
+
+/// Trailer of a batch `generate` response.
+pub fn batch_end_line(released: usize) -> String {
+    format!("{{\"end\":true,\"released\":{released}}}")
+}
+
+/// Trailer of a streaming `generate` response (counts are only known here).
+pub fn stream_end_line(released: usize, stats_json: &str, ledger_json: &str) -> String {
+    format!(
+        "{{\"end\":true,\"released\":{released},\"stats\":{stats_json},\"ledger\":{ledger_json}}}"
+    )
+}
+
+/// Decode a `{"record":[..]}` line into attribute value indices.
+pub fn parse_record_line(value: &Value) -> Option<Vec<u16>> {
+    value
+        .get("record")?
+        .as_array()?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .filter(|&n| n <= u16::MAX as u64)
+                .map(|n| n as u16)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_calls_round_trip_through_encode_and_parse() {
+        let calls = [
+            GenerateCall::new(10),
+            GenerateCall::new(3)
+                .with_session("census")
+                .with_stream(true)
+                .with_model(ModelKind::Marginal)
+                .with_request(
+                    GenerateRequest::new(3)
+                        .with_seed(99)
+                        .with_workers(4)
+                        .with_max_candidate_factor(7)
+                        .with_omega(OmegaSpec::Fixed(9))
+                        .with_seed_index(SeedIndex::Inverted),
+                ),
+            GenerateCall::new(5).with_request(
+                GenerateRequest::new(5).with_omega(OmegaSpec::UniformRange { lo: 8, hi: 11 }),
+            ),
+        ];
+        for call in calls {
+            let parsed = parse_request(&call.encode()).unwrap();
+            assert_eq!(parsed, Request::Generate(call));
+        }
+        for request in [
+            Request::Status,
+            Request::Shutdown,
+            Request::Ledger {
+                session: "a \"quoted\" name".to_string(),
+            },
+        ] {
+            assert_eq!(parse_request(&request.encode()).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn u64_seeds_round_trip_exactly() {
+        // Seeds drive the byte-identical replay guarantee, so the wire must
+        // not lose a single bit of them.
+        for seed in [9_007_199_254_740_993u64, u64::MAX] {
+            let call = GenerateCall::new(2).with_request(GenerateRequest::new(2).with_seed(seed));
+            let Request::Generate(parsed) = parse_request(&call.encode()).unwrap() else {
+                panic!("expected a generate request");
+            };
+            assert_eq!(parsed.request.seed, seed);
+        }
+    }
+
+    #[test]
+    fn generate_defaults_match_the_core_request() {
+        let parsed = parse_request(r#"{"verb":"generate","target":4}"#).unwrap();
+        let Request::Generate(call) = parsed else {
+            panic!("expected a generate request");
+        };
+        assert_eq!(call.session, DEFAULT_SESSION);
+        assert_eq!(call.request, GenerateRequest::new(4));
+        assert!(!call.stream);
+        assert_eq!(call.model, ModelKind::Seed);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_a_reason() {
+        for (line, needle) in [
+            ("not json", "invalid JSON"),
+            (r#"{"target":4}"#, "verb"),
+            (r#"{"verb":"launch"}"#, "unknown verb"),
+            (r#"{"verb":"generate"}"#, "target"),
+            (r#"{"verb":"generate","target":0}"#, "at least 1"),
+            (r#"{"verb":"generate","target":4,"seed":-1}"#, "seed"),
+            (r#"{"verb":"generate","target":4,"omega":"nine"}"#, "omega"),
+            (
+                r#"{"verb":"generate","target":4,"seed_index":"btree"}"#,
+                "seed_index",
+            ),
+            (r#"{"verb":"generate","target":4,"model":"gpt"}"#, "model"),
+            (r#"{"verb":"ledger","session":7}"#, "session"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err} (wanted {needle})");
+        }
+    }
+
+    #[test]
+    fn response_lines_are_valid_json() {
+        use crate::json::Value;
+        let reject = reject_line(
+            reject::QUEUE_FULL,
+            "queue is full",
+            &[("retry_after_ms", "50".to_string())],
+        );
+        let parsed = Value::parse(&reject).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            parsed.get("error").and_then(Value::as_str),
+            Some(reject::QUEUE_FULL)
+        );
+        assert_eq!(
+            parsed.get("retry_after_ms").and_then(Value::as_u64),
+            Some(50)
+        );
+
+        let header = batch_header_line(2, "{\"candidates\":5}", 1.5, "{\"releases\":2}");
+        let parsed = Value::parse(&header).unwrap();
+        assert_eq!(parsed.get("released").and_then(Value::as_usize), Some(2));
+        assert_eq!(
+            parsed.get("request_epsilon").and_then(Value::as_f64),
+            Some(1.5)
+        );
+
+        let record = Record::new(vec![3, 0, 65535]);
+        let parsed = Value::parse(&record_line(&record)).unwrap();
+        assert_eq!(parse_record_line(&parsed), Some(vec![3, 0, 65535]));
+
+        let end = stream_end_line(4, "{\"released\":4}", "{\"requests\":1}");
+        let parsed = Value::parse(&end).unwrap();
+        assert_eq!(parsed.get("end").and_then(Value::as_bool), Some(true));
+        assert_eq!(parsed.get("released").and_then(Value::as_usize), Some(4));
+        assert_eq!(
+            Value::parse(&stream_header_line())
+                .unwrap()
+                .get("streaming")
+                .and_then(Value::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            Value::parse(&batch_end_line(9))
+                .unwrap()
+                .get("released")
+                .and_then(Value::as_usize),
+            Some(9)
+        );
+    }
+}

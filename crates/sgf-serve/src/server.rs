@@ -1,0 +1,667 @@
+//! The threaded release server: accept loop, bounded admission, worker pool,
+//! and graceful drain.
+//!
+//! ## Request lifecycle
+//!
+//! 1. A connection reader thread parses one JSON line into a
+//!    [`Request`].  `status` / `ledger` /
+//!    `shutdown` are answered inline; `generate` goes through **admission**:
+//!    * a draining server rejects with `shutting_down`;
+//!    * a capped session must win an atomic budget reservation
+//!      ([`SynthesisSession::try_reserve`]) covering the request's full
+//!      target — concurrent requests can therefore never jointly overshoot
+//!      the session's (ε, δ) cap, no matter how they interleave;
+//!    * the job must fit the bounded queue — a full queue rejects with
+//!      `queue_full` and a `retry_after_ms` hint (and releases the
+//!      reservation).
+//! 2. A worker pops the job, runs the session's generate path (batch or
+//!    streaming, seed or marginal model), settles the reservation (actual
+//!    releases committed, unused budget freed; aborted on failure), and
+//!    writes the response to the job's connection.
+//! 3. `shutdown` (or [`ServerHandle::shutdown`]) starts the drain: admission
+//!    closes, queued jobs still complete, workers then exit, and
+//!    [`ServerHandle::join`] returns once every thread is down.
+
+use crate::protocol::{self, reject, GenerateCall, ModelKind, Request, DEFAULT_SESSION};
+use crate::queue::{BoundedQueue, PushError};
+use sgf_core::{CoreError, ReleaseReport, SynthesisSession};
+use sgf_stats::DpBudget;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Maximum queued (admitted but not yet running) generate requests;
+    /// beyond it, requests are rejected with `queue_full`.
+    pub queue_capacity: usize,
+    /// Worker threads executing generate requests.
+    pub workers: usize,
+    /// The retry hint attached to `queue_full` rejections.
+    pub retry_after_ms: u64,
+    /// Artificial minimum service time per generate request — a test/chaos
+    /// knob making queue backpressure deterministic to exercise; `None` in
+    /// production.
+    pub service_delay: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            queue_capacity: 32,
+            workers: 4,
+            retry_after_ms: 50,
+            service_delay: None,
+        }
+    }
+}
+
+/// One session offered by the server.
+#[derive(Debug, Clone)]
+pub struct SessionEntry {
+    /// The name `generate`/`ledger` requests address it by.
+    pub name: String,
+    /// A handle to the trained session (clones share models, index, ledger).
+    pub session: SynthesisSession,
+    /// Per-session (ε, δ) cap enforced at admission; `None` serves uncapped.
+    pub cap: Option<DpBudget>,
+}
+
+impl SessionEntry {
+    /// Serve `session` under the [`DEFAULT_SESSION`] name, uncapped.
+    pub fn new(session: SynthesisSession) -> Self {
+        SessionEntry {
+            name: DEFAULT_SESSION.to_string(),
+            session,
+            cap: None,
+        }
+    }
+
+    /// Name the session.
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Cap the session's cumulative worst-case (ε, δ).
+    pub fn capped(mut self, cap: DpBudget) -> Self {
+        self.cap = Some(cap);
+        self
+    }
+}
+
+/// The smallest cap that admits `releases` records from `session` (with a
+/// hair of multiplicative slack), for cap sizing in tests and demos.
+///
+/// Exact-admission counting additionally requires the composed release
+/// budget at `releases` records to dominate the session's model budget —
+/// otherwise the cap is the model budget and admits more.  Returns `None`
+/// under the deterministic privacy test (no finite cap admits anything).
+pub fn cap_admitting(session: &SynthesisSession, releases: usize) -> Option<DpBudget> {
+    session.per_release_budget()?;
+    // Derive the cap from the exact formula admission checks
+    // (BudgetLedger::total_for_releases), so the two can never desync.
+    let total = session.ledger().total_for_releases(releases);
+    Some(DpBudget::new(
+        total.epsilon * (1.0 + 1e-9),
+        (total.delta * (1.0 + 1e-9)).min(1.0),
+    ))
+}
+
+struct Registered {
+    session: SynthesisSession,
+    cap: Option<DpBudget>,
+}
+
+/// An admitted-but-unsettled budget reservation: aborts on drop unless the
+/// worker takes it over (so a job dropped on the floor — queue overflow,
+/// forced teardown — can never leak reserved budget).
+struct ReservationGuard {
+    session: SynthesisSession,
+    records: usize,
+    armed: bool,
+}
+
+impl ReservationGuard {
+    fn new(session: SynthesisSession, records: usize) -> Self {
+        ReservationGuard {
+            session,
+            records,
+            armed: true,
+        }
+    }
+
+    /// Disarm the guard and hand the reservation to the caller, which now
+    /// owes exactly one commit or abort.
+    fn take(mut self) -> usize {
+        self.armed = false;
+        self.records
+    }
+}
+
+impl Drop for ReservationGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            self.session.abort_reservation(self.records);
+        }
+    }
+}
+
+/// One admitted generate request waiting for a worker.
+struct Job {
+    session: SynthesisSession,
+    call: GenerateCall,
+    reservation: Option<ReservationGuard>,
+    out: Arc<Mutex<TcpStream>>,
+}
+
+struct ServerState {
+    sessions: HashMap<String, Registered>,
+    queue: BoundedQueue<Job>,
+    draining: AtomicBool,
+    busy_workers: AtomicUsize,
+    workers: usize,
+    retry_after_ms: u64,
+    service_delay: Option<Duration>,
+    addr: SocketAddr,
+    next_conn_id: AtomicU64,
+    /// Clones of the *live* connections, keyed by connection id, for
+    /// disconnecting reader threads at teardown.  Each connection removes its
+    /// own entry when it closes, so a long-lived server does not accumulate
+    /// dead file descriptors.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Reader threads; finished handles are reaped on every accept.
+    reader_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerState {
+    /// Idempotently start the drain: close admission, let queued jobs finish,
+    /// and wake the accept loop so it can exit.
+    fn begin_drain(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        // Wake the blocking `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running server: the bound address plus the handles needed to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Programmatic equivalent of the `shutdown` verb: start the drain.
+    pub fn shutdown(&self) {
+        self.state.begin_drain();
+    }
+
+    /// Wait for the server to finish: returns once the drain completes and
+    /// every accept / worker / connection thread has exited.  (Blocks until
+    /// something — the `shutdown` verb or [`ServerHandle::shutdown`] —
+    /// starts the drain.)
+    pub fn join(self) -> std::io::Result<()> {
+        join_thread(self.accept)?;
+        for worker in self.workers {
+            join_thread(worker)?;
+        }
+        // Workers are done; disconnect lingering clients so their reader
+        // threads observe EOF and exit.
+        for (_, conn) in self
+            .state
+            .conns
+            .lock()
+            .expect("conns lock poisoned")
+            .drain()
+        {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let readers: Vec<_> = self
+            .state
+            .reader_handles
+            .lock()
+            .expect("reader lock poisoned")
+            .drain(..)
+            .collect();
+        for reader in readers {
+            join_thread(reader)?;
+        }
+        Ok(())
+    }
+}
+
+fn join_thread(handle: JoinHandle<()>) -> std::io::Result<()> {
+    handle
+        .join()
+        .map_err(|_| std::io::Error::other("server thread panicked"))
+}
+
+/// Bind and start serving `sessions` under `config`; returns immediately.
+pub fn serve(config: ServeConfig, sessions: Vec<SessionEntry>) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let mut map = HashMap::new();
+    for entry in sessions {
+        map.insert(
+            entry.name,
+            Registered {
+                session: entry.session,
+                cap: entry.cap,
+            },
+        );
+    }
+    let workers = config.workers.max(1);
+    let state = Arc::new(ServerState {
+        sessions: map,
+        queue: BoundedQueue::new(config.queue_capacity),
+        draining: AtomicBool::new(false),
+        busy_workers: AtomicUsize::new(0),
+        workers,
+        retry_after_ms: config.retry_after_ms,
+        service_delay: config.service_delay,
+        addr,
+        next_conn_id: AtomicU64::new(0),
+        conns: Mutex::new(HashMap::new()),
+        reader_handles: Mutex::new(Vec::new()),
+    });
+    let worker_handles = (0..workers)
+        .map(|_| {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || worker_loop(&state))
+        })
+        .collect();
+    let accept_state = Arc::clone(&state);
+    let accept = std::thread::spawn(move || accept_loop(listener, &accept_state));
+    Ok(ServerHandle {
+        addr,
+        state,
+        accept,
+        workers: worker_handles,
+    })
+}
+
+fn accept_loop(listener: TcpListener, state: &Arc<ServerState>) {
+    for conn in listener.incoming() {
+        if state.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else {
+            // Transient accept failure (e.g. fd pressure): back off instead
+            // of spinning on the error.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        reap_finished_readers(state);
+        let conn_id = state.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            state
+                .conns
+                .lock()
+                .expect("conns lock poisoned")
+                .insert(conn_id, clone);
+        }
+        let conn_state = Arc::clone(state);
+        let handle = std::thread::spawn(move || {
+            connection_loop(stream, &conn_state);
+            // The client is gone: release the teardown clone (and its fd).
+            conn_state
+                .conns
+                .lock()
+                .expect("conns lock poisoned")
+                .remove(&conn_id);
+        });
+        state
+            .reader_handles
+            .lock()
+            .expect("reader lock poisoned")
+            .push(handle);
+    }
+}
+
+/// Join (and drop) reader threads that already exited, bounding the handle
+/// list to live connections plus recent churn.
+fn reap_finished_readers(state: &ServerState) {
+    let mut handles = state.reader_handles.lock().expect("reader lock poisoned");
+    let (finished, live): (Vec<_>, Vec<_>) =
+        handles.drain(..).partition(|handle| handle.is_finished());
+    *handles = live;
+    drop(handles);
+    for handle in finished {
+        let _ = handle.join();
+    }
+}
+
+fn connection_loop(stream: TcpStream, state: &Arc<ServerState>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let out = Arc::new(Mutex::new(stream));
+    for line in BufReader::new(read_half).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        handle_line(&line, &out, state);
+    }
+}
+
+/// Write `text` (already `\n`-terminated) as one atomic unit on `out`.
+fn write_response(out: &Mutex<TcpStream>, text: &str) {
+    let mut stream = out.lock().expect("connection lock poisoned");
+    let _ = stream.write_all(text.as_bytes());
+    let _ = stream.flush();
+}
+
+fn write_line(out: &Mutex<TcpStream>, line: &str) {
+    write_response(out, &format!("{line}\n"));
+}
+
+fn handle_line(line: &str, out: &Arc<Mutex<TcpStream>>, state: &Arc<ServerState>) {
+    match protocol::parse_request(line) {
+        Err(message) => write_line(
+            out,
+            &protocol::reject_line(reject::BAD_REQUEST, &message, &[]),
+        ),
+        Ok(Request::Status) => write_line(out, &status_line(state)),
+        Ok(Request::Ledger { session }) => match state.sessions.get(&session) {
+            None => write_line(out, &unknown_session_line(&session)),
+            Some(registered) => write_line(out, &ledger_line(&session, registered)),
+        },
+        Ok(Request::Shutdown) => {
+            state.begin_drain();
+            write_line(out, "{\"ok\":true,\"verb\":\"shutdown\",\"draining\":true}");
+        }
+        Ok(Request::Generate(call)) => admit_generate(call, out, state),
+    }
+}
+
+fn status_line(state: &ServerState) -> String {
+    let mut names: Vec<&str> = state.sessions.keys().map(String::as_str).collect();
+    names.sort_unstable();
+    let sessions = names
+        .iter()
+        .map(|n| format!("\"{}\"", crate::json::escape(n)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"ok\":true,\"verb\":\"status\",\"draining\":{},\"queue_depth\":{},\
+         \"queue_capacity\":{},\"busy_workers\":{},\"workers\":{},\"connections\":{},\
+         \"sessions\":[{}]}}",
+        state.draining.load(Ordering::SeqCst),
+        state.queue.len(),
+        state.queue.capacity(),
+        state.busy_workers.load(Ordering::SeqCst),
+        state.workers,
+        state.conns.lock().expect("conns lock poisoned").len(),
+        sessions
+    )
+}
+
+fn unknown_session_line(session: &str) -> String {
+    protocol::reject_line(
+        reject::UNKNOWN_SESSION,
+        &format!("no session named `{session}` is registered"),
+        &[("session", format!("\"{}\"", crate::json::escape(session)))],
+    )
+}
+
+fn ledger_line(name: &str, registered: &Registered) -> String {
+    let (cap_epsilon, cap_delta) = match registered.cap {
+        Some(cap) => (protocol::num(cap.epsilon), protocol::num(cap.delta)),
+        None => ("null".to_string(), "null".to_string()),
+    };
+    format!(
+        "{{\"ok\":true,\"verb\":\"ledger\",\"session\":\"{}\",\"ledger\":{},\
+         \"cap_epsilon\":{},\"cap_delta\":{}}}",
+        crate::json::escape(name),
+        registered.session.ledger().to_json(),
+        cap_epsilon,
+        cap_delta
+    )
+}
+
+/// Admission control for one generate request: drain check, atomic budget
+/// reservation, bounded-queue push — each failure is a machine-readable
+/// rejection, and a reservation never outlives a failed admission.
+fn admit_generate(call: GenerateCall, out: &Arc<Mutex<TcpStream>>, state: &Arc<ServerState>) {
+    if state.draining.load(Ordering::SeqCst) {
+        write_line(
+            out,
+            &protocol::reject_line(reject::SHUTTING_DOWN, "server is draining", &[]),
+        );
+        return;
+    }
+    let Some(registered) = state.sessions.get(&call.session) else {
+        write_line(out, &unknown_session_line(&call.session));
+        return;
+    };
+    let reservation = match registered.cap {
+        None => None,
+        Some(cap) => match registered.session.try_reserve(call.request.target, cap) {
+            Ok(()) => Some(ReservationGuard::new(
+                registered.session.clone(),
+                call.request.target,
+            )),
+            Err(CoreError::BudgetCapExceeded { requested, cap }) => {
+                write_line(
+                    out,
+                    &protocol::reject_line(
+                        reject::BUDGET_EXHAUSTED,
+                        "admitting the request would exceed the session budget cap",
+                        &[
+                            ("requested_epsilon", protocol::num(requested.epsilon)),
+                            ("requested_delta", protocol::num(requested.delta)),
+                            ("cap_epsilon", protocol::num(cap.epsilon)),
+                            ("cap_delta", protocol::num(cap.delta)),
+                        ],
+                    ),
+                );
+                return;
+            }
+            Err(err) => {
+                write_line(
+                    out,
+                    &protocol::reject_line(reject::BAD_REQUEST, &err.to_string(), &[]),
+                );
+                return;
+            }
+        },
+    };
+    let job = Job {
+        session: registered.session.clone(),
+        call,
+        reservation,
+        out: Arc::clone(out),
+    };
+    match state.queue.try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Full(job)) => {
+            // Dropping the job aborts its reservation (guard).
+            let out = Arc::clone(&job.out);
+            drop(job);
+            write_line(
+                &out,
+                &protocol::reject_line(
+                    reject::QUEUE_FULL,
+                    "request queue is full, retry later",
+                    &[("retry_after_ms", state.retry_after_ms.to_string())],
+                ),
+            );
+        }
+        Err(PushError::Closed(job)) => {
+            let out = Arc::clone(&job.out);
+            drop(job);
+            write_line(
+                &out,
+                &protocol::reject_line(reject::SHUTTING_DOWN, "server is draining", &[]),
+            );
+        }
+    }
+}
+
+fn worker_loop(state: &Arc<ServerState>) {
+    while let Some(job) = state.queue.pop() {
+        state.busy_workers.fetch_add(1, Ordering::SeqCst);
+        if let Some(delay) = state.service_delay {
+            std::thread::sleep(delay);
+        }
+        serve_job(job);
+        state.busy_workers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn serve_job(job: Job) {
+    let Job {
+        session,
+        call,
+        reservation,
+        out,
+    } = job;
+    // The worker takes over the reservation: from here, the generate path (or
+    // the explicit abort on the streaming path) settles it exactly once.
+    let reserved = reservation.map(ReservationGuard::take);
+    if call.stream {
+        serve_stream(&session, call, reserved, &out);
+    } else {
+        serve_batch(&session, &call, reserved, &out);
+    }
+}
+
+fn serve_batch(
+    session: &SynthesisSession,
+    call: &GenerateCall,
+    reserved: Option<usize>,
+    out: &Mutex<TcpStream>,
+) {
+    let result: sgf_core::Result<ReleaseReport> = match (call.model, reserved) {
+        (ModelKind::Seed, None) => session.generate(&call.request),
+        (ModelKind::Seed, Some(r)) => session.generate_reserved(r, &call.request),
+        (ModelKind::Marginal, None) => {
+            session.generate_with(&session.models().marginal, &call.request)
+        }
+        (ModelKind::Marginal, Some(r)) => {
+            session.generate_reserved_with(&session.models().marginal, r, &call.request)
+        }
+    };
+    match result {
+        Err(err) => write_line(
+            out,
+            &protocol::reject_line(reject::GENERATE_FAILED, &err.to_string(), &[]),
+        ),
+        Ok(report) => {
+            let mut text = protocol::batch_header_line(
+                report.stats.released,
+                &report.stats.to_json(),
+                report.request_budget().epsilon,
+                &report.ledger.to_json(),
+            );
+            text.push('\n');
+            for record in report.synthetics.records() {
+                text.push_str(&protocol::record_line(record));
+                text.push('\n');
+            }
+            text.push_str(&protocol::batch_end_line(report.stats.released));
+            text.push('\n');
+            write_response(out, &text);
+        }
+    }
+}
+
+fn serve_stream(
+    session: &SynthesisSession,
+    call: GenerateCall,
+    reserved: Option<usize>,
+    out: &Mutex<TcpStream>,
+) {
+    if call.model == ModelKind::Marginal {
+        // Streaming runs through the session's ReleaseIter, which is bound to
+        // the seed synthesizer; keep the protocol surface honest about it.
+        if let Some(r) = reserved {
+            session.abort_reservation(r);
+        }
+        write_line(
+            out,
+            &protocol::reject_line(
+                reject::BAD_REQUEST,
+                "streaming supports the seed model only",
+                &[],
+            ),
+        );
+        return;
+    }
+    // A reservation-backed iterator converts one reserved record into a
+    // release per yield, so the ledger's worst case stays exact mid-stream;
+    // the unstreamed remainder is aborted below.  (An open error settles the
+    // whole reservation inside release_iter_reserved.)
+    let open = match reserved {
+        Some(r) => session.release_iter_reserved(r, call.request),
+        None => session.release_iter(call.request),
+    };
+    let mut iter = match open {
+        Ok(iter) => iter,
+        Err(err) => {
+            write_line(
+                out,
+                &protocol::reject_line(reject::GENERATE_FAILED, &err.to_string(), &[]),
+            );
+            return;
+        }
+    };
+    // Hold the connection for the whole stream so no other response can
+    // interleave with the record lines.
+    let mut stream = out.lock().expect("connection lock poisoned");
+    let header_ok = writeln!(stream, "{}", protocol::stream_header_line()).is_ok();
+    let mut released = 0usize;
+    if header_ok {
+        for item in iter.by_ref() {
+            match item {
+                Ok(record) => {
+                    released += 1;
+                    // The client hung up: stop proposing — and charging the
+                    // ledger for — records nobody will receive.
+                    if writeln!(stream, "{}", protocol::record_line(&record)).is_err() {
+                        break;
+                    }
+                }
+                Err(err) => {
+                    let _ = writeln!(
+                        stream,
+                        "{}",
+                        protocol::reject_line(reject::GENERATE_FAILED, &err.to_string(), &[])
+                    );
+                    break;
+                }
+            }
+        }
+    }
+    let stats = iter.stats();
+    // Settle the part of the reservation the stream did not convert.
+    if let Some(r) = reserved {
+        session.abort_reservation(r - stats.released);
+    }
+    let _ = writeln!(
+        stream,
+        "{}",
+        protocol::stream_end_line(released, &stats.to_json(), &session.ledger().to_json())
+    );
+    let _ = stream.flush();
+}

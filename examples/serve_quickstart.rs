@@ -1,0 +1,98 @@
+//! Serving releases over TCP: train a session once, expose it through
+//! `sgf-serve` with an (ε, δ) budget cap, and talk to it with the protocol
+//! client — including what a budget rejection looks like on the wire.
+//!
+//! ```sh
+//! cargo run --release --example serve_quickstart
+//! ```
+
+use sgf::core::{GenerateRequest, PrivacyTestConfig, SynthesisEngine};
+use sgf::data::acs::{acs_bucketizer, acs_schema, generate_acs};
+use sgf::serve::{
+    cap_admitting, reject, serve, Client, ClientError, GenerateCall, ServeConfig, SessionEntry,
+};
+
+fn main() {
+    // Train once (small demo population, k = 20; the paper default is k = 50).
+    let population = generate_acs(4_000, 42);
+    let bucketizer = acs_bucketizer(&acs_schema());
+    let session = SynthesisEngine::builder()
+        .privacy_test(PrivacyTestConfig::randomized(20, 4.0, 1.0).with_limits(Some(40), None))
+        .max_candidate_factor(30)
+        .seed(42)
+        .train(&population, &bucketizer)
+        .expect("training failed");
+    println!(
+        "trained in {:.2}s; per-release epsilon {:.3}",
+        session.training_time().as_secs_f64(),
+        session.per_release_budget().unwrap().epsilon
+    );
+
+    // Keep a handle for in-process inspection (clones share models, index,
+    // and — crucially — the budget ledger), cap the served session at the
+    // composed budget of 60 released records, and serve on an ephemeral port.
+    let local = session.clone();
+    let cap = cap_admitting(&session, 60).unwrap();
+    let handle = serve(
+        ServeConfig::default(),
+        vec![SessionEntry::new(session).capped(cap)],
+    )
+    .expect("bind failed");
+    println!(
+        "serving on {} (cap epsilon {:.3})",
+        handle.addr(),
+        cap.epsilon
+    );
+
+    let mut client = Client::connect(handle.addr()).expect("connect failed");
+
+    // Two well-behaved requests: different seeds, deterministic releases.
+    for seed in [1u64, 2] {
+        let release = client
+            .generate(&GenerateCall::new(25).with_request(GenerateRequest::new(25).with_seed(seed)))
+            .expect("admitted request failed");
+        println!(
+            "seed {seed}: released {:2} records, cumulative epsilon {:.3}",
+            release.records.len(),
+            release.ledger_f64("total_epsilon").unwrap()
+        );
+    }
+
+    // A greedy request that would blow the cap is rejected at admission with
+    // a machine-readable reason — nothing is charged to the ledger.
+    match client
+        .generate(&GenerateCall::new(500).with_request(GenerateRequest::new(500).with_seed(3)))
+    {
+        Err(ClientError::Rejected(rejection)) => {
+            assert_eq!(rejection.code, reject::BUDGET_EXHAUSTED);
+            println!(
+                "target 500: rejected (`{}`), requested epsilon {:.1} > cap {:.1}",
+                rejection.code,
+                rejection
+                    .detail
+                    .get("requested_epsilon")
+                    .and_then(|v| v.as_f64())
+                    .unwrap(),
+                cap.epsilon
+            );
+        }
+        other => panic!("expected a budget rejection, got {other:?}"),
+    }
+
+    // The in-process handle sees the same ledger the server charged.
+    let ledger = local.ledger();
+    println!(
+        "shared ledger: {} requests, {} releases, reserved {}, total epsilon {:.3}",
+        ledger.requests,
+        ledger.releases,
+        ledger.reserved,
+        ledger.total().epsilon
+    );
+    assert_eq!(ledger.requests, 2);
+    assert_eq!(ledger.reserved, 0);
+
+    // Drain and stop.
+    client.shutdown().expect("shutdown failed");
+    handle.join().expect("drain failed");
+    println!("server drained cleanly");
+}

@@ -25,10 +25,18 @@ done
 BINARIES=(fig1 fig2 fig3 fig4 fig5 fig6 fig_index table1 table2 table3 table4 table5)
 
 echo "== building release binaries =="
-cargo build --release -p bench
+cargo build --release -p bench -p sgf-serve
 
 OUTDIR=artifacts
 mkdir -p "$OUTDIR"
+
+# End-to-end smoke of the release service: ephemeral-port server, a
+# 3-request client session (the third rejected over budget), clean drain.
+echo
+echo "== sgf-serve smoke =="
+start=$SECONDS
+target/release/sgf-serve --smoke | tee "$OUTDIR/serve_smoke.txt"
+echo "== sgf-serve smoke finished in $((SECONDS - start))s =="
 
 for bin in "${BINARIES[@]}"; do
     echo

@@ -10,6 +10,7 @@
 //! * [`model`] — structure learning, CPTs, seed-based synthesis, marginal baseline;
 //! * [`index`] — indexed seed stores making the plausible-deniability test sublinear;
 //! * [`core`] — plausible-deniability tests, Mechanism 1, Theorem-1 accounting, pipeline;
+//! * [`serve`] — the budget-capped TCP release service over a trained session;
 //! * [`ml`] — trees, forests, AdaBoost, LR/SVM, DP-ERM;
 //! * [`eval`] — the table/figure reproduction harness.
 //!
@@ -49,4 +50,5 @@ pub use sgf_eval as eval;
 pub use sgf_index as index;
 pub use sgf_ml as ml;
 pub use sgf_model as model;
+pub use sgf_serve as serve;
 pub use sgf_stats as stats;

@@ -1,0 +1,79 @@
+//! Regression guard for the per-train index build: the inverted seed index is
+//! built exactly once per `SynthesisEngine::train` and shared — not rebuilt —
+//! by session clones and serve-owned handles over the same split.
+//!
+//! This is deliberately a single `#[test]` in its own integration binary: the
+//! build counter is process-global, so the delta measurement must not race
+//! other index-building tests in the same process.
+
+use sgf::core::{GenerateRequest, PrivacyTestConfig, SeedIndex, SynthesisEngine};
+use sgf::data::acs::{acs_bucketizer, acs_schema, generate_acs};
+use sgf::index::InvertedIndexStore;
+use sgf::serve::{serve, Client, GenerateCall, ServeConfig, SessionEntry};
+
+#[test]
+fn one_index_build_per_train_shared_across_clones_and_serve() {
+    let population = generate_acs(4_000, 51);
+    let bucketizer = acs_bucketizer(&acs_schema());
+    let builds_before = InvertedIndexStore::build_count();
+
+    // Auto policy + ~1960 seeds (≥ AUTO_MIN_SEEDS): the index is built at
+    // train time.
+    let session = SynthesisEngine::builder()
+        .privacy_test(
+            PrivacyTestConfig::randomized(20, 4.0, 1.0).with_limits(Some(40), Some(2_000)),
+        )
+        .max_candidate_factor(30)
+        .seed(51)
+        .train(&population, &bucketizer)
+        .unwrap();
+    assert!(session.seeds().len() >= SeedIndex::AUTO_MIN_SEEDS);
+    assert_eq!(
+        InvertedIndexStore::build_count() - builds_before,
+        1,
+        "training must build the index exactly once"
+    );
+
+    // Clones share the same instance — pointer-equal, not a rebuild.
+    let clone_a = session.clone();
+    let clone_b = clone_a.clone();
+    assert!(std::ptr::eq(
+        session.seed_store().unwrap(),
+        clone_a.seed_store().unwrap()
+    ));
+    assert!(std::ptr::eq(
+        session.seed_store().unwrap(),
+        clone_b.seed_store().unwrap()
+    ));
+
+    // Index-backed generation works through a clone and charges the shared
+    // ledger; explicit `Inverted` proves the shared index is really used.
+    let report = clone_a
+        .generate(
+            &GenerateRequest::new(8)
+                .with_seed(1)
+                .with_seed_index(SeedIndex::Inverted),
+        )
+        .unwrap();
+    assert_eq!(report.stats.index_tests, report.stats.candidates);
+    assert_eq!(session.ledger().requests, 1);
+
+    // A serve-owned handle over the same split reuses it too.
+    let handle = serve(ServeConfig::default(), vec![SessionEntry::new(clone_b)]).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let release = client
+        .generate(&GenerateCall::new(8).with_request(GenerateRequest::new(8).with_seed(2)))
+        .unwrap();
+    assert!(!release.records.is_empty());
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // The original handle sees the serve-side request on the shared ledger,
+    // and nothing along the way rebuilt the index.
+    assert_eq!(session.ledger().requests, 2);
+    assert_eq!(
+        InvertedIndexStore::build_count() - builds_before,
+        1,
+        "clones and serve handles must not rebuild the index"
+    );
+}

@@ -1,0 +1,264 @@
+//! Concurrency harness for the release service: a 16-thread client storm
+//! against one session under an (ε, δ) cap sized so that exactly K requests
+//! can be admitted.  Verifies the acceptance bar of the serve layer:
+//!
+//! * exactly K requests succeed, every other one is rejected with a
+//!   machine-readable `budget_exhausted` reason carrying the requested/cap
+//!   budgets;
+//! * the ledger never exceeds the cap at any observed point (a monitor
+//!   thread polls the `ledger` verb throughout the storm and checks the
+//!   worst-case `reserved_epsilon`/`reserved_delta`);
+//! * the final ledger equals the composed (ε, δ) of exactly the K admitted
+//!   releases, with no leaked reservations;
+//! * re-running the successful per-request seeds against a fresh,
+//!   identically-trained session reproduces byte-identical releases.
+//!
+//! The storm runs the marginal model: it is seed-independent, so every
+//! candidate passes the privacy test (Section 8) and each admitted request
+//! releases exactly its target — which is what makes "exactly K admitted"
+//! deterministic (no freed partial reservations reopening admission).
+
+use sgf::core::{GenerateRequest, PrivacyTestConfig, SynthesisEngine, SynthesisSession};
+use sgf::data::acs::{acs_bucketizer, acs_schema, generate_acs};
+use sgf::serve::{
+    cap_admitting, reject, serve, Client, ClientError, GenerateCall, ModelKind, ServeConfig,
+    SessionEntry,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn train_session(seed: u64) -> SynthesisSession {
+    let population = generate_acs(4_000, seed);
+    let bucketizer = acs_bucketizer(&acs_schema());
+    SynthesisEngine::builder()
+        .privacy_test(
+            PrivacyTestConfig::randomized(20, 4.0, 1.0).with_limits(Some(40), Some(2_000)),
+        )
+        .max_candidate_factor(30)
+        .seed(seed)
+        .train(&population, &bucketizer)
+        .unwrap()
+}
+
+const STORM_CLIENTS: u64 = 16;
+const ADMITTED: usize = 3; // K
+const TARGET: usize = 4; // records per request
+
+fn storm_call(seed: u64) -> GenerateCall {
+    GenerateCall::new(TARGET)
+        .with_model(ModelKind::Marginal)
+        .with_request(GenerateRequest::new(TARGET).with_seed(seed))
+}
+
+#[test]
+fn sixteen_thread_storm_admits_exactly_k_requests() {
+    let session = train_session(31);
+    let local = session.clone();
+    let per_release = session.per_release_budget().unwrap();
+    let cap = cap_admitting(&session, ADMITTED * TARGET).unwrap();
+    // Exact-admission counting requires the composed release budget to
+    // dominate the model budget — sanity-check the sizing assumption.
+    assert!(
+        (ADMITTED * TARGET) as f64 * per_release.epsilon > local.ledger().model_budget().epsilon,
+        "cap sizing assumption violated: model budget dominates"
+    );
+
+    let handle = serve(
+        ServeConfig {
+            queue_capacity: STORM_CLIENTS as usize * 2,
+            workers: 4,
+            ..ServeConfig::default()
+        },
+        vec![SessionEntry::new(session).capped(cap)],
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // Monitor: poll the ledger throughout the storm; the worst-case exposure
+    // (committed + reserved) must never exceed the cap at any point.
+    let stop = Arc::new(AtomicBool::new(false));
+    let monitor_stop = Arc::clone(&stop);
+    let monitor = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        let mut snapshots = 0usize;
+        while !monitor_stop.load(Ordering::SeqCst) {
+            let response = client.ledger("default").unwrap();
+            let ledger = response.get("ledger").expect("ledger object");
+            let reserved_epsilon = ledger
+                .get("reserved_epsilon")
+                .and_then(|v| v.as_f64())
+                .expect("finite reserved_epsilon");
+            let reserved_delta = ledger
+                .get("reserved_delta")
+                .and_then(|v| v.as_f64())
+                .expect("finite reserved_delta");
+            assert!(
+                reserved_epsilon <= cap.epsilon && reserved_delta <= cap.delta,
+                "observed worst case (ε = {reserved_epsilon}, δ = {reserved_delta}) \
+                 over the cap (ε = {}, δ = {})",
+                cap.epsilon,
+                cap.delta
+            );
+            snapshots += 1;
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        snapshots
+    });
+
+    // The storm: one connection per client thread, all firing at once.
+    let outcomes: Vec<(u64, Result<Vec<sgf::data::Record>, ClientError>)> =
+        std::thread::scope(|scope| {
+            (0..STORM_CLIENTS)
+                .map(|seed| {
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).unwrap();
+                        let result = client
+                            .generate(&storm_call(seed))
+                            .map(|release| release.records);
+                        (seed, result)
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+    stop.store(true, Ordering::SeqCst);
+    let snapshots = monitor.join().unwrap();
+    assert!(snapshots > 0, "the monitor must observe the storm");
+
+    // Exactly K succeed with full targets; everyone else gets a
+    // machine-readable budget rejection carrying the requested/cap budgets.
+    let mut admitted = Vec::new();
+    for (seed, outcome) in outcomes {
+        match outcome {
+            Ok(records) => {
+                assert_eq!(records.len(), TARGET, "marginal model must fill the target");
+                admitted.push((seed, records));
+            }
+            Err(ClientError::Rejected(rejection)) => {
+                assert_eq!(rejection.code, reject::BUDGET_EXHAUSTED);
+                let requested = rejection
+                    .detail
+                    .get("requested_epsilon")
+                    .and_then(|v| v.as_f64())
+                    .expect("rejection carries requested_epsilon");
+                let capped = rejection
+                    .detail
+                    .get("cap_epsilon")
+                    .and_then(|v| v.as_f64())
+                    .expect("rejection carries cap_epsilon");
+                assert!(requested > capped);
+            }
+            Err(other) => panic!("seed {seed}: unexpected failure {other}"),
+        }
+    }
+    assert_eq!(
+        admitted.len(),
+        ADMITTED,
+        "exactly K requests must be admitted"
+    );
+
+    // Final ledger: the composed (ε, δ) of exactly the K admitted releases,
+    // nothing reserved, never over the cap.
+    let ledger = local.ledger();
+    assert_eq!(ledger.requests, ADMITTED);
+    assert_eq!(ledger.releases, ADMITTED * TARGET);
+    assert_eq!(ledger.reserved, 0, "reservations must not leak");
+    let expected_epsilon = (ADMITTED * TARGET) as f64 * per_release.epsilon;
+    assert!((ledger.cumulative_release().epsilon - expected_epsilon).abs() < 1e-9);
+    assert!(ledger.total().epsilon <= cap.epsilon);
+    assert!(ledger.total().delta <= cap.delta);
+
+    let mut closer = Client::connect(addr).unwrap();
+    closer.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // Determinism: a fresh, identically-trained session re-serves the same
+    // per-request seeds with byte-identical records.
+    let replay = train_session(31);
+    for (seed, records) in admitted {
+        let report = replay
+            .generate_with(
+                &replay.models().marginal,
+                &GenerateRequest::new(TARGET).with_seed(seed),
+            )
+            .unwrap();
+        assert_eq!(
+            report.synthetics.records(),
+            &records[..],
+            "seed {seed} must reproduce byte-identical records"
+        );
+    }
+}
+
+/// Backpressure: with one worker (artificially slowed), a queue of depth one,
+/// and three overlapping requests, the third is rejected with `queue_full`
+/// and the configured retry hint — and the two admitted requests complete.
+#[test]
+fn full_queue_rejects_with_retry_hint() {
+    let session = train_session(32);
+    let handle = serve(
+        ServeConfig {
+            queue_capacity: 1,
+            workers: 1,
+            retry_after_ms: 25,
+            service_delay: Some(Duration::from_millis(800)),
+            ..ServeConfig::default()
+        },
+        vec![SessionEntry::new(session)],
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    let wait_for = |predicate: &dyn Fn(&sgf::serve::json::Value) -> bool, what: &str| {
+        let mut client = Client::connect(addr).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let status = client.status().unwrap();
+            if predicate(&status) {
+                return;
+            }
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+
+    std::thread::scope(|scope| {
+        // A occupies the (slowed) worker...
+        let a = scope.spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            client.generate(&storm_call(1))
+        });
+        wait_for(
+            &|s| s.get("busy_workers").and_then(|v| v.as_u64()) == Some(1),
+            "the worker to pick up request A",
+        );
+        // ...B fills the queue...
+        let b = scope.spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            client.generate(&storm_call(2))
+        });
+        wait_for(
+            &|s| s.get("queue_depth").and_then(|v| v.as_u64()) == Some(1),
+            "request B to be queued",
+        );
+        // ...so C must bounce off the full queue with the retry hint.
+        let mut client = Client::connect(addr).unwrap();
+        match client.generate(&storm_call(3)) {
+            Err(ClientError::Rejected(rejection)) => {
+                assert_eq!(rejection.code, reject::QUEUE_FULL);
+                assert_eq!(rejection.retry_after_ms, Some(25));
+            }
+            other => panic!("expected queue_full, got {other:?}"),
+        }
+        // The admitted requests still complete normally.
+        assert_eq!(a.join().unwrap().unwrap().records.len(), TARGET);
+        assert_eq!(b.join().unwrap().unwrap().records.len(), TARGET);
+    });
+
+    let mut closer = Client::connect(addr).unwrap();
+    closer.shutdown().unwrap();
+    handle.join().unwrap();
+}

@@ -203,6 +203,132 @@ fn release_iter_matches_generate_and_streams_budget() {
     assert_eq!(session.ledger().requests, 2);
 }
 
+/// Session clones are handles to the same logical session: a `ReleaseIter`
+/// streaming on a clone yields byte-identical records to a single-worker
+/// `generate` on the original, and both charge the one shared ledger.
+#[test]
+fn cloned_session_streams_identically_and_shares_the_ledger() {
+    let population = generate_acs(3_500, 28);
+    let bucketizer = acs_bucketizer(&acs_schema());
+    let session = SynthesisEngine::from_config(small_config(1, 28))
+        .train(&population, &bucketizer)
+        .unwrap();
+    let clone = session.clone();
+
+    let request = GenerateRequest::new(10).with_seed(9).with_workers(1);
+    let reference = session.generate(&request).unwrap();
+
+    let mut iter = clone.release_iter(request).unwrap();
+    let streamed: Vec<_> = iter.by_ref().map(|r| r.unwrap()).collect();
+    assert_eq!(reference.synthetics.records(), &streamed[..]);
+
+    // One ledger across both handles: two requests, double the releases.
+    for handle in [&session, &clone] {
+        let ledger = handle.ledger();
+        assert_eq!(ledger.requests, 2);
+        assert_eq!(ledger.releases, 2 * reference.stats.released);
+    }
+}
+
+/// The in-process reservation API: `try_reserve` enforces the cap atomically,
+/// `generate_reserved` commits actual releases and frees the rest, and failed
+/// or aborted reservations never leak.
+#[test]
+fn reservation_api_caps_generation_without_leaks() {
+    use sgf::core::CoreError;
+
+    let population = generate_acs(3_500, 29);
+    let bucketizer = acs_bucketizer(&acs_schema());
+    let session = SynthesisEngine::from_config(small_config(1, 29))
+        .train(&population, &bucketizer)
+        .unwrap();
+    let cap = sgf::serve::cap_admitting(&session, 10).unwrap();
+
+    // The cap admits exactly 10 records' worth of reservations.
+    session.try_reserve(10, cap).unwrap();
+    assert!(matches!(
+        session.try_reserve(1, cap),
+        Err(CoreError::BudgetCapExceeded { .. })
+    ));
+    assert_eq!(session.ledger().reserved, 10);
+
+    // Committing through the marginal model releases exactly the target and
+    // frees the unused part of the reservation.
+    let report = session
+        .generate_reserved_with(
+            &session.models().marginal,
+            10,
+            &GenerateRequest::new(8).with_seed(1),
+        )
+        .unwrap();
+    assert_eq!(report.stats.released, 8);
+    let ledger = session.ledger();
+    assert_eq!((ledger.releases, ledger.reserved), (8, 0));
+
+    // The freed budget is admissible again; aborting hands it back untouched.
+    session.try_reserve(2, cap).unwrap();
+    session.abort_reservation(2);
+    assert!(
+        session.try_reserve(3, cap).is_err(),
+        "only 2 records remain"
+    );
+    session.try_reserve(2, cap).unwrap();
+
+    // A reserved generate whose target exceeds the reservation fails and
+    // settles (aborts) the reservation — nothing leaks.
+    assert!(session
+        .generate_reserved(2, &GenerateRequest::new(5).with_seed(2))
+        .is_err());
+    let ledger = session.ledger();
+    assert_eq!((ledger.releases, ledger.reserved), (8, 0));
+    assert!(ledger.total().epsilon <= cap.epsilon);
+}
+
+/// A reservation-backed `ReleaseIter` keeps the ledger's worst case exact for
+/// the whole stream: each yielded record converts one reserved record, so
+/// `releases + reserved` never exceeds what admission approved.
+#[test]
+fn reserved_streaming_keeps_the_worst_case_exact() {
+    let population = generate_acs(3_500, 30);
+    let bucketizer = acs_bucketizer(&acs_schema());
+    let session = SynthesisEngine::from_config(small_config(1, 30))
+        .train(&population, &bucketizer)
+        .unwrap();
+    let target = 8usize;
+    let cap = sgf::serve::cap_admitting(&session, target).unwrap();
+
+    session.try_reserve(target, cap).unwrap();
+    let mut iter = session
+        .release_iter_reserved(target, GenerateRequest::new(target).with_seed(3))
+        .unwrap();
+    let mut streamed = 0usize;
+    for record in iter.by_ref() {
+        record.unwrap();
+        streamed += 1;
+        let ledger = session.ledger();
+        // Conversion, not double-charging: the approved total never moves.
+        assert_eq!(ledger.releases, streamed);
+        assert_eq!(ledger.releases + ledger.reserved, target);
+        assert!(ledger.reserved_total().epsilon <= cap.epsilon);
+        assert!(ledger.reserved_total().delta <= cap.delta);
+    }
+    // Settle the unstreamed remainder; nothing leaks.
+    session.abort_reservation(target - streamed);
+    let ledger = session.ledger();
+    assert_eq!(ledger.reserved, 0);
+    assert_eq!(ledger.releases, streamed);
+    assert_eq!(ledger.requests, 1);
+
+    // A reserved stream whose target exceeds its reservation fails to open
+    // and settles (aborts) the reservation on the way out.
+    let wider_cap = sgf::serve::cap_admitting(&session, streamed + 3).unwrap();
+    session.try_reserve(3, wider_cap).unwrap();
+    assert!(session
+        .release_iter_reserved(3, GenerateRequest::new(4).with_seed(4))
+        .is_err());
+    assert_eq!(session.ledger().reserved, 0);
+}
+
 /// ω can vary per request without retraining; invalid overrides are rejected.
 #[test]
 fn per_request_omega_overrides_work() {
