@@ -1,16 +1,30 @@
-//! Seed-store sweep: scan-vs-inverted-index cost of the plausible-deniability
-//! test across seed-dataset size × k (the privacy parameter).
+//! Seed-store sweep: scan vs inverted index vs partition store cost of the
+//! plausible-deniability test across seed-dataset size × k (the privacy
+//! parameter).
 //!
-//! For every configuration the two stores propose the *same* candidates from
-//! the same RNG seed and must release identical records — the binary asserts
-//! this — while `records_examined` (model-probability evaluations per test)
-//! and synthesis wall clock drop with the index.  The last column group shows
-//! the one-off index build cost amortized over every request of a session.
+//! For every configuration the three stores propose the *same* candidates
+//! from the same RNG seed and must release identical records — the binary
+//! asserts this (a decision-equivalence regression here fails `repro.sh` and
+//! CI) — while `records_examined` (model-probability evaluations per test)
+//! and synthesis wall clock drop with each store generation:
+//!
+//! * the scan examines `O(|D_S|)` records per candidate;
+//! * the inverted index examines the posting-list survivors (≈ k plus
+//!   overhead);
+//! * the partition store collapses seeds into likelihood-equivalence classes
+//!   and runs one check per class — with a fixed ω every key attribute is
+//!   exact-matched, so each test is a single class lookup and the examined
+//!   count scales with the distinct-class count, not `|D_S|`.
+//!
+//! The last column group shows the one-off index build costs amortized over
+//! every request of a session.
 
 use bench::{scale_from_args, smoke_mode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sgf_core::{InvertedIndexStore, Mechanism, PrivacyTestConfig, SynthesisPipeline};
+use sgf_core::{
+    InvertedIndexStore, Mechanism, PartitionIndexStore, PrivacyTestConfig, SynthesisPipeline,
+};
 use sgf_data::acs::{acs_bucketizer, acs_schema, generate_acs};
 use sgf_data::{split_dataset, SplitSpec};
 use sgf_eval::TextTable;
@@ -31,15 +45,18 @@ fn main() {
 
     let mut table = TextTable::new(&[
         "Seeds",
+        "Classes",
         "k",
-        "Candidates",
         "Released",
-        "Scan examined",
-        "Index examined",
-        "Examined ratio",
+        "Scan exam",
+        "Inv exam",
+        "Part exam",
+        "Part/Inv",
         "Scan (s)",
-        "Index (s)",
-        "Build (s)",
+        "Inv (s)",
+        "Part (s)",
+        "Build inv (s)",
+        "Build part (s)",
     ]);
 
     for &population_size in &populations {
@@ -64,7 +81,13 @@ fn main() {
             MAX_INTERSECT_LISTS,
         )
         .expect("index build succeeds");
-        let build_seconds = build_start.elapsed().as_secs_f64();
+        let inverted_build_seconds = build_start.elapsed().as_secs_f64();
+
+        let build_start = Instant::now();
+        let partition_store =
+            PartitionIndexStore::build(&split.seeds, synthesizer.kept_attributes())
+                .expect("partition build succeeds");
+        let partition_build_seconds = build_start.elapsed().as_secs_f64();
 
         for &k in &ks {
             let test =
@@ -73,6 +96,9 @@ fn main() {
                 Mechanism::new(&synthesizer, &split.seeds, test).expect("scan mechanism is valid");
             let index_mech = Mechanism::with_store(&synthesizer, &split.seeds, &index_store, test)
                 .expect("index mechanism is valid");
+            let partition_mech =
+                Mechanism::with_store(&synthesizer, &split.seeds, &partition_store, test)
+                    .expect("partition mechanism is valid");
 
             let start = Instant::now();
             let (scan_released, scan_stats) = scan_mech
@@ -86,33 +112,73 @@ fn main() {
                 .expect("index batch succeeds");
             let index_seconds = start.elapsed().as_secs_f64();
 
+            let start = Instant::now();
+            let (partition_released, partition_stats) = partition_mech
+                .release_batch(candidates, &mut StdRng::seed_from_u64(77))
+                .expect("partition batch succeeds");
+            let partition_seconds = start.elapsed().as_secs_f64();
+
+            // Decision equivalence is a hard invariant, not a benchmark
+            // observation: any divergence aborts the artifact run.
             assert_eq!(
                 scan_released,
                 index_released,
-                "scan and index must release identical records (seeds {}, k {k})",
+                "scan and inverted index must release identical records (seeds {}, k {k})",
                 split.seeds.len()
             );
-            let ratio =
-                index_stats.records_examined as f64 / (scan_stats.records_examined as f64).max(1.0);
+            assert_eq!(
+                scan_released,
+                partition_released,
+                "scan and partition store must release identical records (seeds {}, k {k})",
+                split.seeds.len()
+            );
+            assert_eq!(partition_stats.partition_tests, partition_stats.candidates);
+            assert!(
+                partition_stats.records_examined <= index_stats.records_examined,
+                "class counting must not examine more than the inverted index \
+                 ({} vs {}, seeds {}, k {k})",
+                partition_stats.records_examined,
+                index_stats.records_examined,
+                split.seeds.len()
+            );
+            if split.seeds.len() >= 4_000 {
+                assert!(
+                    partition_stats.records_examined < index_stats.records_examined,
+                    "at >= 4k seeds the partition store must examine strictly fewer \
+                     records than the inverted index ({} vs {}, seeds {}, k {k})",
+                    partition_stats.records_examined,
+                    index_stats.records_examined,
+                    split.seeds.len()
+                );
+            }
+
+            let ratio = partition_stats.records_examined as f64
+                / (index_stats.records_examined as f64).max(1.0);
             table.add_row(&[
                 split.seeds.len().to_string(),
+                partition_store.class_count().to_string(),
                 k.to_string(),
-                candidates.to_string(),
                 scan_stats.released.to_string(),
                 scan_stats.records_examined.to_string(),
                 index_stats.records_examined.to_string(),
+                partition_stats.records_examined.to_string(),
                 format!("{ratio:.4}"),
                 format!("{scan_seconds:.3}"),
                 format!("{index_seconds:.3}"),
-                format!("{build_seconds:.3}"),
+                format!("{partition_seconds:.3}"),
+                format!("{inverted_build_seconds:.3}"),
+                format!("{partition_build_seconds:.3}"),
             ]);
         }
     }
 
     println!(
-        "Seed-store sweep: plausible-deniability test cost, scan vs inverted index \
-         (omega = 9, gamma = 4, eps0 = 1, scale {scale})\n"
+        "Seed-store sweep: plausible-deniability test cost, scan vs inverted index vs \
+         partition store (omega = 9, gamma = 4, eps0 = 1, scale {scale})\n"
     );
     println!("{}", table.render());
-    println!("Scan and index released byte-identical records in every configuration.");
+    println!(
+        "Scan, inverted index, and partition store released byte-identical records in \
+         every configuration."
+    );
 }

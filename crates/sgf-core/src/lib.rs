@@ -60,4 +60,6 @@ pub use privacy_test::{run_privacy_test, run_with_store, PrivacyTestConfig, Test
 pub use session::{
     EngineBuilder, GenerateRequest, ReleaseIter, ReleaseReport, SynthesisEngine, SynthesisSession,
 };
-pub use sgf_index::{InvertedIndexStore, LinearScanStore, SeedIndex, SeedStore};
+pub use sgf_index::{
+    InvertedIndexStore, LinearScanStore, PartitionIndexStore, SeedIndex, SeedStore,
+};

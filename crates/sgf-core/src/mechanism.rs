@@ -41,6 +41,10 @@ pub struct MechanismStats {
     pub index_tests: usize,
     /// Privacy tests served by the full linear scan.
     pub scan_tests: usize,
+    /// Privacy tests served at likelihood-equivalence-class granularity (one
+    /// model evaluation per class, members counted with multiplicity); for
+    /// these, `records_examined` counts classes examined.
+    pub partition_tests: usize,
 }
 
 impl MechanismStats {
@@ -59,7 +63,9 @@ impl MechanismStats {
     pub fn observe(&mut self, outcome: &TestOutcome) {
         self.candidates += 1;
         self.records_examined += outcome.records_examined;
-        if outcome.via_index {
+        if outcome.via_classes {
+            self.partition_tests += 1;
+        } else if outcome.via_index {
             self.index_tests += 1;
         } else {
             self.scan_tests += 1;
@@ -73,18 +79,20 @@ impl MechanismStats {
         self.records_examined += other.records_examined;
         self.index_tests += other.index_tests;
         self.scan_tests += other.scan_tests;
+        self.partition_tests += other.partition_tests;
     }
 
     /// Render the counters as a JSON object, so services and the bench
     /// binaries can emit machine-readable reports.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"candidates\":{},\"released\":{},\"records_examined\":{},\"index_tests\":{},\"scan_tests\":{},\"pass_rate\":{}}}",
+            "{{\"candidates\":{},\"released\":{},\"records_examined\":{},\"index_tests\":{},\"scan_tests\":{},\"partition_tests\":{},\"pass_rate\":{}}}",
             self.candidates,
             self.released,
             self.records_examined,
             self.index_tests,
             self.scan_tests,
+            self.partition_tests,
             crate::dp::json_f64(self.pass_rate())
         )
     }
@@ -401,20 +409,23 @@ mod tests {
             records_examined: 100,
             index_tests: 6,
             scan_tests: 4,
+            partition_tests: 0,
         };
         let b = MechanismStats {
             candidates: 5,
             released: 5,
             records_examined: 50,
             index_tests: 0,
-            scan_tests: 5,
+            scan_tests: 2,
+            partition_tests: 3,
         };
         a.merge(&b);
         assert_eq!(a.candidates, 15);
         assert_eq!(a.released, 9);
         assert_eq!(a.records_examined, 150);
         assert_eq!(a.index_tests, 6);
-        assert_eq!(a.scan_tests, 9);
+        assert_eq!(a.scan_tests, 6);
+        assert_eq!(a.partition_tests, 3);
         assert!((a.pass_rate() - 0.6).abs() < 1e-12);
         assert_eq!(MechanismStats::default().pass_rate(), 0.0);
     }

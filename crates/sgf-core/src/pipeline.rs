@@ -52,10 +52,15 @@ pub struct PipelineConfig {
     /// Number of worker threads for candidate generation (the process is
     /// embarrassingly parallel, Section 5).
     pub workers: usize,
-    /// Seed-store policy for the privacy test: full scan, inverted index, or
-    /// automatic selection.  Scan and index are decision-equivalent — the
-    /// policy only affects how many records each test must examine.
+    /// Seed-store policy for the privacy test: full scan, inverted index,
+    /// partition store, or automatic selection.  All stores are
+    /// decision-equivalent — the policy only affects how many records (or
+    /// equivalence classes) each test must examine.
     pub seed_index: SeedIndex,
+    /// Seed-dataset size above which [`SeedIndex::Auto`] prefers an index
+    /// over the linear scan.  Defaults to [`SeedIndex::AUTO_MIN_SEEDS`]; set
+    /// it to the measured scan/index crossover of the deployment hardware.
+    pub auto_index_min_seeds: usize,
     /// Master seed for all randomness in the pipeline.
     pub seed: u64,
 }
@@ -75,6 +80,7 @@ impl PipelineConfig {
             max_candidate_factor: 20,
             workers: 1,
             seed_index: SeedIndex::Auto,
+            auto_index_min_seeds: SeedIndex::AUTO_MIN_SEEDS,
             seed: 0,
         }
     }
@@ -109,8 +115,8 @@ impl PipelineConfig {
 pub struct PipelineTimings {
     /// Time spent splitting the data and learning structure + parameters.
     pub model_learning: Duration,
-    /// Time spent building the inverted seed index (zero under
-    /// [`SeedIndex::Scan`]).
+    /// Time spent building the seed indexes (inverted and/or partition
+    /// store; zero under [`SeedIndex::Scan`]).
     pub index_build: Duration,
     /// Time spent generating and testing candidates.
     pub synthesis: Duration,
@@ -260,20 +266,24 @@ impl SynthesisPipeline {
     ///
     /// An explicit seed dataset carries no session-built index, so the
     /// privacy tests always run as linear scans here: `SeedIndex::Inverted`
-    /// is rejected (train a [`SynthesisSession`](crate::SynthesisSession) for
-    /// index-accelerated generation), and `Auto` degrades to the scan.
+    /// and `SeedIndex::Partition` are rejected (train a
+    /// [`SynthesisSession`](crate::SynthesisSession) for index-accelerated
+    /// generation), and `Auto` degrades to the scan.
     pub fn generate(
         &self,
         models: &TrainedModels,
         seeds: &Dataset,
     ) -> Result<(Vec<Record>, MechanismStats)> {
-        if self.config.seed_index == SeedIndex::Inverted {
-            return Err(CoreError::InvalidParameter(
+        if matches!(
+            self.config.seed_index,
+            SeedIndex::Inverted | SeedIndex::Partition
+        ) {
+            return Err(CoreError::InvalidParameter(format!(
                 "SynthesisPipeline::generate runs over an explicit seed dataset without a \
                  trained index; use SeedIndex::Scan/Auto here or train a SynthesisSession \
-                 for SeedIndex::Inverted"
-                    .into(),
-            ));
+                 for SeedIndex::{}",
+                self.config.seed_index
+            )));
         }
         self.config.omega.validate(seeds.schema().len())?;
         let (lo, hi) = match self.config.omega {

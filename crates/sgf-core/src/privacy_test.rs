@@ -134,6 +134,11 @@ pub struct TestOutcome {
     /// Whether an indexed seed store narrowed the candidate set for this test
     /// (`false` for the full scan).
     pub via_index: bool,
+    /// Whether the test counted whole likelihood-equivalence classes (one
+    /// model evaluation per class, members counted with multiplicity) rather
+    /// than individual records.  Implies nothing about `via_index`: class
+    /// counting is a third, coarser granularity.
+    pub via_classes: bool,
 }
 
 /// Run the privacy test on the tuple `(M, D, d, y)` with the given
@@ -211,6 +216,7 @@ where
                 records_examined: 0,
                 threshold,
                 via_index: false,
+                via_classes: false,
             })
         }
     };
@@ -229,6 +235,63 @@ where
     } else {
         None
     };
+
+    // Class-level fast path: a partition-aware store collapses seeds into
+    // likelihood-equivalence classes — every member shares the representative's
+    // generation probability for every candidate — so the γ-partition check
+    // runs once per class and members count with multiplicity.  The stopping
+    // rule is replayed member-by-member below, so the reported plausible count
+    // (and hence the decision) is bit-identical to the record-level walk; the
+    // threshold and subset randomness were already drawn above, identically
+    // for every store, so the RNG stream matches too.
+    if let Some(classes) = store.likelihood_classes(
+        y,
+        model.likelihood_attributes(),
+        model.exact_match_attributes(),
+    ) {
+        let mut plausible = 0usize;
+        let mut examined = 0usize;
+        let mut stopped = false;
+        for class in classes {
+            examined += 1;
+            let p = model.probability(dataset.record(class.representative), y);
+            if partition_index(p, config.gamma) != Some(seed_partition) {
+                continue;
+            }
+            // Count the class members one at a time — restricted to the
+            // examined subset when one is in force — replaying the
+            // record-level stopping rule per member, so the count freezes at
+            // exactly the same value as the scan and no membership tests are
+            // paid past the stopping point.
+            for &member in class.members {
+                if subset
+                    .as_ref()
+                    .is_some_and(|subset| !subset.contains(member as usize))
+                {
+                    continue;
+                }
+                plausible += 1;
+                let enough_for_threshold = plausible as f64 >= threshold;
+                let reached_cap = stop_at.is_some_and(|cap| plausible >= cap);
+                if enough_for_threshold || reached_cap {
+                    stopped = true;
+                    break;
+                }
+            }
+            if stopped {
+                break;
+            }
+        }
+        return Ok(TestOutcome {
+            passed: plausible as f64 >= threshold,
+            seed_partition: Some(seed_partition),
+            plausible_seeds: plausible,
+            records_examined: examined,
+            threshold,
+            via_index: false,
+            via_classes: true,
+        });
+    }
 
     let candidates = store.plausible_candidates(y, model.exact_match_attributes());
     let via_index = candidates.is_filtered();
@@ -288,6 +351,7 @@ where
         records_examined: examined,
         threshold,
         via_index,
+        via_classes: false,
     })
 }
 

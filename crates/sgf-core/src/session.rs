@@ -30,7 +30,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use sgf_data::{split_dataset, Bucketizer, DataSplit, Dataset, Record, SplitSpec};
-use sgf_index::{InvertedIndexStore, LinearScanStore, SeedIndex, SeedStore, MAX_INTERSECT_LISTS};
+use sgf_index::{
+    InvertedIndexStore, LinearScanStore, PartitionIndexStore, SeedIndex, SeedStore,
+    MAX_INTERSECT_LISTS,
+};
 use sgf_model::{GenerativeModel, OmegaSpec, ParameterConfig, SeedSynthesizer, StructureConfig};
 use sgf_stats::DpBudget;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -100,9 +103,18 @@ impl EngineBuilder {
         self
     }
 
-    /// Seed-store policy: scan, inverted index, or automatic selection.
+    /// Seed-store policy: scan, inverted index, partition store, or automatic
+    /// selection.
     pub fn seed_index(mut self, policy: SeedIndex) -> Self {
         self.config.seed_index = policy;
+        self
+    }
+
+    /// Seed-dataset size above which [`SeedIndex::Auto`] prefers an index
+    /// over the linear scan (default [`SeedIndex::AUTO_MIN_SEEDS`]).  Set it
+    /// to the measured scan/index crossover of the deployment hardware.
+    pub fn auto_index_min_seeds(mut self, min_seeds: usize) -> Self {
+        self.config.auto_index_min_seeds = min_seeds;
         self
     }
 
@@ -184,21 +196,43 @@ impl SynthesisEngine {
         let per_release = per_release_budget(&self.config.privacy_test);
         let ledger = BudgetLedger::new(models.structure.budget, models.cpts.budget(), per_release);
         let training = start.elapsed();
-        // Build the inverted seed index once per session (unless the policy
-        // pins the scan); every generate request shares it read-only.
-        let (index, index_build) = match self.config.seed_index {
-            SeedIndex::Scan => (None, Duration::ZERO),
+        // Build the seed indexes once per session (unless the policy pins the
+        // scan); every generate request shares them read-only.  The partition
+        // store is keyed on the largest likelihood-relevant attribute set of
+        // the session's ω spec — the kept attributes at the smallest
+        // admissible ω — so it covers every fixed-ω synthesizer the session's
+        // default spec can produce.
+        let build_start = Instant::now();
+        let index = match self.config.seed_index {
+            SeedIndex::Scan | SeedIndex::Partition => None,
             SeedIndex::Inverted | SeedIndex::Auto => {
-                let start = Instant::now();
                 let weights = models.structure.attribute_weights();
-                let index = InvertedIndexStore::build(
+                Some(InvertedIndexStore::build(
                     &split.seeds,
                     bucketizer,
                     &weights,
                     MAX_INTERSECT_LISTS,
-                )?;
-                (Some(index), start.elapsed())
+                )?)
             }
+        };
+        let partition = match self.config.seed_index {
+            SeedIndex::Scan | SeedIndex::Inverted => None,
+            SeedIndex::Partition | SeedIndex::Auto => {
+                let lo = match self.config.omega {
+                    OmegaSpec::Fixed(w) => w,
+                    OmegaSpec::UniformRange { lo, .. } => lo,
+                };
+                let synthesizer = SeedSynthesizer::new(Arc::clone(&models.cpts), lo)?;
+                Some(PartitionIndexStore::build(
+                    &split.seeds,
+                    synthesizer.kept_attributes(),
+                )?)
+            }
+        };
+        let index_build = if index.is_some() || partition.is_some() {
+            build_start.elapsed()
+        } else {
+            Duration::ZERO
         };
         Ok(SynthesisSession {
             config: self.config,
@@ -206,6 +240,7 @@ impl SynthesisEngine {
                 split,
                 models,
                 index,
+                partition,
                 index_build,
                 training,
             }),
@@ -326,8 +361,12 @@ struct SessionShared {
     split: DataSplit,
     models: TrainedModels,
     /// The inverted seed index, built once at train time (absent when the
-    /// session policy is [`SeedIndex::Scan`]).
+    /// session policy is [`SeedIndex::Scan`] or [`SeedIndex::Partition`]).
     index: Option<InvertedIndexStore>,
+    /// The partition-aware store of likelihood-equivalence classes, built
+    /// once at train time (absent when the session policy is
+    /// [`SeedIndex::Scan`] or [`SeedIndex::Inverted`]).
+    partition: Option<PartitionIndexStore>,
     index_build: Duration,
     training: Duration,
 }
@@ -387,8 +426,9 @@ impl SynthesisSession {
         self.shared.training
     }
 
-    /// Wall-clock time spent building the inverted seed index at train time
-    /// (zero when the session policy is [`SeedIndex::Scan`]).
+    /// Wall-clock time spent building the seed indexes (inverted and/or
+    /// partition store) at train time (zero when the session policy is
+    /// [`SeedIndex::Scan`]).
     pub fn index_build_time(&self) -> Duration {
         self.shared.index_build
     }
@@ -399,25 +439,62 @@ impl SynthesisSession {
         self.shared.index.as_ref()
     }
 
+    /// The partition-aware store of likelihood-equivalence classes, if the
+    /// session built one.  Clones of the same session return the same shared
+    /// instance.
+    pub fn partition_store(&self) -> Option<&PartitionIndexStore> {
+        self.shared.partition.as_ref()
+    }
+
     /// Resolve the effective store for a request: the request override, else
     /// the session policy.  `None` means "use the linear scan".
-    fn resolve_store(&self, request: &GenerateRequest) -> Result<Option<&dyn SeedStore>> {
+    ///
+    /// `likelihood` is the request model's likelihood guarantee
+    /// ([`GenerativeModel::likelihood_attributes`]); [`SeedIndex::Auto`]
+    /// prefers the partition store only when its class keying covers it (so
+    /// tests run at class granularity), degrading to the inverted index
+    /// otherwise.
+    fn resolve_store(
+        &self,
+        request: &GenerateRequest,
+        likelihood: Option<&[usize]>,
+    ) -> Result<Option<&dyn SeedStore>> {
         match request.seed_index.unwrap_or(self.config.seed_index) {
             SeedIndex::Scan => Ok(None),
             SeedIndex::Inverted => match &self.shared.index {
                 Some(index) => Ok(Some(index as &dyn SeedStore)),
-                None => Err(CoreError::InvalidParameter(
+                None => Err(CoreError::InvalidParameter(format!(
                     "request asked for SeedIndex::Inverted but the session was trained \
-                     with SeedIndex::Scan (no index was built)"
-                        .into(),
-                )),
+                     with SeedIndex::{} (no inverted index was built)",
+                    self.config.seed_index
+                ))),
             },
-            SeedIndex::Auto => Ok(self
-                .shared
-                .index
-                .as_ref()
-                .filter(|_| self.seeds().len() >= SeedIndex::AUTO_MIN_SEEDS)
-                .map(|index| index as &dyn SeedStore)),
+            SeedIndex::Partition => match &self.shared.partition {
+                Some(partition) => Ok(Some(partition as &dyn SeedStore)),
+                None => Err(CoreError::InvalidParameter(format!(
+                    "request asked for SeedIndex::Partition but the session was trained \
+                     with SeedIndex::{} (no partition store was built)",
+                    self.config.seed_index
+                ))),
+            },
+            SeedIndex::Auto => {
+                if self.seeds().len() < self.config.auto_index_min_seeds {
+                    return Ok(None);
+                }
+                if let Some(partition) = self
+                    .shared
+                    .partition
+                    .as_ref()
+                    .filter(|p| p.covers(likelihood))
+                {
+                    return Ok(Some(partition as &dyn SeedStore));
+                }
+                Ok(self
+                    .shared
+                    .index
+                    .as_ref()
+                    .map(|index| index as &dyn SeedStore))
+            }
         }
     }
 
@@ -575,7 +652,10 @@ impl SynthesisSession {
     ) -> Result<ReleaseIter<'_>> {
         let (target, _workers, max_candidates) = self.request_limits(&request)?;
         let models = self.build_synthesizers(request.omega.unwrap_or(self.config.omega))?;
-        let store = self.resolve_store(&request)?;
+        // models[0] is the smallest-ω synthesizer: its kept attributes are
+        // the largest likelihood set of the request, so if the partition
+        // store covers it, it covers every synthesizer of the request.
+        let store = self.resolve_store(&request, models[0].likelihood_attributes())?;
         // Validate the mechanism inputs once; `next` uses the raw hot path.
         Mechanism::new(&models[0], self.seeds(), self.config.privacy_test)?;
         self.ledger
@@ -629,7 +709,8 @@ impl SynthesisSession {
         reservation: Option<usize>,
     ) -> Result<ReleaseReport> {
         let (target, workers, max_candidates) = self.request_limits(request)?;
-        let store = self.resolve_store(request)?;
+        let likelihood = models.first().and_then(|m| m.likelihood_attributes());
+        let store = self.resolve_store(request, likelihood)?;
         let start = Instant::now();
         let (records, stats) = run_mechanism(
             models,
@@ -999,14 +1080,18 @@ mod tests {
 
     #[test]
     fn scan_and_index_release_identical_records() {
-        // The acceptance bar of the indexed seed store: for a fixed request
-        // seed, SeedIndex::Scan and SeedIndex::Inverted must release exactly
-        // the same records with the same counters (only records_examined may
-        // differ).
+        // The acceptance bar of the indexed seed stores: for a fixed request
+        // seed, SeedIndex::Scan, SeedIndex::Inverted, and
+        // SeedIndex::Partition must release exactly the same records with the
+        // same counters (only records_examined may differ).
         let data = generate_acs(4000, 21);
         let bkt = acs_bucketizer(&acs_schema());
         let session = small_engine(21).train(&data, &bkt).unwrap();
         assert!(session.seed_store().is_some(), "Auto builds the index");
+        assert!(
+            session.partition_store().is_some(),
+            "Auto builds the partition store"
+        );
         for request_seed in 0..3u64 {
             let base = GenerateRequest::new(20).with_seed(request_seed);
             let scan = session
@@ -1015,19 +1100,64 @@ mod tests {
             let index = session
                 .generate(&base.with_seed_index(SeedIndex::Inverted))
                 .unwrap();
+            let partition = session
+                .generate(&base.with_seed_index(SeedIndex::Partition))
+                .unwrap();
             assert_eq!(scan.synthetics.records(), index.synthetics.records());
+            assert_eq!(scan.synthetics.records(), partition.synthetics.records());
             assert_eq!(scan.stats.candidates, index.stats.candidates);
+            assert_eq!(scan.stats.candidates, partition.stats.candidates);
             assert_eq!(scan.stats.released, index.stats.released);
+            assert_eq!(scan.stats.released, partition.stats.released);
             assert_eq!(scan.stats.index_tests, 0);
+            assert_eq!(scan.stats.partition_tests, 0);
             assert_eq!(index.stats.scan_tests, 0);
             assert_eq!(index.stats.index_tests, index.stats.candidates);
+            assert_eq!(partition.stats.scan_tests, 0);
+            assert_eq!(partition.stats.index_tests, 0);
+            assert_eq!(partition.stats.partition_tests, partition.stats.candidates);
             assert!(
                 index.stats.records_examined < scan.stats.records_examined,
                 "index {} vs scan {}",
                 index.stats.records_examined,
                 scan.stats.records_examined
             );
+            assert!(
+                partition.stats.records_examined < index.stats.records_examined,
+                "partition {} vs index {}",
+                partition.stats.records_examined,
+                index.stats.records_examined
+            );
         }
+    }
+
+    #[test]
+    fn partition_store_counts_classes_not_records() {
+        let data = generate_acs(4000, 31);
+        let bkt = acs_bucketizer(&acs_schema());
+        let session = small_engine(31).train(&data, &bkt).unwrap();
+        let store = session.partition_store().unwrap();
+        assert!(store.class_count() <= session.seeds().len());
+        // The session ω is Fixed(9): the store is keyed on the kept
+        // attributes of the ω = 9 synthesizer.
+        assert_eq!(store.attributes().len(), session.seeds().schema().len() - 9);
+        // Fixed ω means every key attribute is exact-matched: the test is a
+        // single class lookup, so each candidate examines at most one
+        // representative.
+        let report = session
+            .generate(
+                &GenerateRequest::new(10)
+                    .with_seed(7)
+                    .with_seed_index(SeedIndex::Partition),
+            )
+            .unwrap();
+        assert_eq!(report.stats.partition_tests, report.stats.candidates);
+        assert!(
+            report.stats.records_examined <= report.stats.candidates,
+            "fixed-omega partition tests are single-class lookups: {} examined for {} candidates",
+            report.stats.records_examined,
+            report.stats.candidates
+        );
     }
 
     #[test]
@@ -1044,9 +1174,13 @@ mod tests {
             .train(&data, &bkt)
             .unwrap();
         assert!(session.seed_store().is_none());
+        assert!(session.partition_store().is_none());
         assert_eq!(session.index_build_time(), Duration::ZERO);
         assert!(session
             .generate(&GenerateRequest::new(5).with_seed_index(SeedIndex::Inverted))
+            .is_err());
+        assert!(session
+            .generate(&GenerateRequest::new(5).with_seed_index(SeedIndex::Partition))
             .is_err());
         // Scan and Auto both degrade gracefully to the linear scan.
         let report = session
@@ -1064,12 +1198,55 @@ mod tests {
         assert!(session.seeds().len() < SeedIndex::AUTO_MIN_SEEDS);
         let report = session.generate(&GenerateRequest::new(5)).unwrap();
         assert_eq!(report.stats.index_tests, 0, "small store must scan");
-        // Large population: Auto switches to the index.
+        // Large population: Auto switches to an index — the partition store,
+        // because its class keying covers the seed synthesizer's likelihood
+        // guarantee.
         let large = generate_acs(6000, 23);
         let session = small_engine(23).train(&large, &bkt).unwrap();
         assert!(session.seeds().len() >= SeedIndex::AUTO_MIN_SEEDS);
         let report = session.generate(&GenerateRequest::new(5)).unwrap();
-        assert_eq!(report.stats.scan_tests, 0, "large store must use the index");
+        assert_eq!(report.stats.scan_tests, 0, "large store must use an index");
+        assert_eq!(
+            report.stats.partition_tests, report.stats.candidates,
+            "Auto prefers the covering partition store"
+        );
+    }
+
+    #[test]
+    fn auto_index_min_seeds_is_configurable() {
+        let bkt = acs_bucketizer(&acs_schema());
+        // ~1960 seeds: above the default 512 crossover, below a raised one.
+        let data = generate_acs(4000, 24);
+        let raised = SynthesisEngine::builder()
+            .privacy_test(
+                PrivacyTestConfig::randomized(20, 4.0, 1.0).with_limits(Some(40), Some(2000)),
+            )
+            .omega(OmegaSpec::Fixed(9))
+            .max_candidate_factor(30)
+            .auto_index_min_seeds(10_000)
+            .seed(24)
+            .train(&data, &bkt)
+            .unwrap();
+        let report = raised.generate(&GenerateRequest::new(5)).unwrap();
+        assert_eq!(
+            report.stats.scan_tests, report.stats.candidates,
+            "a raised crossover keeps Auto on the scan"
+        );
+        // A zero crossover admits even stores below the default threshold.
+        let small = generate_acs(900, 24);
+        let eager = SynthesisEngine::builder()
+            .privacy_test(
+                PrivacyTestConfig::randomized(20, 4.0, 1.0).with_limits(Some(40), Some(2000)),
+            )
+            .omega(OmegaSpec::Fixed(9))
+            .max_candidate_factor(30)
+            .auto_index_min_seeds(0)
+            .seed(24)
+            .train(&small, &bkt)
+            .unwrap();
+        assert!(eager.seeds().len() < SeedIndex::AUTO_MIN_SEEDS);
+        let report = eager.generate(&GenerateRequest::new(5)).unwrap();
+        assert_eq!(report.stats.scan_tests, 0, "zero crossover always indexes");
     }
 
     #[test]

@@ -78,6 +78,11 @@ impl InvertedIndexStore {
                 m
             )));
         }
+        if let Some((attr, &weight)) = weights.iter().enumerate().find(|(_, w)| !w.is_finite()) {
+            return Err(DataError::InvalidParameter(format!(
+                "attribute weight {attr} is {weight}; weights must be finite"
+            )));
+        }
         if max_lists == 0 {
             return Err(DataError::InvalidParameter(
                 "max_lists must be at least 1".into(),
@@ -110,14 +115,13 @@ impl InvertedIndexStore {
             }
         }
         // Descending weight, ties broken by ascending attribute index so the
-        // selection is deterministic.
+        // selection is deterministic.  `total_cmp` keeps the comparator a
+        // total order even for the -0.0/+0.0 corner (NaN is rejected above):
+        // a `partial_cmp(..).unwrap_or(Equal)` comparator is non-transitive
+        // in the presence of NaN, which `sort_by` is allowed to punish with
+        // arbitrary (even non-terminating) behaviour.
         let mut priority: Vec<usize> = (0..m).collect();
-        priority.sort_by(|&a, &b| {
-            weights[b]
-                .partial_cmp(&weights[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
+        priority.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]).then(a.cmp(&b)));
         BUILD_COUNT.fetch_add(1, Ordering::Relaxed);
         Ok(InvertedIndexStore {
             len: seeds.len(),
@@ -412,6 +416,14 @@ mod tests {
         let bkt = Bucketizer::identity(data.schema());
         assert!(InvertedIndexStore::build(&data, &bkt, &[1.0, 1.0], 4).is_err());
         assert!(InvertedIndexStore::build(&data, &bkt, &[1.0, 1.0, 1.0], 0).is_err());
+        // Non-finite weights would make the priority comparator a non-total
+        // order (nondeterministic list selection at best): reject at build.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                InvertedIndexStore::build(&data, &bkt, &[1.0, bad, 1.0], 4).is_err(),
+                "weight {bad} must be rejected"
+            );
+        }
         let other_schema =
             Arc::new(Schema::new(vec![Attribute::categorical_anon("X", 2)]).unwrap());
         let other_bkt = Bucketizer::identity(&other_schema);

@@ -17,6 +17,9 @@
 //! * [`LinearScanStore`] — the baseline: every record, every time;
 //! * [`InvertedIndexStore`] — bucketized per-value posting lists, intersected
 //!   over the candidate's highest-weight matching attributes;
+//! * [`PartitionIndexStore`] — seeds collapsed into likelihood-equivalence
+//!   classes (identical generation probability for every candidate), so the
+//!   γ-partition check runs once per class and counts with multiplicity;
 //! * [`IndexPermutation`] / [`RandomSubset`] — O(1)-random-access seeded
 //!   permutations, so the `max_check_plausible` early-termination knob can
 //!   examine a random subset without the per-candidate O(n) shuffle, and so
@@ -27,11 +30,13 @@
 #![warn(missing_docs)]
 
 pub mod inverted;
+pub mod partition;
 pub mod permute;
 pub mod policy;
 pub mod store;
 
 pub use inverted::{InvertedIndexStore, PostingIntersection, MAX_INTERSECT_LISTS};
+pub use partition::{LikelihoodClass, LikelihoodClasses, PartitionIndexStore};
 pub use permute::{IndexPermutation, RandomSubset};
 pub use policy::SeedIndex;
 pub use store::{CandidateIter, LinearScanStore, SeedStore};

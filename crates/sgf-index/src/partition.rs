@@ -1,0 +1,426 @@
+//! The partition-aware seed store: likelihood-equivalence classes.
+//!
+//! The inverted index prunes the plausible-deniability test to records that
+//! *agree* with the candidate on kept attributes, but it still pays one model
+//! evaluation per surviving record.  This store goes one step further using a
+//! stronger model guarantee (`GenerativeModel::likelihood_attributes` in
+//! `sgf-model`): when the generation probability `p_d(y)` depends on the seed
+//! `d` only through its projection onto an attribute set `A`, two seeds with
+//! identical projections have identical `p_d(y)` for **every** candidate `y`.
+//! Grouping the seed dataset by that projection at build time therefore
+//! yields *likelihood-equivalence classes*: the exact γ-partition check runs
+//! once per class on a representative, and the class counts toward the
+//! plausible-seed tally with its full multiplicity.  Per-candidate test cost
+//! scales with the number of **distinct classes**, not with `|D_S|`.
+//!
+//! Soundness of a class query requires the model's likelihood set `L` to be
+//! covered by the build-time key set `A` (`L ⊆ A`): seeds agreeing on `A`
+//! then agree on `L`, hence share their generation probability.  When the
+//! model offers no such guarantee the store degrades to a per-record
+//! [`SeedStore`] query that prunes classes on the exact-match attributes —
+//! still a sound superset, just without the multiplicity shortcut.
+
+use crate::store::{CandidateIter, SeedStore};
+use sgf_data::{DataError, Dataset, Record};
+use std::collections::HashMap;
+
+/// One likelihood-equivalence class: the seed records whose projections onto
+/// the store's key attributes are identical.
+#[derive(Debug, Clone)]
+struct EquivalenceClass {
+    /// The shared projection, in key-attribute (ascending) order.
+    projection: Vec<u16>,
+    /// Ascending member indices; `members[0]` is the representative.
+    members: Vec<u32>,
+}
+
+/// A seed store grouping records into likelihood-equivalence classes (see the
+/// module docs).
+#[derive(Debug, Clone)]
+pub struct PartitionIndexStore {
+    len: usize,
+    /// The key attribute set `A`, ascending and deduplicated.
+    attributes: Vec<usize>,
+    /// One entry per distinct projection, in first-seen (ascending record
+    /// index) order.
+    classes: Vec<EquivalenceClass>,
+    /// Projection (values in `attributes` order) → index into `classes`.
+    by_projection: HashMap<Vec<u16>, u32>,
+}
+
+impl PartitionIndexStore {
+    /// Group `seeds` into equivalence classes keyed on their projections onto
+    /// `attributes` (typically the session's largest likelihood-relevant
+    /// attribute set — the kept attributes at the smallest admissible ω).
+    ///
+    /// The attribute list may arrive in any order and with duplicates; it is
+    /// normalized internally.  Every attribute must exist in the seed schema.
+    pub fn build(seeds: &Dataset, attributes: &[usize]) -> Result<Self, DataError> {
+        let m = seeds.schema().len();
+        let mut key: Vec<usize> = attributes.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if let Some(&bad) = key.iter().find(|&&a| a >= m) {
+            return Err(DataError::InvalidParameter(format!(
+                "likelihood attribute {bad} is out of range for a schema with {m} attributes"
+            )));
+        }
+        if seeds.len() > u32::MAX as usize {
+            return Err(DataError::InvalidParameter(
+                "partition index supports at most u32::MAX seed records".into(),
+            ));
+        }
+        let mut classes: Vec<EquivalenceClass> = Vec::new();
+        let mut by_projection: HashMap<Vec<u16>, u32> = HashMap::new();
+        for (idx, record) in seeds.records().iter().enumerate() {
+            let projection: Vec<u16> = key.iter().map(|&a| record.get(a)).collect();
+            match by_projection.get(&projection) {
+                Some(&class) => classes[class as usize].members.push(idx as u32),
+                None => {
+                    by_projection.insert(projection.clone(), classes.len() as u32);
+                    classes.push(EquivalenceClass {
+                        projection,
+                        members: vec![idx as u32],
+                    });
+                }
+            }
+        }
+        Ok(PartitionIndexStore {
+            len: seeds.len(),
+            attributes: key,
+            classes,
+            by_projection,
+        })
+    }
+
+    /// The key attribute set `A` (ascending, deduplicated).
+    pub fn attributes(&self) -> &[usize] {
+        &self.attributes
+    }
+
+    /// Number of distinct likelihood-equivalence classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Size of the largest equivalence class (0 for an empty store).
+    pub fn largest_class(&self) -> usize {
+        self.classes
+            .iter()
+            .map(|c| c.members.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Approximate heap footprint of the class member lists and projection
+    /// keys, in bytes.
+    pub fn member_bytes(&self) -> usize {
+        self.classes
+            .iter()
+            .map(|c| {
+                c.members.len() * std::mem::size_of::<u32>()
+                    + c.projection.len() * std::mem::size_of::<u16>()
+            })
+            .sum()
+    }
+
+    /// Whether the store's classes are sound for a model whose generation
+    /// probability is determined by the projection onto `likelihood`:
+    /// requires `likelihood ⊆ A` (then agreement on `A` implies agreement on
+    /// `likelihood`, hence identical probabilities within a class).
+    pub fn covers(&self, likelihood: Option<&[usize]>) -> bool {
+        likelihood.is_some_and(|l| l.iter().all(|a| self.attributes.binary_search(a).is_ok()))
+    }
+
+    /// The classes that can possibly contain plausible seeds for `candidate`,
+    /// pruned on the exact-match attributes that fall inside the key set.
+    fn pruned_classes<'s>(
+        &'s self,
+        candidate: &Record,
+        match_attributes: Option<&[usize]>,
+    ) -> ClassesState<'s> {
+        let matched = match_attributes.unwrap_or(&[]);
+        if self.attributes.iter().all(|a| matched.contains(a)) {
+            // Every key attribute must agree exactly: at most the class with
+            // the candidate's own projection can hold plausible seeds.
+            let projection: Vec<u16> = self.attributes.iter().map(|&a| candidate.get(a)).collect();
+            let class = self
+                .by_projection
+                .get(&projection)
+                .map(|&c| &self.classes[c as usize]);
+            return ClassesState::Single(class);
+        }
+        // Walk every class, skipping those that provably disagree with the
+        // candidate on an exact-match attribute inside the key set.
+        let prune: Vec<(usize, u16)> = self
+            .attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| matched.contains(a))
+            .map(|(pos, &a)| (pos, candidate.get(a)))
+            .collect();
+        ClassesState::Walk {
+            classes: self.classes.iter(),
+            prune,
+        }
+    }
+}
+
+impl SeedStore for PartitionIndexStore {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn plausible_candidates<'s>(
+        &'s self,
+        candidate: &Record,
+        match_attributes: Option<&[usize]>,
+    ) -> CandidateIter<'s> {
+        let Some(matched) = match_attributes else {
+            return CandidateIter::All(0..self.len);
+        };
+        if !self.attributes.iter().any(|a| matched.contains(a)) && !self.attributes.is_empty() {
+            // No exact-match attribute intersects the key set: the class
+            // structure cannot prune anything, fall back to the full range.
+            return CandidateIter::All(0..self.len);
+        }
+        CandidateIter::Classes(ClassCandidates {
+            classes: self.pruned_classes(candidate, Some(matched)),
+            current: [].iter(),
+        })
+    }
+
+    fn likelihood_classes<'s>(
+        &'s self,
+        candidate: &Record,
+        likelihood_attributes: Option<&[usize]>,
+        match_attributes: Option<&[usize]>,
+    ) -> Option<LikelihoodClasses<'s>> {
+        if !self.covers(likelihood_attributes) {
+            return None;
+        }
+        Some(LikelihoodClasses {
+            state: self.pruned_classes(candidate, match_attributes),
+        })
+    }
+}
+
+/// The two ways a class query walks the store.
+#[derive(Debug)]
+enum ClassesState<'a> {
+    /// Every key attribute is exact-match constrained: the single class with
+    /// the candidate's projection (or none).
+    Single(Option<&'a EquivalenceClass>),
+    /// Walk every class, pruning on `(projection position, candidate value)`
+    /// pairs.
+    Walk {
+        classes: std::slice::Iter<'a, EquivalenceClass>,
+        prune: Vec<(usize, u16)>,
+    },
+}
+
+impl<'a> ClassesState<'a> {
+    fn next_class(&mut self) -> Option<&'a EquivalenceClass> {
+        match self {
+            ClassesState::Single(class) => class.take(),
+            ClassesState::Walk { classes, prune } => classes.find(|class| {
+                prune
+                    .iter()
+                    .all(|&(pos, value)| class.projection[pos] == value)
+            }),
+        }
+    }
+}
+
+/// Iterator over the likelihood-equivalence classes that may contain
+/// plausible seeds for a candidate (see
+/// [`SeedStore::likelihood_classes`]).  Each item carries a representative
+/// record index (evaluate the model once on it) and the full ascending
+/// member list (count with multiplicity).
+#[derive(Debug)]
+pub struct LikelihoodClasses<'a> {
+    state: ClassesState<'a>,
+}
+
+/// One likelihood-equivalence class yielded by [`LikelihoodClasses`].
+#[derive(Debug, Clone, Copy)]
+pub struct LikelihoodClass<'a> {
+    /// Index of the class representative in the seed dataset; every member
+    /// has the same generation probability as the representative for every
+    /// candidate.
+    pub representative: usize,
+    /// Ascending seed-record indices of all class members (the multiplicity).
+    pub members: &'a [u32],
+}
+
+impl<'a> Iterator for LikelihoodClasses<'a> {
+    type Item = LikelihoodClass<'a>;
+
+    fn next(&mut self) -> Option<LikelihoodClass<'a>> {
+        self.state.next_class().map(|class| LikelihoodClass {
+            representative: class.members[0] as usize,
+            members: &class.members,
+        })
+    }
+}
+
+/// Member-expanding iterator behind the [`SeedStore::plausible_candidates`]
+/// fallback of the partition store: yields the record indices of every class
+/// surviving exact-match pruning, ascending within each class.
+#[derive(Debug)]
+pub struct ClassCandidates<'a> {
+    classes: ClassesState<'a>,
+    current: std::slice::Iter<'a, u32>,
+}
+
+impl Iterator for ClassCandidates<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if let Some(&idx) = self.current.next() {
+                return Some(idx as usize);
+            }
+            self.current = self.classes.next_class()?.members.iter();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgf_data::{Attribute, Schema};
+    use std::sync::Arc;
+
+    fn dataset() -> Dataset {
+        let schema = Arc::new(
+            Schema::new(vec![
+                Attribute::categorical_anon("A", 4),
+                Attribute::categorical_anon("B", 6),
+                Attribute::categorical_anon("C", 2),
+            ])
+            .unwrap(),
+        );
+        let rows: Vec<Record> = vec![
+            Record::new(vec![0, 0, 0]),
+            Record::new(vec![0, 1, 1]),
+            Record::new(vec![1, 2, 0]),
+            Record::new(vec![0, 0, 1]), // same (A, B) as record 0
+            Record::new(vec![1, 2, 1]), // same (A, B) as record 2
+            Record::new(vec![0, 0, 0]), // identical to record 0
+        ];
+        Dataset::from_records_unchecked(schema, rows)
+    }
+
+    #[test]
+    fn build_groups_records_by_projection() {
+        let data = dataset();
+        let store = PartitionIndexStore::build(&data, &[1, 0]).unwrap();
+        assert_eq!(store.len(), 6);
+        assert_eq!(store.attributes(), &[0, 1]);
+        // Projections (A, B): (0,0) x3, (0,1), (1,2) x2 -> 3 classes.
+        assert_eq!(store.class_count(), 3);
+        assert_eq!(store.largest_class(), 3);
+        assert!(store.member_bytes() > 0);
+    }
+
+    #[test]
+    fn build_rejects_out_of_range_attributes() {
+        assert!(PartitionIndexStore::build(&dataset(), &[0, 7]).is_err());
+    }
+
+    #[test]
+    fn covers_requires_subset_of_key_attributes() {
+        let store = PartitionIndexStore::build(&dataset(), &[0, 1]).unwrap();
+        assert!(store.covers(Some(&[0])));
+        assert!(store.covers(Some(&[1, 0])));
+        assert!(store.covers(Some(&[])));
+        assert!(!store.covers(Some(&[2])));
+        assert!(!store.covers(None));
+    }
+
+    #[test]
+    fn single_class_lookup_when_key_is_exact_matched() {
+        let store = PartitionIndexStore::build(&dataset(), &[0, 1]).unwrap();
+        let y = Record::new(vec![0, 0, 1]);
+        let classes: Vec<_> = store
+            .likelihood_classes(&y, Some(&[0, 1]), Some(&[0, 1]))
+            .unwrap()
+            .collect();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].representative, 0);
+        assert_eq!(classes[0].members, &[0, 3, 5]);
+        // A projection no seed has: no class at all.
+        let missing = Record::new(vec![3, 5, 0]);
+        assert_eq!(
+            store
+                .likelihood_classes(&missing, Some(&[0, 1]), Some(&[0, 1]))
+                .unwrap()
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn walk_prunes_on_exact_match_attributes_only() {
+        let store = PartitionIndexStore::build(&dataset(), &[0, 1]).unwrap();
+        let y = Record::new(vec![0, 9, 9]);
+        // Likelihood covered, but only attribute 0 is exact-matched: every
+        // class with A == 0 survives, in first-seen order.
+        let classes: Vec<_> = store
+            .likelihood_classes(&y, Some(&[0]), Some(&[0]))
+            .unwrap()
+            .collect();
+        let reps: Vec<usize> = classes.iter().map(|c| c.representative).collect();
+        assert_eq!(reps, vec![0, 1]);
+        // No exact-match guarantee at all: every class is yielded.
+        let all = store.likelihood_classes(&y, Some(&[0]), None).unwrap();
+        assert_eq!(all.count(), 3);
+    }
+
+    #[test]
+    fn uncovered_likelihood_returns_none() {
+        let store = PartitionIndexStore::build(&dataset(), &[0, 1]).unwrap();
+        let y = Record::new(vec![0, 0, 0]);
+        assert!(store.likelihood_classes(&y, Some(&[0, 2]), None).is_none());
+        assert!(store.likelihood_classes(&y, None, Some(&[0])).is_none());
+    }
+
+    #[test]
+    fn empty_key_set_collapses_everything_into_one_class() {
+        let store = PartitionIndexStore::build(&dataset(), &[]).unwrap();
+        assert_eq!(store.class_count(), 1);
+        let y = Record::new(vec![3, 5, 1]);
+        let classes: Vec<_> = store
+            .likelihood_classes(&y, Some(&[]), None)
+            .unwrap()
+            .collect();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].members.len(), 6);
+    }
+
+    #[test]
+    fn plausible_candidates_expands_surviving_classes() {
+        let store = PartitionIndexStore::build(&dataset(), &[0, 1]).unwrap();
+        let y = Record::new(vec![0, 0, 0]);
+        // Full key exact-matched: exactly the (0, 0) class members.
+        let got: Vec<usize> = store.plausible_candidates(&y, Some(&[0, 1])).collect();
+        assert_eq!(got, vec![0, 3, 5]);
+        // Partial overlap: every record agreeing on A == 0.
+        let partial: Vec<usize> = store.plausible_candidates(&y, Some(&[0, 2])).collect();
+        assert_eq!(partial, vec![0, 3, 5, 1]);
+        // Disjoint from the key set, or no guarantee: everything.
+        assert!(!store.plausible_candidates(&y, Some(&[2])).is_filtered());
+        assert!(!store.plausible_candidates(&y, None).is_filtered());
+        assert_eq!(store.plausible_candidates(&y, Some(&[2])).count(), 6);
+    }
+
+    #[test]
+    fn duplicate_and_unsorted_attributes_are_normalized() {
+        let data = dataset();
+        let a = PartitionIndexStore::build(&data, &[1, 0, 1]).unwrap();
+        let b = PartitionIndexStore::build(&data, &[0, 1]).unwrap();
+        assert_eq!(a.attributes(), b.attributes());
+        assert_eq!(a.class_count(), b.class_count());
+    }
+}

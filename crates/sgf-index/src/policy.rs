@@ -15,16 +15,24 @@ pub enum SeedIndex {
     Scan,
     /// Always query the bucketized inverted index (train-time build required).
     Inverted,
-    /// Build the index at train time and use it whenever the seed dataset is
-    /// large enough ([`SeedIndex::AUTO_MIN_SEEDS`]) for the posting-list
-    /// machinery to beat a cache-friendly linear sweep.
+    /// Always query the partition-aware store of likelihood-equivalence
+    /// classes (train-time build required).  Tests for models whose
+    /// likelihood guarantee the store's keying does not cover degrade to the
+    /// store's per-record class walk.
+    Partition,
+    /// Build the indexes at train time and use them whenever the seed dataset
+    /// is large enough (`PipelineConfig::auto_index_min_seeds`, default
+    /// [`SeedIndex::AUTO_MIN_SEEDS`]) for the index machinery to beat a
+    /// cache-friendly linear sweep — preferring the partition store when its
+    /// keying covers the request's model, the inverted index otherwise.
     #[default]
     Auto,
 }
 
 impl SeedIndex {
-    /// Seed-dataset size above which [`SeedIndex::Auto`] prefers the inverted
-    /// index.  Below this, the linear scan's sequential sweep is typically
+    /// Default seed-dataset size above which [`SeedIndex::Auto`] prefers an
+    /// index over the scan (the `PipelineConfig::auto_index_min_seeds`
+    /// default).  Below this, the linear scan's sequential sweep is typically
     /// faster than posting-list intersection per candidate.
     pub const AUTO_MIN_SEEDS: usize = 512;
 }
@@ -34,6 +42,7 @@ impl std::fmt::Display for SeedIndex {
         match self {
             SeedIndex::Scan => write!(f, "scan"),
             SeedIndex::Inverted => write!(f, "inverted"),
+            SeedIndex::Partition => write!(f, "partition"),
             SeedIndex::Auto => write!(f, "auto"),
         }
     }
@@ -48,6 +57,7 @@ mod tests {
         assert_eq!(SeedIndex::default(), SeedIndex::Auto);
         assert_eq!(SeedIndex::Scan.to_string(), "scan");
         assert_eq!(SeedIndex::Inverted.to_string(), "inverted");
+        assert_eq!(SeedIndex::Partition.to_string(), "partition");
         assert_eq!(SeedIndex::Auto.to_string(), "auto");
     }
 }

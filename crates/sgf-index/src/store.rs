@@ -6,6 +6,7 @@ use sgf_data::{Dataset, Record};
 use std::ops::Range;
 
 use crate::inverted::PostingIntersection;
+use crate::partition::{ClassCandidates, LikelihoodClasses};
 
 /// A queryable store over the seed dataset `D_S`.
 ///
@@ -42,6 +43,32 @@ pub trait SeedStore: Send + Sync + std::fmt::Debug {
         candidate: &Record,
         match_attributes: Option<&[usize]>,
     ) -> CandidateIter<'s>;
+
+    /// Likelihood-equivalence classes for `candidate`, if the store groups
+    /// seeds such that every member of a class has the **same** generation
+    /// probability for every candidate (see
+    /// [`PartitionIndexStore`](crate::PartitionIndexStore)).
+    ///
+    /// `likelihood_attributes` is the model's guarantee
+    /// (`GenerativeModel::likelihood_attributes`): seeds agreeing on those
+    /// attributes have identical probabilities.  A store must return `None`
+    /// unless its class keying is covered by that guarantee; callers then
+    /// fall back to the per-record [`plausible_candidates`] walk.
+    /// `match_attributes` is the exact-match guarantee used to prune classes
+    /// that provably cannot contain plausible seeds.
+    ///
+    /// The default (and the behaviour of the scan and inverted stores) is
+    /// `None`: no class structure.
+    ///
+    /// [`plausible_candidates`]: SeedStore::plausible_candidates
+    fn likelihood_classes<'s>(
+        &'s self,
+        _candidate: &Record,
+        _likelihood_attributes: Option<&[usize]>,
+        _match_attributes: Option<&[usize]>,
+    ) -> Option<LikelihoodClasses<'s>> {
+        None
+    }
 }
 
 /// Iterator over candidate seed indices returned by a [`SeedStore`].
@@ -54,13 +81,18 @@ pub enum CandidateIter<'a> {
     All(Range<usize>),
     /// The intersection of bucketized posting lists, in ascending order.
     Filtered(PostingIntersection<'a>),
+    /// Members of the equivalence classes surviving exact-match pruning,
+    /// ascending within each class (the partition store's per-record
+    /// fallback).
+    Classes(ClassCandidates<'a>),
 }
 
 impl CandidateIter<'_> {
     /// Whether the store actually narrowed the candidate set (false for the
-    /// full scan, true when posting lists were intersected).
+    /// full scan, true when posting lists were intersected or equivalence
+    /// classes pruned).
     pub fn is_filtered(&self) -> bool {
-        matches!(self, CandidateIter::Filtered(_))
+        !matches!(self, CandidateIter::All(_))
     }
 }
 
@@ -71,6 +103,7 @@ impl Iterator for CandidateIter<'_> {
         match self {
             CandidateIter::All(range) => range.next(),
             CandidateIter::Filtered(inter) => inter.next(),
+            CandidateIter::Classes(classes) => classes.next(),
         }
     }
 
@@ -78,6 +111,7 @@ impl Iterator for CandidateIter<'_> {
         match self {
             CandidateIter::All(range) => range.size_hint(),
             CandidateIter::Filtered(inter) => inter.size_hint(),
+            CandidateIter::Classes(_) => (0, None),
         }
     }
 }

@@ -138,6 +138,14 @@ impl GenerativeModel for MarginalModel {
     fn is_seed_dependent(&self) -> bool {
         false
     }
+
+    fn likelihood_attributes(&self) -> Option<&[usize]> {
+        // Seed-independent model: every seed has the same generation
+        // probability for every candidate, so the empty projection already
+        // determines the likelihood — all seeds fall into one equivalence
+        // class of a partition-aware store.
+        Some(&[])
+    }
 }
 
 #[cfg(test)]

@@ -48,6 +48,28 @@ pub trait GenerativeModel: Send + Sync {
     fn exact_match_attributes(&self) -> Option<&[usize]> {
         None
     }
+
+    /// Attributes whose projection fully determines the generation
+    /// likelihood: `Some(attrs)` guarantees that any two seeds agreeing on
+    /// every attribute in `attrs` satisfy `probability(d1, y) ==
+    /// probability(d2, y)` for **every** candidate `y`.  `None` (the default)
+    /// makes no such guarantee.
+    ///
+    /// This generalizes [`exact_match_attributes`]: where that hook lets a
+    /// store *skip* provably non-plausible records, this one lets a
+    /// partition-aware store *collapse* the seed dataset into
+    /// likelihood-equivalence classes — one γ-partition check per class,
+    /// counted with multiplicity — so the plausible-deniability test scales
+    /// with the number of distinct classes rather than `|D_S|`.  The
+    /// seed-based synthesizer returns its kept attributes (the generation
+    /// probability factorizes over the re-sampled attributes of `y` alone
+    /// once the kept projection agrees); seed-independent models (e.g. the
+    /// marginal baseline) return the empty set — every seed is equivalent.
+    ///
+    /// [`exact_match_attributes`]: GenerativeModel::exact_match_attributes
+    fn likelihood_attributes(&self) -> Option<&[usize]> {
+        None
+    }
 }
 
 /// References to a model are models themselves, so `&dyn GenerativeModel`
@@ -68,6 +90,9 @@ impl<M: GenerativeModel + ?Sized> GenerativeModel for &M {
     fn exact_match_attributes(&self) -> Option<&[usize]> {
         (**self).exact_match_attributes()
     }
+    fn likelihood_attributes(&self) -> Option<&[usize]> {
+        (**self).likelihood_attributes()
+    }
 }
 
 /// Boxed models (including boxed trait objects) are models.
@@ -86,6 +111,9 @@ impl<M: GenerativeModel + ?Sized> GenerativeModel for Box<M> {
     }
     fn exact_match_attributes(&self) -> Option<&[usize]> {
         (**self).exact_match_attributes()
+    }
+    fn likelihood_attributes(&self) -> Option<&[usize]> {
+        (**self).likelihood_attributes()
     }
 }
 
@@ -106,6 +134,9 @@ impl<M: GenerativeModel + ?Sized> GenerativeModel for Arc<M> {
     }
     fn exact_match_attributes(&self) -> Option<&[usize]> {
         (**self).exact_match_attributes()
+    }
+    fn likelihood_attributes(&self) -> Option<&[usize]> {
+        (**self).likelihood_attributes()
     }
 }
 

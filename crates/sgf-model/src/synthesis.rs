@@ -161,6 +161,16 @@ impl GenerativeModel for SeedSynthesizer {
         // indexed seed store prune the plausible-deniability test.
         Some(self.kept_attributes())
     }
+
+    fn likelihood_attributes(&self) -> Option<&[usize]> {
+        // `probability` reads the seed only on the kept attributes: when they
+        // all agree with `y` the result is a product of conditionals of `y`
+        // alone, and when any disagrees it is zero.  Two seeds with the same
+        // kept projection therefore have identical `Pr{y = M(d)}` for every
+        // candidate, which lets a partition-aware seed store collapse them
+        // into one likelihood-equivalence class.
+        Some(self.kept_attributes())
+    }
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 //!
 //! | verb | fields |
 //! |---|---|
-//! | `generate` | `session` (default `"default"`), `target` (required), `seed`, `workers`, `max_candidate_factor`, `omega` (number or `{"lo","hi"}`), `seed_index` (`"scan"`/`"inverted"`/`"auto"`), `stream` (bool), `model` (`"seed"`/`"marginal"`) |
+//! | `generate` | `session` (default `"default"`), `target` (required), `seed`, `workers`, `max_candidate_factor`, `omega` (number or `{"lo","hi"}`), `seed_index` (`"scan"`/`"inverted"`/`"partition"`/`"auto"`), `stream` (bool), `model` (`"seed"`/`"marginal"`) |
 //! | `status` | — |
 //! | `ledger` | `session` |
 //! | `shutdown` | — |
@@ -126,7 +126,8 @@ impl GenerateCall {
             None => {}
         }
         if let Some(policy) = self.request.seed_index {
-            line.push_str(&format!(",\"seed_index\":\"{}\"", seed_index_name(policy)));
+            // `SeedIndex`'s `Display` is the canonical lowercase wire name.
+            line.push_str(&format!(",\"seed_index\":\"{policy}\""));
         }
         if self.stream {
             line.push_str(",\"stream\":true");
@@ -169,14 +170,6 @@ impl Request {
             }
             Request::Shutdown => "{\"verb\":\"shutdown\"}".to_string(),
         }
-    }
-}
-
-fn seed_index_name(policy: SeedIndex) -> &'static str {
-    match policy {
-        SeedIndex::Scan => "scan",
-        SeedIndex::Inverted => "inverted",
-        SeedIndex::Auto => "auto",
     }
 }
 
@@ -244,9 +237,12 @@ fn parse_generate(value: &Value) -> Result<GenerateCall, String> {
         request.seed_index = Some(match policy.as_str() {
             Some("scan") => SeedIndex::Scan,
             Some("inverted") => SeedIndex::Inverted,
+            Some("partition") => SeedIndex::Partition,
             Some("auto") => SeedIndex::Auto,
             _ => {
-                return Err("field `seed_index` must be \"scan\", \"inverted\" or \"auto\"".into())
+                return Err("field `seed_index` must be \"scan\", \"inverted\", \
+                     \"partition\" or \"auto\""
+                    .into())
             }
         });
     }

@@ -50,5 +50,17 @@ for bin in "${BINARIES[@]}"; do
     echo "== $bin finished in $((SECONDS - start))s =="
 done
 
+# Seed-store decision-equivalence gate: fig_index asserts that scan, inverted
+# index, and partition store release byte-identical records in every swept
+# configuration, and prints the confirmation line below only after every
+# assertion held.  A store regression therefore fails this script (and CI)
+# even when the unit/property suites were skipped.
+if ! grep -q "byte-identical records in every configuration" "$OUTDIR/fig_index.txt"; then
+    echo "ERROR: fig_index did not confirm seed-store decision equivalence" >&2
+    exit 1
+fi
+echo
+echo "== seed-store decision-equivalence gate passed (fig_index) =="
+
 echo
 echo "== done: artifacts written to $OUTDIR/ (reference wall clocks: BENCH_NOTES.md) =="

@@ -1,19 +1,21 @@
 //! Property-based equivalence of the seed stores: for random datasets,
-//! candidates, and privacy-test configurations, the inverted index and the
-//! linear scan must agree on every pass/fail decision, plausible-seed count,
-//! and on the RNG stream they leave behind — across k, γ, both privacy tests
-//! (deterministic and randomized), and the early-termination knobs.
+//! candidates, and privacy-test configurations, the inverted index, the
+//! partition-aware class store, and the linear scan must agree on every
+//! pass/fail decision, plausible-seed count, and on the RNG stream they leave
+//! behind — across k, γ, both privacy tests (deterministic and randomized),
+//! and the early-termination knobs.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
-use sgf::core::{run_with_store, PrivacyTestConfig};
+use sgf::core::{partition_index, run_with_store, PrivacyTestConfig};
 use sgf::data::{Attribute, AttributeBuckets, Bucketizer, Dataset, Record, Schema};
-use sgf::index::{InvertedIndexStore, LinearScanStore, SeedStore};
+use sgf::index::{InvertedIndexStore, LinearScanStore, PartitionIndexStore, SeedStore};
 use sgf::model::GenerativeModel;
 use std::sync::Arc;
 
 const CARDINALITIES: [usize; 4] = [4, 6, 3, 5];
+const ALL_ATTRIBUTES: [usize; 4] = [0, 1, 2, 3];
 
 /// Toy model with an explicit agreement guarantee: a seed generates `y` with
 /// probability zero unless it matches `y` on every `kept` attribute, and with
@@ -44,6 +46,44 @@ impl GenerativeModel for KeptModel {
         0.35f64.powi(rest + 1)
     }
     fn exact_match_attributes(&self) -> Option<&[usize]> {
+        Some(&self.kept)
+    }
+    fn likelihood_attributes(&self) -> Option<&[usize]> {
+        // The Hamming decay reads every attribute of the seed, so only the
+        // full projection determines the likelihood.
+        Some(&ALL_ATTRIBUTES)
+    }
+}
+
+/// A model with the seed-synthesizer's likelihood structure: once the kept
+/// attributes agree, the probability is a function of the candidate alone, so
+/// the kept projection fully determines `p_d(y)` — the guarantee the
+/// partition store's class counting relies on.
+struct ProjectiveModel {
+    schema: Schema,
+    kept: Vec<usize>,
+}
+
+impl GenerativeModel for ProjectiveModel {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+    fn generate(&self, seed: &Record, _rng: &mut dyn RngCore) -> Record {
+        seed.clone()
+    }
+    fn probability(&self, seed: &Record, y: &Record) -> f64 {
+        for &attr in &self.kept {
+            if seed.get(attr) != y.get(attr) {
+                return 0.0;
+            }
+        }
+        let spread: u16 = y.values().iter().sum::<u16>() % 5;
+        0.3f64.powi(spread as i32 + 1)
+    }
+    fn exact_match_attributes(&self) -> Option<&[usize]> {
+        Some(&self.kept)
+    }
+    fn likelihood_attributes(&self) -> Option<&[usize]> {
         Some(&self.kept)
     }
 }
@@ -131,8 +171,23 @@ proptest! {
             .unwrap();
         let coarse_index =
             InvertedIndexStore::build(&dataset, &coarse_bucketizer, &weights, 2).unwrap();
+        // Partition store keyed on every attribute: it covers the model's
+        // full-projection likelihood guarantee, so tests run at class
+        // granularity (classes = groups of duplicate rows).
+        let partition_all = PartitionIndexStore::build(&dataset, &ALL_ATTRIBUTES).unwrap();
+        // Partition store keyed on the kept attributes only: it does NOT
+        // cover the model's likelihood set, so the test degrades to the
+        // per-record class walk — which must still line up.
+        let kept: Vec<usize> = (0..4).filter(|&a| kept_mask[a]).collect();
+        let partition_kept = PartitionIndexStore::build(&dataset, &kept).unwrap();
 
-        let stores: [&dyn SeedStore; 3] = [&scan, &identity_index, &coarse_index];
+        let stores: [&dyn SeedStore; 5] = [
+            &scan,
+            &identity_index,
+            &coarse_index,
+            &partition_all,
+            &partition_kept,
+        ];
         let mut outcomes = Vec::new();
         let mut post_rng = Vec::new();
         for store in stores {
@@ -148,10 +203,13 @@ proptest! {
             prop_assert_eq!(outcomes[0].seed_partition, other.seed_partition);
             prop_assert_eq!(outcomes[0].threshold, other.threshold);
         }
-        prop_assert_eq!(post_rng[0], post_rng[1]);
-        prop_assert_eq!(post_rng[0], post_rng[2]);
-        // The index never examines more candidates than the store holds.
+        for &post in &post_rng[1..] {
+            prop_assert_eq!(post_rng[0], post);
+        }
+        // The indexes never examine more candidates than the store holds,
+        // and class-level counting examines at most one record per class.
         prop_assert!(outcomes[1].records_examined <= dataset.len());
+        prop_assert!(outcomes[3].records_examined <= partition_all.class_count());
     }
 
     /// With no early-termination knobs the plausible count of a *failing*
@@ -188,5 +246,277 @@ proptest! {
             prop_assert_eq!(a.plausible_seeds, full);
             prop_assert_eq!(b.plausible_seeds, full);
         }
+    }
+
+    /// A model whose likelihood is determined by the kept projection (the
+    /// seed-synthesizer structure): the partition store counts whole
+    /// equivalence classes with multiplicity — through both its single-class
+    /// lookup (keyed exactly on the kept attributes) and its pruned class
+    /// walk (keyed on a superset) — and must reproduce the scan's decision,
+    /// count, and RNG stream bit for bit.
+    #[test]
+    fn class_counting_matches_record_level(
+        rows in proptest::collection::vec(row(), 20..120),
+        kept_mask in proptest::collection::vec(any::<bool>(), 4),
+        candidate in row(),
+        seed_choice in any::<usize>(),
+        k in 1usize..15,
+        gamma in 1.5f64..6.0,
+        epsilon0 in proptest::option::of(0.2f64..3.0),
+        max_plausible in proptest::option::of(1usize..20),
+        max_check in proptest::option::of(5usize..100),
+        master in any::<u64>(),
+    ) {
+        let schema = Arc::new(schema());
+        let records: Vec<Record> = rows.into_iter().map(to_record).collect();
+        let dataset = Dataset::from_records_unchecked(Arc::clone(&schema), records);
+        let kept: Vec<usize> = (0..4).filter(|&a| kept_mask[a]).collect();
+        let model = ProjectiveModel {
+            schema: (*schema).clone(),
+            kept: kept.clone(),
+        };
+        let seed = dataset.record(seed_choice % dataset.len()).clone();
+        let y = to_record(candidate);
+        let config = PrivacyTestConfig {
+            k,
+            gamma,
+            epsilon0,
+            max_plausible: None,
+            max_check_plausible: None,
+        }
+        .with_limits(max_plausible, max_check);
+
+        let scan = LinearScanStore::new(&dataset);
+        // Keyed exactly on the likelihood set: the single-class lookup path.
+        let exact_key = PartitionIndexStore::build(&dataset, &kept).unwrap();
+        // Keyed on a strict superset (when one exists): the pruned-walk path.
+        let superset: Vec<usize> = {
+            let mut s = kept.clone();
+            if let Some(extra) = (0..4).find(|a| !kept.contains(a)) {
+                s.push(extra);
+            }
+            s
+        };
+        let superset_key = PartitionIndexStore::build(&dataset, &superset).unwrap();
+
+        let stores: [&dyn SeedStore; 3] = [&scan, &exact_key, &superset_key];
+        let mut outcomes = Vec::new();
+        let mut post_rng = Vec::new();
+        for store in stores {
+            let mut rng = StdRng::seed_from_u64(master);
+            let outcome =
+                run_with_store(&model, &dataset, store, &seed, &y, &config, &mut rng).unwrap();
+            outcomes.push(outcome);
+            post_rng.push(rng.next_u64());
+        }
+        for other in &outcomes[1..] {
+            prop_assert_eq!(outcomes[0].passed, other.passed);
+            prop_assert_eq!(outcomes[0].plausible_seeds, other.plausible_seeds);
+            prop_assert_eq!(outcomes[0].seed_partition, other.seed_partition);
+            prop_assert_eq!(outcomes[0].threshold, other.threshold);
+            prop_assert_eq!(post_rng[0], post_rng[1]);
+            prop_assert_eq!(post_rng[0], post_rng[2]);
+        }
+        // Both partition stores cover the model: tests run at class
+        // granularity, never touching more representatives than classes.
+        if outcomes[0].seed_partition.is_some() {
+            prop_assert!(outcomes[1].via_classes);
+            prop_assert!(outcomes[2].via_classes);
+            prop_assert!(outcomes[1].records_examined <= 1, "exact key: one class lookup");
+            prop_assert!(outcomes[2].records_examined <= superset_key.class_count());
+        }
+    }
+}
+
+/// The documented partition convention `γ^{-(i+1)} < p ≤ γ^{-i}`: an exact
+/// power `γ^{-i}` sits in partition `i` (closed above), and any probability
+/// above 1 (floating-point slack) clamps into partition 0.
+#[test]
+fn partition_index_boundary_convention() {
+    for &gamma in &[1.5f64, 2.0, 3.0, 4.0, 10.0] {
+        for i in 0..25i32 {
+            let exact = gamma.powi(-i);
+            assert_eq!(
+                partition_index(exact, gamma),
+                Some(i as u32),
+                "exact power gamma={gamma} i={i}"
+            );
+            // Just above the open lower bound γ^{-(i+1)} still belongs to i.
+            let above_lower = gamma.powi(-(i + 1)) * (1.0 + 1e-9);
+            assert_eq!(
+                partition_index(above_lower, gamma),
+                Some(i as u32),
+                "above lower bound gamma={gamma} i={i}"
+            );
+        }
+        for p_over_one in [1.0 + f64::EPSILON, 1.5, 2.0, 1e6] {
+            assert_eq!(
+                partition_index(p_over_one, gamma),
+                Some(0),
+                "p={p_over_one} must clamp into partition 0"
+            );
+        }
+        assert_eq!(partition_index(0.0, gamma), None);
+    }
+}
+
+/// Power-decay model: probabilities are *exact* powers `γ^{-d}` of the
+/// non-kept Hamming distance, so every evaluation lands exactly on a
+/// partition boundary — the worst case for the boundary-nudging arithmetic.
+struct PowerModel {
+    schema: Schema,
+    kept: Vec<usize>,
+    gamma: f64,
+}
+
+impl GenerativeModel for PowerModel {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+    fn generate(&self, seed: &Record, _rng: &mut dyn RngCore) -> Record {
+        seed.clone()
+    }
+    fn probability(&self, seed: &Record, y: &Record) -> f64 {
+        let mut rest = 0i32;
+        for attr in 0..self.schema.len() {
+            if self.kept.contains(&attr) {
+                if seed.get(attr) != y.get(attr) {
+                    return 0.0;
+                }
+            } else if seed.get(attr) != y.get(attr) {
+                rest += 1;
+            }
+        }
+        self.gamma.powi(-rest)
+    }
+    fn exact_match_attributes(&self) -> Option<&[usize]> {
+        Some(&self.kept)
+    }
+    fn likelihood_attributes(&self) -> Option<&[usize]> {
+        Some(&ALL_ATTRIBUTES)
+    }
+}
+
+/// All three stores agree when every probability sits exactly on a partition
+/// boundary `p = γ^{-i}` (including `p = γ^0 = 1`), across several γ and k.
+#[test]
+fn stores_agree_at_exact_partition_boundaries() {
+    let schema = Arc::new(schema());
+    let mut rng = StdRng::seed_from_u64(99);
+    let records: Vec<Record> = (0..160)
+        .map(|_| {
+            to_record((
+                (rng.next_u64() % 4) as u16,
+                (rng.next_u64() % 6) as u16,
+                (rng.next_u64() % 3) as u16,
+                (rng.next_u64() % 5) as u16,
+            ))
+        })
+        .collect();
+    let dataset = Dataset::from_records_unchecked(Arc::clone(&schema), records);
+    let scan = LinearScanStore::new(&dataset);
+    let inverted = InvertedIndexStore::build(
+        &dataset,
+        &Bucketizer::identity(&schema),
+        &[1.0, 0.5, 0.25, 0.75],
+        4,
+    )
+    .unwrap();
+    let partition = PartitionIndexStore::build(&dataset, &ALL_ATTRIBUTES).unwrap();
+    let stores: [&dyn SeedStore; 3] = [&scan, &inverted, &partition];
+
+    for &gamma in &[1.5f64, 2.0, 4.0] {
+        let model = PowerModel {
+            schema: (*schema).clone(),
+            kept: vec![0],
+            gamma,
+        };
+        for k in [1usize, 3, 8, 20] {
+            for master in 0..8u64 {
+                let seed = dataset.record((master as usize * 7) % dataset.len());
+                let y = seed.clone();
+                for config in [
+                    PrivacyTestConfig::deterministic(k, gamma),
+                    PrivacyTestConfig::randomized(k, gamma, 1.0).with_limits(Some(k), Some(60)),
+                ] {
+                    let mut outcomes = Vec::new();
+                    let mut post_rng = Vec::new();
+                    for store in stores {
+                        let mut rng = StdRng::seed_from_u64(master);
+                        let outcome =
+                            run_with_store(&model, &dataset, store, seed, &y, &config, &mut rng)
+                                .unwrap();
+                        outcomes.push(outcome);
+                        post_rng.push(rng.next_u64());
+                    }
+                    for (other, post) in outcomes[1..].iter().zip(&post_rng[1..]) {
+                        assert_eq!(outcomes[0].passed, other.passed, "gamma={gamma} k={k}");
+                        assert_eq!(outcomes[0].plausible_seeds, other.plausible_seeds);
+                        assert_eq!(outcomes[0].seed_partition, other.seed_partition);
+                        assert_eq!(outcomes[0].threshold, other.threshold);
+                        assert_eq!(post_rng[0], *post);
+                    }
+                    // The candidate equals its seed: the seed's probability
+                    // is exactly γ^0 = 1, the closed top of partition 0.
+                    assert_eq!(outcomes[0].seed_partition, Some(0));
+                }
+            }
+        }
+    }
+}
+
+/// Probabilities above 1 clamp into partition 0 identically for record-level
+/// and class-level counting.
+struct ClampModel {
+    schema: Schema,
+}
+
+impl GenerativeModel for ClampModel {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+    fn generate(&self, seed: &Record, _rng: &mut dyn RngCore) -> Record {
+        seed.clone()
+    }
+    fn probability(&self, seed: &Record, y: &Record) -> f64 {
+        // Floating-point slack can push a "certain" generation above 1; the
+        // partition machinery must clamp it into partition 0.
+        if seed == y {
+            1.0 + 1e-12
+        } else {
+            0.9
+        }
+    }
+    fn likelihood_attributes(&self) -> Option<&[usize]> {
+        Some(&ALL_ATTRIBUTES)
+    }
+}
+
+#[test]
+fn clamped_probabilities_agree_across_stores() {
+    let schema = Arc::new(schema());
+    let records: Vec<Record> = (0..40u16)
+        .map(|v| to_record((v % 4, v % 6, v % 3, v % 5)))
+        .collect();
+    let dataset = Dataset::from_records_unchecked(Arc::clone(&schema), records);
+    let model = ClampModel {
+        schema: (*schema).clone(),
+    };
+    let scan = LinearScanStore::new(&dataset);
+    let partition = PartitionIndexStore::build(&dataset, &ALL_ATTRIBUTES).unwrap();
+    let seed = dataset.record(0).clone();
+    let y = seed.clone();
+    for gamma in [2.0f64, 4.0] {
+        let config = PrivacyTestConfig::deterministic(5, gamma);
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let mut rng_b = StdRng::seed_from_u64(1);
+        let a = run_with_store(&model, &dataset, &scan, &seed, &y, &config, &mut rng_a).unwrap();
+        let b =
+            run_with_store(&model, &dataset, &partition, &seed, &y, &config, &mut rng_b).unwrap();
+        // p > 1 lands in partition 0 — not rejected, not a separate bucket.
+        assert_eq!(a.seed_partition, Some(0));
+        assert_eq!(a.passed, b.passed);
+        assert_eq!(a.plausible_seeds, b.plausible_seeds);
+        assert!(b.via_classes);
     }
 }
