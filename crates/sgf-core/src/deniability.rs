@@ -120,7 +120,10 @@ pub fn satisfies_plausible_deniability<M: GenerativeModel + ?Sized>(
     if others.len() + 1 < k {
         return Ok(false);
     }
-    others.sort_by(|a, b| a.partial_cmp(b).expect("probabilities are finite"));
+    // total_cmp: the `p > 0.0` filter above drops NaNs today, but the
+    // deniability verdict is a decision path — its ordering must stay a
+    // total order even if a future model emits one (see --explain R1).
+    others.sort_by(f64::total_cmp);
 
     // Candidate window lower ends: p_seed itself and every other probability
     // that could sit at the bottom of a window still containing p_seed.
@@ -254,6 +257,41 @@ mod tests {
         // With a tighter gamma the high-probability record (0,0) no longer counts.
         assert!(!satisfies_plausible_deniability(&model, &dataset, &seed, &y, 4, 2.0).unwrap());
         assert!(satisfies_plausible_deniability(&model, &dataset, &seed, &y, 3, 2.0).unwrap());
+    }
+
+    #[test]
+    fn criterion_tolerates_nan_probabilities() {
+        // Regression: the probability sort used
+        // `partial_cmp(..).expect("probabilities are finite")`.  A model that
+        // emits NaN for some record must neither panic the verdict nor let
+        // the NaN count as a plausible seed.
+        struct NanModel {
+            inner: HammingModel,
+        }
+        impl GenerativeModel for NanModel {
+            fn schema(&self) -> &Schema {
+                self.inner.schema()
+            }
+            fn generate(&self, seed: &Record, rng: &mut dyn RngCore) -> Record {
+                self.inner.generate(seed, rng)
+            }
+            fn probability(&self, seed: &Record, y: &Record) -> f64 {
+                // The (3,3) outlier row turns degenerate.
+                if seed == &Record::new(vec![3, 3]) {
+                    f64::NAN
+                } else {
+                    self.inner.probability(seed, y)
+                }
+            }
+        }
+        let (inner, dataset) = toy();
+        let model = NanModel { inner };
+        let y = Record::new(vec![0, 0]);
+        let seed = Record::new(vec![0, 1]);
+        // Same verdicts as `criterion_detects_enough_plausible_seeds`: the
+        // NaN row was never inside any window, so only the panic is new.
+        assert!(satisfies_plausible_deniability(&model, &dataset, &seed, &y, 4, 4.0).unwrap());
+        assert!(!satisfies_plausible_deniability(&model, &dataset, &seed, &y, 5, 4.0).unwrap());
     }
 
     #[test]

@@ -16,6 +16,40 @@ use crate::error::{CoreError, Result};
 use serde::{Deserialize, Serialize};
 use sgf_stats::DpBudget;
 
+/// Largest integer every `f64` at or below it represents exactly (2^53).
+/// Counts under this bound convert to `f64` without rounding, which is what
+/// keeps the accounting formulas below exact rather than merely approximate.
+const MAX_EXACT_COUNT: u64 = 1 << 53;
+/// The same bound as an `f64` literal (spelled out so no cast is needed).
+const MAX_EXACT_COUNT_F64: f64 = 9_007_199_254_740_992.0;
+
+/// Convert a release/parameter count to `f64` for budget arithmetic (R5,
+/// accounting-cast discipline).  Exact up to 2^53; beyond that the conversion
+/// would silently round, so the count saturates to `+inf` instead — a
+/// *conservative* overstatement of the privacy cost, never an understatement.
+pub(crate) fn count_to_f64(n: usize) -> f64 {
+    if u64::try_from(n).is_ok_and(|v| v <= MAX_EXACT_COUNT) {
+        n as f64
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Ceil a non-negative finite `f64` and convert it to `usize` (R5,
+/// accounting-cast discipline).  A bare `ceil() as usize` quietly saturates
+/// on NaN/∞/overflow; parameter-sizing formulas must surface those cases as
+/// errors instead.
+pub(crate) fn ceil_to_usize(value: f64) -> Result<usize> {
+    let ceiled = value.ceil();
+    // NaN fails `contains` too, so non-finite values are covered.
+    if !(0.0..=MAX_EXACT_COUNT_F64).contains(&ceiled) {
+        return Err(CoreError::InvalidParameter(format!(
+            "value {value} does not round up to a representable count"
+        )));
+    }
+    Ok(ceiled as usize)
+}
+
 /// Sequential composition of `releases` identical per-release budgets, in
 /// O(1): n releases of an (ε, δ) mechanism cost (nε, nδ).  `None` means the
 /// deterministic test was used, which carries no per-release guarantee — the
@@ -27,7 +61,10 @@ use sgf_stats::DpBudget;
 pub(crate) fn compose_releases(per_release: Option<DpBudget>, releases: usize) -> DpBudget {
     match (per_release, releases) {
         (_, 0) => DpBudget::pure(0.0),
-        (Some(b), n) => DpBudget::new(n as f64 * b.epsilon, n as f64 * b.delta),
+        (Some(b), n) => {
+            let n = count_to_f64(n);
+            DpBudget::new(n * b.epsilon, n * b.delta)
+        }
         (None, _) => DpBudget::pure(f64::INFINITY),
     }
 }
@@ -68,8 +105,8 @@ impl ReleaseBudget {
                 "t must satisfy 1 <= t < k (t = {t}, k = {k})"
             )));
         }
-        let epsilon = epsilon0 + (1.0 + gamma / t as f64).ln();
-        let delta = (-epsilon0 * (k - t) as f64).exp();
+        let epsilon = epsilon0 + (1.0 + gamma / count_to_f64(t)).ln();
+        let delta = (-epsilon0 * count_to_f64(k - t)).exp();
         Ok(ReleaseBudget {
             k,
             gamma,
@@ -117,7 +154,7 @@ impl ReleaseBudget {
             )));
         }
         // e^{-ε0 (k - t)} <= δ  <=>  k >= t + ln(1/δ)/ε0.
-        Ok(t + ((1.0 / max_delta).ln() / epsilon0).ceil() as usize)
+        Ok(t + ceil_to_usize((1.0 / max_delta).ln() / epsilon0)?)
     }
 
     /// The guarantee for releasing `count` records from the same input dataset
@@ -671,6 +708,25 @@ mod tests {
                 prop_assert_eq!(ledger.total(), ledger.reserved_total());
             }
         }
+    }
+
+    #[test]
+    fn accounting_casts_are_checked() {
+        // count_to_f64: exact in the representable range, conservative
+        // (infinite cost, never an undercount) past it.
+        assert_eq!(count_to_f64(0), 0.0);
+        assert_eq!(count_to_f64(12345), 12345.0);
+        assert_eq!(count_to_f64(MAX_EXACT_COUNT as usize), 9007199254740992.0);
+        assert!(count_to_f64(MAX_EXACT_COUNT as usize + 1).is_infinite());
+        // ceil_to_usize: well-defined on finite non-negative input, an error
+        // (not a silent saturation) otherwise.
+        assert_eq!(ceil_to_usize(2.1).unwrap(), 3);
+        assert_eq!(ceil_to_usize(0.0).unwrap(), 0);
+        assert_eq!(ceil_to_usize(-0.3).unwrap(), 0);
+        assert!(ceil_to_usize(f64::NAN).is_err());
+        assert!(ceil_to_usize(f64::INFINITY).is_err());
+        assert!(ceil_to_usize(-1.5).is_err());
+        assert!(ceil_to_usize(1e300).is_err());
     }
 
     #[test]

@@ -37,8 +37,6 @@
 //! assert_eq!(session.ledger().releases, report.stats.released);
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod deniability;
 pub mod dp;
 pub mod error;

@@ -13,8 +13,6 @@
 //! * [`acs`] — a synthetic ACS-2013-like population generator standing in for
 //!   the Census PUMS extract (see DESIGN.md for the substitution rationale).
 
-#![warn(missing_docs)]
-
 pub mod acs;
 pub mod bucketize;
 pub mod csv;

@@ -19,8 +19,6 @@
 //! The experiment binaries in the `bench` crate drive these modules and print
 //! the same rows/series the paper reports.
 
-#![warn(missing_docs)]
-
 pub mod classifier_eval;
 pub mod distinguish;
 pub mod model_accuracy;

@@ -62,18 +62,26 @@ pub fn generative_model_accuracy<R: Rng + ?Sized>(
         .collect()
 }
 
+/// Index of the largest non-NaN value (lowest index wins ties; 0 when the
+/// slice is empty or all-NaN).  `total_cmp` keeps the comparator total, and
+/// the NaN filter keeps a corrupted marginal cell from *winning* the argmax
+/// (total_cmp orders positive NaN above +inf).
+fn argmax(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_nan())
+        .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
 /// Accuracy of predicting each attribute by its marginal mode.
 pub fn marginal_accuracy(marginal: &MarginalModel, evaluation: &Dataset) -> Vec<f64> {
     let m = evaluation.schema().len();
     (0..m)
         .map(|attr| {
-            let mode = marginal
-                .marginal(attr)
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-                .map(|(i, _)| i as u16)
-                .unwrap_or(0);
+            let mode = argmax(marginal.marginal(attr)) as u16;
             let hist = Histogram::from_column(evaluation, attr);
             if hist.total() == 0 {
                 0.0
@@ -235,6 +243,17 @@ mod tests {
         }
         let improvement = acc.relative_improvement();
         assert_eq!(improvement.len(), 11);
+    }
+
+    #[test]
+    fn argmax_survives_nan_cells_and_breaks_ties_low() {
+        // Regression: the old `max_by(partial_cmp(..).expect(..))` panicked
+        // on a NaN marginal cell; a NaN must neither panic nor win.
+        assert_eq!(argmax(&[0.1, f64::NAN, 0.7, 0.2]), 2);
+        assert_eq!(argmax(&[f64::NAN, f64::NAN]), 0);
+        assert_eq!(argmax(&[]), 0);
+        assert_eq!(argmax(&[0.4, 0.4, 0.2]), 0, "ties go to the lowest index");
+        assert_eq!(argmax(&[f64::NEG_INFINITY, -0.0, 0.0]), 2);
     }
 
     #[test]

@@ -27,8 +27,6 @@
 //! * [`SeedIndex`] — the `Scan | Inverted | Auto` selection policy carried by
 //!   pipeline configurations and generate requests.
 
-#![warn(missing_docs)]
-
 pub mod inverted;
 pub mod partition;
 pub mod permute;

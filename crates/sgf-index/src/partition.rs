@@ -22,7 +22,7 @@
 
 use crate::store::{CandidateIter, SeedStore};
 use sgf_data::{DataError, Dataset, Record};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One likelihood-equivalence class: the seed records whose projections onto
 /// the store's key attributes are identical.
@@ -45,7 +45,11 @@ pub struct PartitionIndexStore {
     /// index) order.
     classes: Vec<EquivalenceClass>,
     /// Projection (values in `attributes` order) → index into `classes`.
-    by_projection: HashMap<Vec<u16>, u32>,
+    /// A BTreeMap (R2, ordered-iteration discipline): the map is only ever
+    /// probed by key today, but this store sits on the decision path of the
+    /// privacy test, and a BTreeMap keeps every future traversal of it
+    /// deterministic by construction.
+    by_projection: BTreeMap<Vec<u16>, u32>,
 }
 
 impl PartitionIndexStore {
@@ -71,7 +75,7 @@ impl PartitionIndexStore {
             ));
         }
         let mut classes: Vec<EquivalenceClass> = Vec::new();
-        let mut by_projection: HashMap<Vec<u16>, u32> = HashMap::new();
+        let mut by_projection: BTreeMap<Vec<u16>, u32> = BTreeMap::new();
         for (idx, record) in seeds.records().iter().enumerate() {
             let projection: Vec<u16> = key.iter().map(|&a| record.get(a)).collect();
             match by_projection.get(&projection) {
@@ -413,6 +417,30 @@ mod tests {
         assert!(!store.plausible_candidates(&y, Some(&[2])).is_filtered());
         assert!(!store.plausible_candidates(&y, None).is_filtered());
         assert_eq!(store.plausible_candidates(&y, Some(&[2])).count(), 6);
+    }
+
+    #[test]
+    fn two_builds_enumerate_classes_identically() {
+        // Determinism regression (R2): every traversal of the store — class
+        // enumeration, representative choice, member expansion — must be
+        // identical across two builds from the same dataset.  The class list
+        // is first-seen ordered and the projection map is a BTreeMap, so
+        // nothing here may depend on hash iteration order.
+        let data = dataset();
+        let a = PartitionIndexStore::build(&data, &[0, 1]).unwrap();
+        let b = PartitionIndexStore::build(&data, &[0, 1]).unwrap();
+        let y = Record::new(vec![0, 9, 9]);
+        let enumerate = |s: &PartitionIndexStore| -> Vec<(usize, Vec<u32>)> {
+            s.likelihood_classes(&y, Some(&[0]), None)
+                .unwrap()
+                .map(|c| (c.representative, c.members.to_vec()))
+                .collect()
+        };
+        assert_eq!(enumerate(&a), enumerate(&b));
+        let expand = |s: &PartitionIndexStore| -> Vec<usize> {
+            s.plausible_candidates(&y, Some(&[0])).collect()
+        };
+        assert_eq!(expand(&a), expand(&b));
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! R1 fixture: float-comparator soundness.
+//! Never compiled — walked only by the sgf-lint fixture tests.
+// Comment negative: v.sort_by(|a, b| a.partial_cmp(b).unwrap()) must not fire.
+
+/// Positive: non-total comparator inside a sort closure.
+pub fn bad_sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); //~ R1
+}
+
+/// Positive: `expect` flavour, different comparator method.
+pub fn bad_max(v: &[f64]) -> Option<&f64> {
+    v.iter().max_by(|a, b| a.partial_cmp(b).expect("finite")) //~ R1
+}
+
+/// Negative: total order.
+pub fn good_sort(v: &mut [f64]) {
+    v.sort_by(f64::total_cmp);
+}
+
+/// Negative: the offending pattern inside a string literal.
+pub fn in_string() -> &'static str {
+    "v.sort_by(|a, b| a.partial_cmp(b).unwrap())"
+}
+
+/// Negative: raw string literal.
+pub fn in_raw_string() -> &'static str {
+    r#"xs.min_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal))"#
+}
+
+/// Negative: partial_cmp without a comparator context is fine.
+pub fn plain_partial(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    a.partial_cmp(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    /// Negative: test code is exempt from R1.
+    pub fn exempt(v: &mut [f64]) {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+}

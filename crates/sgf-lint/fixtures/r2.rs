@@ -1,0 +1,38 @@
+//! R2 fixture: ordered-iteration discipline (no HashMap/HashSet in
+//! decision-path modules).  Never compiled.
+// Comment negative: HashMap here must not fire.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap; //~ R2
+
+/// Positive: HashSet in type position.
+pub fn bad_set() -> std::collections::HashSet<u32> { //~ R2
+    todo()
+}
+
+/// Negative: ordered containers are the point.
+pub fn good_map() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}
+
+/// Negative: the name inside a string literal.
+pub fn in_string() -> &'static str {
+    "HashMap and HashSet are forbidden here"
+}
+
+fn todo() -> std::collections::HashSet<u32> { //~ R2
+    unreachable_helper()
+}
+
+fn unreachable_helper() -> std::collections::HashSet<u32> { //~ R2
+    loop {}
+}
+
+#[cfg(test)]
+mod tests {
+    /// Negative: test-only scratch maps are exempt.
+    use std::collections::HashMap;
+    pub fn exempt() -> HashMap<u8, u8> {
+        HashMap::new()
+    }
+}

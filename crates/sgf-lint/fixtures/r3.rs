@@ -1,0 +1,54 @@
+//! R3 fixture: panic-free serving.  Never compiled.
+// Comment negative: .unwrap() and panic!("boom") here must not fire.
+
+/// Positive: unwrap on a request path.
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() //~ R3
+}
+
+/// Positive: expect on a request path.
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("present") //~ R3
+}
+
+/// Positive: panic-family macro.
+pub fn bad_panic(flag: bool) {
+    if flag {
+        panic!("connection state corrupted"); //~ R3
+    }
+}
+
+/// Positive: slice indexing without `.get(..)`.
+pub fn bad_index(xs: &[u8]) -> u8 {
+    xs[0] //~ R3
+}
+
+/// Negative via the allowlist: the fixture policy carries a justified
+/// exception for this exact pattern.
+pub fn allowed_index(buffer: &[u8]) -> &[u8] {
+    &buffer[1..]
+}
+
+/// Negative: checked access and error plumbing.
+pub fn good(xs: &[u8]) -> Option<u8> {
+    xs.get(0).copied()
+}
+
+/// Negative: the patterns inside string literals.
+pub fn in_string() -> &'static str {
+    "call .unwrap() or panic!(now) or xs[0]"
+}
+
+/// Negative: a local fn *named* expect is not `Option::expect`.
+pub fn expect(code: u32) -> u32 {
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    /// Negative: test assertions may unwrap and index freely.
+    pub fn exempt(xs: &[u8]) -> u8 {
+        let first = xs.get(0).copied().unwrap();
+        first + xs[0]
+    }
+}

@@ -1,0 +1,45 @@
+//! R4 fixture: RNG discipline.  Never compiled.
+// Comment negative: fn fake(rng: &mut StdRng) in a comment must not fire.
+
+/// Positive: takes `&mut` a concrete RNG type but is not in the audited list.
+pub fn unaudited(rng: &mut StdRng) -> u32 { //~ R4
+    rng.next_u32()
+}
+
+/// Positive: RNG reached through a bounded generic parameter.
+pub fn unaudited_generic<R: Rng + ?Sized>(data: &[f64], rng: &mut R) -> f64 { //~ R4
+    data[rng.gen_range(0..data.len())]
+}
+
+/// Positive: `dyn` trait-object form.
+pub fn unaudited_dyn(rng: &mut dyn RngCore) -> u32 { //~ R4
+    rng.next_u32()
+}
+
+/// Negative: listed in `[rules.R4] audited` of the fixture policy.
+pub fn audited_fn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    rng.gen()
+}
+
+/// Negative: immutable RNG borrow cannot consume draws.
+pub fn readonly(rng: &StdRng) -> usize {
+    std::mem::size_of_val(rng)
+}
+
+/// Negative: `&mut` of a non-RNG type.
+pub fn not_rng(buf: &mut Vec<u8>) {
+    buf.clear();
+}
+
+/// Negative: signature text inside a string literal.
+pub fn in_string() -> &'static str {
+    "fn stringy(rng: &mut StdRng)"
+}
+
+#[cfg(test)]
+mod tests {
+    /// Negative: test helpers may take RNGs without an audit entry.
+    pub fn exempt(rng: &mut StdRng) -> u32 {
+        rng.next_u32()
+    }
+}

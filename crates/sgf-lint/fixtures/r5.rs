@@ -1,0 +1,33 @@
+//! R5 fixture: accounting casts.  Never compiled.
+// Comment negative: `n as f64` in a comment must not fire.
+
+/// Positive: raw count-to-float cast in accounting arithmetic.
+pub fn bad_count(n: usize) -> f64 {
+    n as f64 //~ R5
+}
+
+/// Positive: raw float-to-integer truncation.
+pub fn bad_trunc(x: f64) -> usize {
+    x.ceil() as usize //~ R5
+}
+
+/// Negative: `as` import renaming is not a numeric cast.
+pub use std::collections::BTreeMap as OrderedMap;
+
+/// Negative: lossless From conversion.
+pub fn good(n: u32) -> f64 {
+    f64::from(n)
+}
+
+/// Negative: the cast inside a string literal.
+pub fn in_string() -> &'static str {
+    "releases as f64"
+}
+
+#[cfg(test)]
+mod tests {
+    /// Negative: test arithmetic is exempt.
+    pub fn exempt(n: usize) -> f64 {
+        n as f64
+    }
+}

@@ -1,0 +1,177 @@
+//! Diagnostic rendering: rustc-style text for humans, JSON for CI artifacts.
+//!
+//! The JSON writer is hand-rolled (std-only policy) and emits a stable,
+//! fully-escaped document:
+//!
+//! ```json
+//! {
+//!   "findings": [ {"rule": "R1", "file": "...", "line": 9, "col": 3,
+//!                  "message": "...", "snippet": "..."} ],
+//!   "allowed":  [ {"rule": "R3", "file": "...", "line": 1, "col": 1,
+//!                  "message": "...", "snippet": "...",
+//!                  "justification": "..."} ],
+//!   "summary":  {"files_checked": 10, "findings": 1, "allowed": 2}
+//! }
+//! ```
+
+use crate::rules::Finding;
+
+/// A finding suppressed by an `[[allow]]` entry, kept for the report so the
+/// audit trail (including the justification) is visible in CI artifacts.
+#[derive(Debug, Clone)]
+pub struct Allowed {
+    /// The suppressed finding.
+    pub finding: Finding,
+    /// The allowlist entry's justification.
+    pub justification: String,
+}
+
+/// The outcome of a full lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings not covered by any allowlist entry — these fail the run.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by a justified allowlist entry.
+    pub allowed: Vec<Allowed>,
+    /// Number of `.rs` files checked.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// Whether the run should exit nonzero.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Render one finding in rustc style:
+///
+/// ```text
+/// error[R1]: `partial_cmp` escaped with unwrap ... use `f64::total_cmp`
+///   --> crates/sgf-model/src/cfs.rs:119:27
+///    |  order.sort_by(|&a, &b| best_corr(b).partial_cmp(&best_corr(a))...
+/// ```
+pub fn render_text(finding: &Finding) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("error[{}]: {}\n", finding.rule, finding.message));
+    out.push_str(&format!(
+        "  --> {}:{}:{}\n",
+        finding.file, finding.line, finding.col
+    ));
+    if !finding.snippet.is_empty() {
+        out.push_str(&format!("   |  {}\n", finding.snippet));
+    }
+    out
+}
+
+/// Render the full report as the JSON document described in the module docs.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        write_finding(&mut out, f, None);
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"allowed\": [");
+    for (i, a) in report.allowed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        write_finding(&mut out, &a.finding, Some(&a.justification));
+    }
+    if !report.allowed.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"summary\": {");
+    out.push_str(&format!(
+        "\"files_checked\": {}, \"findings\": {}, \"allowed\": {}",
+        report.files_checked,
+        report.findings.len(),
+        report.allowed.len()
+    ));
+    out.push_str("}\n}\n");
+    out
+}
+
+fn write_finding(out: &mut String, f: &Finding, justification: Option<&str>) {
+    out.push('{');
+    out.push_str(&format!("\"rule\": {}", json_string(f.rule)));
+    out.push_str(&format!(", \"file\": {}", json_string(&f.file)));
+    out.push_str(&format!(", \"line\": {}, \"col\": {}", f.line, f.col));
+    out.push_str(&format!(", \"message\": {}", json_string(&f.message)));
+    out.push_str(&format!(", \"snippet\": {}", json_string(&f.snippet)));
+    if let Some(j) = justification {
+        out.push_str(&format!(", \"justification\": {}", json_string(j)));
+    }
+    out.push('}');
+}
+
+/// Escape a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Finding {
+        Finding {
+            rule: "R1",
+            file: "crates/x/src/a.rs".to_string(),
+            line: 9,
+            col: 3,
+            message: "bad \"comparator\"".to_string(),
+            snippet: "v.sort_by(|a, b| a.partial_cmp(b).unwrap());".to_string(),
+        }
+    }
+
+    #[test]
+    fn text_has_rule_id_and_location() {
+        let text = render_text(&sample());
+        assert!(text.contains("error[R1]"));
+        assert!(text.contains("crates/x/src/a.rs:9:3"));
+        assert!(text.contains("partial_cmp"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_complete() {
+        let report = Report {
+            findings: vec![sample()],
+            allowed: vec![Allowed {
+                finding: sample(),
+                justification: "proven\tfine".to_string(),
+            }],
+            files_checked: 3,
+        };
+        let json = render_json(&report);
+        assert!(json.contains("\\\"comparator\\\""));
+        assert!(json.contains("\\tfine"));
+        assert!(json.contains("\"files_checked\": 3"));
+        assert!(json.contains("\"findings\": 1"));
+        // Every quote inside values is escaped: the document must stay
+        // parseable by the serve-side JSON reader used in integration tests.
+        assert_eq!(json.matches("\"rule\"").count(), 2);
+    }
+}

@@ -1,0 +1,584 @@
+//! A hand-rolled Rust lexer producing a rule-checkable token stream.
+//!
+//! The rules in [`crate::rules`] are lexical, not syntactic: they need to see
+//! identifiers, punctuation, and nesting — and they need to *not* see the
+//! insides of comments, string literals, and `#[cfg(test)]` items.  A full
+//! parser (`syn`) would be overkill and would break the workspace's
+//! vendored-stub policy, so this module lexes just enough Rust:
+//!
+//! * line (`//`) and nested block (`/* */`) comments are skipped;
+//! * string, raw-string (`r#"…"#` with any number of hashes), byte-string,
+//!   and char literals become single opaque [`TokenKind::Str`] /
+//!   [`TokenKind::Char`] tokens — their contents can never trigger a rule;
+//! * lifetimes (`'a`) are distinguished from char literals;
+//! * raw identifiers (`r#match`) lex as identifiers;
+//! * a post-pass marks every token inside a `#[test]` or `#[cfg(test)]`
+//!   item with [`Token::in_test`] so the rules can exclude test code.
+//!
+//! Every token carries a 1-based `line:col` so diagnostics point at source.
+
+/// The coarse token classes the rules distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (rules match on the text).
+    Ident,
+    /// A lifetime (`'a`), without the quote in `text`.
+    Lifetime,
+    /// A numeric literal (integer or float; rules never inspect the digits).
+    Number,
+    /// A string / raw-string / byte-string literal, contents opaque.
+    Str,
+    /// A char literal, contents opaque.
+    Char,
+    /// A single punctuation character (`text` holds exactly one char).
+    Punct,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Identifier/lifetime text, or the single punctuation character.
+    /// Literals keep only a placeholder (their content is rule-irrelevant).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+    /// Whether the token sits inside a `#[test]` / `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+impl Token {
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+/// Lex `source` into a token stream and mark test-only code.
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut lexer = Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        tokens: Vec::new(),
+    };
+    lexer.run();
+    let mut tokens = lexer.tokens;
+    mark_test_code(&mut tokens);
+    tokens
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+            in_test: false,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek() {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek_at(1) == Some('/') => self.line_comment(),
+                '/' if self.peek_at(1) == Some('*') => self.block_comment(),
+                '"' => self.string(line, col),
+                '\'' => self.quote(line, col),
+                'r' | 'b' | 'c' if self.raw_or_byte_literal(line, col) => {}
+                c if c == '_' || c.is_alphabetic() => self.ident(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Consume `/*`, then balance nested comments.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated; tolerate
+            }
+        }
+    }
+
+    /// A plain (escaped) string literal starting at the current `"`.
+    fn string(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // the escaped character (covers \" and \\)
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Str, "\"…\"".to_string(), line, col);
+    }
+
+    /// Raw strings (`r"…"`, `r#"…"#`), byte strings (`b"…"`, `br#"…"#`),
+    /// C strings (`c"…"`), and raw identifiers (`r#ident`).  Returns `false`
+    /// when the current position is a plain identifier starting with
+    /// r/b/c — the caller falls through to `ident`.
+    fn raw_or_byte_literal(&mut self, line: u32, col: u32) -> bool {
+        let c0 = self.peek();
+        let mut ahead = 1usize;
+        // Optional second prefix letter: br / rb is not legal but br is.
+        if c0 == Some('b') && matches!(self.peek_at(1), Some('r')) {
+            ahead = 2;
+        }
+        match self.peek_at(ahead) {
+            Some('"') => {
+                // b"…" / c"…" / r"…" (ahead==1) or br"…" (ahead==2) — but a
+                // bare r"…" must be raw (no escapes); b"/c" use escapes.
+                let raw = self.peek_at(ahead - 1) == Some('r') || c0 == Some('r');
+                for _ in 0..ahead {
+                    self.bump();
+                }
+                if raw {
+                    self.raw_string_body(0, line, col);
+                } else {
+                    self.string(line, col);
+                }
+                true
+            }
+            Some('#') if c0 == Some('r') || ahead == 2 => {
+                // Count hashes, then expect `"` (raw string) or an identifier
+                // start (raw identifier r#ident — single hash only).
+                let mut hashes = 0usize;
+                while self.peek_at(ahead + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                match self.peek_at(ahead + hashes) {
+                    Some('"') => {
+                        for _ in 0..ahead + hashes + 1 {
+                            self.bump();
+                        }
+                        self.raw_string_body(hashes, line, col);
+                        true
+                    }
+                    Some(c) if hashes == 1 && ahead == 1 && (c == '_' || c.is_alphabetic()) => {
+                        // Raw identifier: consume `r#` then lex the ident.
+                        self.bump();
+                        self.bump();
+                        self.ident(line, col);
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// The body of a raw string whose opening `"` was consumed; terminated by
+    /// `"` followed by `hashes` hash characters.
+    fn raw_string_body(&mut self, hashes: usize, line: u32, col: u32) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek() == Some('#') {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+        self.push(TokenKind::Str, "r\"…\"".to_string(), line, col);
+    }
+
+    /// `'` starts either a char literal or a lifetime.
+    fn quote(&mut self, line: u32, col: u32) {
+        self.bump(); // the quote
+        match self.peek() {
+            Some('\\') => {
+                // Escaped char literal: consume escape, then to closing quote.
+                while let Some(c) = self.bump() {
+                    if c == '\\' {
+                        self.bump();
+                    } else if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Char, "'…'".to_string(), line, col);
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                // `'x'` is a char literal; `'x` followed by anything else is
+                // a lifetime (consume the identifier run).
+                let mut ident = String::new();
+                let mut ahead = 0usize;
+                while let Some(n) = self.peek_at(ahead) {
+                    if n == '_' || n.is_alphanumeric() {
+                        ident.push(n);
+                        ahead += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek_at(ahead) == Some('\'') {
+                    for _ in 0..=ahead {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Char, "'…'".to_string(), line, col);
+                } else {
+                    for _ in 0..ahead {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Lifetime, ident, line, col);
+                }
+            }
+            Some(_) => {
+                // Punctuation char literal like '(' or '"'.
+                self.bump();
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokenKind::Char, "'…'".to_string(), line, col);
+            }
+            None => {}
+        }
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        // Digits plus everything a numeric literal can carry (underscores,
+        // type suffixes, exponents, hex digits, one decimal point) — but a
+        // `..` is a range operator, not part of the number.
+        let mut seen_dot = false;
+        while let Some(c) = self.peek() {
+            if c == '.' {
+                if seen_dot || self.peek_at(1) == Some('.') {
+                    break;
+                }
+                // `1.method()` — the dot belongs to the call, not the number.
+                if self
+                    .peek_at(1)
+                    .is_some_and(|n| n == '_' || n.is_alphabetic())
+                {
+                    break;
+                }
+                seen_dot = true;
+                self.bump();
+            } else if c == '_' || c.is_alphanumeric() {
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && self
+                    .chars
+                    .get(self.pos.wrapping_sub(1))
+                    .is_some_and(|&p| p == 'e' || p == 'E')
+            {
+                // Exponent sign (1e-9).
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, "#".to_string(), line, col);
+    }
+}
+
+/// Mark every token belonging to a `#[test]` / `#[cfg(test)]` item (the
+/// attribute itself, any stacked attributes, and the item body through its
+/// matching `}` or terminating `;`) with `in_test = true`.
+///
+/// `#[cfg(not(test))]` and `#[cfg(feature = "test")]` are *not* test code:
+/// the predicate must be exactly `test`.
+fn mark_test_code(tokens: &mut [Token]) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            if let Some(close) = matching(tokens, i + 1, '[', ']') {
+                if is_test_attribute(&tokens[i + 2..close]) {
+                    let end = item_end(tokens, close + 1);
+                    for token in &mut tokens[i..end] {
+                        token.in_test = true;
+                    }
+                    i = end;
+                    continue;
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Whether the attribute tokens (between `#[` and `]`) denote test code:
+/// `test`, `cfg(test)`, or a path ending in `::test` (e.g. `tokio::test`).
+fn is_test_attribute(attr: &[Token]) -> bool {
+    match attr {
+        [t] if t.is_ident("test") => true,
+        [c, open, t, close]
+            if c.is_ident("cfg")
+                && open.is_punct('(')
+                && t.is_ident("test")
+                && close.is_punct(')') =>
+        {
+            true
+        }
+        [.., sep, t] if sep.is_punct(':') && t.is_ident("test") => true,
+        _ => false,
+    }
+}
+
+/// Index one past the end of the item starting at `start`: consumes stacked
+/// attributes, then scans to the first top-level `{` (returning one past its
+/// matching `}`) or `;`, whichever comes first.
+fn item_end(tokens: &[Token], start: usize) -> usize {
+    let mut i = start;
+    // Stacked attributes after the test attribute (`#[test] #[ignore] fn …`).
+    while i < tokens.len()
+        && tokens[i].is_punct('#')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        match matching(tokens, i + 1, '[', ']') {
+            Some(close) => i = close + 1,
+            None => return tokens.len(),
+        }
+    }
+    let mut depth_paren = 0i32;
+    let mut depth_bracket = 0i32;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_bytes()[0] {
+                b'(' => depth_paren += 1,
+                b')' => depth_paren -= 1,
+                b'[' => depth_bracket += 1,
+                b']' => depth_bracket -= 1,
+                b'{' if depth_paren == 0 && depth_bracket == 0 => {
+                    return matching(tokens, i, '{', '}')
+                        .map(|c| c + 1)
+                        .unwrap_or(tokens.len());
+                }
+                b';' if depth_paren == 0 && depth_bracket == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Index of the token closing the delimiter opened at `open_idx`, balancing
+/// nested pairs of the same kind.  `None` if unbalanced.
+pub fn matching(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (offset, token) in tokens[open_idx..].iter().enumerate() {
+        if token.is_punct(open) {
+            depth += 1;
+        } else if token.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(open_idx + offset);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(tokens: &[Token]) -> Vec<&str> {
+        tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src = r##"
+            // partial_cmp in a line comment
+            /* HashMap in a /* nested */ block comment */
+            let a = "partial_cmp inside a string";
+            let b = r#"HashSet inside a raw "quoted" string"#;
+            let c = 'x';
+        "##;
+        let tokens = lex(src);
+        let names = idents(&tokens);
+        assert!(!names.contains(&"partial_cmp"));
+        assert!(!names.contains(&"HashMap"));
+        assert!(!names.contains(&"HashSet"));
+        assert!(names.contains(&"let"));
+        assert_eq!(
+            tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            2
+        );
+        assert_eq!(
+            tokens.iter().filter(|t| t.kind == TokenKind::Char).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let tokens = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        let lifetimes: Vec<_> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        let tokens = lex("let r#match = r#fn;");
+        assert!(idents(&tokens).contains(&"match"));
+        assert!(idents(&tokens).contains(&"fn"));
+    }
+
+    #[test]
+    fn positions_are_one_based_line_col() {
+        let tokens = lex("a\n  bc");
+        assert_eq!((tokens[0].line, tokens[0].col), (1, 1));
+        assert_eq!((tokens[1].line, tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let src = r#"
+            fn live() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { y.unwrap(); }
+            }
+            fn also_live() {}
+        "#;
+        let tokens = lex(src);
+        let unwraps: Vec<_> = tokens.iter().filter(|t| t.is_ident("unwrap")).collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!unwraps[0].in_test);
+        assert!(unwraps[1].in_test);
+        let also = tokens.iter().find(|t| t.is_ident("also_live")).unwrap();
+        assert!(!also.in_test);
+    }
+
+    #[test]
+    fn test_attribute_with_stacked_attributes_is_marked() {
+        let src = r#"
+            #[test]
+            #[ignore]
+            fn flaky() { z.unwrap(); }
+        "#;
+        let tokens = lex(src);
+        let unwrap = tokens.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert!(unwrap.in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_code() {
+        let src = r#"
+            #[cfg(not(test))]
+            fn prod() { a.unwrap(); }
+            #[cfg(test)]
+            use something::test_only;
+            fn after() { b.unwrap(); }
+        "#;
+        let tokens = lex(src);
+        let unwraps: Vec<_> = tokens.iter().filter(|t| t.is_ident("unwrap")).collect();
+        assert!(!unwraps[0].in_test, "cfg(not(test)) must stay live");
+        assert!(!unwraps[1].in_test, "a cfg(test) use item ends at the `;`");
+        let test_only = tokens.iter().find(|t| t.is_ident("test_only")).unwrap();
+        assert!(test_only.in_test);
+    }
+
+    #[test]
+    fn numeric_literals_with_method_calls_split_at_the_dot() {
+        let tokens = lex("1.0f64.total_cmp(&2.0); 0..n; x.0");
+        assert!(idents(&tokens).contains(&"total_cmp"));
+        // The range `..` stays punctuation, not part of the literal.
+        let dots = tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert!(dots >= 3);
+    }
+}

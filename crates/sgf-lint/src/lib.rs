@@ -1,0 +1,300 @@
+//! sgf-lint: a std-only static-analysis pass that mechanizes the workspace's
+//! determinism & robustness invariants.
+//!
+//! Every guarantee this reproduction makes — the Theorem-1 (ε, δ)
+//! accounting, and the CI-gated claim that the scan / inverted / partition
+//! seed stores are *byte-identical* in decisions, counts, and RNG streams —
+//! rests on code invariants no compiler checks: no NaN-unsound comparators
+//! on decision paths (R1), no randomized-order collections in decision-path
+//! modules (R2), no panics in the serve request loop (R3), no unaudited RNG
+//! draw sites (R4), no silently lossy casts in the privacy accounting (R5).
+//!
+//! The engine walks every `.rs` file under the workspace root, lexes it
+//! ([`lexer`]), runs the policy-scoped rule catalog ([`rules`]) over the
+//! token stream, and filters findings through the justification-required
+//! allowlist in the checked-in `lint.toml` ([`policy`]).  Unused allowlist
+//! entries and stale R4 audit entries are themselves errors, so the
+//! exception lists can only shrink as the code gets cleaner.
+//!
+//! Run it as `cargo run -p sgf-lint` from the workspace root; see
+//! `--explain <rule>` for the rationale behind each rule.
+
+pub mod diagnostics;
+pub mod lexer;
+pub mod policy;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use diagnostics::{Allowed, Report};
+use policy::{path_matches, Policy, PolicyError};
+use rules::Finding;
+
+/// A fatal engine problem (I/O, bad policy, stale exception lists) —
+/// distinct from lint findings, and mapped to a distinct exit code.
+#[derive(Debug)]
+pub struct EngineError(pub String);
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<PolicyError> for EngineError {
+    fn from(e: PolicyError) -> Self {
+        EngineError(e.to_string())
+    }
+}
+
+/// Load and validate the policy file at `config`.
+pub fn load_policy(config: &Path) -> Result<Policy, EngineError> {
+    let text = fs::read_to_string(config)
+        .map_err(|e| EngineError(format!("cannot read {}: {e}", config.display())))?;
+    Ok(Policy::parse(&text)?)
+}
+
+/// Run the full pass over the tree rooted at `root`.
+///
+/// `paths`, when non-empty, restricts checking to files whose root-relative
+/// path starts with one of the given prefixes.  Staleness checks (unused
+/// `[[allow]]` entries, unhit R4 audit entries) only run on unrestricted
+/// passes — a partial run cannot know an entry is dead.
+pub fn run(root: &Path, policy: &Policy, paths: &[String]) -> Result<Report, EngineError> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &policy.exclude, &mut files)?;
+    files.sort(); // deterministic report order regardless of readdir order
+
+    let mut report = Report::default();
+    let mut allow_used = vec![false; policy.allows.len()];
+    let mut audit_hits: Vec<String> = Vec::new();
+
+    for rel_path in &files {
+        if !paths.is_empty() && !paths.iter().any(|p| path_matches(p, rel_path)) {
+            continue;
+        }
+        let full = root.join(rel_path);
+        let source = fs::read_to_string(&full)
+            .map_err(|e| EngineError(format!("cannot read {}: {e}", full.display())))?;
+        let tokens = lexer::lex(&source);
+        let lines: Vec<&str> = source.lines().collect();
+        let findings = rules::check_file(rel_path, &tokens, &lines, policy, &mut audit_hits);
+        report.files_checked += 1;
+
+        for finding in findings {
+            match allow_index(policy, &finding) {
+                Some(idx) => {
+                    allow_used[idx] = true;
+                    report.allowed.push(Allowed {
+                        justification: policy.allows[idx].justification.clone(),
+                        finding,
+                    });
+                }
+                None => report.findings.push(finding),
+            }
+        }
+    }
+
+    if paths.is_empty() {
+        // Stale-exception detection: every suppression must still suppress
+        // something, every audited RNG site must still exist.
+        for (idx, used) in allow_used.iter().enumerate() {
+            if !used {
+                let entry = &policy.allows[idx];
+                return Err(EngineError(format!(
+                    "stale [[allow]] entry: {} in {} (pattern `{}`) no longer matches \
+                     any finding — remove it from lint.toml",
+                    entry.rule, entry.file, entry.pattern
+                )));
+            }
+        }
+        let hit: BTreeSet<&str> = audit_hits.iter().map(String::as_str).collect();
+        for entry in &policy.rng_audited {
+            if !hit.contains(entry.as_str()) {
+                return Err(EngineError(format!(
+                    "stale R4 audit entry: `{entry}` names no fn taking `&mut` an RNG — \
+                     remove it from [rules.R4] audited in lint.toml"
+                )));
+            }
+        }
+    }
+
+    Ok(report)
+}
+
+/// First allowlist entry suppressing `finding`, if any: the rule must match,
+/// the entry's `file` must be the finding's path or a suffix of it, and the
+/// entry's `pattern` must appear verbatim on the flagged source line.
+fn allow_index(policy: &Policy, finding: &Finding) -> Option<usize> {
+    policy.allows.iter().position(|entry| {
+        entry.rule == finding.rule
+            && file_suffix_matches(&entry.file, &finding.file)
+            && finding.snippet.contains(&entry.pattern)
+    })
+}
+
+fn file_suffix_matches(entry_file: &str, finding_file: &str) -> bool {
+    finding_file == entry_file || finding_file.ends_with(&format!("/{entry_file}"))
+}
+
+/// Recursively collect root-relative, forward-slash paths of `.rs` files,
+/// skipping excluded prefixes, hidden directories, and build output.
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    exclude: &[String],
+    out: &mut Vec<String>,
+) -> Result<(), EngineError> {
+    let entries = fs::read_dir(dir)
+        .map_err(|e| EngineError(format!("cannot read dir {}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| EngineError(format!("readdir {}: {e}", dir.display())))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        let rel = rel_path(root, &path);
+        if exclude.iter().any(|p| path_matches(p, &rel)) {
+            continue;
+        }
+        let kind = entry
+            .file_type()
+            .map_err(|e| EngineError(format!("stat {}: {e}", path.display())))?;
+        if kind.is_dir() {
+            collect_rs_files(root, &path, exclude, out)?;
+        } else if kind.is_file() && name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(dir: &Path, rel: &str, contents: &str) {
+        let path = dir.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, contents).unwrap();
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sgf-lint-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn end_to_end_flags_filters_and_detects_stale_entries() {
+        let root = temp_root("e2e");
+        write(
+            &root,
+            "src/a.rs",
+            "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n\
+             fn g(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); } // allowed: clamped\n",
+        );
+        write(
+            &root,
+            "vendor/skip.rs",
+            "fn h() { x.sort_by(|a, b| a.partial_cmp(b).unwrap()); }",
+        );
+
+        let policy = Policy::parse(
+            r#"
+            exclude = ["vendor"]
+            [rules.R1]
+            include = ["src"]
+            [[allow]]
+            rule = "R1"
+            file = "src/a.rs"
+            pattern = "// allowed: clamped"
+            justification = "test fixture: inputs clamped upstream"
+            "#,
+        )
+        .unwrap();
+
+        let report = run(&root, &policy, &[]).unwrap();
+        assert_eq!(report.files_checked, 1, "vendor/ must be excluded");
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.allowed.len(), 1);
+        assert_eq!(report.findings[0].line, 1);
+
+        // Same tree, an entry matching nothing: the run must fail loudly.
+        let stale = Policy::parse(
+            r#"
+            [rules.R1]
+            include = ["src"]
+            [[allow]]
+            rule = "R1"
+            file = "src/a.rs"
+            pattern = "no such line"
+            justification = "stale"
+            "#,
+        )
+        .unwrap();
+        let err = run(&root, &stale, &[]).unwrap_err();
+        assert!(err.0.contains("stale [[allow]]"), "{err}");
+
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn path_filter_restricts_and_skips_staleness() {
+        let root = temp_root("filter");
+        write(&root, "src/a.rs", "fn f() { let x: HashMap<u8, u8>; }");
+        write(&root, "src/b.rs", "fn g() { let y: HashMap<u8, u8>; }");
+        let policy = Policy::parse(
+            r#"
+            [rules.R2]
+            include = ["src"]
+            [[allow]]
+            rule = "R2"
+            file = "src/b.rs"
+            pattern = "HashMap"
+            justification = "test fixture: never iterated"
+            "#,
+        )
+        .unwrap();
+        let partial = run(&root, &policy, &["src/a.rs".to_string()]).unwrap();
+        assert_eq!(partial.files_checked, 1);
+        assert_eq!(partial.findings.len(), 1);
+        // The b.rs allow entry is unused in this partial run — not an error.
+        assert!(partial.allowed.is_empty());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn stale_r4_audit_entries_fail() {
+        let root = temp_root("r4");
+        write(&root, "src/a.rs", "fn no_rng_here() {}");
+        let policy = Policy::parse(
+            r#"
+            [rules.R4]
+            include = ["src"]
+            rng_types = ["Rng"]
+            audited = ["src/a.rs::gone"]
+            "#,
+        )
+        .unwrap();
+        let err = run(&root, &policy, &[]).unwrap_err();
+        assert!(err.0.contains("stale R4 audit entry"), "{err}");
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,196 @@
+//! CLI for the sgf-lint workspace pass.
+//!
+//! ```text
+//! sgf-lint [--root DIR] [--config FILE] [--format text|json]
+//!          [--json-out FILE] [--path PREFIX]... [--quiet]
+//! sgf-lint --explain RULE
+//! sgf-lint --list-rules
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = unallowed findings, 2 = usage/policy/engine
+//! error (bad flags, unreadable tree, stale exception entries).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sgf_lint::diagnostics::{render_json, render_text};
+use sgf_lint::rules::{rule_info, RULES};
+use sgf_lint::{load_policy, run};
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    format: Format,
+    json_out: Option<PathBuf>,
+    paths: Vec<String>,
+    quiet: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+const USAGE: &str = "\
+sgf-lint: mechanized determinism & robustness invariants (R1-R5)
+
+USAGE:
+    sgf-lint [OPTIONS]
+    sgf-lint --explain <RULE>    full rationale for one rule
+    sgf-lint --list-rules        one-line summary of every rule
+
+OPTIONS:
+    --root <DIR>       workspace root to walk [default: nearest lint.toml]
+    --config <FILE>    policy file [default: <root>/lint.toml]
+    --format <FMT>     text | json [default: text]
+    --json-out <FILE>  also write the JSON report to FILE (for CI artifacts)
+    --path <PREFIX>    only check files under PREFIX (repeatable; skips
+                       stale-allowlist checks, which need a full pass)
+    --quiet            suppress the summary line on success
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+
+    // Modes that need no tree walk.
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if argv.iter().any(|a| a == "--list-rules") {
+        for rule in &RULES {
+            println!("{:4} {}", rule.id, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(pos) = argv.iter().position(|a| a == "--explain") {
+        return match argv.get(pos + 1).and_then(|id| rule_info(id)) {
+            Some(info) => {
+                println!("{}", info.explain);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "sgf-lint: --explain needs a rule ID ({})",
+                    RULES.map(|r| r.id).join(", ")
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("sgf-lint: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let config = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint.toml"));
+    let policy = match load_policy(&config) {
+        Ok(policy) => policy,
+        Err(e) => {
+            eprintln!("sgf-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match run(&args.root, &policy, &args.paths) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("sgf-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &args.json_out {
+        if let Err(e) = std::fs::write(path, render_json(&report)) {
+            eprintln!("sgf-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    match args.format {
+        Format::Json => print!("{}", render_json(&report)),
+        Format::Text => {
+            for finding in &report.findings {
+                print!("{}", render_text(finding));
+            }
+            if !args.quiet || !report.is_clean() {
+                eprintln!(
+                    "sgf-lint: {} file(s) checked, {} finding(s), {} allowed exception(s)",
+                    report.files_checked,
+                    report.findings.len(),
+                    report.allowed.len()
+                );
+            }
+        }
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::new(),
+        config: None,
+        format: Format::Text,
+        json_out: None,
+        paths: Vec::new(),
+        quiet: false,
+    };
+    let mut root: Option<PathBuf> = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--root" => root = Some(PathBuf::from(value("--root")?)),
+            "--config" => args.config = Some(PathBuf::from(value("--config")?)),
+            "--json-out" => args.json_out = Some(PathBuf::from(value("--json-out")?)),
+            "--path" => args.paths.push(value("--path")?),
+            "--format" => {
+                args.format = match value("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (text|json)")),
+                }
+            }
+            "--quiet" => args.quiet = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    args.root = match root {
+        Some(root) => root,
+        None => find_root()?,
+    };
+    Ok(args)
+}
+
+/// Walk upward from the current directory to the nearest `lint.toml`, so
+/// `cargo run -p sgf-lint` works from any crate directory.
+fn find_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot get cwd: {e}"))?;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err("no lint.toml found walking up from the current directory; \
+                        pass --root / --config explicitly"
+                .to_string());
+        }
+    }
+}

@@ -1,0 +1,544 @@
+//! The checked-in lint policy: rule scoping, the RNG audit list, and the
+//! justification-required allowlist.
+//!
+//! The policy lives in a `lint.toml` at the workspace root (tests point the
+//! engine at a fixture policy instead).  Only the small TOML subset the
+//! policy needs is parsed — tables, arrays of tables, strings, string
+//! arrays, booleans, integers — by a hand-rolled reader consistent with the
+//! workspace's no-new-dependencies rule.  Unknown keys are **errors**: a
+//! typo in a policy file must never silently widen the allowlist.
+//!
+//! ## Shape
+//!
+//! ```toml
+//! exclude = ["vendor", "target"]          # path prefixes never walked
+//!
+//! [rules.R2]
+//! include = ["crates/sgf-index/src"]      # files/dirs the rule applies to
+//!
+//! [rules.R4]
+//! include = ["crates"]
+//! rng_types = ["Rng", "RngCore"]          # type names that mark an RNG
+//! audited = ["crates/a/src/x.rs::draw"]   # audited `file::fn` draw sites
+//!
+//! [[allow]]
+//! rule = "R3"
+//! file = "crates/sgf-serve/src/json.rs"   # path suffix
+//! pattern = "bytes[start..self.pos]"      # must appear on the flagged line
+//! justification = "pos is bounds-checked by peek() before every advance"
+//! ```
+//!
+//! Every `[[allow]]` entry must carry a non-empty `justification`, and every
+//! entry must suppress at least one finding — a stale entry fails the run,
+//! so the allowlist can only shrink when code gets cleaner.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A policy-file problem (I/O, syntax, or validation).
+#[derive(Debug)]
+pub struct PolicyError(pub String);
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// Scope of one rule: which workspace paths it applies to.
+#[derive(Debug, Clone, Default)]
+pub struct RuleScope {
+    /// Path prefixes (or exact `.rs` paths), relative to the root, the rule
+    /// runs on.  Empty means the rule never fires.
+    pub include: Vec<String>,
+}
+
+impl RuleScope {
+    /// Whether `rel_path` (forward-slash, root-relative) is in scope.
+    pub fn applies_to(&self, rel_path: &str) -> bool {
+        self.include.iter().any(|p| path_matches(p, rel_path))
+    }
+}
+
+/// One audited exception with its mandatory justification.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule ID the entry suppresses (`R1`..`R5`).
+    pub rule: String,
+    /// Path suffix of the file the finding is in.
+    pub file: String,
+    /// Substring that must appear on the flagged source line.
+    pub pattern: String,
+    /// Why the exception is sound.  Required, surfaced in reports.
+    pub justification: String,
+}
+
+/// The parsed policy file.
+#[derive(Debug, Clone)]
+pub struct Policy {
+    /// Root-relative path prefixes the walker never descends into.
+    pub exclude: Vec<String>,
+    /// Per-rule scopes, keyed by rule ID.
+    pub rules: BTreeMap<String, RuleScope>,
+    /// Type names whose `&mut` receipt marks a function as RNG-taking (R4).
+    pub rng_types: Vec<String>,
+    /// Audited `file.rs::fn_name` RNG draw sites (R4).
+    pub rng_audited: Vec<String>,
+    /// Justified suppressions.
+    pub allows: Vec<AllowEntry>,
+}
+
+/// Whether `rel_path` equals `prefix` or sits underneath it.
+pub fn path_matches(prefix: &str, rel_path: &str) -> bool {
+    rel_path == prefix
+        || rel_path
+            .strip_prefix(prefix)
+            .is_some_and(|rest| rest.starts_with('/'))
+}
+
+/// The rule IDs the engine knows.  Policy files naming anything else fail.
+pub const KNOWN_RULES: [&str; 5] = ["R1", "R2", "R3", "R4", "R5"];
+
+impl Policy {
+    /// Parse and validate a policy document.
+    pub fn parse(text: &str) -> Result<Policy, PolicyError> {
+        let mut policy = Policy {
+            exclude: Vec::new(),
+            rules: BTreeMap::new(),
+            rng_types: Vec::new(),
+            rng_audited: Vec::new(),
+            allows: Vec::new(),
+        };
+        let mut table = TablePath::Root;
+        let statements = split_statements(text)?;
+        for (line_no, statement) in statements {
+            let err = |msg: &str| PolicyError(format!("lint.toml:{line_no}: {msg}"));
+            if let Some(header) = statement.strip_prefix("[[") {
+                let name = header
+                    .strip_suffix("]]")
+                    .ok_or_else(|| err("malformed [[table]] header"))?
+                    .trim();
+                if name != "allow" {
+                    return Err(err(&format!("unknown array-of-tables `[[{name}]]`")));
+                }
+                policy.allows.push(AllowEntry {
+                    rule: String::new(),
+                    file: String::new(),
+                    pattern: String::new(),
+                    justification: String::new(),
+                });
+                table = TablePath::Allow;
+            } else if let Some(header) = statement.strip_prefix('[') {
+                let name = header
+                    .strip_suffix(']')
+                    .ok_or_else(|| err("malformed [table] header"))?
+                    .trim();
+                let rule = name
+                    .strip_prefix("rules.")
+                    .ok_or_else(|| err(&format!("unknown table `[{name}]`")))?;
+                if !KNOWN_RULES.contains(&rule) {
+                    return Err(err(&format!(
+                        "unknown rule `{rule}` (known: {})",
+                        KNOWN_RULES.join(", ")
+                    )));
+                }
+                policy.rules.entry(rule.to_string()).or_default();
+                table = TablePath::Rule(rule.to_string());
+            } else {
+                let (key, value) = parse_assignment(&statement)
+                    .ok_or_else(|| err("expected `key = value` or a [table] header"))?;
+                policy.assign(&table, key, value, line_no)?;
+            }
+        }
+        policy.validate()?;
+        Ok(policy)
+    }
+
+    fn assign(
+        &mut self,
+        table: &TablePath,
+        key: &str,
+        value: Value,
+        line_no: usize,
+    ) -> Result<(), PolicyError> {
+        let err = |msg: String| PolicyError(format!("lint.toml:{line_no}: {msg}"));
+        match table {
+            TablePath::Root => match key {
+                "exclude" => self.exclude = value.into_strings(key, line_no)?,
+                "version" => {} // reserved for format evolution; value ignored
+                other => return Err(err(format!("unknown top-level key `{other}`"))),
+            },
+            TablePath::Rule(rule) => {
+                let scope = self.rules.entry(rule.clone()).or_default();
+                match key {
+                    "include" => scope.include = value.into_strings(key, line_no)?,
+                    "rng_types" if rule == "R4" => {
+                        self.rng_types = value.into_strings(key, line_no)?
+                    }
+                    "audited" if rule == "R4" => {
+                        self.rng_audited = value.into_strings(key, line_no)?
+                    }
+                    other => return Err(err(format!("unknown key `{other}` in [rules.{rule}]"))),
+                }
+            }
+            TablePath::Allow => {
+                let entry = self
+                    .allows
+                    .last_mut()
+                    .ok_or_else(|| err("key outside any [[allow]] entry".to_string()))?;
+                let text = value.into_string(key, line_no)?;
+                match key {
+                    "rule" => entry.rule = text,
+                    "file" => entry.file = text,
+                    "pattern" => entry.pattern = text,
+                    "justification" => entry.justification = text,
+                    other => return Err(err(format!("unknown key `{other}` in [[allow]]"))),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate(&self) -> Result<(), PolicyError> {
+        for (i, entry) in self.allows.iter().enumerate() {
+            let which = format!("[[allow]] entry #{}", i + 1);
+            if !KNOWN_RULES.contains(&entry.rule.as_str()) {
+                return Err(PolicyError(format!(
+                    "{which} names unknown rule `{}`",
+                    entry.rule
+                )));
+            }
+            if entry.file.is_empty() || entry.pattern.is_empty() {
+                return Err(PolicyError(format!(
+                    "{which} must set both `file` and `pattern`"
+                )));
+            }
+            if entry.justification.trim().is_empty() {
+                return Err(PolicyError(format!(
+                    "{which} ({}: {}) has no justification — every audited \
+                     exception must say why it is sound",
+                    entry.rule, entry.file
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Scope of `rule` (an absent table means the rule never fires).
+    pub fn scope(&self, rule: &str) -> Option<&RuleScope> {
+        self.rules.get(rule)
+    }
+}
+
+enum TablePath {
+    Root,
+    Rule(String),
+    Allow,
+}
+
+#[derive(Debug)]
+enum Value {
+    Str(String),
+    Array(Vec<Value>),
+    Bool(#[allow(dead_code)] bool),
+    Int(#[allow(dead_code)] i64),
+}
+
+impl Value {
+    fn into_string(self, key: &str, line_no: usize) -> Result<String, PolicyError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(PolicyError(format!(
+                "lint.toml:{line_no}: `{key}` must be a string"
+            ))),
+        }
+    }
+
+    fn into_strings(self, key: &str, line_no: usize) -> Result<Vec<String>, PolicyError> {
+        match self {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| v.into_string(key, line_no))
+                .collect(),
+            _ => Err(PolicyError(format!(
+                "lint.toml:{line_no}: `{key}` must be an array of strings"
+            ))),
+        }
+    }
+}
+
+/// Split the document into logical statements (header or assignment), each
+/// tagged with its starting line number.  Multi-line arrays are joined;
+/// `#` comments are stripped outside strings.
+fn split_statements(text: &str) -> Result<Vec<(usize, String)>, PolicyError> {
+    let mut statements = Vec::new();
+    let mut pending = String::new();
+    let mut pending_start = 0usize;
+    let mut depth = 0i32;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw);
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if pending.is_empty() {
+            pending_start = line_no;
+        } else {
+            pending.push(' ');
+        }
+        pending.push_str(trimmed);
+        depth += bracket_delta(trimmed);
+        if depth < 0 {
+            return Err(PolicyError(format!("lint.toml:{line_no}: unbalanced `]`")));
+        }
+        if depth == 0 {
+            statements.push((pending_start, std::mem::take(&mut pending)));
+        }
+    }
+    if !pending.is_empty() {
+        return Err(PolicyError(format!(
+            "lint.toml:{pending_start}: unterminated array"
+        )));
+    }
+    Ok(statements)
+}
+
+/// Net `[` vs `]` on a line, ignoring brackets inside strings and table
+/// headers (`[rules.R1]` opens and closes on the same line, so its net is 0
+/// either way).
+fn bracket_delta(line: &str) -> i32 {
+    let mut delta = 0i32;
+    let mut in_str = false;
+    let mut escape = false;
+    for c in line.chars() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '[' => delta += 1,
+            ']' => delta -= 1,
+            _ => {}
+        }
+    }
+    delta
+}
+
+/// Strip a `#` comment not inside a string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, c) in line.char_indices() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '#' => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `key = value`.  Values: `"string"`, `[ ... ]`, `true`/`false`, int.
+fn parse_assignment(statement: &str) -> Option<(&str, Value)> {
+    let eq = find_top_level_eq(statement)?;
+    let key = statement[..eq].trim();
+    let value = statement[eq + 1..].trim();
+    if key.is_empty() || !key.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return None;
+    }
+    Some((key, parse_value(value)?))
+}
+
+fn find_top_level_eq(s: &str) -> Option<usize> {
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, c) in s.char_indices() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '=' => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_value(text: &str) -> Option<Value> {
+    let text = text.trim();
+    if let Some(body) = text.strip_prefix('[') {
+        let body = body.strip_suffix(']')?;
+        let mut items = Vec::new();
+        for piece in split_array_items(body) {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            items.push(parse_value(piece)?);
+        }
+        return Some(Value::Array(items));
+    }
+    if let Some(body) = text.strip_prefix('"') {
+        let body = body.strip_suffix('"')?;
+        let mut out = String::new();
+        let mut escape = false;
+        for c in body.chars() {
+            if escape {
+                match c {
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    '\\' => out.push('\\'),
+                    '"' => out.push('"'),
+                    other => out.push(other),
+                }
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else {
+                out.push(c);
+            }
+        }
+        return Some(Value::Str(out));
+    }
+    match text {
+        "true" => Some(Value::Bool(true)),
+        "false" => Some(Value::Bool(false)),
+        _ => text.parse::<i64>().ok().map(Value::Int),
+    }
+}
+
+/// Split an array body at top-level commas (commas inside strings don't
+/// count; nested arrays are not needed by the policy format).
+fn split_array_items(body: &str) -> Vec<&str> {
+    let mut items = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, c) in body.char_indices() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            ',' => {
+                items.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    items.push(&body[start..]);
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+        # a policy
+        exclude = ["vendor", "target"]
+
+        [rules.R1]
+        include = ["crates", "src"]
+
+        [rules.R4]
+        include = ["crates"]
+        rng_types = ["Rng", "RngCore"]
+        audited = [
+            "crates/a/src/x.rs::draw",
+            "crates/b/src/y.rs::sample",  # trailing comment
+        ]
+
+        [[allow]]
+        rule = "R1"
+        file = "crates/a/src/x.rs"
+        pattern = "partial_cmp"
+        justification = "inputs are clamped to [0, 1] upstream"
+    "#;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let policy = Policy::parse(SAMPLE).unwrap();
+        assert_eq!(policy.exclude, vec!["vendor", "target"]);
+        assert_eq!(policy.scope("R1").unwrap().include, vec!["crates", "src"]);
+        assert!(policy.scope("R2").is_none());
+        assert_eq!(policy.rng_types, vec!["Rng", "RngCore"]);
+        assert_eq!(policy.rng_audited.len(), 2);
+        assert_eq!(policy.allows.len(), 1);
+        assert_eq!(policy.allows[0].rule, "R1");
+    }
+
+    #[test]
+    fn scope_matching_is_prefix_or_exact() {
+        let scope = RuleScope {
+            include: vec!["crates/sgf-core/src".into(), "src/lib.rs".into()],
+        };
+        assert!(scope.applies_to("crates/sgf-core/src/dp.rs"));
+        assert!(scope.applies_to("src/lib.rs"));
+        assert!(!scope.applies_to("crates/sgf-core/src2/dp.rs"));
+        assert!(!scope.applies_to("src/lib.rs.bak"));
+    }
+
+    #[test]
+    fn missing_justification_is_rejected() {
+        let bad = r#"
+            [[allow]]
+            rule = "R1"
+            file = "a.rs"
+            pattern = "x"
+            justification = "   "
+        "#;
+        let err = Policy::parse(bad).unwrap_err();
+        assert!(err.0.contains("justification"), "{err}");
+    }
+
+    #[test]
+    fn unknown_keys_and_rules_are_rejected() {
+        assert!(Policy::parse("allowlist = []").is_err());
+        assert!(Policy::parse("[rules.R9]").is_err());
+        assert!(Policy::parse("[rules.R1]\ninclude = [1]").is_err());
+        assert!(Policy::parse("[[deny]]").is_err());
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let policy = Policy::parse(r##"exclude = ["has#hash"]"##).unwrap();
+        assert_eq!(policy.exclude, vec!["has#hash"]);
+    }
+}

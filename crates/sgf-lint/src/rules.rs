@@ -1,0 +1,691 @@
+//! The rule catalog: R1–R5 over the lexed token stream.
+//!
+//! Each rule is a pure function from (tokens, file path, policy) to
+//! findings.  Rules see only non-test tokens (the lexer marks
+//! `#[cfg(test)]` / `#[test]` items) and only files inside their policy
+//! scope.  They are deliberately lexical and **conservative**: a rule may
+//! flag code a type checker could prove safe — that is what the
+//! justification-required allowlist is for.  What a rule must never do is
+//! stay silent on a real violation inside its scope.
+
+use crate::lexer::{matching, Token, TokenKind};
+use crate::policy::Policy;
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule ID (`R1`..`R5`, or `POLICY` for stale-allowlist errors).
+    pub rule: &'static str,
+    /// Root-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Static description of a rule for `--explain` / `--list-rules`.
+pub struct RuleInfo {
+    /// Rule ID.
+    pub id: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Full rationale shown by `--explain`.
+    pub explain: &'static str,
+}
+
+/// The rule catalog.
+pub const RULES: [RuleInfo; 5] = [
+    RuleInfo {
+        id: "R1",
+        summary: "float-comparator soundness: no unwrapped partial_cmp in sort/max/min closures",
+        explain: "\
+R1 — float-comparator soundness
+
+`partial_cmp(..).unwrap_or(Equal)` (or `.unwrap()` / `.expect(..)`) inside a
+`sort_by` / `sort_unstable_by` / `max_by` / `min_by` / `binary_search_by`
+closure is either a panic (unwrap on NaN) or a NON-TRANSITIVE comparator
+(unwrap_or(Equal) makes NaN compare equal to everything), and `sort_by` is
+allowed to respond to a non-total order with arbitrary — even
+non-terminating — behaviour.  The store-equivalence guarantee (scan /
+inverted / partition stores byte-identical in decisions, counts, and RNG
+streams) rests on every decision-path ordering being a total order.
+
+Fix: use `f64::total_cmp`, which is total over all bit patterns (including
+NaN and ±0.0), optionally chained with `.then(..)` tie-breaks.  If the
+inputs are provably NaN-free AND the comparator is only reached after a
+finiteness check, add a [[allow]] entry with that proof as justification.",
+    },
+    RuleInfo {
+        id: "R2",
+        summary: "ordered-iteration discipline: no HashMap/HashSet in decision-path modules",
+        explain: "\
+R2 — ordered-iteration discipline
+
+`HashMap` / `HashSet` iteration order is randomized per process (SipHash
+with a random key).  Any decision-path code that iterates one — directly,
+or via `keys()` / `values()` / `iter()` — produces a different candidate
+order, therefore a different RNG consumption pattern, therefore different
+releases across runs: it silently breaks the byte-identical
+store-equivalence guarantee and the seeded-replay tests.  Because a lexical
+pass cannot prove a given map is never iterated, R2 conservatively forbids
+the *types* inside decision-path modules.
+
+Fix: use `BTreeMap` / `BTreeSet` (deterministic order, and the keyed
+lookups these modules need are O(log n) on small maps), or a sorted Vec.
+If a hash map is genuinely never iterated and measurably hotter, add a
+[[allow]] entry whose justification proves order-insensitivity.",
+    },
+    RuleInfo {
+        id: "R3",
+        summary: "panic-free serving: no unwrap/expect/panic!/indexing in serve request paths",
+        explain: "\
+R3 — panic-free serving
+
+A panic in a connection reader or worker thread kills that thread: the
+client sees a hung connection instead of a machine-readable reject code,
+a poisoned lock can cascade the panic into every other thread, and a
+reserved (ε, δ) budget can leak.  R3 forbids `.unwrap()`, `.expect(..)`,
+`panic!` / `unreachable!` / `todo!` / `unimplemented!`, and
+slice/map indexing (`x[i]`, which panics out of bounds — use `.get(..)`)
+in sgf-serve's connection/request path modules, outside test code.
+
+Fix: convert request-path failures into protocol error responses (reject
+codes), make lock poisoning non-fatal (`unwrap_or_else(|e| e.into_inner())`
+is sound when the protected state has no invariant a panicking holder can
+break mid-update), and replace indexing with `.get(..)`.  Provably
+infallible sites go behind [[allow]] entries with one-line proofs.",
+    },
+    RuleInfo {
+        id: "R4",
+        summary: "RNG discipline: every fn taking &mut an RNG must be in the audited list",
+        explain: "\
+R4 — RNG discipline
+
+The Theorem-1 accounting and the seeded replay / stream-equivalence proofs
+assume the mechanism's RNG stream is consumed at exactly the audited draw
+sites, in a data-independent order.  A new helper that takes `&mut` an RNG
+type is a new draw site: if its draw count depends on the data (or on which
+store served the candidates), it forks the stream and every downstream
+decision diverges — the class of bug PR 3 engineered out of the privacy
+test.  R4 requires every function whose parameters include `&mut <RNG>`
+(concrete type, `impl Rng`, `dyn RngCore`, or a generic bounded by an RNG
+trait) to appear in the audited list in lint.toml.
+
+Fix: audit the new function — check its draws are data-independent given
+its inputs, or that all callers account for the consumption — then add
+`\"<file>.rs::<fn>\" ` to `[rules.R4] audited` (the diff reviewer sees the
+audit claim explicitly).  Stale audited entries fail the run.",
+    },
+    RuleInfo {
+        id: "R5",
+        summary: "accounting casts: no bare `as` casts in the (ε, δ) accounting module",
+        explain: "\
+R5 — accounting casts
+
+`as` casts are silently lossy: `usize as f64` loses precision above 2^53,
+`f64 as usize` truncates, saturates, and maps NaN to 0.  In sgf-core's dp
+module those values are release counts and (ε, δ) budgets — a silent
+rounding *down* of a composed ε understates the privacy cost, which is the
+one direction the accounting must never err in.  R5 flags every `as
+<numeric-type>` cast in the accounting module.
+
+Fix: use the checked helpers in dp.rs (`count_to_f64`, which is exact up to
+2^53 and saturates to +inf — conservatively *overstating* the budget —
+beyond it; `ceil_to_usize`, which errors on non-finite or out-of-range) or
+`f64::from` / `try_from` where the types allow, or add a [[allow]] entry
+arguing the cast is exact over the value's full range.",
+    },
+];
+
+/// Look up a rule's static info.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Run every policy-scoped rule over one file's token stream.
+pub fn check_file(
+    rel_path: &str,
+    tokens: &[Token],
+    lines: &[&str],
+    policy: &Policy,
+    rng_audit_hits: &mut Vec<String>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let in_scope = |rule: &str| {
+        policy
+            .scope(rule)
+            .is_some_and(|scope| scope.applies_to(rel_path))
+    };
+    if in_scope("R1") {
+        r1_float_comparators(rel_path, tokens, lines, &mut findings);
+    }
+    if in_scope("R2") {
+        r2_unordered_collections(rel_path, tokens, lines, &mut findings);
+    }
+    if in_scope("R3") {
+        r3_panic_free(rel_path, tokens, lines, &mut findings);
+    }
+    if in_scope("R4") {
+        r4_rng_discipline(
+            rel_path,
+            tokens,
+            lines,
+            policy,
+            rng_audit_hits,
+            &mut findings,
+        );
+    }
+    if in_scope("R5") {
+        r5_accounting_casts(rel_path, tokens, lines, &mut findings);
+    }
+    findings
+}
+
+fn snippet(lines: &[&str], line: u32) -> String {
+    lines
+        .get(line as usize - 1)
+        .map(|l| l.trim().to_string())
+        .unwrap_or_default()
+}
+
+fn push(
+    findings: &mut Vec<Finding>,
+    rule: &'static str,
+    file: &str,
+    token: &Token,
+    lines: &[&str],
+    message: String,
+) {
+    findings.push(Finding {
+        rule,
+        file: file.to_string(),
+        line: token.line,
+        col: token.col,
+        message,
+        snippet: snippet(lines, token.line),
+    });
+}
+
+/// Comparator-taking methods R1 inspects.
+const COMPARATOR_METHODS: [&str; 5] = [
+    "sort_by",
+    "sort_unstable_by",
+    "max_by",
+    "min_by",
+    "binary_search_by",
+];
+
+/// Escape hatches that turn a `partial_cmp` Option into a (possibly bogus)
+/// Ordering inside a comparator.
+const UNWRAP_LIKE: [&str; 5] = [
+    "unwrap",
+    "expect",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+];
+
+fn r1_float_comparators(file: &str, tokens: &[Token], lines: &[&str], findings: &mut Vec<Finding>) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.in_test || t.kind != TokenKind::Ident || !COMPARATOR_METHODS.contains(&t.text.as_str())
+        {
+            continue;
+        }
+        let Some(open) = tokens.get(i + 1).filter(|n| n.is_punct('(')) else {
+            continue;
+        };
+        let _ = open;
+        let Some(close) = matching(tokens, i + 1, '(', ')') else {
+            continue;
+        };
+        let region = &tokens[i + 2..close];
+        let has_unwrap = region
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && UNWRAP_LIKE.contains(&t.text.as_str()));
+        if !has_unwrap {
+            continue;
+        }
+        if let Some(pc) = region.iter().find(|t| t.is_ident("partial_cmp")) {
+            push(
+                findings,
+                "R1",
+                file,
+                pc,
+                lines,
+                format!(
+                    "`partial_cmp` escaped with unwrap/expect/unwrap_or inside `{}` — \
+                     a NaN either panics or produces a non-transitive comparator; \
+                     use `f64::total_cmp`",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn r2_unordered_collections(
+    file: &str,
+    tokens: &[Token],
+    lines: &[&str],
+    findings: &mut Vec<Finding>,
+) {
+    for t in tokens {
+        if t.in_test || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text == "HashMap" || t.text == "HashSet" {
+            push(
+                findings,
+                "R2",
+                file,
+                t,
+                lines,
+                format!(
+                    "`{}` in a decision-path module — iteration order is randomized \
+                     per process and would fork the RNG/decision stream; use \
+                     `BTreeMap`/`BTreeSet` (or allowlist with an order-insensitivity proof)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Macros whose expansion panics.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that can directly precede a `[` that is NOT an indexing
+/// expression (slice patterns, array types/literals in expression position).
+const NON_POSTFIX_KEYWORDS: [&str; 12] = [
+    "let", "in", "return", "else", "match", "mut", "ref", "move", "as", "break", "continue", "if",
+];
+
+fn r3_panic_free(file: &str, tokens: &[Token], lines: &[&str], findings: &mut Vec<Finding>) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.in_test {
+            continue;
+        }
+        // `.unwrap()` / `.expect(..)` — method position only, so local
+        // functions *named* expect (e.g. a parser combinator) don't match
+        // unless called through `.`.
+        if t.kind == TokenKind::Ident && (t.text == "unwrap" || t.text == "expect") {
+            let after_dot = i > 0 && tokens[i - 1].is_punct('.');
+            let called = tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+            if after_dot && called {
+                push(
+                    findings,
+                    "R3",
+                    file,
+                    t,
+                    lines,
+                    format!(
+                        "`.{}()` on a serve request path — a panic here hangs the client \
+                         and can poison shared locks; return a protocol error instead",
+                        t.text
+                    ),
+                );
+            }
+            continue;
+        }
+        // panic!-family macros.
+        if t.kind == TokenKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            push(
+                findings,
+                "R3",
+                file,
+                t,
+                lines,
+                format!(
+                    "`{}!` on a serve request path — convert to a protocol error response",
+                    t.text
+                ),
+            );
+            continue;
+        }
+        // Postfix indexing `expr[..]`: `[` whose previous token ends an
+        // expression (identifier, literal, `)`, or `]`).
+        if t.is_punct('[') && i > 0 {
+            let prev = &tokens[i - 1];
+            let postfix = match prev.kind {
+                TokenKind::Ident => !NON_POSTFIX_KEYWORDS.contains(&prev.text.as_str()),
+                TokenKind::Number | TokenKind::Str => true,
+                TokenKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+                _ => false,
+            };
+            // Attributes (`#[...]`) have `#` before the bracket; the `#`
+            // itself is Punct so they never look postfix.
+            if postfix {
+                push(
+                    findings,
+                    "R3",
+                    file,
+                    t,
+                    lines,
+                    "indexing (`x[i]`) on a serve request path panics out of bounds — \
+                     use `.get(..)` and handle `None`"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+fn r4_rng_discipline(
+    file: &str,
+    tokens: &[Token],
+    lines: &[&str],
+    policy: &Policy,
+    rng_audit_hits: &mut Vec<String>,
+    findings: &mut Vec<Finding>,
+) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].in_test || !tokens[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).filter(|t| t.kind == TokenKind::Ident) else {
+            // `fn(..)` pointer type, not an item.
+            i += 1;
+            continue;
+        };
+        // Signature region: generics + params + return + where, up to the
+        // body `{` or a trailing `;` at top level.
+        let mut j = i + 2;
+        let generics_start = j;
+        if tokens.get(j).is_some_and(|t| t.is_punct('<')) {
+            j = match matching_angle(tokens, j) {
+                Some(close) => close + 1,
+                None => {
+                    i += 1;
+                    continue;
+                }
+            };
+        }
+        let generics = &tokens[generics_start..j];
+        if !tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        let Some(params_close) = matching(tokens, j, '(', ')') else {
+            i += 1;
+            continue;
+        };
+        let params = &tokens[j + 1..params_close];
+        // Trailing return type / where clause up to `{` or `;`.
+        let mut k = params_close + 1;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.is_punct('{') || t.is_punct(';') {
+                break;
+            }
+            k += 1;
+        }
+        let tail = &tokens[params_close + 1..k.min(tokens.len())];
+
+        if fn_takes_mut_rng(params, generics, tail, &policy.rng_types) {
+            let key = format!("{file}::{}", name.text);
+            if policy.rng_audited.contains(&key) {
+                rng_audit_hits.push(key);
+            } else {
+                push(
+                    findings,
+                    "R4",
+                    file,
+                    name,
+                    lines,
+                    format!(
+                        "fn `{}` takes `&mut` an RNG but `{key}` is not in the audited \
+                         list — audit its draws for data-independence, then add it to \
+                         `[rules.R4] audited` in lint.toml",
+                        name.text
+                    ),
+                );
+            }
+        }
+        i = k.max(i + 1);
+    }
+}
+
+/// Match `<`..`>` for a generics list, not counting `->` arrows.
+fn matching_angle(tokens: &[Token], open_idx: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut idx = open_idx;
+    while idx < tokens.len() {
+        let t = &tokens[idx];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            let is_arrow =
+                idx > 0 && (tokens[idx - 1].is_punct('-') || tokens[idx - 1].is_punct('='));
+            if !is_arrow {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(idx);
+                }
+            }
+        }
+        idx += 1;
+    }
+    None
+}
+
+/// Whether a parameter list contains `&mut <rng>` where `<rng>` is a
+/// configured RNG type, `impl <Rng>`, `dyn <Rng>`, or a generic parameter
+/// bounded by an RNG trait in the generics list or where clause.
+fn fn_takes_mut_rng(
+    params: &[Token],
+    generics: &[Token],
+    tail: &[Token],
+    rng_types: &[String],
+) -> bool {
+    let is_rng = |t: &Token| t.kind == TokenKind::Ident && rng_types.iter().any(|r| r == &t.text);
+    // Generic parameters with an RNG bound: `IDENT :` followed by a bound
+    // list containing an RNG type before the next top-level `,` or the end.
+    let mut rng_generics: Vec<&str> = Vec::new();
+    for region in [generics, tail] {
+        let mut idx = 0usize;
+        while idx + 1 < region.len() {
+            if region[idx].kind == TokenKind::Ident && region[idx + 1].is_punct(':') {
+                let name = region[idx].text.as_str();
+                let mut depth = 0i32;
+                let mut b = idx + 2;
+                while b < region.len() {
+                    let t = &region[b];
+                    if t.is_punct('<') || t.is_punct('(') {
+                        depth += 1;
+                    } else if t.is_punct('>') || t.is_punct(')') {
+                        depth -= 1;
+                    } else if t.is_punct(',') && depth <= 0 {
+                        break;
+                    }
+                    if is_rng(t) && depth >= 0 {
+                        rng_generics.push(name);
+                        break;
+                    }
+                    b += 1;
+                }
+            }
+            idx += 1;
+        }
+    }
+    // Scan params for `& [lifetime] mut <type..>` up to the next top-level
+    // comma; RNG-taking if the type mentions an RNG name or RNG-bounded
+    // generic.
+    let mut idx = 0usize;
+    while idx < params.len() {
+        if !params[idx].is_punct('&') {
+            idx += 1;
+            continue;
+        }
+        let mut t = idx + 1;
+        if params.get(t).is_some_and(|x| x.kind == TokenKind::Lifetime) {
+            t += 1;
+        }
+        if !params.get(t).is_some_and(|x| x.is_ident("mut")) {
+            idx += 1;
+            continue;
+        }
+        // Type tokens after `mut` up to the top-level `,`.
+        let mut depth = 0i32;
+        let mut b = t + 1;
+        while b < params.len() {
+            let token = &params[b];
+            if token.is_punct('<') || token.is_punct('(') {
+                depth += 1;
+            } else if token.is_punct('>') || token.is_punct(')') {
+                depth -= 1;
+            } else if token.is_punct(',') && depth <= 0 {
+                break;
+            }
+            if is_rng(token)
+                || (token.kind == TokenKind::Ident && rng_generics.contains(&token.text.as_str()))
+            {
+                return true;
+            }
+            b += 1;
+        }
+        idx = b;
+    }
+    false
+}
+
+/// Primitive numeric types an `as` cast can target.
+const NUMERIC_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "isize", "f32",
+];
+
+fn r5_accounting_casts(file: &str, tokens: &[Token], lines: &[&str], findings: &mut Vec<Finding>) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.in_test || !t.is_ident("as") {
+            continue;
+        }
+        let Some(target) = tokens.get(i + 1) else {
+            continue;
+        };
+        let is_numeric = target.kind == TokenKind::Ident
+            && (NUMERIC_TYPES.contains(&target.text.as_str()) || target.text == "f64");
+        if is_numeric {
+            push(
+                findings,
+                "R5",
+                file,
+                t,
+                lines,
+                format!(
+                    "bare `as {}` cast in the accounting module — silently lossy on \
+                     counts/budgets; use the checked dp.rs helpers or try_from",
+                    target.text
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::policy::Policy;
+
+    fn policy_all(rule: &str) -> Policy {
+        let extra = if rule == "R4" {
+            "rng_types = [\"Rng\", \"RngCore\", \"StdRng\"]\naudited = [\"f.rs::audited_fn\"]\n"
+        } else {
+            ""
+        };
+        Policy::parse(&format!("[rules.{rule}]\ninclude = [\"f.rs\"]\n{extra}")).unwrap()
+    }
+
+    fn run(rule: &str, src: &str) -> Vec<Finding> {
+        let tokens = lex(src);
+        let lines: Vec<&str> = src.lines().collect();
+        let mut hits = Vec::new();
+        check_file("f.rs", &tokens, &lines, &policy_all(rule), &mut hits)
+    }
+
+    #[test]
+    fn r1_flags_unwrapped_partial_cmp_only_in_comparators() {
+        let bad = "v.sort_by(|a, b| a.partial_cmp(b).unwrap());";
+        let findings = run("R1", bad);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "R1");
+        // total_cmp is clean; partial_cmp handled without unwrap is clean;
+        // partial_cmp outside a comparator is clean.
+        assert!(run("R1", "v.sort_by(|a, b| a.total_cmp(b));").is_empty());
+        assert!(run(
+            "R1",
+            "v.sort_by(|a, b| a.partial_cmp(b).map_or(Ordering::Less, |o| o));"
+        )
+        .is_empty());
+        assert!(run("R1", "let x = a.partial_cmp(b).unwrap();").is_empty());
+    }
+
+    #[test]
+    fn r1_sees_max_by_and_expect() {
+        let bad = "it.max_by(|a, b| a.1.partial_cmp(b.1).expect(\"finite\"));";
+        assert_eq!(run("R1", bad).len(), 1);
+    }
+
+    #[test]
+    fn r2_flags_hash_collections() {
+        assert_eq!(run("R2", "use std::collections::HashMap;").len(), 1);
+        assert_eq!(run("R2", "let s: HashSet<u32> = HashSet::new();").len(), 2);
+        assert!(run("R2", "use std::collections::BTreeMap;").is_empty());
+        assert!(run("R2", "// HashMap in a comment\nlet s = \"HashMap\";").is_empty());
+    }
+
+    #[test]
+    fn r3_flags_panic_paths() {
+        assert_eq!(run("R3", "let x = y.unwrap();").len(), 1);
+        assert_eq!(run("R3", "let x = y.expect(\"msg\");").len(), 1);
+        assert_eq!(run("R3", "panic!(\"boom\");").len(), 1);
+        assert_eq!(run("R3", "let v = items[i];").len(), 1);
+        assert!(run("R3", "let x = y.unwrap_or(0);").is_empty());
+        assert!(run("R3", "let v = items.get(i);").is_empty());
+        assert!(run("R3", "let p: [u8; 4] = [0; 4];").is_empty());
+        assert!(run("R3", "#[derive(Debug)]\nstruct S;").is_empty());
+        assert!(run("R3", "fn expect(x: u8) {} expect(1);").is_empty());
+    }
+
+    #[test]
+    fn r4_requires_audit_entries() {
+        let unaudited = "pub fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 { 0.0 }";
+        let findings = run("R4", unaudited);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("f.rs::draw"));
+        assert!(run("R4", "pub fn audited_fn(rng: &mut StdRng) {}").is_empty());
+        assert!(run("R4", "pub fn pure(x: &mut Vec<u8>) {}").is_empty());
+        assert!(run("R4", "pub fn readonly(rng: &StdRng) {}").is_empty());
+        // dyn / impl / where-clause forms are all caught.
+        assert_eq!(run("R4", "fn a(rng: &mut dyn RngCore) {}").len(), 1);
+        assert_eq!(run("R4", "fn b(rng: &mut impl Rng) {}").len(), 1);
+        assert_eq!(run("R4", "fn c<R>(rng: &mut R) where R: Rng {}").len(), 1);
+    }
+
+    #[test]
+    fn r5_flags_numeric_casts() {
+        assert_eq!(run("R5", "let x = n as f64;").len(), 1);
+        assert_eq!(run("R5", "let x = y.ceil() as usize;").len(), 1);
+        assert!(run("R5", "use x as y;").is_empty());
+        assert!(run("R5", "let x = f64::from(n);").is_empty());
+    }
+
+    #[test]
+    fn rules_skip_test_code() {
+        let src =
+            "#[cfg(test)]\nmod tests { fn f() { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); } }";
+        assert!(run("R1", src).is_empty());
+    }
+}

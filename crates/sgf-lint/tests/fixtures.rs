@@ -1,0 +1,192 @@
+//! Fixture-based integration tests for sgf-lint.
+//!
+//! The `fixtures/` tree holds one deliberately-violating file per rule,
+//! annotated with `//~ <RULE>` markers on every line that must fire, plus
+//! negative cases (strings, comments, raw strings, `#[cfg(test)]` blocks)
+//! that must not.  The tests assert the engine's findings match the markers
+//! *exactly* — no misses, no extras — then exercise the compiled binary's
+//! exit codes and output formats, and finally self-check that the shipped
+//! workspace is lint-clean under the checked-in `lint.toml`.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use sgf_lint::diagnostics::Report;
+use sgf_lint::{load_policy, run};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+/// Parse `//~ <RULE>` markers out of every fixture file: the exact set of
+/// `(file, line, rule)` findings the engine must produce.
+fn expected_markers(dir: &Path) -> BTreeSet<(String, usize, String)> {
+    let mut expected = BTreeSet::new();
+    let mut names: Vec<_> = std::fs::read_dir(dir)
+        .expect("fixtures dir")
+        .map(|e| {
+            e.expect("fixture entry")
+                .file_name()
+                .into_string()
+                .expect("utf-8 name")
+        })
+        .filter(|n| n.ends_with(".rs"))
+        .collect();
+    names.sort();
+    assert_eq!(
+        names,
+        ["r1.rs", "r2.rs", "r3.rs", "r4.rs", "r5.rs"],
+        "one fixture file per rule"
+    );
+    for name in names {
+        let source = std::fs::read_to_string(dir.join(&name)).expect("fixture readable");
+        for (idx, line) in source.lines().enumerate() {
+            if let Some(pos) = line.find("//~ ") {
+                let rule = line[pos + 4..].trim().to_string();
+                expected.insert((name.clone(), idx + 1, rule));
+            }
+        }
+    }
+    expected
+}
+
+fn run_fixtures() -> Report {
+    let root = fixtures_dir();
+    let policy = load_policy(&root.join("lint.toml")).expect("fixture policy parses");
+    run(&root, &policy, &[]).expect("fixture run succeeds")
+}
+
+#[test]
+fn fixtures_fire_exactly_on_marked_lines() {
+    let report = run_fixtures();
+    let actual: BTreeSet<(String, usize, String)> = report
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line as usize, f.rule.to_string()))
+        .collect();
+    let expected = expected_markers(&fixtures_dir());
+    assert!(!expected.is_empty(), "markers present");
+    for rule in ["R1", "R2", "R3", "R4", "R5"] {
+        assert!(
+            expected.iter().any(|(_, _, r)| r == rule),
+            "at least one {rule} marker"
+        );
+    }
+
+    let missed: Vec<_> = expected.difference(&actual).collect();
+    let extra: Vec<_> = actual.difference(&expected).collect();
+    assert!(
+        missed.is_empty() && extra.is_empty(),
+        "findings must match markers exactly\n  missed: {missed:?}\n  extra: {extra:?}"
+    );
+}
+
+#[test]
+fn fixture_allowlist_suppresses_exactly_one_finding() {
+    let report = run_fixtures();
+    // r3.rs carries one justified exception (`buffer[1..]`); it must be
+    // routed to `allowed`, not `findings`, and keep its justification.
+    assert_eq!(report.allowed.len(), 1);
+    let allowed = &report.allowed[0];
+    assert_eq!(allowed.finding.rule, "R3");
+    assert_eq!(allowed.finding.file, "r3.rs");
+    assert!(allowed.finding.snippet.contains("buffer[1..]"));
+    assert!(allowed.justification.contains("allowlist path"));
+}
+
+fn lint_cmd() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_sgf-lint"));
+    cmd.arg("--root")
+        .arg(fixtures_dir())
+        .arg("--config")
+        .arg(fixtures_dir().join("lint.toml"));
+    cmd
+}
+
+#[test]
+fn binary_exits_nonzero_with_rule_ids_and_locations() {
+    let out = lint_cmd().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "findings => exit 1");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    for (file, line, rule) in expected_markers(&fixtures_dir()) {
+        assert!(
+            stdout.contains(&format!("error[{rule}]")),
+            "rule id {rule} in output"
+        );
+        assert!(
+            stdout.contains(&format!("--> {file}:{line}:")),
+            "location {file}:{line} in output:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn binary_json_report_carries_findings_and_summary() {
+    let out = lint_cmd()
+        .arg("--format")
+        .arg("json")
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "json format keeps the exit code"
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    let expected = expected_markers(&fixtures_dir());
+    for rule in ["R1", "R2", "R3", "R4", "R5"] {
+        assert!(
+            stdout.contains(&format!("\"rule\": \"{rule}\"")),
+            "{rule} in json"
+        );
+    }
+    assert!(stdout.contains(&format!("\"findings\": {}", expected.len())));
+    assert!(
+        stdout.contains("\"justification\":"),
+        "allowed entry audit trail"
+    );
+}
+
+#[test]
+fn binary_explain_and_list_rules() {
+    for rule in ["R1", "R2", "R3", "R4", "R5"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_sgf-lint"))
+            .args(["--explain", rule])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "--explain {rule} exits 0");
+        assert!(!out.stdout.is_empty(), "--explain {rule} prints rationale");
+    }
+    let out = Command::new(env!("CARGO_BIN_EXE_sgf-lint"))
+        .args(["--explain", "R9"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "unknown rule is a usage error");
+}
+
+/// The acceptance gate: the shipped tree is clean under the shipped policy.
+/// Runs the library directly (no cwd dependence) against the repo root.
+#[test]
+fn shipped_workspace_is_lint_clean() {
+    let root = workspace_root();
+    let policy = load_policy(&root.join("lint.toml")).expect("workspace lint.toml parses");
+    let report = run(&root, &policy, &[]).expect("no stale allowlist or audit entries");
+    let rendered: String = report
+        .findings
+        .iter()
+        .map(sgf_lint::diagnostics::render_text)
+        .collect();
+    assert!(
+        report.is_clean(),
+        "shipped workspace must be lint-clean:\n{rendered}"
+    );
+    assert!(report.files_checked > 50, "the walk covered the workspace");
+}

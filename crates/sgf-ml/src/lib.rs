@@ -7,8 +7,6 @@
 //! linear SVM), the Chaudhuri et al. differentially-private ERM baselines of
 //! Table 4, feature encoding, and the accuracy / agreement-rate metrics.
 
-#![warn(missing_docs)]
-
 pub mod adaboost;
 pub mod classifier;
 pub mod dataset;

@@ -190,7 +190,10 @@ fn build_node<R: Rng + ?Sized>(
     for &feature in &feature_pool {
         // Quantile-spaced thresholds over the values present at this node.
         let mut values: Vec<f64> = indices.iter().map(|&i| data.features[i][feature]).collect();
-        values.sort_by(|a, b| a.partial_cmp(b).expect("feature values are finite"));
+        // total_cmp: a NaN feature (possible once callers feed derived or
+        // noised columns) must not panic split-finding; NaNs sort last and
+        // fall out of the thresholds instead.
+        values.sort_by(f64::total_cmp);
         values.dedup();
         if values.len() < 2 {
             continue;
@@ -286,6 +289,21 @@ mod tests {
         assert!(tree.depth() >= 1);
         assert!(tree.leaf_count() >= 2);
         assert_eq!(tree.dimension(), 2);
+    }
+
+    #[test]
+    fn fit_survives_nan_feature_values() {
+        // Regression: threshold search sorted candidate values with
+        // `partial_cmp(..).expect("feature values are finite")`, so a single
+        // NaN cell (a derived or noised column) panicked split-finding.
+        let mut train = separable(200, 7);
+        train.features[0][0] = f64::NAN;
+        train.features[63][1] = f64::NAN;
+        let mut rng = StdRng::seed_from_u64(8);
+        let tree = DecisionTree::fit(&train, &TreeConfig::default(), &mut rng);
+        // The tree still trains on the finite cells and stays usable.
+        let test = separable(300, 9);
+        assert!(accuracy(&tree, &test) > 0.8);
     }
 
     #[test]

@@ -114,11 +114,10 @@ pub fn learn_structure(
             .map(|j| corr.get(i, j))
             .fold(0.0f64, f64::max)
     };
-    order.sort_by(|&a, &b| {
-        best_corr(b)
-            .partial_cmp(&best_corr(a))
-            .expect("correlations are finite")
-    });
+    // total_cmp: a NaN in the (noised) correlation matrix must not panic or
+    // hand sort_by a non-total order; the index tie-break keeps the order
+    // unique, so the downstream greedy parent selection is deterministic.
+    order.sort_by(|&a, &b| best_corr(b).total_cmp(&best_corr(a)).then(a.cmp(&b)));
 
     for &target in &order {
         let mut parents: Vec<usize> = Vec::new();
@@ -212,6 +211,32 @@ mod tests {
         let a_and_d = merit_score(1, &[0, 3], &corr);
         assert!(a_and_d < just_a + 0.2);
         assert_eq!(merit_score(1, &[], &corr), 0.0);
+    }
+
+    #[test]
+    fn structure_learning_survives_nan_correlations() {
+        // Regression: the ordering comparator used
+        // `partial_cmp(..).expect("correlations are finite")`, which panicked
+        // as soon as a degenerate (e.g. zero-entropy under heavy DP noise)
+        // correlation produced a NaN.  The sort must stay total instead.
+        let schema = Arc::new(
+            Schema::new(vec![
+                Attribute::categorical_anon("A", 3),
+                Attribute::categorical_anon("B", 3),
+                Attribute::categorical_anon("C", 3),
+            ])
+            .unwrap(),
+        );
+        let bkt = Bucketizer::identity(&schema);
+        let nan = f64::NAN;
+        let corr =
+            CorrelationMatrix::from_raw(3, vec![1.0, nan, 0.3, nan, 1.0, 0.2, 0.3, 0.2, 1.0]);
+        let graph = learn_structure(&corr, &bkt, &CfsConfig::default()).unwrap();
+        assert_eq!(graph.len(), 3);
+        // The NaN pair must not be selected as a parent edge in either
+        // direction (its merit is NaN, which never beats a real score).
+        assert!(!graph.parents(0).contains(&1));
+        assert!(!graph.parents(1).contains(&0));
     }
 
     #[test]

@@ -86,6 +86,19 @@ impl CorrelationMatrix {
     pub fn queries_for(m: usize) -> usize {
         m + m * m.saturating_sub(1) / 2
     }
+
+    /// Build a matrix directly from raw row-major values — a test-only hook
+    /// so consumers can inject degenerate (e.g. NaN) entries into their
+    /// comparator regression tests.
+    #[cfg(test)]
+    pub(crate) fn from_raw(m: usize, values: Vec<f64>) -> CorrelationMatrix {
+        assert_eq!(values.len(), m * m);
+        CorrelationMatrix {
+            m,
+            values,
+            entropy_queries: 0,
+        }
+    }
 }
 
 /// Compute the exact (non-private) correlation matrix over bucketized attributes.

@@ -17,8 +17,6 @@
 //!   ω re-sampled attributes (Section 3.2);
 //! * [`marginal`] — the independent-marginals baseline.
 
-#![warn(missing_docs)]
-
 pub mod cfs;
 pub mod correlation;
 pub mod error;

@@ -22,7 +22,7 @@ use sgf_stats::{
     advanced_composition, configuration_rng, dirichlet_posterior_mean, sample_dirichlet, DpBudget,
     Laplace,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Configuration of parameter learning.
@@ -105,7 +105,11 @@ pub struct CptStore {
     graph: DependencyGraph,
     config: ParameterConfig,
     tables: Vec<AttributeTable>,
-    cache: Vec<RwLock<HashMap<u64, Arc<Vec<f64>>>>>,
+    /// Lazily materialized conditionals per attribute.  A BTreeMap (R2,
+    /// ordered-iteration discipline): lookups dominate, but diagnostics such
+    /// as [`CptStore::cached_configurations`] traverse the cache, and on the
+    /// synthesis decision path every traversal must have one canonical order.
+    cache: Vec<RwLock<BTreeMap<u64, Arc<Vec<f64>>>>>,
     budget: DpBudget,
     training_records: usize,
 }
@@ -181,7 +185,7 @@ impl CptStore {
         };
 
         let cache = (0..schema.len())
-            .map(|_| RwLock::new(HashMap::new()))
+            .map(|_| RwLock::new(BTreeMap::new()))
             .collect();
         Ok(CptStore {
             schema,
@@ -437,6 +441,41 @@ mod tests {
         let diff = (0..store_a.configurations(1))
             .any(|c| *store_a.conditional(1, c) != *store_c.conditional(1, c));
         assert!(diff);
+    }
+
+    #[test]
+    fn identically_seeded_runs_produce_identical_tables() {
+        // Determinism regression (R2): two stores learned from the same data
+        // with the same seed must expose byte-identical conditionals even when
+        // their caches are populated in different orders.  With the old
+        // HashMap cache the *values* already agreed, but any future code that
+        // iterates the cache would have observed a random order; the BTreeMap
+        // makes the traversal canonical.
+        let d = dataset(2000);
+        let bkt = Bucketizer::identity(d.schema());
+        let config = ParameterConfig {
+            epsilon_p: Some(0.3),
+            sample_parameters: true,
+            global_seed: 41,
+            ..ParameterConfig::default()
+        };
+        let store_a = CptStore::learn(&d, &bkt, &graph(), config).unwrap();
+        let store_b = CptStore::learn(&d, &bkt, &graph(), config).unwrap();
+        // Populate a forward, b backward.
+        let configs: Vec<u64> = (0..store_a.configurations(1)).collect();
+        for &c in &configs {
+            let _ = store_a.conditional(1, c);
+        }
+        for &c in configs.iter().rev() {
+            let _ = store_b.conditional(1, c);
+        }
+        assert_eq!(
+            store_a.cached_configurations(),
+            store_b.cached_configurations()
+        );
+        for &c in &configs {
+            assert_eq!(*store_a.conditional(1, c), *store_b.conditional(1, c));
+        }
     }
 
     #[test]

@@ -150,7 +150,9 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+    // Named to stay visibly distinct from the panicking `Option::expect` /
+    // `Result::expect` — nothing in this parser is allowed to panic (R3).
+    fn expect_byte(&mut self, byte: u8) -> Result<(), ParseError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -182,7 +184,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Value, ParseError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -193,7 +195,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             map.insert(key, value);
@@ -210,7 +212,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Value, ParseError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -233,7 +235,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -264,13 +266,16 @@ impl Parser<'_> {
                 }
                 Some(_) => {
                     // Consume one UTF-8 scalar (the input is a &str, so the
-                    // byte stream is valid UTF-8 by construction).
+                    // byte stream is valid UTF-8 by construction; the error
+                    // arm is unreachable but must not be a panic).
                     let start = self.pos;
                     self.pos += 1;
                     while self.peek().is_some_and(|b| b & 0b1100_0000 == 0b1000_0000) {
                         self.pos += 1;
                     }
-                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                    let scalar = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    out.push_str(scalar);
                 }
             }
         }
@@ -337,7 +342,10 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // The consumed region is ASCII digits/sign/dot/exponent, so this
+        // never fails — but a parse error beats a worker panic.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid UTF-8 in number"))?;
         // Keep non-negative integer literals exact (u64 seeds); anything
         // else — signs, fractions, exponents, > u64::MAX — goes through f64.
         if integral {

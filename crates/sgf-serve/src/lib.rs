@@ -49,8 +49,6 @@
 //! handle.join().unwrap();
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod client;
 pub mod json;
 pub mod protocol;

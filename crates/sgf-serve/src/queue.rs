@@ -9,7 +9,7 @@
 //! is still handed to workers before `pop` returns `None`.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// Why a [`BoundedQueue::try_push`] was refused; the rejected item is handed
 /// back so the caller can settle any resources attached to it.
@@ -34,6 +34,15 @@ pub struct BoundedQueue<T> {
 }
 
 impl<T> BoundedQueue<T> {
+    /// Lock the queue state, tolerating poison: every mutation of
+    /// `QueueInner` is a single push/pop/flag write that cannot be observed
+    /// half-done, so the state is consistent even if a holder panicked, and
+    /// propagating the panic to every other producer/consumer (what
+    /// `.expect()` would do) only turns one dead worker into a dead server.
+    fn locked(&self) -> MutexGuard<'_, QueueInner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// A queue admitting at most `capacity` pending items (at least 1).
     pub fn new(capacity: usize) -> Self {
         BoundedQueue {
@@ -53,7 +62,7 @@ impl<T> BoundedQueue<T> {
 
     /// Number of items currently queued (racy by nature; for reporting).
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock poisoned").items.len()
+        self.locked().items.len()
     }
 
     /// Whether the queue is currently empty (racy by nature; for reporting).
@@ -63,7 +72,7 @@ impl<T> BoundedQueue<T> {
 
     /// Enqueue without blocking; a full or closed queue hands the item back.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.locked();
         if inner.closed {
             return Err(PushError::Closed(item));
         }
@@ -79,7 +88,7 @@ impl<T> BoundedQueue<T> {
     /// Dequeue, blocking while the queue is empty and open.  Returns `None`
     /// once the queue is closed *and* fully drained.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.locked();
         loop {
             if let Some(item) = inner.items.pop_front() {
                 return Some(item);
@@ -87,14 +96,17 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).expect("queue lock poisoned");
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Close the queue: subsequent pushes fail with [`PushError::Closed`],
     /// already-queued items still drain, and idle consumers wake up to exit.
     pub fn close(&self) {
-        self.inner.lock().expect("queue lock poisoned").closed = true;
+        self.locked().closed = true;
         self.not_empty.notify_all();
     }
 }

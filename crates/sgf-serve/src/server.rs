@@ -30,7 +30,7 @@ use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -226,27 +226,28 @@ impl ServerHandle {
         }
         // Workers are done; disconnect lingering clients so their reader
         // threads observe EOF and exit.
-        for (_, conn) in self
-            .state
-            .conns
-            .lock()
-            .expect("conns lock poisoned")
-            .drain()
-        {
+        for (_, conn) in locked(&self.state.conns).drain() {
             let _ = conn.shutdown(Shutdown::Both);
         }
-        let readers: Vec<_> = self
-            .state
-            .reader_handles
-            .lock()
-            .expect("reader lock poisoned")
-            .drain(..)
-            .collect();
+        let readers: Vec<_> = locked(&self.state.reader_handles).drain(..).collect();
         for reader in readers {
             join_thread(reader)?;
         }
         Ok(())
     }
+}
+
+/// Lock a server-state mutex, tolerating poison (R3: panic-free serving).
+///
+/// Every protected structure here stays consistent across a panicking
+/// holder: the conns map and reader-handle list only see single
+/// insert/remove/drain/push operations, and a `TcpStream` at worst carries
+/// a truncated line, which the client-side framing already treats as a
+/// broken connection.  Propagating the poison (what `.expect()` did) would
+/// instead cascade one worker's panic into every thread that touches the
+/// lock, turning one lost request into a dead server.
+fn locked<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 fn join_thread(handle: JoinHandle<()>) -> std::io::Result<()> {
@@ -313,34 +314,22 @@ fn accept_loop(listener: TcpListener, state: &Arc<ServerState>) {
         reap_finished_readers(state);
         let conn_id = state.next_conn_id.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
-            state
-                .conns
-                .lock()
-                .expect("conns lock poisoned")
-                .insert(conn_id, clone);
+            locked(&state.conns).insert(conn_id, clone);
         }
         let conn_state = Arc::clone(state);
         let handle = std::thread::spawn(move || {
             connection_loop(stream, &conn_state);
             // The client is gone: release the teardown clone (and its fd).
-            conn_state
-                .conns
-                .lock()
-                .expect("conns lock poisoned")
-                .remove(&conn_id);
+            locked(&conn_state.conns).remove(&conn_id);
         });
-        state
-            .reader_handles
-            .lock()
-            .expect("reader lock poisoned")
-            .push(handle);
+        locked(&state.reader_handles).push(handle);
     }
 }
 
 /// Join (and drop) reader threads that already exited, bounding the handle
 /// list to live connections plus recent churn.
 fn reap_finished_readers(state: &ServerState) {
-    let mut handles = state.reader_handles.lock().expect("reader lock poisoned");
+    let mut handles = locked(&state.reader_handles);
     let (finished, live): (Vec<_>, Vec<_>) =
         handles.drain(..).partition(|handle| handle.is_finished());
     *handles = live;
@@ -366,7 +355,7 @@ fn connection_loop(stream: TcpStream, state: &Arc<ServerState>) {
 
 /// Write `text` (already `\n`-terminated) as one atomic unit on `out`.
 fn write_response(out: &Mutex<TcpStream>, text: &str) {
-    let mut stream = out.lock().expect("connection lock poisoned");
+    let mut stream = locked(out);
     let _ = stream.write_all(text.as_bytes());
     let _ = stream.flush();
 }
@@ -411,7 +400,7 @@ fn status_line(state: &ServerState) -> String {
         state.queue.capacity(),
         state.busy_workers.load(Ordering::SeqCst),
         state.workers,
-        state.conns.lock().expect("conns lock poisoned").len(),
+        locked(&state.conns).len(),
         sessions
     )
 }
@@ -628,7 +617,7 @@ fn serve_stream(
     };
     // Hold the connection for the whole stream so no other response can
     // interleave with the record lines.
-    let mut stream = out.lock().expect("connection lock poisoned");
+    let mut stream = locked(out);
     let header_ok = writeln!(stream, "{}", protocol::stream_header_line()).is_ok();
     let mut released = 0usize;
     if header_ok {
@@ -656,7 +645,9 @@ fn serve_stream(
     let stats = iter.stats();
     // Settle the part of the reservation the stream did not convert.
     if let Some(r) = reserved {
-        session.abort_reservation(r - stats.released);
+        // saturating: a stream that over-delivered (released > reserved)
+        // must settle to zero, not underflow-panic the worker.
+        session.abort_reservation(r.saturating_sub(stats.released));
     }
     let _ = writeln!(
         stream,

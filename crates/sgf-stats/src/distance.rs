@@ -109,7 +109,9 @@ impl FiveNumberSummary {
             return None;
         }
         let mut v = values.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+        // total_cmp: a NaN distance (e.g. 0/0 from a degenerate divisor
+        // upstream) sorts to the end instead of panicking mid-summary.
+        v.sort_by(f64::total_cmp);
         let quantile = |q: f64| -> f64 {
             let pos = q * (v.len() - 1) as f64;
             let lo = pos.floor() as usize;
@@ -151,6 +153,19 @@ mod tests {
     #[should_panic(expected = "share a domain")]
     fn tv_distance_rejects_mismatched_domains() {
         total_variation(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn five_number_summary_survives_nan_values() {
+        // Regression: the sort comparator used
+        // `partial_cmp(..).expect("distances are finite")` and panicked on
+        // the first NaN (e.g. a 0/0 from a degenerate divisor upstream).
+        // With total_cmp, NaNs sort after every finite value.
+        let summary = FiveNumberSummary::of(&[3.0, f64::NAN, 1.0, 2.0]).unwrap();
+        assert_eq!(summary.min, 1.0);
+        assert_eq!(summary.median, 2.5);
+        assert!(summary.max.is_nan());
+        assert!(FiveNumberSummary::of(&[]).is_none());
     }
 
     #[test]

@@ -7,8 +7,6 @@
 //! total-variation distance for the utility evaluation, the DP composition
 //! theorems of Appendix A, and deterministic per-configuration RNG seeding.
 
-#![warn(missing_docs)]
-
 pub mod composition;
 pub mod config_rng;
 pub mod distance;

@@ -30,6 +30,14 @@ cargo build --release -p bench -p sgf-serve
 OUTDIR=artifacts
 mkdir -p "$OUTDIR"
 
+# Determinism & robustness invariants (R1-R5): the artifacts below are only
+# trustworthy if the tree passes the mechanized lint pass.  Fails the script
+# on any unallowed finding or stale exception entry; the JSON report lands
+# next to the artifacts for auditing.
+echo
+echo "== sgf-lint invariants gate =="
+cargo run --release -q -p sgf-lint -- --json-out "$OUTDIR/lint_report.json"
+
 # End-to-end smoke of the release service: ephemeral-port server, a
 # 3-request client session (the third rejected over budget), clean drain.
 echo

@@ -158,12 +158,14 @@ impl Criterion {
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Benchmark group entry point generated by `criterion_group!`.
         pub fn $name() {
             let mut criterion: $crate::Criterion = $config;
             $( $target(&mut criterion); )+
         }
     };
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Benchmark group entry point generated by `criterion_group!`.
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $( $target(&mut criterion); )+
