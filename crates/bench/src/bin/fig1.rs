@@ -39,6 +39,7 @@ fn private_model(ctx: &bench::ExperimentContext, epsilon: f64, seed: u64) -> Bay
 
 fn main() {
     let scale = scale_from_args();
+    let recorder = bench::track::SeriesRecorder::new("fig1", scale);
     let ctx = build_context(scale, 101);
     let probes = 300 * scale;
     let repetitions = 3usize; // the paper averages 20 private models; reduced for wall-clock
@@ -82,4 +83,5 @@ fn main() {
     }
     println!("Figure 1: Relative improvement of model accuracy over marginals (scale {scale})\n");
     println!("{}", table.render());
+    recorder.finish();
 }

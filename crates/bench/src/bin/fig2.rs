@@ -10,6 +10,7 @@ use sgf_ml::ForestConfig;
 
 fn main() {
     let scale = scale_from_args();
+    let recorder = bench::track::SeriesRecorder::new("fig2", scale);
     let ctx = build_context(scale, 102);
     let mut rng = StdRng::seed_from_u64(11);
     let forest_config = ForestConfig {
@@ -43,4 +44,5 @@ fn main() {
     }
     println!("Figure 2: Model accuracy per attribute (scale {scale})\n");
     println!("{}", table.render());
+    recorder.finish();
 }

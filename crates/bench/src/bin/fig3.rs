@@ -7,6 +7,7 @@ use sgf_eval::{compare_datasets, fixed3, TextTable};
 
 fn main() {
     let scale = scale_from_args();
+    let recorder = bench::track::SeriesRecorder::new("fig3", scale);
     let ctx = build_context(scale, 103);
     let other_reals = generate_acs(base_population() * scale, 2103);
 
@@ -31,4 +32,5 @@ fn main() {
     }
     println!("Figure 3: Statistical distance for individual attributes (scale {scale})\n");
     println!("{}", table.render());
+    recorder.finish();
 }

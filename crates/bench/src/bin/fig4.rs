@@ -7,6 +7,7 @@ use sgf_eval::{compare_datasets, fixed3, TextTable};
 
 fn main() {
     let scale = scale_from_args();
+    let recorder = bench::track::SeriesRecorder::new("fig4", scale);
     let ctx = build_context(scale, 104);
     let other_reals = generate_acs(base_population() * scale, 2104);
 
@@ -33,4 +34,5 @@ fn main() {
     println!("Figure 4: Statistical distance for pairs of attributes (scale {scale})\n");
     println!("{}", table.render());
     println!("session budget ledger: {}", ctx.ledger.to_json());
+    recorder.finish();
 }

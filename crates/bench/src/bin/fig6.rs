@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 fn main() {
     let scale = scale_from_args();
+    let recorder = bench::track::SeriesRecorder::new("fig6", scale);
     let (split, _bucketizer, models) = small_models(106);
     let cpts = Arc::clone(&models.cpts);
     let mut rng = StdRng::seed_from_u64(106);
@@ -32,4 +33,5 @@ fn main() {
         "Figure 6: Percentage of candidates passing the privacy test (gamma = 2, scale {scale})\n"
     );
     println!("{}", table.render());
+    recorder.finish();
 }

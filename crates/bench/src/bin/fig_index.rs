@@ -19,6 +19,7 @@
 //! The last column group shows the one-off index build costs amortized over
 //! every request of a session.
 
+use bench::track::{BenchPoint, SeriesRecorder};
 use bench::{scale_from_args, smoke_mode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -42,6 +43,7 @@ fn main() {
     };
     let populations: Vec<usize> = populations.iter().map(|p| p * scale).collect();
     let bucketizer = acs_bucketizer(&acs_schema());
+    let mut recorder = SeriesRecorder::new("fig_index", scale);
 
     let mut table = TextTable::new(&[
         "Seeds",
@@ -169,8 +171,27 @@ fn main() {
                 format!("{inverted_build_seconds:.3}"),
                 format!("{partition_build_seconds:.3}"),
             ]);
+            recorder.add(
+                BenchPoint::new(format!("s{}_k{k:03}", split.seeds.len()))
+                    .counter("seeds", split.seeds.len() as u64)
+                    .counter("classes", partition_store.class_count() as u64)
+                    .counter("k", k as u64)
+                    .counter("released", scan_stats.released as u64)
+                    .counter("scan_examined", scan_stats.records_examined as u64)
+                    .counter("inverted_examined", index_stats.records_examined as u64)
+                    .counter(
+                        "partition_examined",
+                        partition_stats.records_examined as u64,
+                    )
+                    .value("scan_seconds", scan_seconds)
+                    .value("inverted_seconds", index_seconds)
+                    .value("partition_seconds", partition_seconds)
+                    .value("inverted_build_seconds", inverted_build_seconds)
+                    .value("partition_build_seconds", partition_build_seconds),
+            );
         }
     }
+    recorder.finish();
 
     println!(
         "Seed-store sweep: plausible-deniability test cost, scan vs inverted index vs \

@@ -4,6 +4,7 @@ use sgf_data::acs::acs_schema;
 use sgf_eval::TextTable;
 
 fn main() {
+    let recorder = bench::track::SeriesRecorder::new("table1", bench::scale_from_args());
     let schema = acs_schema();
     let mut table = TextTable::new(&["Name", "Type", "Cardinality"]);
     for attr in schema.attributes() {
@@ -20,4 +21,5 @@ fn main() {
     }
     println!("Table 1: Pre-processed ACS13 dataset attributes\n");
     println!("{}", table.render());
+    recorder.finish();
 }

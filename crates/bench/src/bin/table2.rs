@@ -7,6 +7,7 @@ use sgf_eval::{percent, TextTable};
 
 fn main() {
     let scale = scale_from_args();
+    let recorder = bench::track::SeriesRecorder::new("table2", scale);
     let n = base_population() * scale * 10; // Table 2 is cheap: use a larger sample.
     let data = generate_acs(n, 2013);
     let unique = data.singleton_count();
@@ -36,4 +37,5 @@ fn main() {
     ]);
     println!("Table 2: ACS-like data extraction statistics (scale {scale})\n");
     println!("{}", table.render());
+    recorder.finish();
 }

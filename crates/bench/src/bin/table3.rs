@@ -9,6 +9,7 @@ use sgf_eval::{percent, table3, Table3Config, TextTable};
 
 fn main() {
     let scale = scale_from_args();
+    let recorder = bench::track::SeriesRecorder::new("table3", scale);
     let ctx = build_context(scale, 107);
     let mut rng = StdRng::seed_from_u64(107);
 
@@ -48,4 +49,5 @@ fn main() {
     println!("Table 3: Classifier comparisons (scale {scale})\n");
     println!("{}", table.render());
     println!("session budget ledger: {}", ctx.ledger.to_json());
+    recorder.finish();
 }

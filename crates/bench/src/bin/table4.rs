@@ -9,6 +9,7 @@ use sgf_eval::{percent, table4, Table4Config, TextTable};
 
 fn main() {
     let scale = scale_from_args();
+    let recorder = bench::track::SeriesRecorder::new("table4", scale);
     let ctx = build_context(scale, 108);
     let mut rng = StdRng::seed_from_u64(108);
 
@@ -36,4 +37,5 @@ fn main() {
     }
     println!("Table 4: Privacy-preserving classifier comparisons (epsilon = 1, scale {scale})\n");
     println!("{}", table.render());
+    recorder.finish();
 }

@@ -9,6 +9,7 @@ use sgf_eval::{distinguishing_table, percent, DistinguishConfig, TextTable};
 
 fn main() {
     let scale = scale_from_args();
+    let recorder = bench::track::SeriesRecorder::new("table5", scale);
     let ctx = build_context(scale, 109);
     let other_reals = generate_acs(base_population() * scale, 2109);
     let mut rng = StdRng::seed_from_u64(109);
@@ -31,4 +32,5 @@ fn main() {
     }
     println!("Table 5: Distinguishing game (scale {scale})\n");
     println!("{}", table.render());
+    recorder.finish();
 }

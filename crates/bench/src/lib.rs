@@ -6,6 +6,8 @@
 //! multiplied by it, so `cargo run --release -p bench --bin table3 -- 4` runs
 //! a 4x larger experiment.  The defaults are sized for a single-core machine.
 
+pub mod track;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sgf_core::{

@@ -1,0 +1,189 @@
+//! End-to-end tests of the `sgf-bench-track` gate: a regression injected into
+//! the emitted documents must flip the `compare` exit code to nonzero, and a
+//! clean run must pass.
+
+use bench::track::{append_trajectory, BenchDoc, BenchPoint, TrajectoryEntry};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_sgf-bench-track");
+
+/// A fresh scratch directory under the target dir, unique per test.
+fn scratch(test: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(test);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn doc(released: u64) -> BenchDoc {
+    BenchDoc {
+        series: "fig_test".to_string(),
+        commit: "abc1234".to_string(),
+        smoke: true,
+        scale: 1,
+        points: vec![BenchPoint::new("total")
+            .counter("released", released)
+            .counter("candidates", released * 3)
+            .value("wall_seconds", 1.5)],
+    }
+}
+
+/// Write a run's documents and a baseline trajectory, then run `compare`.
+fn run_compare(
+    dir: &Path,
+    current: &BenchDoc,
+    baseline: &BenchDoc,
+    extra: &[&str],
+) -> (i32, String) {
+    let docs_dir = dir.join("docs");
+    current.write_into(&docs_dir).unwrap();
+    let trajectory = dir.join("BENCH_TRAJECTORY.jsonl");
+    let entry = TrajectoryEntry::from_docs(vec![baseline.clone()]).unwrap();
+    append_trajectory(&trajectory, &entry).unwrap();
+    let output = Command::new(BIN)
+        .arg("compare")
+        .arg("--dir")
+        .arg(&docs_dir)
+        .arg("--trajectory")
+        .arg(&trajectory)
+        .args(extra)
+        .output()
+        .expect("sgf-bench-track runs");
+    let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+    (output.status.code().expect("exit code"), stdout)
+}
+
+#[test]
+fn injected_counter_regression_fails_the_gate() {
+    let dir = scratch("injected_counter_regression");
+    // Baseline released 100; the run releases 80 — 20% drift, far outside
+    // the default 5% band.
+    let (code, stdout) = run_compare(&dir, &doc(80), &doc(100), &[]);
+    assert_eq!(
+        code, 1,
+        "compare must exit 1 on regression, output:\n{stdout}"
+    );
+    assert!(stdout.contains("REGRESSION"), "output:\n{stdout}");
+    assert!(stdout.contains("released"), "output:\n{stdout}");
+}
+
+#[test]
+fn identical_run_passes_the_gate() {
+    let dir = scratch("identical_run_passes");
+    let (code, stdout) = run_compare(&dir, &doc(100), &doc(100), &[]);
+    assert_eq!(code, 0, "output:\n{stdout}");
+    assert!(stdout.contains("no regressions"), "output:\n{stdout}");
+}
+
+#[test]
+fn tolerance_band_is_configurable() {
+    let dir = scratch("tolerance_band");
+    // 10% drift: outside the default 5% band, inside a 25% band.
+    let (code, _) = run_compare(&dir, &doc(110), &doc(100), &[]);
+    assert_eq!(code, 1);
+    let dir = scratch("tolerance_band_wide");
+    let (code, stdout) = run_compare(&dir, &doc(110), &doc(100), &["--tolerance", "0.25"]);
+    assert_eq!(code, 0, "output:\n{stdout}");
+}
+
+#[test]
+fn time_regressions_gate_only_on_request() {
+    let mut slow = doc(100);
+    slow.points[0]
+        .values
+        .insert("wall_seconds".to_string(), 40.0);
+    let dir = scratch("time_not_gated");
+    let (code, _) = run_compare(&dir, &slow, &doc(100), &[]);
+    assert_eq!(code, 0, "time must not gate by default");
+    let dir = scratch("time_gated");
+    let (code, stdout) = run_compare(&dir, &slow, &doc(100), &["--gate-time"]);
+    assert_eq!(code, 1, "output:\n{stdout}");
+    assert!(stdout.contains("wall_seconds"), "output:\n{stdout}");
+}
+
+#[test]
+fn missing_baseline_is_not_a_failure() {
+    let dir = scratch("missing_baseline");
+    let docs_dir = dir.join("docs");
+    doc(100).write_into(&docs_dir).unwrap();
+    let output = Command::new(BIN)
+        .arg("compare")
+        .arg("--dir")
+        .arg(&docs_dir)
+        .arg("--trajectory")
+        .arg(dir.join("BENCH_TRAJECTORY.jsonl"))
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&output.stdout).contains("no baseline"));
+}
+
+#[test]
+fn append_records_a_new_baseline_that_compare_accepts() {
+    let dir = scratch("append_then_compare");
+    let docs_dir = dir.join("docs");
+    doc(100).write_into(&docs_dir).unwrap();
+    let trajectory = dir.join("BENCH_TRAJECTORY.jsonl");
+    let status = Command::new(BIN)
+        .arg("append")
+        .arg("--dir")
+        .arg(&docs_dir)
+        .arg("--trajectory")
+        .arg(&trajectory)
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let output = Command::new(BIN)
+        .arg("compare")
+        .arg("--dir")
+        .arg(&docs_dir)
+        .arg("--trajectory")
+        .arg(&trajectory)
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&output.stdout).contains("no regressions"));
+}
+
+#[test]
+fn notes_renders_tables_from_the_documents() {
+    let dir = scratch("notes_renders");
+    let docs_dir = dir.join("docs");
+    let mut d = doc(100);
+    d.points.push(
+        BenchPoint::new("w04")
+            .counter("workers", 4)
+            .value("throughput_rps", 123.0)
+            .noisy(),
+    );
+    d.write_into(&docs_dir).unwrap();
+    let out = dir.join("NOTES.md");
+    let output = Command::new(BIN)
+        .arg("notes")
+        .arg("--dir")
+        .arg(&docs_dir)
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(0));
+    let notes = std::fs::read_to_string(&out).unwrap();
+    assert!(notes.contains("Generated by `sgf-bench-track notes`"));
+    assert!(notes.contains("| fig_test | 1.5 | 100 | 300 |"));
+    assert!(notes.contains("`fig_test` sweep"));
+    assert!(notes.contains("w04"));
+    assert!(notes.contains("noisy point"));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    for args in [
+        &[] as &[&str],
+        &["frobnicate"],
+        &["compare", "--tolerance", "lots"],
+    ] {
+        let output = Command::new(BIN).args(args).output().unwrap();
+        assert_eq!(output.status.code(), Some(2), "args {args:?}");
+    }
+}

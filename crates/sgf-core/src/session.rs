@@ -34,8 +34,10 @@ use sgf_index::{
     InvertedIndexStore, LinearScanStore, PartitionIndexStore, SeedIndex, SeedStore,
     MAX_INTERSECT_LISTS,
 };
+use sgf_metrics::CachePadded;
 use sgf_model::{GenerativeModel, OmegaSpec, ParameterConfig, SeedSynthesizer, StructureConfig};
 use sgf_stats::DpBudget;
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -234,6 +236,8 @@ impl SynthesisEngine {
         } else {
             Duration::ZERO
         };
+        sgf_metrics::timer("core.train").observe(training);
+        sgf_metrics::timer("core.index_build").observe(index_build);
         Ok(SynthesisSession {
             config: self.config,
             shared: Arc::new(SessionShared {
@@ -723,6 +727,7 @@ impl SynthesisSession {
             request.seed,
         )?;
         let synthesis = start.elapsed();
+        sgf_metrics::timer("core.synthesis").observe(synthesis);
         let ledger = {
             let mut guard = self.ledger.lock().expect("ledger lock poisoned");
             match reservation {
@@ -842,9 +847,82 @@ fn request_worker_seed(request_seed: u64, worker: usize) -> u64 {
         .wrapping_add(worker as u64)
 }
 
+/// A passing candidate tagged with its global proposal rank.
+///
+/// Worker `w`'s `i`-th proposal has rank `w + workers * i` — globally unique
+/// (distinct residues mod `workers`) and strictly increasing within each
+/// worker.  Ordering is by rank alone so the shared selection heap can evict
+/// its largest-rank member first.
+struct RankedRecord {
+    rank: usize,
+    record: Record,
+}
+
+impl PartialEq for RankedRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank == other.rank
+    }
+}
+
+impl Eq for RankedRecord {}
+
+impl PartialOrd for RankedRecord {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RankedRecord {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rank.cmp(&other.rank)
+    }
+}
+
+/// Per-worker contention tallies for the shared release selection, merged
+/// across workers and flushed into the [`sgf_metrics`] global registry per
+/// request (`core.mechanism.*`).
+#[derive(Debug, Default, Clone, Copy)]
+struct WorkerProfile {
+    /// Times this worker acquired the shared selection lock (once per
+    /// *passing* candidate — failing candidates never touch shared state).
+    selection_locks: u64,
+    /// Passing candidates that lost to a full selection of smaller ranks
+    /// (wasted proposals the rank threshold did not stop in time).
+    outranked_passes: u64,
+}
+
+impl WorkerProfile {
+    fn merge(&mut self, other: &WorkerProfile) {
+        self.selection_locks += other.selection_locks;
+        self.outranked_passes += other.outranked_passes;
+    }
+}
+
 /// The model-generic parallel release engine shared by the session API and the
 /// legacy pipeline: build (and validate) every [`Mechanism`] exactly once,
-/// then let every worker share them while racing for release slots.
+/// then fan proposals out over the workers.
+///
+/// # Determinism and contention
+///
+/// Earlier revisions coordinated workers through two shared atomics bumped on
+/// **every proposal** (a `fetch_add` candidate ticket plus a released-slot
+/// reservation counter) — a cache-line ping-pong between all workers, and the
+/// winner of the slot race varied run to run, so multi-worker releases were
+/// nondeterministic.  The loop now statically shards the proposal space:
+/// worker `w` owns ranks `w, w + workers, w + 2·workers, …  < max_candidates`
+/// (exactly the tickets it could win before, assigned up front), drives its
+/// private RNG stream, and touches shared state only when a candidate
+/// **passes** the privacy test.  Passing candidates enter a bounded max-heap
+/// of capacity `target` under a mutex — the release selection is the `target`
+/// *smallest-rank* passing candidates — and a lock-free threshold mirror of
+/// the heap's max rank lets workers stop early: once the heap is full, the
+/// threshold only decreases, so a worker whose next rank exceeds it can never
+/// displace a selected record (ranks are unique, and every later rank of that
+/// worker is larger still).  Skipped proposals therefore cannot change the
+/// selection, which makes the released records — sorted by rank on return —
+/// **identical across runs and byte-identical at `workers = 1`** to the
+/// sequential [`ReleaseIter`] order.  Per-proposal shared traffic is one
+/// relaxed load of a cache-padded threshold.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_mechanism<M: GenerativeModel + ?Sized>(
     models: &[&M],
@@ -871,34 +949,39 @@ pub(crate) fn run_mechanism<M: GenerativeModel + ?Sized>(
         })
         .collect::<Result<_>>()?;
 
-    let released_count = AtomicUsize::new(0);
-    let candidate_count = AtomicUsize::new(0);
     let workers = workers.min(max_candidates.max(1));
+    let selection = Mutex::new(BinaryHeap::with_capacity(target.min(max_candidates)));
+    // usize::MAX = "heap not full yet, every rank is still in the running".
+    let threshold = CachePadded::new(AtomicUsize::new(usize::MAX));
 
-    let worker_results: Vec<Result<(Vec<Record>, MechanismStats)>> = if workers <= 1 {
+    let worker_results: Vec<Result<(MechanismStats, WorkerProfile)>> = if workers <= 1 {
         vec![worker_loop(
             request_worker_seed(request_seed, 0),
+            0,
+            1,
             &mechanisms,
             target,
             max_candidates,
-            &released_count,
-            &candidate_count,
+            &selection,
+            &threshold,
         )]
     } else {
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for worker in 0..workers {
                 let mechanisms = &mechanisms;
-                let released_count = &released_count;
-                let candidate_count = &candidate_count;
+                let selection = &selection;
+                let threshold = &threshold;
                 handles.push(scope.spawn(move || {
                     worker_loop(
                         request_worker_seed(request_seed, worker),
+                        worker,
+                        workers,
                         mechanisms,
                         target,
                         max_candidates,
-                        released_count,
-                        candidate_count,
+                        selection,
+                        threshold,
                     )
                 }));
             }
@@ -909,41 +992,63 @@ pub(crate) fn run_mechanism<M: GenerativeModel + ?Sized>(
         })
     };
 
-    let mut records = Vec::with_capacity(target);
     let mut stats = MechanismStats::default();
+    let mut profile = WorkerProfile::default();
     for result in worker_results {
-        let (mut r, s) = result?;
+        let (s, p) = result?;
         stats.merge(&s);
-        records.append(&mut r);
+        profile.merge(&p);
     }
-    // The slot reservation in `worker_loop` caps total releases at the
-    // target, so no truncation (which would desync the stats) is needed.
-    debug_assert!(records.len() <= target, "workers released past the target");
-    debug_assert_eq!(
-        records.len(),
-        stats.released,
-        "release accounting out of sync"
-    );
+    let heap = selection
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    // Ascending rank order: deterministic, and at workers = 1 exactly the
+    // proposal order of the sequential path.
+    let records: Vec<Record> = heap
+        .into_sorted_vec()
+        .into_iter()
+        .map(|ranked| ranked.record)
+        .collect();
+    debug_assert!(records.len() <= target, "selection grew past the target");
+    // The heap caps releases at the target; workers cannot know which of
+    // their passes survive the selection, so the released total is settled
+    // here instead of per worker.
+    stats.released = records.len();
+
+    sgf_metrics::counter("core.mechanism.requests").incr();
+    sgf_metrics::counter("core.mechanism.candidates").add(stats.candidates as u64);
+    sgf_metrics::counter("core.mechanism.released").add(stats.released as u64);
+    sgf_metrics::counter("core.mechanism.records_examined").add(stats.records_examined as u64);
+    sgf_metrics::counter("core.mechanism.index_tests").add(stats.index_tests as u64);
+    sgf_metrics::counter("core.mechanism.scan_tests").add(stats.scan_tests as u64);
+    sgf_metrics::counter("core.mechanism.partition_tests").add(stats.partition_tests as u64);
+    sgf_metrics::counter("core.mechanism.selection_locks").add(profile.selection_locks);
+    sgf_metrics::counter("core.mechanism.outranked_passes").add(profile.outranked_passes);
+    sgf_metrics::summary("core.mechanism.workers").observe(workers as u64);
+
     Ok((records, stats))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<M: GenerativeModel + ?Sized>(
     worker_seed: u64,
+    worker: usize,
+    workers: usize,
     mechanisms: &[Mechanism<'_, M>],
     target: usize,
     max_candidates: usize,
-    released_count: &AtomicUsize,
-    candidate_count: &AtomicUsize,
-) -> Result<(Vec<Record>, MechanismStats)> {
+    selection: &Mutex<BinaryHeap<RankedRecord>>,
+    threshold: &AtomicUsize,
+) -> Result<(MechanismStats, WorkerProfile)> {
     let mut rng = StdRng::seed_from_u64(worker_seed);
-    let mut records = Vec::new();
     let mut stats = MechanismStats::default();
-    loop {
-        if released_count.load(Ordering::Relaxed) >= target {
-            break;
-        }
-        let ticket = candidate_count.fetch_add(1, Ordering::Relaxed);
-        if ticket >= max_candidates {
+    let mut profile = WorkerProfile::default();
+    let mut rank = worker;
+    while rank < max_candidates {
+        // Once the selection is full its max rank only decreases, and this
+        // worker's ranks only increase — past the threshold it can never
+        // contribute again, so stopping here cannot change the selection.
+        if threshold.load(Ordering::Relaxed) <= rank {
             break;
         }
         let which = if mechanisms.len() == 1 {
@@ -954,22 +1059,36 @@ fn worker_loop<M: GenerativeModel + ?Sized>(
         let report = mechanisms[which].propose(&mut rng)?;
         stats.observe(&report.outcome);
         if report.released() {
-            // Reserve a release slot atomically: near the target, several
-            // workers can each have a passing candidate in flight, and only
-            // the ones that win a slot may keep theirs.  This keeps
-            // `stats.released` equal to the number of records actually
-            // returned (a surplus candidate counts as proposed, not
-            // released).
-            let slot = released_count.fetch_add(1, Ordering::Relaxed);
-            if slot < target {
-                stats.released += 1;
-                records.push(report.record);
+            let mut heap = selection
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            profile.selection_locks += 1;
+            if heap.len() < target {
+                heap.push(RankedRecord {
+                    rank,
+                    record: report.record,
+                });
+                if heap.len() == target {
+                    if let Some(top) = heap.peek() {
+                        threshold.store(top.rank, Ordering::Relaxed);
+                    }
+                }
+            } else if heap.peek().is_some_and(|top| rank < top.rank) {
+                heap.pop();
+                heap.push(RankedRecord {
+                    rank,
+                    record: report.record,
+                });
+                if let Some(top) = heap.peek() {
+                    threshold.store(top.rank, Ordering::Relaxed);
+                }
             } else {
-                break;
+                profile.outranked_passes += 1;
             }
         }
+        rank += workers;
     }
-    Ok((records, stats))
+    Ok((stats, profile))
 }
 
 #[cfg(test)]
@@ -1247,6 +1366,76 @@ mod tests {
         assert!(eager.seeds().len() < SeedIndex::AUTO_MIN_SEEDS);
         let report = eager.generate(&GenerateRequest::new(5)).unwrap();
         assert_eq!(report.stats.scan_tests, 0, "zero crossover always indexes");
+    }
+
+    #[test]
+    fn multi_worker_releases_are_deterministic_and_exact() {
+        // The rank-ordered selection makes parallel releases reproducible:
+        // two runs with the same seed and worker count must release the same
+        // records in the same order, with exact accounting.
+        let data = generate_acs(4000, 41);
+        let bkt = acs_bucketizer(&acs_schema());
+        let session = small_engine(41).train(&data, &bkt).unwrap();
+        for workers in [2usize, 4, 8] {
+            let request = GenerateRequest::new(15).with_seed(7).with_workers(workers);
+            let a = session.generate(&request).unwrap();
+            let b = session.generate(&request).unwrap();
+            assert_eq!(
+                a.synthetics.records(),
+                b.synthetics.records(),
+                "workers = {workers} must be run-to-run deterministic"
+            );
+            assert_eq!(a.stats.released, a.synthetics.records().len());
+            assert!(a.stats.released <= 15);
+            assert!(a.stats.candidates >= a.stats.released);
+        }
+    }
+
+    #[test]
+    fn single_worker_and_parallel_runs_agree_at_workers_one() {
+        // The rank selection at workers = 1 is plain proposal order: it must
+        // match the sequential streaming path byte for byte.
+        let data = generate_acs(3500, 42);
+        let bkt = acs_bucketizer(&acs_schema());
+        let session = small_engine(42).train(&data, &bkt).unwrap();
+        let generated = session
+            .generate(&GenerateRequest::new(10).with_seed(9).with_workers(1))
+            .unwrap();
+        let streamed: Vec<Record> = session
+            .release_iter(GenerateRequest::new(10).with_seed(9))
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(generated.synthetics.records(), &streamed[..]);
+    }
+
+    #[test]
+    fn metrics_do_not_perturb_releases_and_counters_flow() {
+        // Instrumentation never touches the request RNG streams: released
+        // records are byte-identical with metrics enabled and disabled.  The
+        // two halves share one test because `set_enabled` is process-global.
+        let data = generate_acs(3500, 43);
+        let bkt = acs_bucketizer(&acs_schema());
+        let session = small_engine(43).train(&data, &bkt).unwrap();
+        let request = GenerateRequest::new(12).with_seed(5).with_workers(4);
+
+        let before = sgf_metrics::global().snapshot();
+        let on = session.generate(&request).unwrap();
+        let delta = sgf_metrics::global().snapshot().delta(&before);
+        // `>=`, not `==`: other tests in this binary generate concurrently.
+        assert!(delta.counter("core.mechanism.requests") >= 1);
+        assert!(delta.counter("core.mechanism.candidates") >= on.stats.candidates as u64);
+        assert!(delta.counter("core.mechanism.released") >= on.stats.released as u64);
+        assert!(
+            delta.counter("core.mechanism.selection_locks")
+                >= delta.counter("core.mechanism.released")
+        );
+
+        sgf_metrics::set_enabled(false);
+        let off = session.generate(&request).unwrap();
+        sgf_metrics::set_enabled(true);
+        assert_eq!(on.synthetics.records(), off.synthetics.records());
+        assert_eq!(on.stats.released, off.stats.released);
     }
 
     #[test]

@@ -62,6 +62,7 @@ impl InvertedIndexStore {
         weights: &[f64],
         max_lists: usize,
     ) -> Result<Self, DataError> {
+        let start = std::time::Instant::now();
         let schema = seeds.schema();
         let m = schema.len();
         if weights.len() != m {
@@ -123,12 +124,16 @@ impl InvertedIndexStore {
         let mut priority: Vec<usize> = (0..m).collect();
         priority.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]).then(a.cmp(&b)));
         BUILD_COUNT.fetch_add(1, Ordering::Relaxed);
-        Ok(InvertedIndexStore {
+        let store = InvertedIndexStore {
             len: seeds.len(),
             attributes,
             priority,
             max_lists: max_lists.min(MAX_INTERSECT_LISTS),
-        })
+        };
+        sgf_metrics::counter("index.inverted.builds").incr();
+        sgf_metrics::timer("index.inverted.build").observe(start.elapsed());
+        sgf_metrics::summary("index.inverted.posting_bytes").observe(store.posting_bytes() as u64);
+        Ok(store)
     }
 
     /// Total number of successful [`build`](InvertedIndexStore::build) calls

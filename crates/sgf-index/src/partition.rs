@@ -60,6 +60,7 @@ impl PartitionIndexStore {
     /// The attribute list may arrive in any order and with duplicates; it is
     /// normalized internally.  Every attribute must exist in the seed schema.
     pub fn build(seeds: &Dataset, attributes: &[usize]) -> Result<Self, DataError> {
+        let start = std::time::Instant::now();
         let m = seeds.schema().len();
         let mut key: Vec<usize> = attributes.to_vec();
         key.sort_unstable();
@@ -89,12 +90,17 @@ impl PartitionIndexStore {
                 }
             }
         }
-        Ok(PartitionIndexStore {
+        let store = PartitionIndexStore {
             len: seeds.len(),
             attributes: key,
             classes,
             by_projection,
-        })
+        };
+        sgf_metrics::counter("index.partition.builds").incr();
+        sgf_metrics::timer("index.partition.build").observe(start.elapsed());
+        sgf_metrics::summary("index.partition.classes").observe(store.class_count() as u64);
+        sgf_metrics::summary("index.partition.largest_class").observe(store.largest_class() as u64);
+        Ok(store)
     }
 
     /// The key attribute set `A` (ascending, deduplicated).

@@ -1,0 +1,525 @@
+//! A minimal JSON value type with a hand-rolled parser and serializer.
+//!
+//! The metrics snapshots, the `BENCH_*.json` benchmark documents, and the
+//! perf-trajectory file all need machine-readable round-trippable encoding
+//! without the (vendored, attribute-less) serde stubs.  This module supports
+//! exactly the JSON subset those documents use: objects with string keys,
+//! arrays, strings, booleans, null, and numbers split into an exact integer
+//! variant (`Int`, counters and nanosecond totals) and a float variant
+//! (`Float`, wall clocks and ratios).
+//!
+//! Object keys are kept in a `BTreeMap`, so serialization order is
+//! deterministic — two equal documents always render byte-identically.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value (see the module docs for the supported subset).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number written without fraction or exponent, within `i128` range
+    /// (wide enough to carry every `u64` counter exactly).
+    Int(i128),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys are sorted, so rendering is deterministic.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value as an object, if it is one.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (both number variants), if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(n) => Some(*n as f64),
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on an object (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj().and_then(|map| map.get(key))
+    }
+
+    /// Render the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(n) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+            }
+            Json::Float(x) => out.push_str(&render_f64(*x)),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Self {
+        Json::Int(i128::from(n))
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Self {
+        Json::Float(x)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+
+/// Render an `f64` so that parsing it back yields the same value: finite
+/// numbers use Rust's shortest round-trip formatting (with a forced `.0` for
+/// integral values so they stay in the float domain), and non-finite numbers
+/// — which JSON cannot represent — render as `null`.
+fn render_f64(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{x}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Json, ParseError> {
+    let bytes = text.as_bytes();
+    let mut parser = Parser { bytes, pos: 0 };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != bytes.len() {
+        return Err(parser.error("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+/// A parse failure: byte offset plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{literal}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'n') => self.eat_literal("null", Json::Null),
+            Some(b't') => self.eat_literal("true", Json::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.error(&format!("unexpected byte `{}`", other as char))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let code = self.hex4()?;
+                            // Surrogate pairs are not needed by our documents;
+                            // map lone surrogates to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            continue;
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance over one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|b| (*b & 0xc0) == 0x80)
+                    {
+                        self.pos += 1;
+                    }
+                    if let Ok(chunk) = std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        out.push_str(chunk);
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a') as u32 + 10,
+                Some(b @ b'A'..=b'F') => (b - b'A') as u32 + 10,
+                _ => return Err(self.error("invalid \\u escape")),
+            };
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("non-UTF-8 number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<i128>() {
+                return Ok(Json::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-17", "3.5", "\"hi\""] {
+            let value = parse(text).unwrap();
+            assert_eq!(value.render(), text);
+        }
+    }
+
+    #[test]
+    fn integers_stay_exact() {
+        let value = parse("9007199254740993").unwrap();
+        assert_eq!(value, Json::Int(9_007_199_254_740_993));
+        assert_eq!(value.render(), "9007199254740993");
+        assert_eq!(value.as_u64(), Some(9_007_199_254_740_993));
+    }
+
+    #[test]
+    fn floats_round_trip_shortest() {
+        let value = parse("0.1").unwrap();
+        assert_eq!(value, Json::Float(0.1));
+        assert_eq!(value.render(), "0.1");
+        // Integral floats keep their `.0` marker through a round trip.
+        assert_eq!(Json::Float(2.0).render(), "2.0");
+        assert_eq!(parse("2.0").unwrap(), Json::Float(2.0));
+    }
+
+    #[test]
+    fn nested_documents_round_trip_deterministically() {
+        let text = "{\"a\":[1,2.5,\"x\"],\"b\":{\"nested\":true,\"z\":null}}";
+        let value = parse(text).unwrap();
+        assert_eq!(value.render(), text);
+        // Key order in the input does not matter: BTreeMap sorts.
+        let shuffled = parse("{\"b\":{\"z\":null,\"nested\":true},\"a\":[1,2.5,\"x\"]}").unwrap();
+        assert_eq!(shuffled.render(), text);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let value = Json::Str("line\nbreak \"quoted\" \\ tab\t\u{1}".to_string());
+        let rendered = value.render();
+        assert_eq!(parse(&rendered).unwrap(), value);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(
+            parse("\"\\u0041\\u00e9\"").unwrap(),
+            Json::Str("Aé".to_string())
+        );
+    }
+
+    #[test]
+    fn accessors_navigate_documents() {
+        let doc = parse("{\"n\":3,\"x\":1.5,\"s\":\"v\",\"flag\":true,\"xs\":[1]}").unwrap();
+        assert_eq!(doc.get("n").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("x").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("v"));
+        assert_eq!(doc.get("flag").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            doc.get("xs").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        assert!(doc.get("missing").is_none());
+    }
+
+    #[test]
+    fn malformed_documents_error_with_offsets() {
+        for text in ["{", "[1,", "\"open", "{\"a\" 1}", "tru", "1 2", "{1:2}"] {
+            assert!(parse(text).is_err(), "`{text}` must not parse");
+        }
+        let err = parse("[1, @]").unwrap_err();
+        assert_eq!(err.offset, 4);
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn u64_conversion_is_exact_across_the_full_range() {
+        assert_eq!(Json::from(7u64), Json::Int(7));
+        let max = Json::from(u64::MAX);
+        assert_eq!(max, Json::Int(i128::from(u64::MAX)));
+        assert_eq!(parse(&max.render()).unwrap().as_u64(), Some(u64::MAX));
+    }
+}

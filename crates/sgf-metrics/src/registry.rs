@@ -1,0 +1,705 @@
+//! The metrics registry: named monotonic counters, wall-clock timers, and
+//! log2-bucket summaries, with deterministic snapshot/serialization order.
+//!
+//! ## Design constraints
+//!
+//! * **Never perturb the measured system.**  Metric updates touch only their
+//!   own atomics — no RNG, no allocation, no locking on the hot path (the
+//!   registry mutex is taken only to register a metric or take a snapshot).
+//!   The release-equivalence suites assert that instrumented runs release
+//!   byte-identical records to uninstrumented ones.
+//! * **Deterministic iteration** (sgf-lint R2): metrics live in a `BTreeMap`,
+//!   so snapshots and their JSON render in one canonical order.
+//! * **Never panic the host** (the spirit of R3): the registry mutex is
+//!   poison-tolerant, and disabled metrics degrade to no-ops.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Global switch: when disabled, every update on every metric is a no-op.
+///
+/// Metrics are on by default.  The switch exists so the equivalence suite can
+/// prove that instrumentation never feeds back into the measured computation:
+/// released records must be byte-identical either way.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable all metric updates process-wide.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether metric updates are currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Number of log2 magnitude buckets a [`Summary`] tracks (`u64` has 64 bit
+/// positions; bucket `i` holds values whose highest set bit is `i - 1`, with
+/// bucket 0 holding zero).
+pub const SUMMARY_BUCKETS: usize = 65;
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A wall-clock timer: observation count, total, and maximum duration.
+#[derive(Debug, Default)]
+pub struct Timer {
+    count: AtomicU64,
+    total_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl Timer {
+    /// Record one observed duration.
+    pub fn observe(&self, elapsed: Duration) {
+        if !enabled() {
+            return;
+        }
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Time a closure and record its wall clock.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let result = f();
+        self.observe(start.elapsed());
+        result
+    }
+
+    /// Start a guard that records the elapsed wall clock when dropped.
+    pub fn start(&self) -> TimerGuard<'_> {
+        TimerGuard {
+            timer: self,
+            start: Instant::now(),
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> TimerStats {
+        TimerStats {
+            count: self.count.load(Ordering::Relaxed),
+            total_nanos: self.total_nanos.load(Ordering::Relaxed),
+            max_nanos: self.max_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Records the elapsed time into its [`Timer`] on drop.
+#[derive(Debug)]
+pub struct TimerGuard<'t> {
+    timer: &'t Timer,
+    start: Instant,
+}
+
+impl Drop for TimerGuard<'_> {
+    fn drop(&mut self) {
+        self.timer.observe(self.start.elapsed());
+    }
+}
+
+/// A point-in-time view of a [`Timer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimerStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed durations, in nanoseconds.
+    pub total_nanos: u64,
+    /// Largest observed duration, in nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl TimerStats {
+    /// Mean observed duration in seconds (0 when nothing was observed).
+    pub fn mean_seconds(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_nanos as f64 / self.count as f64 / 1e9
+        }
+    }
+}
+
+/// A histogram-ish summary of a `u64`-valued observation stream: count, sum,
+/// min, max, and power-of-two magnitude buckets (enough for order-of-magnitude
+/// latency/size profiles without storing samples).
+#[derive(Debug)]
+pub struct Summary {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; SUMMARY_BUCKETS],
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Summary {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The magnitude bucket a value falls into: 0 for 0, else `64 - leading_zeros`
+/// (so bucket `i >= 1` holds values in `[2^(i-1), 2^i)`).
+pub fn summary_bucket(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+impl Summary {
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        if !enabled() {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        if let Some(bucket) = self.buckets.get(summary_bucket(value)) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> SummaryStats {
+        let count = self.count.load(Ordering::Relaxed);
+        SummaryStats {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| {
+                self.buckets.get(i).map_or(0, |b| b.load(Ordering::Relaxed))
+            }),
+        }
+    }
+}
+
+/// A point-in-time view of a [`Summary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SummaryStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when nothing was observed).
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Count per log2 magnitude bucket (see [`summary_bucket`]).
+    pub buckets: [u64; SUMMARY_BUCKETS],
+}
+
+impl Default for SummaryStats {
+    fn default() -> Self {
+        SummaryStats {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; SUMMARY_BUCKETS],
+        }
+    }
+}
+
+impl SummaryStats {
+    /// Mean observed value (0 when nothing was observed).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Timer(Arc<Timer>),
+    Summary(Arc<Summary>),
+}
+
+/// A collection of named metrics with deterministic iteration order.
+///
+/// `counter` / `timer` / `summary` register on first use and return shared
+/// handles; callers should look a handle up once and reuse it rather than
+/// paying the registry lock per update.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Lock the metric map, tolerating poison: all mutations are single map
+    /// inserts, so the state is consistent even if a holder panicked, and
+    /// observability must never escalate a panic into the host.
+    fn locked(&self) -> MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Get or register the counter `name`.
+    ///
+    /// A name already registered as a different metric kind yields a fresh,
+    /// unregistered handle (updates still work; the snapshot keeps the first
+    /// registration) — observability never panics the host over a name clash.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.locked();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(counter) => Arc::clone(counter),
+            _ => Arc::new(Counter::default()),
+        }
+    }
+
+    /// Get or register the timer `name` (same clash policy as `counter`).
+    pub fn timer(&self, name: &str) -> Arc<Timer> {
+        let mut metrics = self.locked();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Timer(Arc::new(Timer::default())))
+        {
+            Metric::Timer(timer) => Arc::clone(timer),
+            _ => Arc::new(Timer::default()),
+        }
+    }
+
+    /// Get or register the summary `name` (same clash policy as `counter`).
+    pub fn summary(&self, name: &str) -> Arc<Summary> {
+        let mut metrics = self.locked();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Summary(Arc::new(Summary::default())))
+        {
+            Metric::Summary(summary) => Arc::clone(summary),
+            _ => Arc::new(Summary::default()),
+        }
+    }
+
+    /// A consistent point-in-time view of every registered metric, in sorted
+    /// name order.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.locked();
+        let mut snapshot = Snapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snapshot.counters.insert(name.clone(), c.get());
+                }
+                Metric::Timer(t) => {
+                    snapshot.timers.insert(name.clone(), t.stats());
+                }
+                Metric::Summary(s) => {
+                    snapshot.summaries.insert(name.clone(), s.stats());
+                }
+            }
+        }
+        snapshot
+    }
+}
+
+/// The process-wide registry the sgf crates report into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Get or register a counter in the [`global`] registry.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// Get or register a timer in the [`global`] registry.
+pub fn timer(name: &str) -> Arc<Timer> {
+    global().timer(name)
+}
+
+/// Get or register a summary in the [`global`] registry.
+pub fn summary(name: &str) -> Arc<Summary> {
+    global().summary(name)
+}
+
+/// A deterministic point-in-time view of a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Timer statistics by name.
+    pub timers: BTreeMap<String, TimerStats>,
+    /// Summary statistics by name.
+    pub summaries: BTreeMap<String, SummaryStats>,
+}
+
+impl Snapshot {
+    /// The change since `earlier`: counters and timer/summary counts subtract
+    /// (saturating, so a restarted registry yields zeros rather than
+    /// underflow); min/max are taken from `self` since they cannot be
+    /// un-merged.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let mut delta = Snapshot::default();
+        for (name, value) in &self.counters {
+            let before = earlier.counters.get(name).copied().unwrap_or(0);
+            delta
+                .counters
+                .insert(name.clone(), value.saturating_sub(before));
+        }
+        for (name, stats) in &self.timers {
+            let before = earlier.timers.get(name).copied().unwrap_or_default();
+            delta.timers.insert(
+                name.clone(),
+                TimerStats {
+                    count: stats.count.saturating_sub(before.count),
+                    total_nanos: stats.total_nanos.saturating_sub(before.total_nanos),
+                    max_nanos: stats.max_nanos,
+                },
+            );
+        }
+        for (name, stats) in &self.summaries {
+            let before = earlier.summaries.get(name).copied().unwrap_or_default();
+            delta.summaries.insert(
+                name.clone(),
+                SummaryStats {
+                    count: stats.count.saturating_sub(before.count),
+                    sum: stats.sum.saturating_sub(before.sum),
+                    min: stats.min,
+                    max: stats.max,
+                    buckets: std::array::from_fn(|i| {
+                        let now = stats.buckets.get(i).copied().unwrap_or(0);
+                        let then = before.buckets.get(i).copied().unwrap_or(0);
+                        now.saturating_sub(then)
+                    }),
+                },
+            );
+        }
+        delta
+    }
+
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Render the snapshot as a canonical JSON document.
+    pub fn to_json(&self) -> String {
+        self.as_json().render()
+    }
+
+    /// The snapshot as a [`Json`] value.
+    pub fn as_json(&self) -> Json {
+        let mut counters = BTreeMap::new();
+        for (name, value) in &self.counters {
+            counters.insert(name.clone(), Json::from(*value));
+        }
+        let mut timers = BTreeMap::new();
+        for (name, stats) in &self.timers {
+            let mut obj = BTreeMap::new();
+            obj.insert("count".to_string(), Json::from(stats.count));
+            obj.insert("total_nanos".to_string(), Json::from(stats.total_nanos));
+            obj.insert("max_nanos".to_string(), Json::from(stats.max_nanos));
+            timers.insert(name.clone(), Json::Obj(obj));
+        }
+        let mut summaries = BTreeMap::new();
+        for (name, stats) in &self.summaries {
+            let mut obj = BTreeMap::new();
+            obj.insert("count".to_string(), Json::from(stats.count));
+            obj.insert("sum".to_string(), Json::from(stats.sum));
+            obj.insert("min".to_string(), Json::from(stats.min));
+            obj.insert("max".to_string(), Json::from(stats.max));
+            // Sparse bucket encoding: only non-zero buckets, keyed by index.
+            let mut buckets = BTreeMap::new();
+            for (i, count) in stats.buckets.iter().enumerate() {
+                if *count > 0 {
+                    buckets.insert(format!("{i:02}"), Json::from(*count));
+                }
+            }
+            obj.insert("buckets".to_string(), Json::Obj(buckets));
+            summaries.insert(name.clone(), Json::Obj(obj));
+        }
+        let mut root = BTreeMap::new();
+        root.insert("schema_version".to_string(), Json::Int(1));
+        root.insert("counters".to_string(), Json::Obj(counters));
+        root.insert("timers".to_string(), Json::Obj(timers));
+        root.insert("summaries".to_string(), Json::Obj(summaries));
+        Json::Obj(root)
+    }
+
+    /// Parse a snapshot back from its JSON rendering.
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        let doc = crate::json::parse(text).map_err(|e| e.to_string())?;
+        Self::from_json_value(&doc)
+    }
+
+    /// Parse a snapshot from an already-parsed [`Json`] document.
+    pub fn from_json_value(doc: &Json) -> Result<Snapshot, String> {
+        let mut snapshot = Snapshot::default();
+        if let Some(counters) = doc.get("counters").and_then(Json::as_obj) {
+            for (name, value) in counters {
+                let value = value
+                    .as_u64()
+                    .ok_or_else(|| format!("counter `{name}` is not a u64"))?;
+                snapshot.counters.insert(name.clone(), value);
+            }
+        }
+        if let Some(timers) = doc.get("timers").and_then(Json::as_obj) {
+            for (name, stats) in timers {
+                let field = |key: &str| {
+                    stats
+                        .get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("timer `{name}` field `{key}` is not a u64"))
+                };
+                snapshot.timers.insert(
+                    name.clone(),
+                    TimerStats {
+                        count: field("count")?,
+                        total_nanos: field("total_nanos")?,
+                        max_nanos: field("max_nanos")?,
+                    },
+                );
+            }
+        }
+        if let Some(summaries) = doc.get("summaries").and_then(Json::as_obj) {
+            for (name, stats) in summaries {
+                let field = |key: &str| {
+                    stats
+                        .get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("summary `{name}` field `{key}` is not a u64"))
+                };
+                let mut buckets = [0u64; SUMMARY_BUCKETS];
+                if let Some(sparse) = stats.get("buckets").and_then(Json::as_obj) {
+                    for (index, count) in sparse {
+                        let i: usize = index
+                            .parse()
+                            .map_err(|_| format!("summary `{name}` bucket key `{index}`"))?;
+                        let slot = buckets
+                            .get_mut(i)
+                            .ok_or_else(|| format!("summary `{name}` bucket {i} out of range"))?;
+                        *slot = count
+                            .as_u64()
+                            .ok_or_else(|| format!("summary `{name}` bucket {i} not a u64"))?;
+                    }
+                }
+                snapshot.summaries.insert(
+                    name.clone(),
+                    SummaryStats {
+                        count: field("count")?,
+                        sum: field("sum")?,
+                        min: field("min")?,
+                        max: field("max")?,
+                        buckets,
+                    },
+                );
+            }
+        }
+        Ok(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_in_sorted_order() {
+        let registry = Registry::new();
+        registry.counter("z.last").add(2);
+        registry.counter("a.first").incr();
+        registry.counter("m.middle").add(5);
+        registry.counter("a.first").add(9);
+        let snapshot = registry.snapshot();
+        let names: Vec<&str> = snapshot.counters.keys().map(String::as_str).collect();
+        assert_eq!(names, ["a.first", "m.middle", "z.last"]);
+        assert_eq!(snapshot.counter("a.first"), 10);
+        assert_eq!(snapshot.counter("missing"), 0);
+    }
+
+    #[test]
+    fn timers_track_count_total_and_max() {
+        let registry = Registry::new();
+        let timer = registry.timer("t");
+        timer.observe(Duration::from_millis(2));
+        timer.observe(Duration::from_millis(6));
+        let stats = registry.snapshot().timers["t"];
+        assert_eq!(stats.count, 2);
+        assert_eq!(stats.total_nanos, 8_000_000);
+        assert_eq!(stats.max_nanos, 6_000_000);
+        assert!((stats.mean_seconds() - 0.004).abs() < 1e-12);
+        let result = timer.time(|| 42);
+        assert_eq!(result, 42);
+        assert_eq!(timer.stats().count, 3);
+        {
+            let _guard = timer.start();
+        }
+        assert_eq!(timer.stats().count, 4);
+    }
+
+    #[test]
+    fn summaries_bucket_by_magnitude() {
+        assert_eq!(summary_bucket(0), 0);
+        assert_eq!(summary_bucket(1), 1);
+        assert_eq!(summary_bucket(2), 2);
+        assert_eq!(summary_bucket(3), 2);
+        assert_eq!(summary_bucket(1024), 11);
+        assert_eq!(summary_bucket(u64::MAX), 64);
+        let registry = Registry::new();
+        let summary = registry.summary("s");
+        for value in [0, 1, 3, 1024] {
+            summary.observe(value);
+        }
+        let stats = registry.snapshot().summaries["s"];
+        assert_eq!(stats.count, 4);
+        assert_eq!(stats.sum, 1028);
+        assert_eq!(stats.min, 0);
+        assert_eq!(stats.max, 1024);
+        assert_eq!(stats.buckets[0], 1);
+        assert_eq!(stats.buckets[1], 1);
+        assert_eq!(stats.buckets[2], 1);
+        assert_eq!(stats.buckets[11], 1);
+        assert!((stats.mean() - 257.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_reports_zero_min() {
+        let registry = Registry::new();
+        registry.summary("s");
+        let stats = registry.snapshot().summaries["s"];
+        assert_eq!(stats.min, 0);
+        assert_eq!(stats.mean(), 0.0);
+    }
+
+    #[test]
+    fn kind_clashes_yield_detached_handles_not_panics() {
+        let registry = Registry::new();
+        registry.counter("name").add(3);
+        let detached = registry.timer("name");
+        detached.observe(Duration::from_millis(1));
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("name"), 3);
+        assert!(!snapshot.timers.contains_key("name"));
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_counts() {
+        let registry = Registry::new();
+        let counter = registry.counter("c");
+        let timer = registry.timer("t");
+        counter.add(10);
+        timer.observe(Duration::from_millis(1));
+        let before = registry.snapshot();
+        counter.add(7);
+        timer.observe(Duration::from_millis(2));
+        let delta = registry.snapshot().delta(&before);
+        assert_eq!(delta.counter("c"), 7);
+        assert_eq!(delta.timers["t"].count, 1);
+        assert_eq!(delta.timers["t"].total_nanos, 2_000_000);
+        // A metric absent from the earlier snapshot deltas from zero.
+        registry.counter("new").add(4);
+        let delta = registry.snapshot().delta(&before);
+        assert_eq!(delta.counter("new"), 4);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let registry = Registry::new();
+        registry.counter("requests").add(1234);
+        registry
+            .timer("synthesis")
+            .observe(Duration::from_micros(1500));
+        let summary = registry.summary("queue_wait");
+        summary.observe(0);
+        summary.observe(900);
+        let snapshot = registry.snapshot();
+        let json = snapshot.to_json();
+        let parsed = Snapshot::from_json(&json).unwrap();
+        assert_eq!(parsed, snapshot);
+        // The canonical rendering is stable through a round trip.
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn malformed_snapshots_error() {
+        assert!(Snapshot::from_json("not json").is_err());
+        assert!(Snapshot::from_json("{\"counters\":{\"c\":-1}}").is_err());
+        assert!(Snapshot::from_json("{\"timers\":{\"t\":{\"count\":1}}}").is_err());
+        assert!(
+            Snapshot::from_json("{\"summaries\":{\"s\":{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":{\"99\":1}}}}")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn disabled_metrics_are_no_ops() {
+        let registry = Registry::new();
+        let counter = registry.counter("c");
+        let timer = registry.timer("t");
+        let summary = registry.summary("s");
+        set_enabled(false);
+        counter.add(5);
+        timer.observe(Duration::from_millis(1));
+        summary.observe(9);
+        set_enabled(true);
+        assert_eq!(counter.get(), 0);
+        assert_eq!(timer.stats().count, 0);
+        assert_eq!(summary.stats().count, 0);
+        counter.incr();
+        assert_eq!(counter.get(), 1);
+    }
+
+    #[test]
+    fn global_registry_hands_out_shared_handles() {
+        let a = counter("test.global.shared");
+        let b = counter("test.global.shared");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+        assert!(global()
+            .snapshot()
+            .counters
+            .contains_key("test.global.shared"));
+        let _ = timer("test.global.timer");
+        let _ = summary("test.global.summary");
+    }
+}

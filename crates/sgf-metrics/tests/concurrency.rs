@@ -1,0 +1,119 @@
+//! Determinism of the metrics registry under `std::thread::scope`
+//! concurrency: counts are exact (no lost updates), snapshot iteration order
+//! is canonical, and the JSON schema round-trips.
+
+use sgf_metrics::{Registry, Snapshot};
+use std::time::Duration;
+
+const THREADS: u64 = 8;
+const INCREMENTS: u64 = 10_000;
+
+#[test]
+fn concurrent_counter_updates_are_exact() {
+    let registry = Registry::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = &registry;
+            scope.spawn(move || {
+                let shared = registry.counter("shared");
+                let own = registry.counter(&format!("worker.{t:02}"));
+                for _ in 0..INCREMENTS {
+                    shared.incr();
+                    own.add(2);
+                }
+            });
+        }
+    });
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.counter("shared"), THREADS * INCREMENTS);
+    for t in 0..THREADS {
+        assert_eq!(snapshot.counter(&format!("worker.{t:02}")), 2 * INCREMENTS);
+    }
+}
+
+#[test]
+fn concurrent_timers_and_summaries_lose_no_observations() {
+    let registry = Registry::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = &registry;
+            scope.spawn(move || {
+                let timer = registry.timer("work");
+                let summary = registry.summary("batch_size");
+                for i in 0..1_000u64 {
+                    timer.observe(Duration::from_nanos(t + 1));
+                    summary.observe(i % 17);
+                }
+            });
+        }
+    });
+    let snapshot = registry.snapshot();
+    let timer = snapshot.timers["work"];
+    assert_eq!(timer.count, THREADS * 1_000);
+    // Total is the exact sum of per-thread contributions: 1000 * (1+..+8).
+    assert_eq!(timer.total_nanos, 1_000 * (THREADS * (THREADS + 1) / 2));
+    assert_eq!(timer.max_nanos, THREADS);
+    let summary = snapshot.summaries["batch_size"];
+    assert_eq!(summary.count, THREADS * 1_000);
+    assert_eq!(summary.min, 0);
+    assert_eq!(summary.max, 16);
+    assert_eq!(summary.buckets.iter().sum::<u64>(), summary.count);
+}
+
+#[test]
+fn snapshot_order_and_json_are_deterministic_across_registration_order() {
+    // Two registries populated by threads racing in opposite orders still
+    // snapshot identically: iteration order is the sorted name order, not
+    // registration order.
+    let build = |reverse: bool| {
+        let registry = Registry::new();
+        std::thread::scope(|scope| {
+            let names: Vec<String> = (0..32).map(|i| format!("metric.{i:02}")).collect();
+            for chunk in names.chunks(8) {
+                let registry = &registry;
+                let mut chunk = chunk.to_vec();
+                if reverse {
+                    chunk.reverse();
+                }
+                scope.spawn(move || {
+                    for name in chunk {
+                        registry.counter(&name).add(7);
+                    }
+                });
+            }
+        });
+        registry.snapshot()
+    };
+    let forward = build(false);
+    let backward = build(true);
+    assert_eq!(forward, backward);
+    assert_eq!(forward.to_json(), backward.to_json());
+    let names: Vec<&String> = forward.counters.keys().collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted);
+}
+
+#[test]
+fn snapshot_json_schema_round_trips_through_text() {
+    let registry = Registry::new();
+    registry.counter("core.candidates").add(123_456_789);
+    registry.counter("core.released").add(1_000);
+    registry
+        .timer("core.generate_seconds")
+        .observe(Duration::from_micros(2_500));
+    let summary = registry.summary("index.posting_len");
+    for v in [0u64, 1, 7, 64, 4096, u64::MAX] {
+        summary.observe(v);
+    }
+    let snapshot = registry.snapshot();
+    let text = snapshot.to_json();
+    let parsed = Snapshot::from_json(&text).expect("canonical snapshot JSON parses");
+    assert_eq!(parsed, snapshot);
+    assert_eq!(parsed.to_json(), text);
+    // Delta against itself is all-zero counts.
+    let delta = snapshot.delta(&snapshot);
+    assert!(delta.counters.values().all(|v| *v == 0));
+    assert!(delta.timers.values().all(|t| t.count == 0));
+    assert!(delta.summaries.values().all(|s| s.count == 0));
+}

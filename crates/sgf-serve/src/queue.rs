@@ -74,13 +74,18 @@ impl<T> BoundedQueue<T> {
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
         let mut inner = self.locked();
         if inner.closed {
+            sgf_metrics::counter("serve.queue.rejected_closed").incr();
             return Err(PushError::Closed(item));
         }
         if inner.items.len() >= self.capacity {
+            sgf_metrics::counter("serve.queue.rejected_full").incr();
             return Err(PushError::Full(item));
         }
         inner.items.push_back(item);
+        let depth = inner.items.len();
         drop(inner);
+        sgf_metrics::counter("serve.queue.pushed").incr();
+        sgf_metrics::summary("serve.queue.depth").observe(depth as u64);
         self.not_empty.notify_one();
         Ok(())
     }
@@ -91,6 +96,8 @@ impl<T> BoundedQueue<T> {
         let mut inner = self.locked();
         loop {
             if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                sgf_metrics::counter("serve.queue.popped").incr();
                 return Some(item);
             }
             if inner.closed {

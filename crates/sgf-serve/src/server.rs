@@ -451,6 +451,7 @@ fn admit_generate(call: GenerateCall, out: &Arc<Mutex<TcpStream>>, state: &Arc<S
                 call.request.target,
             )),
             Err(CoreError::BudgetCapExceeded { requested, cap }) => {
+                sgf_metrics::counter("serve.rejected_budget").incr();
                 write_line(
                     out,
                     &protocol::reject_line(
@@ -482,7 +483,9 @@ fn admit_generate(call: GenerateCall, out: &Arc<Mutex<TcpStream>>, state: &Arc<S
         out: Arc::clone(out),
     };
     match state.queue.try_push(job) {
-        Ok(()) => {}
+        Ok(()) => {
+            sgf_metrics::counter("serve.admitted").incr();
+        }
         Err(PushError::Full(job)) => {
             // Dropping the job aborts its reservation (guard).
             let out = Arc::clone(&job.out);
@@ -513,7 +516,7 @@ fn worker_loop(state: &Arc<ServerState>) {
         if let Some(delay) = state.service_delay {
             std::thread::sleep(delay);
         }
-        serve_job(job);
+        sgf_metrics::timer("serve.job").time(|| serve_job(job));
         state.busy_workers.fetch_sub(1, Ordering::SeqCst);
     }
 }

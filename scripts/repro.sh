@@ -9,6 +9,13 @@
 #                                (sets SGF_SMOKE=1; finishes in minutes)
 #
 # Output of each binary is streamed to stdout and mirrored under artifacts/.
+# Every binary also emits its machine-readable BENCH_<series>.json document
+# (SGF_BENCH_DIR); the documents land in artifacts/ AND the repo root, and
+# are gated against the checked-in BENCH_TRAJECTORY.jsonl baseline by
+# `sgf-bench-track compare` — a counter regression fails this script.
+#
+# `set -e -o pipefail` makes every stage fail fast: a binary exiting nonzero
+# (even through the `tee` pipe) aborts the whole run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,9 +58,9 @@ for bin in "${BINARIES[@]}"; do
     echo "== $bin (scale $SCALE, smoke $SMOKE) =="
     start=$SECONDS
     if [ "$SMOKE" = 1 ]; then
-        SGF_SMOKE=1 "target/release/$bin" "$SCALE" | tee "$OUTDIR/$bin.txt"
+        SGF_SMOKE=1 SGF_BENCH_DIR="$OUTDIR" "target/release/$bin" "$SCALE" | tee "$OUTDIR/$bin.txt"
     else
-        "target/release/$bin" "$SCALE" | tee "$OUTDIR/$bin.txt"
+        SGF_BENCH_DIR="$OUTDIR" "target/release/$bin" "$SCALE" | tee "$OUTDIR/$bin.txt"
     fi
     echo "== $bin finished in $((SECONDS - start))s =="
 done
@@ -69,6 +76,25 @@ if ! grep -q "byte-identical records in every configuration" "$OUTDIR/fig_index.
 fi
 echo
 echo "== seed-store decision-equivalence gate passed (fig_index) =="
+
+# Perf-trajectory gate: mirror the emitted benchmark documents to the repo
+# root (handy for diffing / CI artifact upload) and compare the deterministic
+# counters against the last BENCH_TRAJECTORY.jsonl entry recorded at the same
+# (smoke, scale).  After an intentional perf change, refresh the baseline
+# with: target/release/sgf-bench-track append --dir artifacts
+echo
+echo "== perf trajectory gate (sgf-bench-track compare) =="
+cp "$OUTDIR"/BENCH_*.json .
+target/release/sgf-bench-track compare --dir "$OUTDIR"
+
+# Regenerate the human-readable tables from the same documents; the repo-root
+# BENCH_NOTES.md is refreshed only by full-scale runs so smoke runs cannot
+# overwrite the reference numbers.
+target/release/sgf-bench-track notes --dir "$OUTDIR" --out "$OUTDIR/BENCH_NOTES.md"
+if [ "$SMOKE" = 0 ]; then
+    cp "$OUTDIR/BENCH_NOTES.md" BENCH_NOTES.md
+    echo "regenerated BENCH_NOTES.md from $OUTDIR/BENCH_*.json"
+fi
 
 echo
 echo "== done: artifacts written to $OUTDIR/ (reference wall clocks: BENCH_NOTES.md) =="
