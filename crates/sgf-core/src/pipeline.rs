@@ -306,6 +306,8 @@ impl SynthesisPipeline {
             target.saturating_mul(self.config.max_candidate_factor),
             self.config.workers,
             self.config.seed,
+            None,
+            None,
         )
     }
 }

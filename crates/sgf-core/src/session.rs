@@ -34,10 +34,10 @@ use sgf_index::{
     InvertedIndexStore, LinearScanStore, PartitionIndexStore, SeedIndex, SeedStore,
     MAX_INTERSECT_LISTS,
 };
-use sgf_metrics::CachePadded;
+use sgf_metrics::{CachePadded, Json, Scope, SpanId, TraceBatch};
 use sgf_model::{GenerativeModel, OmegaSpec, ParameterConfig, SeedSynthesizer, StructureConfig};
 use sgf_stats::DpBudget;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -238,6 +238,22 @@ impl SynthesisEngine {
         };
         sgf_metrics::timer("core.train").observe(training);
         sgf_metrics::timer("core.index_build").observe(index_build);
+        let trace = sgf_metrics::trace();
+        if trace.enabled() {
+            let mut batch = TraceBatch::new();
+            let root = batch.span("core.train", SpanId::NONE);
+            batch.counter(root, "records", dataset.len() as u64);
+            batch.counter(root, "seeds", split.seeds.len() as u64);
+            batch.wall(root, training);
+            let build = batch.span("core.index_build", root);
+            batch.label(build, "inverted", on_off(index.is_some()));
+            batch.label(build, "partition", on_off(partition.is_some()));
+            if let Some(partition) = &partition {
+                batch.counter(build, "classes", partition.class_count() as u64);
+            }
+            batch.wall(build, index_build);
+            trace.commit(batch);
+        }
         Ok(SynthesisSession {
             config: self.config,
             shared: Arc::new(SessionShared {
@@ -250,6 +266,7 @@ impl SynthesisEngine {
             }),
             per_release,
             ledger: Arc::new(Mutex::new(ledger)),
+            scope: None,
         })
     }
 }
@@ -336,6 +353,8 @@ pub struct ReleaseReport {
     pub ledger: BudgetLedger,
     /// Wall-clock time spent generating and testing candidates.
     pub synthesis: Duration,
+    /// Where this release came from: store, knobs, and budget before/after.
+    pub provenance: Provenance,
 }
 
 impl ReleaseReport {
@@ -344,17 +363,153 @@ impl ReleaseReport {
         crate::dp::compose_releases(self.per_release, self.stats.released)
     }
 
-    /// Render the report (counters + budgets) as a JSON object.
+    /// The provenance block as canonical JSON (budget before/after pair
+    /// resolved against this report's post-request ledger).
+    pub fn provenance_json(&self) -> Json {
+        self.provenance.to_json(&self.ledger)
+    }
+
+    /// Render the report (counters + budgets + provenance) as a JSON object.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"stats\":{},\"synthesis_seconds\":{},\"request_epsilon\":{},\"ledger\":{}}}",
+            "{{\"stats\":{},\"synthesis_seconds\":{},\"request_epsilon\":{},\"ledger\":{},\
+             \"provenance\":{}}}",
             self.stats.to_json(),
             crate::dp::json_f64(self.synthesis.as_secs_f64()),
             crate::dp::json_f64(self.request_budget().epsilon),
             self.ledger.to_json(),
+            self.provenance_json().render(),
         )
     }
 }
+
+/// ProvSQL-style provenance of one release: which seed store served the
+/// privacy tests, the effective knobs, the request seed, and the budget
+/// ledger as admitted — enough to audit (or re-derive) the release without
+/// replaying it.
+///
+/// Attached to every [`ReleaseReport`]; the serve layer forwards it verbatim
+/// in protocol responses.  `trace_spans` counts the spans this request
+/// committed to the global [`sgf_metrics::trace`] ring (0 when tracing is
+/// off): the trace holds the span-level detail, this block the summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Provenance {
+    /// Store granularity that served the privacy tests (`"scan"`,
+    /// `"inverted"`, `"partition"` — see [`SeedStore::kind`]).
+    pub store: &'static str,
+    /// Seed records the store draws from (`|D_S|`).
+    pub seeds: usize,
+    /// Likelihood-equivalence classes of the partition store, when it served
+    /// the request.
+    pub classes: Option<usize>,
+    /// Effective ω spec (request override or session default).
+    pub omega: OmegaSpec,
+    /// Effective worker count.
+    pub workers: usize,
+    /// Effective proposal cap.
+    pub max_candidates: usize,
+    /// Privacy-test plausibility threshold `k`.
+    pub k: usize,
+    /// Privacy-test γ.
+    pub gamma: f64,
+    /// Randomized-test ε₀ (`None` for the deterministic test).
+    pub epsilon0: Option<f64>,
+    /// The request seed every stream of request randomness derives from.
+    pub request_seed: u64,
+    /// Ledger snapshot *before* this request committed.
+    pub ledger_before: BudgetLedger,
+    /// Spans committed to the trace ring for this request (0 = tracing off).
+    pub trace_spans: usize,
+}
+
+impl Provenance {
+    /// Canonical JSON of the provenance block; `ledger_after` (the
+    /// post-request ledger of the same release) completes the budget
+    /// before/after pair.
+    pub fn to_json(&self, ledger_after: &BudgetLedger) -> Json {
+        let mut obj = BTreeMap::new();
+        obj.insert("store".to_string(), Json::from(self.store));
+        obj.insert("seeds".to_string(), Json::Int(self.seeds as i128));
+        let classes = match self.classes {
+            Some(classes) => Json::Int(classes as i128),
+            None => Json::Null,
+        };
+        obj.insert("classes".to_string(), classes);
+        obj.insert("omega".to_string(), Json::Str(render_omega(self.omega)));
+        obj.insert("workers".to_string(), Json::Int(self.workers as i128));
+        obj.insert(
+            "max_candidates".to_string(),
+            Json::Int(self.max_candidates as i128),
+        );
+        obj.insert("k".to_string(), Json::Int(self.k as i128));
+        obj.insert("gamma".to_string(), Json::Float(self.gamma));
+        let epsilon0 = match self.epsilon0 {
+            Some(epsilon0) => Json::Float(epsilon0),
+            None => Json::Null,
+        };
+        obj.insert("epsilon0".to_string(), epsilon0);
+        obj.insert(
+            "request_seed".to_string(),
+            Json::Int(self.request_seed as i128),
+        );
+        let mut ledger = BTreeMap::new();
+        ledger.insert("before".to_string(), ledger_side_json(&self.ledger_before));
+        ledger.insert("after".to_string(), ledger_side_json(ledger_after));
+        obj.insert("ledger".to_string(), Json::Obj(ledger));
+        obj.insert(
+            "trace_spans".to_string(),
+            Json::Int(self.trace_spans as i128),
+        );
+        Json::Obj(obj)
+    }
+}
+
+/// Stable string rendering of an ω spec for provenance (`"fixed:9"`,
+/// `"uniform:8-11"`).
+fn render_omega(omega: OmegaSpec) -> String {
+    match omega {
+        OmegaSpec::Fixed(w) => format!("fixed:{w}"),
+        OmegaSpec::UniformRange { lo, hi } => format!("uniform:{lo}-{hi}"),
+    }
+}
+
+/// One side of the provenance budget pair: cumulative (ε, δ) plus the release
+/// and request totals of the ledger at that point.
+fn ledger_side_json(ledger: &BudgetLedger) -> Json {
+    let total = ledger.total();
+    let mut obj = BTreeMap::new();
+    obj.insert("epsilon".to_string(), Json::Float(total.epsilon));
+    obj.insert("delta".to_string(), Json::Float(total.delta));
+    obj.insert("releases".to_string(), Json::Int(ledger.releases as i128));
+    obj.insert("requests".to_string(), Json::Int(ledger.requests as i128));
+    Json::Obj(obj)
+}
+
+/// One privacy-test observation captured for tracing: which store served the
+/// test, at what granularity, and how it decided.  Collection is bounded
+/// ([`MAX_TRACE_PROBES`] per request) and only happens when the global trace
+/// is enabled — the probes feed `core.privacy_test` spans, never decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateProbe {
+    /// Global proposal rank of the candidate (worker-interleaved ordering).
+    pub rank: usize,
+    /// Store granularity that served this test (`"scan"`, `"inverted"`,
+    /// `"partition"`).
+    pub store: &'static str,
+    /// Whether the candidate passed the privacy test.
+    pub passed: bool,
+    /// Plausible seeds (or classes, at class granularity) counted before the
+    /// test stopped.
+    pub plausible_seeds: usize,
+    /// Records (or classes) examined by the test.
+    pub records_examined: usize,
+}
+
+/// Per-request cap on traced privacy tests: each worker keeps its first
+/// `MAX_TRACE_PROBES` probes (ranks increase monotonically per worker), the
+/// merge keeps the globally smallest-ranked `MAX_TRACE_PROBES` — a
+/// deterministic prefix of the proposal order at `workers = 1`.
+pub const MAX_TRACE_PROBES: usize = 32;
 
 /// The immutable trained artifacts of a session, shared (via `Arc`) across
 /// every clone: the data split, the learned models, and the inverted seed
@@ -397,12 +552,33 @@ pub struct SynthesisSession {
     shared: Arc<SessionShared>,
     per_release: Option<DpBudget>,
     ledger: Arc<Mutex<BudgetLedger>>,
+    /// Metric scope of this handle (see
+    /// [`with_scope`](SynthesisSession::with_scope)); `None` writes the
+    /// global rollup only.
+    scope: Option<Scope>,
 }
 
 impl SynthesisSession {
     /// The configuration the session was trained with (request defaults).
     pub fn config(&self) -> &PipelineConfig {
         &self.config
+    }
+
+    /// Label every metric this handle records with `scope` (e.g.
+    /// `session=<name>`): request counters and timers land in both the
+    /// global rollup and the scope's cell, and generate-trace roots carry the
+    /// scope's labels.  The scope travels with **this handle** — other clones
+    /// of the session keep their own (or no) scope — so one trained session
+    /// can serve differently-labeled surfaces.  Scope on bounded dimensions
+    /// only (session names, shards); unbounded ids belong in trace labels.
+    pub fn with_scope(mut self, scope: Scope) -> Self {
+        self.scope = Some(scope);
+        self
+    }
+
+    /// The metric scope of this handle, if any.
+    pub fn scope(&self) -> Option<&Scope> {
+        self.scope.as_ref()
     }
 
     /// The models learned at training time.
@@ -505,6 +681,47 @@ impl SynthesisSession {
     /// A snapshot of the cumulative privacy ledger.
     pub fn ledger(&self) -> BudgetLedger {
         *self.ledger.lock().expect("ledger lock poisoned")
+    }
+
+    /// Flush the statistics of a finished streaming release into the metrics
+    /// registry (scoped to the session's label set when one was attached with
+    /// [`with_scope`](SynthesisSession::with_scope)).
+    ///
+    /// [`release_iter`](SynthesisSession::release_iter) itself never touches
+    /// the registry — a streaming caller decides when (and whether) the
+    /// request's counters are observed, typically once per drained iterator.
+    /// The scoped handles write both the global rollup and the scope cell, so
+    /// callers must invoke this at most once per iterator.
+    pub fn flush_stream_stats(&self, stats: &MechanismStats) {
+        match &self.scope {
+            Some(scope) => {
+                let view = sgf_metrics::scoped(scope);
+                view.counter("core.mechanism.requests").incr();
+                view.counter("core.mechanism.candidates")
+                    .add(stats.candidates as u64);
+                view.counter("core.mechanism.released")
+                    .add(stats.released as u64);
+                view.counter("core.mechanism.records_examined")
+                    .add(stats.records_examined as u64);
+                view.counter("core.mechanism.index_tests")
+                    .add(stats.index_tests as u64);
+                view.counter("core.mechanism.scan_tests")
+                    .add(stats.scan_tests as u64);
+                view.counter("core.mechanism.partition_tests")
+                    .add(stats.partition_tests as u64);
+            }
+            None => {
+                sgf_metrics::counter("core.mechanism.requests").incr();
+                sgf_metrics::counter("core.mechanism.candidates").add(stats.candidates as u64);
+                sgf_metrics::counter("core.mechanism.released").add(stats.released as u64);
+                sgf_metrics::counter("core.mechanism.records_examined")
+                    .add(stats.records_examined as u64);
+                sgf_metrics::counter("core.mechanism.index_tests").add(stats.index_tests as u64);
+                sgf_metrics::counter("core.mechanism.scan_tests").add(stats.scan_tests as u64);
+                sgf_metrics::counter("core.mechanism.partition_tests")
+                    .add(stats.partition_tests as u64);
+            }
+        }
     }
 
     /// Atomically reserve budget for up to `records` releases under the
@@ -662,10 +879,12 @@ impl SynthesisSession {
         let store = self.resolve_store(&request, models[0].likelihood_attributes())?;
         // Validate the mechanism inputs once; `next` uses the raw hot path.
         Mechanism::new(&models[0], self.seeds(), self.config.privacy_test)?;
-        self.ledger
-            .lock()
-            .expect("ledger lock poisoned")
-            .record_request(0);
+        let ledger_before = {
+            let mut guard = self.ledger.lock().expect("ledger lock poisoned");
+            let before = *guard;
+            guard.record_request(0);
+            before
+        };
         Ok(ReleaseIter {
             session: self,
             models,
@@ -675,6 +894,8 @@ impl SynthesisSession {
             target,
             max_candidates,
             from_reservation,
+            request,
+            ledger_before,
         })
     }
 
@@ -715,6 +936,10 @@ impl SynthesisSession {
         let (target, workers, max_candidates) = self.request_limits(request)?;
         let likelihood = models.first().and_then(|m| m.likelihood_attributes());
         let store = self.resolve_store(request, likelihood)?;
+        let store_kind = store.map_or("scan", |s| s.kind());
+        let ledger_before = self.ledger();
+        let tracing = sgf_metrics::trace().enabled();
+        let mut probes: Vec<CandidateProbe> = Vec::new();
         let start = Instant::now();
         let (records, stats) = run_mechanism(
             models,
@@ -725,9 +950,16 @@ impl SynthesisSession {
             max_candidates,
             workers,
             request.seed,
+            self.scope.as_ref(),
+            tracing.then_some(&mut probes),
         )?;
         let synthesis = start.elapsed();
-        sgf_metrics::timer("core.synthesis").observe(synthesis);
+        match &self.scope {
+            Some(scope) => sgf_metrics::scoped(scope)
+                .timer("core.synthesis")
+                .observe(synthesis),
+            None => sgf_metrics::timer("core.synthesis").observe(synthesis),
+        }
         let ledger = {
             let mut guard = self.ledger.lock().expect("ledger lock poisoned");
             match reservation {
@@ -736,12 +968,43 @@ impl SynthesisSession {
             }
             *guard
         };
+        let trace_spans = if tracing {
+            commit_generate_trace(
+                self.scope.as_ref(),
+                request,
+                store_kind,
+                target,
+                workers,
+                &stats,
+                &probes,
+                synthesis,
+            )
+        } else {
+            0
+        };
+        let provenance = Provenance {
+            store: store_kind,
+            seeds: self.seeds().len(),
+            classes: (store_kind == "partition")
+                .then(|| self.shared.partition.as_ref().map(|p| p.class_count()))
+                .flatten(),
+            omega: request.omega.unwrap_or(self.config.omega),
+            workers,
+            max_candidates,
+            k: self.config.privacy_test.k,
+            gamma: self.config.privacy_test.gamma,
+            epsilon0: self.config.privacy_test.epsilon0,
+            request_seed: request.seed,
+            ledger_before,
+            trace_spans,
+        };
         Ok(ReleaseReport {
             synthetics: Dataset::from_records_unchecked(self.seeds().schema_arc(), records),
             stats,
             per_release: self.per_release,
             ledger,
             synthesis,
+            provenance,
         })
     }
 
@@ -776,12 +1039,46 @@ pub struct ReleaseIter<'s> {
     /// Opened via [`SynthesisSession::release_iter_reserved`]: each yielded
     /// record converts one reserved record instead of charging anew.
     from_reservation: bool,
+    /// The request this iterator serves, kept for the provenance block.
+    request: GenerateRequest,
+    /// Ledger snapshot taken just before this request was recorded.
+    ledger_before: BudgetLedger,
 }
 
 impl ReleaseIter<'_> {
     /// Statistics over the candidates proposed so far.
     pub fn stats(&self) -> MechanismStats {
         self.stats
+    }
+
+    /// Provenance of this streaming release.  Streaming always proposes on
+    /// the calling thread (`workers: 1`) and commits no trace spans of its
+    /// own, so those fields are fixed; the ledger snapshot is the one taken
+    /// when the iterator was opened.
+    pub fn provenance(&self) -> Provenance {
+        let store_kind = self.store.map_or("scan", |s| s.kind());
+        Provenance {
+            store: store_kind,
+            seeds: self.session.seeds().len(),
+            classes: (store_kind == "partition")
+                .then(|| {
+                    self.session
+                        .shared
+                        .partition
+                        .as_ref()
+                        .map(|p| p.class_count())
+                })
+                .flatten(),
+            omega: self.request.omega.unwrap_or(self.session.config.omega),
+            workers: 1,
+            max_candidates: self.max_candidates,
+            k: self.session.config.privacy_test.k,
+            gamma: self.session.config.privacy_test.gamma,
+            epsilon0: self.session.config.privacy_test.epsilon0,
+            request_seed: self.request.seed,
+            ledger_before: self.ledger_before,
+            trace_spans: 0,
+        }
     }
 }
 
@@ -845,6 +1142,66 @@ fn request_worker_seed(request_seed: u64, worker: usize) -> u64 {
     request_seed
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
         .wrapping_add(worker as u64)
+}
+
+/// Trace-label rendering of an optional build step.
+fn on_off(built: bool) -> &'static str {
+    if built {
+        "built"
+    } else {
+        "skipped"
+    }
+}
+
+/// Commit the span tree of one generate request to the global trace ring:
+/// a `core.generate` root (scope labels, store, seed, outcome counters), a
+/// `core.proposals` child with the mechanism counters, and one
+/// `core.privacy_test` child per captured probe.  Returns the events
+/// committed (0 when tracing was toggled off mid-request).
+#[allow(clippy::too_many_arguments)]
+fn commit_generate_trace(
+    scope: Option<&Scope>,
+    request: &GenerateRequest,
+    store_kind: &'static str,
+    target: usize,
+    workers: usize,
+    stats: &MechanismStats,
+    probes: &[CandidateProbe],
+    synthesis: Duration,
+) -> usize {
+    let mut batch = TraceBatch::new();
+    let root = batch.span("core.generate", SpanId::NONE);
+    if let Some(scope) = scope {
+        batch.scope_labels(root, scope);
+    }
+    batch.label(root, "store", store_kind);
+    batch.label(root, "seed", &request.seed.to_string());
+    batch.counter(root, "target", target as u64);
+    batch.counter(root, "released", stats.released as u64);
+    batch.counter(root, "workers", workers as u64);
+    batch.wall(root, synthesis);
+    let proposals = batch.span("core.proposals", root);
+    batch.counter(proposals, "candidates", stats.candidates as u64);
+    batch.counter(proposals, "records_examined", stats.records_examined as u64);
+    batch.counter(proposals, "index_tests", stats.index_tests as u64);
+    batch.counter(proposals, "scan_tests", stats.scan_tests as u64);
+    batch.counter(proposals, "partition_tests", stats.partition_tests as u64);
+    if stats.candidates > probes.len() {
+        batch.counter(
+            proposals,
+            "candidates_untraced",
+            (stats.candidates - probes.len()) as u64,
+        );
+    }
+    for probe in probes {
+        let span = batch.span("core.privacy_test", proposals);
+        batch.label(span, "store", probe.store);
+        batch.label(span, "outcome", if probe.passed { "pass" } else { "fail" });
+        batch.counter(span, "rank", probe.rank as u64);
+        batch.counter(span, "plausible_seeds", probe.plausible_seeds as u64);
+        batch.counter(span, "records_examined", probe.records_examined as u64);
+    }
+    sgf_metrics::trace().commit(batch)
 }
 
 /// A passing candidate tagged with its global proposal rank.
@@ -933,6 +1290,8 @@ pub(crate) fn run_mechanism<M: GenerativeModel + ?Sized>(
     max_candidates: usize,
     workers: usize,
     request_seed: u64,
+    scope: Option<&Scope>,
+    probes_out: Option<&mut Vec<CandidateProbe>>,
 ) -> Result<(Vec<Record>, MechanismStats)> {
     if models.is_empty() {
         return Err(CoreError::InvalidParameter(
@@ -953,8 +1312,10 @@ pub(crate) fn run_mechanism<M: GenerativeModel + ?Sized>(
     let selection = Mutex::new(BinaryHeap::with_capacity(target.min(max_candidates)));
     // usize::MAX = "heap not full yet, every rank is still in the running".
     let threshold = CachePadded::new(AtomicUsize::new(usize::MAX));
+    let collect_probes = probes_out.is_some();
 
-    let worker_results: Vec<Result<(MechanismStats, WorkerProfile)>> = if workers <= 1 {
+    type WorkerResult = Result<(MechanismStats, WorkerProfile, Vec<CandidateProbe>)>;
+    let worker_results: Vec<WorkerResult> = if workers <= 1 {
         vec![worker_loop(
             request_worker_seed(request_seed, 0),
             0,
@@ -964,6 +1325,7 @@ pub(crate) fn run_mechanism<M: GenerativeModel + ?Sized>(
             max_candidates,
             &selection,
             &threshold,
+            collect_probes,
         )]
     } else {
         std::thread::scope(|scope| {
@@ -982,6 +1344,7 @@ pub(crate) fn run_mechanism<M: GenerativeModel + ?Sized>(
                         max_candidates,
                         selection,
                         threshold,
+                        collect_probes,
                     )
                 }));
             }
@@ -994,10 +1357,19 @@ pub(crate) fn run_mechanism<M: GenerativeModel + ?Sized>(
 
     let mut stats = MechanismStats::default();
     let mut profile = WorkerProfile::default();
+    let mut probes: Vec<CandidateProbe> = Vec::new();
     for result in worker_results {
-        let (s, p) = result?;
+        let (s, p, mut worker_probes) = result?;
         stats.merge(&s);
         profile.merge(&p);
+        probes.append(&mut worker_probes);
+    }
+    if let Some(out) = probes_out {
+        // Each worker kept its smallest-ranked probes; the merged smallest
+        // `MAX_TRACE_PROBES` ranks are therefore a true global prefix.
+        probes.sort_by_key(|probe| probe.rank);
+        probes.truncate(MAX_TRACE_PROBES);
+        *out = probes;
     }
     let heap = selection
         .into_inner()
@@ -1015,16 +1387,47 @@ pub(crate) fn run_mechanism<M: GenerativeModel + ?Sized>(
     // here instead of per worker.
     stats.released = records.len();
 
-    sgf_metrics::counter("core.mechanism.requests").incr();
-    sgf_metrics::counter("core.mechanism.candidates").add(stats.candidates as u64);
-    sgf_metrics::counter("core.mechanism.released").add(stats.released as u64);
-    sgf_metrics::counter("core.mechanism.records_examined").add(stats.records_examined as u64);
-    sgf_metrics::counter("core.mechanism.index_tests").add(stats.index_tests as u64);
-    sgf_metrics::counter("core.mechanism.scan_tests").add(stats.scan_tests as u64);
-    sgf_metrics::counter("core.mechanism.partition_tests").add(stats.partition_tests as u64);
-    sgf_metrics::counter("core.mechanism.selection_locks").add(profile.selection_locks);
-    sgf_metrics::counter("core.mechanism.outranked_passes").add(profile.outranked_passes);
-    sgf_metrics::summary("core.mechanism.workers").observe(workers as u64);
+    // Flush exactly once: the scoped handles below write both the global
+    // rollup and the scope cell, so a scoped request must not also run the
+    // unscoped block (it would double-count the rollup).
+    match scope {
+        Some(scope) => {
+            let view = sgf_metrics::scoped(scope);
+            view.counter("core.mechanism.requests").incr();
+            view.counter("core.mechanism.candidates")
+                .add(stats.candidates as u64);
+            view.counter("core.mechanism.released")
+                .add(stats.released as u64);
+            view.counter("core.mechanism.records_examined")
+                .add(stats.records_examined as u64);
+            view.counter("core.mechanism.index_tests")
+                .add(stats.index_tests as u64);
+            view.counter("core.mechanism.scan_tests")
+                .add(stats.scan_tests as u64);
+            view.counter("core.mechanism.partition_tests")
+                .add(stats.partition_tests as u64);
+            view.counter("core.mechanism.selection_locks")
+                .add(profile.selection_locks);
+            view.counter("core.mechanism.outranked_passes")
+                .add(profile.outranked_passes);
+            view.summary("core.mechanism.workers")
+                .observe(workers as u64);
+        }
+        None => {
+            sgf_metrics::counter("core.mechanism.requests").incr();
+            sgf_metrics::counter("core.mechanism.candidates").add(stats.candidates as u64);
+            sgf_metrics::counter("core.mechanism.released").add(stats.released as u64);
+            sgf_metrics::counter("core.mechanism.records_examined")
+                .add(stats.records_examined as u64);
+            sgf_metrics::counter("core.mechanism.index_tests").add(stats.index_tests as u64);
+            sgf_metrics::counter("core.mechanism.scan_tests").add(stats.scan_tests as u64);
+            sgf_metrics::counter("core.mechanism.partition_tests")
+                .add(stats.partition_tests as u64);
+            sgf_metrics::counter("core.mechanism.selection_locks").add(profile.selection_locks);
+            sgf_metrics::counter("core.mechanism.outranked_passes").add(profile.outranked_passes);
+            sgf_metrics::summary("core.mechanism.workers").observe(workers as u64);
+        }
+    }
 
     Ok((records, stats))
 }
@@ -1039,10 +1442,12 @@ fn worker_loop<M: GenerativeModel + ?Sized>(
     max_candidates: usize,
     selection: &Mutex<BinaryHeap<RankedRecord>>,
     threshold: &AtomicUsize,
-) -> Result<(MechanismStats, WorkerProfile)> {
+    collect_probes: bool,
+) -> Result<(MechanismStats, WorkerProfile, Vec<CandidateProbe>)> {
     let mut rng = StdRng::seed_from_u64(worker_seed);
     let mut stats = MechanismStats::default();
     let mut profile = WorkerProfile::default();
+    let mut probes: Vec<CandidateProbe> = Vec::new();
     let mut rank = worker;
     while rank < max_candidates {
         // Once the selection is full its max rank only decreases, and this
@@ -1058,6 +1463,21 @@ fn worker_loop<M: GenerativeModel + ?Sized>(
         };
         let report = mechanisms[which].propose(&mut rng)?;
         stats.observe(&report.outcome);
+        if collect_probes && probes.len() < MAX_TRACE_PROBES {
+            probes.push(CandidateProbe {
+                rank,
+                store: if report.outcome.via_classes {
+                    "partition"
+                } else if report.outcome.via_index {
+                    "inverted"
+                } else {
+                    "scan"
+                },
+                passed: report.outcome.passed,
+                plausible_seeds: report.outcome.plausible_seeds,
+                records_examined: report.outcome.records_examined,
+            });
+        }
         if report.released() {
             let mut heap = selection
                 .lock()
@@ -1088,7 +1508,7 @@ fn worker_loop<M: GenerativeModel + ?Sized>(
         }
         rank += workers;
     }
-    Ok((stats, profile))
+    Ok((stats, profile, probes))
 }
 
 #[cfg(test)]
@@ -1412,8 +1832,9 @@ mod tests {
     #[test]
     fn metrics_do_not_perturb_releases_and_counters_flow() {
         // Instrumentation never touches the request RNG streams: released
-        // records are byte-identical with metrics enabled and disabled.  The
-        // two halves share one test because `set_enabled` is process-global.
+        // records are byte-identical with metrics enabled and disabled,
+        // unscoped and scoped, traced and untraced.  The halves share one
+        // test because `set_enabled` is process-global.
         let data = generate_acs(3500, 43);
         let bkt = acs_bucketizer(&acs_schema());
         let session = small_engine(43).train(&data, &bkt).unwrap();
@@ -1429,6 +1850,47 @@ mod tests {
         assert!(
             delta.counter("core.mechanism.selection_locks")
                 >= delta.counter("core.mechanism.released")
+        );
+        // Untraced requests still carry provenance, with no trace spans.
+        assert_eq!(on.provenance.trace_spans, 0);
+        assert_eq!(on.provenance.seeds, session.seeds().len());
+        assert_eq!(on.provenance.workers, 4);
+        assert_eq!(on.provenance.k, 20);
+
+        // A scope-labeled handle with the trace ring live must release the
+        // exact same records: scoped cells and span commits happen strictly
+        // outside the proposal loop's RNG streams.
+        let scoped_session = session
+            .clone()
+            .with_scope(Scope::new().label("session", "equivalence"));
+        sgf_metrics::trace().set_enabled(true);
+        let traced = scoped_session.generate(&request).unwrap();
+        sgf_metrics::trace().set_enabled(false);
+        assert_eq!(on.synthetics.records(), traced.synthetics.records());
+        // Released records and counts are the deterministic contract; raw
+        // candidate counts at workers > 1 depend on how quickly workers see
+        // the rank threshold, so they are not compared across runs.
+        assert_eq!(on.stats.released, traced.stats.released);
+        // Root + proposals + one span per captured probe.
+        assert_eq!(
+            traced.provenance.trace_spans,
+            2 + traced.stats.candidates.min(MAX_TRACE_PROBES)
+        );
+        let events = sgf_metrics::trace().events_with_label("session", "equivalence");
+        assert!(events.iter().any(|e| e.name == "core.generate"));
+        assert!(events.iter().any(|e| e.name == "core.privacy_test"));
+        // The scope cell saw exactly this request's counters.
+        let cell = &sgf_metrics::global().snapshot().scopes["session=equivalence"];
+        assert_eq!(
+            cell.counter("core.mechanism.candidates"),
+            traced.stats.candidates as u64
+        );
+        // And the provenance JSON is well-formed canonical JSON.
+        let json = traced.provenance_json().render();
+        let parsed = sgf_metrics::json::parse(&json).expect("provenance JSON parses");
+        assert_eq!(
+            parsed.get("store").and_then(|s| s.as_str()),
+            Some(traced.provenance.store)
         );
 
         sgf_metrics::set_enabled(false);

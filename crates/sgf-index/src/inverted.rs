@@ -133,6 +133,15 @@ impl InvertedIndexStore {
         sgf_metrics::counter("index.inverted.builds").incr();
         sgf_metrics::timer("index.inverted.build").observe(start.elapsed());
         sgf_metrics::summary("index.inverted.posting_bytes").observe(store.posting_bytes() as u64);
+        sgf_metrics::trace().record(
+            "index.inverted.build",
+            &[("store", "inverted")],
+            &[
+                ("records", store.len as u64),
+                ("posting_bytes", store.posting_bytes() as u64),
+            ],
+            start.elapsed(),
+        );
         Ok(store)
     }
 
@@ -166,6 +175,10 @@ impl InvertedIndexStore {
 impl SeedStore for InvertedIndexStore {
     fn len(&self) -> usize {
         self.len
+    }
+
+    fn kind(&self) -> &'static str {
+        "inverted"
     }
 
     fn plausible_candidates<'s>(

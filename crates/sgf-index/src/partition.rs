@@ -100,6 +100,16 @@ impl PartitionIndexStore {
         sgf_metrics::timer("index.partition.build").observe(start.elapsed());
         sgf_metrics::summary("index.partition.classes").observe(store.class_count() as u64);
         sgf_metrics::summary("index.partition.largest_class").observe(store.largest_class() as u64);
+        sgf_metrics::trace().record(
+            "index.partition.build",
+            &[("store", "partition")],
+            &[
+                ("records", store.len as u64),
+                ("classes", store.class_count() as u64),
+                ("largest_class", store.largest_class() as u64),
+            ],
+            start.elapsed(),
+        );
         Ok(store)
     }
 
@@ -179,6 +189,10 @@ impl PartitionIndexStore {
 impl SeedStore for PartitionIndexStore {
     fn len(&self) -> usize {
         self.len
+    }
+
+    fn kind(&self) -> &'static str {
+        "partition"
     }
 
     fn plausible_candidates<'s>(

@@ -27,6 +27,12 @@ pub trait SeedStore: Send + Sync + std::fmt::Debug {
     /// seed dataset the privacy test scans.
     fn len(&self) -> usize;
 
+    /// A short stable identifier of the store implementation (`"scan"`,
+    /// `"inverted"`, `"partition"`), used in provenance blocks and trace
+    /// labels.  Purely observational — never branch mechanism decisions on
+    /// it (the stores are decision-equivalent by contract).
+    fn kind(&self) -> &'static str;
+
     /// Whether the store indexes zero records.
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -138,6 +144,10 @@ impl LinearScanStore {
 impl SeedStore for LinearScanStore {
     fn len(&self) -> usize {
         self.len
+    }
+
+    fn kind(&self) -> &'static str {
+        "scan"
     }
 
     fn plausible_candidates<'s>(

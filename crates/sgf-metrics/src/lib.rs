@@ -7,6 +7,16 @@
 //! minimal [`json`] value type used to persist snapshots and benchmark
 //! documents without external dependencies.
 //!
+//! Two observability layers sit on top of the registry:
+//!
+//! * **Label scoping** ([`Scope`] / [`ScopedView`]): an ordered label set
+//!   (`session=acs`, `shard=0`) fans every metric into a per-scope cell
+//!   while preserving the global rollup — snapshots nest the cells under
+//!   `scopes`, and a scope-free snapshot renders exactly as before.
+//! * **Span traces** ([`Trace`] / [`TraceBatch`]): a bounded ring buffer of
+//!   `{span, parent, labels, counter deltas, noisy wall clock}` events with
+//!   batch-atomic commits and a kill-switch, off by default.
+//!
 //! Two invariants shape everything here:
 //!
 //! 1. **Instrumentation must not perturb the measured system.**  Metric
@@ -37,12 +47,16 @@
 
 pub mod json;
 mod registry;
+mod scope;
+mod trace;
 
 pub use json::{Json, ParseError};
 pub use registry::{
-    counter, enabled, global, set_enabled, summary, summary_bucket, timer, Counter, Registry,
-    Snapshot, Summary, SummaryStats, Timer, TimerGuard, TimerStats, SUMMARY_BUCKETS,
+    counter, enabled, global, scoped, set_enabled, summary, summary_bucket, timer, Counter,
+    Registry, Snapshot, Summary, SummaryStats, Timer, TimerGuard, TimerStats, SUMMARY_BUCKETS,
 };
+pub use scope::{Scope, ScopedCounter, ScopedSummary, ScopedTimer, ScopedView};
+pub use trace::{trace, SpanId, Trace, TraceBatch, TraceEvent, TRACE_CAPACITY};
 
 /// Pads and aligns a value to (at least) a cache-line boundary so two hot
 /// atomics owned by different workers never share a line (false sharing).

@@ -14,6 +14,7 @@
 //!   poison-tolerant, and disabled metrics degrade to no-ops.
 
 use crate::json::Json;
+use crate::scope::{Scope, ScopedView};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
@@ -247,6 +248,33 @@ impl SummaryStats {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// An upper bound on the `q`-quantile (`0 < q <= 1`) reconstructed from
+    /// the log2 buckets: the smallest bucket upper edge at which the
+    /// cumulative count reaches `ceil(q * count)`, capped at the observed
+    /// max.  Within a factor of 2 of the true quantile — enough for
+    /// admission-control signals like a p95 `retry_after_ms`.  Returns 0
+    /// when nothing was observed.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(*bucket);
+            if cumulative >= target {
+                // Bucket i >= 1 holds [2^(i-1), 2^i); bucket 0 holds zero.
+                let edge = match i {
+                    0 => 0,
+                    _ if i >= 64 => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+                return edge.min(self.max);
+            }
+        }
+        self.max
+    }
 }
 
 enum Metric {
@@ -263,6 +291,9 @@ enum Metric {
 #[derive(Default)]
 pub struct Registry {
     metrics: Mutex<BTreeMap<String, Metric>>,
+    /// Per-scope cell registries, keyed by the scope's canonical rendering.
+    /// Cells never nest further (a cell's own `scopes` map stays empty).
+    scopes: Mutex<BTreeMap<String, Arc<Registry>>>,
 }
 
 impl Registry {
@@ -318,8 +349,26 @@ impl Registry {
         }
     }
 
+    /// The cell registry for `scope`, created on first use.  Cells hold the
+    /// per-scope values only; the rollup lives in `self`.
+    pub fn scope_registry(&self, scope: &Scope) -> Arc<Registry> {
+        let key = scope.render();
+        let mut scopes = self.scopes.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            scopes
+                .entry(key)
+                .or_insert_with(|| Arc::new(Registry::new())),
+        )
+    }
+
+    /// A view of this registry through `scope`: handles it hands out update
+    /// both the global metric and the scope's cell (see [`ScopedView`]).
+    pub fn scoped(&self, scope: &Scope) -> ScopedView<'_> {
+        ScopedView::new(self, self.scope_registry(scope))
+    }
+
     /// A consistent point-in-time view of every registered metric, in sorted
-    /// name order.
+    /// name order, including every scope cell under `scopes`.
     pub fn snapshot(&self) -> Snapshot {
         let metrics = self.locked();
         let mut snapshot = Snapshot::default();
@@ -335,6 +384,11 @@ impl Registry {
                     snapshot.summaries.insert(name.clone(), s.stats());
                 }
             }
+        }
+        drop(metrics);
+        let scopes = self.scopes.lock().unwrap_or_else(|e| e.into_inner());
+        for (key, cell) in scopes.iter() {
+            snapshot.scopes.insert(key.clone(), cell.snapshot());
         }
         snapshot
     }
@@ -361,6 +415,11 @@ pub fn summary(name: &str) -> Arc<Summary> {
     global().summary(name)
 }
 
+/// A view of the [`global`] registry through `scope`.
+pub fn scoped(scope: &Scope) -> ScopedView<'static> {
+    global().scoped(scope)
+}
+
 /// A deterministic point-in-time view of a [`Registry`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Snapshot {
@@ -370,6 +429,10 @@ pub struct Snapshot {
     pub timers: BTreeMap<String, TimerStats>,
     /// Summary statistics by name.
     pub summaries: BTreeMap<String, SummaryStats>,
+    /// Per-scope cell snapshots, keyed by [`Scope::render`] output.  Empty
+    /// for registries that never handed out a scoped view — in which case
+    /// the JSON rendering is exactly the pre-scoping format.
+    pub scopes: BTreeMap<String, Snapshot>,
 }
 
 impl Snapshot {
@@ -413,12 +476,37 @@ impl Snapshot {
                 },
             );
         }
+        for (key, cell) in &self.scopes {
+            let before = earlier.scopes.get(key);
+            let zero = Snapshot::default();
+            delta
+                .scopes
+                .insert(key.clone(), cell.delta(before.unwrap_or(&zero)));
+        }
         delta
     }
 
     /// Counter value by name (0 when absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A copy holding only the deterministic parts: counters (recursively,
+    /// per scope cell too), with timers and summaries — whose wall clocks
+    /// and latency buckets are noisy — dropped.  This is what the serve
+    /// `metrics` verb returns by default so identically-seeded runs produce
+    /// byte-identical documents.
+    pub fn counters_only(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.clone(),
+            timers: BTreeMap::new(),
+            summaries: BTreeMap::new(),
+            scopes: self
+                .scopes
+                .iter()
+                .map(|(key, cell)| (key.clone(), cell.counters_only()))
+                .collect(),
+        }
     }
 
     /// Render the snapshot as a canonical JSON document.
@@ -428,6 +516,18 @@ impl Snapshot {
 
     /// The snapshot as a [`Json`] value.
     pub fn as_json(&self) -> Json {
+        match self.as_json_inner(true) {
+            Json::Obj(mut root) => {
+                root.insert("schema_version".to_string(), Json::Int(1));
+                Json::Obj(root)
+            }
+            other => other,
+        }
+    }
+
+    /// The object body; `root` controls whether scope cells nest (cells are
+    /// rendered without a redundant `schema_version` and never nest again).
+    fn as_json_inner(&self, root: bool) -> Json {
         let mut counters = BTreeMap::new();
         for (name, value) in &self.counters {
             counters.insert(name.clone(), Json::from(*value));
@@ -457,12 +557,21 @@ impl Snapshot {
             obj.insert("buckets".to_string(), Json::Obj(buckets));
             summaries.insert(name.clone(), Json::Obj(obj));
         }
-        let mut root = BTreeMap::new();
-        root.insert("schema_version".to_string(), Json::Int(1));
-        root.insert("counters".to_string(), Json::Obj(counters));
-        root.insert("timers".to_string(), Json::Obj(timers));
-        root.insert("summaries".to_string(), Json::Obj(summaries));
-        Json::Obj(root)
+        let mut obj = BTreeMap::new();
+        obj.insert("counters".to_string(), Json::Obj(counters));
+        obj.insert("timers".to_string(), Json::Obj(timers));
+        obj.insert("summaries".to_string(), Json::Obj(summaries));
+        // Scope cells nest one level down; the key is absent entirely for a
+        // scope-free snapshot, keeping the root format (and every pre-scoping
+        // BENCH_*.json document) byte-for-byte unchanged.
+        if root && !self.scopes.is_empty() {
+            let mut scopes = BTreeMap::new();
+            for (key, cell) in &self.scopes {
+                scopes.insert(key.clone(), cell.as_json_inner(false));
+            }
+            obj.insert("scopes".to_string(), Json::Obj(scopes));
+        }
+        Json::Obj(obj)
     }
 
     /// Parse a snapshot back from its JSON rendering.
@@ -532,6 +641,13 @@ impl Snapshot {
                         buckets,
                     },
                 );
+            }
+        }
+        if let Some(scopes) = doc.get("scopes").and_then(Json::as_obj) {
+            for (key, cell) in scopes {
+                snapshot
+                    .scopes
+                    .insert(key.clone(), Self::from_json_value(cell)?);
             }
         }
         Ok(snapshot)
@@ -686,6 +802,75 @@ mod tests {
         assert_eq!(summary.stats().count, 0);
         counter.incr();
         assert_eq!(counter.get(), 1);
+    }
+
+    #[test]
+    fn scoped_snapshots_nest_delta_and_round_trip() {
+        let registry = Registry::new();
+        registry.counter("c").add(1);
+        let a = Scope::new().label("session", "a");
+        let b = Scope::new().label("session", "b");
+        registry.scoped(&a).counter("c").add(2);
+        registry.scoped(&b).counter("c").add(3);
+        registry.scoped(&a).summary("s").observe(40);
+        let before = registry.snapshot();
+        // Rollup = unscoped + both cells.
+        assert_eq!(before.counter("c"), 6);
+        assert_eq!(before.scopes["session=a"].counter("c"), 2);
+        assert_eq!(before.scopes["session=b"].counter("c"), 3);
+        // JSON round-trips with nested scopes, and the rendering is stable.
+        let json = before.to_json();
+        let parsed = Snapshot::from_json(&json).unwrap();
+        assert_eq!(parsed, before);
+        assert_eq!(parsed.to_json(), json);
+        // Deltas recurse into cells (a fresh cell deltas from zero).
+        registry.scoped(&a).counter("c").add(5);
+        registry
+            .scoped(&Scope::new().label("session", "new"))
+            .counter("c")
+            .incr();
+        let delta = registry.snapshot().delta(&before);
+        assert_eq!(delta.counter("c"), 6);
+        assert_eq!(delta.scopes["session=a"].counter("c"), 5);
+        assert_eq!(delta.scopes["session=b"].counter("c"), 0);
+        assert_eq!(delta.scopes["session=new"].counter("c"), 1);
+        // counters_only keeps counters and scope cells, drops the rest.
+        let counters = registry.snapshot().counters_only();
+        assert!(counters.summaries.is_empty());
+        assert!(counters.scopes["session=a"].summaries.is_empty());
+        assert_eq!(counters.scopes["session=a"].counter("c"), 7);
+    }
+
+    #[test]
+    fn scope_free_snapshot_json_has_no_scopes_key() {
+        let registry = Registry::new();
+        registry.counter("c").incr();
+        assert!(!registry.snapshot().to_json().contains("\"scopes\""));
+    }
+
+    #[test]
+    fn quantile_upper_bound_reads_the_buckets() {
+        let registry = Registry::new();
+        let summary = registry.summary("s");
+        assert_eq!(summary.stats().quantile_upper_bound(0.95), 0);
+        for _ in 0..95 {
+            summary.observe(3); // bucket 2: [2, 4)
+        }
+        for _ in 0..5 {
+            summary.observe(100); // bucket 7: [64, 128)
+        }
+        let stats = summary.stats();
+        // p50 lands in the [2, 4) bucket; upper edge is 3.
+        assert_eq!(stats.quantile_upper_bound(0.50), 3);
+        // p95 still lands in the low bucket (95 of 100 observations).
+        assert_eq!(stats.quantile_upper_bound(0.95), 3);
+        // p99 crosses into the tail bucket and caps at the observed max.
+        assert_eq!(stats.quantile_upper_bound(0.99), 100);
+        assert_eq!(stats.quantile_upper_bound(1.0), 100);
+        // A single observation: every quantile is bounded by it.
+        let one = registry.summary("one");
+        one.observe(7);
+        assert_eq!(one.stats().quantile_upper_bound(0.95), 7);
     }
 
     #[test]

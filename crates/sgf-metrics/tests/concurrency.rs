@@ -1,15 +1,23 @@
 //! Determinism of the metrics registry under `std::thread::scope`
 //! concurrency: counts are exact (no lost updates), snapshot iteration order
-//! is canonical, and the JSON schema round-trips.
+//! is canonical, the JSON schema round-trips, and scoped cells partition the
+//! global rollup exactly.
 
-use sgf_metrics::{Registry, Snapshot};
+use sgf_metrics::{Registry, Scope, Snapshot, SpanId, Trace, TraceBatch};
+use std::sync::RwLock;
 use std::time::Duration;
+
+/// Serializes the kill-switch test (write lock) against every test that
+/// needs the process-wide enable flag to stay on (read lock): the flag is
+/// global, so flipping it mid-hammer would drop another test's updates.
+static ENABLE_GATE: RwLock<()> = RwLock::new(());
 
 const THREADS: u64 = 8;
 const INCREMENTS: u64 = 10_000;
 
 #[test]
 fn concurrent_counter_updates_are_exact() {
+    let _on = ENABLE_GATE.read().unwrap();
     let registry = Registry::new();
     std::thread::scope(|scope| {
         for t in 0..THREADS {
@@ -33,6 +41,7 @@ fn concurrent_counter_updates_are_exact() {
 
 #[test]
 fn concurrent_timers_and_summaries_lose_no_observations() {
+    let _on = ENABLE_GATE.read().unwrap();
     let registry = Registry::new();
     std::thread::scope(|scope| {
         for t in 0..THREADS {
@@ -62,6 +71,7 @@ fn concurrent_timers_and_summaries_lose_no_observations() {
 
 #[test]
 fn snapshot_order_and_json_are_deterministic_across_registration_order() {
+    let _on = ENABLE_GATE.read().unwrap();
     // Two registries populated by threads racing in opposite orders still
     // snapshot identically: iteration order is the sorted name order, not
     // registration order.
@@ -95,7 +105,135 @@ fn snapshot_order_and_json_are_deterministic_across_registration_order() {
 }
 
 #[test]
+fn concurrent_scoped_writers_sum_exactly_to_the_global_rollup() {
+    let _on = ENABLE_GATE.read().unwrap();
+    let registry = Registry::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = &registry;
+            scope.spawn(move || {
+                // Each thread hammers its own session cell plus a shared one.
+                let own = registry.scoped(&Scope::new().label("session", &format!("s{t}")));
+                let shared = registry.scoped(&Scope::new().label("session", "shared"));
+                let own_counter = own.counter("core.released");
+                let shared_counter = shared.counter("core.released");
+                let own_summary = own.summary("serve.generate_ms");
+                for i in 0..INCREMENTS {
+                    own_counter.add(3);
+                    shared_counter.incr();
+                    if i % 100 == 0 {
+                        own_summary.observe(i);
+                    }
+                }
+            });
+        }
+    });
+    let snapshot = registry.snapshot();
+    // Per-scope cells partition the rollup: summing every cell reproduces the
+    // global value exactly — no lost updates, no double counting.
+    let cell_sum: u64 = snapshot
+        .scopes
+        .values()
+        .map(|cell| cell.counter("core.released"))
+        .sum();
+    assert_eq!(cell_sum, snapshot.counter("core.released"));
+    assert_eq!(cell_sum, THREADS * INCREMENTS * 4);
+    assert_eq!(
+        snapshot.scopes["session=shared"].counter("core.released"),
+        THREADS * INCREMENTS
+    );
+    // Summary observation counts partition the same way.
+    let summary_sum: u64 = snapshot
+        .scopes
+        .values()
+        .filter_map(|cell| cell.summaries.get("serve.generate_ms"))
+        .map(|s| s.count)
+        .sum();
+    assert_eq!(summary_sum, snapshot.summaries["serve.generate_ms"].count);
+    // Scope iteration order is the sorted rendering, deterministically.
+    let keys: Vec<&String> = snapshot.scopes.keys().collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+    // And the nested document round-trips.
+    let parsed = Snapshot::from_json(&snapshot.to_json()).expect("scoped snapshot parses");
+    assert_eq!(parsed, snapshot);
+}
+
+#[test]
+fn kill_switch_zeroes_scoped_and_trace_overhead() {
+    // `set_enabled(false)` must stop every write: global cells, scope cells,
+    // and trace commits.  The write lock keeps every enabled-dependent test
+    // out while the process-wide flag is down.
+    let _exclusive = ENABLE_GATE.write().unwrap();
+    let registry = Registry::new();
+    let trace = Trace::new(16);
+    trace.set_enabled(true);
+    let view = registry.scoped(&Scope::new().label("session", "off"));
+    let counter = view.counter("c");
+    let summary = view.summary("s");
+    sgf_metrics::set_enabled(false);
+    counter.add(5);
+    summary.observe(9);
+    let mut batch = TraceBatch::new();
+    batch.span("root", SpanId::NONE);
+    let committed = trace.commit(batch);
+    sgf_metrics::set_enabled(true);
+    assert_eq!(committed, 0);
+    assert!(trace.events().is_empty());
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.counter("c"), 0);
+    assert_eq!(snapshot.scopes["session=off"].counter("c"), 0);
+    assert_eq!(snapshot.scopes["session=off"].summaries["s"].count, 0);
+    // Back on: the same handles work again.
+    counter.incr();
+    assert_eq!(counter.cell_value(), 1);
+}
+
+#[test]
+fn concurrent_trace_commits_keep_batches_contiguous() {
+    let _on = ENABLE_GATE.read().unwrap();
+    // Batches from racing threads may interleave in arbitrary order, but
+    // every batch's spans stay contiguous with intact parent links — commit
+    // is atomic per batch.
+    let trace = Trace::new(4096);
+    trace.set_enabled(true);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let trace = &trace;
+            scope.spawn(move || {
+                for _ in 0..100 {
+                    let mut batch = TraceBatch::new();
+                    let root = batch.span("root", SpanId::NONE);
+                    batch.label(root, "thread", &format!("{t}"));
+                    let child = batch.span("child", root);
+                    batch.counter(child, "work", t);
+                    trace.commit(batch);
+                }
+            });
+        }
+    });
+    let events = trace.events();
+    assert_eq!(events.len(), (THREADS as usize) * 200);
+    for pair in events.chunks(2) {
+        assert_eq!(pair.len(), 2, "batches never split");
+        assert_eq!(pair[0].name, "root");
+        assert_eq!(pair[1].name, "child");
+        assert_eq!(pair[1].parent, pair[0].span);
+        assert_eq!(pair[1].span, pair[0].span + 1);
+        // The child's counter matches the root's thread label: no cross-batch
+        // mixing.
+        let thread: u64 = pair[0]
+            .label("thread")
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert_eq!(pair[1].counter("work"), Some(thread));
+    }
+}
+
+#[test]
 fn snapshot_json_schema_round_trips_through_text() {
+    let _on = ENABLE_GATE.read().unwrap();
     let registry = Registry::new();
     registry.counter("core.candidates").add(123_456_789);
     registry.counter("core.released").add(1_000);

@@ -9,17 +9,26 @@
 //!
 //! `--cap-releases N` caps the session at the composed (ε, δ) of `N` released
 //! records (omit to serve uncapped).  `--smoke` runs the end-to-end self-test
-//! used by `scripts/repro.sh` and CI: an ephemeral-port server, a 3-request
-//! client session sized so the third request must be rejected over budget,
-//! and a clean drain.
+//! used by `scripts/repro.sh` and CI: an ephemeral-port server with two named
+//! sessions, a capped-session request sequence sized so the third request
+//! must be rejected over budget, batch + streaming requests against the
+//! second session, `metrics` / `trace` verification (per-session cells sum
+//! to the global rollup; the generate span tree is complete), and a clean
+//! drain.  With `SGF_BENCH_DIR` set, the smoke writes its deterministic
+//! observability documents (`SMOKE_METRICS.json`, `SMOKE_TRACE.json`,
+//! `SMOKE_PROVENANCE.json`) there — two identically-seeded runs produce
+//! byte-identical files.
 
 use sgf_core::{GenerateRequest, PrivacyTestConfig, SynthesisEngine, SynthesisSession};
 use sgf_data::acs::{acs_bucketizer, acs_schema, generate_acs};
+use sgf_serve::json::Value;
 use sgf_serve::{
     cap_admitting, reject, serve, Client, ClientError, GenerateCall, ModelKind, ServeConfig,
     SessionEntry,
 };
+use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     addr: String,
@@ -141,15 +150,154 @@ fn main() -> ExitCode {
     }
 }
 
-/// End-to-end self-test: serve on an ephemeral port with a cap sized for
-/// exactly two of three requests, verify the rejection is machine-readable,
-/// and drain cleanly.
+/// Check the sum-to-rollup invariant of a counter-only `metrics` response:
+/// every counter present in any session cell must sum, across cells, to
+/// exactly its global rollup value (scoped handles write both).
+fn assert_cells_sum_to_rollup(response: &Value) {
+    let body = response.get("metrics").expect("metrics body");
+    let Some(Value::Object(global)) = body.get("counters") else {
+        panic!("metrics body has no counters object");
+    };
+    let Some(Value::Object(scopes)) = body.get("scopes") else {
+        panic!("metrics body has no scopes object (no session served anything?)");
+    };
+    let mut summed: BTreeMap<String, u64> = BTreeMap::new();
+    for cell in scopes.values() {
+        if let Some(Value::Object(counters)) = cell.get("counters") {
+            for (name, value) in counters {
+                *summed.entry(name.clone()).or_insert(0) +=
+                    value.as_u64().expect("counter must be a u64");
+            }
+        }
+    }
+    assert!(!summed.is_empty(), "expected scoped counters in the cells");
+    for (name, total) in &summed {
+        let rollup = global.get(name).and_then(Value::as_u64).unwrap_or(0);
+        assert_eq!(
+            rollup, *total,
+            "counter `{name}`: cells sum to {total} but the rollup is {rollup}"
+        );
+    }
+}
+
+/// The events array of a `trace` response.
+fn trace_events(response: &Value) -> &[Value] {
+    response
+        .get("trace")
+        .and_then(|t| t.get("events"))
+        .and_then(Value::as_array)
+        .expect("trace response carries an events array")
+}
+
+/// Check that a session's `trace` response contains a complete generate span
+/// tree: a `core.generate` root (store label), a `core.proposals` child, and
+/// per-candidate `core.privacy_test` spans carrying store + outcome labels.
+fn assert_generate_span_tree(events: &[Value], session: &str) {
+    let name = |e: &Value| {
+        e.get("name")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string()
+    };
+    let label_of = |e: &Value, key: &str| {
+        e.get("labels").and_then(Value::as_str).and_then(|labels| {
+            labels
+                .split(',')
+                .find_map(|pair| pair.strip_prefix(&format!("{key}=")).map(str::to_string))
+        })
+    };
+    let generate = events
+        .iter()
+        .find(|e| name(e) == "core.generate" && label_of(e, "session").as_deref() == Some(session))
+        .unwrap_or_else(|| panic!("no core.generate span labeled session={session}"));
+    assert!(
+        label_of(generate, "store").is_some(),
+        "core.generate must carry a store label"
+    );
+    let generate_span = generate
+        .get("span")
+        .and_then(Value::as_u64)
+        .expect("span id");
+    let proposals = events
+        .iter()
+        .find(|e| {
+            name(e) == "core.proposals"
+                && e.get("parent").and_then(Value::as_u64) == Some(generate_span)
+        })
+        .expect("core.generate must have a core.proposals child");
+    let proposals_span = proposals
+        .get("span")
+        .and_then(Value::as_u64)
+        .expect("span id");
+    let probes: Vec<&Value> = events
+        .iter()
+        .filter(|e| {
+            name(e) == "core.privacy_test"
+                && e.get("parent").and_then(Value::as_u64) == Some(proposals_span)
+        })
+        .collect();
+    assert!(
+        !probes.is_empty(),
+        "core.proposals must have per-candidate core.privacy_test children"
+    );
+    for probe in probes {
+        let store = label_of(probe, "store").expect("privacy_test carries a store label");
+        assert!(
+            ["scan", "inverted", "partition"].contains(&store.as_str()),
+            "unexpected store kind `{store}`"
+        );
+        let outcome = label_of(probe, "outcome").expect("privacy_test carries an outcome label");
+        assert!(
+            outcome == "pass" || outcome == "fail",
+            "unexpected outcome `{outcome}`"
+        );
+        assert!(
+            probe
+                .get("counters")
+                .and_then(|c| c.get("plausible_seeds"))
+                .and_then(Value::as_u64)
+                .is_some(),
+            "privacy_test counters must include plausible_seeds"
+        );
+    }
+    // The serve layer adds its own span over the whole job.
+    assert!(
+        events
+            .iter()
+            .any(|e| name(e) == "serve.job" && label_of(e, "session").as_deref() == Some(session)),
+        "no serve.job span labeled session={session}"
+    );
+}
+
+/// Write one observability artifact into `$SGF_BENCH_DIR` (no-op when the
+/// variable is unset).
+fn write_artifact(name: &str, content: &str) {
+    let Ok(dir) = std::env::var("SGF_BENCH_DIR") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let path = std::path::Path::new(&dir).join(name);
+    std::fs::create_dir_all(&dir).expect("creating SGF_BENCH_DIR failed");
+    std::fs::write(&path, content).expect("writing smoke artifact failed");
+    println!("wrote {}", path.display());
+}
+
+/// End-to-end self-test: serve two named sessions on an ephemeral port — the
+/// capped one sized for exactly two of three requests — then verify the
+/// machine-readable rejection, the provenance blocks, the labeled `metrics`
+/// snapshot (cells sum to the rollup), the `trace` span trees, and a clean
+/// drain.  Single-worker server and single-worker requests keep every
+/// observability document deterministic.
 fn smoke() -> ExitCode {
     let target = 10usize;
     println!("== sgf-serve smoke: train ==");
-    let session = train_demo_session(3_000, 11, 20);
-    let ledger_handle = session.clone();
-    let cap = cap_admitting(&session, 2 * target).expect("randomized test has a budget");
+    let acs = train_demo_session(3_000, 11, 20);
+    let census = train_demo_session(4_000, 23, 20);
+    let acs_ledger = acs.clone();
+    let census_ledger = census.clone();
+    let cap = cap_admitting(&acs, 2 * target).expect("randomized test has a budget");
     println!(
         "cap admits {} releases (epsilon {:.3}, delta {:.3e})",
         2 * target,
@@ -160,10 +308,16 @@ fn smoke() -> ExitCode {
     let handle = serve(
         ServeConfig {
             queue_capacity: 8,
-            workers: 2,
+            // One worker → jobs execute (and commit trace batches) in
+            // admission order, so the smoke's documents are deterministic.
+            workers: 1,
+            log_requests: true,
             ..ServeConfig::default()
         },
-        vec![SessionEntry::new(session).capped(cap)],
+        vec![
+            SessionEntry::new(acs).named("acs").capped(cap),
+            SessionEntry::new(census).named("census"),
+        ],
     )
     .expect("ephemeral bind failed");
     println!("== serving on {} ==", handle.addr());
@@ -174,8 +328,13 @@ fn smoke() -> ExitCode {
     // the worst case past the cap and be rejected at admission.
     for request_seed in 1..=3u64 {
         let call = GenerateCall::new(target)
+            .with_session("acs")
             .with_model(ModelKind::Marginal)
-            .with_request(GenerateRequest::new(target).with_seed(request_seed));
+            .with_request(
+                GenerateRequest::new(target)
+                    .with_seed(request_seed)
+                    .with_workers(1),
+            );
         match client.generate(&call) {
             Ok(release) => {
                 assert_eq!(
@@ -184,7 +343,7 @@ fn smoke() -> ExitCode {
                     "marginal must fill the target"
                 );
                 println!(
-                    "request {request_seed}: released {} records, cumulative epsilon {:.3}",
+                    "acs request {request_seed}: released {} records, cumulative epsilon {:.3}",
                     release.records.len(),
                     release.ledger_f64("total_epsilon").unwrap_or(f64::NAN)
                 );
@@ -195,7 +354,7 @@ fn smoke() -> ExitCode {
             }
             Err(ClientError::Rejected(rejection)) => {
                 println!(
-                    "request {request_seed}: rejected with code `{}` \
+                    "acs request {request_seed}: rejected with code `{}` \
                      (requested epsilon {:?}, cap epsilon {:?})",
                     rejection.code,
                     rejection
@@ -211,18 +370,155 @@ fn smoke() -> ExitCode {
         }
     }
 
-    // The shared ledger (visible through the cloned handle) matches: exactly
-    // two committed requests, no leaked reservations.
-    let ledger = ledger_handle.ledger();
+    // The second session serves the seed model, batch and streaming; its
+    // provenance blocks travel in the header / trailer respectively.
+    let batch = client
+        .generate(
+            &GenerateCall::new(target)
+                .with_session("census")
+                .with_request(GenerateRequest::new(target).with_seed(7).with_workers(1)),
+        )
+        .expect("census batch failed");
+    let store = batch
+        .provenance
+        .get("store")
+        .and_then(Value::as_str)
+        .expect("batch provenance carries a store kind")
+        .to_string();
+    assert_eq!(
+        batch.provenance.get("request_seed").and_then(Value::as_u64),
+        Some(7)
+    );
+    assert_eq!(
+        batch.provenance.get("workers").and_then(Value::as_u64),
+        Some(1)
+    );
+    assert!(
+        batch
+            .provenance
+            .get("trace_spans")
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "a traced batch must commit spans"
+    );
+    assert!(
+        batch
+            .provenance
+            .get("ledger")
+            .and_then(|l| l.get("before"))
+            .is_some(),
+        "provenance must carry the before/after ledger"
+    );
+    println!(
+        "census batch: released {} via the {store} store, {} trace spans",
+        batch.released,
+        batch
+            .provenance
+            .get("trace_spans")
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    );
+    let stream = client
+        .generate(
+            &GenerateCall::new(target)
+                .with_session("census")
+                .with_stream(true)
+                .with_request(GenerateRequest::new(target).with_seed(8).with_workers(1)),
+        )
+        .expect("census stream failed");
+    assert!(stream.streaming);
+    assert_eq!(
+        stream.provenance.get("workers").and_then(Value::as_u64),
+        Some(1),
+        "streaming proposes on one thread"
+    );
+    println!("census stream: released {}", stream.released);
+
+    // The worker commits each job's serve.job span *after* answering, so
+    // wait for the last job's span before snapshotting the trace ring.
+    let expected_jobs = 4u64; // 2 admitted acs + census batch + census stream
+    let mut trace_global = client.trace(None, false).expect("trace failed");
+    for _ in 0..200 {
+        let jobs = trace_events(&trace_global)
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("serve.job"))
+            .count() as u64;
+        if jobs >= expected_jobs {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        trace_global = client.trace(None, false).expect("trace failed");
+    }
+    assert!(
+        trace_global
+            .get("trace")
+            .and_then(|t| t.get("schema_version"))
+            .is_some(),
+        "trace response is canonical JSON with a schema_version"
+    );
+
+    // Per-session metrics cells must sum exactly to the global rollup.
+    let metrics_global = client.metrics(None, false).expect("metrics failed");
+    assert_cells_sum_to_rollup(&metrics_global);
+    let metrics_census = client
+        .metrics(Some("census"), false)
+        .expect("census metrics failed");
+    let census_requests = metrics_census
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get("core.mechanism.requests"))
+        .and_then(Value::as_u64);
+    assert_eq!(
+        census_requests,
+        Some(2),
+        "census served one batch and one stream"
+    );
+    println!("metrics: per-session cells sum to the global rollup");
+
+    // Each session's trace view holds its complete generate span tree.
+    let trace_acs = client.trace(Some("acs"), false).expect("acs trace failed");
+    assert_generate_span_tree(trace_events(&trace_acs), "acs");
+    let trace_census = client
+        .trace(Some("census"), false)
+        .expect("census trace failed");
+    assert_generate_span_tree(trace_events(&trace_census), "census");
+    println!("trace: complete generate span trees for both sessions");
+
+    // Deterministic observability documents for the perf-trajectory
+    // artifacts: counter-only metrics, wall-clock-free traces, and the
+    // batch provenance line.
+    let metrics_doc = metrics_global
+        .get("metrics")
+        .map(Value::render)
+        .expect("metrics body");
+    let trace_doc = trace_global
+        .get("trace")
+        .map(Value::render)
+        .expect("trace body");
+    write_artifact("SMOKE_METRICS.json", &format!("{metrics_doc}\n"));
+    write_artifact("SMOKE_TRACE.json", &format!("{trace_doc}\n"));
+    write_artifact(
+        "SMOKE_PROVENANCE.json",
+        &format!("{}\n", batch.provenance.render()),
+    );
+
+    // The shared ledgers (visible through the cloned handles) match: the
+    // capped session committed exactly two requests, no leaked reservations.
+    let ledger = acs_ledger.ledger();
     assert_eq!(ledger.requests, 2);
     assert_eq!(ledger.releases, 2 * target);
     assert_eq!(ledger.reserved, 0, "no reservation may leak");
     assert!(ledger.total().epsilon <= cap.epsilon);
+    let census_ledger = census_ledger.ledger();
+    assert_eq!(census_ledger.requests, 2);
+    assert_eq!(census_ledger.releases, batch.released + stream.released);
 
     client.shutdown().expect("shutdown failed");
     handle.join().expect("drain failed");
     println!(
-        "== sgf-serve smoke OK: 2 admitted, 1 over-budget reject, final epsilon {:.3} ==",
+        "== sgf-serve smoke OK: 2 admitted + 1 over-budget reject on acs, \
+         batch + stream on census, final epsilon {:.3} ==",
         ledger.total().epsilon
     );
     ExitCode::SUCCESS

@@ -72,6 +72,9 @@ pub struct Release {
     pub stats: Value,
     /// The server's cumulative ledger snapshot after this request.
     pub ledger: Value,
+    /// The server's provenance block for this request (store kind, request
+    /// parameters, ledger before/after, trace span count).
+    pub provenance: Value,
 }
 
 impl Release {
@@ -181,17 +184,19 @@ impl Client {
                 records.len()
             )));
         }
-        // Batch responses carry stats/ledger in the header, streams in the
-        // trailer.
+        // Batch responses carry stats/ledger/provenance in the header,
+        // streams in the trailer.
         let source = if streaming { &trailer } else { &header };
         let stats = source.get("stats").cloned().unwrap_or(Value::Null);
         let ledger = source.get("ledger").cloned().unwrap_or(Value::Null);
+        let provenance = source.get("provenance").cloned().unwrap_or(Value::Null);
         Ok(Release {
             records,
             released,
             streaming,
             stats,
             ledger,
+            provenance,
         })
     }
 
@@ -214,6 +219,34 @@ impl Client {
         self.send(
             &Request::Ledger {
                 session: session.to_string(),
+            }
+            .encode(),
+        )?;
+        Self::check_rejection(self.read_value()?)
+    }
+
+    /// Fetch the labeled metrics snapshot (the full response line): the
+    /// whole registry, or one session's cell when `session` is given.
+    /// `noisy` opts into timers and summaries; the default counter-only
+    /// document is deterministic across identically-seeded runs.
+    pub fn metrics(&mut self, session: Option<&str>, noisy: bool) -> ClientResult<Value> {
+        self.send(
+            &Request::Metrics {
+                session: session.map(str::to_string),
+                noisy,
+            }
+            .encode(),
+        )?;
+        Self::check_rejection(self.read_value()?)
+    }
+
+    /// Fetch recent trace span trees (the full response line), optionally
+    /// restricted to one session's trees.  `noisy` includes wall clocks.
+    pub fn trace(&mut self, session: Option<&str>, noisy: bool) -> ClientResult<Value> {
+        self.send(
+            &Request::Trace {
+                session: session.map(str::to_string),
+                noisy,
             }
             .encode(),
         )?;

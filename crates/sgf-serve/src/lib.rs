@@ -7,10 +7,17 @@
 //! cap on that composition under concurrency).
 //!
 //! * [`protocol`] — the JSON-lines TCP protocol: `generate` / `status` /
-//!   `ledger` / `shutdown` verbs, machine-readable rejection codes;
+//!   `ledger` / `metrics` / `trace` / `shutdown` verbs, machine-readable
+//!   rejection codes;
 //! * [`server`] — the std-only threaded server: accept loop, **bounded
 //!   request queue with backpressure**, worker pool fanning requests onto
-//!   `session.generate`, **atomic (ε, δ) admission control**, graceful drain;
+//!   `session.generate`, **atomic (ε, δ) admission control**, graceful
+//!   drain.  Every session is served under a `session=<name>` metric scope,
+//!   so the `metrics` verb reports per-session labeled cells that sum
+//!   exactly to the global rollup, and the `trace` verb returns the
+//!   deterministic span trees (train → generate → proposals → per-candidate
+//!   privacy tests) of recent requests.  `queue_full` rejections carry a
+//!   retry hint derived from the session's observed p95 service time;
 //! * [`client`] — a blocking client used by the tests, the example, and the
 //!   `sgf-serve --smoke` self-test;
 //! * [`queue`] — the bounded MPMC queue;

@@ -7,6 +7,8 @@
 //! | `generate` | `session` (default `"default"`), `target` (required), `seed`, `workers`, `max_candidate_factor`, `omega` (number or `{"lo","hi"}`), `seed_index` (`"scan"`/`"inverted"`/`"partition"`/`"auto"`), `stream` (bool), `model` (`"seed"`/`"marginal"`) |
 //! | `status` | — |
 //! | `ledger` | `session` |
+//! | `metrics` | `session` (optional: restrict to one session's cell), `noisy` (bool: include timers/summaries) |
+//! | `trace` | `session` (optional: restrict to one session's spans), `noisy` (bool: include wall clocks) |
 //! | `shutdown` | — |
 //!
 //! ## Responses
@@ -16,8 +18,15 @@
 //! (plus code-specific fields such as `retry_after_ms` or the requested/cap
 //! budgets).  A successful `generate` is a header line, one `{"record":[..]}`
 //! line per released record, and an `{"end":true,...}` trailer; batch
-//! responses carry stats/ledger in the header, streaming responses in the
-//! trailer (the counts are only known once the stream finishes).
+//! responses carry stats/ledger/provenance in the header, streaming responses
+//! in the trailer (the counts are only known once the stream finishes).
+//!
+//! `metrics` and `trace` answer with one line of canonical JSON.  Both are
+//! deterministic by default: `metrics` returns the counter-only labeled
+//! snapshot (per-scope cells always sum exactly to the global rollup) and
+//! `trace` returns span trees without wall clocks, so two identically-seeded
+//! server runs answer byte-identically.  `noisy:true` opts into the
+//! wall-clock-bearing variants.
 
 use crate::json::{escape, Value};
 use sgf_core::{GenerateRequest, SeedIndex};
@@ -152,6 +161,25 @@ pub enum Request {
         /// The session to report on.
         session: String,
     },
+    /// Report the labeled metrics snapshot (the whole registry, or one
+    /// session's cell).
+    Metrics {
+        /// Restrict the snapshot to this session's scope cell (`None`
+        /// returns the global rollup with every per-session cell attached).
+        session: Option<String>,
+        /// Include timers and summaries (wall-clock observations).  The
+        /// default counter-only snapshot is deterministic across
+        /// identically-seeded runs.
+        noisy: bool,
+    },
+    /// Report recent trace span trees from the deterministic trace ring.
+    Trace {
+        /// Restrict to span trees rooted at spans labeled with this session
+        /// (`None` returns every buffered event).
+        session: Option<String>,
+        /// Include noisy wall-clock durations on the spans.
+        noisy: bool,
+    },
     /// Drain the queue and stop the server.
     Shutdown,
 }
@@ -168,6 +196,8 @@ impl Request {
                     escape(session)
                 )
             }
+            Request::Metrics { session, noisy } => observe_verb_line("metrics", session, *noisy),
+            Request::Trace { session, noisy } => observe_verb_line("trace", session, *noisy),
             Request::Shutdown => "{\"verb\":\"shutdown\"}".to_string(),
         }
     }
@@ -187,6 +217,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "ledger" => Ok(Request::Ledger {
             session: session_name(&value)?,
         }),
+        "metrics" => Ok(Request::Metrics {
+            session: optional_session(&value)?,
+            noisy: noisy_flag(&value)?,
+        }),
+        "trace" => Ok(Request::Trace {
+            session: optional_session(&value)?,
+            noisy: noisy_flag(&value)?,
+        }),
         "generate" => parse_generate(&value).map(Request::Generate),
         other => Err(format!("unknown verb `{other}`")),
     }
@@ -200,6 +238,40 @@ fn session_name(value: &Value) -> Result<String, String> {
             .map(str::to_string)
             .ok_or_else(|| "field `session` must be a string".to_string()),
     }
+}
+
+/// `session` for the observability verbs: absent means "everything", so the
+/// default-session fallback of [`session_name`] does not apply.
+fn optional_session(value: &Value) -> Result<Option<String>, String> {
+    match value.get("session") {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| "field `session` must be a string".to_string()),
+    }
+}
+
+fn noisy_flag(value: &Value) -> Result<bool, String> {
+    match value.get("noisy") {
+        None => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| "field `noisy` must be a boolean".to_string()),
+    }
+}
+
+/// Encode a `metrics`/`trace` request line.
+fn observe_verb_line(verb: &str, session: &Option<String>, noisy: bool) -> String {
+    let mut line = format!("{{\"verb\":\"{verb}\"");
+    if let Some(session) = session {
+        line.push_str(&format!(",\"session\":\"{}\"", escape(session)));
+    }
+    if noisy {
+        line.push_str(",\"noisy\":true");
+    }
+    line.push('}');
+    line
 }
 
 fn parse_generate(value: &Value) -> Result<GenerateCall, String> {
@@ -308,14 +380,16 @@ pub fn batch_header_line(
     stats_json: &str,
     request_epsilon: f64,
     ledger_json: &str,
+    provenance_json: &str,
 ) -> String {
     format!(
         "{{\"ok\":true,\"verb\":\"generate\",\"streaming\":false,\"released\":{},\
-         \"stats\":{},\"request_epsilon\":{},\"ledger\":{}}}",
+         \"stats\":{},\"request_epsilon\":{},\"ledger\":{},\"provenance\":{}}}",
         released,
         stats_json,
         num(request_epsilon),
-        ledger_json
+        ledger_json,
+        provenance_json
     )
 }
 
@@ -343,9 +417,15 @@ pub fn batch_end_line(released: usize) -> String {
 }
 
 /// Trailer of a streaming `generate` response (counts are only known here).
-pub fn stream_end_line(released: usize, stats_json: &str, ledger_json: &str) -> String {
+pub fn stream_end_line(
+    released: usize,
+    stats_json: &str,
+    ledger_json: &str,
+    provenance_json: &str,
+) -> String {
     format!(
-        "{{\"end\":true,\"released\":{released},\"stats\":{stats_json},\"ledger\":{ledger_json}}}"
+        "{{\"end\":true,\"released\":{released},\"stats\":{stats_json},\
+         \"ledger\":{ledger_json},\"provenance\":{provenance_json}}}"
     )
 }
 
@@ -397,8 +477,53 @@ mod tests {
             Request::Ledger {
                 session: "a \"quoted\" name".to_string(),
             },
+            Request::Metrics {
+                session: None,
+                noisy: false,
+            },
+            Request::Metrics {
+                session: Some("census".to_string()),
+                noisy: true,
+            },
+            Request::Trace {
+                session: Some("a \"quoted\" name".to_string()),
+                noisy: false,
+            },
+            Request::Trace {
+                session: None,
+                noisy: true,
+            },
         ] {
             assert_eq!(parse_request(&request.encode()).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn observability_verbs_leave_the_session_filter_optional() {
+        // Unlike `ledger`, an absent `session` means "the whole registry",
+        // not the default session.
+        let parsed = parse_request(r#"{"verb":"metrics"}"#).unwrap();
+        assert_eq!(
+            parsed,
+            Request::Metrics {
+                session: None,
+                noisy: false
+            }
+        );
+        let parsed = parse_request(r#"{"verb":"trace","session":"acs","noisy":true}"#).unwrap();
+        assert_eq!(
+            parsed,
+            Request::Trace {
+                session: Some("acs".to_string()),
+                noisy: true
+            }
+        );
+        for (line, needle) in [
+            (r#"{"verb":"metrics","session":7}"#, "session"),
+            (r#"{"verb":"trace","noisy":"yes"}"#, "noisy"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err} (wanted {needle})");
         }
     }
 
@@ -468,22 +593,47 @@ mod tests {
             Some(50)
         );
 
-        let header = batch_header_line(2, "{\"candidates\":5}", 1.5, "{\"releases\":2}");
+        let header = batch_header_line(
+            2,
+            "{\"candidates\":5}",
+            1.5,
+            "{\"releases\":2}",
+            "{\"store\":\"partition\"}",
+        );
         let parsed = Value::parse(&header).unwrap();
         assert_eq!(parsed.get("released").and_then(Value::as_usize), Some(2));
         assert_eq!(
             parsed.get("request_epsilon").and_then(Value::as_f64),
             Some(1.5)
         );
+        assert_eq!(
+            parsed
+                .get("provenance")
+                .and_then(|p| p.get("store"))
+                .and_then(Value::as_str),
+            Some("partition")
+        );
 
         let record = Record::new(vec![3, 0, 65535]);
         let parsed = Value::parse(&record_line(&record)).unwrap();
         assert_eq!(parse_record_line(&parsed), Some(vec![3, 0, 65535]));
 
-        let end = stream_end_line(4, "{\"released\":4}", "{\"requests\":1}");
+        let end = stream_end_line(
+            4,
+            "{\"released\":4}",
+            "{\"requests\":1}",
+            "{\"store\":\"scan\"}",
+        );
         let parsed = Value::parse(&end).unwrap();
         assert_eq!(parsed.get("end").and_then(Value::as_bool), Some(true));
         assert_eq!(parsed.get("released").and_then(Value::as_usize), Some(4));
+        assert_eq!(
+            parsed
+                .get("provenance")
+                .and_then(|p| p.get("store"))
+                .and_then(Value::as_str),
+            Some("scan")
+        );
         assert_eq!(
             Value::parse(&stream_header_line())
                 .unwrap()

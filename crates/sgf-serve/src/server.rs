@@ -4,7 +4,8 @@
 //! ## Request lifecycle
 //!
 //! 1. A connection reader thread parses one JSON line into a
-//!    [`Request`].  `status` / `ledger` /
+//!    [`Request`] and assigns it a request id (the key tying its log lines
+//!    and trace span together).  `status` / `ledger` / `metrics` / `trace` /
 //!    `shutdown` are answered inline; `generate` goes through **admission**:
 //!    * a draining server rejects with `shutting_down`;
 //!    * a capped session must win an atomic budget reservation
@@ -25,6 +26,7 @@
 use crate::protocol::{self, reject, GenerateCall, ModelKind, Request, DEFAULT_SESSION};
 use crate::queue::{BoundedQueue, PushError};
 use sgf_core::{CoreError, ReleaseReport, SynthesisSession};
+use sgf_metrics::{Scope, SpanId, Trace, TraceBatch};
 use sgf_stats::DpBudget;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -32,7 +34,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -51,6 +53,13 @@ pub struct ServeConfig {
     /// knob making queue backpressure deterministic to exercise; `None` in
     /// production.
     pub service_delay: Option<Duration>,
+    /// Turn the process-wide deterministic trace ring on at startup, so the
+    /// `trace` verb has spans to report.  (Never turned back off: the ring
+    /// is shared, so one server must not blind another.)
+    pub trace: bool,
+    /// Emit one structured JSON log line per request (with its request id)
+    /// to stderr: parse failures, admission outcomes, and completions.
+    pub log_requests: bool,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +70,8 @@ impl Default for ServeConfig {
             workers: 4,
             retry_after_ms: 50,
             service_delay: None,
+            trace: true,
+            log_requests: false,
         }
     }
 }
@@ -162,6 +173,8 @@ struct Job {
     call: GenerateCall,
     reservation: Option<ReservationGuard>,
     out: Arc<Mutex<TcpStream>>,
+    /// Server-assigned id tying the job's log lines and trace span together.
+    request_id: u64,
 }
 
 struct ServerState {
@@ -172,7 +185,9 @@ struct ServerState {
     workers: usize,
     retry_after_ms: u64,
     service_delay: Option<Duration>,
+    log_requests: bool,
     addr: SocketAddr,
+    next_request_id: AtomicU64,
     next_conn_id: AtomicU64,
     /// Clones of the *live* connections, keyed by connection id, for
     /// disconnecting reader threads at teardown.  Each connection removes its
@@ -190,8 +205,13 @@ impl ServerState {
         if self.draining.swap(true, Ordering::SeqCst) {
             return;
         }
+        self.finish_drain();
+    }
+
+    /// The drain machinery behind the admission flag: close the queue and
+    /// wake the blocking `accept` with a throwaway connection.
+    fn finish_drain(&self) {
         self.queue.close();
-        // Wake the blocking `accept` with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
     }
 }
@@ -260,12 +280,19 @@ fn join_thread(handle: JoinHandle<()>) -> std::io::Result<()> {
 pub fn serve(config: ServeConfig, sessions: Vec<SessionEntry>) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    if config.trace {
+        sgf_metrics::trace().set_enabled(true);
+    }
     let mut map = HashMap::new();
     for entry in sessions {
+        // Every metric a session's requests emit lands in its own labeled
+        // cell (plus the global rollup) — the `metrics` verb's per-session
+        // view and the p95 retry hint both read that cell.
+        let scoped = entry.session.with_scope(session_scope(&entry.name));
         map.insert(
             entry.name,
             Registered {
-                session: entry.session,
+                session: scoped,
                 cap: entry.cap,
             },
         );
@@ -279,7 +306,9 @@ pub fn serve(config: ServeConfig, sessions: Vec<SessionEntry>) -> std::io::Resul
         workers,
         retry_after_ms: config.retry_after_ms,
         service_delay: config.service_delay,
+        log_requests: config.log_requests,
         addr,
+        next_request_id: AtomicU64::new(1),
         next_conn_id: AtomicU64::new(0),
         conns: Mutex::new(HashMap::new()),
         reader_handles: Mutex::new(Vec::new()),
@@ -364,23 +393,155 @@ fn write_line(out: &Mutex<TcpStream>, line: &str) {
     write_response(out, &format!("{line}\n"));
 }
 
-fn handle_line(line: &str, out: &Arc<Mutex<TcpStream>>, state: &Arc<ServerState>) {
-    match protocol::parse_request(line) {
-        Err(message) => write_line(
-            out,
-            &protocol::reject_line(reject::BAD_REQUEST, &message, &[]),
-        ),
-        Ok(Request::Status) => write_line(out, &status_line(state)),
-        Ok(Request::Ledger { session }) => match state.sessions.get(&session) {
-            None => write_line(out, &unknown_session_line(&session)),
-            Some(registered) => write_line(out, &ledger_line(&session, registered)),
-        },
-        Ok(Request::Shutdown) => {
-            state.begin_drain();
-            write_line(out, "{\"ok\":true,\"verb\":\"shutdown\",\"draining\":true}");
-        }
-        Ok(Request::Generate(call)) => admit_generate(call, out, state),
+/// The scope labeling everything a session's requests emit.  Keep this the
+/// single construction site: the registration wrap, the `metrics` cell
+/// lookup, the retry hint, and the worker's service-time summary must all
+/// agree on the rendered key.
+fn session_scope(name: &str) -> Scope {
+    Scope::new().label("session", name)
+}
+
+/// One structured JSON log line on stderr (when `log_requests` is on).
+/// Never `eprintln!`: a closed stderr must not panic a server thread (R3).
+fn log_request(state: &ServerState, request_id: u64, verb: &str, session: &str, outcome: &str) {
+    if !state.log_requests {
+        return;
     }
+    let _ = writeln!(
+        std::io::stderr().lock(),
+        "{{\"log\":\"serve.request\",\"request_id\":{},\"verb\":\"{}\",\"session\":\"{}\",\"outcome\":\"{}\"}}",
+        request_id,
+        crate::json::escape(verb),
+        crate::json::escape(session),
+        crate::json::escape(outcome),
+    );
+}
+
+fn handle_line(line: &str, out: &Arc<Mutex<TcpStream>>, state: &Arc<ServerState>) {
+    let request_id = state.next_request_id.fetch_add(1, Ordering::Relaxed);
+    match protocol::parse_request(line) {
+        Err(message) => {
+            log_request(state, request_id, "?", "", "bad_request");
+            write_line(
+                out,
+                &protocol::reject_line(reject::BAD_REQUEST, &message, &[]),
+            );
+        }
+        Ok(Request::Status) => {
+            log_request(state, request_id, "status", "", "ok");
+            write_line(out, &status_line(state));
+        }
+        Ok(Request::Ledger { session }) => match state.sessions.get(&session) {
+            None => {
+                log_request(state, request_id, "ledger", &session, "unknown_session");
+                write_line(out, &unknown_session_line(&session));
+            }
+            Some(registered) => {
+                log_request(state, request_id, "ledger", &session, "ok");
+                write_line(out, &ledger_line(&session, registered));
+            }
+        },
+        Ok(Request::Metrics { session, noisy }) => {
+            log_request(
+                state,
+                request_id,
+                "metrics",
+                session.as_deref().unwrap_or(""),
+                "ok",
+            );
+            write_line(out, &metrics_line(state, session.as_deref(), noisy));
+        }
+        Ok(Request::Trace { session, noisy }) => {
+            log_request(
+                state,
+                request_id,
+                "trace",
+                session.as_deref().unwrap_or(""),
+                "ok",
+            );
+            write_line(out, &trace_line(state, session.as_deref(), noisy));
+        }
+        Ok(Request::Shutdown) => {
+            log_request(state, request_id, "shutdown", "", "draining");
+            // Admission closes before the ack (a client that read the ack is
+            // guaranteed `shutting_down` on any later request), but the drain
+            // machinery — whose teardown eventually closes this connection —
+            // starts only after the ack is on the wire, so the ack cannot be
+            // lost to the teardown racing this write.
+            let already_draining = state.draining.swap(true, Ordering::SeqCst);
+            write_line(out, "{\"ok\":true,\"verb\":\"shutdown\",\"draining\":true}");
+            if !already_draining {
+                state.finish_drain();
+            }
+        }
+        Ok(Request::Generate(call)) => admit_generate(call, request_id, out, state),
+    }
+}
+
+/// Answer the `metrics` verb: the labeled snapshot of the process registry —
+/// counter-only (deterministic) unless `noisy` — either whole (global rollup
+/// plus every scope cell) or restricted to one registered session's cell.
+fn metrics_line(state: &ServerState, session: Option<&str>, noisy: bool) -> String {
+    let snapshot = sgf_metrics::global().snapshot();
+    let snapshot = if noisy {
+        snapshot
+    } else {
+        snapshot.counters_only()
+    };
+    match session {
+        None => format!(
+            "{{\"ok\":true,\"verb\":\"metrics\",\"noisy\":{},\"metrics\":{}}}",
+            noisy,
+            snapshot.to_json()
+        ),
+        Some(name) => {
+            if !state.sessions.contains_key(name) {
+                return unknown_session_line(name);
+            }
+            // A registered session that has served nothing yet has no cell;
+            // answer with an empty snapshot rather than a rejection.
+            let cell = snapshot
+                .scopes
+                .get(&session_scope(name).render())
+                .cloned()
+                .unwrap_or_default();
+            format!(
+                "{{\"ok\":true,\"verb\":\"metrics\",\"session\":\"{}\",\"noisy\":{},\"metrics\":{}}}",
+                crate::json::escape(name),
+                noisy,
+                cell.to_json()
+            )
+        }
+    }
+}
+
+/// Answer the `trace` verb: recent span trees from the deterministic trace
+/// ring — all of them, or only the trees rooted at spans labeled with the
+/// requested session.  Wall clocks are omitted unless `noisy`.
+fn trace_line(state: &ServerState, session: Option<&str>, noisy: bool) -> String {
+    let trace = sgf_metrics::trace();
+    let (filter, events) = match session {
+        None => (String::new(), trace.events()),
+        Some(name) => {
+            if !state.sessions.contains_key(name) {
+                return unknown_session_line(name);
+            }
+            // Trace labels carry the scope-sanitized session name.
+            let scope = session_scope(name);
+            let value = scope.get("session").unwrap_or(name);
+            (
+                format!(",\"session\":\"{}\"", crate::json::escape(name)),
+                trace.events_with_label("session", value),
+            )
+        }
+    };
+    format!(
+        "{{\"ok\":true,\"verb\":\"trace\"{},\"noisy\":{},\"enabled\":{},\"trace\":{}}}",
+        filter,
+        noisy,
+        trace.enabled(),
+        Trace::events_json(&events, noisy).render()
+    )
 }
 
 fn status_line(state: &ServerState) -> String {
@@ -428,11 +589,39 @@ fn ledger_line(name: &str, registered: &Registered) -> String {
     )
 }
 
+/// The `retry_after_ms` hint for a full queue: the session's observed p95
+/// generate latency (from its scoped `serve.generate_ms` summary), falling
+/// back to the configured constant until at least one request completed.
+/// Honest backpressure: a client retrying after one typical service time
+/// finds a queue slot with high probability.
+fn retry_hint_ms(state: &ServerState, session: &str) -> u64 {
+    let observed = sgf_metrics::scoped(&session_scope(session))
+        .summary("serve.generate_ms")
+        .cell_stats();
+    if observed.count == 0 {
+        state.retry_after_ms
+    } else {
+        observed.quantile_upper_bound(0.95).max(1)
+    }
+}
+
 /// Admission control for one generate request: drain check, atomic budget
 /// reservation, bounded-queue push — each failure is a machine-readable
 /// rejection, and a reservation never outlives a failed admission.
-fn admit_generate(call: GenerateCall, out: &Arc<Mutex<TcpStream>>, state: &Arc<ServerState>) {
+fn admit_generate(
+    call: GenerateCall,
+    request_id: u64,
+    out: &Arc<Mutex<TcpStream>>,
+    state: &Arc<ServerState>,
+) {
     if state.draining.load(Ordering::SeqCst) {
+        log_request(
+            state,
+            request_id,
+            "generate",
+            &call.session,
+            "shutting_down",
+        );
         write_line(
             out,
             &protocol::reject_line(reject::SHUTTING_DOWN, "server is draining", &[]),
@@ -440,9 +629,17 @@ fn admit_generate(call: GenerateCall, out: &Arc<Mutex<TcpStream>>, state: &Arc<S
         return;
     }
     let Some(registered) = state.sessions.get(&call.session) else {
+        log_request(
+            state,
+            request_id,
+            "generate",
+            &call.session,
+            "unknown_session",
+        );
         write_line(out, &unknown_session_line(&call.session));
         return;
     };
+    let scope = session_scope(&call.session);
     let reservation = match registered.cap {
         None => None,
         Some(cap) => match registered.session.try_reserve(call.request.target, cap) {
@@ -451,7 +648,16 @@ fn admit_generate(call: GenerateCall, out: &Arc<Mutex<TcpStream>>, state: &Arc<S
                 call.request.target,
             )),
             Err(CoreError::BudgetCapExceeded { requested, cap }) => {
-                sgf_metrics::counter("serve.rejected_budget").incr();
+                sgf_metrics::scoped(&scope)
+                    .counter("serve.rejected_budget")
+                    .incr();
+                log_request(
+                    state,
+                    request_id,
+                    "generate",
+                    &call.session,
+                    "budget_exhausted",
+                );
                 write_line(
                     out,
                     &protocol::reject_line(
@@ -468,6 +674,7 @@ fn admit_generate(call: GenerateCall, out: &Arc<Mutex<TcpStream>>, state: &Arc<S
                 return;
             }
             Err(err) => {
+                log_request(state, request_id, "generate", &call.session, "bad_request");
                 write_line(
                     out,
                     &protocol::reject_line(reject::BAD_REQUEST, &err.to_string(), &[]),
@@ -476,30 +683,51 @@ fn admit_generate(call: GenerateCall, out: &Arc<Mutex<TcpStream>>, state: &Arc<S
             }
         },
     };
+    let session_name = call.session.clone();
     let job = Job {
         session: registered.session.clone(),
         call,
         reservation,
         out: Arc::clone(out),
+        request_id,
     };
     match state.queue.try_push(job) {
         Ok(()) => {
-            sgf_metrics::counter("serve.admitted").incr();
+            sgf_metrics::scoped(&scope).counter("serve.admitted").incr();
+            log_request(state, request_id, "generate", &session_name, "admitted");
         }
         Err(PushError::Full(job)) => {
+            sgf_metrics::scoped(&scope)
+                .counter("serve.rejected_queue_full")
+                .incr();
+            log_request(
+                state,
+                request_id,
+                "generate",
+                &job.call.session,
+                "queue_full",
+            );
             // Dropping the job aborts its reservation (guard).
             let out = Arc::clone(&job.out);
+            let retry_after = retry_hint_ms(state, &job.call.session);
             drop(job);
             write_line(
                 &out,
                 &protocol::reject_line(
                     reject::QUEUE_FULL,
                     "request queue is full, retry later",
-                    &[("retry_after_ms", state.retry_after_ms.to_string())],
+                    &[("retry_after_ms", retry_after.to_string())],
                 ),
             );
         }
         Err(PushError::Closed(job)) => {
+            log_request(
+                state,
+                request_id,
+                "generate",
+                &job.call.session,
+                "shutting_down",
+            );
             let out = Arc::clone(&job.out);
             drop(job);
             write_line(
@@ -513,12 +741,55 @@ fn admit_generate(call: GenerateCall, out: &Arc<Mutex<TcpStream>>, state: &Arc<S
 fn worker_loop(state: &Arc<ServerState>) {
     while let Some(job) = state.queue.pop() {
         state.busy_workers.fetch_add(1, Ordering::SeqCst);
+        // The injected delay is part of the simulated service time, so the
+        // clock starts before it: the p95 retry hint must reflect what a
+        // client actually waits for.
+        let started = Instant::now();
         if let Some(delay) = state.service_delay {
             std::thread::sleep(delay);
         }
+        let session_name = job.call.session.clone();
+        let request_id = job.request_id;
+        let streaming = job.call.stream;
         sgf_metrics::timer("serve.job").time(|| serve_job(job));
+        observe_service_time(
+            state,
+            &session_name,
+            request_id,
+            streaming,
+            started.elapsed(),
+        );
         state.busy_workers.fetch_sub(1, Ordering::SeqCst);
     }
+}
+
+/// Post-job observability: feed the session's observed service time into its
+/// scoped `serve.generate_ms` summary (the source of the p95 retry hint),
+/// commit a `serve.job` span to the trace ring, and log the completion.
+/// Strictly after the job ran — none of this can perturb the release path.
+fn observe_service_time(
+    state: &ServerState,
+    session_name: &str,
+    request_id: u64,
+    streaming: bool,
+    elapsed: Duration,
+) {
+    let scope = session_scope(session_name);
+    let millis = u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX);
+    sgf_metrics::scoped(&scope)
+        .summary("serve.generate_ms")
+        .observe(millis);
+    let trace = sgf_metrics::trace();
+    if trace.enabled() {
+        let mut batch = TraceBatch::new();
+        let root = batch.span("serve.job", SpanId::NONE);
+        batch.scope_labels(root, &scope);
+        batch.label(root, "mode", if streaming { "stream" } else { "batch" });
+        batch.counter(root, "request_id", request_id);
+        batch.wall(root, elapsed);
+        trace.commit(batch);
+    }
+    log_request(state, request_id, "generate", session_name, "done");
 }
 
 fn serve_job(job: Job) {
@@ -527,6 +798,7 @@ fn serve_job(job: Job) {
         call,
         reservation,
         out,
+        request_id: _,
     } = job;
     // The worker takes over the reservation: from here, the generate path (or
     // the explicit abort on the streaming path) settles it exactly once.
@@ -565,6 +837,7 @@ fn serve_batch(
                 &report.stats.to_json(),
                 report.request_budget().epsilon,
                 &report.ledger.to_json(),
+                &report.provenance_json().render(),
             );
             text.push('\n');
             for record in report.synthetics.records() {
@@ -646,16 +919,26 @@ fn serve_stream(
         }
     }
     let stats = iter.stats();
+    let provenance = iter.provenance();
     // Settle the part of the reservation the stream did not convert.
     if let Some(r) = reserved {
         // saturating: a stream that over-delivered (released > reserved)
         // must settle to zero, not underflow-panic the worker.
         session.abort_reservation(r.saturating_sub(stats.released));
     }
+    // The iterator never touches the metrics registry itself; the server
+    // flushes the finished stream's counters into the session's scope cell
+    // exactly once, here.
+    session.flush_stream_stats(&stats);
     let _ = writeln!(
         stream,
         "{}",
-        protocol::stream_end_line(released, &stats.to_json(), &session.ledger().to_json())
+        protocol::stream_end_line(
+            released,
+            &stats.to_json(),
+            &session.ledger().to_json(),
+            &provenance.to_json(&session.ledger()).render()
+        )
     );
     let _ = stream.flush();
 }

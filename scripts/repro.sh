@@ -45,12 +45,24 @@ echo
 echo "== sgf-lint invariants gate =="
 cargo run --release -q -p sgf-lint -- --json-out "$OUTDIR/lint_report.json"
 
-# End-to-end smoke of the release service: ephemeral-port server, a
-# 3-request client session (the third rejected over budget), clean drain.
+# End-to-end smoke of the release service: ephemeral-port server, two named
+# sessions (budget-capped and uncapped), batch + stream + rejected requests,
+# clean drain.  SGF_BENCH_DIR makes the smoke write its observability
+# documents — the per-session labeled metrics snapshot, the deterministic
+# trace span trees, and a release provenance block — into artifacts/ as
+# SMOKE_METRICS.json / SMOKE_TRACE.json / SMOKE_PROVENANCE.json; the
+# documents are canonical JSON, byte-identical across identically-seeded
+# runs (tested in crates/sgf-serve/tests/smoke_determinism.rs).
 echo
 echo "== sgf-serve smoke =="
 start=$SECONDS
-target/release/sgf-serve --smoke | tee "$OUTDIR/serve_smoke.txt"
+SGF_BENCH_DIR="$OUTDIR" target/release/sgf-serve --smoke | tee "$OUTDIR/serve_smoke.txt"
+for doc in SMOKE_METRICS.json SMOKE_TRACE.json SMOKE_PROVENANCE.json; do
+    if [ ! -s "$OUTDIR/$doc" ]; then
+        echo "ERROR: sgf-serve smoke did not write $doc" >&2
+        exit 1
+    fi
+done
 echo "== sgf-serve smoke finished in $((SECONDS - start))s =="
 
 for bin in "${BINARIES[@]}"; do

@@ -199,6 +199,10 @@ fn sixteen_thread_storm_admits_exactly_k_requests() {
 #[test]
 fn full_queue_rejects_with_retry_hint() {
     let session = train_session(32);
+    // A unique session name isolates this test's observed-latency cell: the
+    // storm test shares the process-global metrics registry, and a completed
+    // generate on the same session name would replace the configured retry
+    // constant with an observed p95.
     let handle = serve(
         ServeConfig {
             queue_capacity: 1,
@@ -207,7 +211,7 @@ fn full_queue_rejects_with_retry_hint() {
             service_delay: Some(Duration::from_millis(800)),
             ..ServeConfig::default()
         },
-        vec![SessionEntry::new(session)],
+        vec![SessionEntry::new(session).named("backpressure")],
     )
     .unwrap();
     let addr = handle.addr();
@@ -229,7 +233,7 @@ fn full_queue_rejects_with_retry_hint() {
         // A occupies the (slowed) worker...
         let a = scope.spawn(move || {
             let mut client = Client::connect(addr).unwrap();
-            client.generate(&storm_call(1))
+            client.generate(&storm_call(1).with_session("backpressure"))
         });
         wait_for(
             &|s| s.get("busy_workers").and_then(|v| v.as_u64()) == Some(1),
@@ -238,15 +242,17 @@ fn full_queue_rejects_with_retry_hint() {
         // ...B fills the queue...
         let b = scope.spawn(move || {
             let mut client = Client::connect(addr).unwrap();
-            client.generate(&storm_call(2))
+            client.generate(&storm_call(2).with_session("backpressure"))
         });
         wait_for(
             &|s| s.get("queue_depth").and_then(|v| v.as_u64()) == Some(1),
             "request B to be queued",
         );
-        // ...so C must bounce off the full queue with the retry hint.
+        // ...so C must bounce off the full queue with the retry hint.  No
+        // generate on this session has completed yet, so the hint is the
+        // configured fallback constant.
         let mut client = Client::connect(addr).unwrap();
-        match client.generate(&storm_call(3)) {
+        match client.generate(&storm_call(3).with_session("backpressure")) {
             Err(ClientError::Rejected(rejection)) => {
                 assert_eq!(rejection.code, reject::QUEUE_FULL);
                 assert_eq!(rejection.retry_after_ms, Some(25));
@@ -254,6 +260,111 @@ fn full_queue_rejects_with_retry_hint() {
             other => panic!("expected queue_full, got {other:?}"),
         }
         // The admitted requests still complete normally.
+        assert_eq!(a.join().unwrap().unwrap().records.len(), TARGET);
+        assert_eq!(b.join().unwrap().unwrap().records.len(), TARGET);
+    });
+
+    let mut closer = Client::connect(addr).unwrap();
+    closer.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Chaos knob: once a generate on the session has completed, `queue_full`
+/// rejections stop quoting the configured constant and instead carry the
+/// p95 upper bound of the session's *observed* service time — which, with
+/// an injected delay, is dominated by the delay itself.
+#[test]
+fn retry_hint_tracks_observed_service_time() {
+    let session = train_session(33);
+    let delay_ms: u64 = 200;
+    let handle = serve(
+        ServeConfig {
+            queue_capacity: 1,
+            workers: 1,
+            retry_after_ms: 25,
+            service_delay: Some(Duration::from_millis(delay_ms)),
+            ..ServeConfig::default()
+        },
+        vec![SessionEntry::new(session).named("chaos")],
+    )
+    .unwrap();
+    let addr = handle.addr();
+    let call = |seed: u64| storm_call(seed).with_session("chaos");
+
+    let wait_for = |predicate: &dyn Fn(&sgf::serve::json::Value) -> bool, what: &str| {
+        let mut client = Client::connect(addr).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let status = client.status().unwrap();
+            if predicate(&status) {
+                return;
+            }
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+
+    // One completed request seeds the session's service-time summary with a
+    // latency dominated by the injected delay.
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.generate(&call(1)).unwrap().records.len(), TARGET);
+    // The worker records the observation after writing the response; wait
+    // until the session's noisy metrics cell shows it.
+    {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let observed = client
+                .metrics(Some("chaos"), true)
+                .unwrap()
+                .get("metrics")
+                .and_then(|m| m.get("summaries"))
+                .and_then(|s| s.get("serve.generate_ms"))
+                .and_then(|s| s.get("count"))
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0);
+            if observed >= 1 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "service-time summary never recorded"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    std::thread::scope(|scope| {
+        let a = scope.spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            client.generate(&call(2))
+        });
+        wait_for(
+            &|s| s.get("busy_workers").and_then(|v| v.as_u64()) == Some(1),
+            "the worker to pick up the occupying request",
+        );
+        let b = scope.spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            client.generate(&call(3))
+        });
+        wait_for(
+            &|s| s.get("queue_depth").and_then(|v| v.as_u64()) == Some(1),
+            "the queue-filling request to be queued",
+        );
+        let mut client = Client::connect(addr).unwrap();
+        match client.generate(&call(4)) {
+            Err(ClientError::Rejected(rejection)) => {
+                assert_eq!(rejection.code, reject::QUEUE_FULL);
+                let hint = rejection.retry_after_ms.expect("queue_full carries a hint");
+                // Honest hint: at least the injected delay, not the config
+                // constant.
+                assert!(
+                    hint >= delay_ms,
+                    "hint {hint}ms below the {delay_ms}ms observed floor"
+                );
+                assert_ne!(hint, 25, "hint must come from the observed p95");
+            }
+            other => panic!("expected queue_full, got {other:?}"),
+        }
         assert_eq!(a.join().unwrap().unwrap().records.len(), TARGET);
         assert_eq!(b.join().unwrap().unwrap().records.len(), TARGET);
     });

@@ -215,6 +215,175 @@ fn disconnected_clients_are_pruned_from_server_state() {
     handle.join().unwrap();
 }
 
+/// The observability surface over TCP: provenance blocks ride the batch
+/// header and the stream trailer, the `metrics` verb exposes the session's
+/// labeled cell, and the `trace` verb returns the complete generate span
+/// tree — with unknown sessions rejected on both verbs.
+#[test]
+fn metrics_trace_and_provenance_expose_the_release_lifecycle() {
+    let session = train_session(47);
+    let handle = serve(
+        ServeConfig::default(),
+        vec![SessionEntry::new(session).named("obs")],
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Batch: the provenance block rides the header.
+    let batched = client
+        .generate(
+            &GenerateCall::new(8)
+                .with_session("obs")
+                .with_request(GenerateRequest::new(8).with_seed(3).with_workers(1)),
+        )
+        .unwrap();
+    let store = batched
+        .provenance
+        .get("store")
+        .and_then(|v| v.as_str())
+        .expect("provenance names its seed store");
+    assert!(
+        ["scan", "inverted", "partition"].contains(&store),
+        "unexpected store kind {store}"
+    );
+    assert_eq!(
+        batched
+            .provenance
+            .get("request_seed")
+            .and_then(|v| v.as_u64()),
+        Some(3)
+    );
+    assert!(
+        batched
+            .provenance
+            .get("ledger")
+            .and_then(|l| l.get("before"))
+            .is_some(),
+        "provenance carries the pre-request ledger snapshot"
+    );
+    assert!(
+        batched
+            .provenance
+            .get("trace_spans")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+            > 0,
+        "a traced batch generate records its span count"
+    );
+
+    // Stream: the same block rides the trailer.
+    let streamed = client
+        .generate(
+            &GenerateCall::new(8)
+                .with_session("obs")
+                .with_stream(true)
+                .with_request(GenerateRequest::new(8).with_seed(4).with_workers(1)),
+        )
+        .unwrap();
+    assert!(streamed.streaming);
+    assert!(
+        streamed.provenance.get("store").is_some(),
+        "stream trailer carries provenance"
+    );
+
+    // metrics: the session's labeled cell counts both finished requests
+    // (the stream's counters flush before its trailer is written, so the
+    // cell is current by the time the client reads this).
+    let response = client.metrics(Some("obs"), false).unwrap();
+    let counters = response
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .expect("session metrics carry counters");
+    assert_eq!(
+        counters
+            .get("core.mechanism.requests")
+            .and_then(|v| v.as_u64()),
+        Some(2)
+    );
+    assert_eq!(
+        counters
+            .get("core.mechanism.released")
+            .and_then(|v| v.as_u64()),
+        Some((batched.released + streamed.released) as u64)
+    );
+    // The deterministic default is counters-only; `noisy` opts into the
+    // wall-clock-bearing sections.
+    let summary_count = |response: &sgf::serve::json::Value| {
+        response
+            .get("metrics")
+            .and_then(|m| m.get("summaries"))
+            .and_then(|s| s.as_object())
+            .map_or(0, |entries| entries.len())
+    };
+    assert_eq!(summary_count(&response), 0);
+    let noisy = client.metrics(Some("obs"), true).unwrap();
+    assert!(summary_count(&noisy) > 0, "noisy metrics carry summaries");
+
+    // trace: the session's span trees include a complete generate lifecycle
+    // — generate root, proposals child, per-candidate privacy tests.
+    let response = client.trace(Some("obs"), false).unwrap();
+    assert_eq!(
+        response.get("enabled").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+    let events = response
+        .get("trace")
+        .and_then(|t| t.get("events"))
+        .and_then(|e| e.as_array())
+        .expect("trace returns an event array");
+    let labels_of = |event: &sgf::serve::json::Value| {
+        event
+            .get("labels")
+            .and_then(|v| v.as_str())
+            .unwrap_or_default()
+            .to_string()
+    };
+    let generate = events
+        .iter()
+        .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("core.generate"))
+        .expect("a core.generate span for the session");
+    assert!(labels_of(generate).contains("session=obs"));
+    assert!(labels_of(generate).contains("store="));
+    let root = generate.get("span").and_then(|v| v.as_u64()).unwrap();
+    let proposals = events
+        .iter()
+        .find(|e| {
+            e.get("name").and_then(|v| v.as_str()) == Some("core.proposals")
+                && e.get("parent").and_then(|v| v.as_u64()) == Some(root)
+        })
+        .expect("a core.proposals child span");
+    let proposals_span = proposals.get("span").and_then(|v| v.as_u64()).unwrap();
+    let probes: Vec<_> = events
+        .iter()
+        .filter(|e| {
+            e.get("name").and_then(|v| v.as_str()) == Some("core.privacy_test")
+                && e.get("parent").and_then(|v| v.as_u64()) == Some(proposals_span)
+        })
+        .collect();
+    assert!(!probes.is_empty(), "per-candidate privacy-test spans");
+    for probe in probes {
+        let labels = labels_of(probe);
+        assert!(labels.contains("outcome=pass") || labels.contains("outcome=fail"));
+    }
+    // Deterministic by default: no wall clocks unless `noisy`.
+    assert!(events.iter().all(|e| e.get("wall_nanos").is_none()));
+
+    // Unknown sessions are rejected on both observability verbs.
+    for result in [
+        client.metrics(Some("nope"), false),
+        client.trace(Some("nope"), false),
+    ] {
+        let err = result.unwrap_err();
+        assert!(matches!(
+            err,
+            ClientError::Rejected(r) if r.code == reject::UNKNOWN_SESSION
+        ));
+    }
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
 #[test]
 fn rejections_carry_machine_readable_codes() {
     let session = train_session(43);
