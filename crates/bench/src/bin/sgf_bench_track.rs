@@ -34,7 +34,7 @@ commands:
 defaults: --dir artifacts, --trajectory BENCH_TRAJECTORY.jsonl, --tolerance 0.05";
 
 /// The reproduction binaries `run` executes, in suite order.
-const SUITE: [&str; 12] = [
+const SUITE: [&str; 13] = [
     "fig1",
     "fig2",
     "fig3",
@@ -42,6 +42,7 @@ const SUITE: [&str; 12] = [
     "fig5",
     "fig6",
     "fig_index",
+    "fig_folding",
     "table1",
     "table2",
     "table3",

@@ -277,13 +277,15 @@ pub struct SeriesRecorder {
 
 /// The deterministic mechanism counters the `total` point mirrors (names
 /// without the `core.mechanism.` prefix).
-const MECHANISM_COUNTERS: [&str; 6] = [
+const MECHANISM_COUNTERS: [&str; 8] = [
     "candidates",
     "released",
     "records_examined",
     "index_tests",
     "scan_tests",
     "partition_tests",
+    "class_cache_hits",
+    "class_cache_misses",
 ];
 
 impl SeriesRecorder {

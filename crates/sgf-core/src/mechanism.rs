@@ -45,6 +45,13 @@ pub struct MechanismStats {
     /// model evaluation per class, members counted with multiplicity); for
     /// these, `records_examined` counts classes examined.
     pub partition_tests: usize,
+    /// Class-granularity tests whose per-class match row was served from the
+    /// session's class-match cache (no model evaluations at all; for these,
+    /// `records_examined` still counts the classes iterated).
+    pub class_cache_hits: usize,
+    /// Class-granularity tests that computed (and stored) their match row on
+    /// a cache miss.  Tests without a cache in play count in neither bucket.
+    pub class_cache_misses: usize,
 }
 
 impl MechanismStats {
@@ -70,6 +77,11 @@ impl MechanismStats {
         } else {
             self.scan_tests += 1;
         }
+        match outcome.cache_hit {
+            Some(true) => self.class_cache_hits += 1,
+            Some(false) => self.class_cache_misses += 1,
+            None => {}
+        }
     }
 
     /// Merge the statistics of another batch into this one.
@@ -80,19 +92,23 @@ impl MechanismStats {
         self.index_tests += other.index_tests;
         self.scan_tests += other.scan_tests;
         self.partition_tests += other.partition_tests;
+        self.class_cache_hits += other.class_cache_hits;
+        self.class_cache_misses += other.class_cache_misses;
     }
 
     /// Render the counters as a JSON object, so services and the bench
     /// binaries can emit machine-readable reports.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"candidates\":{},\"released\":{},\"records_examined\":{},\"index_tests\":{},\"scan_tests\":{},\"partition_tests\":{},\"pass_rate\":{}}}",
+            "{{\"candidates\":{},\"released\":{},\"records_examined\":{},\"index_tests\":{},\"scan_tests\":{},\"partition_tests\":{},\"class_cache_hits\":{},\"class_cache_misses\":{},\"pass_rate\":{}}}",
             self.candidates,
             self.released,
             self.records_examined,
             self.index_tests,
             self.scan_tests,
             self.partition_tests,
+            self.class_cache_hits,
+            self.class_cache_misses,
             crate::dp::json_f64(self.pass_rate())
         )
     }
@@ -410,6 +426,8 @@ mod tests {
             index_tests: 6,
             scan_tests: 4,
             partition_tests: 0,
+            class_cache_hits: 0,
+            class_cache_misses: 0,
         };
         let b = MechanismStats {
             candidates: 5,
@@ -418,6 +436,8 @@ mod tests {
             index_tests: 0,
             scan_tests: 2,
             partition_tests: 3,
+            class_cache_hits: 2,
+            class_cache_misses: 1,
         };
         a.merge(&b);
         assert_eq!(a.candidates, 15);
@@ -426,6 +446,8 @@ mod tests {
         assert_eq!(a.index_tests, 6);
         assert_eq!(a.scan_tests, 6);
         assert_eq!(a.partition_tests, 3);
+        assert_eq!(a.class_cache_hits, 2);
+        assert_eq!(a.class_cache_misses, 1);
         assert!((a.pass_rate() - 0.6).abs() < 1e-12);
         assert_eq!(MechanismStats::default().pass_rate(), 0.0);
     }

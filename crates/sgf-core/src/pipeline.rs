@@ -61,6 +61,13 @@ pub struct PipelineConfig {
     /// over the linear scan.  Defaults to [`SeedIndex::AUTO_MIN_SEEDS`]; set
     /// it to the measured scan/index crossover of the deployment hardware.
     pub auto_index_min_seeds: usize,
+    /// Attach a shared class-match cache to the session's partition store
+    /// (`sgf_index::ClassMatchCache`): seed-independent per-class match rows
+    /// are computed once per candidate likelihood projection and reused by
+    /// every request of the session.  Decisions, counts, and RNG streams are
+    /// bit-identical with the cache on or off — only repeated model
+    /// evaluations are skipped — so this defaults to `true`.
+    pub class_cache: bool,
     /// Master seed for all randomness in the pipeline.
     pub seed: u64,
 }
@@ -81,6 +88,7 @@ impl PipelineConfig {
             workers: 1,
             seed_index: SeedIndex::Auto,
             auto_index_min_seeds: SeedIndex::AUTO_MIN_SEEDS,
+            class_cache: true,
             seed: 0,
         }
     }

@@ -139,6 +139,13 @@ pub struct TestOutcome {
     /// than individual records.  Implies nothing about `via_index`: class
     /// counting is a third, coarser granularity.
     pub via_classes: bool,
+    /// Class-match cache consultation for this test: `None` when no cache
+    /// was in play (no cache attached to the store, or the model does not
+    /// qualify), `Some(true)` when the per-class match row was served from
+    /// the session cache, `Some(false)` when this test computed (and stored)
+    /// it.  Purely observational — decisions, counts, and the RNG stream are
+    /// identical either way (see `sgf_index::ClassMatchCache`).
+    pub cache_hit: Option<bool>,
 }
 
 /// Run the privacy test on the tuple `(M, D, d, y)` with the given
@@ -217,6 +224,7 @@ where
                 threshold,
                 via_index: false,
                 via_classes: false,
+                cache_hit: None,
             })
         }
     };
@@ -249,13 +257,36 @@ where
         model.likelihood_attributes(),
         model.exact_match_attributes(),
     ) {
+        // Consult the shared class-match cache first: when the model's
+        // likelihood set is contained in its exact-match set, the per-class
+        // partition comparison below is independent of the seed, of γ, and
+        // of all request randomness, so its row of booleans is computed once
+        // per candidate projection and shared across requests.  The closure
+        // is pure (no RNG, no shared state); a miss differs from the
+        // uncached path only in evaluating every class eagerly.
+        let lookup = store.class_match_row(
+            y,
+            model.likelihood_attributes(),
+            model.exact_match_attributes(),
+            &mut |representative| {
+                let p = model.probability(dataset.record(representative), y);
+                partition_index(p, config.gamma) == Some(seed_partition)
+            },
+        );
+        let cache_hit = lookup.as_ref().map(|l| l.hit);
         let mut plausible = 0usize;
         let mut examined = 0usize;
         let mut stopped = false;
         for class in classes {
             examined += 1;
-            let p = model.probability(dataset.record(class.representative), y);
-            if partition_index(p, config.gamma) != Some(seed_partition) {
+            let in_partition = match &lookup {
+                Some(lookup) => lookup.row[class.index],
+                None => {
+                    let p = model.probability(dataset.record(class.representative), y);
+                    partition_index(p, config.gamma) == Some(seed_partition)
+                }
+            };
+            if !in_partition {
                 continue;
             }
             // Count the class members one at a time — restricted to the
@@ -290,6 +321,7 @@ where
             threshold,
             via_index: false,
             via_classes: true,
+            cache_hit,
         });
     }
 
@@ -352,6 +384,7 @@ where
         threshold,
         via_index,
         via_classes: false,
+        cache_hit: None,
     })
 }
 

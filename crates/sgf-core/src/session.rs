@@ -120,6 +120,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Whether the session's partition store carries a shared class-match
+    /// cache (`sgf_index::ClassMatchCache`, default on).  Decisions and RNG
+    /// streams are identical either way; disabling it only forces every
+    /// request to re-evaluate the per-class model probabilities.
+    pub fn class_cache(mut self, enabled: bool) -> Self {
+        self.config.class_cache = enabled;
+        self
+    }
+
     /// Master seed for the data split and model learning.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
@@ -225,10 +234,13 @@ impl SynthesisEngine {
                     OmegaSpec::UniformRange { lo, .. } => lo,
                 };
                 let synthesizer = SeedSynthesizer::new(Arc::clone(&models.cpts), lo)?;
-                Some(PartitionIndexStore::build(
-                    &split.seeds,
-                    synthesizer.kept_attributes(),
-                )?)
+                let store =
+                    PartitionIndexStore::build(&split.seeds, synthesizer.kept_attributes())?;
+                Some(if self.config.class_cache {
+                    store.with_class_cache()
+                } else {
+                    store
+                })
             }
         };
         let index_build = if index.is_some() || partition.is_some() {
@@ -709,6 +721,10 @@ impl SynthesisSession {
                     .add(stats.scan_tests as u64);
                 view.counter("core.mechanism.partition_tests")
                     .add(stats.partition_tests as u64);
+                view.counter("core.mechanism.class_cache_hits")
+                    .add(stats.class_cache_hits as u64);
+                view.counter("core.mechanism.class_cache_misses")
+                    .add(stats.class_cache_misses as u64);
             }
             None => {
                 sgf_metrics::counter("core.mechanism.requests").incr();
@@ -720,6 +736,10 @@ impl SynthesisSession {
                 sgf_metrics::counter("core.mechanism.scan_tests").add(stats.scan_tests as u64);
                 sgf_metrics::counter("core.mechanism.partition_tests")
                     .add(stats.partition_tests as u64);
+                sgf_metrics::counter("core.mechanism.class_cache_hits")
+                    .add(stats.class_cache_hits as u64);
+                sgf_metrics::counter("core.mechanism.class_cache_misses")
+                    .add(stats.class_cache_misses as u64);
             }
         }
     }
@@ -1186,6 +1206,12 @@ fn commit_generate_trace(
     batch.counter(proposals, "index_tests", stats.index_tests as u64);
     batch.counter(proposals, "scan_tests", stats.scan_tests as u64);
     batch.counter(proposals, "partition_tests", stats.partition_tests as u64);
+    batch.counter(proposals, "class_cache_hits", stats.class_cache_hits as u64);
+    batch.counter(
+        proposals,
+        "class_cache_misses",
+        stats.class_cache_misses as u64,
+    );
     if stats.candidates > probes.len() {
         batch.counter(
             proposals,
@@ -1406,6 +1432,10 @@ pub(crate) fn run_mechanism<M: GenerativeModel + ?Sized>(
                 .add(stats.scan_tests as u64);
             view.counter("core.mechanism.partition_tests")
                 .add(stats.partition_tests as u64);
+            view.counter("core.mechanism.class_cache_hits")
+                .add(stats.class_cache_hits as u64);
+            view.counter("core.mechanism.class_cache_misses")
+                .add(stats.class_cache_misses as u64);
             view.counter("core.mechanism.selection_locks")
                 .add(profile.selection_locks);
             view.counter("core.mechanism.outranked_passes")
@@ -1423,6 +1453,10 @@ pub(crate) fn run_mechanism<M: GenerativeModel + ?Sized>(
             sgf_metrics::counter("core.mechanism.scan_tests").add(stats.scan_tests as u64);
             sgf_metrics::counter("core.mechanism.partition_tests")
                 .add(stats.partition_tests as u64);
+            sgf_metrics::counter("core.mechanism.class_cache_hits")
+                .add(stats.class_cache_hits as u64);
+            sgf_metrics::counter("core.mechanism.class_cache_misses")
+                .add(stats.class_cache_misses as u64);
             sgf_metrics::counter("core.mechanism.selection_locks").add(profile.selection_locks);
             sgf_metrics::counter("core.mechanism.outranked_passes").add(profile.outranked_passes);
             sgf_metrics::summary("core.mechanism.workers").observe(workers as u64);
@@ -1668,6 +1702,64 @@ mod tests {
                 index.stats.records_examined
             );
         }
+    }
+
+    #[test]
+    fn class_cache_never_perturbs_releases() {
+        // The instrumentation-equivalence bar for the class-match cache: a
+        // cache-on session and a cache-off session trained identically must
+        // release byte-identical records with identical candidate, count,
+        // and examined totals — only the hit/miss tallies may differ.
+        let data = generate_acs(4000, 44);
+        let bkt = acs_bucketizer(&acs_schema());
+        let cached = small_engine(44).train(&data, &bkt).unwrap();
+        let uncached = SynthesisEngine::builder()
+            .privacy_test(
+                PrivacyTestConfig::randomized(20, 4.0, 1.0).with_limits(Some(40), Some(2000)),
+            )
+            .omega(OmegaSpec::Fixed(9))
+            .max_candidate_factor(30)
+            .class_cache(false)
+            .seed(44)
+            .train(&data, &bkt)
+            .unwrap();
+        assert!(cached.partition_store().unwrap().class_cache().is_some());
+        assert!(uncached.partition_store().unwrap().class_cache().is_none());
+        for request_seed in 0..3u64 {
+            let request = GenerateRequest::new(15)
+                .with_seed(request_seed)
+                .with_seed_index(SeedIndex::Partition);
+            let a = cached.generate(&request).unwrap();
+            let b = uncached.generate(&request).unwrap();
+            assert_eq!(a.synthetics.records(), b.synthetics.records());
+            assert_eq!(a.stats.candidates, b.stats.candidates);
+            assert_eq!(a.stats.released, b.stats.released);
+            assert_eq!(a.stats.records_examined, b.stats.records_examined);
+            // The seed synthesizer's likelihood set equals its exact-match
+            // set, so every class-granularity test goes through the cache.
+            assert_eq!(
+                a.stats.class_cache_hits + a.stats.class_cache_misses,
+                a.stats.partition_tests
+            );
+            assert_eq!(b.stats.class_cache_hits, 0);
+            assert_eq!(b.stats.class_cache_misses, 0);
+        }
+        // Re-running a seed the session already served finds every candidate
+        // projection warm: all hits, zero misses.
+        let request = GenerateRequest::new(15)
+            .with_seed(0)
+            .with_seed_index(SeedIndex::Partition);
+        let again = cached.generate(&request).unwrap();
+        assert_eq!(again.stats.class_cache_misses, 0);
+        assert_eq!(again.stats.class_cache_hits, again.stats.partition_tests);
+        assert!(again.stats.class_cache_hits > 0);
+        let rows = cached
+            .partition_store()
+            .unwrap()
+            .class_cache()
+            .unwrap()
+            .rows();
+        assert!(rows > 0, "served requests must have populated rows");
     }
 
     #[test]

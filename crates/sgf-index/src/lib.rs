@@ -20,6 +20,11 @@
 //! * [`PartitionIndexStore`] — seeds collapsed into likelihood-equivalence
 //!   classes (identical generation probability for every candidate), so the
 //!   γ-partition check runs once per class and counts with multiplicity;
+//! * [`ClassMatchCache`] — an optional per-store cache of seed-independent
+//!   class-match rows, shared across every request of a session, so repeated
+//!   candidates with the same likelihood projection skip the per-class model
+//!   evaluations entirely (decisions stay bit-identical to the uncached
+//!   path);
 //! * [`IndexPermutation`] / [`RandomSubset`] — O(1)-random-access seeded
 //!   permutations, so the `max_check_plausible` early-termination knob can
 //!   examine a random subset without the per-candidate O(n) shuffle, and so
@@ -34,7 +39,9 @@ pub mod policy;
 pub mod store;
 
 pub use inverted::{InvertedIndexStore, PostingIntersection, MAX_INTERSECT_LISTS};
-pub use partition::{LikelihoodClass, LikelihoodClasses, PartitionIndexStore};
+pub use partition::{
+    ClassMatchCache, ClassMatchLookup, LikelihoodClass, LikelihoodClasses, PartitionIndexStore,
+};
 pub use permute::{IndexPermutation, RandomSubset};
 pub use policy::SeedIndex;
 pub use store::{CandidateIter, LinearScanStore, SeedStore};

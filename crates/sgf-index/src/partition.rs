@@ -23,6 +23,68 @@
 use crate::store::{CandidateIter, SeedStore};
 use sgf_data::{DataError, Dataset, Record};
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Cache key: the model's (normalized) likelihood attribute set and the
+/// candidate's projection onto it.
+type ClassMatchKey = (Vec<usize>, Vec<u16>);
+
+/// A shared, per-session cache of **seed-independent** class-match rows.
+///
+/// For a model whose likelihood set `L` is contained in its exact-match set
+/// `EM` (both declared), the per-class γ-partition comparison of the privacy
+/// test's class fast path is a pure function of the candidate — independent
+/// of the sampled seed, of γ, and of all request randomness.  Inside the
+/// class loop the seed's own probability is known positive, so the seed
+/// agrees with the candidate on `EM ⊇ L`; a class representative whose
+/// `L`-projection equals the candidate's therefore shares the seed's exact
+/// generation probability (same partition, any γ), while one that differs
+/// disagrees with the candidate on an exact-match attribute (probability
+/// zero, no partition).  The row of per-class booleans is thus keyed by
+/// `(L, candidate's L-projection)` alone and can be computed once and reused
+/// by every request of the session.
+///
+/// Only that deterministic row is ever cached.  Stochastic test outcomes,
+/// thresholds, plausible counts, and RNG draws never enter the cache, so the
+/// per-request decision/count/RNG streams are bit-identical to the uncached
+/// path.  Rows are populated under the map lock (`or_insert_with`), so each
+/// distinct key is computed exactly once regardless of thread scheduling —
+/// miss counts are a deterministic function of the set of keys touched.
+#[derive(Debug, Default)]
+pub struct ClassMatchCache {
+    rows: Mutex<BTreeMap<ClassMatchKey, Arc<Vec<bool>>>>,
+}
+
+impl ClassMatchCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ClassMatchCache::default()
+    }
+
+    /// Number of distinct `(likelihood set, projection)` rows currently held.
+    pub fn rows(&self) -> usize {
+        self.locked().len()
+    }
+
+    fn locked(&self) -> MutexGuard<'_, BTreeMap<ClassMatchKey, Arc<Vec<bool>>>> {
+        self.rows
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// Result of a class-match cache lookup: a shared row of per-class booleans
+/// (`row[class.index]` — is the class representative in the seed's
+/// γ-partition?) plus whether the row was served from the cache (`hit`) or
+/// computed by this call (`!hit`).
+#[derive(Debug, Clone)]
+pub struct ClassMatchLookup {
+    /// One boolean per store class, indexed by [`LikelihoodClass::index`].
+    pub row: Arc<Vec<bool>>,
+    /// `true` when the row was already cached; `false` when this lookup
+    /// computed (and stored) it.
+    pub hit: bool,
+}
 
 /// One likelihood-equivalence class: the seed records whose projections onto
 /// the store's key attributes are identical.
@@ -50,6 +112,11 @@ pub struct PartitionIndexStore {
     /// privacy test, and a BTreeMap keeps every future traversal of it
     /// deterministic by construction.
     by_projection: BTreeMap<Vec<u16>, u32>,
+    /// The shared class-match cache, if one was attached with
+    /// [`with_class_cache`](PartitionIndexStore::with_class_cache).  Clones
+    /// share the same cache (it travels by `Arc`), so every handle of a
+    /// session warms — and benefits from — one pool of rows.
+    cache: Option<Arc<ClassMatchCache>>,
 }
 
 impl PartitionIndexStore {
@@ -95,6 +162,7 @@ impl PartitionIndexStore {
             attributes: key,
             classes,
             by_projection,
+            cache: None,
         };
         sgf_metrics::counter("index.partition.builds").incr();
         sgf_metrics::timer("index.partition.build").observe(start.elapsed());
@@ -111,6 +179,19 @@ impl PartitionIndexStore {
             start.elapsed(),
         );
         Ok(store)
+    }
+
+    /// Attach a fresh [`ClassMatchCache`] to this store (builder style).
+    /// Clones of the store share the cache via `Arc`, so one per-session
+    /// store warms a single pool of rows across every request it serves.
+    pub fn with_class_cache(mut self) -> Self {
+        self.cache = Some(Arc::new(ClassMatchCache::new()));
+        self
+    }
+
+    /// The attached class-match cache, if any.
+    pub fn class_cache(&self) -> Option<&Arc<ClassMatchCache>> {
+        self.cache.as_ref()
     }
 
     /// The key attribute set `A` (ascending, deduplicated).
@@ -167,7 +248,7 @@ impl PartitionIndexStore {
             let class = self
                 .by_projection
                 .get(&projection)
-                .map(|&c| &self.classes[c as usize]);
+                .map(|&c| (c as usize, &self.classes[c as usize]));
             return ClassesState::Single(class);
         }
         // Walk every class, skipping those that provably disagree with the
@@ -180,7 +261,7 @@ impl PartitionIndexStore {
             .map(|(pos, &a)| (pos, candidate.get(a)))
             .collect();
         ClassesState::Walk {
-            classes: self.classes.iter(),
+            classes: self.classes.iter().enumerate(),
             prune,
         }
     }
@@ -227,27 +308,71 @@ impl SeedStore for PartitionIndexStore {
             state: self.pruned_classes(candidate, match_attributes),
         })
     }
+
+    fn class_match_row(
+        &self,
+        candidate: &Record,
+        likelihood_attributes: Option<&[usize]>,
+        match_attributes: Option<&[usize]>,
+        evaluate: &mut dyn FnMut(usize) -> bool,
+    ) -> Option<ClassMatchLookup> {
+        let cache = self.cache.as_ref()?;
+        if !self.covers(likelihood_attributes) {
+            // Without coverage there is no class fast path to serve.
+            return None;
+        }
+        let likelihood = likelihood_attributes?;
+        let matched = match_attributes?;
+        // Soundness gate: the row is request-independent only when every
+        // likelihood attribute is also exact-match guaranteed (`L ⊆ EM`, see
+        // the [`ClassMatchCache`] docs).  Models without that property fall
+        // back to per-request evaluation.
+        if !likelihood.iter().all(|a| matched.contains(a)) {
+            return None;
+        }
+        let mut key: Vec<usize> = likelihood.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        let projection: Vec<u16> = key.iter().map(|&a| candidate.get(a)).collect();
+        let mut hit = true;
+        let row = Arc::clone(cache.locked().entry((key, projection)).or_insert_with(|| {
+            // Populate eagerly — one evaluation per class representative —
+            // under the map lock, so each distinct key is computed exactly
+            // once no matter how requests interleave.  The closure is pure
+            // (no RNG, no shared state), so the extra evaluations relative
+            // to the lazy walk change nothing observable but time.
+            hit = false;
+            Arc::new(
+                self.classes
+                    .iter()
+                    .map(|class| evaluate(class.members[0] as usize))
+                    .collect(),
+            )
+        }));
+        Some(ClassMatchLookup { row, hit })
+    }
 }
 
-/// The two ways a class query walks the store.
+/// The two ways a class query walks the store.  Items carry the class's
+/// position in the store's class list, so cached match rows can be indexed.
 #[derive(Debug)]
 enum ClassesState<'a> {
     /// Every key attribute is exact-match constrained: the single class with
     /// the candidate's projection (or none).
-    Single(Option<&'a EquivalenceClass>),
+    Single(Option<(usize, &'a EquivalenceClass)>),
     /// Walk every class, pruning on `(projection position, candidate value)`
     /// pairs.
     Walk {
-        classes: std::slice::Iter<'a, EquivalenceClass>,
+        classes: std::iter::Enumerate<std::slice::Iter<'a, EquivalenceClass>>,
         prune: Vec<(usize, u16)>,
     },
 }
 
 impl<'a> ClassesState<'a> {
-    fn next_class(&mut self) -> Option<&'a EquivalenceClass> {
+    fn next_class(&mut self) -> Option<(usize, &'a EquivalenceClass)> {
         match self {
             ClassesState::Single(class) => class.take(),
-            ClassesState::Walk { classes, prune } => classes.find(|class| {
+            ClassesState::Walk { classes, prune } => classes.find(|(_, class)| {
                 prune
                     .iter()
                     .all(|&(pos, value)| class.projection[pos] == value)
@@ -269,6 +394,9 @@ pub struct LikelihoodClasses<'a> {
 /// One likelihood-equivalence class yielded by [`LikelihoodClasses`].
 #[derive(Debug, Clone, Copy)]
 pub struct LikelihoodClass<'a> {
+    /// Position of this class in the store's class list; indexes the rows of
+    /// the store's [`ClassMatchCache`] (see [`ClassMatchLookup`]).
+    pub index: usize,
     /// Index of the class representative in the seed dataset; every member
     /// has the same generation probability as the representative for every
     /// candidate.
@@ -281,10 +409,13 @@ impl<'a> Iterator for LikelihoodClasses<'a> {
     type Item = LikelihoodClass<'a>;
 
     fn next(&mut self) -> Option<LikelihoodClass<'a>> {
-        self.state.next_class().map(|class| LikelihoodClass {
-            representative: class.members[0] as usize,
-            members: &class.members,
-        })
+        self.state
+            .next_class()
+            .map(|(index, class)| LikelihoodClass {
+                index,
+                representative: class.members[0] as usize,
+                members: &class.members,
+            })
     }
 }
 
@@ -305,7 +436,7 @@ impl Iterator for ClassCandidates<'_> {
             if let Some(&idx) = self.current.next() {
                 return Some(idx as usize);
             }
-            self.current = self.classes.next_class()?.members.iter();
+            self.current = self.classes.next_class()?.1.members.iter();
         }
     }
 }
@@ -372,6 +503,7 @@ mod tests {
             .unwrap()
             .collect();
         assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].index, 0);
         assert_eq!(classes[0].representative, 0);
         assert_eq!(classes[0].members, &[0, 3, 5]);
         // A projection no seed has: no class at all.
@@ -397,6 +529,8 @@ mod tests {
             .collect();
         let reps: Vec<usize> = classes.iter().map(|c| c.representative).collect();
         assert_eq!(reps, vec![0, 1]);
+        let indices: Vec<usize> = classes.iter().map(|c| c.index).collect();
+        assert_eq!(indices, vec![0, 1]);
         // No exact-match guarantee at all: every class is yielded.
         let all = store.likelihood_classes(&y, Some(&[0]), None).unwrap();
         assert_eq!(all.count(), 3);
@@ -461,6 +595,94 @@ mod tests {
             s.plausible_candidates(&y, Some(&[0])).collect()
         };
         assert_eq!(expand(&a), expand(&b));
+    }
+
+    #[test]
+    fn class_match_rows_are_shared_and_projection_keyed() {
+        let store = PartitionIndexStore::build(&dataset(), &[0, 1])
+            .unwrap()
+            .with_class_cache();
+        let cache = Arc::clone(store.class_cache().unwrap());
+        let y = Record::new(vec![0, 0, 1]);
+        let mut evals = 0usize;
+        let lookup = store
+            .class_match_row(&y, Some(&[0, 1]), Some(&[0, 1]), &mut |rep| {
+                evals += 1;
+                rep == 0
+            })
+            .unwrap();
+        assert!(!lookup.hit, "first projection must miss");
+        assert_eq!(evals, store.class_count(), "miss populates the full row");
+        assert_eq!(lookup.row.as_slice(), &[true, false, false]);
+        assert_eq!(cache.rows(), 1);
+        // Same projection again: served from the cache, zero evaluations.
+        let mut again = 0usize;
+        let cached = store
+            .class_match_row(&y, Some(&[0, 1]), Some(&[0, 1]), &mut |_| {
+                again += 1;
+                false
+            })
+            .unwrap();
+        assert!(cached.hit);
+        assert_eq!(again, 0, "hits never re-evaluate");
+        assert_eq!(cached.row.as_slice(), lookup.row.as_slice());
+        // A different projection is a different row.
+        let other = Record::new(vec![1, 2, 0]);
+        let miss = store
+            .class_match_row(&other, Some(&[0, 1]), Some(&[0, 1]), &mut |rep| rep == 2)
+            .unwrap();
+        assert!(!miss.hit);
+        assert_eq!(cache.rows(), 2);
+        // Clones share the cache: a clone's lookup hits the warmed row.
+        let clone = store.clone();
+        assert!(
+            clone
+                .class_match_row(&y, Some(&[0, 1]), Some(&[0, 1]), &mut |_| false)
+                .unwrap()
+                .hit
+        );
+    }
+
+    #[test]
+    fn class_match_row_gates_on_cache_and_guarantees() {
+        let data = dataset();
+        let plain = PartitionIndexStore::build(&data, &[0, 1]).unwrap();
+        let y = Record::new(vec![0, 0, 0]);
+        let mut noop = |_: usize| true;
+        // No cache attached.
+        assert!(plain
+            .class_match_row(&y, Some(&[0]), Some(&[0]), &mut noop)
+            .is_none());
+        let cached = plain.clone().with_class_cache();
+        // Likelihood not covered by the key set: no class fast path at all.
+        assert!(cached
+            .class_match_row(&y, Some(&[2]), Some(&[2]), &mut noop)
+            .is_none());
+        // Likelihood not contained in the exact-match set: row would be
+        // seed-dependent, must not be cached.
+        assert!(cached
+            .class_match_row(&y, Some(&[0, 1]), Some(&[0]), &mut noop)
+            .is_none());
+        assert!(cached
+            .class_match_row(&y, Some(&[0]), None, &mut noop)
+            .is_none());
+        assert!(cached
+            .class_match_row(&y, None, Some(&[0]), &mut noop)
+            .is_none());
+        // Duplicate/unsorted likelihood sets normalize to one canonical key.
+        assert!(
+            !cached
+                .class_match_row(&y, Some(&[1, 0, 1]), Some(&[0, 1]), &mut noop)
+                .unwrap()
+                .hit
+        );
+        assert_eq!(cached.class_cache().unwrap().rows(), 1);
+        assert!(
+            cached
+                .class_match_row(&y, Some(&[0, 1]), Some(&[1, 0]), &mut noop)
+                .unwrap()
+                .hit
+        );
     }
 
     #[test]

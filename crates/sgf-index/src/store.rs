@@ -6,7 +6,7 @@ use sgf_data::{Dataset, Record};
 use std::ops::Range;
 
 use crate::inverted::PostingIntersection;
-use crate::partition::{ClassCandidates, LikelihoodClasses};
+use crate::partition::{ClassCandidates, ClassMatchLookup, LikelihoodClasses};
 
 /// A queryable store over the seed dataset `D_S`.
 ///
@@ -73,6 +73,29 @@ pub trait SeedStore: Send + Sync + std::fmt::Debug {
         _likelihood_attributes: Option<&[usize]>,
         _match_attributes: Option<&[usize]>,
     ) -> Option<LikelihoodClasses<'s>> {
+        None
+    }
+
+    /// A shared row of per-class γ-partition match booleans for `candidate`,
+    /// when the store holds a [`ClassMatchCache`](crate::ClassMatchCache)
+    /// and can prove the row is
+    /// request-independent (the model's likelihood set is contained in its
+    /// exact-match set — see
+    /// [`ClassMatchCache`](crate::ClassMatchCache)).  On a cache miss the
+    /// store populates the row by calling `evaluate` once per class
+    /// representative; `evaluate` must be a pure function of the
+    /// representative index (no RNG, no shared state).  Decisions derived
+    /// from the row are bit-identical to evaluating per request.
+    ///
+    /// The default (scan, inverted, and cache-less partition stores) is
+    /// `None`: no cacheable class structure — callers evaluate inline.
+    fn class_match_row(
+        &self,
+        _candidate: &Record,
+        _likelihood_attributes: Option<&[usize]>,
+        _match_attributes: Option<&[usize]>,
+        _evaluate: &mut dyn FnMut(usize) -> bool,
+    ) -> Option<ClassMatchLookup> {
         None
     }
 }

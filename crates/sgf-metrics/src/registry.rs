@@ -255,9 +255,16 @@ impl SummaryStats {
     /// max.  Within a factor of 2 of the true quantile — enough for
     /// admission-control signals like a p95 `retry_after_ms`.  Returns 0
     /// when nothing was observed.
+    ///
+    /// `q` outside `[0, 1]` — including NaN, whose `as u64` cast would
+    /// silently select the *first* bucket — answers the conservative upper
+    /// bound (the observed max) instead of an arbitrary bucket.
     pub fn quantile_upper_bound(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
+        }
+        if !(0.0..=1.0).contains(&q) {
+            return self.max;
         }
         let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut cumulative = 0u64;
@@ -367,6 +374,20 @@ impl Registry {
         ScopedView::new(self, self.scope_registry(scope))
     }
 
+    /// A view through `scope` only if its cell already exists — a read that
+    /// **never allocates** a new cell.
+    ///
+    /// Paths answering *unvalidated* client input must use this instead of
+    /// [`Registry::scoped`]: the allocating lookup would let a flood of
+    /// bogus scope keys (e.g. made-up session names) grow the process-global
+    /// registry without bound.
+    pub fn scoped_existing(&self, scope: &Scope) -> Option<ScopedView<'_>> {
+        let key = scope.render();
+        let scopes = self.scopes.lock().unwrap_or_else(|e| e.into_inner());
+        let cell = scopes.get(&key).map(Arc::clone)?;
+        Some(ScopedView::new(self, cell))
+    }
+
     /// A consistent point-in-time view of every registered metric, in sorted
     /// name order, including every scope cell under `scopes`.
     pub fn snapshot(&self) -> Snapshot {
@@ -418,6 +439,12 @@ pub fn summary(name: &str) -> Arc<Summary> {
 /// A view of the [`global`] registry through `scope`.
 pub fn scoped(scope: &Scope) -> ScopedView<'static> {
     global().scoped(scope)
+}
+
+/// A view of the [`global`] registry through `scope` only if its cell already
+/// exists; never allocates (see [`Registry::scoped_existing`]).
+pub fn scoped_existing(scope: &Scope) -> Option<ScopedView<'static>> {
+    global().scoped_existing(scope)
 }
 
 /// A deterministic point-in-time view of a [`Registry`].
@@ -871,6 +898,52 @@ mod tests {
         let one = registry.summary("one");
         one.observe(7);
         assert_eq!(one.stats().quantile_upper_bound(0.95), 7);
+    }
+
+    #[test]
+    fn quantile_upper_bound_is_nan_safe_and_clamped() {
+        let registry = Registry::new();
+        let summary = registry.summary("s");
+        for _ in 0..95 {
+            summary.observe(3);
+        }
+        for _ in 0..5 {
+            summary.observe(100);
+        }
+        let stats = summary.stats();
+        // Invalid q — NaN would have cast to 0 and picked the *first* bucket;
+        // all out-of-range inputs now answer the conservative observed max.
+        assert_eq!(stats.quantile_upper_bound(f64::NAN), 100);
+        assert_eq!(stats.quantile_upper_bound(-0.1), 100);
+        assert_eq!(stats.quantile_upper_bound(1.5), 100);
+        // Boundary q stays well-defined: q=0 bounds the smallest observation,
+        // q=1 the largest.
+        assert_eq!(stats.quantile_upper_bound(0.0), 3);
+        assert_eq!(stats.quantile_upper_bound(1.0), 100);
+        // An empty summary answers 0 regardless of q.
+        let empty = registry.summary("empty").stats();
+        assert_eq!(empty.quantile_upper_bound(f64::NAN), 0);
+        assert_eq!(empty.quantile_upper_bound(2.0), 0);
+    }
+
+    #[test]
+    fn scoped_existing_never_allocates_cells() {
+        let registry = Registry::new();
+        // No cell yet: the non-allocating read answers None and the scope
+        // map stays empty — this is the admission-path guarantee that bogus
+        // client-supplied scope keys cannot grow the registry.
+        let scope = Scope::new().label("session", "never-registered");
+        assert!(registry.scoped_existing(&scope).is_none());
+        assert!(registry.snapshot().scopes.is_empty());
+        // Once the allocating path has created the cell, the read finds it
+        // and its handles feed the same cell.
+        let real = Scope::new().label("session", "real");
+        registry.scoped(&real).counter("c").add(2);
+        let view = registry.scoped_existing(&real).expect("cell exists");
+        view.counter("c").incr();
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.scopes.len(), 1);
+        assert_eq!(snapshot.scopes["session=real"].counter("c"), 3);
     }
 
     #[test]

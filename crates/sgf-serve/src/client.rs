@@ -94,6 +94,9 @@ impl Client {
     /// Connect to a running server.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> ClientResult<Client> {
         let writer = TcpStream::connect(addr)?;
+        // Line-oriented request/response: leaving Nagle on costs a delayed-ACK
+        // round trip (~40ms) per call.  Best effort, as on the server side.
+        let _ = writer.set_nodelay(true);
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Client { reader, writer })
     }

@@ -53,6 +53,15 @@ pub struct ServeConfig {
     /// knob making queue backpressure deterministic to exercise; `None` in
     /// production.
     pub service_delay: Option<Duration>,
+    /// Request folding: a worker that pops a generate job also drains up to
+    /// `max_fold - 1` queued jobs for the *same session* and serves the whole
+    /// fold in one turn, so the fused sweep runs against a warm class-match
+    /// cache and the queue wakes fewer threads.  Folding never reorders a
+    /// session's admitted jobs, never crosses sessions, and each folded
+    /// request still gets its own response, reservation settlement, and
+    /// service-time observation — per-request outputs are byte-identical to
+    /// an unfolded run.  `<= 1` disables folding.
+    pub max_fold: usize,
     /// Turn the process-wide deterministic trace ring on at startup, so the
     /// `trace` verb has spans to report.  (Never turned back off: the ring
     /// is shared, so one server must not blind another.)
@@ -70,6 +79,7 @@ impl Default for ServeConfig {
             workers: 4,
             retry_after_ms: 50,
             service_delay: None,
+            max_fold: 8,
             trace: true,
             log_requests: false,
         }
@@ -185,6 +195,7 @@ struct ServerState {
     workers: usize,
     retry_after_ms: u64,
     service_delay: Option<Duration>,
+    max_fold: usize,
     log_requests: bool,
     addr: SocketAddr,
     next_request_id: AtomicU64,
@@ -306,6 +317,7 @@ pub fn serve(config: ServeConfig, sessions: Vec<SessionEntry>) -> std::io::Resul
         workers,
         retry_after_ms: config.retry_after_ms,
         service_delay: config.service_delay,
+        max_fold: config.max_fold,
         log_requests: config.log_requests,
         addr,
         next_request_id: AtomicU64::new(1),
@@ -341,6 +353,10 @@ fn accept_loop(listener: TcpListener, state: &Arc<ServerState>) {
             continue;
         };
         reap_finished_readers(state);
+        // The protocol is small request/response lines; Nagle + delayed ACK
+        // would add a ~40ms floor to every round trip on loopback.  Best
+        // effort: a socket that rejects the option still works, just slower.
+        let _ = stream.set_nodelay(true);
         let conn_id = state.next_conn_id.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
             locked(&state.conns).insert(conn_id, clone);
@@ -594,14 +610,17 @@ fn ledger_line(name: &str, registered: &Registered) -> String {
 /// back to the configured constant until at least one request completed.
 /// Honest backpressure: a client retrying after one typical service time
 /// finds a queue slot with high probability.
+///
+/// Reads the scope cell through the **non-allocating** lookup: the session
+/// name ultimately comes off the wire, and the allocating `scoped()` would
+/// let a flood of bogus names permanently grow the process-global registry —
+/// a scope cell may only ever be created for a registered session.
 fn retry_hint_ms(state: &ServerState, session: &str) -> u64 {
-    let observed = sgf_metrics::scoped(&session_scope(session))
-        .summary("serve.generate_ms")
-        .cell_stats();
-    if observed.count == 0 {
-        state.retry_after_ms
-    } else {
-        observed.quantile_upper_bound(0.95).max(1)
+    let observed = sgf_metrics::scoped_existing(&session_scope(session))
+        .map(|view| view.summary("serve.generate_ms").cell_stats());
+    match observed {
+        Some(stats) if stats.count > 0 => stats.quantile_upper_bound(0.95).max(1),
+        _ => state.retry_after_ms,
     }
 }
 
@@ -738,28 +757,86 @@ fn admit_generate(
     }
 }
 
+/// Folded-batch membership shared by every job of one coalesced worker turn.
+/// Only materialized for real folds (size > 1), so unfolded traffic —
+/// including the sequential smoke — renders byte-identical responses to a
+/// server without folding.
+struct FoldInfo {
+    /// Request ids of the fold's members, in service order.
+    members: Vec<u64>,
+}
+
 fn worker_loop(state: &Arc<ServerState>) {
     while let Some(job) = state.queue.pop() {
         state.busy_workers.fetch_add(1, Ordering::SeqCst);
-        // The injected delay is part of the simulated service time, so the
-        // clock starts before it: the p95 retry hint must reflect what a
-        // client actually waits for.
-        let started = Instant::now();
-        if let Some(delay) = state.service_delay {
-            std::thread::sleep(delay);
+        // Coalescing: fold queued same-session jobs into this service turn.
+        // Draining happens only at pop time — admission, capacity accounting,
+        // and backpressure semantics are untouched — and the fold preserves
+        // the session's admitted order, so per-request outputs stay exactly
+        // what the unfolded worker would have produced; the fused sweep just
+        // runs against a class-match cache the earlier members warmed.
+        let folded = if state.max_fold > 1 {
+            state.queue.drain_matching(
+                |queued| queued.call.session == job.call.session,
+                state.max_fold - 1,
+            )
+        } else {
+            Vec::new()
+        };
+        let fold = if folded.is_empty() {
+            None
+        } else {
+            let members: Vec<u64> = std::iter::once(job.request_id)
+                .chain(folded.iter().map(|j| j.request_id))
+                .collect();
+            record_fold(&job.call.session, &members);
+            Some(FoldInfo { members })
+        };
+        for job in std::iter::once(job).chain(folded) {
+            // The injected delay is part of the simulated service time, so
+            // the clock starts before it: the p95 retry hint must reflect
+            // what a client actually waits for.
+            let started = Instant::now();
+            if let Some(delay) = state.service_delay {
+                std::thread::sleep(delay);
+            }
+            let session_name = job.call.session.clone();
+            let request_id = job.request_id;
+            let streaming = job.call.stream;
+            sgf_metrics::timer("serve.job").time(|| serve_job(job, fold.as_ref()));
+            observe_service_time(
+                state,
+                &session_name,
+                request_id,
+                streaming,
+                started.elapsed(),
+            );
         }
-        let session_name = job.call.session.clone();
-        let request_id = job.request_id;
-        let streaming = job.call.stream;
-        sgf_metrics::timer("serve.job").time(|| serve_job(job));
-        observe_service_time(
-            state,
-            &session_name,
-            request_id,
-            streaming,
-            started.elapsed(),
-        );
         state.busy_workers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Observability for one real fold (size > 1): the session-scoped
+/// `serve.folds` / `serve.folded_requests` counters plus a `serve.fold` span
+/// recording the batch size and first member.  Strictly before the fold is
+/// served — and never emitted for unfolded traffic, so deterministic
+/// sequential runs see no new metrics or spans at all.
+fn record_fold(session_name: &str, members: &[u64]) {
+    let scope = session_scope(session_name);
+    let view = sgf_metrics::scoped(&scope);
+    view.counter("serve.folds").incr();
+    view.counter("serve.folded_requests")
+        .add(members.len().saturating_sub(1) as u64);
+    let trace = sgf_metrics::trace();
+    if trace.enabled() {
+        let mut batch = TraceBatch::new();
+        let root = batch.span("serve.fold", SpanId::NONE);
+        batch.scope_labels(root, &scope);
+        batch.counter(root, "fold_size", members.len() as u64);
+        if let Some(&first) = members.first() {
+            batch.counter(root, "first_request_id", first);
+        }
+        trace.commit(batch);
     }
 }
 
@@ -792,21 +869,50 @@ fn observe_service_time(
     log_request(state, request_id, "generate", session_name, "done");
 }
 
-fn serve_job(job: Job) {
+fn serve_job(job: Job, fold: Option<&FoldInfo>) {
     let Job {
         session,
         call,
         reservation,
         out,
-        request_id: _,
+        request_id,
     } = job;
     // The worker takes over the reservation: from here, the generate path (or
     // the explicit abort on the streaming path) settles it exactly once.
     let reserved = reservation.map(ReservationGuard::take);
+    let fold = fold.map(|info| (info, request_id));
     if call.stream {
-        serve_stream(&session, call, reserved, &out);
+        serve_stream(&session, call, reserved, fold, &out);
     } else {
-        serve_batch(&session, &call, reserved, &out);
+        serve_batch(&session, &call, reserved, fold, &out);
+    }
+}
+
+/// Inject folded-batch membership into a rendered provenance JSON object:
+/// `{"fold":{"size":N,"request_id":R,"members":[..]},<original fields>}`.
+/// Identity for unfolded requests, so their provenance bytes are unchanged.
+fn provenance_with_fold(provenance: &str, fold: Option<(&FoldInfo, u64)>) -> String {
+    let Some((info, request_id)) = fold else {
+        return provenance.to_string();
+    };
+    let members = info
+        .members
+        .iter()
+        .map(|id| id.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let fold_field = format!(
+        "\"fold\":{{\"size\":{},\"request_id\":{},\"members\":[{}]}}",
+        info.members.len(),
+        request_id,
+        members
+    );
+    match provenance.strip_prefix('{') {
+        Some("}") => format!("{{{fold_field}}}"),
+        Some(body) => format!("{{{fold_field},{body}"),
+        // Not an object (defensive): leave the rendering untouched rather
+        // than corrupt it.
+        None => provenance.to_string(),
     }
 }
 
@@ -814,6 +920,7 @@ fn serve_batch(
     session: &SynthesisSession,
     call: &GenerateCall,
     reserved: Option<usize>,
+    fold: Option<(&FoldInfo, u64)>,
     out: &Mutex<TcpStream>,
 ) {
     let result: sgf_core::Result<ReleaseReport> = match (call.model, reserved) {
@@ -837,7 +944,7 @@ fn serve_batch(
                 &report.stats.to_json(),
                 report.request_budget().epsilon,
                 &report.ledger.to_json(),
-                &report.provenance_json().render(),
+                &provenance_with_fold(&report.provenance_json().render(), fold),
             );
             text.push('\n');
             for record in report.synthetics.records() {
@@ -851,10 +958,29 @@ fn serve_batch(
     }
 }
 
+/// Settle the part of a stream's reservation it did not convert into
+/// releases.  An over-delivering stream (`released > reserved`) breaks the
+/// reservation invariant — the ledger may now undercount the session's
+/// worst case — so beyond settling to zero (never underflow-panicking the
+/// worker), the violation is made observable: a `serve.over_delivered`
+/// counter tick plus one structured warning line on stderr.
+fn settle_stream_reservation(session: &SynthesisSession, reserved: usize, released: usize) {
+    if released > reserved {
+        sgf_metrics::counter("serve.over_delivered").incr();
+        // Never `eprintln!`: a closed stderr must not panic a worker (R3).
+        let _ = writeln!(
+            std::io::stderr().lock(),
+            "{{\"log\":\"serve.over_delivered\",\"reserved\":{reserved},\"released\":{released}}}",
+        );
+    }
+    session.abort_reservation(reserved.saturating_sub(released));
+}
+
 fn serve_stream(
     session: &SynthesisSession,
     call: GenerateCall,
     reserved: Option<usize>,
+    fold: Option<(&FoldInfo, u64)>,
     out: &Mutex<TcpStream>,
 ) {
     if call.model == ModelKind::Marginal {
@@ -920,11 +1046,10 @@ fn serve_stream(
     }
     let stats = iter.stats();
     let provenance = iter.provenance();
-    // Settle the part of the reservation the stream did not convert.
+    // Settle the part of the reservation the stream did not convert (and
+    // surface the over-delivery invariant violation if it ever fires).
     if let Some(r) = reserved {
-        // saturating: a stream that over-delivered (released > reserved)
-        // must settle to zero, not underflow-panic the worker.
-        session.abort_reservation(r.saturating_sub(stats.released));
+        settle_stream_reservation(session, r, stats.released);
     }
     // The iterator never touches the metrics registry itself; the server
     // flushes the finished stream's counters into the session's scope cell
@@ -937,8 +1062,58 @@ fn serve_stream(
             released,
             &stats.to_json(),
             &session.ledger().to_json(),
-            &provenance.to_json(&session.ledger()).render()
+            &provenance_with_fold(&provenance.to_json(&session.ledger()).render(), fold)
         )
     );
     let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgf_core::{PrivacyTestConfig, SynthesisEngine};
+    use sgf_data::acs::{acs_bucketizer, acs_schema, generate_acs};
+
+    #[test]
+    fn provenance_fold_injection_preserves_object_shape() {
+        let fold = FoldInfo {
+            members: vec![7, 9, 12],
+        };
+        assert_eq!(
+            provenance_with_fold("{\"seed\":5}", Some((&fold, 9))),
+            "{\"fold\":{\"size\":3,\"request_id\":9,\"members\":[7,9,12]},\"seed\":5}"
+        );
+        assert_eq!(
+            provenance_with_fold("{}", Some((&fold, 7))),
+            "{\"fold\":{\"size\":3,\"request_id\":7,\"members\":[7,9,12]}}"
+        );
+        // Unfolded requests keep their provenance bytes untouched.
+        assert_eq!(provenance_with_fold("{\"seed\":5}", None), "{\"seed\":5}");
+        // Defensive: a non-object rendering passes through unmodified.
+        assert_eq!(provenance_with_fold("null", Some((&fold, 7))), "null");
+    }
+
+    #[test]
+    fn over_delivered_stream_is_counted_not_swallowed() {
+        let population = generate_acs(600, 11);
+        let bucketizer = acs_bucketizer(&acs_schema());
+        let session = SynthesisEngine::builder()
+            .privacy_test(
+                PrivacyTestConfig::randomized(20, 4.0, 1.0).with_limits(Some(40), Some(500)),
+            )
+            .seed(11)
+            .train(&population, &bucketizer)
+            .unwrap();
+        let cap = cap_admitting(&session, 20).unwrap();
+        session.try_reserve(5, cap).unwrap();
+        let counter = sgf_metrics::counter("serve.over_delivered");
+        let before = counter.get();
+        // A well-behaved stream (released <= reserved) settles silently.
+        settle_stream_reservation(&session, 5, 5);
+        assert_eq!(counter.get(), before);
+        // An over-delivering stream settles to zero *and* is observable.
+        session.try_reserve(3, cap).unwrap();
+        settle_stream_reservation(&session, 3, 7);
+        assert_eq!(counter.get(), before + 1);
+    }
 }

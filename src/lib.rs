@@ -48,6 +48,7 @@ pub use sgf_core as core;
 pub use sgf_data as data;
 pub use sgf_eval as eval;
 pub use sgf_index as index;
+pub use sgf_metrics as metrics;
 pub use sgf_ml as ml;
 pub use sgf_model as model;
 pub use sgf_serve as serve;

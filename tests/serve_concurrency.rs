@@ -269,6 +269,142 @@ fn full_queue_rejects_with_retry_hint() {
     handle.join().unwrap();
 }
 
+/// Request folding equivalence: a folded, cache-warm serve run (multi-worker,
+/// multi-client, under the `service_delay` chaos knob) must release
+/// byte-identical records per request seed to an unfolded run against an
+/// identically-trained session with the class cache disabled — folding and
+/// caching are pure throughput mechanisms, invisible in every released byte.
+#[test]
+fn folded_cached_serve_matches_unfolded_cold_cache_run() {
+    const CLIENTS: u64 = 12;
+    const FOLD_TARGET: usize = 6;
+    type Outcomes = Vec<(u64, Vec<sgf::data::Record>)>;
+
+    let run = |name: &'static str,
+               cache: bool,
+               max_fold: usize,
+               delay: Option<Duration>|
+     -> (Outcomes, u64) {
+        let population = generate_acs(4_000, 77);
+        let bucketizer = acs_bucketizer(&acs_schema());
+        let session = SynthesisEngine::builder()
+            .privacy_test(
+                PrivacyTestConfig::randomized(20, 4.0, 1.0).with_limits(Some(40), Some(2_000)),
+            )
+            .max_candidate_factor(30)
+            .class_cache(cache)
+            .seed(77)
+            .train(&population, &bucketizer)
+            .unwrap();
+        let handle = serve(
+            ServeConfig {
+                workers: 2,
+                max_fold,
+                service_delay: delay,
+                queue_capacity: CLIENTS as usize * 2,
+                ..ServeConfig::default()
+            },
+            vec![SessionEntry::new(session).named(name)],
+        )
+        .unwrap();
+        let addr = handle.addr();
+        let mut results: Outcomes = std::thread::scope(|scope| {
+            (0..CLIENTS)
+                .map(|seed| {
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).unwrap();
+                        let call = GenerateCall::new(FOLD_TARGET)
+                            .with_session(name)
+                            .with_request(GenerateRequest::new(FOLD_TARGET).with_seed(seed));
+                        (seed, client.generate(&call).unwrap().records)
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        results.sort_by_key(|(seed, _)| *seed);
+        let mut client = Client::connect(addr).unwrap();
+        let folded_requests = client
+            .metrics(Some(name), false)
+            .unwrap()
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get("serve.folded_requests"))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+        (results, folded_requests)
+    };
+
+    // Folded side: folding on, cache on, slowed workers so the queue builds
+    // up and pops genuinely coalesce.  Cold side: folding off, cache off.
+    let (folded, folded_requests) = run("folded", true, 8, Some(Duration::from_millis(150)));
+    let (cold, cold_folds) = run("cold", false, 1, None);
+    assert!(
+        folded_requests > 0,
+        "the folded run must actually coalesce requests"
+    );
+    assert_eq!(cold_folds, 0, "max_fold = 1 must disable folding");
+    assert_eq!(folded.len(), cold.len());
+    for ((seed_a, a), (seed_b, b)) in folded.iter().zip(&cold) {
+        assert_eq!(seed_a, seed_b);
+        assert!(!a.is_empty(), "seed {seed_a} released nothing");
+        assert_eq!(
+            a, b,
+            "request seed {seed_a} must release byte-identical records"
+        );
+    }
+}
+
+/// Satellite of the scope-cell hygiene fix: a flood of generate requests for
+/// a made-up session name is rejected with `unknown_session` and leaves the
+/// process-global metrics registry without a cell for that name — scope
+/// cells exist for registered sessions only, so bogus names cannot grow the
+/// registry without bound.
+#[test]
+fn rejected_unknown_session_allocates_no_metric_scope() {
+    let session = train_session(34);
+    let handle = serve(
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+        vec![SessionEntry::new(session).named("registered-only")],
+    )
+    .unwrap();
+    let addr = handle.addr();
+    let bogus = "bogus-session-that-never-registers";
+    let bogus_key = format!("session={bogus}");
+    let before = sgf::metrics::global().snapshot();
+    assert!(!before.scopes.contains_key(&bogus_key));
+
+    let mut client = Client::connect(addr).unwrap();
+    for seed in 0..5 {
+        match client.generate(&storm_call(seed).with_session(bogus)) {
+            Err(ClientError::Rejected(rejection)) => {
+                assert_eq!(rejection.code, reject::UNKNOWN_SESSION);
+            }
+            other => panic!("expected unknown_session, got {other:?}"),
+        }
+    }
+
+    // The rejections allocated no scope cell for the bogus name (other tests
+    // in this binary may touch *registered* scopes concurrently, so the
+    // assertion is about the bogus key, not total snapshot equality).
+    let after = sgf::metrics::global().snapshot();
+    assert!(!after.scopes.contains_key(&bogus_key));
+    assert!(
+        after.scopes.keys().all(|key| !key.contains("bogus")),
+        "no scope cell may be created for an unregistered session"
+    );
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
 /// Chaos knob: once a generate on the session has completed, `queue_full`
 /// rejections stop quoting the configured constant and instead carry the
 /// p95 upper bound of the session's *observed* service time — which, with

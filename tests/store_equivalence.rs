@@ -326,6 +326,86 @@ proptest! {
             prop_assert!(outcomes[2].records_examined <= superset_key.class_count());
         }
     }
+
+    /// The class-match cache is invisible to every observable outcome: a
+    /// cache-carrying partition store must reproduce the plain store's
+    /// decisions, counts, and RNG stream bit for bit across a whole stream of
+    /// candidates, while its hit/miss telemetry tracks exactly the first
+    /// sighting of each likelihood projection. Models whose likelihood set
+    /// escapes the exact-match guarantee must bypass the cache entirely.
+    #[test]
+    fn class_cache_is_invisible_to_outcomes(
+        rows in proptest::collection::vec(row(), 20..120),
+        kept_mask in proptest::collection::vec(any::<bool>(), 4),
+        candidates in proptest::collection::vec(row(), 2..12),
+        seed_choice in any::<usize>(),
+        k in 1usize..15,
+        gamma in 1.5f64..6.0,
+        epsilon0 in proptest::option::of(0.2f64..3.0),
+        max_plausible in proptest::option::of(1usize..20),
+        max_check in proptest::option::of(5usize..100),
+        master in any::<u64>(),
+    ) {
+        let schema = Arc::new(schema());
+        let records: Vec<Record> = rows.into_iter().map(to_record).collect();
+        let dataset = Dataset::from_records_unchecked(Arc::clone(&schema), records);
+        let kept: Vec<usize> = (0..4).filter(|&a| kept_mask[a]).collect();
+        let model = ProjectiveModel {
+            schema: (*schema).clone(),
+            kept: kept.clone(),
+        };
+        let seed = dataset.record(seed_choice % dataset.len()).clone();
+        let config = PrivacyTestConfig {
+            k,
+            gamma,
+            epsilon0,
+            max_plausible: None,
+            max_check_plausible: None,
+        }
+        .with_limits(max_plausible, max_check);
+
+        let plain = PartitionIndexStore::build(&dataset, &kept).unwrap();
+        let cached = PartitionIndexStore::build(&dataset, &kept)
+            .unwrap()
+            .with_class_cache();
+        let mut seen = std::collections::BTreeSet::new();
+        for candidate in candidates {
+            let y = to_record(candidate);
+            let mut rng_a = StdRng::seed_from_u64(master);
+            let mut rng_b = StdRng::seed_from_u64(master);
+            let a =
+                run_with_store(&model, &dataset, &plain, &seed, &y, &config, &mut rng_a).unwrap();
+            let b =
+                run_with_store(&model, &dataset, &cached, &seed, &y, &config, &mut rng_b).unwrap();
+            prop_assert_eq!(a.passed, b.passed);
+            prop_assert_eq!(a.plausible_seeds, b.plausible_seeds);
+            prop_assert_eq!(a.seed_partition, b.seed_partition);
+            prop_assert_eq!(a.threshold, b.threshold);
+            prop_assert_eq!(a.records_examined, b.records_examined);
+            prop_assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+            prop_assert!(a.cache_hit.is_none(), "plain store never reports cache traffic");
+            if b.via_classes {
+                // First sighting of a projection is a miss, repeats are hits.
+                let projection: Vec<u16> = kept.iter().map(|&attr| y.get(attr)).collect();
+                prop_assert_eq!(b.cache_hit, Some(!seen.insert(projection)));
+            } else {
+                prop_assert!(b.cache_hit.is_none());
+            }
+        }
+        // A model whose likelihood reads attributes outside the exact-match
+        // guarantee cannot use the cache: the cached row would not be
+        // seed-independent, so the store must fall back to inline evaluation.
+        let wide = KeptModel {
+            schema: (*schema).clone(),
+            kept: kept.clone(),
+        };
+        let y = seed.clone();
+        let mut rng = StdRng::seed_from_u64(master);
+        let w = run_with_store(&wide, &dataset, &cached, &seed, &y, &config, &mut rng).unwrap();
+        if kept.len() < 4 {
+            prop_assert!(w.cache_hit.is_none(), "likelihood ⊄ exact-match must bypass");
+        }
+    }
 }
 
 /// The documented partition convention `γ^{-(i+1)} < p ≤ γ^{-i}`: an exact
