@@ -129,7 +129,7 @@ fn main() {
         let config = ServeConfig {
             workers: 2,
             queue_capacity: 64,
-            max_fold,
+            max_fold: Some(max_fold),
             ..ServeConfig::default()
         };
         let name = format!("folding-{tag}");

@@ -26,8 +26,9 @@ use serde::{Deserialize, Serialize};
 use sgf_data::{Bucketizer, DataSplit, Dataset, Record, SplitSpec};
 use sgf_index::SeedIndex;
 use sgf_model::{
-    learn_dependency_structure, BayesNetModel, CptStore, LearnedStructure, MarginalConfig,
-    MarginalModel, OmegaSpec, ParameterConfig, SeedSynthesizer, StructureConfig,
+    learn_structure_from_counts, BayesNetModel, CptStore, LearnedStructure, MarginalConfig,
+    MarginalCounts, MarginalModel, OmegaSpec, ParameterConfig, SeedSynthesizer, StructureConfig,
+    StructureCounts,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -68,6 +69,15 @@ pub struct PipelineConfig {
     /// bit-identical with the cache on or off — only repeated model
     /// evaluations are skipped — so this defaults to `true`.
     pub class_cache: bool,
+    /// Structure-drift tolerance of [`crate::SynthesisSession::update`]: a
+    /// delta touching `D_T` re-derives the correlation matrix from the
+    /// updated counts and re-learns the dependency graph only when the
+    /// entrywise max-abs drift from the previous matrix exceeds this
+    /// threshold.  `0.0` (the default) re-learns on any change, which keeps
+    /// incremental updates bit-identical to from-scratch retrains; a positive
+    /// tolerance trades that exactness for skipping CFS re-runs under small
+    /// drift.
+    pub drift_threshold: f64,
     /// Master seed for all randomness in the pipeline.
     pub seed: u64,
 }
@@ -89,6 +99,7 @@ impl PipelineConfig {
             seed_index: SeedIndex::Auto,
             auto_index_min_seeds: SeedIndex::AUTO_MIN_SEEDS,
             class_cache: true,
+            drift_threshold: 0.0,
             seed: 0,
         }
     }
@@ -112,6 +123,12 @@ impl PipelineConfig {
             return Err(CoreError::InvalidParameter(
                 "workers must be at least 1".into(),
             ));
+        }
+        if !self.drift_threshold.is_finite() || self.drift_threshold < 0.0 {
+            return Err(CoreError::InvalidParameter(format!(
+                "drift_threshold must be finite and non-negative, got {}",
+                self.drift_threshold
+            )));
         }
         Ok(())
     }
@@ -156,6 +173,13 @@ pub struct TrainedModels {
     pub bayes_net: BayesNetModel,
     /// The marginal baseline learned from the same parameter subset.
     pub marginal: MarginalModel,
+    /// Summable sufficient statistics of structure learning over `D_T`,
+    /// kept so a [`crate::SynthesisSession::update`] delta can merge counts
+    /// in O(|Δ|) instead of re-scanning the subset.
+    pub structure_counts: StructureCounts,
+    /// Summable per-attribute counts of the marginal baseline over `D_P`,
+    /// kept for the same incremental-update path.
+    pub marginal_counts: MarginalCounts,
 }
 
 /// Everything the pipeline produced.
@@ -184,29 +208,38 @@ pub(crate) fn learn_models(
     bucketizer: &Bucketizer,
 ) -> Result<TrainedModels> {
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x5eed));
+    // Learn from summable sufficient statistics so an incremental session
+    // update can merge a delta into the same counts and re-derive the model
+    // bit-identically (see `SynthesisSession::update`).
+    let structure_counts = StructureCounts::fit(&split.structure, bucketizer)?;
     let structure =
-        learn_dependency_structure(&split.structure, bucketizer, &config.structure, &mut rng)?;
+        learn_structure_from_counts(&structure_counts, bucketizer, &config.structure, &mut rng)?;
     let cpts = Arc::new(CptStore::learn(
         &split.parameters,
         bucketizer,
         &structure.graph,
         config.parameters,
     )?);
-    let marginal = MarginalModel::learn(
-        &split.parameters,
-        MarginalConfig {
-            alpha: config.parameters.alpha,
-            epsilon_p: config.parameters.epsilon_p,
-            global_seed: config.parameters.global_seed,
-            delta_slack: config.parameters.delta_slack,
-        },
-    )?;
+    let marginal_counts = MarginalCounts::fit(&split.parameters);
+    let marginal = MarginalModel::from_counts(&marginal_counts, marginal_config(config))?;
     Ok(TrainedModels {
         bayes_net: BayesNetModel::new(Arc::clone(&cpts)),
         structure,
         cpts,
         marginal,
+        structure_counts,
+        marginal_counts,
     })
+}
+
+/// The marginal-baseline configuration derived from the pipeline parameters.
+pub(crate) fn marginal_config(config: &PipelineConfig) -> MarginalConfig {
+    MarginalConfig {
+        alpha: config.parameters.alpha,
+        epsilon_p: config.parameters.epsilon_p,
+        global_seed: config.parameters.global_seed,
+        delta_slack: config.parameters.delta_slack,
+    }
 }
 
 /// The one-shot end-to-end pipeline — a thin compatibility wrapper over the

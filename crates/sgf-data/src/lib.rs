@@ -16,13 +16,18 @@
 pub mod acs;
 pub mod bucketize;
 pub mod csv;
+pub mod delta;
 pub mod error;
 pub mod record;
 pub mod schema;
 pub mod split;
 
 pub use bucketize::{AttributeBuckets, Bucketizer};
+pub use delta::{apply_deletes, DatasetDelta};
 pub use error::{DataError, Result};
 pub use record::{Dataset, Record};
 pub use schema::{Attribute, AttributeKind, Schema};
-pub use split::{split_dataset, train_test_split, DataSplit, SplitSpec};
+pub use split::{
+    split_dataset, split_dataset_by_hash, split_role, train_test_split, DataSplit, SplitRole,
+    SplitSpec,
+};

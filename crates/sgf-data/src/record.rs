@@ -11,7 +11,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A single data record: value indices against a schema.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -74,19 +74,40 @@ impl From<Vec<u16>> for Record {
 }
 
 /// A dataset: a schema plus a collection of records conforming to it.
+///
+/// Records live in two structurally-shared segments: a `base` block and an
+/// appended `tail`, both behind `Arc`.  Cloning a dataset is O(1), and
+/// [`with_appended`](Dataset::with_appended) derives a dataset sharing the
+/// entire base with its parent — the representation that makes incremental
+/// session updates (`SynthesisSession::update` in `sgf-core`) cost O(|Δ|)
+/// instead of O(n) for insert-only deltas.  The segmentation is invisible to
+/// readers: [`records`](Dataset::records) returns one contiguous slice,
+/// materializing (and caching) the concatenation on first use when a tail is
+/// present.
 #[derive(Debug, Clone)]
 pub struct Dataset {
     schema: Arc<Schema>,
-    records: Vec<Record>,
+    base: Arc<Vec<Record>>,
+    tail: Arc<Vec<Record>>,
+    /// `base ++ tail`, materialized lazily by [`records`](Dataset::records)
+    /// when the tail is non-empty.  `OnceLock<Arc<_>>` keeps clones cheap:
+    /// a clone either copies the cached handle or re-materializes on demand.
+    full: OnceLock<Arc<Vec<Record>>>,
 }
 
 impl Dataset {
-    /// Create an empty dataset over a schema.
-    pub fn new(schema: Arc<Schema>) -> Self {
+    fn from_base(schema: Arc<Schema>, base: Vec<Record>) -> Self {
         Dataset {
             schema,
-            records: Vec::new(),
+            base: Arc::new(base),
+            tail: Arc::new(Vec::new()),
+            full: OnceLock::new(),
         }
+    }
+
+    /// Create an empty dataset over a schema.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        Dataset::from_base(schema, Vec::new())
     }
 
     /// Create a dataset from pre-validated records.
@@ -94,7 +115,7 @@ impl Dataset {
         for r in &records {
             schema.validate_values(r.values())?;
         }
-        Ok(Dataset { schema, records })
+        Ok(Dataset::from_base(schema, records))
     }
 
     /// Create a dataset without re-validating records.
@@ -102,7 +123,56 @@ impl Dataset {
     /// Intended for internal fast paths where the records were just produced
     /// against the same schema (e.g. by the synthesizer).
     pub fn from_records_unchecked(schema: Arc<Schema>, records: Vec<Record>) -> Self {
-        Dataset { schema, records }
+        Dataset::from_base(schema, records)
+    }
+
+    /// Collapse the segments into a single uniquely-owned block and return it
+    /// mutably (O(1) when this dataset has no tail and shares nothing).
+    fn records_mut(&mut self) -> &mut Vec<Record> {
+        if !self.tail.is_empty() {
+            self.base = match self.full.get() {
+                Some(full) => Arc::clone(full),
+                None => {
+                    let mut merged = Vec::with_capacity(self.base.len() + self.tail.len());
+                    merged.extend_from_slice(&self.base);
+                    merged.extend_from_slice(&self.tail);
+                    Arc::new(merged)
+                }
+            };
+            self.tail = Arc::new(Vec::new());
+        }
+        self.full = OnceLock::new();
+        Arc::make_mut(&mut self.base)
+    }
+
+    /// Derive the dataset with `extra` records appended, sharing every
+    /// existing record with `self` — O(|extra|), the incremental-ingest fast
+    /// path.  Records are validated against the schema.
+    pub fn with_appended(&self, extra: Vec<Record>) -> Result<Dataset> {
+        for r in &extra {
+            self.schema.validate_values(r.values())?;
+        }
+        if extra.is_empty() {
+            return Ok(self.clone());
+        }
+        let (base, tail) = if self.tail.is_empty() {
+            (Arc::clone(&self.base), extra)
+        } else if let Some(full) = self.full.get() {
+            (Arc::clone(full), extra)
+        } else {
+            // Chained appends before any materialization: fold the (small)
+            // old tail into the new one, still sharing the base block.
+            let mut tail = Vec::with_capacity(self.tail.len() + extra.len());
+            tail.extend_from_slice(&self.tail);
+            tail.extend(extra);
+            (Arc::clone(&self.base), tail)
+        };
+        Ok(Dataset {
+            schema: Arc::clone(&self.schema),
+            base,
+            tail: Arc::new(tail),
+            full: OnceLock::new(),
+        })
     }
 
     /// The schema of this dataset.
@@ -117,48 +187,62 @@ impl Dataset {
 
     /// Number of records.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.base.len() + self.tail.len()
     }
 
     /// Whether the dataset holds no records.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.base.is_empty() && self.tail.is_empty()
     }
 
-    /// Records slice.
+    /// Records slice.  With a non-empty tail this materializes (once) the
+    /// contiguous concatenation; prefer [`record`](Dataset::record) for point
+    /// lookups that should stay O(1) on freshly-appended datasets.
     pub fn records(&self) -> &[Record] {
-        &self.records
+        if self.tail.is_empty() {
+            return &self.base;
+        }
+        self.full.get_or_init(|| {
+            let mut merged = Vec::with_capacity(self.base.len() + self.tail.len());
+            merged.extend_from_slice(&self.base);
+            merged.extend_from_slice(&self.tail);
+            Arc::new(merged)
+        })
     }
 
     /// Record at index `i`.
     pub fn record(&self, i: usize) -> &Record {
-        &self.records[i]
+        if i < self.base.len() {
+            &self.base[i]
+        } else {
+            &self.tail[i - self.base.len()]
+        }
     }
 
     /// Append a record after validating it against the schema.
     pub fn push(&mut self, record: Record) -> Result<()> {
         self.schema.validate_values(record.values())?;
-        self.records.push(record);
+        self.records_mut().push(record);
         Ok(())
     }
 
     /// Append a record without validation (caller guarantees conformity).
     pub fn push_unchecked(&mut self, record: Record) {
-        self.records.push(record);
+        self.records_mut().push(record);
     }
 
     /// Iterate over the value indices of attribute `col` across all records.
     pub fn column(&self, col: usize) -> impl Iterator<Item = u16> + '_ {
-        self.records.iter().map(move |r| r.get(col))
+        self.records().iter().map(move |r| r.get(col))
     }
 
     /// Uniformly sample one record (the seed selection step of Mechanism 1).
     pub fn sample_record<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<&Record> {
-        if self.records.is_empty() {
+        if self.is_empty() {
             return Err(DataError::EmptyDataset);
         }
-        let idx = rng.gen_range(0..self.records.len());
-        Ok(&self.records[idx])
+        let idx = rng.gen_range(0..self.len());
+        Ok(self.record(idx))
     }
 
     /// Sample `n` records uniformly *with* replacement.
@@ -167,11 +251,11 @@ impl Dataset {
         n: usize,
         rng: &mut R,
     ) -> Result<Dataset> {
-        if self.records.is_empty() {
+        if self.is_empty() {
             return Err(DataError::EmptyDataset);
         }
         let records = (0..n)
-            .map(|_| self.records[rng.gen_range(0..self.records.len())].clone())
+            .map(|_| self.record(rng.gen_range(0..self.len())).clone())
             .collect();
         Ok(Dataset::from_records_unchecked(self.schema_arc(), records))
     }
@@ -182,19 +266,19 @@ impl Dataset {
         n: usize,
         rng: &mut R,
     ) -> Result<Dataset> {
-        if self.records.is_empty() {
+        if self.is_empty() {
             return Err(DataError::EmptyDataset);
         }
-        let n = n.min(self.records.len());
-        let mut idx: Vec<usize> = (0..self.records.len()).collect();
+        let n = n.min(self.len());
+        let mut idx: Vec<usize> = (0..self.len()).collect();
         idx.shuffle(rng);
-        let records = idx[..n].iter().map(|&i| self.records[i].clone()).collect();
+        let records = idx[..n].iter().map(|&i| self.record(i).clone()).collect();
         Ok(Dataset::from_records_unchecked(self.schema_arc(), records))
     }
 
     /// Return a new dataset with the records shuffled.
     pub fn shuffled<R: Rng + ?Sized>(&self, rng: &mut R) -> Dataset {
-        let mut records = self.records.clone();
+        let mut records = self.records().to_vec();
         records.shuffle(rng);
         Dataset::from_records_unchecked(self.schema_arc(), records)
     }
@@ -202,8 +286,8 @@ impl Dataset {
     /// Number of *distinct* records (the "unique records" statistic of Table 2
     /// counts records whose value combination appears exactly once).
     pub fn distinct_count(&self) -> usize {
-        let mut set: HashSet<&[u16]> = HashSet::with_capacity(self.records.len());
-        for r in &self.records {
+        let mut set: HashSet<&[u16]> = HashSet::with_capacity(self.len());
+        for r in self.records() {
             set.insert(r.values());
         }
         set.len()
@@ -213,8 +297,8 @@ impl Dataset {
     /// the dataset (Table 2's "unique records").
     pub fn singleton_count(&self) -> usize {
         use std::collections::HashMap;
-        let mut counts: HashMap<&[u16], usize> = HashMap::with_capacity(self.records.len());
-        for r in &self.records {
+        let mut counts: HashMap<&[u16], usize> = HashMap::with_capacity(self.len());
+        for r in self.records() {
             *counts.entry(r.values()).or_insert(0) += 1;
         }
         counts.values().filter(|&&c| c == 1).count()
@@ -227,8 +311,8 @@ impl Dataset {
                 "cannot concatenate datasets with different schemas".to_string(),
             ));
         }
-        let mut records = self.records.clone();
-        records.extend_from_slice(&other.records);
+        let mut records = self.records().to_vec();
+        records.extend_from_slice(other.records());
         Ok(Dataset::from_records_unchecked(self.schema_arc(), records))
     }
 
@@ -236,7 +320,7 @@ impl Dataset {
     pub fn truncated(&self, n: usize) -> Dataset {
         Dataset::from_records_unchecked(
             self.schema_arc(),
-            self.records[..n.min(self.records.len())].to_vec(),
+            self.records()[..n.min(self.len())].to_vec(),
         )
     }
 }
@@ -339,5 +423,55 @@ mod tests {
         let d = dataset();
         assert_eq!(d.truncated(2).len(), 2);
         assert_eq!(d.truncated(100).len(), d.len());
+    }
+
+    #[test]
+    fn with_appended_shares_the_base_and_reads_contiguously() {
+        let d = dataset();
+        let extra = vec![Record::new(vec![1, 0]), Record::new(vec![2, 1])];
+        let appended = d.with_appended(extra.clone()).unwrap();
+        // The base block is shared, not copied.
+        assert!(Arc::ptr_eq(&d.base, &appended.base));
+        assert_eq!(appended.len(), d.len() + 2);
+        // Point lookups resolve without materializing the concatenation.
+        assert_eq!(appended.record(0), d.record(0));
+        assert_eq!(appended.record(d.len()), &extra[0]);
+        assert!(appended.full.get().is_none());
+        // The contiguous view equals an explicit concatenation.
+        let mut expect = d.records().to_vec();
+        expect.extend(extra);
+        assert_eq!(appended.records(), expect.as_slice());
+        // Appending nothing is a cheap clone of the whole dataset.
+        let same = d.with_appended(Vec::new()).unwrap();
+        assert!(Arc::ptr_eq(&d.base, &same.base));
+        assert_eq!(same.len(), d.len());
+    }
+
+    #[test]
+    fn chained_appends_keep_sharing_the_base() {
+        let d = dataset();
+        let once = d.with_appended(vec![Record::new(vec![0, 0])]).unwrap();
+        let twice = once.with_appended(vec![Record::new(vec![1, 1])]).unwrap();
+        assert!(Arc::ptr_eq(&d.base, &twice.base));
+        assert_eq!(twice.len(), d.len() + 2);
+        let mut expect = d.records().to_vec();
+        expect.push(Record::new(vec![0, 0]));
+        expect.push(Record::new(vec![1, 1]));
+        assert_eq!(twice.records(), expect.as_slice());
+    }
+
+    #[test]
+    fn with_appended_validates_and_push_after_append_flattens() {
+        let d = dataset();
+        assert!(d.with_appended(vec![Record::new(vec![9, 0])]).is_err());
+        let mut appended = d.with_appended(vec![Record::new(vec![2, 1])]).unwrap();
+        // Mutation collapses the segments without disturbing the parent.
+        appended.push(Record::new(vec![0, 0])).unwrap();
+        assert_eq!(appended.len(), d.len() + 2);
+        assert_eq!(d.len(), 5);
+        assert_eq!(
+            appended.record(appended.len() - 1),
+            &Record::new(vec![0, 0])
+        );
     }
 }

@@ -7,7 +7,7 @@
 //! *maximum* (rather than the sum) over the structure/parameter budgets.
 
 use crate::error::{DataError, Result};
-use crate::record::Dataset;
+use crate::record::{Dataset, Record};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -120,6 +120,103 @@ pub fn split_dataset<R: Rng + ?Sized>(
     })
 }
 
+/// The disjoint role a record is assigned by the deterministic hash split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitRole {
+    /// `D_T`: structure learning.
+    Structure,
+    /// `D_P`: parameter learning.
+    Parameters,
+    /// `D_S`: synthesis seeds.
+    Seeds,
+    /// Held-out evaluation records.
+    Test,
+    /// Not assigned to any subset (fractions summing below 1 leave a remainder).
+    Unassigned,
+}
+
+/// FNV-1a over the record values, finished with the splitmix64 avalanche so
+/// low-cardinality attribute values still spread over the full 64-bit range.
+fn role_hash(seed: u64, values: &[u16]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for &v in values {
+        h = (h ^ u64::from(v)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // splitmix64 finalizer.
+    h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// The role of `record` under the deterministic hash split.
+///
+/// Unlike [`split_dataset`]'s shuffle, the role is a pure function of the
+/// record's *values* and the split seed — never of the record's position or of
+/// the rest of the dataset.  That is what makes splits delta-maintainable:
+/// deleting or inserting a record moves exactly that record in exactly one
+/// subset, so an incremental update and a from-scratch re-split of the final
+/// dataset agree byte-for-byte.  Identical records always share a role, which
+/// keeps value-matched deletions unambiguous.
+///
+/// The record's hash is mapped to a unit-interval coordinate and compared to
+/// the cumulative fractions of `spec` in declaration order
+/// (structure, parameters, seeds, test); any remainder is [`SplitRole::Unassigned`].
+pub fn split_role(spec: &SplitSpec, seed: u64, record: &Record) -> SplitRole {
+    // 53 high bits give an exactly-representable coordinate in [0, 1).
+    let unit = (role_hash(seed, record.values()) >> 11) as f64 / (1u64 << 53) as f64;
+    let mut cut = spec.structure;
+    if unit < cut {
+        return SplitRole::Structure;
+    }
+    cut += spec.parameters;
+    if unit < cut {
+        return SplitRole::Parameters;
+    }
+    cut += spec.seeds;
+    if unit < cut {
+        return SplitRole::Seeds;
+    }
+    cut += spec.test;
+    if unit < cut {
+        return SplitRole::Test;
+    }
+    SplitRole::Unassigned
+}
+
+/// Partition `dataset` into the four disjoint subsets with the deterministic
+/// hash split: each record's role comes from [`split_role`], and every subset
+/// keeps its records in dataset order.
+///
+/// Subset sizes concentrate around the requested fractions (binomially) rather
+/// than matching them exactly; in exchange the split commutes with dataset
+/// deltas, which the incremental `update` path in `sgf-core` relies on.
+pub fn split_dataset_by_hash(dataset: &Dataset, spec: &SplitSpec, seed: u64) -> Result<DataSplit> {
+    spec.validate()?;
+    if dataset.is_empty() {
+        return Err(DataError::EmptyDataset);
+    }
+    let schema = dataset.schema_arc();
+    let mut parts: [Vec<crate::record::Record>; 4] = Default::default();
+    for record in dataset.records() {
+        let slot = match split_role(spec, seed, record) {
+            SplitRole::Structure => 0,
+            SplitRole::Parameters => 1,
+            SplitRole::Seeds => 2,
+            SplitRole::Test => 3,
+            SplitRole::Unassigned => continue,
+        };
+        parts[slot].push(record.clone());
+    }
+    let [structure, parameters, seeds, test] = parts;
+    Ok(DataSplit {
+        structure: Dataset::from_records_unchecked(schema.clone(), structure),
+        parameters: Dataset::from_records_unchecked(schema.clone(), parameters),
+        seeds: Dataset::from_records_unchecked(schema.clone(), seeds),
+        test: Dataset::from_records_unchecked(schema, test),
+    })
+}
+
 /// Split a dataset into a train/test pair (used by the ML evaluation).
 pub fn train_test_split<R: Rng + ?Sized>(
     dataset: &Dataset,
@@ -221,6 +318,99 @@ mod tests {
         let d = dataset(5).truncated(0);
         let mut rng = StdRng::seed_from_u64(3);
         assert!(split_dataset(&d, &SplitSpec::paper_defaults(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn hash_split_is_deterministic_and_order_preserving() {
+        let d = dataset(1000);
+        let spec = SplitSpec::paper_defaults();
+        let a = split_dataset_by_hash(&d, &spec, 7).unwrap();
+        let b = split_dataset_by_hash(&d, &spec, 7).unwrap();
+        let mut seen: HashSet<u16> = HashSet::new();
+        let mut total = 0usize;
+        for (x, y) in [
+            (&a.structure, &b.structure),
+            (&a.parameters, &b.parameters),
+            (&a.seeds, &b.seeds),
+            (&a.test, &b.test),
+        ] {
+            assert_eq!(x.records(), y.records());
+            total += x.len();
+            let mut last = None;
+            for r in x.records() {
+                assert!(seen.insert(r.get(0)), "record appears in two splits");
+                // Subset order must be dataset order (values are 0..n here).
+                if let Some(prev) = last {
+                    assert!(r.get(0) > prev);
+                }
+                last = Some(r.get(0));
+            }
+        }
+        // Paper fractions sum to 1.0, so every record is assigned.
+        assert_eq!(total, 1000);
+        // Sizes concentrate near the requested fractions.
+        assert!((a.seeds.len() as f64 - 490.0).abs() < 60.0);
+        // A different seed shuffles the assignment.
+        let c = split_dataset_by_hash(&d, &spec, 8).unwrap();
+        assert_ne!(a.seeds.records(), c.seeds.records());
+    }
+
+    #[test]
+    fn hash_split_roles_depend_only_on_record_values() {
+        let d = dataset(50);
+        let spec = SplitSpec::paper_defaults();
+        for r in d.records() {
+            assert_eq!(split_role(&spec, 3, r), split_role(&spec, 3, r));
+        }
+        // Fractions below 1 leave a remainder unassigned.
+        let partial = SplitSpec {
+            structure: 0.0,
+            parameters: 0.0,
+            seeds: 0.0,
+            test: 0.0,
+        };
+        for r in d.records() {
+            assert_eq!(split_role(&partial, 3, r), SplitRole::Unassigned);
+        }
+    }
+
+    #[test]
+    fn hash_split_commutes_with_record_changes() {
+        use crate::delta::DatasetDelta;
+        let d = dataset(400);
+        let spec = SplitSpec::paper_defaults();
+        let before = split_dataset_by_hash(&d, &spec, 11).unwrap();
+
+        let mut delta = DatasetDelta::new(d.schema_arc());
+        delta.delete(d.record(17).clone()).unwrap();
+        delta.delete(d.record(230).clone()).unwrap();
+        delta.insert(Record::new(vec![17])).unwrap();
+        let final_dataset = delta.apply(&d).unwrap();
+        let after = split_dataset_by_hash(&final_dataset, &spec, 11).unwrap();
+
+        // Re-splitting the final dataset touches only the roles of the changed
+        // records: every other subset is unchanged record-for-record.
+        for (x, y) in [
+            (&before.structure, &after.structure),
+            (&before.parameters, &after.parameters),
+            (&before.seeds, &after.seeds),
+            (&before.test, &after.test),
+        ] {
+            let changed: HashSet<u16> = [17u16, 230].into_iter().collect();
+            let xs: Vec<u16> = x
+                .records()
+                .iter()
+                .map(|r| r.get(0))
+                .filter(|v| !changed.contains(v))
+                .collect();
+            let ys: Vec<u16> = y
+                .records()
+                .iter()
+                .map(|r| r.get(0))
+                .filter(|v| !changed.contains(v))
+                .collect();
+            assert_eq!(xs, ys);
+        }
     }
 
     #[test]

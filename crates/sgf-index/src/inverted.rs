@@ -29,14 +29,17 @@ static BUILD_COUNT: AtomicUsize = AtomicUsize::new(0);
 
 /// Per-attribute slice of the index: the bucket map plus one ascending posting
 /// list per bucket.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct AttributeIndex {
     buckets: AttributeBuckets,
     postings: Vec<Vec<u32>>,
 }
 
 /// A bucketized inverted index over a seed dataset (see the module docs).
-#[derive(Debug, Clone)]
+/// Equality compares the indexed structure — length, per-attribute posting
+/// lists, priority order, and list cap — so a delta-applied store can be
+/// checked against a from-scratch build.
+#[derive(Debug, Clone, PartialEq)]
 pub struct InvertedIndexStore {
     len: usize,
     attributes: Vec<AttributeIndex>,
@@ -142,6 +145,97 @@ impl InvertedIndexStore {
             ],
             start.elapsed(),
         );
+        Ok(store)
+    }
+
+    /// Apply a seed-data delta: `deletes` are strictly-ascending indices into
+    /// the *current* seed dataset, `inserts` are records appended after the
+    /// survivors (the canonical final-dataset order of
+    /// `sgf_data::DatasetDelta::apply`), and `weights` are the attribute
+    /// weights of the *updated* model (the priority order is recomputed from
+    /// them).  Returns a new store equal to a from-scratch
+    /// [`build`](InvertedIndexStore::build) on that final dataset with those
+    /// weights — without counting as a build (see
+    /// [`build_count`](InvertedIndexStore::build_count)) and in
+    /// O(index + |Δ|) instead of a full dataset pass per bucket.
+    pub fn apply_delta(
+        &self,
+        deletes: &[usize],
+        inserts: &[Record],
+        weights: &[f64],
+    ) -> Result<Self, DataError> {
+        let start = std::time::Instant::now();
+        crate::store::validate_delete_indices(deletes, self.len)?;
+        let m = self.attributes.len();
+        if weights.len() != m {
+            return Err(DataError::InvalidParameter(format!(
+                "got {} attribute weights for an index over {} attributes",
+                weights.len(),
+                m
+            )));
+        }
+        if let Some((attr, &weight)) = weights.iter().enumerate().find(|(_, w)| !w.is_finite()) {
+            return Err(DataError::InvalidParameter(format!(
+                "attribute weight {attr} is {weight}; weights must be finite"
+            )));
+        }
+        let survivors = self.len - deletes.len();
+        if survivors + inserts.len() > u32::MAX as usize {
+            return Err(DataError::InvalidParameter(
+                "inverted index supports at most u32::MAX seed records".into(),
+            ));
+        }
+        for record in inserts {
+            if record.len() != m {
+                return Err(DataError::InvalidParameter(format!(
+                    "inserted record has {} attributes but the index covers {m}",
+                    record.len()
+                )));
+            }
+            for (attr, index) in self.attributes.iter().enumerate() {
+                if (record.get(attr) as usize) >= index.buckets.domain_size() {
+                    return Err(DataError::InvalidParameter(format!(
+                        "inserted record value {} is outside the domain of attribute {attr}",
+                        record.get(attr)
+                    )));
+                }
+            }
+        }
+        let mut attributes = self.attributes.clone();
+        for index in attributes.iter_mut() {
+            for posting in index.postings.iter_mut() {
+                // Drop deleted indices and shift each survivor down by the
+                // number of deleted indices below it; both lookups are binary
+                // searches on the ascending delete list, so the pass costs
+                // O(|posting| log |Δ|) and posting order is preserved.
+                posting.retain_mut(|idx| {
+                    if deletes.binary_search(&(*idx as usize)).is_ok() {
+                        return false;
+                    }
+                    let below = deletes.partition_point(|&d| d < *idx as usize);
+                    *idx -= below as u32;
+                    true
+                });
+            }
+        }
+        for (t, record) in inserts.iter().enumerate() {
+            let idx = (survivors + t) as u32;
+            for (attr, index) in attributes.iter_mut().enumerate() {
+                let bucket = index.buckets.bucket_of(record.get(attr));
+                index.postings[bucket as usize].push(idx);
+            }
+        }
+        // Same deterministic comparator as `build` (see the comment there).
+        let mut priority: Vec<usize> = (0..m).collect();
+        priority.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]).then(a.cmp(&b)));
+        let store = InvertedIndexStore {
+            len: survivors + inserts.len(),
+            attributes,
+            priority,
+            max_lists: self.max_lists,
+        };
+        sgf_metrics::counter("index.inverted.delta_applies").incr();
+        sgf_metrics::timer("index.inverted.apply_delta").observe(start.elapsed());
         Ok(store)
     }
 
@@ -446,6 +540,95 @@ mod tests {
             Arc::new(Schema::new(vec![Attribute::categorical_anon("X", 2)]).unwrap());
         let other_bkt = Bucketizer::identity(&other_schema);
         assert!(InvertedIndexStore::build(&data, &other_bkt, &[1.0, 1.0, 1.0], 4).is_err());
+    }
+
+    /// The canonical final dataset of a delta: survivors in order, then
+    /// inserts (mirrors `sgf_data::DatasetDelta::apply`).
+    fn final_dataset(base: &Dataset, deletes: &[usize], inserts: &[Record]) -> Dataset {
+        let mut rows: Vec<Record> = base
+            .records()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !deletes.contains(i))
+            .map(|(_, r)| r.clone())
+            .collect();
+        rows.extend(inserts.iter().cloned());
+        Dataset::from_records_unchecked(base.schema_arc(), rows)
+    }
+
+    #[test]
+    fn apply_delta_matches_a_fresh_build() {
+        let data = dataset();
+        let bkt = Bucketizer::identity(data.schema())
+            .with_attribute(1, AttributeBuckets::fixed_width(6, 2).unwrap())
+            .unwrap();
+        let store = InvertedIndexStore::build(&data, &bkt, &[1.0, 2.0, 0.5], 2).unwrap();
+        let cases: Vec<(Vec<usize>, Vec<Record>, Vec<f64>)> = vec![
+            // Mixed delete + insert with a weight change that flips priority.
+            (
+                vec![0, 3, 7],
+                vec![Record::new(vec![3, 5, 1]), Record::new(vec![0, 0, 0])],
+                vec![4.0, 1.0, 0.5],
+            ),
+            // Pure deletes, same weights.
+            (vec![1, 2], vec![], vec![1.0, 2.0, 0.5]),
+            // Pure inserts.
+            (
+                vec![],
+                vec![Record::new(vec![2, 3, 0])],
+                vec![1.0, 2.0, 0.5],
+            ),
+            // Empty delta.
+            (vec![], vec![], vec![1.0, 2.0, 0.5]),
+            // Full replacement.
+            (
+                (0..8).collect(),
+                vec![Record::new(vec![1, 1, 1]), Record::new(vec![2, 2, 0])],
+                vec![0.0, 0.0, 9.0],
+            ),
+        ];
+        for (deletes, inserts, weights) in cases {
+            let builds_before = InvertedIndexStore::build_count();
+            let updated = store.apply_delta(&deletes, &inserts, &weights).unwrap();
+            assert_eq!(
+                InvertedIndexStore::build_count(),
+                builds_before,
+                "apply_delta must not count as a build"
+            );
+            let fresh = InvertedIndexStore::build(
+                &final_dataset(&data, &deletes, &inserts),
+                &bkt,
+                &weights,
+                2,
+            )
+            .unwrap();
+            assert_eq!(
+                updated,
+                fresh,
+                "delta {deletes:?}/+{} must equal a fresh build",
+                inserts.len()
+            );
+        }
+    }
+
+    #[test]
+    fn apply_delta_rejects_malformed_input() {
+        let store = store(&[1.0, 1.0, 1.0]);
+        let w = [1.0, 1.0, 1.0];
+        // Out-of-range and unsorted delete indices.
+        assert!(store.apply_delta(&[8], &[], &w).is_err());
+        assert!(store.apply_delta(&[2, 1], &[], &w).is_err());
+        assert!(store.apply_delta(&[1, 1], &[], &w).is_err());
+        // Wrong weight arity and non-finite weights.
+        assert!(store.apply_delta(&[], &[], &[1.0]).is_err());
+        assert!(store.apply_delta(&[], &[], &[1.0, f64::NAN, 1.0]).is_err());
+        // Inserted records must fit the schema and domains.
+        assert!(store
+            .apply_delta(&[], &[Record::new(vec![0, 0])], &w)
+            .is_err());
+        assert!(store
+            .apply_delta(&[], &[Record::new(vec![9, 0, 0])], &w)
+            .is_err());
     }
 
     #[test]

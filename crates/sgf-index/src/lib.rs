@@ -41,6 +41,7 @@ pub mod store;
 pub use inverted::{InvertedIndexStore, PostingIntersection, MAX_INTERSECT_LISTS};
 pub use partition::{
     ClassMatchCache, ClassMatchLookup, LikelihoodClass, LikelihoodClasses, PartitionIndexStore,
+    DEFAULT_CLASS_CACHE_CAP,
 };
 pub use permute::{IndexPermutation, RandomSubset};
 pub use policy::SeedIndex;

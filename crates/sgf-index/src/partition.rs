@@ -22,12 +22,17 @@
 
 use crate::store::{CandidateIter, SeedStore};
 use sgf_data::{DataError, Dataset, Record};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Cache key: the model's (normalized) likelihood attribute set and the
 /// candidate's projection onto it.
 type ClassMatchKey = (Vec<usize>, Vec<u16>);
+
+/// Default row cap of a [`ClassMatchCache`]: enough for every distinct
+/// likelihood projection of typical sessions, small enough that a
+/// high-cardinality candidate stream cannot grow the cache without bound.
+pub const DEFAULT_CLASS_CACHE_CAP: usize = 4096;
 
 /// A shared, per-session cache of **seed-independent** class-match rows.
 ///
@@ -47,29 +52,94 @@ type ClassMatchKey = (Vec<usize>, Vec<u16>);
 /// Only that deterministic row is ever cached.  Stochastic test outcomes,
 /// thresholds, plausible counts, and RNG draws never enter the cache, so the
 /// per-request decision/count/RNG streams are bit-identical to the uncached
-/// path.  Rows are populated under the map lock (`or_insert_with`), so each
-/// distinct key is computed exactly once regardless of thread scheduling —
-/// miss counts are a deterministic function of the set of keys touched.
-#[derive(Debug, Default)]
+/// path.  Rows are populated under the map lock, so each distinct key is
+/// computed exactly once while resident regardless of thread scheduling.
+///
+/// The cache is **bounded**: at most `cap` rows are resident.  Admitting a
+/// row beyond the cap evicts the oldest-*inserted* resident row (FIFO on
+/// insertion order, not recency), so the resident set after any key sequence
+/// is a deterministic function of that sequence — an LRU would make residency
+/// depend on hit timing across threads.  Evicted keys are recomputed on their
+/// next lookup; correctness never depends on residency, only miss counts do.
+#[derive(Debug)]
 pub struct ClassMatchCache {
-    rows: Mutex<BTreeMap<ClassMatchKey, Arc<Vec<bool>>>>,
+    inner: Mutex<CacheInner>,
+    cap: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    rows: BTreeMap<ClassMatchKey, Arc<Vec<bool>>>,
+    /// Resident keys, oldest insertion first — the FIFO eviction order.
+    order: VecDeque<ClassMatchKey>,
+    evictions: u64,
+}
+
+impl Default for ClassMatchCache {
+    fn default() -> Self {
+        ClassMatchCache::new()
+    }
 }
 
 impl ClassMatchCache {
-    /// An empty cache.
+    /// An empty cache with the [default row cap](DEFAULT_CLASS_CACHE_CAP).
     pub fn new() -> Self {
-        ClassMatchCache::default()
+        ClassMatchCache::with_capacity(DEFAULT_CLASS_CACHE_CAP)
+    }
+
+    /// An empty cache holding at most `cap` rows (clamped to at least 1).
+    pub fn with_capacity(cap: usize) -> Self {
+        ClassMatchCache {
+            inner: Mutex::new(CacheInner::default()),
+            cap: cap.max(1),
+        }
     }
 
     /// Number of distinct `(likelihood set, projection)` rows currently held.
     pub fn rows(&self) -> usize {
-        self.locked().len()
+        self.locked().rows.len()
     }
 
-    fn locked(&self) -> MutexGuard<'_, BTreeMap<ClassMatchKey, Arc<Vec<bool>>>> {
-        self.rows
+    /// The row cap this cache was created with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total rows evicted to stay under the cap since the cache was created.
+    pub fn evictions(&self) -> u64 {
+        self.locked().evictions
+    }
+
+    fn locked(&self) -> MutexGuard<'_, CacheInner> {
+        self.inner
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Fetch the row for `key`, computing it with `compute` (under the lock)
+    /// on a miss and evicting the oldest-inserted rows past the cap.
+    fn fetch(
+        &self,
+        key: ClassMatchKey,
+        compute: impl FnOnce() -> Arc<Vec<bool>>,
+    ) -> ClassMatchLookup {
+        let mut inner = self.locked();
+        if let Some(row) = inner.rows.get(&key) {
+            return ClassMatchLookup {
+                row: Arc::clone(row),
+                hit: true,
+            };
+        }
+        let row = compute();
+        inner.rows.insert(key.clone(), Arc::clone(&row));
+        inner.order.push_back(key);
+        while inner.rows.len() > self.cap {
+            let oldest = inner.order.pop_front().expect("order tracks rows");
+            inner.rows.remove(&oldest);
+            inner.evictions += 1;
+            sgf_metrics::counter("index.partition.class_cache_evictions").incr();
+        }
+        ClassMatchLookup { row, hit: false }
     }
 }
 
@@ -88,7 +158,7 @@ pub struct ClassMatchLookup {
 
 /// One likelihood-equivalence class: the seed records whose projections onto
 /// the store's key attributes are identical.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct EquivalenceClass {
     /// The shared projection, in key-attribute (ascending) order.
     projection: Vec<u16>,
@@ -189,6 +259,140 @@ impl PartitionIndexStore {
         self
     }
 
+    /// Like [`with_class_cache`](PartitionIndexStore::with_class_cache) but
+    /// with an explicit row cap instead of [`DEFAULT_CLASS_CACHE_CAP`].
+    pub fn with_class_cache_capacity(mut self, cap: usize) -> Self {
+        self.cache = Some(Arc::new(ClassMatchCache::with_capacity(cap)));
+        self
+    }
+
+    /// Apply a seed-data delta: `deletes` are strictly-ascending indices into
+    /// the *current* seed dataset, `inserts` are records appended after the
+    /// survivors (the canonical final-dataset order of
+    /// `sgf_data::DatasetDelta::apply`).  Returns a new store equal — classes,
+    /// member lists, projection map — to a from-scratch
+    /// [`build`](PartitionIndexStore::build) on that final dataset, in
+    /// O(|classes| + |Δ|) instead of O(n).
+    ///
+    /// If a [`ClassMatchCache`] is attached, the new store carries a cache
+    /// with every resident row re-derived for the new class list: a row's
+    /// boolean for a class is exactly "the class projection agrees with the
+    /// key projection on the likelihood attributes" (see the cache docs), a
+    /// pure function of the class structure, so warm rows stay warm and stay
+    /// correct without touching the model.
+    pub fn apply_delta(&self, deletes: &[usize], inserts: &[Record]) -> Result<Self, DataError> {
+        let start = std::time::Instant::now();
+        crate::store::validate_delete_indices(deletes, self.len)?;
+        let survivors = self.len - deletes.len();
+        if survivors + inserts.len() > u32::MAX as usize {
+            return Err(DataError::InvalidParameter(
+                "partition index supports at most u32::MAX seed records".into(),
+            ));
+        }
+        if let Some(&max_attr) = self.attributes.last() {
+            if let Some(short) = inserts.iter().find(|r| r.len() <= max_attr) {
+                return Err(DataError::InvalidParameter(format!(
+                    "inserted record has {} attributes but the key set needs {}",
+                    short.len(),
+                    max_attr + 1
+                )));
+            }
+        }
+        // Remap surviving members (old index minus the number of deleted
+        // indices below it) and drop deleted ones; empty classes disappear.
+        let mut classes: Vec<EquivalenceClass> = Vec::with_capacity(self.classes.len());
+        for class in &self.classes {
+            let members: Vec<u32> = class
+                .members
+                .iter()
+                .filter(|&&idx| deletes.binary_search(&(idx as usize)).is_err())
+                .map(|&idx| {
+                    let below = deletes.partition_point(|&d| d < idx as usize);
+                    idx - below as u32
+                })
+                .collect();
+            if !members.is_empty() {
+                classes.push(EquivalenceClass {
+                    projection: class.projection.clone(),
+                    members,
+                });
+            }
+        }
+        let mut by_projection: BTreeMap<Vec<u16>, u32> = classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.projection.clone(), i as u32))
+            .collect();
+        // Inserts land after the survivors, in delta order.
+        for (t, record) in inserts.iter().enumerate() {
+            let idx = (survivors + t) as u32;
+            let projection: Vec<u16> = self.attributes.iter().map(|&a| record.get(a)).collect();
+            match by_projection.get(&projection) {
+                Some(&class) => classes[class as usize].members.push(idx),
+                None => {
+                    by_projection.insert(projection.clone(), classes.len() as u32);
+                    classes.push(EquivalenceClass {
+                        projection,
+                        members: vec![idx],
+                    });
+                }
+            }
+        }
+        // Canonicalize to the from-scratch class order: a build over the
+        // final dataset lists classes by first occurrence, i.e. ascending
+        // smallest member index.  Member lists are already ascending (the
+        // remap preserves order; inserted indices only grow), so sorting on
+        // `members[0]` reproduces that order exactly.
+        classes.sort_by_key(|c| c.members[0]);
+        for (i, class) in classes.iter().enumerate() {
+            *by_projection
+                .get_mut(&class.projection)
+                .expect("every class is mapped") = i as u32;
+        }
+        let cache = self.cache.as_ref().map(|old| {
+            let old_inner = old.locked();
+            let mut inner = CacheInner {
+                rows: BTreeMap::new(),
+                order: old_inner.order.clone(),
+                evictions: old_inner.evictions,
+            };
+            for (key, _) in old_inner.rows.iter() {
+                let (likelihood, key_projection) = key;
+                // Admission proved `likelihood ⊆ attributes`, so every
+                // position resolves.
+                let positions: Vec<usize> = likelihood
+                    .iter()
+                    .map(|a| self.attributes.binary_search(a).expect("covered key"))
+                    .collect();
+                let row: Vec<bool> = classes
+                    .iter()
+                    .map(|class| {
+                        positions
+                            .iter()
+                            .zip(key_projection.iter())
+                            .all(|(&pos, &value)| class.projection[pos] == value)
+                    })
+                    .collect();
+                inner.rows.insert(key.clone(), Arc::new(row));
+            }
+            drop(old_inner);
+            Arc::new(ClassMatchCache {
+                inner: Mutex::new(inner),
+                cap: old.cap,
+            })
+        });
+        let store = PartitionIndexStore {
+            len: survivors + inserts.len(),
+            attributes: self.attributes.clone(),
+            classes,
+            by_projection,
+            cache,
+        };
+        sgf_metrics::counter("index.partition.delta_applies").incr();
+        sgf_metrics::timer("index.partition.apply_delta").observe(start.elapsed());
+        Ok(store)
+    }
+
     /// The attached class-match cache, if any.
     pub fn class_cache(&self) -> Option<&Arc<ClassMatchCache>> {
         self.cache.as_ref()
@@ -267,6 +471,19 @@ impl PartitionIndexStore {
     }
 }
 
+/// Equality on the *indexed structure* — length, key attributes, classes
+/// (projections, member lists, order), and the projection map.  The attached
+/// [`ClassMatchCache`] is deliberately ignored: it is a performance artifact
+/// whose residency depends on query history, never on what the store indexes.
+impl PartialEq for PartitionIndexStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len
+            && self.attributes == other.attributes
+            && self.classes == other.classes
+            && self.by_projection == other.by_projection
+    }
+}
+
 impl SeedStore for PartitionIndexStore {
     fn len(&self) -> usize {
         self.len
@@ -334,22 +551,20 @@ impl SeedStore for PartitionIndexStore {
         key.sort_unstable();
         key.dedup();
         let projection: Vec<u16> = key.iter().map(|&a| candidate.get(a)).collect();
-        let mut hit = true;
-        let row = Arc::clone(cache.locked().entry((key, projection)).or_insert_with(|| {
+        Some(cache.fetch((key, projection), || {
             // Populate eagerly — one evaluation per class representative —
-            // under the map lock, so each distinct key is computed exactly
-            // once no matter how requests interleave.  The closure is pure
-            // (no RNG, no shared state), so the extra evaluations relative
-            // to the lazy walk change nothing observable but time.
-            hit = false;
+            // under the cache lock, so each distinct key is computed exactly
+            // once while resident no matter how requests interleave.  The
+            // closure is pure (no RNG, no shared state), so the extra
+            // evaluations relative to the lazy walk change nothing
+            // observable but time.
             Arc::new(
                 self.classes
                     .iter()
                     .map(|class| evaluate(class.members[0] as usize))
                     .collect(),
             )
-        }));
-        Some(ClassMatchLookup { row, hit })
+        }))
     }
 }
 
@@ -683,6 +898,168 @@ mod tests {
                 .unwrap()
                 .hit
         );
+    }
+
+    /// The canonical final dataset of a delta: survivors in order, then
+    /// inserts (mirrors `sgf_data::DatasetDelta::apply`).
+    fn final_dataset(base: &Dataset, deletes: &[usize], inserts: &[Record]) -> Dataset {
+        let mut rows: Vec<Record> = base
+            .records()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !deletes.contains(i))
+            .map(|(_, r)| r.clone())
+            .collect();
+        rows.extend(inserts.iter().cloned());
+        Dataset::from_records_unchecked(base.schema_arc(), rows)
+    }
+
+    /// Structural fingerprint: key attributes plus every class in order.
+    #[allow(clippy::type_complexity)]
+    fn shape(store: &PartitionIndexStore) -> (Vec<usize>, Vec<(Vec<u16>, Vec<u32>)>) {
+        (
+            store.attributes().to_vec(),
+            store
+                .classes
+                .iter()
+                .map(|c| (c.projection.clone(), c.members.clone()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn apply_delta_matches_a_fresh_build() {
+        let data = dataset();
+        let store = PartitionIndexStore::build(&data, &[0, 1]).unwrap();
+        let cases: Vec<(Vec<usize>, Vec<Record>)> = vec![
+            // Delete a whole class (record 1 is the only (0,1) member) plus a
+            // representative (record 0), insert one old and one new projection.
+            (
+                vec![0, 1],
+                vec![Record::new(vec![1, 2, 0]), Record::new(vec![3, 3, 1])],
+            ),
+            // Pure deletes, including a full-class removal.
+            (vec![2, 4], vec![]),
+            // Pure inserts.
+            (vec![], vec![Record::new(vec![0, 0, 1])]),
+            // Empty delta.
+            (vec![], vec![]),
+            // Full replacement.
+            (
+                (0..6).collect(),
+                vec![Record::new(vec![2, 5, 0]), Record::new(vec![2, 5, 1])],
+            ),
+        ];
+        for (deletes, inserts) in cases {
+            let updated = store.apply_delta(&deletes, &inserts).unwrap();
+            let fresh =
+                PartitionIndexStore::build(&final_dataset(&data, &deletes, &inserts), &[0, 1])
+                    .unwrap();
+            assert_eq!(
+                updated,
+                fresh,
+                "delta {deletes:?}/+{} must equal a fresh build",
+                inserts.len()
+            );
+            assert_eq!(shape(&updated), shape(&fresh));
+            assert_eq!(updated.by_projection, fresh.by_projection);
+        }
+    }
+
+    #[test]
+    fn apply_delta_rebuilds_cached_rows_for_the_new_classes() {
+        let data = dataset();
+        let store = PartitionIndexStore::build(&data, &[0, 1])
+            .unwrap()
+            .with_class_cache();
+        // Warm two rows with the real evaluator shape (projection match).
+        for y in [Record::new(vec![0, 0, 1]), Record::new(vec![1, 2, 0])] {
+            store
+                .class_match_row(&y, Some(&[0, 1]), Some(&[0, 1]), &mut |rep| {
+                    data.records()[rep].get(0) == y.get(0) && data.records()[rep].get(1) == y.get(1)
+                })
+                .unwrap();
+        }
+        // Delete the whole (0,1) class and one (0,0) member; add a (1,2) and
+        // a brand-new (3,3) record.
+        let deletes = vec![0, 1];
+        let inserts = vec![Record::new(vec![1, 2, 1]), Record::new(vec![3, 3, 0])];
+        let updated = store.apply_delta(&deletes, &inserts).unwrap();
+        let cache = Arc::clone(updated.class_cache().unwrap());
+        assert_eq!(cache.rows(), 2, "resident rows survive the delta");
+        let fresh = PartitionIndexStore::build(&final_dataset(&data, &deletes, &inserts), &[0, 1])
+            .unwrap()
+            .with_class_cache();
+        // Every carried row must be bit-identical to what a fresh store
+        // computes for the same key — and must be served as a hit.
+        for y in [Record::new(vec![0, 0, 1]), Record::new(vec![1, 2, 0])] {
+            let evaluate = |store: &PartitionIndexStore, rep: usize| {
+                let record = &final_dataset(&data, &deletes, &inserts).records()[rep].clone();
+                let _ = store;
+                record.get(0) == y.get(0) && record.get(1) == y.get(1)
+            };
+            let carried = updated
+                .class_match_row(&y, Some(&[0, 1]), Some(&[0, 1]), &mut |rep| {
+                    evaluate(&updated, rep)
+                })
+                .unwrap();
+            assert!(carried.hit, "warm row must survive as a hit");
+            let rebuilt = fresh
+                .class_match_row(&y, Some(&[0, 1]), Some(&[0, 1]), &mut |rep| {
+                    evaluate(&fresh, rep)
+                })
+                .unwrap();
+            assert_eq!(carried.row.as_slice(), rebuilt.row.as_slice());
+        }
+    }
+
+    #[test]
+    fn apply_delta_rejects_malformed_input() {
+        let store = PartitionIndexStore::build(&dataset(), &[0, 1]).unwrap();
+        assert!(store.apply_delta(&[6], &[]).is_err());
+        assert!(store.apply_delta(&[3, 1], &[]).is_err());
+        assert!(store.apply_delta(&[2, 2], &[]).is_err());
+        // Inserted record too short for the key set.
+        assert!(store.apply_delta(&[], &[Record::new(vec![0])]).is_err());
+    }
+
+    #[test]
+    fn class_cache_evicts_oldest_rows_at_the_cap() {
+        let store = PartitionIndexStore::build(&dataset(), &[0, 1])
+            .unwrap()
+            .with_class_cache_capacity(2);
+        let cache = Arc::clone(store.class_cache().unwrap());
+        assert_eq!(cache.capacity(), 2);
+        let lookup = |y: &Record| {
+            store
+                .class_match_row(y, Some(&[0, 1]), Some(&[0, 1]), &mut |rep| rep == 0)
+                .unwrap()
+                .hit
+        };
+        let first = Record::new(vec![0, 0, 0]);
+        let second = Record::new(vec![0, 1, 0]);
+        let third = Record::new(vec![1, 2, 0]);
+        assert!(!lookup(&first));
+        assert!(!lookup(&second));
+        assert_eq!(cache.rows(), 2);
+        assert_eq!(cache.evictions(), 0);
+        // A third projection evicts the oldest-inserted row (`first`).
+        assert!(!lookup(&third));
+        assert_eq!(cache.rows(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // `second` and `third` are resident; `first` was evicted and must be
+        // recomputed — which in turn evicts `second`, the now-oldest row.
+        assert!(lookup(&second));
+        assert!(lookup(&third));
+        assert!(!lookup(&first));
+        assert_eq!(cache.rows(), 2);
+        assert_eq!(cache.evictions(), 2);
+        // Hits never advance the FIFO: after re-admitting `first`, the
+        // resident set is {third, first} regardless of the hits above.
+        assert!(lookup(&third));
+        assert!(lookup(&first));
+        assert!(!lookup(&second));
+        assert_eq!(cache.evictions(), 3);
     }
 
     #[test]

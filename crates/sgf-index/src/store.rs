@@ -100,6 +100,27 @@ pub trait SeedStore: Send + Sync + std::fmt::Debug {
     }
 }
 
+/// Validate the delete-index list of an incremental store update: strictly
+/// ascending (sorted, duplicate-free) and every index inside `0..len`.
+/// Shared by every `apply_delta` implementation so they reject malformed
+/// deltas identically.
+pub(crate) fn validate_delete_indices(
+    deletes: &[usize],
+    len: usize,
+) -> Result<(), sgf_data::DataError> {
+    if let Some(&bad) = deletes.iter().find(|&&d| d >= len) {
+        return Err(sgf_data::DataError::InvalidParameter(format!(
+            "delta deletes record {bad} but the store indexes {len} records"
+        )));
+    }
+    if deletes.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(sgf_data::DataError::InvalidParameter(
+            "delta delete indices must be strictly ascending".into(),
+        ));
+    }
+    Ok(())
+}
+
 /// Iterator over candidate seed indices returned by a [`SeedStore`].
 ///
 /// A concrete enum (rather than `Box<dyn Iterator>`) keeps the per-candidate

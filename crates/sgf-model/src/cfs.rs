@@ -87,10 +87,47 @@ pub fn parent_set_cost(parents: &[usize], bucketizer: &Bucketizer) -> u64 {
     })
 }
 
+/// Whether `to` is reachable from `from` along `children` edges, using
+/// caller-provided scratch buffers (the allocation-free twin of
+/// [`DependencyGraph`]'s internal cycle check — same boolean answer, since
+/// reachability is traversal-order independent).
+fn reaches_via(
+    children: &[Vec<usize>],
+    from: usize,
+    to: usize,
+    visited: &mut [bool],
+    stack: &mut Vec<usize>,
+) -> bool {
+    if from == to {
+        return true;
+    }
+    visited.fill(false);
+    stack.clear();
+    visited[from] = true;
+    stack.push(from);
+    while let Some(node) = stack.pop() {
+        for &child in &children[node] {
+            if child == to {
+                return true;
+            }
+            if !visited[child] {
+                visited[child] = true;
+                stack.push(child);
+            }
+        }
+    }
+    false
+}
+
 /// Greedily select the parent set of every attribute, producing an acyclic
 /// dependency graph.  Attributes are processed in a data-driven order (most
 /// strongly correlated attribute first) so that highly predictable attributes
 /// get first pick of parents before acyclicity constraints tighten.
+///
+/// The candidate loop is allocation-free (this runs on the incremental-update
+/// hot path) but scores each trial set with the exact floating-point
+/// operation sequence of [`merit_score`], so the selected graph is
+/// bit-deterministic in the matrix regardless of which path computed it.
 pub fn learn_structure(
     corr: &CorrelationMatrix,
     bucketizer: &Bucketizer,
@@ -119,9 +156,25 @@ pub fn learn_structure(
     // unique, so the downstream greedy parent selection is deterministic.
     order.sort_by(|&a, &b| best_corr(b).total_cmp(&best_corr(a)).then(a.cmp(&b)));
 
+    // children[i] = attributes with i as parent; mirror of `graph` kept so
+    // acyclicity checks reuse the scratch buffers below instead of
+    // allocating per candidate.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); m];
+    let mut visited = vec![false; m];
+    let mut stack: Vec<usize> = Vec::with_capacity(m);
+
     for &target in &order {
         let mut parents: Vec<usize> = Vec::new();
         let mut current_score = 0.0f64;
+        // Running left-folds over the accepted parents, maintained in exactly
+        // the order `merit_score` / `parent_set_cost` would fold a trial set
+        // `parents ++ [candidate]`: relevance prefix and cost prefix extend
+        // associatively, so `prefix ⊕ candidate` is bit-identical to the
+        // from-scratch fold.  (The redundancy pair sum does NOT decompose
+        // that way — its candidate terms interleave with base terms — so it
+        // is recomputed per candidate below, in original pair order.)
+        let mut relevance_prefix = 0.0f64;
+        let mut cost_prefix = 1u64;
         loop {
             if parents.len() >= config.max_parents {
                 break;
@@ -132,15 +185,44 @@ pub fn learn_structure(
                 if candidate == target || parents.contains(&candidate) {
                     continue;
                 }
-                if !graph.can_add_edge(candidate, target) {
+                // candidate -> target cycles iff target already reaches candidate.
+                if reaches_via(&children, target, candidate, &mut visited, &mut stack) {
                     continue;
                 }
-                let mut trial = parents.clone();
-                trial.push(candidate);
-                if parent_set_cost(&trial, bucketizer) > config.maxcost {
+                let cost = cost_prefix.saturating_mul(bucketizer.bucket_count(candidate) as u64);
+                if cost > config.maxcost {
                     continue;
                 }
-                let score = merit_score(target, &trial, corr);
+                let relevance = relevance_prefix + corr.get(target, candidate);
+                // merit_score's redundancy loop over `parents ++ [candidate]`,
+                // with trial[a] inlined — same pairs, same addition order.
+                let trial = |i: usize| {
+                    if i < parents.len() {
+                        parents[i]
+                    } else {
+                        candidate
+                    }
+                };
+                let mut redundancy = 0.0;
+                for a in 0..=parents.len() {
+                    for b in (a + 1)..=parents.len() {
+                        redundancy += 2.0 * corr.get(trial(a), trial(b));
+                    }
+                }
+                let denom = ((parents.len() + 1) as f64 + redundancy)
+                    .max(f64::EPSILON)
+                    .sqrt();
+                let score = relevance / denom;
+                #[cfg(debug_assertions)]
+                {
+                    let mut full = parents.clone();
+                    full.push(candidate);
+                    debug_assert_eq!(
+                        score.to_bits(),
+                        merit_score(target, &full, corr).to_bits(),
+                        "inlined merit diverged from merit_score for {full:?} -> {target}"
+                    );
+                }
                 if best.is_none_or(|(_, s)| score > s) {
                     best = Some((candidate, score));
                 }
@@ -148,6 +230,10 @@ pub fn learn_structure(
             match best {
                 Some((candidate, score)) if score > current_score + config.min_improvement => {
                     graph.add_edge(candidate, target)?;
+                    children[candidate].push(target);
+                    relevance_prefix += corr.get(target, candidate);
+                    cost_prefix =
+                        cost_prefix.saturating_mul(bucketizer.bucket_count(candidate) as u64);
                     parents.push(candidate);
                     current_score = score;
                 }

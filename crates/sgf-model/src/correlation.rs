@@ -7,14 +7,11 @@
 //! noise scaled by the sensitivity bound of Lemma 1, and the record count used
 //! by that bound is itself randomized (Eq. 10).
 
+use crate::counts::StructureCounts;
 use crate::error::{ModelError, Result};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use sgf_data::{Bucketizer, Dataset};
-use sgf_stats::{
-    entropy, entropy_sensitivity, joint_entropy, laplace_mechanism,
-    symmetrical_uncertainty_from_entropies, Histogram, JointHistogram,
-};
 
 /// Differential-privacy parameters for the correlation computation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -87,6 +84,39 @@ impl CorrelationMatrix {
         m + m * m.saturating_sub(1) / 2
     }
 
+    /// Largest absolute entry-wise difference to `other` — the *drift
+    /// statistic* of the incremental-update path: a freshly recomputed matrix
+    /// is compared against the one the current structure was learned from,
+    /// and full structure re-learning triggers only when the drift exceeds
+    /// the configured threshold.  Matrices of different sizes drift
+    /// infinitely.
+    pub fn max_abs_diff(&self, other: &CorrelationMatrix) -> f64 {
+        if self.m != other.m {
+            return f64::INFINITY;
+        }
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Crate-internal constructor for the count-based computation path
+    /// (`StructureCounts::matrix`), which owns the invariant that `values` is
+    /// a symmetric clamped `m x m` matrix.
+    pub(crate) fn from_parts(
+        m: usize,
+        values: Vec<f64>,
+        entropy_queries: usize,
+    ) -> CorrelationMatrix {
+        debug_assert_eq!(values.len(), m * m);
+        CorrelationMatrix {
+            m,
+            values,
+            entropy_queries,
+        }
+    }
+
     /// Build a matrix directly from raw row-major values — a test-only hook
     /// so consumers can inject degenerate (e.g. NaN) entries into their
     /// comparator regression tests.
@@ -122,6 +152,11 @@ pub fn noisy_correlation_matrix<R: Rng + ?Sized>(
     compute_matrix(dataset, bucketizer, Some(dp), rng)
 }
 
+/// Both public entry points route through the summable sufficient statistics
+/// of [`StructureCounts`]: the counts are fitted with one dataset pass and the
+/// matrix is then a pure function of the counts.  This is what makes the
+/// incremental-update path bit-identical by construction — a delta-merged
+/// count table feeds the exact same computation a from-scratch fit would.
 fn compute_matrix<R: Rng + ?Sized>(
     dataset: &Dataset,
     bucketizer: &Bucketizer,
@@ -131,68 +166,7 @@ fn compute_matrix<R: Rng + ?Sized>(
     if dataset.is_empty() {
         return Err(ModelError::EmptyTrainingData);
     }
-    let m = dataset.schema().len();
-    let n = dataset.len() as u64;
-
-    // Sensitivity of each entropy query.  Under DP the record count itself is
-    // randomized before being used inside the sensitivity bound (Eq. 10).
-    let mut entropy_queries = 0usize;
-    let sensitivity = match dp {
-        None => 0.0,
-        Some(cfg) => {
-            let noisy_n = laplace_mechanism(n as f64, 1.0, cfg.epsilon_nt, rng).max(2.0);
-            entropy_sensitivity(noisy_n.round() as u64)
-        }
-    };
-
-    let mut single = Vec::with_capacity(m);
-    for attr in 0..m {
-        let h = entropy(&Histogram::from_column_bucketized(
-            dataset, attr, bucketizer,
-        ));
-        let h = match dp {
-            None => h,
-            Some(cfg) => {
-                entropy_queries += 1;
-                laplace_mechanism(h, sensitivity, cfg.epsilon_h, rng).max(0.0)
-            }
-        };
-        single.push(h);
-    }
-
-    let mut values = vec![0.0; m * m];
-    for i in 0..m {
-        values[i * m + i] = 1.0;
-        for j in (i + 1)..m {
-            let joint = JointHistogram::from_pairs(
-                bucketizer.bucket_count(i),
-                bucketizer.bucket_count(j),
-                dataset.records().iter().map(|r| {
-                    (
-                        bucketizer.bucket_of(i, r.get(i)),
-                        bucketizer.bucket_of(j, r.get(j)),
-                    )
-                }),
-            );
-            let h_ij = joint_entropy(&joint);
-            let h_ij = match dp {
-                None => h_ij,
-                Some(cfg) => {
-                    entropy_queries += 1;
-                    laplace_mechanism(h_ij, sensitivity, cfg.epsilon_h, rng).max(0.0)
-                }
-            };
-            let corr = symmetrical_uncertainty_from_entropies(single[i], single[j], h_ij);
-            values[i * m + j] = corr;
-            values[j * m + i] = corr;
-        }
-    }
-
-    Ok(CorrelationMatrix {
-        m,
-        values,
-        entropy_queries,
-    })
+    StructureCounts::fit(dataset, bucketizer)?.matrix(dp, rng)
 }
 
 #[cfg(test)]

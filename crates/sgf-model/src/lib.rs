@@ -19,6 +19,7 @@
 
 pub mod cfs;
 pub mod correlation;
+pub mod counts;
 pub mod error;
 pub mod graph;
 pub mod marginal;
@@ -31,10 +32,14 @@ pub use cfs::{learn_structure, merit_score, parent_set_cost, CfsConfig};
 pub use correlation::{
     correlation_matrix, noisy_correlation_matrix, CorrelationDpConfig, CorrelationMatrix,
 };
+pub use counts::StructureCounts;
 pub use error::{ModelError, Result};
 pub use graph::DependencyGraph;
-pub use marginal::{MarginalConfig, MarginalModel};
+pub use marginal::{MarginalConfig, MarginalCounts, MarginalModel};
 pub use model::{BayesNetModel, GenerativeModel};
-pub use parameters::{CptStore, ParameterConfig};
-pub use structure::{learn_dependency_structure, LearnedStructure, StructureConfig};
+pub use parameters::{CptCounts, CptStore, ParameterConfig};
+pub use structure::{
+    learn_dependency_structure, learn_structure_from_counts, structure_from_correlations,
+    LearnedStructure, StructureConfig,
+};
 pub use synthesis::{OmegaSpec, SeedSynthesizer};

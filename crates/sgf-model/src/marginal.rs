@@ -42,8 +42,66 @@ impl Default for MarginalConfig {
     }
 }
 
+/// Summable per-attribute value counts — the sufficient statistics of the
+/// marginal model.  A record delta touches exactly `m` bins, so incremental
+/// maintenance is `O(|Δ| · m)`; re-deriving the model from merged counts is
+/// bit-identical to a from-scratch [`MarginalModel::learn`] because the noise
+/// comes from per-attribute seeded RNGs, not from a shared stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarginalCounts {
+    schema: Arc<Schema>,
+    /// `counts[attr][value]` over the attribute's full (unbucketized) domain.
+    counts: Vec<Vec<u64>>,
+    records: usize,
+}
+
+impl MarginalCounts {
+    /// Fit the counts with one pass over `dataset`.
+    pub fn fit(dataset: &Dataset) -> Self {
+        let schema = dataset.schema_arc();
+        let counts = (0..schema.len())
+            .map(|attr| Histogram::from_column(dataset, attr).counts().to_vec())
+            .collect();
+        MarginalCounts {
+            schema,
+            counts,
+            records: dataset.len(),
+        }
+    }
+
+    /// Number of records currently counted.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Merge a record delta: subtract `deletes`, then add `inserts`.  The
+    /// result equals [`Self::fit`] on the post-delta dataset exactly.
+    pub fn apply_delta(&mut self, deletes: &[Record], inserts: &[Record]) -> Result<()> {
+        for record in deletes {
+            let underflow = || {
+                ModelError::InvalidParameter(format!(
+                    "delta removes a record the marginal counts never saw: {:?}",
+                    record.values()
+                ))
+            };
+            self.records = self.records.checked_sub(1).ok_or_else(underflow)?;
+            for (attr, bins) in self.counts.iter_mut().enumerate() {
+                let cell = &mut bins[record.get(attr) as usize];
+                *cell = cell.checked_sub(1).ok_or_else(underflow)?;
+            }
+        }
+        for record in inserts {
+            self.records += 1;
+            for (attr, bins) in self.counts.iter_mut().enumerate() {
+                bins[record.get(attr) as usize] += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A seed-independent synthesizer sampling every attribute from its marginal.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MarginalModel {
     schema: Arc<Schema>,
     marginals: Vec<Vec<f64>>,
@@ -53,7 +111,13 @@ pub struct MarginalModel {
 impl MarginalModel {
     /// Learn (possibly noisy) marginals from a dataset.
     pub fn learn(dataset: &Dataset, config: MarginalConfig) -> Result<Self> {
-        if dataset.is_empty() {
+        Self::from_counts(&MarginalCounts::fit(dataset), config)
+    }
+
+    /// Derive the model from (possibly delta-merged) sufficient statistics.
+    /// Bit-identical to [`Self::learn`] on a dataset with the same counts.
+    pub fn from_counts(source: &MarginalCounts, config: MarginalConfig) -> Result<Self> {
+        if source.records == 0 {
             return Err(ModelError::EmptyTrainingData);
         }
         if !(config.alpha.is_finite() && config.alpha > 0.0) {
@@ -69,11 +133,10 @@ impl MarginalModel {
                 )));
             }
         }
-        let schema = dataset.schema_arc();
+        let schema = Arc::clone(&source.schema);
         let mut marginals = Vec::with_capacity(schema.len());
-        for attr in 0..schema.len() {
-            let histogram = Histogram::from_column(dataset, attr);
-            let mut counts: Vec<f64> = histogram.counts().iter().map(|&c| c as f64).collect();
+        for (attr, bins) in source.counts.iter().enumerate() {
+            let mut counts: Vec<f64> = bins.iter().map(|&c| c as f64).collect();
             if let Some(eps) = config.epsilon_p {
                 let mut rng = configuration_rng(config.global_seed, "sgf-marginals", attr, 0);
                 let lap = Laplace::for_mechanism(1.0, eps);
@@ -235,6 +298,34 @@ mod tests {
             .count() as f64
             / 500.0;
         assert!(agree < 0.9);
+    }
+
+    #[test]
+    fn delta_merged_counts_rebuild_the_same_model() {
+        let d = dataset(1000);
+        let mut counts = MarginalCounts::fit(&d);
+        let deletes: Vec<Record> = d.records()[..5].to_vec();
+        let inserts = vec![Record::new(vec![2, 0]), Record::new(vec![1, 1])];
+        counts.apply_delta(&deletes, &inserts).unwrap();
+
+        let mut final_records: Vec<Record> = d.records()[5..].to_vec();
+        final_records.extend(inserts.iter().cloned());
+        let final_dataset = Dataset::from_records_unchecked(d.schema_arc(), final_records);
+        assert_eq!(counts, MarginalCounts::fit(&final_dataset));
+        assert_eq!(counts.records(), 997);
+
+        let config = MarginalConfig {
+            epsilon_p: Some(0.4),
+            global_seed: 12,
+            ..MarginalConfig::default()
+        };
+        let incremental = MarginalModel::from_counts(&counts, config).unwrap();
+        let fresh = MarginalModel::learn(&final_dataset, config).unwrap();
+        assert_eq!(incremental, fresh);
+
+        // Underflow (removing a record that was never counted) is rejected.
+        let phantom = vec![Record::new(vec![2, 1]); 2000];
+        assert!(counts.apply_delta(&phantom, &[]).is_err());
     }
 
     #[test]

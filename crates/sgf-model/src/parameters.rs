@@ -83,7 +83,7 @@ impl ParameterConfig {
 }
 
 /// Per-attribute layout of the conditional probability tables.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct AttributeTable {
     /// Strides used to turn parent bucket values into a configuration index.
     parent_strides: Vec<u64>,
@@ -114,6 +114,23 @@ pub struct CptStore {
     training_records: usize,
 }
 
+/// Equality compares the learned state (schema, bucketizer, graph, config,
+/// raw counts, budget, record count) and deliberately ignores the lazy
+/// conditional cache: cached entries are deterministic materializations of
+/// that state, so two equal stores always expose identical conditionals no
+/// matter which entries happen to be cached.
+impl PartialEq for CptStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.bucketizer == other.bucketizer
+            && self.graph == other.graph
+            && self.config == other.config
+            && self.tables == other.tables
+            && self.budget == other.budget
+            && self.training_records == other.training_records
+    }
+}
+
 impl std::fmt::Debug for CptStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CptStore")
@@ -121,6 +138,75 @@ impl std::fmt::Debug for CptStore {
             .field("training_records", &self.training_records)
             .field("budget", &self.budget)
             .finish()
+    }
+}
+
+/// Summable CPT sufficient statistics: the raw contingency counts of every
+/// attribute's conditional table, separated from the (noise, prior, cache)
+/// machinery of [`CptStore`] so a seed-data delta is an `O(|Δ| · m)` count
+/// merge instead of a full pass over `D_P`.  The table *layout* is a pure
+/// function of the dependency graph and bucketizer, so merged counts only
+/// stay meaningful while the graph is unchanged — a structure re-learn must
+/// re-fit from the dataset instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CptCounts {
+    schema: Arc<Schema>,
+    tables: Vec<AttributeTable>,
+    records: usize,
+}
+
+impl CptCounts {
+    /// Number of records currently counted.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    fn cell_of(
+        table: &AttributeTable,
+        bucketizer: &Bucketizer,
+        record: &sgf_data::Record,
+        attr: usize,
+    ) -> usize {
+        let mut config_idx: u64 = 0;
+        for (&p, &stride) in table.parents.iter().zip(table.parent_strides.iter()) {
+            config_idx += stride * bucketizer.bucket_of(p, record.get(p)) as u64;
+        }
+        config_idx as usize * table.cardinality + record.get(attr) as usize
+    }
+
+    /// Merge a record delta: subtract `deletes`, then add `inserts`.  The
+    /// result equals [`CptStore::fit_counts`] on the post-delta dataset
+    /// exactly (counting is commutative; additions saturate identically to
+    /// the learning pass).
+    pub fn apply_delta(
+        &mut self,
+        deletes: &[sgf_data::Record],
+        inserts: &[sgf_data::Record],
+        bucketizer: &Bucketizer,
+    ) -> Result<()> {
+        for record in deletes {
+            let underflow = || {
+                ModelError::InvalidParameter(format!(
+                    "delta removes a record the CPT counts never saw: {:?}",
+                    record.values()
+                ))
+            };
+            self.records = self.records.checked_sub(1).ok_or_else(underflow)?;
+            for attr in 0..self.tables.len() {
+                let cell = Self::cell_of(&self.tables[attr], bucketizer, record, attr);
+                let count = &mut self.tables[attr].counts[cell];
+                *count = count.checked_sub(1).ok_or_else(underflow)?;
+            }
+        }
+        for record in inserts {
+            self.records += 1;
+            for attr in 0..self.tables.len() {
+                let cell = Self::cell_of(&self.tables[attr], bucketizer, record, attr);
+                let count = &mut self.tables[attr].counts[cell];
+                *count = count.saturating_add(1);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -133,6 +219,17 @@ impl CptStore {
         config: ParameterConfig,
     ) -> Result<Self> {
         config.validate()?;
+        let counts = Self::fit_counts(dataset, bucketizer, graph)?;
+        Self::from_counts(counts, bucketizer, graph, config)
+    }
+
+    /// Fit the summable sufficient statistics (contingency counts) with one
+    /// pass over `dataset`, laying the tables out for `graph`'s parent sets.
+    pub fn fit_counts(
+        dataset: &Dataset,
+        bucketizer: &Bucketizer,
+        graph: &DependencyGraph,
+    ) -> Result<CptCounts> {
         if dataset.is_empty() {
             return Err(ModelError::EmptyTrainingData);
         }
@@ -176,6 +273,41 @@ impl CptStore {
             }
         }
 
+        Ok(CptCounts {
+            schema,
+            tables,
+            records: dataset.len(),
+        })
+    }
+
+    /// Assemble a store from (possibly delta-merged) sufficient statistics.
+    /// The conditional cache starts empty; because noise is materialized
+    /// lazily from per-configuration seeded RNGs, a store built from merged
+    /// counts exposes conditionals bit-identical to a from-scratch
+    /// [`Self::learn`] on a dataset with the same counts.
+    pub fn from_counts(
+        counts: CptCounts,
+        bucketizer: &Bucketizer,
+        graph: &DependencyGraph,
+        config: ParameterConfig,
+    ) -> Result<Self> {
+        config.validate()?;
+        if counts.records == 0 {
+            return Err(ModelError::EmptyTrainingData);
+        }
+        let CptCounts {
+            schema,
+            tables,
+            records,
+        } = counts;
+        if graph.len() != schema.len() {
+            return Err(ModelError::InvalidGraph(format!(
+                "graph has {} nodes but the schema has {} attributes",
+                graph.len(),
+                schema.len()
+            )));
+        }
+
         // Privacy cost: the noisy count vector of one attribute has L1
         // sensitivity 1 across *all* configurations, so each attribute costs
         // ε_p and the m attributes compose with the advanced theorem.
@@ -195,8 +327,33 @@ impl CptStore {
             tables,
             cache,
             budget,
-            training_records: dataset.len(),
+            training_records: records,
         })
+    }
+
+    /// Apply a record delta to this store's counts, returning a new store
+    /// with an empty conditional cache.  Only valid while the dependency
+    /// graph is unchanged; a structure re-learn must go through
+    /// [`Self::learn`] on the new `D_P` instead.
+    pub fn apply_delta(
+        &self,
+        deletes: &[sgf_data::Record],
+        inserts: &[sgf_data::Record],
+    ) -> Result<Self> {
+        let mut counts = CptCounts {
+            schema: Arc::clone(&self.schema),
+            tables: self.tables.clone(),
+            records: self.training_records,
+        };
+        counts.apply_delta(deletes, inserts, &self.bucketizer)?;
+        Self::from_counts(counts, &self.bucketizer, &self.graph, self.config)
+    }
+
+    /// Raw contingency counts of attribute `attr` (`config * cardinality + value`
+    /// cell layout) — exposed so equivalence tests can compare stores
+    /// byte-for-byte.
+    pub fn table_counts(&self, attr: usize) -> &[u32] {
+        &self.tables[attr].counts
     }
 
     /// The schema the store was learned over.
@@ -494,6 +651,43 @@ mod tests {
         }
         let p = store.conditional_probability(1, 2, |attr| if attr == 0 { 2 } else { 0 });
         assert!((hits as f64 / n as f64 - p).abs() < 0.03);
+    }
+
+    #[test]
+    fn delta_merged_counts_rebuild_the_same_store() {
+        let d = dataset(1000);
+        let bkt = Bucketizer::identity(d.schema());
+        let config = ParameterConfig {
+            epsilon_p: Some(0.3),
+            sample_parameters: true,
+            global_seed: 7,
+            ..ParameterConfig::default()
+        };
+        let store = CptStore::learn(&d, &bkt, &graph(), config).unwrap();
+        // Warm the cache to show it does not leak into the delta result.
+        let _ = store.conditional(1, 0);
+
+        let deletes: Vec<Record> = d.records()[..4].to_vec();
+        let inserts = vec![Record::new(vec![2, 2]), Record::new(vec![0, 1])];
+        let updated = store.apply_delta(&deletes, &inserts).unwrap();
+
+        let mut final_records: Vec<Record> = d.records()[4..].to_vec();
+        final_records.extend(inserts.iter().cloned());
+        let final_dataset = Dataset::from_records_unchecked(d.schema_arc(), final_records);
+        let fresh = CptStore::learn(&final_dataset, &bkt, &graph(), config).unwrap();
+
+        assert_eq!(updated, fresh);
+        assert_eq!(updated.training_records(), 998);
+        for attr in 0..2 {
+            assert_eq!(updated.table_counts(attr), fresh.table_counts(attr));
+            for c in 0..updated.configurations(attr) {
+                assert_eq!(*updated.conditional(attr, c), *fresh.conditional(attr, c));
+            }
+        }
+
+        // Deleting a record that was never counted underflows and is rejected.
+        let phantom = vec![Record::new(vec![2, 0]); 2000];
+        assert!(updated.apply_delta(&phantom, &[]).is_err());
     }
 
     #[test]

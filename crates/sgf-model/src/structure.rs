@@ -10,6 +10,7 @@ use crate::cfs::{learn_structure, CfsConfig};
 use crate::correlation::{
     correlation_matrix, noisy_correlation_matrix, CorrelationDpConfig, CorrelationMatrix,
 };
+use crate::counts::StructureCounts;
 use crate::error::Result;
 use crate::graph::DependencyGraph;
 use rand::Rng;
@@ -101,6 +102,46 @@ pub fn learn_dependency_structure<R: Rng + ?Sized>(
         None => correlation_matrix(dataset, bucketizer)?,
         Some(dp) => noisy_correlation_matrix(dataset, bucketizer, dp, rng)?,
     };
+    structure_from_correlations(correlations, bucketizer, config)
+}
+
+/// Learn the dependency structure from delta-maintained sufficient statistics
+/// (the incremental-update re-learn path).
+///
+/// Feeding counts fitted from a dataset and an identically-seeded `rng`
+/// produces a [`LearnedStructure`] bit-identical to
+/// [`learn_dependency_structure`] on that dataset: the matrix computation and
+/// its DP noise draws are shared, and the CFS search plus budget accounting
+/// below are deterministic in the matrix.
+pub fn learn_structure_from_counts<R: Rng + ?Sized>(
+    counts: &StructureCounts,
+    bucketizer: &Bucketizer,
+    config: &StructureConfig,
+    rng: &mut R,
+) -> Result<LearnedStructure> {
+    if let Some(dp) = &config.dp {
+        dp.validate()?;
+    }
+    let correlations = counts.matrix(config.dp.as_ref(), rng)?;
+    structure_from_correlations(correlations, bucketizer, config)
+}
+
+/// The deterministic tail of structure learning: CFS search over a computed
+/// correlation matrix plus the composition-theorem budget accounting.
+///
+/// Exposed so incremental updates can split the relearn at the matrix: a
+/// caller that derives the matrix via [`StructureCounts::matrix`], finds its
+/// drift below threshold, and keeps the old structure never pays for the CFS
+/// search.  `structure_from_correlations(matrix, ...)` on the same matrix is
+/// bit-identical to the tail of [`learn_structure_from_counts`] /
+/// [`learn_dependency_structure`].
+///
+/// [`StructureCounts::matrix`]: crate::counts::StructureCounts::matrix
+pub fn structure_from_correlations(
+    correlations: CorrelationMatrix,
+    bucketizer: &Bucketizer,
+    config: &StructureConfig,
+) -> Result<LearnedStructure> {
     let graph = learn_structure(&correlations, bucketizer, &config.cfs)?;
     let budget = match &config.dp {
         None => DpBudget::pure(0.0),
@@ -164,6 +205,23 @@ mod tests {
             } else {
                 assert_eq!(weight, 0.0);
             }
+        }
+    }
+
+    #[test]
+    fn count_based_relearn_matches_the_dataset_path_bit_for_bit() {
+        let data = generate_acs(1500, 4);
+        let bkt = acs_bucketizer(&acs_schema());
+        for config in [StructureConfig::exact(), StructureConfig::private(0.5, 0.1)] {
+            let mut rng_a = StdRng::seed_from_u64(21);
+            let direct = learn_dependency_structure(&data, &bkt, &config, &mut rng_a).unwrap();
+            let counts = StructureCounts::fit(&data, &bkt).unwrap();
+            let mut rng_b = StdRng::seed_from_u64(21);
+            let relearned =
+                learn_structure_from_counts(&counts, &bkt, &config, &mut rng_b).unwrap();
+            assert_eq!(direct.graph, relearned.graph);
+            assert_eq!(direct.correlations, relearned.correlations);
+            assert_eq!(direct.budget, relearned.budget);
         }
     }
 

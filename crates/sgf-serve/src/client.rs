@@ -7,7 +7,7 @@
 //! surface as [`ClientError::Rejected`] with the machine-readable code.
 
 use crate::json::Value;
-use crate::protocol::{parse_record_line, GenerateCall, Request};
+use crate::protocol::{parse_record_line, GenerateCall, Request, UpdateCall};
 use sgf_data::Record;
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -201,6 +201,14 @@ impl Client {
             ledger,
             provenance,
         })
+    }
+
+    /// Fold a ±record delta into a session (the `update` verb), advancing it
+    /// to its next epoch.  Returns the full response line (`epoch`, `seeds`,
+    /// `inserts`, `deletes`).
+    pub fn update(&mut self, call: &UpdateCall) -> ClientResult<Value> {
+        self.send(&call.encode())?;
+        Self::check_rejection(self.read_value()?)
     }
 
     /// Send a raw protocol line and read back one response line — for

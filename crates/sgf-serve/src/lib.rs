@@ -63,6 +63,8 @@ pub mod queue;
 pub mod server;
 
 pub use client::{Client, ClientError, ClientResult, Rejection, Release};
-pub use protocol::{reject, GenerateCall, ModelKind, Request, DEFAULT_SESSION};
+pub use protocol::{reject, GenerateCall, ModelKind, Request, UpdateCall, DEFAULT_SESSION};
 pub use queue::{BoundedQueue, PushError};
-pub use server::{cap_admitting, serve, ServeConfig, ServerHandle, SessionEntry};
+pub use server::{
+    cap_admitting, serve, ServeConfig, ServerHandle, SessionEntry, MAX_ADAPTIVE_FOLD,
+};

@@ -5,6 +5,7 @@
 //! | verb | fields |
 //! |---|---|
 //! | `generate` | `session` (default `"default"`), `target` (required), `seed`, `workers`, `max_candidate_factor`, `omega` (number or `{"lo","hi"}`), `seed_index` (`"scan"`/`"inverted"`/`"partition"`/`"auto"`), `stream` (bool), `model` (`"seed"`/`"marginal"`) |
+//! | `update` | `session` (default `"default"`), `inserts` (array of records), `deletes` (array of records) — records are arrays of attribute value indices |
 //! | `status` | — |
 //! | `ledger` | `session` |
 //! | `metrics` | `session` (optional: restrict to one session's cell), `noisy` (bool: include timers/summaries) |
@@ -50,6 +51,9 @@ pub mod reject {
     pub const SHUTTING_DOWN: &str = "shutting_down";
     /// The admitted request failed while generating.
     pub const GENERATE_FAILED: &str = "generate_failed";
+    /// The admitted `update` delta failed to apply (e.g. deleting a record
+    /// the dataset does not hold, or draining the seed subset below `k`).
+    pub const UPDATE_FAILED: &str = "update_failed";
 }
 
 /// Which generative model a `generate` request runs through the mechanism.
@@ -149,11 +153,85 @@ impl GenerateCall {
     }
 }
 
+/// A parsed `update` request: a ±record delta to fold into a session,
+/// advancing it to its next epoch (see `SynthesisSession::update`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UpdateCall {
+    /// Which registered session to advance.
+    pub session: String,
+    /// Records to append (attribute value indices, validated against the
+    /// session schema server-side).
+    pub inserts: Vec<Record>,
+    /// Records to remove (matched by value against the current dataset).
+    pub deletes: Vec<Record>,
+}
+
+impl UpdateCall {
+    /// An empty delta against the default session.
+    pub fn new() -> Self {
+        UpdateCall {
+            session: DEFAULT_SESSION.to_string(),
+            inserts: Vec::new(),
+            deletes: Vec::new(),
+        }
+    }
+
+    /// Target a named session.
+    pub fn with_session(mut self, session: &str) -> Self {
+        self.session = session.to_string();
+        self
+    }
+
+    /// Append a record.
+    pub fn insert(mut self, record: Record) -> Self {
+        self.inserts.push(record);
+        self
+    }
+
+    /// Remove a record (by value).
+    pub fn delete(mut self, record: Record) -> Self {
+        self.deletes.push(record);
+        self
+    }
+
+    /// Encode the call as one protocol line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut line = format!(
+            "{{\"verb\":\"update\",\"session\":\"{}\"",
+            escape(&self.session)
+        );
+        for (key, records) in [("inserts", &self.inserts), ("deletes", &self.deletes)] {
+            if records.is_empty() {
+                continue;
+            }
+            line.push_str(&format!(",\"{key}\":["));
+            for (i, record) in records.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push('[');
+                for (j, v) in record.values().iter().enumerate() {
+                    if j > 0 {
+                        line.push(',');
+                    }
+                    line.push_str(&v.to_string());
+                }
+                line.push(']');
+            }
+            line.push(']');
+        }
+        line.push('}');
+        line
+    }
+}
+
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Release synthetic records from a session.
     Generate(GenerateCall),
+    /// Fold a ±record delta into a session (next session epoch).
+    Update(UpdateCall),
     /// Report server state (queue depth, busy workers, sessions).
     Status,
     /// Report a session's cumulative budget ledger.
@@ -189,6 +267,7 @@ impl Request {
     pub fn encode(&self) -> String {
         match self {
             Request::Generate(call) => call.encode(),
+            Request::Update(call) => call.encode(),
             Request::Status => "{\"verb\":\"status\"}".to_string(),
             Request::Ledger { session } => {
                 format!(
@@ -226,6 +305,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             noisy: noisy_flag(&value)?,
         }),
         "generate" => parse_generate(&value).map(Request::Generate),
+        "update" => parse_update(&value).map(Request::Update),
         other => Err(format!("unknown verb `{other}`")),
     }
 }
@@ -336,6 +416,40 @@ fn parse_generate(value: &Value) -> Result<GenerateCall, String> {
         stream,
         model,
     })
+}
+
+fn parse_update(value: &Value) -> Result<UpdateCall, String> {
+    let mut call = UpdateCall::new().with_session(&session_name(value)?);
+    for (key, out) in [("inserts", 0usize), ("deletes", 1usize)] {
+        let records = match value.get(key) {
+            None => continue,
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| format!("field `{key}` must be an array of records"))?,
+        };
+        for record in records {
+            let values = record
+                .as_array()
+                .ok_or_else(|| format!("each `{key}` record must be an array of value indices"))?
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .filter(|&n| n <= u16::MAX as u64)
+                        .map(|n| n as u16)
+                })
+                .collect::<Option<Vec<u16>>>()
+                .ok_or_else(|| {
+                    format!("each `{key}` record value must be an integer in [0, 65535]")
+                })?;
+            let record = Record::new(values);
+            if out == 0 {
+                call.inserts.push(record);
+            } else {
+                call.deletes.push(record);
+            }
+        }
+    }
+    Ok(call)
 }
 
 fn parse_omega(value: &Value) -> Result<OmegaSpec, String> {
@@ -495,6 +609,41 @@ mod tests {
             },
         ] {
             assert_eq!(parse_request(&request.encode()).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn update_calls_round_trip_through_encode_and_parse() {
+        let calls = [
+            UpdateCall::new(),
+            UpdateCall::new()
+                .with_session("census")
+                .insert(Record::new(vec![1, 2, 3]))
+                .insert(Record::new(vec![0, 0, 65535]))
+                .delete(Record::new(vec![4, 5, 6])),
+            UpdateCall::new().delete(Record::new(vec![9])),
+        ];
+        for call in calls {
+            let parsed = parse_request(&call.encode()).unwrap();
+            assert_eq!(parsed, Request::Update(call));
+        }
+        // Absent arrays default to an empty delta against the default session.
+        let parsed = parse_request(r#"{"verb":"update"}"#).unwrap();
+        assert_eq!(parsed, Request::Update(UpdateCall::new()));
+    }
+
+    #[test]
+    fn malformed_update_requests_are_rejected_with_a_reason() {
+        for (line, needle) in [
+            (r#"{"verb":"update","session":7}"#, "session"),
+            (r#"{"verb":"update","inserts":7}"#, "inserts"),
+            (r#"{"verb":"update","deletes":[7]}"#, "deletes"),
+            (r#"{"verb":"update","inserts":[[-1]]}"#, "integer"),
+            (r#"{"verb":"update","inserts":[[70000]]}"#, "integer"),
+            (r#"{"verb":"update","deletes":[["a"]]}"#, "integer"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err} (wanted {needle})");
         }
     }
 

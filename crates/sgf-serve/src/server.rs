@@ -23,9 +23,12 @@
 //!    closes, queued jobs still complete, workers then exit, and
 //!    [`ServerHandle::join`] returns once every thread is down.
 
-use crate::protocol::{self, reject, GenerateCall, ModelKind, Request, DEFAULT_SESSION};
+use crate::protocol::{
+    self, reject, GenerateCall, ModelKind, Request, UpdateCall, DEFAULT_SESSION,
+};
 use crate::queue::{BoundedQueue, PushError};
 use sgf_core::{CoreError, ReleaseReport, SynthesisSession};
+use sgf_data::DatasetDelta;
 use sgf_metrics::{Scope, SpanId, Trace, TraceBatch};
 use sgf_stats::DpBudget;
 use std::collections::HashMap;
@@ -53,15 +56,21 @@ pub struct ServeConfig {
     /// knob making queue backpressure deterministic to exercise; `None` in
     /// production.
     pub service_delay: Option<Duration>,
-    /// Request folding: a worker that pops a generate job also drains up to
-    /// `max_fold - 1` queued jobs for the *same session* and serves the whole
-    /// fold in one turn, so the fused sweep runs against a warm class-match
-    /// cache and the queue wakes fewer threads.  Folding never reorders a
-    /// session's admitted jobs, never crosses sessions, and each folded
-    /// request still gets its own response, reservation settlement, and
-    /// service-time observation — per-request outputs are byte-identical to
-    /// an unfolded run.  `<= 1` disables folding.
-    pub max_fold: usize,
+    /// Request folding: a worker that pops a generate job also drains queued
+    /// jobs for the *same session* and serves the whole fold in one turn, so
+    /// the fused sweep runs against a warm class-match cache and the queue
+    /// wakes fewer threads.  Folding never reorders a session's admitted
+    /// jobs, never crosses sessions, and each folded request still gets its
+    /// own response, reservation settlement, and service-time observation —
+    /// per-request outputs are byte-identical to an unfolded run.
+    ///
+    /// `None` (the default) folds **adaptively** from the queue depth the
+    /// worker observes at pop time: an empty queue never folds (sequential
+    /// traffic is served one-for-one, byte-identical to a fold-free server,
+    /// with no fold metrics or spans), and a backed-up queue folds up to
+    /// [`MAX_ADAPTIVE_FOLD`] jobs per turn.  `Some(n)` overrides with a fixed
+    /// cap (`Some(1)` disables folding entirely; `Some(0)` is treated as 1).
+    pub max_fold: Option<usize>,
     /// Turn the process-wide deterministic trace ring on at startup, so the
     /// `trace` verb has spans to report.  (Never turned back off: the ring
     /// is shared, so one server must not blind another.)
@@ -79,7 +88,7 @@ impl Default for ServeConfig {
             workers: 4,
             retry_after_ms: 50,
             service_delay: None,
-            max_fold: 8,
+            max_fold: None,
             trace: true,
             log_requests: false,
         }
@@ -138,9 +147,26 @@ pub fn cap_admitting(session: &SynthesisSession, releases: usize) -> Option<DpBu
     ))
 }
 
+/// The largest fold an adaptive worker turn coalesces, however deep the
+/// queue is (matches the old fixed default).
+pub const MAX_ADAPTIVE_FOLD: usize = 8;
+
+/// A registered session slot.  The handle sits behind a mutex so the
+/// `update` verb can swap in the next session epoch while requests already
+/// holding a clone keep serving the epoch they were admitted against; every
+/// reader takes a cheap clone (shared `Arc` internals) and releases the lock
+/// immediately.
 struct Registered {
-    session: SynthesisSession,
+    session: Mutex<SynthesisSession>,
     cap: Option<DpBudget>,
+}
+
+impl Registered {
+    /// Clone the current epoch's handle (models, stores, and the ledger are
+    /// shared `Arc`s — this never copies trained state).
+    fn session(&self) -> SynthesisSession {
+        locked(&self.session).clone()
+    }
 }
 
 /// An admitted-but-unsettled budget reservation: aborts on drop unless the
@@ -195,7 +221,7 @@ struct ServerState {
     workers: usize,
     retry_after_ms: u64,
     service_delay: Option<Duration>,
-    max_fold: usize,
+    max_fold: Option<usize>,
     log_requests: bool,
     addr: SocketAddr,
     next_request_id: AtomicU64,
@@ -303,7 +329,7 @@ pub fn serve(config: ServeConfig, sessions: Vec<SessionEntry>) -> std::io::Resul
         map.insert(
             entry.name,
             Registered {
-                session: scoped,
+                session: Mutex::new(scoped),
                 cap: entry.cap,
             },
         );
@@ -491,6 +517,113 @@ fn handle_line(line: &str, out: &Arc<Mutex<TcpStream>>, state: &Arc<ServerState>
             }
         }
         Ok(Request::Generate(call)) => admit_generate(call, request_id, out, state),
+        Ok(Request::Update(call)) => admit_update(call, request_id, out, state),
+    }
+}
+
+/// The `update` verb: fold a ±record delta into a registered session,
+/// advancing it to its next epoch.  Admission runs the same gates as
+/// `generate` — a draining server rejects with `shutting_down`, an unknown
+/// name with `unknown_session` — and the swap holds the session slot's lock
+/// for the whole update, so concurrent updates serialize and every generate
+/// request is served by exactly one epoch (the one whose handle it cloned at
+/// admission; in-flight requests finish against their admitted epoch).
+fn admit_update(
+    call: UpdateCall,
+    request_id: u64,
+    out: &Arc<Mutex<TcpStream>>,
+    state: &Arc<ServerState>,
+) {
+    if state.draining.load(Ordering::SeqCst) {
+        log_request(state, request_id, "update", &call.session, "shutting_down");
+        write_line(
+            out,
+            &protocol::reject_line(reject::SHUTTING_DOWN, "server is draining", &[]),
+        );
+        return;
+    }
+    let Some(registered) = state.sessions.get(&call.session) else {
+        log_request(
+            state,
+            request_id,
+            "update",
+            &call.session,
+            "unknown_session",
+        );
+        write_line(out, &unknown_session_line(&call.session));
+        return;
+    };
+    let scope = session_scope(&call.session);
+    // Hold the slot for the whole update: admissions for this session wait
+    // (milliseconds — the update is O(|delta|)), and the epoch swap is atomic
+    // with respect to them.
+    let mut slot = locked(&registered.session);
+    let delta = {
+        // The delta validates against the session's schema; a record of the
+        // wrong arity or with out-of-domain values is a bad request, not a
+        // failed update.
+        let schema = slot.seeds().schema_arc();
+        let mut delta = DatasetDelta::new(schema);
+        let mut malformed = Ok(());
+        for record in &call.deletes {
+            if let Err(err) = delta.delete(record.clone()) {
+                malformed = Err(err);
+                break;
+            }
+        }
+        if malformed.is_ok() {
+            for record in &call.inserts {
+                if let Err(err) = delta.insert(record.clone()) {
+                    malformed = Err(err);
+                    break;
+                }
+            }
+        }
+        match malformed {
+            Ok(()) => delta,
+            Err(err) => {
+                drop(slot);
+                log_request(state, request_id, "update", &call.session, "bad_request");
+                write_line(
+                    out,
+                    &protocol::reject_line(reject::BAD_REQUEST, &err.to_string(), &[]),
+                );
+                return;
+            }
+        }
+    };
+    match slot.update(&delta) {
+        Ok(next) => {
+            let epoch = next.epoch();
+            let seeds = next.seeds().len();
+            *slot = next;
+            drop(slot);
+            sgf_metrics::scoped(&scope).counter("serve.updates").incr();
+            log_request(state, request_id, "update", &call.session, "ok");
+            write_line(
+                out,
+                &format!(
+                    "{{\"ok\":true,\"verb\":\"update\",\"session\":\"{}\",\"epoch\":{},\
+                     \"seeds\":{},\"inserts\":{},\"deletes\":{}}}",
+                    crate::json::escape(&call.session),
+                    epoch,
+                    seeds,
+                    call.inserts.len(),
+                    call.deletes.len()
+                ),
+            );
+        }
+        Err(err) => {
+            drop(slot);
+            sgf_metrics::scoped(&scope)
+                .counter("serve.update_failed")
+                .incr();
+            log_request(state, request_id, "update", &call.session, "update_failed");
+            write_line(
+                out,
+                &protocol::reject_line(reject::UPDATE_FAILED, &err.to_string(), &[]),
+            );
+        }
     }
 }
 
@@ -599,7 +732,7 @@ fn ledger_line(name: &str, registered: &Registered) -> String {
         "{{\"ok\":true,\"verb\":\"ledger\",\"session\":\"{}\",\"ledger\":{},\
          \"cap_epsilon\":{},\"cap_delta\":{}}}",
         crate::json::escape(name),
-        registered.session.ledger().to_json(),
+        registered.session().ledger().to_json(),
         cap_epsilon,
         cap_delta
     )
@@ -659,13 +792,15 @@ fn admit_generate(
         return;
     };
     let scope = session_scope(&call.session);
+    // Clone the current epoch's handle once: the reservation, the queued job,
+    // and the eventual generate all run against this epoch even if an
+    // `update` swaps the slot while the job is queued (the shared ledger
+    // keeps budget accounting exact across epochs).
+    let session = registered.session();
     let reservation = match registered.cap {
         None => None,
-        Some(cap) => match registered.session.try_reserve(call.request.target, cap) {
-            Ok(()) => Some(ReservationGuard::new(
-                registered.session.clone(),
-                call.request.target,
-            )),
+        Some(cap) => match session.try_reserve(call.request.target, cap) {
+            Ok(()) => Some(ReservationGuard::new(session.clone(), call.request.target)),
             Err(CoreError::BudgetCapExceeded { requested, cap }) => {
                 sgf_metrics::scoped(&scope)
                     .counter("serve.rejected_budget")
@@ -704,7 +839,7 @@ fn admit_generate(
     };
     let session_name = call.session.clone();
     let job = Job {
-        session: registered.session.clone(),
+        session,
         call,
         reservation,
         out: Arc::clone(out),
@@ -775,10 +910,26 @@ fn worker_loop(state: &Arc<ServerState>) {
         // the session's admitted order, so per-request outputs stay exactly
         // what the unfolded worker would have produced; the fused sweep just
         // runs against a class-match cache the earlier members warmed.
-        let folded = if state.max_fold > 1 {
+        //
+        // The fold cap adapts to pressure unless a fixed override is set: the
+        // queue depth observed right after the pop (the jobs still waiting)
+        // is exactly how far behind this worker is, so an empty queue folds
+        // nothing — sequential traffic stays a strict one-request-per-turn
+        // server — and a backlog folds up to MAX_ADAPTIVE_FOLD jobs at once.
+        let fold_cap = match state.max_fold {
+            Some(fixed) => fixed.max(1),
+            None => {
+                let cap = state.queue.len().min(MAX_ADAPTIVE_FOLD - 1) + 1;
+                if cap > 1 {
+                    sgf_metrics::summary("serve.adaptive_fold_cap").observe(cap as u64);
+                }
+                cap
+            }
+        };
+        let folded = if fold_cap > 1 {
             state.queue.drain_matching(
                 |queued| queued.call.session == job.call.session,
-                state.max_fold - 1,
+                fold_cap - 1,
             )
         } else {
             Vec::new()

@@ -29,6 +29,32 @@ pub fn entropy(histogram: &Histogram) -> f64 {
     entropy_from_probabilities(&histogram.probabilities())
 }
 
+/// Shannon entropy (base 2) directly from a borrowed count vector — the
+/// allocation-free path used by delta-maintained sufficient statistics.
+///
+/// Performs the identical floating-point operation sequence as
+/// [`entropy`] over [`Histogram::from_counts`] (normalize each bin in
+/// order, skip zero-probability bins, sum `-p log2 p`), so the result is
+/// bit-identical; an all-zero vector yields the uniform convention of
+/// [`Histogram::probabilities`].
+pub fn entropy_from_counts(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        let p = 1.0 / counts.len().max(1) as f64;
+        return counts.iter().map(|_| -p * p.log2()).sum();
+    }
+    // Zero-count bins are filtered out of the sum either way (`0 / total`
+    // is exactly `0.0`), so skipping them before the division changes no
+    // bits of the result — it only spares sparse tables the per-cell work.
+    counts
+        .iter()
+        .filter(|&&c| c != 0)
+        .map(|&c| c as f64 / total as f64)
+        .filter(|&p| p > 0.0)
+        .map(|p| -p * p.log2())
+        .sum()
+}
+
 /// Joint Shannon entropy (base 2) of a pair of variables.
 pub fn joint_entropy(joint: &JointHistogram) -> f64 {
     entropy_from_probabilities(&joint.probabilities())

@@ -22,6 +22,14 @@ impl Histogram {
         }
     }
 
+    /// Build directly from per-bin counts — the path used by delta-maintained
+    /// sufficient statistics.  Produces a histogram bit-identical to
+    /// accumulating the same counts through [`Self::add`].
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        let total = counts.iter().sum();
+        Histogram { counts, total }
+    }
+
     /// Build a histogram from an iterator of value indices.
     pub fn from_values<I: IntoIterator<Item = u16>>(cardinality: usize, values: I) -> Self {
         let mut h = Histogram::empty(cardinality);
@@ -119,6 +127,20 @@ impl JointHistogram {
             rows,
             cols,
             total: 0,
+        }
+    }
+
+    /// Build directly from per-cell counts (row-major) — the path used by
+    /// delta-maintained sufficient statistics.  Produces a histogram
+    /// bit-identical to accumulating the same counts through [`Self::add`].
+    pub fn from_counts(rows: usize, cols: usize, counts: Vec<u64>) -> Self {
+        assert_eq!(counts.len(), rows * cols, "count vector must be rows*cols");
+        let total = counts.iter().sum();
+        JointHistogram {
+            counts,
+            rows,
+            cols,
+            total,
         }
     }
 

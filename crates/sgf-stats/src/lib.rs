@@ -26,8 +26,9 @@ pub use distance::{
     total_variation_histograms, FiveNumberSummary,
 };
 pub use entropy::{
-    conditional_entropy, entropy, entropy_from_probabilities, entropy_sensitivity, joint_entropy,
-    mutual_information, symmetrical_uncertainty, symmetrical_uncertainty_from_entropies,
+    conditional_entropy, entropy, entropy_from_counts, entropy_from_probabilities,
+    entropy_sensitivity, joint_entropy, mutual_information, symmetrical_uncertainty,
+    symmetrical_uncertainty_from_entropies,
 };
 pub use histogram::{Histogram, JointHistogram};
 pub use laplace::{laplace_mechanism, noisy_count, Laplace};

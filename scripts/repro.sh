@@ -29,7 +29,7 @@ for arg in "$@"; do
     esac
 done
 
-BINARIES=(fig1 fig2 fig3 fig4 fig5 fig6 fig_index fig_folding table1 table2 table3 table4 table5)
+BINARIES=(fig1 fig2 fig3 fig4 fig5 fig6 fig_index fig_folding fig_update table1 table2 table3 table4 table5)
 
 echo "== building release binaries =="
 cargo build --release -p bench -p sgf-serve
@@ -100,6 +100,20 @@ if ! grep -q "byte-identical releases with class cache on vs off" "$OUTDIR/fig_f
 fi
 echo
 echo "== request-folding equivalence gate passed (fig_folding) =="
+
+# Incremental-update equivalence gate: fig_update folds a mixed delta into a
+# trained session and asserts every artifact — split subsets, structure,
+# CPTs, marginals, sufficient statistics, posting lists, equivalence classes,
+# and identically-seeded releases — is byte-identical to a from-scratch
+# retrain on the post-delta dataset, printing the confirmation line below
+# only after every assertion held.  (At full scale the binary additionally
+# asserts the >= 100x update-vs-retrain speedup internally.)
+if ! grep -q "matches a from-scratch retrain bit-for-bit" "$OUTDIR/fig_update.txt"; then
+    echo "ERROR: fig_update did not confirm incremental-update equivalence" >&2
+    exit 1
+fi
+echo
+echo "== incremental-update equivalence gate passed (fig_update) =="
 
 # Perf-trajectory gate: mirror the emitted benchmark documents to the repo
 # root (handy for diffing / CI artifact upload) and compare the deterministic

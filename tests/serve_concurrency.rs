@@ -299,7 +299,7 @@ fn folded_cached_serve_matches_unfolded_cold_cache_run() {
         let handle = serve(
             ServeConfig {
                 workers: 2,
-                max_fold,
+                max_fold: Some(max_fold),
                 service_delay: delay,
                 queue_capacity: CLIENTS as usize * 2,
                 ..ServeConfig::default()
@@ -357,6 +357,49 @@ fn folded_cached_serve_matches_unfolded_cold_cache_run() {
             "request seed {seed_a} must release byte-identical records"
         );
     }
+}
+
+/// Adaptive folding regression: with the default (adaptive) fold cap,
+/// strictly sequential traffic — each request completing before the next is
+/// sent — must never fold, because the worker always observes an empty queue
+/// at pop time.  This is what keeps the sequential smoke documents
+/// byte-identical to a fold-free server: no fold metrics, no fold spans, no
+/// `fold` block in any provenance.
+#[test]
+fn sequential_traffic_never_folds_under_the_adaptive_cap() {
+    let session = train_session(35);
+    let handle = serve(
+        ServeConfig {
+            workers: 4,
+            // The default: adaptive folding from observed queue depth.
+            max_fold: None,
+            ..ServeConfig::default()
+        },
+        vec![SessionEntry::new(session).named("sequential")],
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for seed in 0..8 {
+        let release = client
+            .generate(&storm_call(seed).with_session("sequential"))
+            .unwrap();
+        assert_eq!(release.records.len(), TARGET);
+        assert!(
+            release.provenance.get("fold").is_none(),
+            "sequential request {seed} must not carry a fold block"
+        );
+    }
+    let folds = client
+        .metrics(Some("sequential"), false)
+        .unwrap()
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get("serve.folds"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    assert_eq!(folds, 0, "an empty queue must never fold");
+    client.shutdown().unwrap();
+    handle.join().unwrap();
 }
 
 /// Satellite of the scope-cell hygiene fix: a flood of generate requests for

@@ -475,3 +475,105 @@ fn shutdown_drains_and_rejects_late_requests() {
         }
     );
 }
+
+/// The `update` verb end-to-end: a served delta advances the session to its
+/// next epoch, the response reports the new epoch and seed count, and a
+/// post-update generate releases byte-identical records to an in-process
+/// session updated with the same delta (the serve layer adds nothing to the
+/// equivalence invariant).  Bad deltas are rejected with machine-readable
+/// codes and leave the session serving its current epoch.
+#[test]
+fn update_verb_advances_the_session_epoch_over_the_wire() {
+    use sgf::serve::UpdateCall;
+
+    let population = generate_acs(3_500, 47);
+    let session = train_session(47);
+    let local = session.clone();
+    let handle = serve(
+        ServeConfig::default(),
+        vec![SessionEntry::new(session).named("incremental")],
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // The same delta, applied in-process and over the wire.
+    let inserts: Vec<sgf::data::Record> = generate_acs(10, 91).records().to_vec();
+    let deletes: Vec<sgf::data::Record> = population.records()[..5].to_vec();
+    let mut delta = sgf::data::DatasetDelta::new(population.schema_arc());
+    let mut call = UpdateCall::new().with_session("incremental");
+    for record in &deletes {
+        delta.delete(record.clone()).unwrap();
+        call = call.delete(record.clone());
+    }
+    for record in &inserts {
+        delta.insert(record.clone()).unwrap();
+        call = call.insert(record.clone());
+    }
+    let updated_local = local.update(&delta).unwrap();
+
+    let response = client.update(&call).unwrap();
+    assert_eq!(response.get("epoch").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(
+        response.get("seeds").and_then(|v| v.as_u64()),
+        Some(updated_local.seeds().len() as u64)
+    );
+    assert_eq!(response.get("inserts").and_then(|v| v.as_u64()), Some(10));
+    assert_eq!(response.get("deletes").and_then(|v| v.as_u64()), Some(5));
+
+    // The served session now IS the next epoch: same bytes as the in-process
+    // update, and the provenance carries the epoch stamp.
+    let request = GenerateRequest::new(8).with_seed(3).with_workers(1);
+    let reference = updated_local.generate(&request).unwrap();
+    let served = client
+        .generate(
+            &GenerateCall::new(8)
+                .with_session("incremental")
+                .with_request(request),
+        )
+        .unwrap();
+    assert_eq!(reference.synthetics.records(), &served.records[..]);
+    assert_eq!(
+        served.provenance.get("epoch").and_then(|v| v.as_u64()),
+        Some(1)
+    );
+
+    // A delta deleting a record the dataset does not hold fails with
+    // `update_failed` and the session keeps serving epoch 1.
+    let ghost = population.records()[0].clone();
+    let occurrences = updated_local.seeds().len().max(population.len());
+    let mut bad = UpdateCall::new().with_session("incremental");
+    for _ in 0..=occurrences {
+        bad = bad.delete(ghost.clone());
+    }
+    match client.update(&bad) {
+        Err(ClientError::Rejected(r)) => assert_eq!(r.code, reject::UPDATE_FAILED),
+        other => panic!("expected update_failed, got {other:?}"),
+    }
+    // A wrong-arity record is a bad request, not a failed update.
+    let mut stub = population.records()[0].values().to_vec();
+    stub.push(0);
+    match client.update(
+        &UpdateCall::new()
+            .with_session("incremental")
+            .insert(sgf::data::Record::new(stub)),
+    ) {
+        Err(ClientError::Rejected(r)) => assert_eq!(r.code, reject::BAD_REQUEST),
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+    // Unknown sessions are rejected by the same admission gate as generate.
+    match client.update(&UpdateCall::new().with_session("nonexistent")) {
+        Err(ClientError::Rejected(r)) => assert_eq!(r.code, reject::UNKNOWN_SESSION),
+        other => panic!("expected unknown_session, got {other:?}"),
+    }
+    let after = client
+        .generate(
+            &GenerateCall::new(8)
+                .with_session("incremental")
+                .with_request(GenerateRequest::new(8).with_seed(3).with_workers(1)),
+        )
+        .unwrap();
+    assert_eq!(after.records, served.records);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
